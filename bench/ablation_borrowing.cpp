@@ -1,0 +1,148 @@
+// Ablation (§2.1.2): the admission-controlled class must have a *strict*
+// bandwidth cap - a work-conserving scheduler that lets it borrow idle
+// best-effort bandwidth fools the probes.
+//
+// Setup: a 10 Mbps link whose admission-controlled share is 5 Mbps.
+// Best-effort traffic (4.5 Mbps average) pauses for 30 s. During the
+// pause, flows probe for a total of ~8 Mbps of admission-controlled
+// traffic.
+//
+//  - With an unlimited strict-priority scheduler (borrowing allowed) the
+//    probes see an idle link and everything is admitted; when the
+//    best-effort traffic returns it is crushed to a fraction of its
+//    previous throughput.
+//  - With the rate-limited priority scheduler the probes see their true
+//    5 Mbps share, only ~5 Mbps is admitted, and best effort recovers its
+//    share on return.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "eac/endpoint_policy.hpp"
+#include "net/priority_queue.hpp"
+#include "net/rate_limited_queue.hpp"
+#include "net/topology.hpp"
+#include "traffic/onoff_source.hpp"
+
+namespace {
+
+using namespace eac;
+
+struct Outcome {
+  int admitted = 0;
+  double be_throughput_after_mbps = 0;
+  double ac_throughput_after_mbps = 0;
+};
+
+Outcome run(bool rate_limited) {
+  sim::Simulator sim;
+  net::Topology topo{sim};
+  net::Node& in = topo.add_node();
+  net::Node& out = topo.add_node();
+  std::unique_ptr<net::QueueDisc> q;
+  if (rate_limited) {
+    q = std::make_unique<net::RateLimitedPriorityQueue>(5e6, 5 * 125.0, 200,
+                                                        200);
+  } else {
+    q = std::make_unique<net::StrictPriorityQueue>(3, 400);
+  }
+  net::Link& link = topo.add_link(in.id(), out.id(), 10e6,
+                                  sim::SimTime::milliseconds(20), std::move(q));
+
+  struct Null : net::PacketHandler {
+    void handle(net::Packet) override {}
+  };
+  Null sink;
+
+  // Best-effort background: 4.5 Mbps, paused during [10, 40).
+  traffic::SourceIdentity be_id;
+  be_id.flow = 1;
+  be_id.src = in.id();
+  be_id.dst = out.id();
+  be_id.packet_size = 125;
+  be_id.type = net::PacketType::kBestEffort;
+  be_id.band = 2;
+  traffic::OnOffSource best_effort{
+      sim, be_id, in,
+      {.burst_rate_bps = 4.5e6, .mean_on_s = 1e6, .mean_off_s = 1e-9}, 3, 1};
+  out.attach_sink(1, &sink);
+  best_effort.start();
+  sim.schedule_at(sim::SimTime::seconds(10), [&] { best_effort.stop(); });
+  sim.schedule_at(sim::SimTime::seconds(40), [&] { best_effort.start(); });
+
+  // Sixteen 0.5 Mbps admission-controlled flows probe during the pause.
+  EndpointAdmission policy{sim, topo, drop_in_band()};
+  std::vector<std::unique_ptr<traffic::OnOffSource>> admitted_srcs;
+  int admitted = 0;
+  net::FlowId next_id = 100;
+  for (int i = 0; i < 16; ++i) {
+    sim.schedule_at(sim::SimTime::seconds(12 + 1.5 * i), [&, i] {
+      FlowSpec spec;
+      spec.flow = 500 + static_cast<net::FlowId>(i);
+      spec.src = in.id();
+      spec.dst = out.id();
+      spec.rate_bps = 0.5e6;
+      spec.packet_size = 125;
+      spec.epsilon = 0.0;
+      policy.request(spec, [&](bool ok) {
+        if (!ok) return;
+        ++admitted;
+        traffic::SourceIdentity id;
+        id.flow = next_id++;
+        id.src = in.id();
+        id.dst = out.id();
+        id.packet_size = 125;
+        id.band = 0;
+        admitted_srcs.push_back(std::make_unique<traffic::OnOffSource>(
+            sim, id, in,
+            traffic::OnOffParams{.burst_rate_bps = 0.5e6,
+                                 .mean_on_s = 1e6,
+                                 .mean_off_s = 1e-9},
+            3, id.flow));
+        out.attach_sink(id.flow, &sink);
+        admitted_srcs.back()->start();
+      });
+    });
+  }
+
+  // Measure both classes' throughput after best effort returns [50, 80).
+  net::LinkCounters at50;
+  sim.schedule_at(sim::SimTime::seconds(50), [&] { at50 = link.counters(); });
+  sim.run(sim::SimTime::seconds(80));
+  const auto& at80 = link.counters();
+
+  Outcome o;
+  o.admitted = admitted;
+  o.be_throughput_after_mbps =
+      static_cast<double>(at80.bytes(net::PacketType::kBestEffort) -
+                          at50.bytes(net::PacketType::kBestEffort)) *
+      8 / 30e6;
+  o.ac_throughput_after_mbps =
+      static_cast<double>(at80.bytes(net::PacketType::kData) -
+                          at50.bytes(net::PacketType::kData)) *
+      8 / 30e6;
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Ablation (S2.1.2): admission-controlled traffic must not "
+              "borrow ==\n");
+  std::printf("# AC share 5 Mbps of a 10 Mbps link; best effort (4.5 Mbps) "
+              "pauses while AC flows probe\n");
+  std::printf("%-24s %10s %18s %18s\n", "scheduler", "admitted",
+              "BE after (Mbps)", "AC after (Mbps)");
+  const Outcome borrow = run(false);
+  std::printf("%-24s %10d %18.2f %18.2f\n", "priority, no cap",
+              borrow.admitted, borrow.be_throughput_after_mbps,
+              borrow.ac_throughput_after_mbps);
+  const Outcome capped = run(true);
+  std::printf("%-24s %10d %18.2f %18.2f\n", "priority + rate limit",
+              capped.admitted, capped.be_throughput_after_mbps,
+              capped.ac_throughput_after_mbps);
+  std::printf("# expected: without the cap the probes admit ~8 Mbps and "
+              "best effort is crushed on\n# return; with the strict cap "
+              "only ~5 Mbps is admitted and best effort keeps its share.\n");
+  return 0;
+}

@@ -1,0 +1,200 @@
+// Shared helpers for the experiment harnesses in bench/.
+//
+// Each bench binary regenerates one table or figure of the paper. Output
+// is a plain-text table: one row per (design, epsilon) point so the
+// loss-load curves can be plotted directly.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "eac/config.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/scale.hpp"
+#include "traffic/catalog.hpp"
+#include "traffic/trace.hpp"
+
+namespace eac::bench {
+
+/// The four §3.1 prototype designs in the paper's presentation order.
+struct NamedDesign {
+  const char* name;
+  EacConfig cfg;
+};
+
+inline std::vector<NamedDesign> prototype_designs() {
+  return {{"drop-inband", drop_in_band()},
+          {"drop-outofband", drop_out_of_band()},
+          {"mark-inband", mark_in_band()},
+          {"mark-outofband", mark_out_of_band()}};
+}
+
+/// Epsilon sweep appropriate for a design (§3.2: in-band 0..0.05,
+/// out-of-band 0..0.20).
+inline std::vector<double> epsilon_sweep(const EacConfig& cfg) {
+  if (cfg.band == ProbeBand::kInBand) {
+    return {kInBandEpsilons, kInBandEpsilons + 6};
+  }
+  return {kOutOfBandEpsilons, kOutOfBandEpsilons + 5};
+}
+
+/// Utilization targets swept for the Measured Sum benchmark curve.
+inline std::vector<double> mbac_target_sweep() {
+  return {0.80, 0.85, 0.90, 0.95, 1.00, 1.05};
+}
+
+/// A single-class flow population from an on/off model (Table 1 rows).
+inline scenario::RunConfig onoff_run(const traffic::OnOffParams& model,
+                                     double interarrival_s,
+                                     const scenario::Scale& scale) {
+  scenario::RunConfig cfg;
+  FlowClass c;
+  c.arrival_rate_per_s = 1.0 / interarrival_s;
+  c.src = 0;
+  c.dst = 1;
+  c.onoff = model;
+  c.packet_size = traffic::kOnOffPacketBytes;
+  c.probe_rate_bps = model.burst_rate_bps;  // probe at the token rate
+  cfg.classes = {c};
+  cfg.duration_s = scale.duration_s;
+  cfg.warmup_s = scale.warmup_s;
+  return cfg;
+}
+
+inline void print_scale_banner(const scenario::Scale& s) {
+  std::printf("# measured %.0f s after %.0f s warm-up, %d seed(s)"
+              " (EAC_FULL=1 for paper scale, EAC_SCALE=x to stretch)\n",
+              s.duration_s - s.warmup_s, s.warmup_s, s.seeds);
+}
+
+/// When EAC_CSV=<path> is set, every loss-load row is also appended to
+/// that file as CSV (design,eps,utilization,loss,blocking,probe_util) so
+/// the curves can be plotted without scraping stdout.
+inline std::FILE* csv_sink() {
+  static std::FILE* f = []() -> std::FILE* {
+    const char* path = std::getenv("EAC_CSV");
+    if (path == nullptr) return nullptr;
+    std::FILE* out = std::fopen(path, "a");
+    if (out != nullptr) {
+      std::fprintf(out, "design,eps,utilization,loss,blocking,probe_util\n");
+    }
+    return out;
+  }();
+  return f;
+}
+
+inline void print_loss_load_header() {
+  std::printf("%-16s %8s %12s %12s %10s %10s\n", "design", "eps",
+              "utilization", "loss_prob", "blocking", "probe_util");
+}
+
+inline void print_loss_load_row(const std::string& design, double eps,
+                                const scenario::RunResult& r) {
+  std::printf("%-16s %8.3f %12.4f %12.3e %10.3f %10.4f\n", design.c_str(),
+              eps, r.utilization, r.loss(), r.blocking(),
+              r.probe_utilization);
+  std::fflush(stdout);
+  if (std::FILE* csv = csv_sink()) {
+    std::fprintf(csv, "%s,%g,%.6f,%.6e,%.6f,%.6f\n", design.c_str(), eps,
+                 r.utilization, r.loss(), r.blocking(), r.probe_utilization);
+    std::fflush(csv);
+  }
+}
+
+/// Lazily generated synthetic Star-Wars-like trace shared by scenarios.
+inline std::shared_ptr<const std::vector<std::uint32_t>> shared_vbr_trace() {
+  static const auto trace =
+      std::make_shared<const std::vector<std::uint32_t>>(
+          traffic::generate_vbr_trace(traffic::VbrTraceParams{}, 99, 1,
+                                      60'000));
+  return trace;
+}
+
+/// A named robustness scenario (Figure 8 rows a-f).
+struct NamedScenario {
+  std::string name;
+  scenario::RunConfig cfg;
+};
+
+/// The six robustness scenarios of Figure 8, at the given scale.
+inline std::vector<NamedScenario> robustness_scenarios(
+    const scenario::Scale& scale) {
+  std::vector<NamedScenario> out;
+  out.push_back({"8a:EXP2-burstier", onoff_run(traffic::exp2(), 3.5, scale)});
+  out.push_back({"8b:EXP3-bigger", onoff_run(traffic::exp3(), 7.0, scale)});
+  out.push_back({"8c:POO1-LRD", onoff_run(traffic::poo1(), 3.5, scale)});
+
+  {  // 8d: trace-driven VBR video, tau = 8 s.
+    scenario::RunConfig cfg;
+    FlowClass c;
+    c.arrival_rate_per_s = 1.0 / 8.0;
+    c.src = 0;
+    c.dst = 1;
+    c.kind = SourceKind::kTrace;
+    c.trace = shared_vbr_trace();
+    c.packet_size = traffic::kTracePacketBytes;
+    c.probe_rate_bps = traffic::kTraceTokenRateBps;
+    cfg.classes = {c};
+    cfg.typical_packet_bytes = traffic::kTracePacketBytes;
+    cfg.duration_s = scale.duration_s;
+    cfg.warmup_s = scale.warmup_s;
+    out.push_back({"8d:StarWars-like", cfg});
+  }
+
+  {  // 8e: heterogeneous mix EXP1+EXP2+EXP4+POO1, overall tau = 3.5 s.
+    scenario::RunConfig cfg;
+    const traffic::OnOffParams models[] = {traffic::exp1(), traffic::exp2(),
+                                           traffic::exp4(), traffic::poo1()};
+    for (int i = 0; i < 4; ++i) {
+      FlowClass c;
+      c.arrival_rate_per_s = 1.0 / (3.5 * 4);
+      c.src = 0;
+      c.dst = 1;
+      c.onoff = models[i];
+      c.packet_size = traffic::kOnOffPacketBytes;
+      c.probe_rate_bps = models[i].burst_rate_bps;
+      // Group 1 = the large (EXP2, 1024 kbps token rate) flows; group 0 =
+      // the three small (256 kbps) classes. Used by Table 4.
+      c.group = models[i].burst_rate_bps > 512'000 ? 1 : 0;
+      cfg.classes.push_back(c);
+    }
+    cfg.duration_s = scale.duration_s;
+    cfg.warmup_s = scale.warmup_s;
+    out.push_back({"8e:heterogeneous", cfg});
+  }
+
+  {  // 8f: low multiplexing - the link is only 1 Mbps.
+    scenario::RunConfig cfg = onoff_run(traffic::exp1(), 35.0, scale);
+    cfg.link_rate_bps = 1e6;
+    out.push_back({"8f:low-multiplexing", cfg});
+  }
+  return out;
+}
+
+/// Sweep one design's epsilons plus the MBAC benchmark on a base config.
+inline void sweep_designs_and_mbac(scenario::RunConfig base,
+                                   const scenario::Scale& scale) {
+  print_loss_load_header();
+  for (const NamedDesign& d : prototype_designs()) {
+    for (double eps : epsilon_sweep(d.cfg)) {
+      scenario::RunConfig cfg = base;
+      cfg.policy = scenario::PolicyKind::kEndpoint;
+      cfg.eac = d.cfg;
+      for (auto& cls : cfg.classes) cls.epsilon = eps;
+      print_loss_load_row(d.name, eps,
+                          scenario::run_single_link_averaged(cfg, scale.seeds));
+    }
+  }
+  for (double u : mbac_target_sweep()) {
+    scenario::RunConfig cfg = base;
+    cfg.policy = scenario::PolicyKind::kMbac;
+    cfg.mbac_target_utilization = u;
+    print_loss_load_row("MBAC", u,
+                        scenario::run_single_link_averaged(cfg, scale.seeds));
+  }
+}
+
+}  // namespace eac::bench

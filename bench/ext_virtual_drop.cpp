@@ -1,0 +1,34 @@
+// Extension (footnote 14): out-of-band *virtual dropping*. The router
+// runs the marking designs' virtual queue but, instead of setting ECN
+// bits, drops probe packets the virtual queue would have dropped. The
+// paper contends this achieves "exactly the same results" as out-of-band
+// marking with no ECN deployment; this bench checks that claim on the
+// basic scenario.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace eac;
+  const auto scale = scenario::bench_scale();
+  std::printf("== Extension: out-of-band virtual dropping vs marking ==\n");
+  bench::print_scale_banner(scale);
+  scenario::RunConfig base = bench::onoff_run(traffic::exp1(), 3.5, scale);
+  base.policy = scenario::PolicyKind::kEndpoint;
+
+  bench::print_loss_load_header();
+  for (const EacConfig design :
+       {mark_out_of_band(), virtual_drop_out_of_band()}) {
+    for (double eps : bench::epsilon_sweep(design)) {
+      scenario::RunConfig cfg = base;
+      cfg.eac = design;
+      for (auto& c : cfg.classes) c.epsilon = eps;
+      bench::print_loss_load_row(
+          design.name(), eps,
+          scenario::run_single_link_averaged(cfg, scale.seeds));
+    }
+  }
+  std::printf("# expected: the two designs trace near-identical loss-load "
+              "curves.\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Figure 3: longer probing. In-band dropping with the usual 5 s slow-start
+// probe vs a 25 s variant (5 s per stage). Expected: longer probes reduce
+// the loss rate but also depress utilization, because more bandwidth is
+// consumed by probe packets (and thrashing risk rises).
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace eac;
+  const auto scale = scenario::bench_scale();
+  std::printf("== Figure 3: basic scenario with long probing ==\n");
+  bench::print_scale_banner(scale);
+  scenario::RunConfig base = bench::onoff_run(traffic::exp1(), 3.5, scale);
+  base.policy = scenario::PolicyKind::kEndpoint;
+
+  bench::print_loss_load_header();
+  for (double stage_s : {1.0, 5.0}) {
+    EacConfig cfg = drop_in_band();
+    cfg.stage_seconds = stage_s;  // 5 stages: 5 s or 25 s total
+    const std::string label =
+        stage_s == 1.0 ? "probe-5s" : "probe-25s";
+    for (double eps : bench::epsilon_sweep(cfg)) {
+      scenario::RunConfig run = base;
+      run.eac = cfg;
+      for (auto& c : run.classes) c.epsilon = eps;
+      bench::print_loss_load_row(
+          label, eps, scenario::run_single_link_averaged(run, scale.seeds));
+    }
+  }
+  for (double u : bench::mbac_target_sweep()) {
+    scenario::RunConfig run = base;
+    run.policy = scenario::PolicyKind::kMbac;
+    run.mbac_target_utilization = u;
+    bench::print_loss_load_row(
+        "MBAC", u, scenario::run_single_link_averaged(run, scale.seeds));
+  }
+  return 0;
+}

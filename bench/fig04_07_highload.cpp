@@ -1,0 +1,59 @@
+// Figures 4-7: high load (arrival rate 1 flow/s, ~400 % offered load,
+// blocking around 75 %). Each of the four designs is run with the three
+// probing algorithms - simple, slow-start, early-reject - plus the MBAC
+// benchmark. Expected shape: for the dropping designs, slow-start clearly
+// beats simple/early-reject on the in-band frontier (it avoids thrashing
+// collapse); for the out-of-band designs the frontiers coincide (thrashing
+// starves instead of causing loss) with slow-start reaching higher
+// utilization.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace eac;
+  const auto scale = scenario::bench_scale();
+  std::printf("== Figures 4-7: high load (EXP1, tau=1.0 s) ==\n");
+  bench::print_scale_banner(scale);
+  scenario::RunConfig base = bench::onoff_run(traffic::exp1(), 1.0, scale);
+
+  const struct {
+    const char* name;
+    ProbeAlgo algo;
+  } kAlgos[] = {{"simple", ProbeAlgo::kSimple},
+                {"slowstart", ProbeAlgo::kSlowStart},
+                {"earlyreject", ProbeAlgo::kEarlyReject}};
+
+  const struct {
+    const char* fig;
+    EacConfig design;
+  } kFigs[] = {{"fig4:drop-inband", drop_in_band()},
+               {"fig5:drop-outofband", drop_out_of_band()},
+               {"fig6:mark-inband", mark_in_band()},
+               {"fig7:mark-outofband", mark_out_of_band()}};
+
+  bench::print_loss_load_header();
+  for (const auto& fig : kFigs) {
+    for (const auto& algo : kAlgos) {
+      EacConfig cfg = fig.design;
+      cfg.algo = algo.algo;
+      for (double eps : bench::epsilon_sweep(cfg)) {
+        scenario::RunConfig run = base;
+        run.policy = scenario::PolicyKind::kEndpoint;
+        run.eac = cfg;
+        for (auto& c : run.classes) c.epsilon = eps;
+        bench::print_loss_load_row(
+            std::string{fig.fig} + "/" + algo.name, eps,
+            scenario::run_single_link_averaged(run, scale.seeds));
+      }
+    }
+  }
+  for (double u : bench::mbac_target_sweep()) {
+    scenario::RunConfig run = base;
+    run.policy = scenario::PolicyKind::kMbac;
+    run.mbac_target_utilization = u;
+    bench::print_loss_load_row(
+        "MBAC", u, scenario::run_single_link_averaged(run, scale.seeds));
+  }
+  return 0;
+}

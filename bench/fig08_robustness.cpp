@@ -1,0 +1,22 @@
+// Figure 8: robustness across load patterns. Six scenarios (burstier,
+// bigger, LRD, trace-driven, heterogeneous, low-multiplexing) each swept
+// over the four designs plus MBAC. Expected shape per the paper: every
+// frontier reasonably close to the MBAC benchmark; in-band dropping always
+// the highest loss range (<= ~2% at eps=0), out-of-band marking always the
+// lowest; 8(a) is the outlier where both in-band designs do markedly worse
+// (higher probe token rate burns bandwidth).
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace eac;
+  const auto scale = scenario::bench_scale();
+  std::printf("== Figure 8: robustness experiments ==\n");
+  bench::print_scale_banner(scale);
+  for (const auto& sc : bench::robustness_scenarios(scale)) {
+    std::printf("\n-- %s --\n", sc.name.c_str());
+    bench::sweep_designs_and_mbac(sc.cfg, scale);
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 9: loss rates at a *fixed* epsilon across many scenarios
+// (eps = 0.01 for the in-band designs, 0.05 for the out-of-band ones).
+// The point is the *variation* within each design: the paper finds at
+// least an order of magnitude spread, with the low-multiplexing scenario
+// usually the worst, so epsilon cannot be used to predict the delivered
+// loss rate a priori.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace eac;
+  const auto scale = scenario::bench_scale();
+  std::printf("== Figure 9: loss at fixed eps across scenarios ==\n");
+  bench::print_scale_banner(scale);
+
+  // All Figure 8 scenarios plus the basic and heavy-load EXP1 scenarios.
+  std::vector<bench::NamedScenario> scenarios;
+  scenarios.push_back(
+      {"EXP1-basic", bench::onoff_run(traffic::exp1(), 3.5, scale)});
+  for (auto& sc : bench::robustness_scenarios(scale)) {
+    scenarios.push_back(std::move(sc));
+  }
+  scenarios.push_back(
+      {"heavy-load", bench::onoff_run(traffic::exp1(), 1.0, scale)});
+
+  std::printf("%-22s %-18s %8s %12s %12s\n", "scenario", "design", "eps",
+              "loss_prob", "utilization");
+  for (const auto& design : bench::prototype_designs()) {
+    const double eps =
+        design.cfg.band == ProbeBand::kInBand ? 0.01 : 0.05;
+    double min_loss = 1, max_loss = 0;
+    for (const auto& sc : scenarios) {
+      scenario::RunConfig run = sc.cfg;
+      run.policy = scenario::PolicyKind::kEndpoint;
+      run.eac = design.cfg;
+      for (auto& c : run.classes) c.epsilon = eps;
+      const auto r = scenario::run_single_link_averaged(run, scale.seeds);
+      const double loss = r.loss();
+      if (loss < min_loss) min_loss = loss;
+      if (loss > max_loss) max_loss = loss;
+      std::printf("%-22s %-18s %8.3f %12.3e %12.4f\n", sc.name.c_str(),
+                  design.name, eps, loss, r.utilization);
+      std::fflush(stdout);
+    }
+    std::printf("# %-18s loss spread: %.3e .. %.3e (x%.0f)\n\n", design.name,
+                min_loss, max_loss,
+                min_loss > 0 ? max_loss / min_loss : 0.0);
+  }
+  return 0;
+}

@@ -1,0 +1,150 @@
+// google-benchmark microbenchmarks for the simulation engine: these bound
+// how much simulated traffic a wall-clock second buys, which sizes the
+// default experiment scale (see scenario/scale.hpp).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "net/fair_queue.hpp"
+#include "net/link.hpp"
+#include "net/priority_queue.hpp"
+#include "net/queue_disc.hpp"
+#include "net/virtual_queue.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "traffic/onoff_source.hpp"
+
+namespace {
+
+using namespace eac;
+
+void BM_EventScheduleAndRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int counter = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule_at(sim::SimTime::microseconds(i), [&counter] { ++counter; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventScheduleAndRun);
+
+void BM_EventChained(benchmark::State& state) {
+  // Self-rescheduling event: the pattern every source/link uses.
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int depth = 0;
+    std::function<void()> tick = [&] {
+      if (++depth < 1000) sim.schedule_after(sim::SimTime::microseconds(1), tick);
+    };
+    sim.schedule_after(sim::SimTime::microseconds(1), tick);
+    sim.run();
+    benchmark::DoNotOptimize(depth);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventChained);
+
+void BM_DropTailEnqueueDequeue(benchmark::State& state) {
+  net::DropTailQueue q{256};
+  net::Packet p;
+  p.size_bytes = 125;
+  for (auto _ : state) {
+    q.enqueue(p, {});
+    benchmark::DoNotOptimize(q.dequeue({}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DropTailEnqueueDequeue);
+
+void BM_PriorityQueueTwoBands(benchmark::State& state) {
+  net::StrictPriorityQueue q{2, 256};
+  net::Packet data;
+  data.size_bytes = 125;
+  net::Packet probe = data;
+  probe.band = 1;
+  probe.type = net::PacketType::kProbe;
+  for (auto _ : state) {
+    q.enqueue(data, {});
+    q.enqueue(probe, {});
+    benchmark::DoNotOptimize(q.dequeue({}));
+    benchmark::DoNotOptimize(q.dequeue({}));
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_PriorityQueueTwoBands);
+
+void BM_FairQueueEightFlows(benchmark::State& state) {
+  net::FairQueue q{1024, 125};
+  net::Packet p;
+  p.size_bytes = 125;
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    p.flow = i++ % 8;
+    q.enqueue(p, {});
+    benchmark::DoNotOptimize(q.dequeue({}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FairQueueEightFlows);
+
+void BM_VirtualQueueMark(benchmark::State& state) {
+  net::VirtualQueueMarker vq{9e6, 25'000, 2};
+  net::Packet p;
+  p.size_bytes = 125;
+  p.ecn_capable = true;
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    t += 100'000;  // 100 us steps ~ 10 Mbps of 125 B packets
+    benchmark::DoNotOptimize(
+        vq.on_arrival(p, sim::SimTime::nanoseconds(t)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VirtualQueueMark);
+
+void BM_RandomExponential(benchmark::State& state) {
+  sim::RandomStream rng{1, 2};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.exponential(1.0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RandomExponential);
+
+void BM_LinkPipeline(benchmark::State& state) {
+  // Full path: source -> link (drop-tail) -> sink, one simulated second
+  // of a 10 Mbps link at 125-byte packets (~10k packets).
+  struct Sink : net::PacketHandler {
+    std::uint64_t n = 0;
+    void handle(net::Packet) override { ++n; }
+  };
+  std::uint64_t delivered = 0;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::Link link{sim, "l", 10e6, sim::SimTime::milliseconds(1),
+                   std::make_unique<net::DropTailQueue>(200)};
+    Sink sink;
+    link.set_destination(&sink);
+    traffic::SourceIdentity ident;
+    ident.packet_size = 125;
+    traffic::OnOffSource src{sim, ident, link,
+                             {.burst_rate_bps = 10e6, .mean_on_s = 1e9,
+                              .mean_off_s = 1e-9},
+                             1, 1};
+    src.start();
+    sim.run(sim::SimTime::seconds(1));
+    src.stop();
+    benchmark::DoNotOptimize(sink.n);
+    delivered += sink.n;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(delivered));
+}
+BENCHMARK(BM_LinkPipeline)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

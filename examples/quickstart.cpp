@@ -1,0 +1,54 @@
+// Quickstart: the smallest complete use of the library.
+//
+// Builds a two-node network with one 10 Mbps admission-controlled link,
+// lets a population of on/off flows request admission via endpoint
+// probing (in-band dropping, slow-start probes), and prints what happened.
+//
+//   $ ./build/examples/quickstart
+#include <cstdio>
+
+#include "scenario/runner.hpp"
+#include "traffic/catalog.hpp"
+
+int main() {
+  using namespace eac;
+
+  // 1. Describe the flows: EXP1 sources (256 kbps bursts, 128 kbps mean)
+  //    arriving as a Poisson process, one every 3.5 s on average. Each
+  //    flow probes at its token rate with acceptance threshold eps = 1 %.
+  FlowClass flows;
+  flows.arrival_rate_per_s = 1.0 / 3.5;
+  flows.onoff = traffic::exp1();
+  flows.packet_size = traffic::kOnOffPacketBytes;
+  flows.probe_rate_bps = flows.onoff.burst_rate_bps;
+  flows.epsilon = 0.01;
+
+  // 2. Describe the run: which admission design, which link, how long.
+  scenario::RunConfig cfg;
+  cfg.policy = scenario::PolicyKind::kEndpoint;
+  cfg.eac = drop_in_band();  // probes share the data band; drops signal
+  cfg.classes = {flows};
+  cfg.link_rate_bps = 10e6;
+  cfg.duration_s = 600;
+  cfg.warmup_s = 200;
+  cfg.seed = 42;
+
+  // 3. Run and read the results.
+  const scenario::RunResult r = scenario::run_single_link(cfg);
+
+  std::printf("endpoint admission control, in-band dropping, eps = %.2f\n",
+              flows.epsilon);
+  std::printf("  admission requests : %llu\n",
+              static_cast<unsigned long long>(r.total.attempts));
+  std::printf("  admitted           : %llu (blocking %.1f%%)\n",
+              static_cast<unsigned long long>(r.total.accepts),
+              100.0 * r.blocking());
+  std::printf("  link utilization   : %.1f%% (data only; probes excluded)\n",
+              100.0 * r.utilization);
+  std::printf("  probe overhead     : %.2f%% of the link\n",
+              100.0 * r.probe_utilization);
+  std::printf("  data packet loss   : %.4f%%\n", 100.0 * r.loss());
+  std::printf("\nTry swapping drop_in_band() for mark_out_of_band() and "
+              "watch the loss fall.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Video on demand: admitting bursty VBR video with token-bucket policing.
+//
+// Streams are synthetic Star-Wars-like VBR video (LRD scene structure),
+// policed at the source by an (800 kbps, 200 kbit) token bucket, exactly
+// as the paper reshapes its trace. Each stream probes at the token rate
+// before playing. The example contrasts the four §3.1 designs on the same
+// video workload and reports the admission delay a viewer experiences.
+#include <cstdio>
+#include <memory>
+
+#include "scenario/runner.hpp"
+#include "traffic/trace.hpp"
+
+int main() {
+  using namespace eac;
+
+  // One shared synthetic "movie" (100k frames ~ 70 minutes at 24 fps).
+  auto movie = std::make_shared<const std::vector<std::uint32_t>>(
+      traffic::generate_vbr_trace(traffic::VbrTraceParams{}, 2026, 1,
+                                  100'000));
+  double mean_frame = 0;
+  for (std::uint32_t f : *movie) mean_frame += f;
+  mean_frame /= static_cast<double>(movie->size());
+  std::printf("synthetic movie: %zu frames, mean frame %.0f B "
+              "(%.0f kbps at 24 fps)\n\n",
+              movie->size(), mean_frame, mean_frame * 24 * 8 / 1000);
+
+  FlowClass stream;
+  stream.arrival_rate_per_s = 1.0 / 8.0;
+  stream.kind = SourceKind::kTrace;
+  stream.trace = movie;
+  stream.packet_size = traffic::kTracePacketBytes;
+  stream.probe_rate_bps = traffic::kTraceTokenRateBps;
+
+  const struct {
+    const char* name;
+    EacConfig design;
+    double eps;
+  } kDesigns[] = {
+      {"drop in-band", drop_in_band(), 0.01},
+      {"drop out-of-band", drop_out_of_band(), 0.05},
+      {"mark in-band", mark_in_band(), 0.01},
+      {"mark out-of-band", mark_out_of_band(), 0.05},
+  };
+
+  std::printf("%-18s %10s %10s %12s %12s\n", "design", "eps", "blocked",
+              "utilization", "pkt loss");
+  for (const auto& d : kDesigns) {
+    scenario::RunConfig cfg;
+    cfg.policy = scenario::PolicyKind::kEndpoint;
+    cfg.eac = d.design;
+    stream.epsilon = d.eps;
+    cfg.classes = {stream};
+    cfg.typical_packet_bytes = traffic::kTracePacketBytes;
+    cfg.duration_s = 900;
+    cfg.warmup_s = 300;
+    cfg.seed = 11;
+
+    const scenario::RunResult r = scenario::run_single_link(cfg);
+    std::printf("%-18s %10.2f %9.1f%% %11.1f%% %11.4f%%\n", d.name, d.eps,
+                100.0 * r.blocking(), 100.0 * r.utilization,
+                100.0 * r.loss());
+  }
+  std::printf("\nEvery viewer waits the %g s probe before playback - the "
+              "set-up delay the paper\nflags as endpoint admission "
+              "control's inherent cost (§2.2.2).\n",
+              drop_in_band().total_probe_seconds());
+  return 0;
+}

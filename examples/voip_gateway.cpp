@@ -1,0 +1,60 @@
+// VoIP gateway: the workload endpoint admission control was motivated by.
+//
+// A site's 2 Mbps premium share carries interactive voice. Calls are
+// G.711-like: 64 kbps bursts during talk spurts, silence-suppressed
+// (roughly exponential 400 ms talk / 600 ms silence), 3-minute average
+// duration. Without admission control every new call degrades all calls;
+// with endpoint probing the gateway simply refuses calls that would push
+// loss past what the codec can conceal (~1 %).
+//
+// The example compares an uncontrolled deployment (every call admitted)
+// with out-of-band marking admission control at several call rates.
+#include <cstdio>
+
+#include "scenario/runner.hpp"
+
+int main() {
+  using namespace eac;
+
+  traffic::OnOffParams voice;
+  voice.burst_rate_bps = 64'000;
+  voice.mean_on_s = 0.4;
+  voice.mean_off_s = 0.6;
+
+  std::printf("VoIP gateway, 2 Mbps premium share, 3-minute calls\n");
+  std::printf("%-14s %-12s %10s %12s %12s\n", "arrival", "policy",
+              "calls", "blocked", "pkt loss");
+
+  for (double calls_per_minute : {16.0, 26.0, 36.0}) {
+    for (bool controlled : {false, true}) {
+      FlowClass call;
+      call.arrival_rate_per_s = calls_per_minute / 60.0;
+      call.onoff = voice;
+      call.packet_size = 125;
+      call.probe_rate_bps = voice.burst_rate_bps;
+      call.epsilon = controlled ? 0.05 : 1.0;  // eps=1: admit everything
+
+      scenario::RunConfig cfg;
+      cfg.policy = scenario::PolicyKind::kEndpoint;
+      cfg.eac = mark_out_of_band();
+      cfg.classes = {call};
+      cfg.mean_lifetime_s = 180;
+      cfg.link_rate_bps = 2e6;
+      cfg.typical_packet_bytes = 125;
+      cfg.duration_s = 900;
+      cfg.warmup_s = 300;
+      cfg.seed = 7;
+
+      const scenario::RunResult r = scenario::run_single_link(cfg);
+      std::printf("%6.0f/min    %-12s %10llu %11.1f%% %11.3f%%\n",
+                  calls_per_minute,
+                  controlled ? "probing" : "uncontrolled",
+                  static_cast<unsigned long long>(r.total.attempts),
+                  100.0 * r.blocking(), 100.0 * r.loss());
+    }
+  }
+  std::printf("\nUncontrolled overload degrades every call; probing trades "
+              "a busy signal for\nconsistently low loss - the Controlled-"
+              "Load promise without router state.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// WAN backbone: admission over multiple congested hops (Figure 10's
+// topology as an application demo).
+//
+// A provider's three-hop 10 Mbps backbone carries long transit flows
+// end-to-end while regional cross traffic loads every hop. The example
+// shows the operational picture an operator would look at: per-hop
+// utilization, and how transit (multi-hop) flows fare against regional
+// (single-hop) flows under endpoint admission control vs the router-
+// based MBAC.
+#include <cstdio>
+
+#include "scenario/runner.hpp"
+#include "traffic/catalog.hpp"
+
+int main() {
+  using namespace eac;
+
+  const auto describe = [](const char* name,
+                           const scenario::MultiLinkResult& r) {
+    std::printf("%s\n", name);
+    std::printf("  hop utilization    : %.2f / %.2f / %.2f\n",
+                r.link_utilization[0], r.link_utilization[1],
+                r.link_utilization[2]);
+    double cross_block = 0, cross_loss = 0;
+    for (int g = 0; g < 3; ++g) {
+      cross_block += r.groups.at(g).blocking_probability() / 3;
+      cross_loss += r.groups.at(g).loss_probability() / 3;
+    }
+    const auto& transit = r.groups.at(3);
+    std::printf("  regional flows     : blocking %.1f%%, loss %.4f%%\n",
+                100 * cross_block, 100 * cross_loss);
+    std::printf("  transit (3-hop)    : blocking %.1f%%, loss %.4f%%\n\n",
+                100 * transit.blocking_probability(),
+                100 * transit.loss_probability());
+  };
+
+  scenario::RunConfig cfg;
+  FlowClass c;
+  c.arrival_rate_per_s = 1.0 / 7.0;  // per class; ~110% offered per hop
+  c.onoff = traffic::exp1();
+  c.packet_size = traffic::kOnOffPacketBytes;
+  c.probe_rate_bps = c.onoff.burst_rate_bps;
+  c.epsilon = 0.02;
+  cfg.classes = {c};
+  cfg.duration_s = 700;
+  cfg.warmup_s = 250;
+  cfg.seed = 31;
+
+  cfg.policy = scenario::PolicyKind::kEndpoint;
+  cfg.eac = drop_in_band();
+  describe("endpoint probing (drop in-band, eps=0.02)",
+           scenario::run_multi_link(cfg));
+
+  cfg.eac = mark_out_of_band();
+  for (auto& cls : cfg.classes) cls.epsilon = 0.05;
+  describe("endpoint probing (mark out-of-band, eps=0.05)",
+           scenario::run_multi_link(cfg));
+
+  cfg.policy = scenario::PolicyKind::kMbac;
+  cfg.mbac_target_utilization = 0.9;
+  describe("router MBAC (Measured Sum, u=0.9)",
+           scenario::run_multi_link(cfg));
+
+  std::printf("Transit flows pay roughly the product of per-hop acceptance "
+              "probabilities in\nblocking and ~3x the single-hop loss - the "
+              "price of a longer path, not a failure\nof the probing signal "
+              "(paper §4.6).\n");
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Admission policy interface shared by endpoint probing and router MBAC.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/packet.hpp"
+
+namespace eac {
+
+/// Everything an admission decision needs to know about a would-be flow.
+struct FlowSpec {
+  net::FlowId flow = 0;
+  int group = 0;  ///< reporting group (stats::FlowStats)
+  net::NodeId src = 0;
+  net::NodeId dst = 0;
+  double rate_bps = 256'000;       ///< token rate r; probes are sent at r
+  double bucket_bytes = 125;       ///< token depth b (burst probing shapes)
+  std::uint32_t packet_size = 125;
+  double epsilon = 0.0;            ///< acceptance threshold
+};
+
+/// Renders an admit/reject decision for a flow. Endpoint policies take
+/// ~probe-duration to answer; router-based MBAC answers immediately. The
+/// callback is invoked exactly once, possibly asynchronously.
+class AdmissionPolicy {
+ public:
+  virtual ~AdmissionPolicy() = default;
+  virtual void request(const FlowSpec& spec,
+                       std::function<void(bool admitted)> decide) = 0;
+};
+
+}  // namespace eac

@@ -1,0 +1,106 @@
+// Endpoint admission control design space (§2-§3 of the paper).
+#pragma once
+
+#include <string>
+
+namespace eac {
+
+/// How congestion is signalled to the prober.
+enum class SignalType {
+  kDrop,        ///< probe packet losses
+  kMark,        ///< ECN marks from the router's virtual queue (plus losses)
+  kVirtualDrop  ///< the virtual queue *drops* probe packets instead of
+                ///< marking them (footnote 14: same early signal as
+                ///< out-of-band marking, no ECN bits required)
+};
+
+/// Which scheduling band probe packets travel in.
+enum class ProbeBand {
+  kInBand,    ///< same priority as admission-controlled data
+  kOutOfBand  ///< below data, above best effort
+};
+
+/// The probing algorithm (§3.1).
+enum class ProbeAlgo {
+  kSimple,      ///< rate r for the whole probe; one final threshold check
+  kEarlyReject, ///< rate r; per-stage checks, reject on first breach
+  kSlowStart    ///< rate ramps r/16, r/8, r/4, r/2, r; per-stage checks
+};
+
+/// The probe traffic's shape (§3.1, last paragraph: probing can take the
+/// token-bucket depth b into account).
+enum class ProbeShape {
+  kPaced,         ///< evenly spaced packets at the probe rate (default)
+  kTokenBurst,    ///< b-byte back-to-back bursts, quiet for b/r between
+  kEffectiveRate  ///< paced at the (r, b) worst-case average over one
+                  ///< stage: r' = r + 8b / stage_seconds
+};
+
+/// One of the four prototype designs plus probing parameters.
+struct EacConfig {
+  SignalType signal = SignalType::kDrop;
+  ProbeBand band = ProbeBand::kInBand;
+  ProbeAlgo algo = ProbeAlgo::kSlowStart;
+  ProbeShape shape = ProbeShape::kPaced;
+
+  /// Stage length for slow-start / early-reject; the paper uses 1 s stages
+  /// and 5 of them (Figure 3's long-probe variant uses 5 s stages).
+  double stage_seconds = 1.0;
+  int stages = 5;
+
+  /// Wait after each stage before judging it, so in-flight packets are
+  /// counted as delivered rather than lost. Must exceed the worst-case
+  /// one-way delay: propagation plus a full buffer's queueing delay (a
+  /// 200 x 1000 B drop-tail at 10 Mbps holds 160 ms).
+  double decision_lag_seconds = 0.3;
+
+  /// For kSimple: how often to test whether the loss budget is already
+  /// exhausted ("once 51 packets are dropped the probing is halted").
+  double abort_check_seconds = 0.1;
+
+  double total_probe_seconds() const { return stage_seconds * stages; }
+
+  std::string name() const {
+    std::string n = signal == SignalType::kDrop    ? "drop"
+                    : signal == SignalType::kMark  ? "mark"
+                                                   : "vdrop";
+    n += band == ProbeBand::kInBand ? "-inband" : "-outofband";
+    return n;
+  }
+};
+
+/// The four prototype designs from §3.1, with the default slow-start probe.
+inline EacConfig drop_in_band() { return {}; }
+inline EacConfig drop_out_of_band() {
+  EacConfig c;
+  c.band = ProbeBand::kOutOfBand;
+  return c;
+}
+inline EacConfig mark_in_band() {
+  EacConfig c;
+  c.signal = SignalType::kMark;
+  return c;
+}
+inline EacConfig mark_out_of_band() {
+  EacConfig c;
+  c.signal = SignalType::kMark;
+  c.band = ProbeBand::kOutOfBand;
+  return c;
+}
+
+/// Footnote-14 variant: out-of-band probing where the router's virtual
+/// queue drops probe packets early instead of marking them. Same early
+/// congestion signal as out-of-band marking without needing ECN bits.
+inline EacConfig virtual_drop_out_of_band() {
+  EacConfig c;
+  c.signal = SignalType::kVirtualDrop;
+  c.band = ProbeBand::kOutOfBand;
+  return c;
+}
+
+/// The paper's epsilon sweeps: in-band designs use {0, .01 ... .05},
+/// out-of-band designs use {0, .05, .10, .15, .20}.
+inline constexpr double kInBandEpsilons[] = {0.0, 0.01, 0.02, 0.03, 0.04, 0.05};
+inline constexpr double kOutOfBandEpsilons[] = {0.0, 0.05, 0.10, 0.15, 0.20};
+
+}  // namespace eac

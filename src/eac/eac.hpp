@@ -1,0 +1,11 @@
+// Umbrella header: the public API of the endpoint admission control
+// library. Downstream users normally need only this plus the scenario
+// runner (scenario/runner.hpp) or the individual pieces they compose.
+#pragma once
+
+#include "eac/admission.hpp"        // FlowSpec, AdmissionPolicy
+#include "eac/config.hpp"           // the design space + named designs
+#include "eac/endpoint_policy.hpp"  // EndpointAdmission
+#include "eac/flow_manager.hpp"     // FlowClass, FlowManager
+#include "eac/probe_session.hpp"    // ProbeSession (single probes)
+#include "mbac/mbac_policy.hpp"     // the Measured Sum benchmark policy

@@ -1,0 +1,46 @@
+// AdmissionPolicy implementation backed by endpoint probing.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "eac/admission.hpp"
+#include "eac/config.hpp"
+#include "eac/probe_session.hpp"
+#include "net/topology.hpp"
+
+namespace eac {
+
+/// Runs one ProbeSession per admission request. Requests resolve after the
+/// probing delay (≈ total_probe_seconds, less on early reject/abort).
+class EndpointAdmission : public AdmissionPolicy {
+ public:
+  EndpointAdmission(sim::Simulator& sim, net::Topology& topo, EacConfig cfg)
+      : sim_{sim}, topo_{topo}, cfg_{cfg} {}
+
+  void request(const FlowSpec& spec,
+               std::function<void(bool)> decide) override {
+    const net::FlowId id = spec.flow;
+    auto session = std::make_unique<ProbeSession>(
+        sim_, cfg_, spec, topo_.node(spec.src), topo_.node(spec.dst),
+        [this, id, decide = std::move(decide)](bool admitted) {
+          probes_sent_ += sessions_.at(id)->probes_sent();
+          sessions_.erase(id);  // safe: verdict arrives via a fresh event
+          decide(admitted);
+        });
+    sessions_.emplace(id, std::move(session));
+  }
+
+  const EacConfig& config() const { return cfg_; }
+  std::size_t active_probes() const { return sessions_.size(); }
+  std::uint64_t probes_sent() const { return probes_sent_; }
+
+ private:
+  sim::Simulator& sim_;
+  net::Topology& topo_;
+  EacConfig cfg_;
+  std::unordered_map<net::FlowId, std::unique_ptr<ProbeSession>> sessions_;
+  std::uint64_t probes_sent_ = 0;
+};
+
+}  // namespace eac

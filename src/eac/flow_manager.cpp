@@ -1,0 +1,160 @@
+#include "eac/flow_manager.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace eac {
+
+namespace {
+// Stream-id spaces for derive_seed: keep arrival processes, lifetimes and
+// per-flow source randomness from colliding.
+constexpr std::uint64_t kArrivalStreamBase = 1'000;
+constexpr std::uint64_t kLifetimeStream = 2;
+constexpr std::uint64_t kSourceStreamBase = 1'000'000;
+}  // namespace
+
+FlowManager::FlowManager(sim::Simulator& sim, net::Topology& topo,
+                         AdmissionPolicy& policy, stats::FlowStats& stats,
+                         FlowManagerConfig cfg)
+    : sim_{sim},
+      topo_{topo},
+      policy_{policy},
+      stats_{stats},
+      cfg_{std::move(cfg)},
+      lifetime_rng_{cfg_.seed, kLifetimeStream},
+      retry_rng_{cfg_.seed, kLifetimeStream + 1} {
+  assert(!cfg_.classes.empty());
+  arrival_rng_.reserve(cfg_.classes.size());
+  for (std::size_t i = 0; i < cfg_.classes.size(); ++i) {
+    arrival_rng_.emplace_back(cfg_.seed, kArrivalStreamBase + i);
+  }
+}
+
+void FlowManager::start() {
+  if (cfg_.prewarm_bps > 0) {
+    // Offered data load of each class, to apportion the pre-warm target.
+    double offered_total = 0;
+    std::vector<double> offered(cfg_.classes.size());
+    for (std::size_t i = 0; i < cfg_.classes.size(); ++i) {
+      const FlowClass& c = cfg_.classes[i];
+      const double per_flow = c.kind == SourceKind::kOnOff
+                                  ? c.onoff.average_rate_bps()
+                                  : c.probe_rate_bps * 0.45;  // trace average
+      offered[i] = c.arrival_rate_per_s * cfg_.mean_lifetime_s * per_flow;
+      offered_total += offered[i];
+    }
+    for (std::size_t i = 0; i < cfg_.classes.size(); ++i) {
+      const FlowClass& c = cfg_.classes[i];
+      const double per_flow = c.kind == SourceKind::kOnOff
+                                  ? c.onoff.average_rate_bps()
+                                  : c.probe_rate_bps * 0.45;
+      const double share = cfg_.prewarm_bps * offered[i] / offered_total;
+      const int count = static_cast<int>(share / per_flow);
+      for (int k = 0; k < count; ++k) admit(c, next_flow_++);
+    }
+  }
+  for (std::size_t i = 0; i < cfg_.classes.size(); ++i) schedule_arrival(i);
+}
+
+void FlowManager::schedule_arrival(std::size_t class_idx) {
+  const double mean = 1.0 / cfg_.classes[class_idx].arrival_rate_per_s;
+  sim_.schedule_after(
+      sim::SimTime::seconds(arrival_rng_[class_idx].exponential(mean)),
+      [this, class_idx] { on_arrival(class_idx); });
+}
+
+void FlowManager::on_arrival(std::size_t class_idx) {
+  schedule_arrival(class_idx);  // renew the Poisson process
+  attempt(class_idx, next_flow_++, 0);
+}
+
+void FlowManager::attempt(std::size_t class_idx, net::FlowId id,
+                          int attempt_no) {
+  const FlowClass& cls = cfg_.classes[class_idx];
+  FlowSpec spec;
+  spec.flow = id;
+  spec.group = cls.group;
+  spec.src = cls.src;
+  spec.dst = cls.dst;
+  spec.rate_bps = cls.probe_rate_bps;
+  spec.bucket_bytes =
+      cls.bucket_bytes > 0 ? cls.bucket_bytes : cls.packet_size;
+  spec.packet_size = cls.packet_size;
+  spec.epsilon = cls.epsilon;
+
+  policy_.request(spec, [this, class_idx, id, attempt_no](bool admitted) {
+    const FlowClass& c = cfg_.classes[class_idx];
+    stats_.record_decision(c.group, admitted);
+    if (admitted) {
+      admit(c, id);
+      return;
+    }
+    if (attempt_no < cfg_.max_retries) {
+      ++retries_;
+      const double backoff = cfg_.retry_backoff_s *
+                             std::pow(2.0, attempt_no) *
+                             (0.5 + retry_rng_.uniform());
+      sim_.schedule_after(sim::SimTime::seconds(backoff),
+                          [this, class_idx, id, attempt_no] {
+                            attempt(class_idx, id, attempt_no + 1);
+                          });
+    } else if (cfg_.max_retries > 0) {
+      ++gave_up_;
+    }
+  });
+}
+
+void FlowManager::admit(const FlowClass& cls, net::FlowId id) {
+  traffic::SourceIdentity ident;
+  ident.flow = id;
+  ident.src = cls.src;
+  ident.dst = cls.dst;
+  ident.packet_size = cls.packet_size;
+  ident.type = net::PacketType::kData;
+  ident.band = 0;
+  ident.ecn_capable = true;
+
+  ActiveFlow flow;
+  flow.dst = cls.dst;
+  flow.sink = std::make_unique<DataSink>(sim_, stats_, cls.group);
+
+  net::PacketHandler& entry = topo_.node(cls.src);
+  if (cls.kind == SourceKind::kOnOff) {
+    flow.source = std::make_unique<traffic::OnOffSource>(
+        sim_, ident, entry, cls.onoff, cfg_.seed, kSourceStreamBase + id);
+  } else {
+    assert(cls.trace != nullptr);
+    sim::RandomStream offset_rng{cfg_.seed, kSourceStreamBase + id};
+    const std::size_t start_frame = offset_rng.integer(cls.trace->size());
+    flow.source = std::make_unique<traffic::TraceSource>(
+        sim_, ident, entry, *cls.trace, cls.trace_fps,
+        traffic::kTraceTokenRateBps, traffic::kTraceBucketBytes, start_frame);
+  }
+  flow.source->set_on_send([this, group = cls.group](const net::Packet&) {
+    stats_.record_data_sent(group);
+  });
+
+  topo_.node(cls.dst).attach_sink(id, flow.sink.get());
+  flow.source->start();
+  active_.emplace(id, std::move(flow));
+
+  const double life = lifetime_rng_.exponential(cfg_.mean_lifetime_s);
+  sim_.schedule_after(sim::SimTime::seconds(life), [this, id] { depart(id); });
+}
+
+void FlowManager::depart(net::FlowId id) {
+  auto it = active_.find(id);
+  if (it == active_.end()) return;
+  it->second.source->stop();
+  // Keep the sink attached briefly so in-flight packets are delivered and
+  // counted; then release everything.
+  sim_.schedule_after(
+      sim::SimTime::seconds(cfg_.drain_seconds), [this, id] {
+        auto iter = active_.find(id);
+        if (iter == active_.end()) return;
+        topo_.node(iter->second.dst).detach_sink(id);
+        active_.erase(iter);
+      });
+}
+
+}  // namespace eac

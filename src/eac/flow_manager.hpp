@@ -1,0 +1,124 @@
+// Flow population dynamics: Poisson arrivals, admission, data transfer,
+// exponential departure (§3.2 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "eac/admission.hpp"
+#include "net/topology.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "stats/flow_stats.hpp"
+#include "traffic/onoff_source.hpp"
+#include "traffic/catalog.hpp"
+#include "traffic/trace.hpp"
+
+namespace eac {
+
+/// What kind of data traffic an admitted flow sends.
+enum class SourceKind { kOnOff, kTrace };
+
+/// One class of flows: its own Poisson arrival process, source model,
+/// endpoints, probe rate and threshold, and reporting group.
+struct FlowClass {
+  double arrival_rate_per_s = 1.0 / 3.5;
+  net::NodeId src = 0;
+  net::NodeId dst = 1;
+  SourceKind kind = SourceKind::kOnOff;
+  traffic::OnOffParams onoff = {};
+  std::shared_ptr<const std::vector<std::uint32_t>> trace;  ///< kTrace only
+  double trace_fps = 24.0;
+  std::uint32_t packet_size = 125;
+  double probe_rate_bps = 256'000;  ///< token rate r (= burst rate, Table 1)
+  double bucket_bytes = 0;          ///< token depth b; 0 = one packet
+  double epsilon = 0.0;
+  int group = 0;
+};
+
+struct FlowManagerConfig {
+  std::vector<FlowClass> classes;
+  double mean_lifetime_s = 300.0;
+  std::uint64_t seed = 1;
+  /// Grace period after a flow departs before its sink detaches, so
+  /// in-flight packets are not miscounted as lost.
+  double drain_seconds = 1.0;
+
+  /// Retry behaviour for rejected flows. The paper's simulations do not
+  /// retry ("retrying flows would merely make tau effectively larger");
+  /// footnote 10 recommends exponential back-off, which this implements:
+  /// a rejected flow re-probes after retry_backoff_s * 2^attempt, with
+  /// +-50 % jitter, up to max_retries times before giving up.
+  int max_retries = 0;
+  double retry_backoff_s = 5.0;
+
+  /// Pre-populate the system at t=0 with already-admitted flows carrying
+  /// roughly this much data load (bps), split across classes by offered
+  /// load. Cuts the warm-up needed to reach steady state from several
+  /// flow lifetimes to a fraction of one; 0 disables. Pre-warmed flows
+  /// bypass admission and are never counted (measurement starts later).
+  double prewarm_bps = 0;
+};
+
+/// Drives the whole flow population against one AdmissionPolicy and
+/// records outcomes into FlowStats.
+class FlowManager {
+ public:
+  FlowManager(sim::Simulator& sim, net::Topology& topo,
+              AdmissionPolicy& policy, stats::FlowStats& stats,
+              FlowManagerConfig cfg);
+
+  /// Begin all arrival processes (and pre-warm the population if asked).
+  void start();
+
+  std::size_t active_flows() const { return active_.size(); }
+  std::uint64_t flows_created() const { return next_flow_; }
+  std::uint64_t retries() const { return retries_; }
+  std::uint64_t gave_up() const { return gave_up_; }
+
+ private:
+  /// Sink for an admitted flow's data packets.
+  class DataSink : public net::PacketHandler {
+   public:
+    DataSink(sim::Simulator& sim, stats::FlowStats& stats, int group)
+        : sim_{sim}, stats_{stats}, group_{group} {}
+    void handle(net::Packet p) override {
+      stats_.record_data_received(group_, p.ecn_marked);
+      stats_.record_delay((sim_.now() - p.created).to_seconds());
+    }
+
+   private:
+    sim::Simulator& sim_;
+    stats::FlowStats& stats_;
+    int group_;
+  };
+
+  struct ActiveFlow {
+    std::unique_ptr<traffic::TrafficSource> source;
+    std::unique_ptr<DataSink> sink;
+    net::NodeId dst;
+  };
+
+  void schedule_arrival(std::size_t class_idx);
+  void on_arrival(std::size_t class_idx);
+  void attempt(std::size_t class_idx, net::FlowId id, int attempt_no);
+  void admit(const FlowClass& cls, net::FlowId id);
+  void depart(net::FlowId id);
+
+  sim::Simulator& sim_;
+  net::Topology& topo_;
+  AdmissionPolicy& policy_;
+  stats::FlowStats& stats_;
+  FlowManagerConfig cfg_;
+  std::vector<sim::RandomStream> arrival_rng_;
+  sim::RandomStream lifetime_rng_;
+  sim::RandomStream retry_rng_;
+  net::FlowId next_flow_ = 1;
+  std::uint64_t retries_ = 0;
+  std::uint64_t gave_up_ = 0;
+  std::unordered_map<net::FlowId, ActiveFlow> active_;
+};
+
+}  // namespace eac

@@ -1,0 +1,68 @@
+// Passive egress admission control (the [5]-style design the paper's
+// introduction discusses): the endpoint is an *edge router* that
+// passively monitors the path's load instead of actively probing.
+//
+// The paper excludes this design from its deployability envelope (hosts
+// cannot monitor passively) but names its two advantages: more accurate
+// estimates and zero probing delay. We implement it as an extension so
+// those advantages can be quantified against active probing: admission
+// is instantaneous, based on the egress link's passively measured data
+// throughput plus a bank of recent admissions - operationally a Measured
+// Sum estimator owned by the edge instead of the router, with no
+// router cooperation required beyond forwarding.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "eac/admission.hpp"
+#include "mbac/measured_sum.hpp"
+
+namespace eac {
+
+class PassiveEgressAdmission : public AdmissionPolicy {
+ public:
+  /// `watch` lists the links the egress can observe (its own access links
+  /// and, in a single-bottleneck deployment, the bottleneck itself).
+  /// `share_bps` is the admission-controlled allocation on the observed
+  /// path and `headroom` the utilization target within it.
+  PassiveEgressAdmission(sim::Simulator& sim,
+                         std::vector<net::Link*> watch, double share_bps,
+                         double headroom = 0.9)
+      : share_bps_{share_bps}, headroom_{headroom} {
+    mbac::MeasuredSumConfig cfg;
+    cfg.target_utilization = 1.0;  // we scale against share_bps ourselves
+    for (net::Link* l : watch) {
+      estimators_.push_back(
+          std::make_unique<mbac::MeasuredSumEstimator>(sim, *l, cfg));
+    }
+  }
+
+  void request(const FlowSpec& spec,
+               std::function<void(bool)> decide) override {
+    for (const auto& est : estimators_) {
+      if (est->estimate_bps() + spec.rate_bps > headroom_ * share_bps_) {
+        decide(false);
+        return;
+      }
+    }
+    for (const auto& est : estimators_) est->on_admit(spec.rate_bps);
+    decide(true);
+  }
+
+  double estimate_bps() const {
+    double worst = 0;
+    for (const auto& est : estimators_) {
+      if (est->estimate_bps() > worst) worst = est->estimate_bps();
+    }
+    return worst;
+  }
+
+ private:
+  std::vector<std::unique_ptr<mbac::MeasuredSumEstimator>> estimators_;
+  double share_bps_;
+  double headroom_;
+};
+
+}  // namespace eac

@@ -1,0 +1,79 @@
+// One endpoint admission probe: send probe packets along the flow's path,
+// watch what comes back, decide.
+//
+// The session registers itself as the receiving host for the flow id at
+// the destination node, runs the configured probing algorithm, and calls
+// the completion callback with the verdict. Per the paper, the receiving
+// host records losses/marks and communicates the decision; we model that
+// by judging each stage `decision_lag` after it ends so in-flight probe
+// packets have arrived.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "eac/admission.hpp"
+#include "eac/config.hpp"
+#include "net/node.hpp"
+#include "sim/simulator.hpp"
+#include "traffic/burst_source.hpp"
+#include "traffic/cbr_source.hpp"
+
+namespace eac {
+
+class ProbeSession : public net::PacketHandler {
+ public:
+  /// `entry` is where the sending host injects packets (its access node);
+  /// `dst_node` is the receiving host's node, where the sink registers.
+  /// `done` is called exactly once, via a scheduled event, after which the
+  /// session is inert and may be destroyed.
+  ProbeSession(sim::Simulator& sim, const EacConfig& cfg, const FlowSpec& spec,
+               net::PacketHandler& entry, net::Node& dst_node,
+               std::function<void(bool)> done);
+  ~ProbeSession() override;
+
+  ProbeSession(const ProbeSession&) = delete;
+  ProbeSession& operator=(const ProbeSession&) = delete;
+
+  /// Receiving-host path: count arriving probe packets and marks.
+  void handle(net::Packet p) override;
+
+  /// Probe traffic this session has emitted (for overhead accounting).
+  std::uint64_t probes_sent() const;
+
+ private:
+  struct Stage {
+    std::uint64_t first_seq = 0;  ///< seq of the first packet of the stage
+    std::uint64_t sent = 0;       ///< filled in when the stage ends
+    std::uint64_t received = 0;
+    std::uint64_t marked = 0;
+    bool closed = false;
+  };
+
+  double stage_rate(int stage) const;
+  void start_stage(int stage);
+  void end_stage(int stage);
+  void judge_stage(int stage);
+  void abort_check();
+  void finish(bool admitted);
+  double signal_fraction(const Stage& s) const;
+
+  sim::Simulator& sim_;
+  EacConfig cfg_;
+  FlowSpec spec_;
+  net::Node& dst_node_;
+  std::function<void(bool)> done_;
+  std::unique_ptr<traffic::AdjustableSource> sender_;
+  std::vector<Stage> stages_;
+  int current_stage_ = -1;
+  std::uint64_t total_received_ = 0;
+  std::uint64_t total_marked_ = 0;
+  std::uint64_t planned_total_ = 0;  ///< packets a full probe would send
+  sim::EventId abort_timer_ = 0;
+  std::vector<sim::EventId> pending_events_;  ///< stage end/judge timers
+  bool finished_ = false;
+};
+
+}  // namespace eac

@@ -1,0 +1,91 @@
+#include "fluid/fluid_model.hpp"
+
+#include <cassert>
+
+#include "sim/random.hpp"
+
+namespace eac::fluid {
+
+FluidResult run_fluid_model(const FluidConfig& cfg) {
+  sim::RandomStream rng{cfg.seed, 77};
+
+  const double r = cfg.flow_rate_bps;
+  const double cap_flows = cfg.capacity_bps / r;  // C/r, may be fractional
+  const double lambda = cfg.arrival_rate_per_s;
+  const double mu = 1.0 / cfg.mean_lifetime_s;
+  const double nu = 1.0 / cfg.mean_probe_s;
+  const double abandon_prob = cfg.persistent ? 1.0 / cfg.mean_attempts : 1.0;
+
+  double n = 0;   // admitted data flows
+  double m = 0;   // probing flows
+  double t = 0;
+  const double warmup = cfg.horizon_s * cfg.warmup_fraction;
+
+  FluidResult res;
+  double util_integral = 0;       // integral of n*r dt
+  double data_loss_integral = 0;  // integral of n*r*f dt
+  double probers_integral = 0;
+  double flows_integral = 0;
+  double measured_time = 0;
+  std::uint64_t rejected = 0;
+
+  while (t < cfg.horizon_s) {
+    const double rate_arrival = lambda;
+    const double rate_depart = n * mu;
+    const double rate_probe_done = m * nu;
+    const double total_rate = rate_arrival + rate_depart + rate_probe_done;
+    assert(total_rate > 0);
+
+    const double dt = rng.exponential(1.0 / total_rate);
+    // Accumulate time-weighted metrics over [t, t+dt) (state is constant).
+    if (t >= warmup) {
+      const double load = (n + m) * r;
+      const double f =
+          load > cfg.capacity_bps ? 1.0 - cfg.capacity_bps / load : 0.0;
+      util_integral += n * r * dt;
+      data_loss_integral += n * r * f * dt;
+      probers_integral += m * dt;
+      flows_integral += n * dt;
+      measured_time += dt;
+    }
+    t += dt;
+
+    double u = rng.uniform() * total_rate;
+    if (u < rate_arrival) {
+      m += 1;
+      ++res.arrivals;
+    } else if ((u -= rate_arrival) < rate_depart) {
+      n -= 1;
+    } else {
+      // A probe attempt completes. Perfect measurement: the prober reads
+      // the fluid load level exactly; the probe (itself part of the load)
+      // succeeds iff the total load fits, i.e. the measured loss fraction
+      // is <= eps = 0.
+      if ((n + m) * r <= cfg.capacity_bps) {
+        m -= 1;
+        n += 1;
+        ++res.admissions;
+      } else if (rng.uniform() < abandon_prob) {
+        m -= 1;  // gave up after a geometric number of attempts
+        ++rejected;
+      }
+      // Otherwise the rejected flow immediately starts another probe.
+    }
+  }
+
+  if (measured_time > 0) {
+    res.utilization = util_integral / (cfg.capacity_bps * measured_time);
+    res.in_band_loss =
+        util_integral > 0 ? data_loss_integral / util_integral : 0.0;
+    res.mean_probers = probers_integral / measured_time;
+    res.mean_flows = flows_integral / measured_time;
+  }
+  res.blocking = res.arrivals > 0
+                     ? static_cast<double>(rejected) /
+                           static_cast<double>(res.arrivals)
+                     : 0.0;
+  (void)cap_flows;
+  return res;
+}
+
+}  // namespace eac::fluid

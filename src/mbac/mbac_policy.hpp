@@ -1,0 +1,44 @@
+// AdmissionPolicy adapter for Measured Sum over one or more hops.
+//
+// Unlike endpoint probing, the router-based MBAC answers immediately: the
+// request is checked against the estimator of every congested link on the
+// flow's path (requests at a router are serialized, so there is no
+// simultaneous-probe race). On success the rate is registered at each hop.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "eac/admission.hpp"
+#include "mbac/measured_sum.hpp"
+
+namespace eac::mbac {
+
+class MbacPolicy : public AdmissionPolicy {
+ public:
+  /// `path_of` maps (src, dst) to the estimators of the congested links on
+  /// that path, in order.
+  using PathFn = std::function<std::vector<MeasuredSumEstimator*>(
+      net::NodeId, net::NodeId)>;
+
+  explicit MbacPolicy(PathFn path_of) : path_of_{std::move(path_of)} {}
+
+  void request(const FlowSpec& spec,
+               std::function<void(bool)> decide) override {
+    const auto path = path_of_(spec.src, spec.dst);
+    for (MeasuredSumEstimator* hop : path) {
+      if (!hop->fits(spec.rate_bps)) {
+        decide(false);
+        return;
+      }
+    }
+    for (MeasuredSumEstimator* hop : path) hop->on_admit(spec.rate_bps);
+    decide(true);
+  }
+
+ private:
+  PathFn path_of_;
+};
+
+}  // namespace eac::mbac

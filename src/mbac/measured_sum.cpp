@@ -1,0 +1,37 @@
+#include "mbac/measured_sum.hpp"
+
+#include <algorithm>
+
+namespace eac::mbac {
+
+MeasuredSumEstimator::MeasuredSumEstimator(sim::Simulator& sim,
+                                           net::Link& link,
+                                           MeasuredSumConfig cfg)
+    : sim_{sim}, link_{link}, cfg_{cfg} {
+  window_.assign(static_cast<std::size_t>(cfg_.window_samples), 0.0);
+  sim_.schedule_after(sim::SimTime::seconds(cfg_.sample_period_s),
+                      [this] { sample(); });
+}
+
+void MeasuredSumEstimator::sample() {
+  const std::uint64_t bytes =
+      link_.counters().bytes(net::PacketType::kData);
+  const double rate =
+      static_cast<double>(bytes - last_bytes_) * 8.0 / cfg_.sample_period_s;
+  last_bytes_ = bytes;
+  window_[next_slot_] = rate;
+  next_slot_ = (next_slot_ + 1) % window_.size();
+  ++samples_taken_;
+  // Once a full window has elapsed since the last burst of admissions, the
+  // measurement reflects those flows; drop the boost.
+  if (samples_taken_ % window_.size() == 0) boost_bps_ = 0;
+  sim_.schedule_after(sim::SimTime::seconds(cfg_.sample_period_s),
+                      [this] { sample(); });
+}
+
+double MeasuredSumEstimator::estimate_bps() const {
+  const double peak = *std::max_element(window_.begin(), window_.end());
+  return peak + boost_bps_;
+}
+
+}  // namespace eac::mbac

@@ -1,0 +1,59 @@
+// Measured Sum: the traditional per-hop measurement-based admission
+// control algorithm of Jamin, Shenker & Danzig (INFOCOM '97), used by the
+// paper as its benchmark (§3.1).
+//
+// Each congested link runs an estimator: the link's admission-controlled
+// data throughput is sampled every S; the load estimate is the maximum of
+// the samples in a sliding window of T = N*S. A new flow with token rate
+// r is admitted iff  estimate + boost + r <= u * C, where u is the
+// utilization target and `boost` is the sum of rates of flows admitted
+// since the estimate last caught up (the immediate nu <- nu + r rule).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/link.hpp"
+#include "sim/simulator.hpp"
+
+namespace eac::mbac {
+
+struct MeasuredSumConfig {
+  double sample_period_s = 0.1;   ///< S
+  int window_samples = 20;        ///< N; window T = N*S = 2 s
+  double target_utilization = 0.9;  ///< u
+};
+
+class MeasuredSumEstimator {
+ public:
+  /// Attaches to `link`; starts sampling immediately.
+  MeasuredSumEstimator(sim::Simulator& sim, net::Link& link,
+                       MeasuredSumConfig cfg);
+
+  /// Current load estimate in bps (max-of-window plus admission boost).
+  double estimate_bps() const;
+
+  /// Would a flow of rate r fit? Does not reserve.
+  bool fits(double r_bps) const {
+    return estimate_bps() + r_bps <= cfg_.target_utilization * link_.rate_bps();
+  }
+
+  /// Record an admission (nu <- nu + r until the measurement catches up).
+  void on_admit(double r_bps) { boost_bps_ += r_bps; }
+
+  const net::Link& link() const { return link_; }
+
+ private:
+  void sample();
+
+  sim::Simulator& sim_;
+  net::Link& link_;
+  MeasuredSumConfig cfg_;
+  std::vector<double> window_;  ///< ring buffer of per-sample rates (bps)
+  std::size_t next_slot_ = 0;
+  std::uint64_t samples_taken_ = 0;
+  std::uint64_t last_bytes_ = 0;
+  double boost_bps_ = 0;
+};
+
+}  // namespace eac::mbac

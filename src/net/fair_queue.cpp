@@ -1,0 +1,67 @@
+#include "net/fair_queue.hpp"
+
+namespace eac::net {
+
+bool FairQueue::enqueue(Packet p, sim::SimTime /*now*/) {
+  if (count_ >= limit_) {
+    // Drop from the longest queue so one flow cannot monopolize the
+    // buffer (longest-queue-drop, the usual FQ companion policy). If the
+    // arriving flow already owns the longest queue, the arrival is dropped.
+    FlowId longest = p.flow;
+    std::size_t longest_len = flows_[p.flow].q.size() + 1;
+    for (const auto& [id, st] : flows_) {
+      if (st.q.size() > longest_len) {
+        longest = id;
+        longest_len = st.q.size();
+      }
+    }
+    if (longest == p.flow) {
+      record_drop(p);
+      return false;
+    }
+    auto& victim = flows_[longest];
+    record_drop(victim.q.back());
+    victim.q.pop_back();
+    --count_;
+  }
+  auto& st = flows_[p.flow];
+  st.q.push_back(p);
+  ++count_;
+  if (!st.active) {
+    st.active = true;
+    st.deficit = 0;
+    active_.push_back(p.flow);
+  }
+  return true;
+}
+
+std::optional<Packet> FairQueue::dequeue(sim::SimTime /*now*/) {
+  while (!active_.empty()) {
+    const FlowId id = active_.front();
+    auto& st = flows_[id];
+    if (st.q.empty()) {
+      st.active = false;
+      active_.pop_front();
+      continue;
+    }
+    if (st.deficit < st.q.front().size_bytes) {
+      st.deficit += quantum_;
+      active_.pop_front();
+      active_.push_back(id);
+      continue;
+    }
+    Packet p = st.q.front();
+    st.q.pop_front();
+    st.deficit -= p.size_bytes;
+    --count_;
+    if (st.q.empty()) {
+      st.active = false;
+      st.deficit = 0;
+      active_.pop_front();
+    }
+    return p;
+  }
+  return std::nullopt;
+}
+
+}  // namespace eac::net

@@ -1,0 +1,46 @@
+// Per-flow fair queueing via Deficit Round Robin.
+//
+// The architectural study (§2.1.1) shows fair queueing is *unsuitable* for
+// admission-controlled traffic: its isolation lets late small flows be
+// admitted while starving already-accepted larger flows ("stolen
+// bandwidth"). We implement DRR so that claim can be demonstrated
+// (bench/ablation_fq_stealing) rather than taken on faith.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "net/queue_disc.hpp"
+
+namespace eac::net {
+
+class FairQueue : public QueueDisc {
+ public:
+  /// `limit_packets` bounds the total buffer; `quantum_bytes` is the DRR
+  /// quantum (>= max packet size for O(1) behaviour).
+  FairQueue(std::size_t limit_packets, std::uint32_t quantum_bytes)
+      : limit_{limit_packets}, quantum_{quantum_bytes} {}
+
+  bool enqueue(Packet p, sim::SimTime now) override;
+  std::optional<Packet> dequeue(sim::SimTime now) override;
+  bool empty() const override { return count_ == 0; }
+  std::size_t packet_count() const override { return count_; }
+
+ private:
+  struct FlowState {
+    std::deque<Packet> q;
+    std::uint32_t deficit = 0;
+    bool active = false;
+  };
+
+  std::size_t limit_;
+  std::uint32_t quantum_;
+  std::size_t count_ = 0;
+  std::unordered_map<FlowId, FlowState> flows_;
+  std::list<FlowId> active_;  ///< round-robin order of backlogged flows
+};
+
+}  // namespace eac::net

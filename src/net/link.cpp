@@ -1,0 +1,71 @@
+#include "net/link.hpp"
+
+#include <utility>
+
+namespace eac::net {
+
+Link::Link(sim::Simulator& sim, std::string name, double rate_bps,
+           sim::SimTime prop_delay, std::unique_ptr<QueueDisc> queue)
+    : sim_{sim},
+      name_{std::move(name)},
+      rate_bps_{rate_bps},
+      prop_delay_{prop_delay},
+      queue_{std::move(queue)} {}
+
+void Link::handle(Packet p) {
+  if (queue_->enqueue(p, sim_.now()) && !busy_) try_transmit();
+}
+
+void Link::try_transmit() {
+  if (busy_ || queue_->empty()) return;
+  const sim::SimTime now = sim_.now();
+  const sim::SimTime ready = queue_->next_ready(now);
+  if (ready > now) {
+    if (!retry_pending_) {
+      retry_pending_ = true;
+      sim_.schedule_at(ready, [this] {
+        retry_pending_ = false;
+        try_transmit();
+      });
+    }
+    return;
+  }
+  std::optional<Packet> p = queue_->dequeue(now);
+  if (!p) {
+    // The discipline declined even though next_ready() allowed it (a
+    // rate limiter's floating-point edge). Retry shortly so a backlogged
+    // queue can never stall the link permanently.
+    if (!queue_->empty() && !retry_pending_) {
+      retry_pending_ = true;
+      sim_.schedule_after(sim::SimTime::microseconds(100), [this] {
+        retry_pending_ = false;
+        try_transmit();
+      });
+    }
+    return;
+  }
+  busy_ = true;
+  const sim::SimTime tx = sim::transmission_time(p->size_bytes, rate_bps_);
+  sim_.schedule_after(tx, [this, pkt = *p] { on_tx_complete(pkt); });
+}
+
+void Link::on_tx_complete(Packet p) {
+  busy_ = false;
+  all_.count(p);
+  if (measuring_) measured_.count(p);
+  if (tx_observer_) tx_observer_(p, sim_.now());
+  if (dst_ != nullptr) {
+    sim_.schedule_after(prop_delay_, [dst = dst_, p] { dst->handle(p); });
+  }
+  try_transmit();
+}
+
+double Link::measured_data_utilization(sim::SimTime end, double share_bps) const {
+  const double share = share_bps > 0 ? share_bps : rate_bps_;
+  const double secs = (end - measure_start_).to_seconds();
+  if (secs <= 0) return 0;
+  return static_cast<double>(measured_.bytes(PacketType::kData)) * 8.0 /
+         (share * secs);
+}
+
+}  // namespace eac::net

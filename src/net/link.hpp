@@ -1,0 +1,93 @@
+// A unidirectional link: serialization at a fixed rate, propagation delay,
+// and an attached queue discipline.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/packet.hpp"
+#include "net/queue_disc.hpp"
+#include "sim/simulator.hpp"
+
+namespace eac::net {
+
+/// Byte/packet counters kept per logical packet type.
+struct LinkCounters {
+  std::array<std::uint64_t, 3> tx_bytes{};
+  std::array<std::uint64_t, 3> tx_packets{};
+
+  std::uint64_t bytes(PacketType t) const {
+    return tx_bytes[static_cast<std::size_t>(t)];
+  }
+  std::uint64_t packets(PacketType t) const {
+    return tx_packets[static_cast<std::size_t>(t)];
+  }
+  void count(const Packet& p) {
+    tx_bytes[static_cast<std::size_t>(p.type)] += p.size_bytes;
+    ++tx_packets[static_cast<std::size_t>(p.type)];
+  }
+};
+
+class Link : public PacketHandler {
+ public:
+  Link(sim::Simulator& sim, std::string name, double rate_bps,
+       sim::SimTime prop_delay, std::unique_ptr<QueueDisc> queue);
+
+  void set_destination(PacketHandler* dst) { dst_ = dst; }
+
+  /// Offer a packet to the queue; starts transmission if idle.
+  void handle(Packet p) override;
+
+  double rate_bps() const { return rate_bps_; }
+  const std::string& name() const { return name_; }
+  QueueDisc& queue() { return *queue_; }
+  const QueueDisc& queue() const { return *queue_; }
+
+  /// Lifetime counters plus counters restricted to the measurement period.
+  const LinkCounters& counters() const { return all_; }
+  const LinkCounters& measured() const { return measured_; }
+
+  /// Observe every transmitted packet (tracing, custom accounting). The
+  /// observer runs after the packet's transmission completes.
+  void set_tx_observer(std::function<void(const Packet&, sim::SimTime)> fn) {
+    tx_observer_ = std::move(fn);
+  }
+
+  /// Begin the measurement period: from `now` on, transmissions also count
+  /// into measured(). Used to discard warm-up.
+  void begin_measurement() {
+    measuring_ = true;
+    measured_ = LinkCounters{};
+    measure_start_ = sim_.now();
+  }
+  sim::SimTime measure_start() const { return measure_start_; }
+
+  /// Utilization of this link by admission-controlled data during the
+  /// measurement period (probe and best-effort bytes excluded), relative
+  /// to `share_bps` (defaults to the full link rate).
+  double measured_data_utilization(sim::SimTime end, double share_bps = 0) const;
+
+  NodeId from = 0, to = 0;  ///< endpoints, filled in by Topology
+
+ private:
+  void try_transmit();
+  void on_tx_complete(Packet p);
+
+  sim::Simulator& sim_;
+  std::string name_;
+  double rate_bps_;
+  sim::SimTime prop_delay_;
+  std::unique_ptr<QueueDisc> queue_;
+  PacketHandler* dst_ = nullptr;
+  bool busy_ = false;
+  bool retry_pending_ = false;
+  bool measuring_ = false;
+  sim::SimTime measure_start_;
+  LinkCounters all_;
+  LinkCounters measured_;
+  std::function<void(const Packet&, sim::SimTime)> tx_observer_;
+};
+
+}  // namespace eac::net

@@ -1,0 +1,42 @@
+// Decorator that adds virtual-queue ECN marking to any queue discipline.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "net/queue_disc.hpp"
+#include "net/virtual_queue.hpp"
+
+namespace eac::net {
+
+/// Wraps an inner discipline; every arriving ECN-capable packet is first
+/// offered to the virtual queue, and marked if the virtual queue would
+/// have dropped it. The real queue then enqueues (and possibly drops) the
+/// packet as usual.
+class MarkingQueue : public QueueDisc {
+ public:
+  MarkingQueue(std::unique_ptr<QueueDisc> inner, double virtual_rate_bps,
+               double buffer_bytes, std::size_t bands)
+      : inner_{std::move(inner)},
+        marker_{virtual_rate_bps, buffer_bytes, bands} {}
+
+  bool enqueue(Packet p, sim::SimTime now) override {
+    if (p.ecn_capable && marker_.on_arrival(p, now)) p.ecn_marked = true;
+    return inner_->enqueue(p, now);
+  }
+  std::optional<Packet> dequeue(sim::SimTime now) override {
+    return inner_->dequeue(now);
+  }
+  bool empty() const override { return inner_->empty(); }
+  std::size_t packet_count() const override { return inner_->packet_count(); }
+  const QueueDropStats& drops() const override { return inner_->drops(); }
+
+  const QueueDisc& inner() const { return *inner_; }
+  const VirtualQueueMarker& marker() const { return marker_; }
+
+ private:
+  std::unique_ptr<QueueDisc> inner_;
+  VirtualQueueMarker marker_;
+};
+
+}  // namespace eac::net

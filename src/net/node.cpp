@@ -1,0 +1,28 @@
+#include "net/node.hpp"
+
+namespace eac::net {
+
+void Node::set_route(NodeId dst, PacketHandler* next_hop) {
+  if (routes_.size() <= dst) routes_.resize(dst + 1, nullptr);
+  routes_[dst] = next_hop;
+}
+
+void Node::handle(Packet p) {
+  if (p.dst == id_) {
+    auto it = sinks_.find(p.flow);
+    if (it == sinks_.end()) {
+      ++undeliverable_;
+      return;
+    }
+    it->second->handle(p);
+    return;
+  }
+  PacketHandler* next = p.dst < routes_.size() ? routes_[p.dst] : nullptr;
+  if (next == nullptr) {
+    ++undeliverable_;
+    return;
+  }
+  next->handle(p);
+}
+
+}  // namespace eac::net

@@ -1,0 +1,39 @@
+// A routing node. Forwards by destination node id; delivers local packets
+// to per-flow sinks.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace eac::net {
+
+class Node : public PacketHandler {
+ public:
+  explicit Node(NodeId id) : id_{id} {}
+
+  NodeId id() const { return id_; }
+
+  /// Install the next hop towards `dst`.
+  void set_route(NodeId dst, PacketHandler* next_hop);
+
+  /// Register/remove the local delivery target for a flow. Packets for a
+  /// flow with no sink (e.g. a departed flow draining from queues) are
+  /// counted and discarded.
+  void attach_sink(FlowId flow, PacketHandler* sink) { sinks_[flow] = sink; }
+  void detach_sink(FlowId flow) { sinks_.erase(flow); }
+
+  void handle(Packet p) override;
+
+  std::uint64_t undeliverable() const { return undeliverable_; }
+
+ private:
+  NodeId id_;
+  std::vector<PacketHandler*> routes_;
+  std::unordered_map<FlowId, PacketHandler*> sinks_;
+  std::uint64_t undeliverable_ = 0;
+};
+
+}  // namespace eac::net

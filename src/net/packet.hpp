@@ -1,0 +1,56 @@
+// Packet model shared by every subsystem.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace eac::net {
+
+/// Logical packet type. Distinct from the scheduling band: in-band probing
+/// puts probe packets in the *same* band as data, yet they must still be
+/// excluded from utilization accounting and counted by probe receivers.
+enum class PacketType : std::uint8_t {
+  kData = 0,       ///< admission-controlled data
+  kProbe = 1,      ///< admission probe traffic
+  kBestEffort = 2  ///< best-effort (e.g. TCP) traffic
+};
+
+/// TCP header flags packed into Packet::tcp_flags.
+enum TcpFlag : std::uint8_t {
+  kTcpAck = 1 << 0,
+  kTcpSyn = 1 << 1,
+  kTcpFin = 1 << 2,
+};
+
+/// Identifiers are plain integers: the simulator assigns node ids densely
+/// from 0 and flow ids globally uniquely.
+using NodeId = std::uint32_t;
+using FlowId = std::uint32_t;
+
+/// A simulated packet. Passed by value; kept trivially copyable.
+struct Packet {
+  FlowId flow = 0;
+  NodeId src = 0;
+  NodeId dst = 0;
+  std::uint32_t size_bytes = 0;
+  std::uint32_t seq = 0;  ///< per-flow sequence number (loss detection)
+  PacketType type = PacketType::kData;
+  std::uint8_t band = 0;  ///< scheduling band; 0 is the highest priority
+  bool ecn_capable = false;
+  bool ecn_marked = false;
+  std::uint8_t tcp_flags = 0;
+  std::uint32_t tcp_seq = 0;  ///< first data byte carried (TCP only)
+  std::uint32_t tcp_ack = 0;  ///< cumulative ACK (TCP only)
+  sim::SimTime created;
+};
+
+/// Destination of packets: links, routers, and end-host sinks all consume
+/// packets through this interface.
+class PacketHandler {
+ public:
+  virtual ~PacketHandler() = default;
+  virtual void handle(Packet p) = 0;
+};
+
+}  // namespace eac::net

@@ -1,0 +1,44 @@
+#include "net/priority_queue.hpp"
+
+#include <cassert>
+
+namespace eac::net {
+
+bool StrictPriorityQueue::enqueue(Packet p, sim::SimTime /*now*/) {
+  assert(p.band < bands_.size());
+  if (count_ >= limit_) {
+    if (push_out_) {
+      // Evict the most recent resident of the lowest-priority occupied band
+      // strictly below the arriving packet's priority.
+      for (std::size_t b = bands_.size(); b-- > static_cast<std::size_t>(p.band) + 1;) {
+        if (!bands_[b].empty()) {
+          record_drop(bands_[b].back());
+          bands_[b].pop_back();
+          --count_;
+          bands_[p.band].push_back(p);
+          ++count_;
+          return true;
+        }
+      }
+    }
+    record_drop(p);
+    return false;
+  }
+  bands_[p.band].push_back(p);
+  ++count_;
+  return true;
+}
+
+std::optional<Packet> StrictPriorityQueue::dequeue(sim::SimTime /*now*/) {
+  for (auto& band : bands_) {
+    if (!band.empty()) {
+      Packet p = band.front();
+      band.pop_front();
+      --count_;
+      return p;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace eac::net

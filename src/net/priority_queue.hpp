@@ -1,0 +1,40 @@
+// Multi-band strict-priority queue with a shared buffer and probe push-out.
+//
+// This is the discipline §3.1 of the paper prescribes for the admission-
+// controlled class: data packets in band 0, out-of-band probe packets in
+// band 1 (still above best effort), one shared buffer. When the buffer is
+// full, an arriving higher-priority packet evicts the most recently queued
+// packet of the lowest occupied lower band ("incoming data packets push out
+// resident probe packets if the buffer is full").
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "net/queue_disc.hpp"
+
+namespace eac::net {
+
+class StrictPriorityQueue : public QueueDisc {
+ public:
+  /// `bands` scheduling levels (0 = highest) sharing `limit_packets` slots.
+  StrictPriorityQueue(std::size_t bands, std::size_t limit_packets,
+                      bool push_out = true)
+      : bands_(bands), limit_{limit_packets}, push_out_{push_out} {}
+
+  bool enqueue(Packet p, sim::SimTime now) override;
+  std::optional<Packet> dequeue(sim::SimTime now) override;
+  bool empty() const override { return count_ == 0; }
+  std::size_t packet_count() const override { return count_; }
+  std::size_t band_count(std::size_t band) const { return bands_[band].size(); }
+
+ private:
+  std::vector<std::deque<Packet>> bands_;
+  std::size_t limit_;
+  std::size_t count_ = 0;
+  bool push_out_;
+};
+
+}  // namespace eac::net

@@ -1,0 +1,21 @@
+#include "net/queue_disc.hpp"
+
+namespace eac::net {
+
+bool DropTailQueue::enqueue(Packet p, sim::SimTime /*now*/) {
+  if (q_.size() >= limit_) {
+    record_drop(p);
+    return false;
+  }
+  q_.push_back(p);
+  return true;
+}
+
+std::optional<Packet> DropTailQueue::dequeue(sim::SimTime /*now*/) {
+  if (q_.empty()) return std::nullopt;
+  Packet p = q_.front();
+  q_.pop_front();
+  return p;
+}
+
+}  // namespace eac::net

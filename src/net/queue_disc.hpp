@@ -1,0 +1,80 @@
+// Queue discipline interface and the baseline drop-tail FIFO.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace eac::net {
+
+/// Per-type drop counters a queue maintains for diagnostics.
+struct QueueDropStats {
+  std::uint64_t data = 0;
+  std::uint64_t probe = 0;
+  std::uint64_t best_effort = 0;
+
+  std::uint64_t total() const { return data + probe + best_effort; }
+  void count(const Packet& p) {
+    switch (p.type) {
+      case PacketType::kData: ++data; break;
+      case PacketType::kProbe: ++probe; break;
+      case PacketType::kBestEffort: ++best_effort; break;
+    }
+  }
+};
+
+/// A buffering/scheduling discipline attached to a link.
+///
+/// enqueue() may drop the arriving packet (returns false), drop a resident
+/// packet (push-out), or set the ECN mark on the arriving packet. dequeue()
+/// hands the link the next packet to serialize.
+class QueueDisc {
+ public:
+  virtual ~QueueDisc() = default;
+
+  /// Offer a packet. Returns false if the packet was dropped.
+  virtual bool enqueue(Packet p, sim::SimTime now) = 0;
+
+  /// Next packet to transmit, or nullopt when empty.
+  virtual std::optional<Packet> dequeue(sim::SimTime now) = 0;
+
+  virtual bool empty() const = 0;
+  virtual std::size_t packet_count() const = 0;
+
+  /// Earliest time a packet may next be dequeued. Non-work-conserving
+  /// disciplines (rate limiters) return a future time when the backlog is
+  /// present but not yet eligible; the default is "now".
+  virtual sim::SimTime next_ready(sim::SimTime now) const { return now; }
+
+  /// Drop counters (rejected arrivals and push-outs). Decorators forward
+  /// to the discipline that actually drops.
+  virtual const QueueDropStats& drops() const { return drops_; }
+
+ protected:
+  void record_drop(const Packet& p) { drops_.count(p); }
+
+ private:
+  QueueDropStats drops_;
+};
+
+/// Plain drop-tail FIFO with a packet-count buffer limit (the paper's
+/// default router behaviour; buffers are 200 packets in the scenarios).
+class DropTailQueue : public QueueDisc {
+ public:
+  explicit DropTailQueue(std::size_t limit_packets) : limit_{limit_packets} {}
+
+  bool enqueue(Packet p, sim::SimTime now) override;
+  std::optional<Packet> dequeue(sim::SimTime now) override;
+  bool empty() const override { return q_.empty(); }
+  std::size_t packet_count() const override { return q_.size(); }
+
+ private:
+  std::deque<Packet> q_;
+  std::size_t limit_;
+};
+
+}  // namespace eac::net

@@ -1,0 +1,73 @@
+#include "net/rate_limited_queue.hpp"
+
+namespace eac::net {
+
+void RateLimitedPriorityQueue::refill(sim::SimTime now) {
+  const double add = share_bps_ / 8.0 * (now - last_refill_).to_seconds();
+  last_refill_ = now;
+  tokens_ = tokens_ + add > bucket_bytes_ ? bucket_bytes_ : tokens_ + add;
+}
+
+bool RateLimitedPriorityQueue::enqueue(Packet p, sim::SimTime /*now*/) {
+  if (p.band >= 2 || p.type == PacketType::kBestEffort) {
+    if (best_effort_.size() >= be_limit_) {
+      record_drop(p);
+      return false;
+    }
+    best_effort_.push_back(p);
+    return true;
+  }
+  auto& q = p.band == 0 ? data_ : probe_;
+  if (data_.size() + probe_.size() >= ac_limit_) {
+    // Data pushes out the most recent resident probe packet.
+    if (p.band == 0 && !probe_.empty()) {
+      record_drop(probe_.back());
+      probe_.pop_back();
+      q.push_back(p);
+      return true;
+    }
+    record_drop(p);
+    return false;
+  }
+  q.push_back(p);
+  return true;
+}
+
+const std::deque<Packet>* RateLimitedPriorityQueue::ac_head() const {
+  if (!data_.empty()) return &data_;
+  if (!probe_.empty()) return &probe_;
+  return nullptr;
+}
+
+std::optional<Packet> RateLimitedPriorityQueue::dequeue(sim::SimTime now) {
+  refill(now);
+  if (const std::deque<Packet>* q = ac_head()) {
+    const Packet& head = q->front();
+    if (tokens_ >= static_cast<double>(head.size_bytes)) {
+      Packet p = head;
+      (p.band == 0 ? data_ : probe_).pop_front();
+      tokens_ -= static_cast<double>(p.size_bytes);
+      return p;
+    }
+  }
+  if (!best_effort_.empty()) {
+    Packet p = best_effort_.front();
+    best_effort_.pop_front();
+    return p;
+  }
+  return std::nullopt;  // AC backlogged but out of tokens: idle the link
+}
+
+sim::SimTime RateLimitedPriorityQueue::next_ready(sim::SimTime now) const {
+  if (!best_effort_.empty()) return now;
+  const std::deque<Packet>* q = ac_head();
+  if (q == nullptr) return now;
+  // Tokens at `now` (without mutating state).
+  double tokens = tokens_ + share_bps_ / 8.0 * (now - last_refill_).to_seconds();
+  if (tokens > bucket_bytes_) tokens = bucket_bytes_;
+  const double need = static_cast<double>(q->front().size_bytes) - tokens;
+  if (need <= 0) return now;
+  return now + sim::SimTime::seconds(need * 8.0 / share_bps_);
+}
+
+}  // namespace eac::net

@@ -1,0 +1,60 @@
+// Rate-limited strict-priority scheduler (§2.1.2 / §3.1).
+//
+// The deployable router mechanism the paper settles on: admission-
+// controlled traffic (data band 0, probes band 1) is served at strict
+// priority over best effort (band 2) but is *rate-limited* to an allocated
+// share of the link. The limiter is a token bucket; when admission-
+// controlled traffic exceeds its share and no best-effort traffic is
+// present, the link idles (the scheduler is deliberately not work
+// conserving) so that probes can never be fooled by borrowed bandwidth.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "net/queue_disc.hpp"
+
+namespace eac::net {
+
+class RateLimitedPriorityQueue : public QueueDisc {
+ public:
+  /// `ac_share_bps` is the admission-controlled class's hard bandwidth cap.
+  /// `ac_limit_packets` bounds the shared AC buffer (bands 0-1, with
+  /// push-out of probes by data); `be_limit_packets` bounds best effort.
+  RateLimitedPriorityQueue(double ac_share_bps, double bucket_bytes,
+                           std::size_t ac_limit_packets,
+                           std::size_t be_limit_packets)
+      : share_bps_{ac_share_bps},
+        bucket_bytes_{bucket_bytes},
+        tokens_{bucket_bytes},
+        ac_limit_{ac_limit_packets},
+        be_limit_{be_limit_packets} {}
+
+  bool enqueue(Packet p, sim::SimTime now) override;
+  std::optional<Packet> dequeue(sim::SimTime now) override;
+  sim::SimTime next_ready(sim::SimTime now) const override;
+  bool empty() const override {
+    return data_.empty() && probe_.empty() && best_effort_.empty();
+  }
+  std::size_t packet_count() const override {
+    return data_.size() + probe_.size() + best_effort_.size();
+  }
+
+ private:
+  void refill(sim::SimTime now);
+  const std::deque<Packet>* ac_head() const;
+
+  double share_bps_;
+  double bucket_bytes_;
+  double tokens_;
+  sim::SimTime last_refill_;
+  std::size_t ac_limit_;
+  std::size_t be_limit_;
+  std::deque<Packet> data_;         // band 0
+  std::deque<Packet> probe_;        // band 1
+  std::deque<Packet> best_effort_;  // band 2
+};
+
+}  // namespace eac::net

@@ -1,0 +1,69 @@
+#include "net/red_queue.hpp"
+
+#include <cmath>
+
+namespace eac::net {
+
+bool RedQueue::should_drop() {
+  if (avg_ < cfg_.min_th_packets) {
+    count_since_drop_ = 0;
+    return false;
+  }
+  if (avg_ >= cfg_.max_th_packets) {
+    count_since_drop_ = 0;
+    return true;
+  }
+  const double pb = cfg_.max_p * (avg_ - cfg_.min_th_packets) /
+                    (cfg_.max_th_packets - cfg_.min_th_packets);
+  ++count_since_drop_;
+  const double denom = 1.0 - static_cast<double>(count_since_drop_) * pb;
+  const double pa = denom > 0 ? pb / denom : 1.0;
+  if (rng_.uniform() < pa) {
+    count_since_drop_ = 0;
+    return true;
+  }
+  return false;
+}
+
+bool RedQueue::enqueue(Packet p, sim::SimTime now) {
+  // EWMA update; while idle, decay the average as if empty packets passed.
+  if (idle_) {
+    // Assume one 'slot' per average packet already queued; standard RED
+    // approximates the idle decay with m = idle_time / typical_tx_time.
+    // We use a simple exponential decay proportional to elapsed time.
+    const double elapsed = (now - idle_since_).to_seconds();
+    const double m = elapsed / 0.001;  // 1 ms nominal slot
+    avg_ *= std::pow(1.0 - cfg_.weight, m);
+    idle_ = false;
+  }
+  avg_ = (1.0 - cfg_.weight) * avg_ +
+         cfg_.weight * static_cast<double>(q_.size());
+
+  if (q_.size() >= cfg_.limit_packets) {
+    record_drop(p);
+    return false;
+  }
+  if (should_drop()) {
+    if (cfg_.mark_instead_of_drop && p.ecn_capable) {
+      p.ecn_marked = true;
+    } else {
+      record_drop(p);
+      return false;
+    }
+  }
+  q_.push_back(p);
+  return true;
+}
+
+std::optional<Packet> RedQueue::dequeue(sim::SimTime now) {
+  if (q_.empty()) return std::nullopt;
+  Packet p = q_.front();
+  q_.pop_front();
+  if (q_.empty()) {
+    idle_ = true;
+    idle_since_ = now;
+  }
+  return p;
+}
+
+}  // namespace eac::net

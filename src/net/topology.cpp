@@ -1,0 +1,70 @@
+#include "net/topology.hpp"
+
+#include <deque>
+#include <string>
+
+namespace eac::net {
+
+Node& Topology::add_node() {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::make_unique<Node>(id));
+  return *nodes_.back();
+}
+
+Link& Topology::add_link(NodeId from, NodeId to, double rate_bps,
+                         sim::SimTime prop_delay,
+                         std::unique_ptr<QueueDisc> queue) {
+  auto link = std::make_unique<Link>(
+      sim_, "link" + std::to_string(from) + "-" + std::to_string(to),
+      rate_bps, prop_delay, std::move(queue));
+  link->from = from;
+  link->to = to;
+  link->set_destination(nodes_[to].get());
+  nodes_[from]->set_route(to, link.get());
+  links_.push_back(std::move(link));
+  return *links_.back();
+}
+
+void Topology::build_routes() {
+  const std::size_t n = nodes_.size();
+  // adjacency: out-links per node
+  std::vector<std::vector<Link*>> out(n);
+  for (const auto& l : links_) out[l->from].push_back(l.get());
+
+  for (NodeId src = 0; src < n; ++src) {
+    // BFS from src; first_hop[v] = link to take at src towards v.
+    std::vector<Link*> first_hop(n, nullptr);
+    std::vector<bool> seen(n, false);
+    seen[src] = true;
+    std::deque<std::pair<NodeId, Link*>> frontier;  // (node, first hop used)
+    for (Link* l : out[src]) {
+      if (!seen[l->to]) {
+        seen[l->to] = true;
+        first_hop[l->to] = l;
+        frontier.emplace_back(l->to, l);
+      }
+    }
+    while (!frontier.empty()) {
+      auto [v, hop] = frontier.front();
+      frontier.pop_front();
+      for (Link* l : out[v]) {
+        if (!seen[l->to]) {
+          seen[l->to] = true;
+          first_hop[l->to] = hop;
+          frontier.emplace_back(l->to, hop);
+        }
+      }
+    }
+    for (NodeId dst = 0; dst < n; ++dst) {
+      if (dst != src && first_hop[dst] != nullptr) {
+        nodes_[src]->set_route(dst, first_hop[dst]);
+      }
+    }
+  }
+}
+
+void Topology::begin_measurement() {
+  for (auto& l : links_) l->begin_measurement();
+}
+
+}  // namespace eac::net

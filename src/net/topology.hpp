@@ -1,0 +1,40 @@
+// Owner of nodes and links plus shortest-path route computation.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/node.hpp"
+#include "sim/simulator.hpp"
+
+namespace eac::net {
+
+class Topology {
+ public:
+  explicit Topology(sim::Simulator& sim) : sim_{sim} {}
+
+  Node& add_node();
+
+  /// Add a unidirectional link `from` -> `to`; the link's destination is
+  /// wired to the `to` node, and `from`'s route to `to` is set directly.
+  Link& add_link(NodeId from, NodeId to, double rate_bps,
+                 sim::SimTime prop_delay, std::unique_ptr<QueueDisc> queue);
+
+  Node& node(NodeId id) { return *nodes_[id]; }
+  const std::vector<std::unique_ptr<Link>>& links() const { return links_; }
+  std::size_t node_count() const { return nodes_.size(); }
+
+  /// Fill every node's routing table with BFS (hop-count) shortest paths.
+  void build_routes();
+
+  /// Start the measurement window on every link.
+  void begin_measurement();
+
+ private:
+  sim::Simulator& sim_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Link>> links_;
+};
+
+}  // namespace eac::net

@@ -1,0 +1,26 @@
+#include "net/tracer.hpp"
+
+namespace eac::net {
+
+namespace {
+const char* type_name(PacketType t) {
+  switch (t) {
+    case PacketType::kData: return "data";
+    case PacketType::kProbe: return "probe";
+    case PacketType::kBestEffort: return "be";
+  }
+  return "?";
+}
+}  // namespace
+
+void PacketTracer::dump(std::ostream& os) const {
+  for (const TraceRecord& r : records_) {
+    os << "+ " << r.time.to_seconds() << " flow " << r.packet.flow << " seq "
+       << r.packet.seq << ' ' << type_name(r.packet.type) << ' '
+       << r.packet.size_bytes << "B band " << int{r.packet.band};
+    if (r.packet.ecn_marked) os << " CE";
+    os << '\n';
+  }
+}
+
+}  // namespace eac::net

@@ -1,0 +1,48 @@
+// Lightweight packet tracing, ns-style: subscribe to a link and get one
+// record per transmitted packet. Useful for debugging scenarios and for
+// tests that assert on timing/ordering without instrumenting endpoints.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace eac::net {
+
+/// One trace record: a packet leaving a link at a given time.
+struct TraceRecord {
+  sim::SimTime time;
+  Packet packet;
+};
+
+/// Collects transmit records, optionally filtered; can dump them as
+/// ns-like text lines ("+ 1.000125 flow 7 seq 42 data 125B").
+class PacketTracer {
+ public:
+  using Filter = std::function<bool(const Packet&)>;
+
+  /// Record only packets matching `filter` (default: everything).
+  explicit PacketTracer(Filter filter = nullptr)
+      : filter_{std::move(filter)} {}
+
+  /// Hook compatible with Link::set_tx_observer.
+  void operator()(const Packet& p, sim::SimTime t) {
+    if (filter_ && !filter_(p)) return;
+    records_.push_back(TraceRecord{t, p});
+  }
+
+  const std::vector<TraceRecord>& records() const { return records_; }
+  void clear() { records_.clear(); }
+
+  void dump(std::ostream& os) const;
+
+ private:
+  Filter filter_;
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace eac::net

@@ -1,0 +1,55 @@
+// Virtual *dropping* (paper footnote 14): the router runs the same
+// virtual queue as the marking designs, but instead of setting an ECN bit
+// it simply drops probe packets that the virtual queue would have
+// dropped. Data packets are never virtually dropped - only the separate
+// (out-of-band) probe class - so the design gives the early congestion
+// signal of out-of-band marking without requiring ECN bits.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "net/queue_disc.hpp"
+#include "net/virtual_queue.hpp"
+
+namespace eac::net {
+
+class VirtualDropQueue : public QueueDisc {
+ public:
+  VirtualDropQueue(std::unique_ptr<QueueDisc> inner, double virtual_rate_bps,
+                   double buffer_bytes, std::size_t bands)
+      : inner_{std::move(inner)},
+        marker_{virtual_rate_bps, buffer_bytes, bands} {}
+
+  bool enqueue(Packet p, sim::SimTime now) override {
+    const bool virtually_dropped = marker_.on_arrival(p, now);
+    if (virtually_dropped && p.type == PacketType::kProbe) {
+      record_drop(p);
+      return false;
+    }
+    return inner_->enqueue(p, now);
+  }
+  std::optional<Packet> dequeue(sim::SimTime now) override {
+    return inner_->dequeue(now);
+  }
+  bool empty() const override { return inner_->empty(); }
+  std::size_t packet_count() const override { return inner_->packet_count(); }
+  const QueueDropStats& drops() const override {
+    // Virtual drops are recorded here; real-queue drops in the inner
+    // discipline. Merge lazily for reporting.
+    merged_ = inner_->drops();
+    merged_.data += QueueDisc::drops().data;
+    merged_.probe += QueueDisc::drops().probe;
+    merged_.best_effort += QueueDisc::drops().best_effort;
+    return merged_;
+  }
+
+  const VirtualQueueMarker& marker() const { return marker_; }
+
+ private:
+  std::unique_ptr<QueueDisc> inner_;
+  VirtualQueueMarker marker_;
+  mutable QueueDropStats merged_;
+};
+
+}  // namespace eac::net

@@ -1,0 +1,50 @@
+#include "net/virtual_queue.hpp"
+
+#include <cassert>
+
+namespace eac::net {
+
+void VirtualQueueMarker::drain(sim::SimTime now) {
+  double budget = rate_bps_ / 8.0 * (now - last_).to_seconds();
+  last_ = now;
+  // Strict priority: the virtual server drains band 0 first.
+  for (double& b : backlog_) {
+    if (budget <= 0) break;
+    const double served = b < budget ? b : budget;
+    b -= served;
+    budget -= served;
+  }
+}
+
+bool VirtualQueueMarker::on_arrival(const Packet& p, sim::SimTime now) {
+  assert(p.band < backlog_.size());
+  drain(now);
+  double total = 0;
+  for (double b : backlog_) total += b;
+  const double size = static_cast<double>(p.size_bytes);
+  if (total + size <= buffer_bytes_) {
+    backlog_[p.band] += size;
+    return false;
+  }
+  // Overflow. A packet may still claim space held by *lower*-priority
+  // backlog: virtually push that backlog out (it models probe packets the
+  // real queue would evict). If enough lower-priority backlog exists the
+  // arriving packet is accepted unmarked.
+  double evictable = 0;
+  for (std::size_t b = p.band + 1; b < backlog_.size(); ++b) evictable += backlog_[b];
+  const double need = total + size - buffer_bytes_;
+  if (evictable >= need) {
+    double remaining = need;
+    for (std::size_t b = backlog_.size(); b-- > static_cast<std::size_t>(p.band) + 1 && remaining > 0;) {
+      const double cut = backlog_[b] < remaining ? backlog_[b] : remaining;
+      backlog_[b] -= cut;
+      remaining -= cut;
+    }
+    backlog_[p.band] += size;
+    return false;
+  }
+  ++marks_;
+  return true;
+}
+
+}  // namespace eac::net

@@ -1,0 +1,55 @@
+// Virtual-queue ECN marking (§3.1 of the paper).
+//
+// The router simulates a queue running at a fraction (90 %) of the real
+// link bandwidth but with the same buffer, and marks packets that would
+// have been dropped by that slower queue. The simulated queue is a fluid
+// backlog counter per priority band — exactly the "one counter for each
+// priority level" implementation the paper describes.
+//
+// With two bands (out-of-band probing) the virtual queue is itself a
+// strict-priority queue: the virtual drain serves band 0 first. An
+// arriving data packet that would overflow only because of probe backlog
+// virtually pushes that probe backlog out (mirroring the real queue's
+// push-out) and is not marked; probes are marked whenever the total
+// virtual backlog would overflow.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace eac::net {
+
+class VirtualQueueMarker {
+ public:
+  /// `virtual_rate_bps` is typically 0.9 * link rate; `buffer_bytes` the
+  /// real buffer size expressed in bytes; `bands` the number of priority
+  /// levels the real queue serves.
+  VirtualQueueMarker(double virtual_rate_bps, double buffer_bytes,
+                     std::size_t bands)
+      : rate_bps_{virtual_rate_bps},
+        buffer_bytes_{buffer_bytes},
+        backlog_(bands, 0.0) {}
+
+  /// Account an arrival; returns true if the packet would have been
+  /// dropped by the virtual queue (i.e. the packet should be ECN-marked).
+  bool on_arrival(const Packet& p, sim::SimTime now);
+
+  /// Current virtual backlog of one band, in bytes.
+  double backlog(std::size_t band) const { return backlog_[band]; }
+
+  std::uint64_t marks() const { return marks_; }
+
+ private:
+  void drain(sim::SimTime now);
+
+  double rate_bps_;
+  double buffer_bytes_;
+  std::vector<double> backlog_;
+  sim::SimTime last_;
+  std::uint64_t marks_ = 0;
+};
+
+}  // namespace eac::net

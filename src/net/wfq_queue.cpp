@@ -1,0 +1,65 @@
+#include "net/wfq_queue.hpp"
+
+#include <algorithm>
+
+namespace eac::net {
+
+bool WfqQueue::enqueue(Packet p, sim::SimTime /*now*/) {
+  if (count_ >= limit_) {
+    // Longest-queue drop: the buffer hog loses its *tail* packet (whose
+    // virtual service is then refunded); an arrival from the hog itself
+    // is simply dropped.
+    FlowId victim = p.flow;
+    std::size_t victim_len = flows_[p.flow].q.size() + 1;
+    for (const auto& [flow, st] : flows_) {
+      if (st.q.size() > victim_len) {
+        victim = flow;
+        victim_len = st.q.size();
+      }
+    }
+    if (victim == p.flow) {
+      record_drop(p);
+      return false;
+    }
+    FlowState& vs = flows_[victim];
+    const Stamped& tail = vs.q.back();
+    record_drop(tail.packet);
+    vs.last_finish -=
+        static_cast<double>(tail.packet.size_bytes) / weight_of(victim);
+    vs.q.pop_back();
+    --count_;
+  }
+  FlowState& st = flows_[p.flow];
+  const double start = std::max(vtime_, st.last_finish);
+  const double finish =
+      start + static_cast<double>(p.size_bytes) / weight_of(p.flow);
+  st.last_finish = finish;
+  st.q.push_back(Stamped{finish, next_order_++, p});
+  ++count_;
+  return true;
+}
+
+std::optional<Packet> WfqQueue::dequeue(sim::SimTime /*now*/) {
+  if (count_ == 0) return std::nullopt;
+  FlowState* best = nullptr;
+  for (auto& [flow, st] : flows_) {
+    if (st.q.empty()) continue;
+    if (best == nullptr || st.q.front().finish < best->q.front().finish ||
+        (st.q.front().finish == best->q.front().finish &&
+         st.q.front().order < best->q.front().order)) {
+      best = &st;
+    }
+  }
+  Stamped s = best->q.front();
+  best->q.pop_front();
+  --count_;
+  vtime_ = s.finish;
+  if (count_ == 0) {
+    // Idle system: restart virtual time bookkeeping.
+    flows_.clear();
+    vtime_ = 0;
+  }
+  return s.packet;
+}
+
+}  // namespace eac::net

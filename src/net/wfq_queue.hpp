@@ -1,0 +1,61 @@
+// Weighted Fair Queueing (packet-by-packet GPS approximation).
+//
+// Classic virtual-finish-time WFQ with per-flow queues: each arriving
+// packet is stamped with its fluid-GPS finish time and the scheduler
+// always serves the backlogged flow whose head packet has the smallest
+// stamp. Buffer overflow uses longest-queue drop from the victim's tail
+// (with the victim's finish tail rolled back, so dropped packets consume
+// no virtual service). Provided in addition to the O(1) DRR FairQueue so
+// the §2.1.1 stolen-bandwidth demonstration does not hinge on DRR's
+// rougher short-term fairness.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+
+#include "net/queue_disc.hpp"
+
+namespace eac::net {
+
+class WfqQueue : public QueueDisc {
+ public:
+  /// `limit_packets` bounds the buffer. Per-flow weights default to 1;
+  /// set_weight installs another weight for subsequent packets.
+  explicit WfqQueue(std::size_t limit_packets) : limit_{limit_packets} {}
+
+  void set_weight(FlowId flow, double weight) { weights_[flow] = weight; }
+
+  bool enqueue(Packet p, sim::SimTime now) override;
+  std::optional<Packet> dequeue(sim::SimTime now) override;
+  bool empty() const override { return count_ == 0; }
+  std::size_t packet_count() const override { return count_; }
+
+  double virtual_time() const { return vtime_; }
+
+ private:
+  struct Stamped {
+    double finish;
+    std::uint64_t order;
+    Packet packet;
+  };
+  struct FlowState {
+    std::deque<Stamped> q;
+    double last_finish = 0;  ///< finish stamp of the tail packet
+  };
+
+  double weight_of(FlowId flow) const {
+    auto it = weights_.find(flow);
+    return it == weights_.end() ? 1.0 : it->second;
+  }
+
+  std::size_t limit_;
+  std::size_t count_ = 0;
+  double vtime_ = 0;
+  std::uint64_t next_order_ = 0;
+  std::unordered_map<FlowId, double> weights_;
+  std::unordered_map<FlowId, FlowState> flows_;
+};
+
+}  // namespace eac::net

@@ -1,0 +1,81 @@
+// Scenario construction and execution for the paper's experiments.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "eac/config.hpp"
+#include "eac/flow_manager.hpp"
+#include "mbac/measured_sum.hpp"
+#include "stats/flow_stats.hpp"
+
+namespace eac::scenario {
+
+/// Which admission controller a run uses.
+enum class PolicyKind { kEndpoint, kMbac };
+
+/// Queue discipline for the admission-controlled class. The paper used
+/// drop-tail (strict priority across data/probe bands); RED is provided
+/// to check its footnote-11 claim that the choice does not matter.
+enum class AcQueueKind { kStrictPriority, kRed };
+
+/// Complete description of one simulation run.
+struct RunConfig {
+  PolicyKind policy = PolicyKind::kEndpoint;
+  EacConfig eac = drop_in_band();
+  double mbac_target_utilization = 0.9;  ///< Measured Sum's u (kMbac only)
+
+  std::vector<FlowClass> classes;  ///< flow population (epsilon per class)
+  double mean_lifetime_s = 300.0;
+
+  AcQueueKind ac_queue = AcQueueKind::kStrictPriority;
+  double link_rate_bps = 10e6;
+  sim::SimTime prop_delay = sim::SimTime::milliseconds(20);
+  std::size_t buffer_packets = 200;
+  std::uint32_t typical_packet_bytes = 125;  ///< sizes the marker's buffer
+  double virtual_queue_fraction = 0.9;       ///< marking designs
+
+  double duration_s = 600;
+  double warmup_s = 200;
+  std::uint64_t seed = 1;
+
+  /// Pre-warm the flow population toward steady state (see
+  /// FlowManagerConfig::prewarm_bps). Expressed as a fraction of the
+  /// bottleneck rate; capped at 90 % of the offered load. 0 disables.
+  double prewarm_fraction = 0.75;
+};
+
+/// Aggregated outcome of one run.
+struct RunResult {
+  double utilization = 0;  ///< bottleneck data utilization (measured window)
+  std::map<int, stats::GroupCounters> groups;
+  stats::GroupCounters total;
+  double probe_utilization = 0;  ///< probe bytes' share of the link
+  double delay_p50_s = 0;        ///< median end-to-end data packet delay
+  double delay_p99_s = 0;
+  std::uint64_t events = 0;
+
+  double loss() const { return total.loss_probability(); }
+  double blocking() const { return total.blocking_probability(); }
+};
+
+/// The paper's dominant setup: many hosts sharing one congested link.
+RunResult run_single_link(const RunConfig& cfg);
+
+/// Average `seeds` replications of run_single_link (seeds derive from
+/// cfg.seed). Utilization/loss/blocking are averaged; counters summed.
+RunResult run_single_link_averaged(RunConfig cfg, int seeds);
+
+/// Result of the Figure-10 multi-link scenario.
+struct MultiLinkResult {
+  std::vector<double> link_utilization;  ///< per backbone hop
+  std::map<int, stats::GroupCounters> groups;  ///< keyed by FlowClass::group
+};
+
+/// 12-node topology (Figure 10): a 3-hop congested backbone carrying long
+/// flows end-to-end plus single-hop cross traffic on every hop.
+/// Groups: 0..2 = cross traffic at hop i, 3 = long (multi-hop) flows.
+MultiLinkResult run_multi_link(const RunConfig& cfg);
+
+}  // namespace eac::scenario

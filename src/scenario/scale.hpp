@@ -1,0 +1,34 @@
+// Run-length scaling for benches.
+//
+// The paper simulates 14 000 s and discards 2 000 s, averaging 7 seeds.
+// That is hours of CPU for the full sweep matrix, so benches default to a
+// shape-preserving scaled run and honour two environment variables:
+//   EAC_FULL=1     paper-scale runs (14 000 s, 2 000 s warm-up, 3 seeds)
+//   EAC_SCALE=x    multiply the default measured duration by x
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+namespace eac::scenario {
+
+struct Scale {
+  double duration_s;  ///< total simulated time
+  double warmup_s;    ///< discarded prefix
+  int seeds;          ///< independent replications to average
+};
+
+inline Scale bench_scale() {
+  if (const char* full = std::getenv("EAC_FULL");
+      full != nullptr && std::string{full} == "1") {
+    return {.duration_s = 14'000, .warmup_s = 2'000, .seeds = 3};
+  }
+  double mult = 1.0;
+  if (const char* s = std::getenv("EAC_SCALE"); s != nullptr) {
+    const double v = std::atof(s);
+    if (v > 0) mult = v;
+  }
+  return {.duration_s = 200 + 400 * mult, .warmup_s = 200, .seeds = 1};
+}
+
+}  // namespace eac::scenario

@@ -1,0 +1,115 @@
+#include "scenario/tcp_coexistence.hpp"
+
+#include <memory>
+
+#include "eac/endpoint_policy.hpp"
+#include "eac/flow_manager.hpp"
+#include "net/queue_disc.hpp"
+#include "net/topology.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "stats/flow_stats.hpp"
+#include "tcp/tcp.hpp"
+#include "traffic/catalog.hpp"
+
+namespace eac::scenario {
+
+CoexistenceResult run_tcp_coexistence(const CoexistenceConfig& cfg) {
+  sim::Simulator sim;
+  net::Topology topo{sim};
+  const net::NodeId a = topo.add_node().id();
+  const net::NodeId b = topo.add_node().id();
+  // Legacy router: one shared drop-tail FIFO; no priority classes at all.
+  net::Link& forward =
+      topo.add_link(a, b, cfg.link_rate_bps, sim::SimTime::milliseconds(20),
+                    std::make_unique<net::DropTailQueue>(cfg.buffer_packets));
+  topo.add_link(b, a, 1e9, sim::SimTime::milliseconds(20),
+                std::make_unique<net::DropTailQueue>(10'000));
+
+  // TCP population. Flow ids above 1e6 keep clear of FlowManager's ids.
+  // Starts are staggered and initial ssthresh varied per flow: identical
+  // deterministic Renos on one drop-tail queue phase-lock otherwise, which
+  // inflates the loss a uniform-in-time prober sees far beyond what any
+  // TCP packet experiences.
+  sim::RandomStream tcp_rng{cfg.seed, 31'337};
+  std::vector<std::unique_ptr<tcp::TcpSender>> senders;
+  std::vector<std::unique_ptr<tcp::TcpSink>> sinks;
+  std::vector<double> start_offsets;
+  for (int i = 0; i < cfg.tcp_flows; ++i) {
+    const net::FlowId id = 1'000'000 + static_cast<net::FlowId>(i);
+    tcp::TcpConfig tc;
+    tc.initial_ssthresh_segments = 16 + 8.0 * tcp_rng.uniform() * 12;
+    senders.push_back(
+        std::make_unique<tcp::TcpSender>(sim, id, a, b, topo.node(a), tc));
+    sinks.push_back(std::make_unique<tcp::TcpSink>(sim, id, b, a, topo.node(b)));
+    topo.node(b).attach_sink(id, sinks.back().get());
+    topo.node(a).attach_sink(id, senders.back().get());
+    start_offsets.push_back(tcp_rng.uniform() * 10.0);
+  }
+
+  // Admission-controlled population: EXP1 flows probing in-band with
+  // packet drops (the only signal a legacy router gives).
+  stats::FlowStats stats;
+  EacConfig design = drop_in_band();
+  EndpointAdmission policy{sim, topo, design};
+  FlowManagerConfig fm;
+  FlowClass c;
+  c.arrival_rate_per_s = 1.0 / cfg.interarrival_s;
+  c.src = a;
+  c.dst = b;
+  c.onoff = traffic::exp1();
+  c.packet_size = traffic::kOnOffPacketBytes;
+  c.probe_rate_bps = c.onoff.burst_rate_bps;
+  c.epsilon = cfg.epsilon;
+  fm.classes = {c};
+  fm.seed = cfg.seed;
+  FlowManager manager{sim, topo, policy, stats, fm};
+  stats.begin_measurement();
+
+  const double tcp_start = cfg.tcp_first ? 0.0 : cfg.ac_start_s;
+  const double ac_start = cfg.tcp_first ? cfg.ac_start_s : 0.0;
+  for (int i = 0; i < cfg.tcp_flows; ++i) {
+    sim.schedule_at(
+        sim::SimTime::seconds(tcp_start + start_offsets[static_cast<std::size_t>(i)]),
+        [s = senders[static_cast<std::size_t>(i)].get()] { s->start(); });
+  }
+  sim.schedule_at(sim::SimTime::seconds(ac_start), [&] { manager.start(); });
+
+  // Periodic sampling of the forward link's per-class throughput.
+  CoexistenceResult res;
+  std::uint64_t last_be = 0, last_data = 0, last_probe = 0;
+  const double interval_bits = cfg.link_rate_bps * cfg.report_interval_s;
+  std::function<void()> sample = [&] {
+    const auto& ctr = forward.counters();
+    const std::uint64_t be = ctr.bytes(net::PacketType::kBestEffort);
+    const std::uint64_t data = ctr.bytes(net::PacketType::kData);
+    const std::uint64_t probe = ctr.bytes(net::PacketType::kProbe);
+    res.tcp_utilization.push_back(
+        static_cast<double>(be - last_be) * 8 / interval_bits);
+    res.ac_utilization.push_back(
+        static_cast<double>(data - last_data) * 8 / interval_bits);
+    last_be = be;
+    last_data = data;
+    last_probe = probe;
+    sim.schedule_after(sim::SimTime::seconds(cfg.report_interval_s), sample);
+  };
+  sim.schedule_after(sim::SimTime::seconds(cfg.report_interval_s), sample);
+
+  sim.run(sim::SimTime::seconds(cfg.duration_s));
+
+  const std::size_t half = res.tcp_utilization.size() / 2;
+  double tcp_sum = 0, ac_sum = 0;
+  for (std::size_t i = half; i < res.tcp_utilization.size(); ++i) {
+    tcp_sum += res.tcp_utilization[i];
+    ac_sum += res.ac_utilization[i];
+  }
+  const double n = static_cast<double>(res.tcp_utilization.size() - half);
+  if (n > 0) {
+    res.tcp_mean = tcp_sum / n;
+    res.ac_mean = ac_sum / n;
+  }
+  res.ac_blocking = stats.total().blocking_probability();
+  return res;
+}
+
+}  // namespace eac::scenario

@@ -1,0 +1,37 @@
+// Incremental deployment (§4.7, Figure 11): admission-controlled traffic
+// and TCP Reno sharing one legacy drop-tail FIFO router.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "eac/config.hpp"
+
+namespace eac::scenario {
+
+struct CoexistenceConfig {
+  double epsilon = 0.0;
+  int tcp_flows = 20;
+  double link_rate_bps = 10e6;
+  std::size_t buffer_packets = 200;
+  double ac_start_s = 50;      ///< admission-controlled arrivals begin here
+  double interarrival_s = 3.5; ///< EXP1 arrivals
+  double duration_s = 2'000;
+  double report_interval_s = 10;
+  std::uint64_t seed = 1;
+  bool tcp_first = true;  ///< false: AC starts at 0, TCP at ac_start_s
+};
+
+struct CoexistenceResult {
+  /// TCP's share of the link per report interval (Figure 11's y-axis).
+  std::vector<double> tcp_utilization;
+  /// Admission-controlled data share per interval.
+  std::vector<double> ac_utilization;
+  double tcp_mean = 0;  ///< over the second half of the run
+  double ac_mean = 0;
+  double ac_blocking = 0;
+};
+
+CoexistenceResult run_tcp_coexistence(const CoexistenceConfig& cfg);
+
+}  // namespace eac::scenario

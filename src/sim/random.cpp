@@ -1,0 +1,45 @@
+#include "sim/random.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace eac::sim {
+
+std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t stream) {
+  // splitmix64 over a combination that separates streams even for seed==0.
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+double RandomStream::uniform() {
+  // 53-bit mantissa draw in [0, 1).
+  return static_cast<double>(eng_() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t RandomStream::integer(std::uint64_t bound) {
+  assert(bound > 0);
+  return eng_() % bound;
+}
+
+double RandomStream::exponential(double mean) {
+  assert(mean > 0);
+  double u = uniform();
+  // Guard log(0); uniform() < 1 so 1-u > 0 always, but keep it explicit.
+  return -mean * std::log1p(-u);
+}
+
+double RandomStream::pareto(double alpha, double mean) {
+  assert(alpha > 1.0 && mean > 0);
+  const double xm = mean * (alpha - 1.0) / alpha;
+  const double u = uniform();
+  return xm / std::pow(1.0 - u, 1.0 / alpha);
+}
+
+double RandomStream::lognormal(double mu, double sigma) {
+  std::lognormal_distribution<double> d{mu, sigma};
+  return d(eng_);
+}
+
+}  // namespace eac::sim

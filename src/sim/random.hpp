@@ -1,0 +1,44 @@
+// Deterministic random streams for simulation components.
+//
+// Every stochastic component (each source, each arrival process, ...) owns
+// its own RandomStream, derived from (run seed, stream id). Streams are
+// therefore independent of each other and of the order components consume
+// numbers in, which keeps scenario results reproducible when unrelated
+// pieces are added or removed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace eac::sim {
+
+/// Mixes a (seed, stream) pair into a well-spread 64-bit state (splitmix64).
+std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t stream);
+
+/// One independent random stream with the distributions the scenarios need.
+class RandomStream {
+ public:
+  RandomStream(std::uint64_t seed, std::uint64_t stream)
+      : eng_{derive_seed(seed, stream)} {}
+
+  /// Uniform on [0, 1).
+  double uniform();
+
+  /// Uniform on [0, bound).
+  std::uint64_t integer(std::uint64_t bound);
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Pareto with shape `alpha` (> 1) scaled so the mean is `mean`.
+  /// Used for the POO1 source's heavy-tailed on/off periods.
+  double pareto(double alpha, double mean);
+
+  /// Lognormal parameterized directly by (mu, sigma) of the underlying normal.
+  double lognormal(double mu, double sigma);
+
+ private:
+  std::mt19937_64 eng_;
+};
+
+}  // namespace eac::sim

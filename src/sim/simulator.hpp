@@ -1,0 +1,75 @@
+// Discrete-event simulation core: a clock plus a cancellable event heap.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace eac::sim {
+
+/// Identifier returned by schedule_*; usable to cancel the event later.
+using EventId = std::uint64_t;
+
+/// The event loop. One Simulator owns the clock and every pending event.
+///
+/// Events execute in (time, schedule-order) order: two events scheduled for
+/// the same instant run in the order they were scheduled, which keeps runs
+/// deterministic. Handlers may schedule or cancel further events freely.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulation time. Starts at zero.
+  SimTime now() const { return now_; }
+
+  /// Schedule `fn` to run at absolute time `t` (>= now).
+  EventId schedule_at(SimTime t, std::function<void()> fn);
+
+  /// Schedule `fn` to run `delay` after the current time.
+  EventId schedule_after(SimTime delay, std::function<void()> fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Cancel a pending event. Cancelling an already-run or unknown id is a
+  /// harmless no-op, which lets owners cancel unconditionally in destructors.
+  void cancel(EventId id);
+
+  /// Run until the event queue is empty, `stop()` is called, or the next
+  /// event would be after `horizon`. Returns the number of events executed.
+  std::uint64_t run(SimTime horizon = SimTime::max());
+
+  /// Request that run() return after the current handler completes.
+  void stop() { stopped_ = true; }
+
+  /// Number of events currently pending (including cancelled-but-unpopped).
+  std::size_t pending() const { return heap_.size(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;
+    }
+  };
+
+  void push(Event e);
+  bool pop_next(Event& out);
+
+  std::vector<Event> heap_;  // binary min-heap via std::push_heap/pop_heap
+  std::unordered_set<EventId> cancelled_;
+  SimTime now_ = SimTime::zero();
+  EventId next_id_ = 1;
+  bool stopped_ = false;
+};
+
+}  // namespace eac::sim

@@ -1,0 +1,59 @@
+// Simulation time: a strong integer-nanosecond type.
+//
+// All simulator timestamps are integer nanoseconds. Integer time keeps
+// event ordering exact and runs deterministic across platforms; floating
+// point seconds appear only at the API edges (rates, measured intervals).
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+
+namespace eac::sim {
+
+/// A point in (or duration of) simulation time, in integer nanoseconds.
+///
+/// SimTime is used both as an absolute timestamp and as a duration; the
+/// arithmetic provided (addition, subtraction, scaling) is the subset that
+/// is meaningful for at least one of those readings.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  /// Named constructors.
+  static constexpr SimTime nanoseconds(std::int64_t ns) { return SimTime{ns}; }
+  static constexpr SimTime microseconds(std::int64_t us) { return SimTime{us * 1000}; }
+  static constexpr SimTime milliseconds(std::int64_t ms) { return SimTime{ms * 1'000'000}; }
+  static constexpr SimTime seconds(double s) {
+    return SimTime{static_cast<std::int64_t>(s * 1e9 + (s >= 0 ? 0.5 : -0.5))};
+  }
+  static constexpr SimTime zero() { return SimTime{0}; }
+  static constexpr SimTime max() {
+    return SimTime{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) * 1e-9; }
+
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+
+  friend constexpr SimTime operator+(SimTime a, SimTime b) { return SimTime{a.ns_ + b.ns_}; }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) { return SimTime{a.ns_ - b.ns_}; }
+  constexpr SimTime& operator+=(SimTime o) { ns_ += o.ns_; return *this; }
+  constexpr SimTime& operator-=(SimTime o) { ns_ -= o.ns_; return *this; }
+  friend constexpr SimTime operator*(SimTime a, std::int64_t k) { return SimTime{a.ns_ * k}; }
+  friend constexpr SimTime operator*(std::int64_t k, SimTime a) { return a * k; }
+
+ private:
+  explicit constexpr SimTime(std::int64_t ns) : ns_{ns} {}
+  std::int64_t ns_ = 0;
+};
+
+/// Time to serialize `bytes` at `rate_bps` bits per second.
+/// Rounds up so back-to-back transmissions never overlap.
+constexpr SimTime transmission_time(std::int64_t bytes, double rate_bps) {
+  const double secs = static_cast<double>(bytes) * 8.0 / rate_bps;
+  return SimTime::seconds(secs);
+}
+
+}  // namespace eac::sim

@@ -1,0 +1,92 @@
+// Per-group admission and loss accounting for a simulation run.
+//
+// Groups partition flows for reporting: by threshold class (Table 3), by
+// flow size (Table 4), by path length (Tables 5-6), or a single group for
+// the loss-load curves. All counters respect the warm-up boundary: events
+// before begin_measurement() are ignored.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "stats/histogram.hpp"
+
+namespace eac::stats {
+
+struct GroupCounters {
+  std::uint64_t attempts = 0;       ///< admission decisions rendered
+  std::uint64_t accepts = 0;        ///< ... of which admitted
+  std::uint64_t data_sent = 0;      ///< data packets sent by admitted flows
+  std::uint64_t data_received = 0;  ///< ... delivered to the sink
+  std::uint64_t data_marked = 0;    ///< ... delivered with an ECN mark
+
+  double blocking_probability() const {
+    return attempts > 0
+               ? 1.0 - static_cast<double>(accepts) / static_cast<double>(attempts)
+               : 0.0;
+  }
+  double loss_probability() const {
+    if (data_sent == 0) return 0.0;
+    const double lost =
+        static_cast<double>(data_sent) - static_cast<double>(data_received);
+    return lost > 0 ? lost / static_cast<double>(data_sent) : 0.0;
+  }
+};
+
+class FlowStats {
+ public:
+  /// Start counting; everything before this call is warm-up.
+  void begin_measurement() { measuring_ = true; }
+  bool measuring() const { return measuring_; }
+
+  void record_decision(int group, bool admitted) {
+    if (!measuring_) return;
+    auto& g = groups_[group];
+    ++g.attempts;
+    if (admitted) ++g.accepts;
+  }
+  void record_data_sent(int group) {
+    if (measuring_) ++groups_[group].data_sent;
+  }
+  void record_data_received(int group, bool marked) {
+    if (!measuring_) return;
+    auto& g = groups_[group];
+    ++g.data_received;
+    if (marked) ++g.data_marked;
+  }
+
+  /// One-way delay sample of a delivered data packet (seconds).
+  void record_delay(double seconds) {
+    if (measuring_) delay_.add(seconds);
+  }
+  /// Delay distribution across all groups (1 us .. 10 s log buckets).
+  const Histogram& delays() const { return delay_; }
+
+  const GroupCounters& group(int g) const {
+    static const GroupCounters empty{};
+    auto it = groups_.find(g);
+    return it == groups_.end() ? empty : it->second;
+  }
+
+  /// Aggregate over all groups.
+  GroupCounters total() const {
+    GroupCounters t;
+    for (const auto& [id, g] : groups_) {
+      t.attempts += g.attempts;
+      t.accepts += g.accepts;
+      t.data_sent += g.data_sent;
+      t.data_received += g.data_received;
+      t.data_marked += g.data_marked;
+    }
+    return t;
+  }
+
+  const std::map<int, GroupCounters>& groups() const { return groups_; }
+
+ private:
+  std::map<int, GroupCounters> groups_;
+  Histogram delay_{1e-6, 10.0};
+  bool measuring_ = false;
+};
+
+}  // namespace eac::stats

@@ -1,0 +1,63 @@
+// Log-spaced histogram for latency-like quantities spanning decades.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace eac::stats {
+
+/// Fixed log-spaced buckets between `min_value` and `max_value`; values
+/// outside are clamped into the edge buckets. Supports quantile queries.
+class Histogram {
+ public:
+  Histogram(double min_value, double max_value, std::size_t buckets = 64)
+      : min_{min_value},
+        log_min_{std::log(min_value)},
+        log_range_{std::log(max_value) - std::log(min_value)},
+        counts_(buckets, 0) {}
+
+  void add(double value) {
+    ++total_;
+    counts_[index(value)] += 1;
+  }
+
+  std::uint64_t count() const { return total_; }
+
+  /// Value at quantile q in [0, 1]; returns the upper edge of the bucket
+  /// containing the q-th sample. 0 when empty.
+  double quantile(double q) const {
+    if (total_ == 0) return 0;
+    const double target = q * static_cast<double>(total_);
+    double seen = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      seen += static_cast<double>(counts_[i]);
+      if (seen >= target) return upper_edge(i);
+    }
+    return upper_edge(counts_.size() - 1);
+  }
+
+  const std::vector<std::uint64_t>& buckets() const { return counts_; }
+
+ private:
+  std::size_t index(double value) const {
+    if (value <= min_) return 0;
+    const double pos = (std::log(value) - log_min_) / log_range_ *
+                       static_cast<double>(counts_.size());
+    if (pos < 0) return 0;
+    const auto i = static_cast<std::size_t>(pos);
+    return i >= counts_.size() ? counts_.size() - 1 : i;
+  }
+  double upper_edge(std::size_t i) const {
+    return std::exp(log_min_ + log_range_ * static_cast<double>(i + 1) /
+                                   static_cast<double>(counts_.size()));
+  }
+
+  double min_;
+  double log_min_;
+  double log_range_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace eac::stats

@@ -1,0 +1,67 @@
+// Streaming summary statistics (Welford) and a fixed-width time series.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace eac::stats {
+
+/// Numerically stable running mean/variance accumulator.
+class Summary {
+ public:
+  void add(double x) {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    if (x < min_ || n_ == 1) min_ = x;
+    if (x > max_ || n_ == 1) max_ = x;
+  }
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  /// Half-width of the normal-approximation 95 % confidence interval.
+  double ci95() const {
+    return n_ > 1 ? 1.96 * stddev() / std::sqrt(static_cast<double>(n_)) : 0.0;
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// Accumulates a quantity into fixed-width time buckets (e.g. TCP
+/// throughput per 10-second interval for Figure 11).
+class TimeSeries {
+ public:
+  explicit TimeSeries(sim::SimTime bucket_width) : width_{bucket_width} {}
+
+  void add(sim::SimTime t, double value) {
+    const std::size_t idx =
+        static_cast<std::size_t>(t.ns() / width_.ns());
+    if (buckets_.size() <= idx) buckets_.resize(idx + 1, 0.0);
+    buckets_[idx] += value;
+  }
+
+  const std::vector<double>& buckets() const { return buckets_; }
+  sim::SimTime bucket_width() const { return width_; }
+
+ private:
+  sim::SimTime width_;
+  std::vector<double> buckets_;
+};
+
+}  // namespace eac::stats

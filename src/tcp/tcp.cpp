@@ -1,0 +1,200 @@
+#include "tcp/tcp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eac::tcp {
+
+// --------------------------------------------------------------- TcpSender
+
+TcpSender::TcpSender(sim::Simulator& sim, net::FlowId flow, net::NodeId src,
+                     net::NodeId dst, net::PacketHandler& entry, TcpConfig cfg)
+    : sim_{sim},
+      flow_{flow},
+      src_{src},
+      dst_{dst},
+      entry_{&entry},
+      cfg_{cfg},
+      ssthresh_{cfg.initial_ssthresh_segments} {}
+
+void TcpSender::start() {
+  running_ = true;
+  send_allowed();
+  arm_rto();
+}
+
+void TcpSender::stop() {
+  running_ = false;
+  if (rto_timer_ != 0) {
+    sim_.cancel(rto_timer_);
+    rto_timer_ = 0;
+  }
+}
+
+void TcpSender::send_segment(std::uint32_t seq) {
+  net::Packet p;
+  p.flow = flow_;
+  p.src = src_;
+  p.dst = dst_;
+  p.size_bytes = cfg_.segment_bytes;
+  p.type = net::PacketType::kBestEffort;
+  p.band = 2;
+  p.tcp_seq = seq;
+  p.seq = seq;
+  p.created = sim_.now();
+  ++segments_sent_;
+  if (!timing_active_) {
+    timing_active_ = true;
+    timing_seq_ = seq;
+    timing_sent_ = sim_.now();
+  }
+  entry_->handle(p);
+}
+
+void TcpSender::send_allowed() {
+  if (!running_) return;
+  const auto window = static_cast<std::uint32_t>(cwnd_);
+  while (next_seq_ < snd_una_ + window) {
+    send_segment(next_seq_);
+    ++next_seq_;
+  }
+}
+
+void TcpSender::update_rtt(double sample_s) {
+  if (!rtt_valid_) {
+    srtt_ = sample_s;
+    rttvar_ = sample_s / 2;
+    rtt_valid_ = true;
+  } else {
+    rttvar_ = 0.75 * rttvar_ + 0.25 * std::abs(srtt_ - sample_s);
+    srtt_ = 0.875 * srtt_ + 0.125 * sample_s;
+  }
+  rto_ = std::clamp(srtt_ + 4 * rttvar_, cfg_.min_rto_s, cfg_.max_rto_s);
+}
+
+void TcpSender::arm_rto() {
+  if (rto_timer_ != 0) sim_.cancel(rto_timer_);
+  rto_timer_ = sim_.schedule_after(sim::SimTime::seconds(rto_),
+                                   [this] { on_timeout(); });
+}
+
+void TcpSender::handle(net::Packet ack) {
+  if (!running_ || (ack.tcp_flags & net::kTcpAck) == 0) return;
+  const std::uint32_t a = ack.tcp_ack;  // next segment the sink expects
+  if (a > snd_una_) {
+    on_new_ack(a);
+  } else if (a == snd_una_) {
+    on_dup_ack();
+  }
+}
+
+void TcpSender::on_new_ack(std::uint32_t ack) {
+  const std::uint32_t newly_acked = ack - snd_una_;
+  snd_una_ = ack;
+
+  if (timing_active_ && ack > timing_seq_) {
+    // Karn's rule: only time segments sent once; retransmission clears
+    // timing_active_ in on_timeout / fast retransmit below.
+    update_rtt((sim_.now() - timing_sent_).to_seconds());
+    timing_active_ = false;
+  }
+
+  if (in_fast_recovery_) {
+    if (ack >= recover_) {
+      // Full ACK: leave fast recovery, deflate.
+      in_fast_recovery_ = false;
+      cwnd_ = ssthresh_;
+      dup_acks_ = 0;
+    } else {
+      // Partial ACK (NewReno-style): retransmit the next hole, stay in
+      // recovery, deflate by the amount acked.
+      send_segment(snd_una_);
+      ++retransmits_;
+      cwnd_ = std::max(1.0, cwnd_ - newly_acked + 1);
+      arm_rto();
+      send_allowed();
+      return;
+    }
+  } else {
+    dup_acks_ = 0;
+    if (cwnd_ < ssthresh_) {
+      cwnd_ += newly_acked;  // slow start
+    } else {
+      cwnd_ += static_cast<double>(newly_acked) / cwnd_;  // cong. avoidance
+    }
+    cwnd_ = std::min(cwnd_, cfg_.max_cwnd_segments);
+  }
+  arm_rto();
+  send_allowed();
+}
+
+void TcpSender::on_dup_ack() {
+  if (in_fast_recovery_) {
+    cwnd_ += 1;  // inflate per additional dup ACK
+    send_allowed();
+    return;
+  }
+  if (++dup_acks_ == 3) {
+    // Fast retransmit + fast recovery.
+    const double flight = static_cast<double>(next_seq_ - snd_una_);
+    ssthresh_ = std::max(flight / 2, 2.0);
+    cwnd_ = ssthresh_ + 3;
+    recover_ = next_seq_;
+    in_fast_recovery_ = true;
+    timing_active_ = false;
+    send_segment(snd_una_);
+    ++retransmits_;
+    arm_rto();
+  }
+}
+
+void TcpSender::on_timeout() {
+  rto_timer_ = 0;
+  if (!running_) return;
+  if (snd_una_ >= next_seq_) {
+    // Nothing outstanding.
+    arm_rto();
+    return;
+  }
+  ++timeouts_;
+  const double flight = static_cast<double>(next_seq_ - snd_una_);
+  ssthresh_ = std::max(flight / 2, 2.0);
+  cwnd_ = 1;
+  dup_acks_ = 0;
+  in_fast_recovery_ = false;
+  timing_active_ = false;
+  rto_ = std::min(rto_ * 2, cfg_.max_rto_s);  // exponential backoff
+  next_seq_ = snd_una_;                       // go-back-N from the hole
+  ++retransmits_;
+  send_allowed();
+  arm_rto();
+}
+
+// ----------------------------------------------------------------- TcpSink
+
+void TcpSink::handle(net::Packet p) {
+  ++segments_received_;
+  if (p.tcp_seq == next_expected_) {
+    ++next_expected_;
+    auto it = out_of_order_.begin();
+    while (it != out_of_order_.end() && *it == next_expected_) {
+      ++next_expected_;
+      it = out_of_order_.erase(it);
+    }
+  } else if (p.tcp_seq > next_expected_) {
+    out_of_order_.insert(p.tcp_seq);
+  }
+  net::Packet ack;
+  ack.flow = flow_;
+  ack.src = host_;
+  ack.dst = peer_;
+  ack.size_bytes = ack_bytes_;
+  ack.type = net::PacketType::kBestEffort;
+  ack.band = 2;
+  ack.tcp_flags = net::kTcpAck;
+  ack.tcp_ack = next_expected_;
+  ack.created = sim_.now();
+  entry_->handle(ack);
+}
+
+}  // namespace eac::tcp

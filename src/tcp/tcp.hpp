@@ -1,0 +1,117 @@
+// TCP Reno, segment-granularity, for the incremental-deployment study
+// (Figure 11: admission-controlled traffic sharing a legacy drop-tail FIFO
+// with TCP Reno flows).
+//
+// The model is the classic ns-style abstraction: an always-backlogged
+// (FTP) sender, cumulative ACKs per received segment, slow start,
+// congestion avoidance, fast retransmit on three duplicate ACKs, fast
+// recovery, and an RTO timer with exponential backoff. Sequence numbers
+// count segments, not bytes.
+#pragma once
+
+#include <cstdint>
+#include <set>
+
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace eac::tcp {
+
+struct TcpConfig {
+  std::uint32_t segment_bytes = 1000;
+  std::uint32_t ack_bytes = 40;
+  double initial_ssthresh_segments = 64;
+  double max_cwnd_segments = 1e9;  ///< effectively unbounded by default
+  double min_rto_s = 0.2;
+  double max_rto_s = 60.0;
+};
+
+/// Always-backlogged Reno sender. Give it the entry handler (its access
+/// node); it addresses segments to (dst, flow) where a TcpSink must be
+/// attached.
+class TcpSender : public net::PacketHandler {
+ public:
+  TcpSender(sim::Simulator& sim, net::FlowId flow, net::NodeId src,
+            net::NodeId dst, net::PacketHandler& entry, TcpConfig cfg = {});
+
+  void start();
+  void stop();
+
+  /// ACK delivery path (attach as the sink for `flow` at the *source*
+  /// node; the sink sends ACKs back addressed to it).
+  void handle(net::Packet ack) override;
+
+  double cwnd_segments() const { return cwnd_; }
+  double ssthresh_segments() const { return ssthresh_; }
+  std::uint64_t segments_sent() const { return segments_sent_; }
+  std::uint64_t retransmits() const { return retransmits_; }
+  std::uint64_t timeouts() const { return timeouts_; }
+
+ private:
+  void send_allowed();
+  void send_segment(std::uint32_t seq);
+  void on_new_ack(std::uint32_t ack);
+  void on_dup_ack();
+  void on_timeout();
+  void arm_rto();
+  void update_rtt(double sample_s);
+
+  sim::Simulator& sim_;
+  net::FlowId flow_;
+  net::NodeId src_;
+  net::NodeId dst_;
+  net::PacketHandler* entry_;
+  TcpConfig cfg_;
+
+  bool running_ = false;
+  double cwnd_ = 1;
+  double ssthresh_;
+  std::uint32_t next_seq_ = 0;      ///< next new segment to send
+  std::uint32_t snd_una_ = 0;       ///< oldest unacknowledged segment
+  std::uint32_t recover_ = 0;       ///< fast-recovery exit point
+  int dup_acks_ = 0;
+  bool in_fast_recovery_ = false;
+
+  // RTT estimation (RFC 6298 style, in seconds).
+  double srtt_ = 0;
+  double rttvar_ = 0;
+  double rto_ = 1.0;
+  bool rtt_valid_ = false;
+  std::uint32_t timing_seq_ = 0;    ///< segment being timed
+  sim::SimTime timing_sent_;
+  bool timing_active_ = false;
+
+  sim::EventId rto_timer_ = 0;
+  std::uint64_t segments_sent_ = 0;
+  std::uint64_t retransmits_ = 0;
+  std::uint64_t timeouts_ = 0;
+};
+
+/// Receiver: cumulative ACK per arriving segment (no delayed ACKs),
+/// out-of-order segments buffered.
+class TcpSink : public net::PacketHandler {
+ public:
+  TcpSink(sim::Simulator& sim, net::FlowId flow, net::NodeId host,
+          net::NodeId peer, net::PacketHandler& entry,
+          std::uint32_t ack_bytes = 40)
+      : sim_{sim}, flow_{flow}, host_{host}, peer_{peer}, entry_{&entry},
+        ack_bytes_{ack_bytes} {}
+
+  void handle(net::Packet p) override;
+
+  std::uint32_t next_expected() const { return next_expected_; }
+  std::uint64_t segments_received() const { return segments_received_; }
+
+ private:
+  sim::Simulator& sim_;
+  net::FlowId flow_;
+  net::NodeId host_;
+  net::NodeId peer_;
+  net::PacketHandler* entry_;
+  std::uint32_t ack_bytes_;
+  std::uint32_t next_expected_ = 0;
+  std::set<std::uint32_t> out_of_order_;
+  std::uint64_t segments_received_ = 0;
+};
+
+}  // namespace eac::tcp

@@ -1,0 +1,57 @@
+// Token-bucket burst source: emits b bytes back-to-back, then stays
+// quiet for b/r while the bucket refills (§3.1: "put the probe packets
+// into bursts of size b followed by a quiescent period of time b/r").
+//
+// Used as an alternative probe shape: it stresses the queue the way the
+// flow's policed data worst-case would, instead of smoothing it out.
+#pragma once
+
+#include "traffic/source.hpp"
+
+namespace eac::traffic {
+
+class BurstSource : public AdjustableSource {
+ public:
+  /// `rate_bps` token rate r; `bucket_bytes` burst size b.
+  BurstSource(sim::Simulator& sim, SourceIdentity id, net::PacketHandler& out,
+              double rate_bps, double bucket_bytes)
+      : AdjustableSource{sim, id, out},
+        rate_bps_{rate_bps},
+        bucket_bytes_{bucket_bytes} {}
+
+  void start() override {
+    running_ = true;
+    burst();
+  }
+  void stop() override {
+    running_ = false;
+    if (pending_ != 0) {
+      sim_.cancel(pending_);
+      pending_ = 0;
+    }
+  }
+
+  void set_rate(double rate_bps) override { rate_bps_ = rate_bps; }
+  double rate_bps() const { return rate_bps_; }
+
+ private:
+  void burst() {
+    if (!running_) return;
+    const std::uint32_t pkts = static_cast<std::uint32_t>(
+        bucket_bytes_ / id_.packet_size) > 0
+            ? static_cast<std::uint32_t>(bucket_bytes_ / id_.packet_size)
+            : 1;
+    for (std::uint32_t i = 0; i < pkts; ++i) emit(id_.packet_size);
+    const double quiet_s =
+        static_cast<double>(pkts) * id_.packet_size * 8.0 / rate_bps_;
+    pending_ = sim_.schedule_after(sim::SimTime::seconds(quiet_s),
+                                   [this] { burst(); });
+  }
+
+  double rate_bps_;
+  double bucket_bytes_;
+  bool running_ = false;
+  sim::EventId pending_ = 0;
+};
+
+}  // namespace eac::traffic

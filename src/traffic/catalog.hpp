@@ -1,0 +1,50 @@
+// Table 1 of the paper: the named traffic source models.
+#pragma once
+
+#include "traffic/onoff_source.hpp"
+
+namespace eac::traffic {
+
+/// EXP1: 256 kbps burst, 500 ms on / 500 ms off, 128 kbps average.
+inline OnOffParams exp1() {
+  return {.burst_rate_bps = 256'000, .mean_on_s = 0.5, .mean_off_s = 0.5,
+          .dist = OnOffDistribution::kExponential};
+}
+
+/// EXP2: 1024 kbps burst, 125 ms on / 875 ms off, 128 kbps average
+/// (four times the burst rate of EXP1 at the same average).
+inline OnOffParams exp2() {
+  return {.burst_rate_bps = 1'024'000, .mean_on_s = 0.125, .mean_off_s = 0.875,
+          .dist = OnOffDistribution::kExponential};
+}
+
+/// EXP3: 512 kbps burst, 500 ms on / 500 ms off, 256 kbps average
+/// (twice the burst and average of EXP1).
+inline OnOffParams exp3() {
+  return {.burst_rate_bps = 512'000, .mean_on_s = 0.5, .mean_off_s = 0.5,
+          .dist = OnOffDistribution::kExponential};
+}
+
+/// EXP4: 256 kbps burst, 5 s on / 5 s off, 128 kbps average (long bursts).
+inline OnOffParams exp4() {
+  return {.burst_rate_bps = 256'000, .mean_on_s = 5.0, .mean_off_s = 5.0,
+          .dist = OnOffDistribution::kExponential};
+}
+
+/// POO1: Pareto on/off (shape 1.2), 256 kbps burst, 128 kbps average;
+/// aggregates to long-range-dependent traffic.
+inline OnOffParams poo1() {
+  return {.burst_rate_bps = 256'000, .mean_on_s = 0.5, .mean_off_s = 0.5,
+          .dist = OnOffDistribution::kPareto, .pareto_shape = 1.2};
+}
+
+/// Packet size used by all Table 1 on/off sources.
+inline constexpr std::uint32_t kOnOffPacketBytes = 125;
+
+/// Star-Wars-like trace parameters: 200-byte packets reshaped through an
+/// (800 kbps, 200 kbit) token bucket.
+inline constexpr std::uint32_t kTracePacketBytes = 200;
+inline constexpr double kTraceTokenRateBps = 800'000;
+inline constexpr double kTraceBucketBytes = 200'000.0 / 8.0;  // 200 kbit
+
+}  // namespace eac::traffic

@@ -1,0 +1,57 @@
+// Constant-bit-rate source: fixed-size packets at (almost) even spacing.
+//
+// A small random jitter (default +-2 %) is applied to each gap. Perfectly
+// periodic integer-nanosecond sources phase-lock against each other at a
+// full drop-tail queue - the drop pattern can then systematically miss one
+// flow entirely - which no real clock exhibits.
+#pragma once
+
+#include "sim/random.hpp"
+#include "traffic/source.hpp"
+
+namespace eac::traffic {
+
+class CbrSource : public AdjustableSource {
+ public:
+  CbrSource(sim::Simulator& sim, SourceIdentity id, net::PacketHandler& out,
+            double rate_bps, double jitter = 0.02)
+      : AdjustableSource{sim, id, out},
+        rate_bps_{rate_bps},
+        jitter_{jitter},
+        rng_{0xCB12, id.flow} {}
+
+  void start() override {
+    running_ = true;
+    tick();
+  }
+  void stop() override {
+    running_ = false;
+    if (pending_ != 0) {
+      sim_.cancel(pending_);
+      pending_ = 0;
+    }
+  }
+
+  /// Change the emission rate (slow-start probing ramps this).
+  void set_rate(double rate_bps) override { rate_bps_ = rate_bps; }
+  double rate_bps() const { return rate_bps_; }
+
+ private:
+  void tick() {
+    if (!running_) return;
+    emit(id_.packet_size);
+    const double factor = 1.0 + jitter_ * (2.0 * rng_.uniform() - 1.0);
+    const double gap_s =
+        static_cast<double>(id_.packet_size) * 8.0 / rate_bps_ * factor;
+    pending_ =
+        sim_.schedule_after(sim::SimTime::seconds(gap_s), [this] { tick(); });
+  }
+
+  double rate_bps_;
+  double jitter_;
+  sim::RandomStream rng_;
+  bool running_ = false;
+  sim::EventId pending_ = 0;
+};
+
+}  // namespace eac::traffic

@@ -1,0 +1,59 @@
+#include "traffic/onoff_source.hpp"
+
+namespace eac::traffic {
+
+double OnOffSource::draw(double mean) {
+  return params_.dist == OnOffDistribution::kExponential
+             ? rng_.exponential(mean)
+             : rng_.pareto(params_.pareto_shape, mean);
+}
+
+void OnOffSource::start() {
+  running_ = true;
+  // Begin in ON or OFF with the stationary probability so that a flow
+  // admitted mid-session looks statistically like a running one.
+  const double p_on = params_.mean_on_s / (params_.mean_on_s + params_.mean_off_s);
+  if (rng_.uniform() < p_on) {
+    enter_on();
+  } else {
+    enter_off();
+  }
+}
+
+void OnOffSource::stop() {
+  running_ = false;
+  if (pending_ != 0) {
+    sim_.cancel(pending_);
+    pending_ = 0;
+  }
+}
+
+void OnOffSource::enter_on() {
+  if (!running_) return;
+  on_ends_ = sim_.now() + sim::SimTime::seconds(draw(params_.mean_on_s));
+  send_tick();
+}
+
+void OnOffSource::enter_off() {
+  if (!running_) return;
+  pending_ = sim_.schedule_after(sim::SimTime::seconds(draw(params_.mean_off_s)),
+                                 [this] { enter_on(); });
+}
+
+void OnOffSource::send_tick() {
+  if (!running_) return;
+  if (sim_.now() >= on_ends_) {
+    enter_off();
+    return;
+  }
+  emit(id_.packet_size);
+  // +-2 % gap jitter: perfectly periodic sources phase-lock against each
+  // other at a full drop-tail queue (see CbrSource).
+  const double factor = 1.0 + 0.02 * (2.0 * rng_.uniform() - 1.0);
+  const double gap_s = static_cast<double>(id_.packet_size) * 8.0 /
+                       params_.burst_rate_bps * factor;
+  pending_ =
+      sim_.schedule_after(sim::SimTime::seconds(gap_s), [this] { send_tick(); });
+}
+
+}  // namespace eac::traffic

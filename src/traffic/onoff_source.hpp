@@ -1,0 +1,52 @@
+// On/off sources (Table 1 of the paper).
+//
+// During an ON period the source emits fixed-size packets at the burst
+// rate; OFF periods are silent. ON/OFF durations are exponential (EXP1-4)
+// or Pareto (POO1, which makes the aggregate long-range dependent).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/random.hpp"
+#include "traffic/source.hpp"
+
+namespace eac::traffic {
+
+enum class OnOffDistribution { kExponential, kPareto };
+
+/// Parameters of an on/off model; see Table 1 for the named instances.
+struct OnOffParams {
+  double burst_rate_bps = 256'000;
+  double mean_on_s = 0.5;
+  double mean_off_s = 0.5;
+  OnOffDistribution dist = OnOffDistribution::kExponential;
+  double pareto_shape = 1.2;  ///< used when dist == kPareto
+
+  double average_rate_bps() const {
+    return burst_rate_bps * mean_on_s / (mean_on_s + mean_off_s);
+  }
+};
+
+class OnOffSource : public TrafficSource {
+ public:
+  OnOffSource(sim::Simulator& sim, SourceIdentity id, net::PacketHandler& out,
+              OnOffParams params, std::uint64_t seed, std::uint64_t stream)
+      : TrafficSource{sim, id, out}, params_{params}, rng_{seed, stream} {}
+
+  void start() override;
+  void stop() override;
+
+ private:
+  double draw(double mean);
+  void enter_on();
+  void enter_off();
+  void send_tick();
+
+  OnOffParams params_;
+  sim::RandomStream rng_;
+  bool running_ = false;
+  sim::SimTime on_ends_;
+  sim::EventId pending_ = 0;
+};
+
+}  // namespace eac::traffic

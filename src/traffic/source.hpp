@@ -1,0 +1,81 @@
+// Traffic source base class.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace eac::traffic {
+
+/// Identity and addressing shared by every source type.
+struct SourceIdentity {
+  net::FlowId flow = 0;
+  net::NodeId src = 0;
+  net::NodeId dst = 0;
+  std::uint32_t packet_size = 125;
+  net::PacketType type = net::PacketType::kData;
+  std::uint8_t band = 0;
+  bool ecn_capable = true;
+};
+
+/// A source emits packets into `out` between start() and stop().
+class TrafficSource {
+ public:
+  TrafficSource(sim::Simulator& sim, SourceIdentity id, net::PacketHandler& out)
+      : sim_{sim}, id_{id}, out_{&out} {}
+  virtual ~TrafficSource() = default;
+  TrafficSource(const TrafficSource&) = delete;
+  TrafficSource& operator=(const TrafficSource&) = delete;
+
+  virtual void start() = 0;
+  virtual void stop() = 0;
+
+  std::uint64_t packets_sent() const { return sent_; }
+  std::uint64_t bytes_sent() const { return bytes_; }
+  const SourceIdentity& identity() const { return id_; }
+
+  /// Invoked on every emitted packet (admission bookkeeping hooks here).
+  void set_on_send(std::function<void(const net::Packet&)> cb) {
+    on_send_ = std::move(cb);
+  }
+
+ protected:
+  /// Build and emit one packet of `size` bytes.
+  void emit(std::uint32_t size) {
+    net::Packet p;
+    p.flow = id_.flow;
+    p.src = id_.src;
+    p.dst = id_.dst;
+    p.size_bytes = size;
+    p.seq = static_cast<std::uint32_t>(sent_);
+    p.type = id_.type;
+    p.band = id_.band;
+    p.ecn_capable = id_.ecn_capable;
+    p.created = sim_.now();
+    ++sent_;
+    bytes_ += size;
+    if (on_send_) on_send_(p);
+    out_->handle(p);
+  }
+
+  sim::Simulator& sim_;
+  SourceIdentity id_;
+  net::PacketHandler* out_;
+
+ private:
+  std::uint64_t sent_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::function<void(const net::Packet&)> on_send_;
+};
+
+/// A source whose emission rate can be changed while running (probe
+/// senders ramp through slow-start stages).
+class AdjustableSource : public TrafficSource {
+ public:
+  using TrafficSource::TrafficSource;
+  virtual void set_rate(double rate_bps) = 0;
+};
+
+}  // namespace eac::traffic

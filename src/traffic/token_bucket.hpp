@@ -1,0 +1,47 @@
+// (r, b) token bucket used both for conformance reshaping (the video
+// trace is reshaped by dropping, as in the paper) and for the rate
+// limiter inside schedulers.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace eac::traffic {
+
+class TokenBucket {
+ public:
+  /// `rate_bps` token fill rate; `bucket_bytes` depth b.
+  /// The bucket starts full.
+  TokenBucket(double rate_bps, double bucket_bytes)
+      : rate_bps_{rate_bps}, bucket_bytes_{bucket_bytes}, tokens_{bucket_bytes} {}
+
+  /// True (and tokens consumed) if a packet of `bytes` conforms at `now`.
+  bool conforms(std::uint32_t bytes, sim::SimTime now) {
+    refill(now);
+    const double need = static_cast<double>(bytes);
+    if (tokens_ >= need) {
+      tokens_ -= need;
+      return true;
+    }
+    return false;
+  }
+
+  double tokens() const { return tokens_; }
+  double rate_bps() const { return rate_bps_; }
+  double bucket_bytes() const { return bucket_bytes_; }
+
+ private:
+  void refill(sim::SimTime now) {
+    tokens_ += rate_bps_ / 8.0 * (now - last_).to_seconds();
+    if (tokens_ > bucket_bytes_) tokens_ = bucket_bytes_;
+    last_ = now;
+  }
+
+  double rate_bps_;
+  double bucket_bytes_;
+  double tokens_;
+  sim::SimTime last_;
+};
+
+}  // namespace eac::traffic

@@ -1,0 +1,56 @@
+#include "traffic/trace.hpp"
+
+#include <cmath>
+
+namespace eac::traffic {
+
+std::vector<std::uint32_t> generate_vbr_trace(const VbrTraceParams& params,
+                                              std::uint64_t seed,
+                                              std::uint64_t stream,
+                                              std::size_t frames) {
+  sim::RandomStream rng{seed, stream};
+  std::vector<std::uint32_t> out;
+  out.reserve(frames);
+
+  // Lognormal level with unit mean: exp(N(-s^2/2, s)).
+  const auto unit_lognormal = [&rng](double sigma) {
+    return rng.lognormal(-sigma * sigma / 2.0, sigma);
+  };
+
+  while (out.size() < frames) {
+    const double scene_level = unit_lognormal(params.scene_sigma);
+    const double scene_len =
+        rng.pareto(params.scene_shape, params.mean_scene_frames);
+    const std::size_t scene_frames =
+        static_cast<std::size_t>(scene_len < 1 ? 1 : scene_len);
+    for (std::size_t i = 0; i < scene_frames && out.size() < frames; ++i) {
+      double size = params.mean_frame_bytes * scene_level *
+                    unit_lognormal(params.frame_sigma);
+      if (size < 1) size = 1;
+      if (size > params.max_frame_bytes) size = params.max_frame_bytes;
+      out.push_back(static_cast<std::uint32_t>(size));
+    }
+  }
+  return out;
+}
+
+void TraceSource::frame_tick() {
+  if (!running_ || frames_.empty()) return;
+  const std::uint32_t frame = frames_[next_frame_];
+  next_frame_ = (next_frame_ + 1) % frames_.size();
+
+  // Packetize the frame; nonconforming packets are dropped at the source.
+  const std::uint32_t psize = id_.packet_size;
+  const std::uint32_t npkts = (frame + psize - 1) / psize;
+  for (std::uint32_t i = 0; i < npkts; ++i) {
+    if (bucket_.conforms(psize, sim_.now())) {
+      emit(psize);
+    } else {
+      ++reshaping_drops_;
+    }
+  }
+  pending_ = sim_.schedule_after(sim::SimTime::seconds(1.0 / fps_),
+                                 [this] { frame_tick(); });
+}
+
+}  // namespace eac::traffic

@@ -1,0 +1,78 @@
+// Trace-driven VBR video source plus a synthetic trace generator.
+//
+// The paper replays the Garrett & Willinger Star Wars MPEG trace, reshaped
+// by dropping through an (r = 800 kbps, b = 200 kbit) token bucket into
+// 200-byte packets. The original trace is not redistributable, so we
+// generate a statistically similar synthetic trace: 24 frames/s, lognormal
+// frame sizes modulated by Pareto-duration scene activity levels, which
+// yields long-range-dependent aggregate traffic. See DESIGN.md
+// (substitution #2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "traffic/source.hpp"
+#include "traffic/token_bucket.hpp"
+
+namespace eac::traffic {
+
+struct VbrTraceParams {
+  double fps = 24.0;
+  double mean_frame_bytes = 1900;   ///< ~365 kbps average before reshaping
+  double frame_sigma = 0.35;        ///< lognormal sigma within a scene
+  double scene_sigma = 0.55;        ///< lognormal sigma of scene levels
+  double mean_scene_frames = 120;   ///< ~5 s scenes
+  double scene_shape = 1.5;         ///< Pareto shape of scene durations (LRD)
+  std::uint32_t max_frame_bytes = 30'000;
+};
+
+/// Generate `frames` synthetic VBR frame sizes (bytes).
+std::vector<std::uint32_t> generate_vbr_trace(const VbrTraceParams& params,
+                                              std::uint64_t seed,
+                                              std::uint64_t stream,
+                                              std::size_t frames);
+
+/// Replays a frame-size trace: every 1/fps the next frame is packetized
+/// into fixed-size packets; each packet must conform to the token bucket
+/// or it is dropped at the source (reshaping by dropping, as in the paper).
+class TraceSource : public TrafficSource {
+ public:
+  TraceSource(sim::Simulator& sim, SourceIdentity id, net::PacketHandler& out,
+              std::vector<std::uint32_t> frame_bytes, double fps,
+              double bucket_rate_bps, double bucket_bytes,
+              std::size_t start_frame = 0)
+      : TrafficSource{sim, id, out},
+        frames_{std::move(frame_bytes)},
+        fps_{fps},
+        bucket_{bucket_rate_bps, bucket_bytes},
+        next_frame_{start_frame % (frames_.empty() ? 1 : frames_.size())} {}
+
+  void start() override {
+    running_ = true;
+    frame_tick();
+  }
+  void stop() override {
+    running_ = false;
+    if (pending_ != 0) {
+      sim_.cancel(pending_);
+      pending_ = 0;
+    }
+  }
+
+  std::uint64_t reshaping_drops() const { return reshaping_drops_; }
+
+ private:
+  void frame_tick();
+
+  std::vector<std::uint32_t> frames_;
+  double fps_;
+  TokenBucket bucket_;
+  std::size_t next_frame_ = 0;
+  bool running_ = false;
+  sim::EventId pending_ = 0;
+  std::uint64_t reshaping_drops_ = 0;
+};
+
+}  // namespace eac::traffic

@@ -1,0 +1,80 @@
+#include "eac/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tcp/tcp.hpp"
+#include "net/topology.hpp"
+#include "net/queue_disc.hpp"
+
+#include <memory>
+
+namespace eac {
+namespace {
+
+TEST(EacConfig, NamedDesignsMatchTheirKnobs) {
+  EXPECT_EQ(drop_in_band().signal, SignalType::kDrop);
+  EXPECT_EQ(drop_in_band().band, ProbeBand::kInBand);
+  EXPECT_EQ(drop_out_of_band().band, ProbeBand::kOutOfBand);
+  EXPECT_EQ(mark_in_band().signal, SignalType::kMark);
+  EXPECT_EQ(mark_out_of_band().signal, SignalType::kMark);
+  EXPECT_EQ(mark_out_of_band().band, ProbeBand::kOutOfBand);
+  EXPECT_EQ(virtual_drop_out_of_band().signal, SignalType::kVirtualDrop);
+  EXPECT_EQ(virtual_drop_out_of_band().band, ProbeBand::kOutOfBand);
+}
+
+TEST(EacConfig, NamesAreStable) {
+  EXPECT_EQ(drop_in_band().name(), "drop-inband");
+  EXPECT_EQ(drop_out_of_band().name(), "drop-outofband");
+  EXPECT_EQ(mark_in_band().name(), "mark-inband");
+  EXPECT_EQ(mark_out_of_band().name(), "mark-outofband");
+  EXPECT_EQ(virtual_drop_out_of_band().name(), "vdrop-outofband");
+}
+
+TEST(EacConfig, DefaultProbeIsFiveSecondSlowStart) {
+  const EacConfig cfg;
+  EXPECT_EQ(cfg.algo, ProbeAlgo::kSlowStart);
+  EXPECT_EQ(cfg.stages, 5);
+  EXPECT_DOUBLE_EQ(cfg.total_probe_seconds(), 5.0);
+}
+
+TEST(EacConfig, PaperEpsilonSweeps) {
+  // §3.2: in-band 0..0.05 step .01; out-of-band 0..0.20 step .05.
+  EXPECT_DOUBLE_EQ(kInBandEpsilons[0], 0.0);
+  EXPECT_DOUBLE_EQ(kInBandEpsilons[5], 0.05);
+  EXPECT_DOUBLE_EQ(kOutOfBandEpsilons[0], 0.0);
+  EXPECT_DOUBLE_EQ(kOutOfBandEpsilons[4], 0.20);
+}
+
+TEST(TcpSink, AckCarriesCumulativeNextExpected) {
+  sim::Simulator sim;
+  net::Topology topo{sim};
+  net::Node& h = topo.add_node();
+  struct AckCatcher : net::PacketHandler {
+    std::vector<net::Packet> acks;
+    void handle(net::Packet p) override { acks.push_back(p); }
+  } catcher;
+  tcp::TcpSink sink{sim, 4, h.id(), 9, catcher, 40};
+  auto seg = [](std::uint32_t seq) {
+    net::Packet p;
+    p.flow = 4;
+    p.tcp_seq = seq;
+    p.size_bytes = 1000;
+    return p;
+  };
+  sink.handle(seg(0));
+  sink.handle(seg(2));
+  sink.handle(seg(1));
+  ASSERT_EQ(catcher.acks.size(), 3u);
+  EXPECT_EQ(catcher.acks[0].tcp_ack, 1u);
+  EXPECT_EQ(catcher.acks[1].tcp_ack, 1u);  // duplicate ACK for the gap
+  EXPECT_EQ(catcher.acks[2].tcp_ack, 3u);  // hole filled: cumulative jump
+  for (const auto& a : catcher.acks) {
+    EXPECT_EQ(a.tcp_flags & net::kTcpAck, net::kTcpAck);
+    EXPECT_EQ(a.size_bytes, 40u);
+    EXPECT_EQ(a.dst, 9u);
+    EXPECT_EQ(a.type, net::PacketType::kBestEffort);
+  }
+}
+
+}  // namespace
+}  // namespace eac

@@ -1,0 +1,89 @@
+#include "eac/endpoint_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/priority_queue.hpp"
+#include "net/queue_disc.hpp"
+#include "net/topology.hpp"
+
+namespace eac {
+namespace {
+
+struct Rig {
+  Rig() : topo{sim} {
+    topo.add_node();
+    topo.add_node();
+    topo.add_link(0, 1, 10e6, sim::SimTime::milliseconds(20),
+                  std::make_unique<net::StrictPriorityQueue>(2, 200));
+  }
+  FlowSpec spec(net::FlowId id, double eps = 0.0) {
+    FlowSpec s;
+    s.flow = id;
+    s.src = 0;
+    s.dst = 1;
+    s.rate_bps = 256'000;
+    s.packet_size = 125;
+    s.epsilon = eps;
+    return s;
+  }
+  sim::Simulator sim;
+  net::Topology topo;
+};
+
+TEST(EndpointPolicy, ResolvesEachRequestExactlyOnce) {
+  Rig rig;
+  EndpointAdmission policy{rig.sim, rig.topo, drop_in_band()};
+  int verdicts = 0;
+  for (net::FlowId id = 1; id <= 5; ++id) {
+    policy.request(rig.spec(id), [&](bool) { ++verdicts; });
+  }
+  EXPECT_EQ(policy.active_probes(), 5u);
+  rig.sim.run(sim::SimTime::seconds(10));
+  EXPECT_EQ(verdicts, 5);
+  EXPECT_EQ(policy.active_probes(), 0u);
+}
+
+TEST(EndpointPolicy, ConcurrentProbesAreIndependent) {
+  Rig rig;
+  EndpointAdmission policy{rig.sim, rig.topo, drop_in_band()};
+  int admitted = 0;
+  // 10 concurrent probes at 256 kbps each = 2.56 Mbps on 10 Mbps: all
+  // must pass.
+  for (net::FlowId id = 1; id <= 10; ++id) {
+    policy.request(rig.spec(id), [&](bool ok) { admitted += ok ? 1 : 0; });
+  }
+  rig.sim.run(sim::SimTime::seconds(10));
+  EXPECT_EQ(admitted, 10);
+}
+
+TEST(EndpointPolicy, AccountsProbeTraffic) {
+  Rig rig;
+  EndpointAdmission policy{rig.sim, rig.topo, drop_in_band()};
+  policy.request(rig.spec(1), [](bool) {});
+  rig.sim.run(sim::SimTime::seconds(10));
+  // Slow-start probe at 256 kbps: ~(1/16+...+1) s of full rate = ~496 pkts.
+  EXPECT_NEAR(static_cast<double>(policy.probes_sent()), 496, 30);
+}
+
+TEST(EndpointPolicy, TooManyConcurrentProbesCollapseToRejections) {
+  Rig rig;
+  EndpointAdmission policy{rig.sim, rig.topo, drop_in_band()};
+  int admitted = 0, verdicts = 0;
+  // 80 concurrent probes want 20 Mbps on a 10 Mbps link: the probe
+  // traffic itself congests the link and most flows must be refused
+  // (the thrashing mechanism of §2.2.3).
+  for (net::FlowId id = 1; id <= 80; ++id) {
+    policy.request(rig.spec(id), [&](bool ok) {
+      ++verdicts;
+      admitted += ok ? 1 : 0;
+    });
+  }
+  rig.sim.run(sim::SimTime::seconds(15));
+  EXPECT_EQ(verdicts, 80);
+  EXPECT_LT(admitted, 45);
+}
+
+}  // namespace
+}  // namespace eac

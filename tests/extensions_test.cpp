@@ -1,0 +1,295 @@
+// Tests for the extension features: probe shapes, virtual dropping,
+// retry back-off, the RED scenario option, and the delay histogram.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "eac/endpoint_policy.hpp"
+#include "eac/flow_manager.hpp"
+#include "net/queue_disc.hpp"
+#include "net/topology.hpp"
+#include "net/virtual_drop_queue.hpp"
+#include "scenario/runner.hpp"
+#include "stats/histogram.hpp"
+#include "traffic/burst_source.hpp"
+#include "traffic/catalog.hpp"
+
+namespace eac {
+namespace {
+
+// ------------------------------------------------------------ BurstSource
+
+struct Collector : net::PacketHandler {
+  std::uint64_t packets = 0;
+  std::vector<sim::SimTime> times;
+  sim::Simulator* sim = nullptr;
+  void handle(net::Packet) override {
+    ++packets;
+    if (sim != nullptr) times.push_back(sim->now());
+  }
+};
+
+TEST(BurstSource, LongRunRateEqualsTokenRate) {
+  sim::Simulator sim;
+  Collector sink;
+  traffic::SourceIdentity id;
+  id.packet_size = 125;
+  traffic::BurstSource src{sim, id, sink, 256'000, 2500};  // 20-pkt bursts
+  src.start();
+  sim.run(sim::SimTime::seconds(100));
+  src.stop();
+  const double rate = static_cast<double>(sink.packets) * 125 * 8 / 100;
+  EXPECT_NEAR(rate, 256'000, 15'000);
+}
+
+TEST(BurstSource, EmitsBackToBackBursts) {
+  sim::Simulator sim;
+  Collector sink;
+  sink.sim = &sim;
+  traffic::SourceIdentity id;
+  id.packet_size = 125;
+  traffic::BurstSource src{sim, id, sink, 100'000, 1250};  // 10-pkt bursts
+  src.start();
+  sim.run(sim::SimTime::seconds(1));
+  src.stop();
+  ASSERT_GE(sink.times.size(), 11u);
+  // First ten packets simultaneous; the 11th a full quiet period later.
+  EXPECT_EQ(sink.times[0], sink.times[9]);
+  EXPECT_GT((sink.times[10] - sink.times[9]).to_seconds(), 0.05);
+}
+
+TEST(BurstSource, TinyBucketStillSendsOnePacket) {
+  sim::Simulator sim;
+  Collector sink;
+  traffic::SourceIdentity id;
+  id.packet_size = 125;
+  traffic::BurstSource src{sim, id, sink, 128'000, 10};  // b < packet
+  src.start();
+  sim.run(sim::SimTime::seconds(1));
+  src.stop();
+  EXPECT_GT(sink.packets, 50u);  // ~128 pps equivalent
+}
+
+// -------------------------------------------------------- VirtualDropQueue
+
+TEST(VirtualDropQueue, DropsOnlyProbesOnVirtualOverflow) {
+  net::VirtualDropQueue q{std::make_unique<net::DropTailQueue>(1000), 10'000,
+                          250, 2};
+  net::Packet data;
+  data.size_bytes = 125;
+  data.type = net::PacketType::kData;
+  net::Packet probe = data;
+  probe.type = net::PacketType::kProbe;
+  probe.band = 1;
+  // Fill the 250-byte virtual buffer with data; data is never v-dropped.
+  ASSERT_TRUE(q.enqueue(data, sim::SimTime::zero()));
+  ASSERT_TRUE(q.enqueue(data, sim::SimTime::zero()));
+  ASSERT_TRUE(q.enqueue(data, sim::SimTime::zero()));  // VQ overflow: kept
+  EXPECT_EQ(q.packet_count(), 3u);
+  // A probe hitting the overflowing virtual queue is really dropped.
+  EXPECT_FALSE(q.enqueue(probe, sim::SimTime::zero()));
+  EXPECT_EQ(q.drops().probe, 1u);
+  EXPECT_EQ(q.packet_count(), 3u);
+}
+
+TEST(VirtualDropQueue, ProbesPassWhenVirtualQueueHasRoom) {
+  net::VirtualDropQueue q{std::make_unique<net::DropTailQueue>(1000), 10'000,
+                          2500, 2};
+  net::Packet probe;
+  probe.size_bytes = 125;
+  probe.type = net::PacketType::kProbe;
+  probe.band = 1;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(q.enqueue(probe, sim::SimTime::zero()));
+  }
+  EXPECT_EQ(q.drops().probe, 0u);
+}
+
+// ---------------------------------------------------------------- Shapes
+
+TEST(ProbeShapes, EffectiveRateProbesFasterThanPaced) {
+  sim::Simulator sim;
+  net::Topology topo{sim};
+  net::Node& in = topo.add_node();
+  net::Node& out = topo.add_node();
+  topo.add_link(in.id(), out.id(), 100e6, sim::SimTime::milliseconds(1),
+                std::make_unique<net::DropTailQueue>(1000));
+  FlowSpec spec;
+  spec.flow = 1;
+  spec.src = in.id();
+  spec.dst = out.id();
+  spec.rate_bps = 256'000;
+  spec.bucket_bytes = 32'000;  // 8b/T = 256 kbps extra at 1 s stages
+  spec.packet_size = 125;
+
+  const auto count_probes = [&](ProbeShape shape) {
+    sim::Simulator local_sim;
+    net::Topology local_topo{local_sim};
+    net::Node& a = local_topo.add_node();
+    net::Node& b = local_topo.add_node();
+    local_topo.add_link(a.id(), b.id(), 100e6, sim::SimTime::milliseconds(1),
+                        std::make_unique<net::DropTailQueue>(1000));
+    EacConfig cfg = drop_in_band();
+    cfg.shape = shape;
+    FlowSpec s = spec;
+    std::uint64_t sent = 0;
+    {
+      ProbeSession session{local_sim, cfg, s, a, b, [](bool) {}};
+      local_sim.run(sim::SimTime::seconds(8));
+      sent = session.probes_sent();
+    }
+    return sent;
+  };
+
+  const std::uint64_t paced = count_probes(ProbeShape::kPaced);
+  const std::uint64_t effective = count_probes(ProbeShape::kEffectiveRate);
+  // r' = r + 8b/T = 2r here, so roughly twice the probe packets.
+  EXPECT_NEAR(static_cast<double>(effective) / static_cast<double>(paced),
+              2.0, 0.3);
+}
+
+// ------------------------------------------------------------ Retry logic
+
+TEST(RetryBackoff, RejectedFlowsRetryAndEventuallyGiveUp) {
+  sim::Simulator sim;
+  net::Topology topo{sim};
+  topo.add_node();
+  topo.add_node();
+  topo.add_link(0, 1, 10e6, sim::SimTime::milliseconds(1),
+                std::make_unique<net::DropTailQueue>(100));
+
+  class AlwaysReject : public AdmissionPolicy {
+   public:
+    void request(const FlowSpec&, std::function<void(bool)> decide) override {
+      ++requests;
+      decide(false);
+    }
+    int requests = 0;
+  } policy;
+
+  stats::FlowStats st;
+  FlowManagerConfig cfg;
+  FlowClass c;
+  c.arrival_rate_per_s = 0.1;
+  c.onoff = traffic::exp1();
+  cfg.classes = {c};
+  cfg.seed = 1;
+  cfg.max_retries = 3;
+  cfg.retry_backoff_s = 1.0;
+  FlowManager fm{sim, topo, policy, st, cfg};
+  fm.start();
+  sim.run(sim::SimTime::seconds(400));
+  // Each arrival makes 1 + 3 attempts.
+  EXPECT_NEAR(static_cast<double>(policy.requests),
+              4.0 * static_cast<double>(fm.gave_up()), 16.0);
+  EXPECT_GT(fm.gave_up(), 20u);
+  EXPECT_EQ(fm.retries(), 3 * fm.gave_up());
+}
+
+TEST(RetryBackoff, DisabledByDefault) {
+  sim::Simulator sim;
+  net::Topology topo{sim};
+  topo.add_node();
+  topo.add_node();
+  topo.add_link(0, 1, 10e6, sim::SimTime::milliseconds(1),
+                std::make_unique<net::DropTailQueue>(100));
+  class AlwaysReject : public AdmissionPolicy {
+   public:
+    void request(const FlowSpec&, std::function<void(bool)> decide) override {
+      decide(false);
+    }
+  } policy;
+  stats::FlowStats st;
+  FlowManagerConfig cfg;
+  FlowClass c;
+  c.arrival_rate_per_s = 1.0;
+  c.onoff = traffic::exp1();
+  cfg.classes = {c};
+  cfg.seed = 1;
+  FlowManager fm{sim, topo, policy, st, cfg};
+  fm.start();
+  sim.run(sim::SimTime::seconds(50));
+  EXPECT_EQ(fm.retries(), 0u);
+  EXPECT_EQ(fm.gave_up(), 0u);
+}
+
+// -------------------------------------------------------------- Histogram
+
+TEST(Histogram, QuantilesOfUniformSamples) {
+  stats::Histogram h{1e-3, 1e3, 128};
+  for (int i = 1; i <= 1000; ++i) h.add(static_cast<double>(i) / 10);
+  // Median ~ 50; log-bucket edges are coarse, allow slack.
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 10.0);
+  EXPECT_NEAR(h.quantile(0.99), 99.0, 15.0);
+}
+
+TEST(Histogram, ClampsOutOfRange) {
+  stats::Histogram h{1.0, 10.0, 8};
+  h.add(0.001);
+  h.add(1e6);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_LE(h.quantile(0.1), 2.0);
+  EXPECT_GE(h.quantile(0.9), 9.0);
+}
+
+TEST(Histogram, EmptyQuantileIsZero) {
+  stats::Histogram h{1.0, 10.0};
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+}
+
+// ------------------------------------------------------- Scenario options
+
+TEST(ScenarioExtensions, RedQueueOptionRuns) {
+  scenario::RunConfig cfg;
+  FlowClass c;
+  c.arrival_rate_per_s = 1.0 / 3.5;
+  c.onoff = traffic::exp1();
+  c.probe_rate_bps = c.onoff.burst_rate_bps;
+  c.epsilon = 0.01;
+  cfg.classes = {c};
+  cfg.ac_queue = scenario::AcQueueKind::kRed;
+  cfg.duration_s = 260;
+  cfg.warmup_s = 100;
+  const auto r = scenario::run_single_link(cfg);
+  EXPECT_GT(r.utilization, 0.4);
+  EXPECT_LT(r.loss(), 0.1);
+}
+
+TEST(ScenarioExtensions, VirtualDropDesignBehavesLikeMarking) {
+  scenario::RunConfig cfg;
+  FlowClass c;
+  c.arrival_rate_per_s = 1.0 / 3.5;
+  c.onoff = traffic::exp1();
+  c.probe_rate_bps = c.onoff.burst_rate_bps;
+  c.epsilon = 0.05;
+  cfg.classes = {c};
+  cfg.duration_s = 300;
+  cfg.warmup_s = 120;
+
+  cfg.eac = mark_out_of_band();
+  const auto mark = scenario::run_single_link(cfg);
+  cfg.eac = virtual_drop_out_of_band();
+  const auto vdrop = scenario::run_single_link(cfg);
+  EXPECT_NEAR(vdrop.utilization, mark.utilization, 0.05);
+  EXPECT_LT(vdrop.loss(), 0.01);
+}
+
+TEST(ScenarioExtensions, DelayPercentilesPopulated) {
+  scenario::RunConfig cfg;
+  FlowClass c;
+  c.arrival_rate_per_s = 1.0 / 3.5;
+  c.onoff = traffic::exp1();
+  c.probe_rate_bps = c.onoff.burst_rate_bps;
+  c.epsilon = 0.01;
+  cfg.classes = {c};
+  cfg.duration_s = 260;
+  cfg.warmup_s = 100;
+  const auto r = scenario::run_single_link(cfg);
+  // One-way delay >= 20 ms propagation, < 20 ms + 21 ms max queueing.
+  EXPECT_GT(r.delay_p50_s, 0.019);
+  EXPECT_LT(r.delay_p99_s, 0.062);
+  EXPECT_LE(r.delay_p50_s, r.delay_p99_s);
+}
+
+}  // namespace
+}  // namespace eac

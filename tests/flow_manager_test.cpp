@@ -1,0 +1,186 @@
+#include "eac/flow_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/queue_disc.hpp"
+#include "net/topology.hpp"
+#include "traffic/catalog.hpp"
+
+namespace eac {
+namespace {
+
+/// Policy with a scripted answer; records requests.
+class ScriptedPolicy : public AdmissionPolicy {
+ public:
+  explicit ScriptedPolicy(bool answer) : answer_{answer} {}
+  void request(const FlowSpec& spec,
+               std::function<void(bool)> decide) override {
+    ++requests;
+    last = spec;
+    decide(answer_);
+  }
+  int requests = 0;
+  FlowSpec last;
+
+ private:
+  bool answer_;
+};
+
+struct Rig {
+  Rig() : topo{sim} {
+    topo.add_node();
+    topo.add_node();
+    topo.add_link(0, 1, 100e6, sim::SimTime::milliseconds(1),
+                  std::make_unique<net::DropTailQueue>(1000));
+  }
+  sim::Simulator sim;
+  net::Topology topo;
+  stats::FlowStats stats;
+};
+
+FlowManagerConfig one_class(double rate_per_s, double lifetime = 60) {
+  FlowManagerConfig cfg;
+  FlowClass c;
+  c.arrival_rate_per_s = rate_per_s;
+  c.onoff = traffic::exp1();
+  c.probe_rate_bps = c.onoff.burst_rate_bps;
+  cfg.classes = {c};
+  cfg.mean_lifetime_s = lifetime;
+  cfg.seed = 3;
+  return cfg;
+}
+
+TEST(FlowManager, PoissonArrivalRateIsRespected) {
+  Rig rig;
+  ScriptedPolicy policy{false};
+  FlowManager fm{rig.sim, rig.topo, policy, rig.stats, one_class(2.0)};
+  fm.start();
+  rig.sim.run(sim::SimTime::seconds(500));
+  // 2/s over 500 s = 1000 expected; allow 4 sigma (~sqrt(1000) ~ 32).
+  EXPECT_NEAR(policy.requests, 1000, 130);
+}
+
+TEST(FlowManager, AdmittedFlowsBecomeActiveAndDepart) {
+  Rig rig;
+  ScriptedPolicy policy{true};
+  FlowManager fm{rig.sim, rig.topo, policy, rig.stats, one_class(1.0, 30)};
+  fm.start();
+  rig.sim.run(sim::SimTime::seconds(200));
+  // Steady state ~ lambda * lifetime = 30 active flows.
+  EXPECT_GT(fm.active_flows(), 10u);
+  EXPECT_LT(fm.active_flows(), 70u);
+}
+
+TEST(FlowManager, RejectedFlowsNeverActivate) {
+  Rig rig;
+  ScriptedPolicy policy{false};
+  FlowManager fm{rig.sim, rig.topo, policy, rig.stats, one_class(5.0)};
+  fm.start();
+  rig.sim.run(sim::SimTime::seconds(100));
+  EXPECT_GT(policy.requests, 100);
+  EXPECT_EQ(fm.active_flows(), 0u);
+}
+
+TEST(FlowManager, DecisionsOnlyCountedAfterMeasurementStarts) {
+  Rig rig;
+  ScriptedPolicy policy{true};
+  FlowManager fm{rig.sim, rig.topo, policy, rig.stats, one_class(1.0)};
+  fm.start();
+  rig.sim.run(sim::SimTime::seconds(100));
+  EXPECT_EQ(rig.stats.total().attempts, 0u);
+  rig.stats.begin_measurement();
+  rig.sim.run(sim::SimTime::seconds(200));
+  EXPECT_GT(rig.stats.total().attempts, 50u);
+}
+
+TEST(FlowManager, DataPacketsAreCountedSentAndReceived) {
+  Rig rig;
+  ScriptedPolicy policy{true};
+  FlowManager fm{rig.sim, rig.topo, policy, rig.stats, one_class(1.0)};
+  rig.stats.begin_measurement();
+  fm.start();
+  rig.sim.run(sim::SimTime::seconds(120));
+  const auto t = rig.stats.total();
+  EXPECT_GT(t.data_sent, 10'000u);
+  // Fat uncongested link: essentially everything arrives.
+  EXPECT_LE(t.data_received, t.data_sent);
+  EXPECT_GT(static_cast<double>(t.data_received),
+            0.99 * static_cast<double>(t.data_sent));
+}
+
+TEST(FlowManager, PrewarmPopulatesInstantly) {
+  Rig rig;
+  ScriptedPolicy policy{false};  // nothing admitted post-start
+  auto cfg = one_class(0.001);   // negligible arrivals
+  cfg.prewarm_bps = 5e6;         // ~39 EXP1 flows at 128 kbps average
+  FlowManager fm{rig.sim, rig.topo, policy, rig.stats, cfg};
+  fm.start();
+  rig.sim.run(sim::SimTime::seconds(1));
+  EXPECT_NEAR(static_cast<double>(fm.active_flows()), 39.0, 2.0);
+}
+
+TEST(FlowManager, PrewarmSplitsAcrossClassesByOfferedLoad) {
+  Rig rig;
+  ScriptedPolicy policy{false};
+  FlowManagerConfig cfg;
+  FlowClass a;  // EXP1, 128 kbps average
+  a.arrival_rate_per_s = 0.001;
+  a.onoff = traffic::exp1();
+  a.group = 0;
+  FlowClass b = a;  // EXP3: 256 kbps average, same arrival rate
+  b.onoff = traffic::exp3();
+  b.group = 1;
+  cfg.classes = {a, b};
+  cfg.prewarm_bps = 3e6;
+  cfg.seed = 3;
+  FlowManager fm{rig.sim, rig.topo, policy, rig.stats, cfg};
+  fm.start();
+  rig.sim.run(sim::SimTime::seconds(1));
+  // Offered load ratio 1:2 => 1 Mbps of EXP1 (~7 flows) + 2 Mbps of
+  // EXP3 (~7 flows).
+  EXPECT_NEAR(static_cast<double>(fm.active_flows()), 14.0, 3.0);
+}
+
+TEST(FlowManager, FlowIdsAreUnique) {
+  Rig rig;
+  ScriptedPolicy policy{true};
+  FlowManager fm{rig.sim, rig.topo, policy, rig.stats, one_class(5.0, 5)};
+  fm.start();
+  rig.sim.run(sim::SimTime::seconds(50));
+  EXPECT_EQ(fm.flows_created(), static_cast<net::FlowId>(policy.requests + 1));
+}
+
+TEST(FlowManager, GroupsReportedSeparately) {
+  Rig rig;
+  ScriptedPolicy policy{true};
+  FlowManagerConfig cfg = one_class(1.0);
+  cfg.classes.push_back(cfg.classes[0]);
+  cfg.classes[1].group = 7;
+  FlowManager fm{rig.sim, rig.topo, policy, rig.stats, cfg};
+  rig.stats.begin_measurement();
+  fm.start();
+  rig.sim.run(sim::SimTime::seconds(100));
+  EXPECT_GT(rig.stats.group(0).attempts, 50u);
+  EXPECT_GT(rig.stats.group(7).attempts, 50u);
+}
+
+TEST(FlowManager, SpecCarriesClassParameters) {
+  Rig rig;
+  ScriptedPolicy policy{false};
+  FlowManagerConfig cfg = one_class(10.0);
+  cfg.classes[0].epsilon = 0.03;
+  cfg.classes[0].probe_rate_bps = 512'000;
+  cfg.classes[0].packet_size = 200;
+  FlowManager fm{rig.sim, rig.topo, policy, rig.stats, cfg};
+  fm.start();
+  rig.sim.run(sim::SimTime::seconds(5));
+  ASSERT_GT(policy.requests, 0);
+  EXPECT_EQ(policy.last.epsilon, 0.03);
+  EXPECT_EQ(policy.last.rate_bps, 512'000);
+  EXPECT_EQ(policy.last.packet_size, 200u);
+}
+
+}  // namespace
+}  // namespace eac

@@ -1,0 +1,104 @@
+// End-to-end smoke tests: run the paper's basic scenario briefly and check
+// the dynamics are sane (flows admitted, utilization meaningful, losses
+// bounded, MBAC comparable).
+#include <gtest/gtest.h>
+
+#include "scenario/runner.hpp"
+#include "traffic/catalog.hpp"
+
+namespace eac::scenario {
+namespace {
+
+RunConfig basic(PolicyKind policy, EacConfig design, double epsilon) {
+  RunConfig cfg;
+  cfg.policy = policy;
+  cfg.eac = design;
+  FlowClass c;
+  c.arrival_rate_per_s = 1.0 / 3.5;
+  c.src = 0;
+  c.dst = 1;
+  c.onoff = traffic::exp1();
+  c.packet_size = traffic::kOnOffPacketBytes;
+  c.probe_rate_bps = c.onoff.burst_rate_bps;
+  c.epsilon = epsilon;
+  cfg.classes = {c};
+  cfg.duration_s = 260;
+  cfg.warmup_s = 60;
+  cfg.seed = 3;
+  return cfg;
+}
+
+TEST(IntegrationSmoke, DropInBandAdmitsAndCarriesTraffic) {
+  const RunResult r = run_single_link(basic(PolicyKind::kEndpoint,
+                                            drop_in_band(), 0.01));
+  EXPECT_GT(r.total.attempts, 20u);
+  EXPECT_GT(r.total.accepts, 10u);
+  EXPECT_GT(r.utilization, 0.5);
+  EXPECT_LT(r.utilization, 1.0);
+  EXPECT_LT(r.loss(), 0.05);
+  EXPECT_GT(r.total.data_sent, 100'000u);
+}
+
+TEST(IntegrationSmoke, BlockingOccursUnderOverload) {
+  const RunResult r = run_single_link(basic(PolicyKind::kEndpoint,
+                                            drop_in_band(), 0.01));
+  // Offered load is ~110% of the link; some flows must be blocked.
+  EXPECT_GT(r.blocking(), 0.02);
+  EXPECT_LT(r.blocking(), 0.9);
+}
+
+TEST(IntegrationSmoke, MarkOutOfBandHasVeryLowLoss) {
+  const RunResult r = run_single_link(basic(PolicyKind::kEndpoint,
+                                            mark_out_of_band(), 0.05));
+  EXPECT_GT(r.utilization, 0.4);
+  EXPECT_LT(r.loss(), 0.01);
+}
+
+TEST(IntegrationSmoke, MbacAdmitsAndControlsLoss) {
+  RunConfig cfg = basic(PolicyKind::kMbac, drop_in_band(), 0.0);
+  cfg.mbac_target_utilization = 0.9;
+  const RunResult r = run_single_link(cfg);
+  EXPECT_GT(r.total.accepts, 10u);
+  EXPECT_GT(r.utilization, 0.5);
+  EXPECT_LT(r.loss(), 0.05);
+}
+
+TEST(IntegrationSmoke, ZeroEpsilonStricterThanLoose) {
+  RunResult strict = run_single_link(basic(PolicyKind::kEndpoint,
+                                           drop_in_band(), 0.0));
+  RunResult loose = run_single_link(basic(PolicyKind::kEndpoint,
+                                          drop_in_band(), 0.05));
+  // A looser threshold admits at least as aggressively.
+  EXPECT_LE(strict.total.accepts, loose.total.accepts + 5);
+  EXPECT_LE(strict.utilization, loose.utilization + 0.05);
+}
+
+TEST(IntegrationSmoke, ProbeTrafficExcludedFromUtilization) {
+  const RunResult r = run_single_link(basic(PolicyKind::kEndpoint,
+                                            drop_in_band(), 0.01));
+  EXPECT_GT(r.probe_utilization, 0.0);
+  EXPECT_LT(r.probe_utilization, 0.3);
+}
+
+TEST(IntegrationSmoke, DeterministicAcrossIdenticalRuns) {
+  const RunConfig cfg = basic(PolicyKind::kEndpoint, drop_in_band(), 0.01);
+  const RunResult a = run_single_link(cfg);
+  const RunResult b = run_single_link(cfg);
+  EXPECT_EQ(a.total.accepts, b.total.accepts);
+  EXPECT_EQ(a.total.data_sent, b.total.data_sent);
+  EXPECT_EQ(a.utilization, b.utilization);
+}
+
+TEST(IntegrationSmoke, MultiLinkRunsAndLongFlowsSufferMore) {
+  RunConfig cfg = basic(PolicyKind::kEndpoint, drop_in_band(), 0.0);
+  cfg.classes[0].arrival_rate_per_s = 1.0 / 4.0;
+  const MultiLinkResult r = run_multi_link(cfg);
+  ASSERT_EQ(r.link_utilization.size(), 3u);
+  for (double u : r.link_utilization) EXPECT_GT(u, 0.2);
+  const auto lng = r.groups.find(3);
+  ASSERT_NE(lng, r.groups.end());
+  EXPECT_GT(lng->second.attempts, 10u);
+}
+
+}  // namespace
+}  // namespace eac::scenario

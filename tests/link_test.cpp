@@ -1,0 +1,185 @@
+#include "net/link.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/node.hpp"
+#include "net/queue_disc.hpp"
+#include "net/rate_limited_queue.hpp"
+#include "net/topology.hpp"
+
+namespace eac::net {
+namespace {
+
+/// Collects delivered packets with their arrival times.
+class Collector : public PacketHandler {
+ public:
+  explicit Collector(sim::Simulator& sim) : sim_{sim} {}
+  void handle(Packet p) override {
+    packets.push_back(p);
+    times.push_back(sim_.now());
+  }
+  std::vector<Packet> packets;
+  std::vector<sim::SimTime> times;
+
+ private:
+  sim::Simulator& sim_;
+};
+
+Packet data_packet(std::uint32_t size = 125, FlowId flow = 1) {
+  Packet p;
+  p.flow = flow;
+  p.size_bytes = size;
+  p.type = PacketType::kData;
+  return p;
+}
+
+TEST(Link, DeliversAfterTransmissionPlusPropagation) {
+  sim::Simulator sim;
+  Link link{sim, "l", 10e6, sim::SimTime::milliseconds(20),
+            std::make_unique<DropTailQueue>(10)};
+  Collector sink{sim};
+  link.set_destination(&sink);
+  link.handle(data_packet());
+  sim.run();
+  ASSERT_EQ(sink.packets.size(), 1u);
+  // 125 B at 10 Mbps = 100 us; plus 20 ms propagation.
+  EXPECT_EQ(sink.times[0],
+            sim::SimTime::microseconds(100) + sim::SimTime::milliseconds(20));
+}
+
+TEST(Link, SerializesBackToBackPackets) {
+  sim::Simulator sim;
+  Link link{sim, "l", 10e6, sim::SimTime::zero(),
+            std::make_unique<DropTailQueue>(10)};
+  Collector sink{sim};
+  link.set_destination(&sink);
+  for (int i = 0; i < 3; ++i) link.handle(data_packet());
+  sim.run();
+  ASSERT_EQ(sink.packets.size(), 3u);
+  EXPECT_EQ(sink.times[0], sim::SimTime::microseconds(100));
+  EXPECT_EQ(sink.times[1], sim::SimTime::microseconds(200));
+  EXPECT_EQ(sink.times[2], sim::SimTime::microseconds(300));
+}
+
+TEST(Link, CountsTransmittedBytesByType) {
+  sim::Simulator sim;
+  Link link{sim, "l", 10e6, sim::SimTime::zero(),
+            std::make_unique<DropTailQueue>(10)};
+  Collector sink{sim};
+  link.set_destination(&sink);
+  Packet d = data_packet(125);
+  Packet probe = data_packet(125);
+  probe.type = PacketType::kProbe;
+  link.handle(d);
+  link.handle(probe);
+  sim.run();
+  EXPECT_EQ(link.counters().bytes(PacketType::kData), 125u);
+  EXPECT_EQ(link.counters().bytes(PacketType::kProbe), 125u);
+  EXPECT_EQ(link.counters().packets(PacketType::kData), 1u);
+}
+
+TEST(Link, MeasurementWindowExcludesWarmup) {
+  sim::Simulator sim;
+  Link link{sim, "l", 10e6, sim::SimTime::zero(),
+            std::make_unique<DropTailQueue>(10)};
+  Collector sink{sim};
+  link.set_destination(&sink);
+  link.handle(data_packet());
+  sim.run();
+  link.begin_measurement();
+  EXPECT_EQ(link.measured().bytes(PacketType::kData), 0u);
+  link.handle(data_packet());
+  sim.run();
+  EXPECT_EQ(link.measured().bytes(PacketType::kData), 125u);
+  EXPECT_EQ(link.counters().bytes(PacketType::kData), 250u);
+}
+
+TEST(Link, UtilizationAgainstShare) {
+  sim::Simulator sim;
+  Link link{sim, "l", 10e6, sim::SimTime::zero(),
+            std::make_unique<DropTailQueue>(100)};
+  Collector sink{sim};
+  link.set_destination(&sink);
+  link.begin_measurement();
+  // 100 packets x 125 B = 100'000 bits over 1 second = 0.1 Mbps.
+  for (int i = 0; i < 100; ++i) link.handle(data_packet());
+  sim.run(sim::SimTime::seconds(1.0));
+  EXPECT_NEAR(link.measured_data_utilization(sim::SimTime::seconds(1.0)),
+              0.01, 1e-6);
+  EXPECT_NEAR(
+      link.measured_data_utilization(sim::SimTime::seconds(1.0), 1e6), 0.1,
+      1e-6);
+}
+
+TEST(Link, RateLimitedQueueIdlesLinkWithoutBestEffort) {
+  sim::Simulator sim;
+  // AC share 1 Mbps on a 10 Mbps link; bucket of one packet.
+  Link link{sim, "l", 10e6, sim::SimTime::zero(),
+            std::make_unique<RateLimitedPriorityQueue>(1e6, 125, 100, 100)};
+  Collector sink{sim};
+  link.set_destination(&sink);
+  for (int i = 0; i < 11; ++i) link.handle(data_packet());
+  sim.run(sim::SimTime::seconds(0.02));
+  // At 1 Mbps AC share, 125-byte packets leave at 1 per ms. In 20 ms
+  // about 20 could leave if unthrottled at link speed it would be all 11
+  // within 1.4 ms. The limiter spreads them to ~1/ms.
+  ASSERT_GE(sink.packets.size(), 10u);
+  const auto gap = sink.times[5] - sink.times[4];
+  EXPECT_NEAR(gap.to_seconds(), 0.001, 2e-4);
+}
+
+TEST(Node, RoutesByDestinationAndDeliversToFlowSink) {
+  sim::Simulator sim;
+  Topology topo{sim};
+  Node& a = topo.add_node();
+  Node& b = topo.add_node();
+  topo.add_link(a.id(), b.id(), 10e6, sim::SimTime::zero(),
+                std::make_unique<DropTailQueue>(10));
+  Collector sink{sim};
+  b.attach_sink(7, &sink);
+  Packet p = data_packet(125, 7);
+  p.dst = b.id();
+  a.handle(p);
+  sim.run();
+  ASSERT_EQ(sink.packets.size(), 1u);
+  EXPECT_EQ(sink.packets[0].flow, 7u);
+}
+
+TEST(Node, CountsUndeliverablePackets) {
+  sim::Simulator sim;
+  Topology topo{sim};
+  Node& a = topo.add_node();
+  Packet p = data_packet(125, 9);
+  p.dst = a.id();  // local, but no sink for flow 9
+  a.handle(p);
+  EXPECT_EQ(a.undeliverable(), 1u);
+  Packet q = data_packet(125, 9);
+  q.dst = 55;  // no route
+  a.handle(q);
+  EXPECT_EQ(a.undeliverable(), 2u);
+}
+
+TEST(Topology, BuildRoutesFindsMultiHopPaths) {
+  sim::Simulator sim;
+  Topology topo{sim};
+  // Chain: n0 -> n1 -> n2 -> n3.
+  for (int i = 0; i < 4; ++i) topo.add_node();
+  for (NodeId i = 0; i < 3; ++i) {
+    topo.add_link(i, i + 1, 10e6, sim::SimTime::zero(),
+                  std::make_unique<DropTailQueue>(10));
+  }
+  topo.build_routes();
+  Collector sink{sim};
+  topo.node(3).attach_sink(1, &sink);
+  Packet p = data_packet();
+  p.dst = 3;
+  topo.node(0).handle(p);
+  sim.run();
+  ASSERT_EQ(sink.packets.size(), 1u);
+}
+
+}  // namespace
+}  // namespace eac::net

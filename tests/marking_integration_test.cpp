@@ -1,0 +1,59 @@
+// Integration checks specific to the marking designs: marks flow through
+// to the endpoint statistics and the virtual queue signals earlier than
+// real losses.
+#include <gtest/gtest.h>
+
+#include "scenario/runner.hpp"
+#include "traffic/catalog.hpp"
+
+namespace eac::scenario {
+namespace {
+
+RunConfig marking_run(double eps) {
+  RunConfig cfg;
+  FlowClass c;
+  c.arrival_rate_per_s = 1.0 / 3.5;
+  c.onoff = traffic::exp1();
+  c.packet_size = traffic::kOnOffPacketBytes;
+  c.probe_rate_bps = c.onoff.burst_rate_bps;
+  c.epsilon = eps;
+  cfg.classes = {c};
+  cfg.eac = mark_in_band();
+  cfg.duration_s = 300;
+  cfg.warmup_s = 120;
+  cfg.seed = 23;
+  return cfg;
+}
+
+TEST(MarkingIntegration, DataPacketsGetMarkedUnderLoad) {
+  const RunResult r = run_single_link(marking_run(0.05));
+  // The system runs near the virtual queue's capacity: a visible share
+  // of delivered data packets must carry marks.
+  EXPECT_GT(r.total.data_marked, 100u);
+  EXPECT_LT(r.total.data_marked, r.total.data_received);
+}
+
+TEST(MarkingIntegration, MarksExceedLosses) {
+  // §2.2.2: "the rate of packet marking will be substantially higher
+  // than the rate of packet dropping".
+  const RunResult r = run_single_link(marking_run(0.05));
+  const double mark_fraction =
+      static_cast<double>(r.total.data_marked) /
+      static_cast<double>(r.total.data_received);
+  EXPECT_GT(mark_fraction, 5.0 * r.loss());
+}
+
+TEST(MarkingIntegration, MarkingAdmissionIsMoreConservativeThanDropping) {
+  RunConfig mark_cfg = marking_run(0.0);
+  RunConfig drop_cfg = mark_cfg;
+  drop_cfg.eac = drop_in_band();
+  const RunResult mark = run_single_link(mark_cfg);
+  const RunResult drop = run_single_link(drop_cfg);
+  // The virtual queue signals at 90% of capacity: utilization under
+  // marking stays at or below dropping's.
+  EXPECT_LE(mark.utilization, drop.utilization + 0.02);
+  EXPECT_LE(mark.loss(), drop.loss());
+}
+
+}  // namespace
+}  // namespace eac::scenario

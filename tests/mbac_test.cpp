@@ -1,0 +1,179 @@
+#include "mbac/measured_sum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "mbac/mbac_policy.hpp"
+#include "net/queue_disc.hpp"
+#include "net/topology.hpp"
+#include "traffic/onoff_source.hpp"
+
+namespace eac::mbac {
+namespace {
+
+struct Rig {
+  Rig() : topo{sim} {
+    topo.add_node();
+    topo.add_node();
+    link = &topo.add_link(0, 1, 10e6, sim::SimTime::milliseconds(1),
+                          std::make_unique<net::DropTailQueue>(500));
+  }
+
+  void add_load(double rate_bps, net::FlowId flow) {
+    traffic::SourceIdentity id;
+    id.flow = flow;
+    id.src = 0;
+    id.dst = 1;
+    id.packet_size = 125;
+    sources.push_back(std::make_unique<traffic::OnOffSource>(
+        sim, id, topo.node(0),
+        traffic::OnOffParams{.burst_rate_bps = rate_bps,
+                             .mean_on_s = 1e6,
+                             .mean_off_s = 1e-9},
+        9, flow));
+    sources.back()->start();
+  }
+
+  sim::Simulator sim;
+  net::Topology topo;
+  net::Link* link;
+  std::vector<std::unique_ptr<traffic::OnOffSource>> sources;
+};
+
+TEST(MeasuredSum, EstimateStartsAtZero) {
+  Rig rig;
+  MeasuredSumEstimator est{rig.sim, *rig.link, {}};
+  EXPECT_EQ(est.estimate_bps(), 0.0);
+}
+
+TEST(MeasuredSum, TracksSteadyLoad) {
+  Rig rig;
+  MeasuredSumEstimator est{rig.sim, *rig.link, {}};
+  rig.add_load(4e6, 1);
+  rig.sim.run(sim::SimTime::seconds(10));
+  EXPECT_NEAR(est.estimate_bps(), 4e6, 0.4e6);
+}
+
+TEST(MeasuredSum, AdmitsWhenRoomRejectsWhenFull) {
+  Rig rig;
+  MeasuredSumConfig cfg;
+  cfg.target_utilization = 0.9;  // 9 Mbps target on 10 Mbps
+  MeasuredSumEstimator est{rig.sim, *rig.link, cfg};
+  rig.add_load(4e6, 1);
+  rig.sim.run(sim::SimTime::seconds(10));
+  EXPECT_TRUE(est.fits(1e6));    // 4 + 1 <= 9
+  EXPECT_FALSE(est.fits(5.5e6)); // 4 + 5.5 > 9
+}
+
+TEST(MeasuredSum, AdmissionBoostPreventsBurstOveradmission) {
+  Rig rig;
+  MeasuredSumConfig cfg;
+  cfg.target_utilization = 0.9;
+  MeasuredSumEstimator est{rig.sim, *rig.link, cfg};
+  rig.add_load(4e6, 1);
+  rig.sim.run(sim::SimTime::seconds(10));
+  // Five back-to-back 1 Mbps admissions: the measurement hasn't moved,
+  // but the boost must stop the burst at the target.
+  int admitted = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (est.fits(1e6)) {
+      est.on_admit(1e6);
+      ++admitted;
+    }
+  }
+  EXPECT_EQ(admitted, 5);  // 4 measured + 5 boosts = 9 = target
+}
+
+TEST(MeasuredSum, BoostDecaysAfterWindow) {
+  Rig rig;
+  MeasuredSumConfig cfg;
+  cfg.sample_period_s = 0.1;
+  cfg.window_samples = 10;
+  MeasuredSumEstimator est{rig.sim, *rig.link, cfg};
+  est.on_admit(5e6);
+  EXPECT_GE(est.estimate_bps(), 5e6);
+  rig.sim.run(sim::SimTime::seconds(2.5));  // > one full window
+  EXPECT_LT(est.estimate_bps(), 1e6);
+}
+
+TEST(MeasuredSum, WindowKeepsPeakNotAverage) {
+  Rig rig;
+  MeasuredSumConfig cfg;
+  cfg.sample_period_s = 0.1;
+  cfg.window_samples = 20;
+  MeasuredSumEstimator est{rig.sim, *rig.link, cfg};
+  // Bursty load: 8 Mbps for 0.5 s then silence.
+  traffic::SourceIdentity id;
+  id.flow = 1;
+  id.src = 0;
+  id.dst = 1;
+  id.packet_size = 125;
+  traffic::OnOffSource burst{rig.sim, id, rig.topo.node(0),
+                             {.burst_rate_bps = 8e6,
+                              .mean_on_s = 0.5,
+                              .mean_off_s = 0.5},
+                             9, 1};
+  burst.start();
+  rig.sim.run(sim::SimTime::seconds(5));
+  // The max-of-window estimate must sit near the burst rate, well above
+  // the 4 Mbps average.
+  EXPECT_GT(est.estimate_bps(), 5.5e6);
+}
+
+TEST(MbacPolicy, SingleHopAdmitAndRegister) {
+  Rig rig;
+  MeasuredSumConfig cfg;
+  cfg.target_utilization = 0.5;
+  MeasuredSumEstimator est{rig.sim, *rig.link, cfg};
+  MbacPolicy policy{[&](net::NodeId, net::NodeId) {
+    return std::vector<MeasuredSumEstimator*>{&est};
+  }};
+  FlowSpec spec;
+  spec.rate_bps = 2e6;
+  int verdicts = 0;
+  bool last = false;
+  const auto cb = [&](bool ok) {
+    ++verdicts;
+    last = ok;
+  };
+  policy.request(spec, cb);  // 0 + 2 <= 5
+  EXPECT_TRUE(last);
+  policy.request(spec, cb);  // boost 2 + 2 <= 5
+  EXPECT_TRUE(last);
+  policy.request(spec, cb);  // boost 4 + 2 > 5
+  EXPECT_FALSE(last);
+  EXPECT_EQ(verdicts, 3);
+}
+
+TEST(MbacPolicy, MultiHopRequiresEveryHop) {
+  Rig rig;
+  MeasuredSumConfig cfg;
+  cfg.target_utilization = 0.5;
+  MeasuredSumEstimator a{rig.sim, *rig.link, cfg};
+  MeasuredSumEstimator b{rig.sim, *rig.link, cfg};
+  b.on_admit(4.5e6);  // hop b nearly full
+  MbacPolicy policy{[&](net::NodeId, net::NodeId) {
+    return std::vector<MeasuredSumEstimator*>{&a, &b};
+  }};
+  FlowSpec spec;
+  spec.rate_bps = 2e6;
+  bool verdict = true;
+  policy.request(spec, [&](bool ok) { verdict = ok; });
+  EXPECT_FALSE(verdict);
+  // A rejected flow must not leave a reservation on hop a.
+  EXPECT_TRUE(a.fits(4.9e6));
+}
+
+TEST(MbacPolicy, EmptyPathAdmits) {
+  MbacPolicy policy{[](net::NodeId, net::NodeId) {
+    return std::vector<MeasuredSumEstimator*>{};
+  }};
+  FlowSpec spec;
+  bool verdict = false;
+  policy.request(spec, [&](bool ok) { verdict = ok; });
+  EXPECT_TRUE(verdict);
+}
+
+}  // namespace
+}  // namespace eac::mbac

@@ -1,0 +1,92 @@
+#include "eac/passive_egress.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/queue_disc.hpp"
+#include "net/topology.hpp"
+#include "traffic/onoff_source.hpp"
+
+namespace eac {
+namespace {
+
+struct Rig {
+  Rig() : topo{sim} {
+    topo.add_node();
+    topo.add_node();
+    link = &topo.add_link(0, 1, 10e6, sim::SimTime::milliseconds(1),
+                          std::make_unique<net::DropTailQueue>(500));
+  }
+  void load(double rate_bps) {
+    traffic::SourceIdentity id;
+    id.flow = 1;
+    id.src = 0;
+    id.dst = 1;
+    id.packet_size = 125;
+    src = std::make_unique<traffic::OnOffSource>(
+        sim, id, topo.node(0),
+        traffic::OnOffParams{.burst_rate_bps = rate_bps,
+                             .mean_on_s = 1e6,
+                             .mean_off_s = 1e-9},
+        9, 1);
+    src->start();
+    sim.run(sim.now() + sim::SimTime::seconds(5));
+  }
+  sim::Simulator sim;
+  net::Topology topo;
+  net::Link* link;
+  std::unique_ptr<traffic::OnOffSource> src;
+};
+
+FlowSpec spec(double rate) {
+  FlowSpec s;
+  s.rate_bps = rate;
+  return s;
+}
+
+TEST(PassiveEgress, DecidesImmediately) {
+  Rig rig;
+  PassiveEgressAdmission policy{rig.sim, {rig.link}, 10e6, 0.9};
+  bool decided = false;
+  policy.request(spec(1e6), [&](bool ok) {
+    decided = true;
+    EXPECT_TRUE(ok);
+  });
+  EXPECT_TRUE(decided);  // no probing delay at all
+}
+
+TEST(PassiveEgress, RejectsWhenObservedLoadIsHigh) {
+  Rig rig;
+  PassiveEgressAdmission policy{rig.sim, {rig.link}, 10e6, 0.9};
+  rig.load(8.5e6);
+  bool verdict = true;
+  policy.request(spec(1e6), [&](bool ok) { verdict = ok; });
+  EXPECT_FALSE(verdict);  // 8.5 + 1 > 9
+}
+
+TEST(PassiveEgress, AdmissionsReserveUntilMeasurementCatchesUp) {
+  Rig rig;
+  PassiveEgressAdmission policy{rig.sim, {rig.link}, 10e6, 0.9};
+  int admitted = 0;
+  for (int i = 0; i < 12; ++i) {
+    policy.request(spec(1e6), [&](bool ok) { admitted += ok ? 1 : 0; });
+  }
+  EXPECT_EQ(admitted, 9);  // 9 x 1 Mbps fills the 9 Mbps headroom
+}
+
+TEST(PassiveEgress, WatchesTheWorstOfSeveralLinks) {
+  Rig rig;
+  net::Link& second = rig.topo.add_link(1, 0, 10e6,
+                                        sim::SimTime::milliseconds(1),
+                                        std::make_unique<net::DropTailQueue>(500));
+  PassiveEgressAdmission policy{rig.sim, {rig.link, &second}, 10e6, 0.9};
+  rig.load(8.5e6);  // only the first link is loaded
+  bool verdict = true;
+  policy.request(spec(1e6), [&](bool ok) { verdict = ok; });
+  EXPECT_FALSE(verdict);
+  EXPECT_GT(policy.estimate_bps(), 7e6);
+}
+
+}  // namespace
+}  // namespace eac

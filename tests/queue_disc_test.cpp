@@ -1,0 +1,278 @@
+#include "net/queue_disc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/fair_queue.hpp"
+#include "net/priority_queue.hpp"
+#include "net/rate_limited_queue.hpp"
+#include "net/red_queue.hpp"
+
+namespace eac::net {
+namespace {
+
+Packet make_packet(FlowId flow, std::uint8_t band = 0,
+                   PacketType type = PacketType::kData,
+                   std::uint32_t size = 125) {
+  Packet p;
+  p.flow = flow;
+  p.band = band;
+  p.type = type;
+  p.size_bytes = size;
+  return p;
+}
+
+// ---------------------------------------------------------------- DropTail
+
+TEST(DropTail, FifoOrder) {
+  DropTailQueue q{10};
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    Packet p = make_packet(1);
+    p.seq = i;
+    ASSERT_TRUE(q.enqueue(p, {}));
+  }
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    auto p = q.dequeue({});
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->seq, i);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(DropTail, DropsWhenFull) {
+  DropTailQueue q{3};
+  EXPECT_TRUE(q.enqueue(make_packet(1), {}));
+  EXPECT_TRUE(q.enqueue(make_packet(1), {}));
+  EXPECT_TRUE(q.enqueue(make_packet(1), {}));
+  EXPECT_FALSE(q.enqueue(make_packet(1), {}));
+  EXPECT_EQ(q.drops().data, 1u);
+  EXPECT_EQ(q.packet_count(), 3u);
+}
+
+TEST(DropTail, DequeueEmptyReturnsNullopt) {
+  DropTailQueue q{3};
+  EXPECT_FALSE(q.dequeue({}).has_value());
+}
+
+// ---------------------------------------------------- StrictPriorityQueue
+
+TEST(StrictPriority, HigherBandServedFirst) {
+  StrictPriorityQueue q{2, 10};
+  ASSERT_TRUE(q.enqueue(make_packet(1, 1, PacketType::kProbe), {}));
+  ASSERT_TRUE(q.enqueue(make_packet(2, 0), {}));
+  auto first = q.dequeue({});
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->band, 0);
+  auto second = q.dequeue({});
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->band, 1);
+}
+
+TEST(StrictPriority, DataPushesOutResidentProbeWhenFull) {
+  StrictPriorityQueue q{2, 3};
+  ASSERT_TRUE(q.enqueue(make_packet(1, 0), {}));
+  ASSERT_TRUE(q.enqueue(make_packet(2, 1, PacketType::kProbe), {}));
+  ASSERT_TRUE(q.enqueue(make_packet(3, 1, PacketType::kProbe), {}));
+  // Full. Arriving data evicts the most recent probe (flow 3).
+  ASSERT_TRUE(q.enqueue(make_packet(4, 0), {}));
+  EXPECT_EQ(q.drops().probe, 1u);
+  EXPECT_EQ(q.packet_count(), 3u);
+  EXPECT_EQ(q.band_count(1), 1u);
+  // The surviving probe is flow 2.
+  q.dequeue({});
+  q.dequeue({});
+  auto probe = q.dequeue({});
+  ASSERT_TRUE(probe.has_value());
+  EXPECT_EQ(probe->flow, 2u);
+}
+
+TEST(StrictPriority, ProbeArrivingAtFullBufferIsDropped) {
+  StrictPriorityQueue q{2, 2};
+  ASSERT_TRUE(q.enqueue(make_packet(1, 0), {}));
+  ASSERT_TRUE(q.enqueue(make_packet(2, 0), {}));
+  EXPECT_FALSE(q.enqueue(make_packet(3, 1, PacketType::kProbe), {}));
+  EXPECT_EQ(q.drops().probe, 1u);
+}
+
+TEST(StrictPriority, DataDroppedWhenFullOfData) {
+  StrictPriorityQueue q{2, 2};
+  ASSERT_TRUE(q.enqueue(make_packet(1, 0), {}));
+  ASSERT_TRUE(q.enqueue(make_packet(2, 0), {}));
+  EXPECT_FALSE(q.enqueue(make_packet(3, 0), {}));
+  EXPECT_EQ(q.drops().data, 1u);
+}
+
+TEST(StrictPriority, PushOutDisabledDropsArrival) {
+  StrictPriorityQueue q{2, 2, /*push_out=*/false};
+  ASSERT_TRUE(q.enqueue(make_packet(1, 1, PacketType::kProbe), {}));
+  ASSERT_TRUE(q.enqueue(make_packet(2, 1, PacketType::kProbe), {}));
+  EXPECT_FALSE(q.enqueue(make_packet(3, 0), {}));
+  EXPECT_EQ(q.drops().data, 1u);
+}
+
+// --------------------------------------------------------------- FairQueue
+
+TEST(FairQueue, RoundRobinsEqualSizePackets) {
+  // Quantum = packet size -> exactly one packet per flow per round.
+  FairQueue q{100, 125};
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    Packet a = make_packet(1);
+    a.seq = i;
+    Packet b = make_packet(2);
+    b.seq = i;
+    ASSERT_TRUE(q.enqueue(a, {}));
+    ASSERT_TRUE(q.enqueue(b, {}));
+  }
+  // Each flow should get alternating service.
+  int flow1 = 0, flow2 = 0;
+  for (int i = 0; i < 4; ++i) {
+    auto p = q.dequeue({});
+    ASSERT_TRUE(p.has_value());
+    (p->flow == 1 ? flow1 : flow2)++;
+  }
+  EXPECT_EQ(flow1, 2);
+  EXPECT_EQ(flow2, 2);
+}
+
+TEST(FairQueue, LongestQueueDropPenalizesHog) {
+  FairQueue q{4, 200};
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(q.enqueue(make_packet(1), {}));
+  }
+  // Buffer full of flow 1; arrival from flow 2 evicts from flow 1.
+  ASSERT_TRUE(q.enqueue(make_packet(2), {}));
+  EXPECT_EQ(q.drops().data, 1u);
+  int flow2_seen = 0;
+  while (auto p = q.dequeue({})) {
+    if (p->flow == 2) ++flow2_seen;
+  }
+  EXPECT_EQ(flow2_seen, 1);
+}
+
+TEST(FairQueue, ArrivalFromHogIsDroppedWhenItIsLongest) {
+  FairQueue q{4, 200};
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(q.enqueue(make_packet(1), {}));
+  }
+  EXPECT_FALSE(q.enqueue(make_packet(1), {}));
+}
+
+// ---------------------------------------------------- RateLimitedPriority
+
+TEST(RateLimited, BestEffortSeparateFromAc) {
+  RateLimitedPriorityQueue q{5e6, 10'000, 10, 10};
+  ASSERT_TRUE(q.enqueue(make_packet(1, 0, PacketType::kData), {}));
+  ASSERT_TRUE(q.enqueue(make_packet(2, 2, PacketType::kBestEffort), {}));
+  auto p = q.dequeue({});
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->type, PacketType::kData);
+}
+
+TEST(RateLimited, AcStopsWhenTokensExhausted) {
+  // Bucket of exactly two packets, zero refill over the test horizon.
+  RateLimitedPriorityQueue q{8.0 /*1 byte per s*/, 250, 10, 10};
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(q.enqueue(make_packet(1, 0, PacketType::kData), {}));
+  }
+  EXPECT_TRUE(q.dequeue({}).has_value());
+  EXPECT_TRUE(q.dequeue({}).has_value());
+  // Third packet: no tokens, no best effort -> link must idle.
+  EXPECT_FALSE(q.dequeue({}).has_value());
+  EXPECT_FALSE(q.empty());
+  EXPECT_GT(q.next_ready({}).ns(), 0);
+}
+
+TEST(RateLimited, BestEffortSentWhileAcThrottled) {
+  RateLimitedPriorityQueue q{8.0, 125, 10, 10};
+  ASSERT_TRUE(q.enqueue(make_packet(1, 0, PacketType::kData), {}));
+  ASSERT_TRUE(q.enqueue(make_packet(2, 0, PacketType::kData), {}));
+  ASSERT_TRUE(q.enqueue(make_packet(3, 2, PacketType::kBestEffort), {}));
+  auto first = q.dequeue({});
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->type, PacketType::kData);
+  // AC throttled: best effort goes out instead.
+  auto second = q.dequeue({});
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->type, PacketType::kBestEffort);
+}
+
+TEST(RateLimited, DataPushesOutProbeInSharedAcBuffer) {
+  RateLimitedPriorityQueue q{5e6, 10'000, 2, 10};
+  ASSERT_TRUE(q.enqueue(make_packet(1, 0, PacketType::kData), {}));
+  ASSERT_TRUE(q.enqueue(make_packet(2, 1, PacketType::kProbe), {}));
+  ASSERT_TRUE(q.enqueue(make_packet(3, 0, PacketType::kData), {}));
+  EXPECT_EQ(q.drops().probe, 1u);
+}
+
+TEST(RateLimited, TokensRefillOverTime) {
+  RateLimitedPriorityQueue q{1000.0 /*bps*/, 125, 10, 10};
+  ASSERT_TRUE(q.enqueue(make_packet(1, 0, PacketType::kData), {}));
+  ASSERT_TRUE(q.enqueue(make_packet(2, 0, PacketType::kData), {}));
+  EXPECT_TRUE(q.dequeue(sim::SimTime::zero()).has_value());
+  EXPECT_FALSE(q.dequeue(sim::SimTime::zero()).has_value());
+  // 125 bytes at 1000 bps = 1 s to earn the next packet.
+  const sim::SimTime ready = q.next_ready(sim::SimTime::zero());
+  EXPECT_NEAR(ready.to_seconds(), 1.0, 1e-6);
+  EXPECT_TRUE(q.dequeue(sim::SimTime::seconds(1.0)).has_value());
+}
+
+// -------------------------------------------------------------------- RED
+
+TEST(Red, NoDropsBelowMinThreshold) {
+  RedConfig cfg;
+  cfg.min_th_packets = 5;
+  cfg.max_th_packets = 15;
+  RedQueue q{cfg, 1, 1};
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(q.enqueue(make_packet(1), sim::SimTime::zero()));
+  }
+  EXPECT_EQ(q.drops().total(), 0u);
+}
+
+TEST(Red, HardLimitStillEnforced) {
+  RedConfig cfg;
+  cfg.limit_packets = 3;
+  cfg.min_th_packets = 100;  // disable early drop
+  cfg.max_th_packets = 200;
+  RedQueue q{cfg, 1, 1};
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(q.enqueue(make_packet(1), sim::SimTime::zero()));
+  }
+  EXPECT_FALSE(q.enqueue(make_packet(1), sim::SimTime::zero()));
+}
+
+TEST(Red, SustainedOverloadTriggersEarlyDrops) {
+  RedConfig cfg;
+  cfg.min_th_packets = 2;
+  cfg.max_th_packets = 6;
+  cfg.weight = 0.2;  // fast-moving average for the test
+  cfg.limit_packets = 100;
+  RedQueue q{cfg, 1, 1};
+  int dropped = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (!q.enqueue(make_packet(1), sim::SimTime::zero())) ++dropped;
+  }
+  EXPECT_GT(dropped, 0);
+}
+
+TEST(Red, EcnMarkInsteadOfDropWhenConfigured) {
+  RedConfig cfg;
+  cfg.min_th_packets = 0.0;
+  cfg.max_th_packets = 1.0;
+  cfg.max_p = 1.0;
+  cfg.weight = 1.0;
+  cfg.mark_instead_of_drop = true;
+  RedQueue q{cfg, 1, 1};
+  Packet p = make_packet(1);
+  p.ecn_capable = true;
+  ASSERT_TRUE(q.enqueue(p, sim::SimTime::zero()));
+  ASSERT_TRUE(q.enqueue(p, sim::SimTime::zero()));  // avg now >= max_th
+  EXPECT_EQ(q.drops().total(), 0u);
+  bool any_marked = false;
+  while (auto out = q.dequeue(sim::SimTime::zero())) {
+    if (out->ecn_marked) any_marked = true;
+  }
+  EXPECT_TRUE(any_marked);
+}
+
+}  // namespace
+}  // namespace eac::net

@@ -1,0 +1,154 @@
+// Property tests: invariants every queue discipline must satisfy, run
+// against all of them plus randomized workloads.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "net/fair_queue.hpp"
+#include "net/marking_queue.hpp"
+#include "net/priority_queue.hpp"
+#include "net/queue_disc.hpp"
+#include "net/rate_limited_queue.hpp"
+#include "net/red_queue.hpp"
+#include "net/wfq_queue.hpp"
+#include "sim/random.hpp"
+
+namespace eac::net {
+namespace {
+
+struct DiscFactory {
+  std::string name;
+  std::function<std::unique_ptr<QueueDisc>()> make;
+  std::size_t limit;  ///< nominal packet capacity
+};
+
+std::vector<DiscFactory> factories() {
+  return {
+      {"DropTail", [] { return std::make_unique<DropTailQueue>(64); }, 64},
+      {"Priority2", [] { return std::make_unique<StrictPriorityQueue>(2, 64); },
+       64},
+      {"Priority3", [] { return std::make_unique<StrictPriorityQueue>(3, 64); },
+       64},
+      {"FairQueue", [] { return std::make_unique<FairQueue>(64, 125); }, 64},
+      {"WFQ", [] { return std::make_unique<WfqQueue>(64); }, 64},
+      {"RateLimited",
+       [] {
+         // Generous share so eligibility does not starve the test.
+         return std::make_unique<RateLimitedPriorityQueue>(1e9, 1e9, 64, 64);
+       },
+       128},
+      {"Marking",
+       [] {
+         return std::make_unique<MarkingQueue>(
+             std::make_unique<StrictPriorityQueue>(2, 64), 9e6, 8000, 2);
+       },
+       64},
+      {"RED",
+       [] {
+         RedConfig cfg;
+         cfg.limit_packets = 64;
+         return std::make_unique<RedQueue>(cfg, 5, 5);
+       },
+       64},
+  };
+}
+
+class QueueProperty : public ::testing::TestWithParam<DiscFactory> {};
+
+Packet random_packet(sim::RandomStream& rng) {
+  Packet p;
+  p.flow = static_cast<FlowId>(rng.integer(8));
+  p.band = static_cast<std::uint8_t>(rng.integer(2));
+  p.type = p.band == 0 ? PacketType::kData : PacketType::kProbe;
+  p.size_bytes = 125;
+  p.ecn_capable = true;
+  return p;
+}
+
+TEST_P(QueueProperty, ConservationUnderRandomWorkload) {
+  // Every offered packet ends up in exactly one of: dequeued, resident,
+  // or the drop counter (rejected arrivals and push-outs alike).
+  auto q = GetParam().make();
+  sim::RandomStream rng{11, 11};
+  std::uint64_t offered = 0, dequeued = 0;
+  std::int64_t t = 0;
+  for (int i = 0; i < 20'000; ++i) {
+    t += static_cast<std::int64_t>(rng.integer(200'000));
+    const auto now = sim::SimTime::nanoseconds(t);
+    if (rng.uniform() < 0.55) {
+      ++offered;
+      q->enqueue(random_packet(rng), now);
+    } else if (q->dequeue(now).has_value()) {
+      ++dequeued;
+    }
+  }
+  EXPECT_EQ(offered, dequeued + q->packet_count() + q->drops().total());
+}
+
+TEST_P(QueueProperty, CountNeverExceedsLimit) {
+  auto q = GetParam().make();
+  sim::RandomStream rng{12, 12};
+  for (int i = 0; i < 5'000; ++i) {
+    q->enqueue(random_packet(rng), sim::SimTime::nanoseconds(i * 1000));
+    ASSERT_LE(q->packet_count(), GetParam().limit);
+  }
+}
+
+TEST_P(QueueProperty, DrainToEmpty) {
+  auto q = GetParam().make();
+  sim::RandomStream rng{13, 13};
+  for (int i = 0; i < 200; ++i) {
+    q->enqueue(random_packet(rng), sim::SimTime::zero());
+  }
+  std::uint64_t drained = 0;
+  // Allow generous simulated time for rate-limited eligibility.
+  for (int i = 0; i < 1000 && !q->empty(); ++i) {
+    if (q->dequeue(sim::SimTime::seconds(i)).has_value()) ++drained;
+  }
+  EXPECT_TRUE(q->empty());
+  EXPECT_EQ(q->packet_count(), 0u);
+  EXPECT_GT(drained, 0u);
+}
+
+TEST_P(QueueProperty, EmptyDequeueIsStable) {
+  auto q = GetParam().make();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(q->dequeue(sim::SimTime::seconds(i)).has_value());
+    EXPECT_TRUE(q->empty());
+  }
+}
+
+TEST_P(QueueProperty, PerFlowFifoOrder) {
+  // Within one flow (and one band) packets must leave in arrival order.
+  auto q = GetParam().make();
+  sim::RandomStream rng{14, 14};
+  std::array<std::uint32_t, 8> next_seq{};
+  std::array<std::uint32_t, 8> next_expected{};
+  std::int64_t t = 0;
+  bool ok = true;
+  for (int i = 0; i < 20'000; ++i) {
+    t += 100'000;
+    const auto now = sim::SimTime::nanoseconds(t);
+    if (rng.uniform() < 0.5) {
+      Packet p = random_packet(rng);
+      p.band = 0;
+      p.type = PacketType::kData;
+      p.seq = next_seq[p.flow]++;
+      q->enqueue(p, now);
+    } else if (auto p = q->dequeue(now)) {
+      // Sequence within the flow must be monotone (drops allowed).
+      if (p->seq < next_expected[p->flow]) ok = false;
+      next_expected[p->flow] = p->seq + 1;
+    }
+  }
+  EXPECT_TRUE(ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDisciplines, QueueProperty,
+                         ::testing::ValuesIn(factories()),
+                         [](const auto& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace eac::net

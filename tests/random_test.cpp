@@ -1,0 +1,115 @@
+#include "sim/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace eac::sim {
+namespace {
+
+TEST(Random, DeterministicForSameSeedAndStream) {
+  RandomStream a{42, 7};
+  RandomStream b{42, 7};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Random, StreamsAreIndependent) {
+  RandomStream a{42, 7};
+  RandomStream b{42, 8};
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Random, SeedsAreIndependent) {
+  RandomStream a{1, 7};
+  RandomStream b{2, 7};
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Random, UniformInUnitInterval) {
+  RandomStream r{1, 1};
+  double sum = 0;
+  for (int i = 0; i < 100'000; ++i) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100'000, 0.5, 0.01);
+}
+
+TEST(Random, ExponentialMean) {
+  RandomStream r{1, 2};
+  double sum = 0;
+  constexpr int kN = 200'000;
+  for (int i = 0; i < kN; ++i) sum += r.exponential(3.5);
+  EXPECT_NEAR(sum / kN, 3.5, 0.05);
+}
+
+TEST(Random, ParetoMeanMatchesRequested) {
+  RandomStream r{1, 3};
+  double sum = 0;
+  constexpr int kN = 2'000'000;
+  for (int i = 0; i < kN; ++i) sum += r.pareto(2.5, 0.5);
+  // Pareto converges slowly; generous tolerance.
+  EXPECT_NEAR(sum / kN, 0.5, 0.02);
+}
+
+TEST(Random, ParetoIsHeavyTailed) {
+  // With shape 1.2, the sample max over n draws grows much faster than
+  // exponential; check a crude signature: max / mean is large.
+  RandomStream r{1, 4};
+  double sum = 0, mx = 0;
+  constexpr int kN = 200'000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = r.pareto(1.2, 0.5);
+    sum += x;
+    if (x > mx) mx = x;
+  }
+  EXPECT_GT(mx / (sum / kN), 100.0);
+}
+
+TEST(Random, ParetoMinimumIsScaleParameter) {
+  RandomStream r{1, 5};
+  const double alpha = 1.2, mean = 0.5;
+  const double xm = mean * (alpha - 1) / alpha;
+  for (int i = 0; i < 10'000; ++i) ASSERT_GE(r.pareto(alpha, mean), xm);
+}
+
+TEST(Random, IntegerWithinBound) {
+  RandomStream r{9, 9};
+  for (int i = 0; i < 10'000; ++i) ASSERT_LT(r.integer(17), 17u);
+}
+
+TEST(Random, LognormalUnitMeanConstruction) {
+  // exp(N(-s^2/2, s)) has mean 1.
+  RandomStream r{1, 6};
+  const double sigma = 0.5;
+  double sum = 0;
+  constexpr int kN = 500'000;
+  for (int i = 0; i < kN; ++i) {
+    sum += r.lognormal(-sigma * sigma / 2, sigma);
+  }
+  EXPECT_NEAR(sum / kN, 1.0, 0.01);
+}
+
+TEST(Random, DeriveSeedSpreadsSmallInputs) {
+  // Adjacent (seed, stream) pairs must not produce adjacent outputs.
+  const std::uint64_t a = derive_seed(0, 0);
+  const std::uint64_t b = derive_seed(0, 1);
+  const std::uint64_t c = derive_seed(1, 0);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(b, c);
+  EXPECT_GT(a ^ b, 1u << 20);
+}
+
+}  // namespace
+}  // namespace eac::sim

@@ -1,0 +1,230 @@
+// Cross-design invariants of the full scenario runner, parameterized over
+// the four prototype designs (TEST_P), plus multi-link and paper-claim
+// checks that are too slow for the probe-level unit tests.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "scenario/runner.hpp"
+#include "scenario/scale.hpp"
+#include "traffic/catalog.hpp"
+
+namespace eac::scenario {
+namespace {
+
+RunConfig basic_run(double interarrival_s = 3.5) {
+  RunConfig cfg;
+  FlowClass c;
+  c.arrival_rate_per_s = 1.0 / interarrival_s;
+  c.onoff = traffic::exp1();
+  c.packet_size = traffic::kOnOffPacketBytes;
+  c.probe_rate_bps = c.onoff.burst_rate_bps;
+  cfg.classes = {c};
+  cfg.duration_s = 320;
+  cfg.warmup_s = 120;
+  cfg.seed = 17;
+  return cfg;
+}
+
+struct DesignCase {
+  const char* name;
+  EacConfig cfg;
+  double eps;
+};
+
+class DesignInvariants : public ::testing::TestWithParam<DesignCase> {};
+
+TEST_P(DesignInvariants, ResultsAreSane) {
+  RunConfig cfg = basic_run();
+  cfg.eac = GetParam().cfg;
+  for (auto& c : cfg.classes) c.epsilon = GetParam().eps;
+  const RunResult r = run_single_link(cfg);
+
+  EXPECT_GT(r.total.attempts, 20u);
+  EXPECT_GT(r.total.accepts, 5u);
+  EXPECT_LE(r.total.accepts, r.total.attempts);
+  EXPECT_GE(r.utilization, 0.3);
+  EXPECT_LE(r.utilization, 1.0);
+  EXPECT_GE(r.loss(), 0.0);
+  EXPECT_LE(r.loss(), 0.1);
+  EXPECT_LE(r.total.data_received, r.total.data_sent);
+  EXPECT_GT(r.probe_utilization, 0.0);
+  EXPECT_LT(r.probe_utilization, 0.1);
+}
+
+TEST_P(DesignInvariants, OverloadCausesBlockingNotCollapse) {
+  RunConfig cfg = basic_run(1.0);  // ~400% offered load
+  cfg.eac = GetParam().cfg;
+  for (auto& c : cfg.classes) c.epsilon = GetParam().eps;
+  const RunResult r = run_single_link(cfg);
+  EXPECT_GT(r.blocking(), 0.4);
+  // Slow-start probing keeps the link productive even at 4x overload.
+  EXPECT_GT(r.utilization, 0.5);
+  EXPECT_LT(r.loss(), 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Prototypes, DesignInvariants,
+    ::testing::Values(DesignCase{"drop_inband", drop_in_band(), 0.01},
+                      DesignCase{"drop_oob", drop_out_of_band(), 0.05},
+                      DesignCase{"mark_inband", mark_in_band(), 0.01},
+                      DesignCase{"mark_oob", mark_out_of_band(), 0.05}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(ScenarioClaims, OutOfBandMarkingLosesLessThanInBandDropping) {
+  // The paper's headline ordering (Figure 2): mark-out-of-band reaches
+  // far lower loss than drop-in-band at its epsilon.
+  RunConfig a = basic_run();
+  a.eac = drop_in_band();
+  RunConfig b = basic_run();
+  b.eac = mark_out_of_band();
+  const RunResult ra = run_single_link(a);
+  const RunResult rb = run_single_link(b);
+  EXPECT_LT(rb.loss(), ra.loss());
+}
+
+TEST(ScenarioClaims, StricterEpsilonRaisesBlockingNotQuality) {
+  // Table 3's tragedy-of-the-commons: a lone stringent class pays in
+  // blocking; loss is shared.
+  RunConfig cfg = basic_run();
+  cfg.eac = drop_in_band();
+  FlowClass low = cfg.classes[0];
+  low.arrival_rate_per_s /= 2;
+  low.epsilon = 0.0;
+  low.group = 0;
+  FlowClass high = low;
+  high.epsilon = 0.05;
+  high.group = 1;
+  cfg.classes = {low, high};
+  cfg.duration_s = 500;
+  const RunResult r = run_single_link(cfg);
+  EXPECT_GT(r.groups.at(0).blocking_probability(),
+            r.groups.at(1).blocking_probability());
+}
+
+TEST(ScenarioClaims, MbacSweepTradesLossForUtilization) {
+  RunConfig strict = basic_run();
+  strict.policy = PolicyKind::kMbac;
+  strict.mbac_target_utilization = 0.8;
+  RunConfig loose = strict;
+  loose.mbac_target_utilization = 1.05;
+  const RunResult rs = run_single_link(strict);
+  const RunResult rl = run_single_link(loose);
+  EXPECT_LT(rs.utilization, rl.utilization);
+  EXPECT_LE(rs.loss(), rl.loss());
+}
+
+TEST(ScenarioClaims, LowMultiplexingHurtsLoss) {
+  // Figure 9's worst case: a 1 Mbps link with the same relative load has
+  // much rougher aggregate traffic, so delivered loss is higher.
+  RunConfig big = basic_run(3.5);
+  big.eac = drop_in_band();
+  for (auto& c : big.classes) c.epsilon = 0.01;
+  RunConfig small = big;
+  small.link_rate_bps = 1e6;
+  small.classes[0].arrival_rate_per_s = 1.0 / 35.0;
+  const RunResult rb = run_single_link(big);
+  const RunResult rsm = run_single_link(small);
+  EXPECT_GT(rsm.loss(), rb.loss());
+}
+
+TEST(MultiLink, LongFlowsBlockedMoreThanShort) {
+  RunConfig cfg = basic_run(7.0);
+  cfg.eac = drop_in_band();
+  cfg.duration_s = 400;
+  const MultiLinkResult r = run_multi_link(cfg);
+  double short_block = 0;
+  for (int g = 0; g < 3; ++g) {
+    short_block += r.groups.at(g).blocking_probability() / 3;
+  }
+  EXPECT_GT(r.groups.at(3).blocking_probability(), short_block);
+}
+
+TEST(MultiLink, LongFlowLossScalesWithHops) {
+  RunConfig cfg = basic_run(7.0);
+  cfg.eac = drop_in_band();
+  cfg.duration_s = 400;
+  const MultiLinkResult r = run_multi_link(cfg);
+  double short_loss = 0;
+  for (int g = 0; g < 3; ++g) {
+    short_loss += r.groups.at(g).loss_probability() / 3;
+  }
+  const double long_loss = r.groups.at(3).loss_probability();
+  // Three congested hops: the long flows lose noticeably more - between
+  // 1.5x and 6x the single-hop loss (3x in expectation).
+  if (short_loss > 1e-5) {
+    EXPECT_GT(long_loss, 1.2 * short_loss);
+    EXPECT_LT(long_loss, 8.0 * short_loss);
+  }
+}
+
+TEST(MultiLink, AllBackboneHopsCarryTraffic) {
+  RunConfig cfg = basic_run(7.0);
+  cfg.eac = drop_in_band();
+  cfg.duration_s = 400;
+  const MultiLinkResult r = run_multi_link(cfg);
+  ASSERT_EQ(r.link_utilization.size(), 3u);
+  for (double u : r.link_utilization) {
+    EXPECT_GT(u, 0.3);
+    EXPECT_LE(u, 1.0);
+  }
+}
+
+TEST(MultiLink, MbacPolicyWorksAcrossHops) {
+  RunConfig cfg = basic_run(7.0);
+  cfg.policy = PolicyKind::kMbac;
+  cfg.mbac_target_utilization = 0.9;
+  cfg.duration_s = 400;
+  const MultiLinkResult r = run_multi_link(cfg);
+  // All four groups served; long flows blocked the most.
+  for (int g = 0; g <= 3; ++g) {
+    EXPECT_GT(r.groups.at(g).attempts, 10u) << g;
+    EXPECT_GT(r.groups.at(g).accepts, 0u) << g;
+  }
+  double short_block = 0;
+  for (int g = 0; g < 3; ++g) {
+    short_block += r.groups.at(g).blocking_probability() / 3;
+  }
+  EXPECT_GT(r.groups.at(3).blocking_probability(), short_block);
+  for (double u : r.link_utilization) EXPECT_GT(u, 0.3);
+}
+
+TEST(Averaging, SeedsDifferAndAverageIsBetween) {
+  RunConfig cfg = basic_run();
+  cfg.eac = drop_in_band();
+  cfg.duration_s = 260;
+  RunConfig a = cfg, b = cfg;
+  b.seed = cfg.seed + 7919;
+  const RunResult ra = run_single_link(a);
+  const RunResult rb = run_single_link(b);
+  EXPECT_NE(ra.total.data_sent, rb.total.data_sent);  // seeds independent
+  const RunResult avg = run_single_link_averaged(cfg, 2);
+  const double lo = std::min(ra.utilization, rb.utilization);
+  const double hi = std::max(ra.utilization, rb.utilization);
+  EXPECT_GE(avg.utilization, lo - 1e-9);
+  EXPECT_LE(avg.utilization, hi + 1e-9);
+  EXPECT_EQ(avg.total.attempts, ra.total.attempts + rb.total.attempts);
+}
+
+TEST(Scale, DefaultsAndOverrides) {
+  // Unset -> default fast scale.
+  unsetenv("EAC_FULL");
+  unsetenv("EAC_SCALE");
+  Scale s = bench_scale();
+  EXPECT_EQ(s.seeds, 1);
+  EXPECT_GT(s.duration_s, s.warmup_s);
+
+  setenv("EAC_SCALE", "2", 1);
+  Scale doubled = bench_scale();
+  EXPECT_GT(doubled.duration_s, s.duration_s);
+  unsetenv("EAC_SCALE");
+
+  setenv("EAC_FULL", "1", 1);
+  Scale full = bench_scale();
+  EXPECT_EQ(full.duration_s, 14'000);
+  EXPECT_EQ(full.warmup_s, 2'000);
+  unsetenv("EAC_FULL");
+}
+
+}  // namespace
+}  // namespace eac::scenario

@@ -1,0 +1,56 @@
+#include "sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eac::sim {
+namespace {
+
+TEST(SimTime, DefaultIsZero) {
+  EXPECT_EQ(SimTime{}.ns(), 0);
+  EXPECT_EQ(SimTime::zero(), SimTime{});
+}
+
+TEST(SimTime, NamedConstructorsAgree) {
+  EXPECT_EQ(SimTime::microseconds(1), SimTime::nanoseconds(1000));
+  EXPECT_EQ(SimTime::milliseconds(1), SimTime::microseconds(1000));
+  EXPECT_EQ(SimTime::seconds(1.0), SimTime::milliseconds(1000));
+}
+
+TEST(SimTime, SecondsRoundsToNearestNanosecond) {
+  EXPECT_EQ(SimTime::seconds(1e-9).ns(), 1);
+  EXPECT_EQ(SimTime::seconds(1.5e-9).ns(), 2);
+  EXPECT_EQ(SimTime::seconds(-1e-9).ns(), -1);
+}
+
+TEST(SimTime, Arithmetic) {
+  const SimTime a = SimTime::seconds(2);
+  const SimTime b = SimTime::seconds(0.5);
+  EXPECT_EQ((a + b).to_seconds(), 2.5);
+  EXPECT_EQ((a - b).to_seconds(), 1.5);
+  EXPECT_EQ((b * 4).to_seconds(), 2.0);
+  SimTime c = a;
+  c += b;
+  c -= a;
+  EXPECT_EQ(c, b);
+}
+
+TEST(SimTime, Ordering) {
+  EXPECT_LT(SimTime::seconds(1), SimTime::seconds(2));
+  EXPECT_LE(SimTime::seconds(2), SimTime::seconds(2));
+  EXPECT_GT(SimTime::max(), SimTime::seconds(1e9));
+}
+
+TEST(SimTime, TransmissionTime) {
+  // 125 bytes at 10 Mbps = 100 microseconds.
+  EXPECT_EQ(transmission_time(125, 10e6), SimTime::microseconds(100));
+  // 1500 bytes at 1 Gbps = 12 microseconds.
+  EXPECT_EQ(transmission_time(1500, 1e9), SimTime::microseconds(12));
+}
+
+TEST(SimTime, RoundTripSeconds) {
+  const double s = 123.456789;
+  EXPECT_NEAR(SimTime::seconds(s).to_seconds(), s, 1e-9);
+}
+
+}  // namespace
+}  // namespace eac::sim

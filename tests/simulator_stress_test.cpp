@@ -1,0 +1,97 @@
+// Stress and internals tests for the event engine: heavy cancellation
+// (the cancelled-set compaction path), interleaved schedule/cancel/run,
+// and determinism under load.
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/random.hpp"
+
+namespace eac::sim {
+namespace {
+
+TEST(SimulatorStress, ManyCancellationsOfFiredEventsCompact) {
+  // Cancelling ids that already ran must not accumulate state that
+  // breaks later cancellations (regression for the compaction logic).
+  Simulator sim;
+  std::vector<EventId> ids;
+  for (int round = 0; round < 50; ++round) {
+    ids.clear();
+    for (int i = 0; i < 100; ++i) {
+      ids.push_back(
+          sim.schedule_after(SimTime::microseconds(i + 1), [] {}));
+    }
+    sim.run(sim.now() + SimTime::milliseconds(1));
+    // All fired; cancel them anyway (what timer owners do in destructors).
+    for (EventId id : ids) sim.cancel(id);
+  }
+  // A real pending event must still be cancellable and a later one fire.
+  bool cancelled_ran = false, kept_ran = false;
+  const EventId c =
+      sim.schedule_after(SimTime::seconds(1), [&] { cancelled_ran = true; });
+  sim.schedule_after(SimTime::seconds(1), [&] { kept_ran = true; });
+  sim.cancel(c);
+  sim.run();
+  EXPECT_FALSE(cancelled_ran);
+  EXPECT_TRUE(kept_ran);
+}
+
+TEST(SimulatorStress, RandomizedScheduleCancelRunIsConsistent) {
+  Simulator sim;
+  RandomStream rng{7, 7};
+  int executed = 0;
+  int expected = 0;
+  std::vector<EventId> pending;
+  for (int i = 0; i < 20'000; ++i) {
+    const double u = rng.uniform();
+    if (u < 0.6) {
+      pending.push_back(sim.schedule_after(
+          SimTime::nanoseconds(static_cast<std::int64_t>(rng.integer(1'000'000))),
+          [&] { ++executed; }));
+      ++expected;
+    } else if (u < 0.8 && !pending.empty()) {
+      const std::size_t k = rng.integer(pending.size());
+      sim.cancel(pending[k]);
+      // May or may not have fired already; only count if still pending.
+      pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(k));
+    } else {
+      sim.run(sim.now() + SimTime::nanoseconds(
+                              static_cast<std::int64_t>(rng.integer(500'000))));
+    }
+  }
+  sim.run();
+  // Everything scheduled either ran or was cancelled; no double-runs.
+  EXPECT_LE(executed, expected);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(SimulatorStress, MillionEventsThroughput) {
+  Simulator sim;
+  std::uint64_t count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 1'000'000) sim.schedule_after(SimTime::nanoseconds(10), tick);
+  };
+  sim.schedule_after(SimTime::nanoseconds(10), tick);
+  const std::uint64_t executed = sim.run();
+  EXPECT_EQ(executed, 1'000'000u);
+  EXPECT_EQ(sim.now(), SimTime::nanoseconds(10'000'000));
+}
+
+TEST(SimulatorStress, DeterministicEventCountUnderMixedLoad) {
+  const auto run_once = [] {
+    Simulator sim;
+    RandomStream rng{3, 3};
+    std::uint64_t sum = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule_at(
+          SimTime::nanoseconds(static_cast<std::int64_t>(rng.integer(1'000'000))),
+          [&sum, i] { sum += static_cast<std::uint64_t>(i); });
+    }
+    sim.run();
+    return sum;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace eac::sim

@@ -1,0 +1,125 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace eac::sim {
+namespace {
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(SimTime::seconds(3), [&] { order.push_back(3); });
+  sim.schedule_at(SimTime::seconds(1), [&] { order.push_back(1); });
+  sim.schedule_at(SimTime::seconds(2), [&] { order.push_back(2); });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, SameTimeEventsRunInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(SimTime::seconds(1), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, NowAdvancesToEventTime) {
+  Simulator sim;
+  SimTime seen;
+  sim.schedule_at(SimTime::seconds(5), [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, SimTime::seconds(5));
+  EXPECT_EQ(sim.now(), SimTime::seconds(5));
+}
+
+TEST(Simulator, ScheduleAfterIsRelative) {
+  Simulator sim;
+  SimTime inner;
+  sim.schedule_at(SimTime::seconds(2), [&] {
+    sim.schedule_after(SimTime::seconds(3), [&] { inner = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(inner, SimTime::seconds(5));
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.schedule_at(SimTime::seconds(1), [&] { ran = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, CancelUnknownIdIsNoOp) {
+  Simulator sim;
+  sim.cancel(0);
+  sim.cancel(123456);
+  bool ran = false;
+  sim.schedule_at(SimTime::seconds(1), [&] { ran = true; });
+  sim.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, HorizonStopsBeforeLaterEvents) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.schedule_at(SimTime::seconds(i), [&] { ++count; });
+  }
+  sim.run(SimTime::seconds(5));
+  EXPECT_EQ(count, 5);
+  // Remaining events still pending and runnable.
+  sim.run();
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Simulator, HorizonAdvancesClockWhenQueueEmpties) {
+  Simulator sim;
+  sim.schedule_at(SimTime::seconds(1), [] {});
+  sim.run(SimTime::seconds(30));
+  EXPECT_EQ(sim.now(), SimTime::seconds(30));
+}
+
+TEST(Simulator, StopHaltsTheLoop) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(SimTime::seconds(1), [&] {
+    ++count;
+    sim.stop();
+  });
+  sim.schedule_at(SimTime::seconds(2), [&] { ++count; });
+  sim.run();
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) sim.schedule_after(SimTime::milliseconds(1), chain);
+  };
+  sim.schedule_after(SimTime::milliseconds(1), chain);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.now(), SimTime::milliseconds(100));
+}
+
+TEST(Simulator, CancelledEventAtHorizonBoundary) {
+  Simulator sim;
+  bool late_ran = false;
+  const EventId id = sim.schedule_at(SimTime::seconds(1), [] {});
+  sim.schedule_at(SimTime::seconds(10), [&] { late_ran = true; });
+  sim.cancel(id);
+  sim.run(SimTime::seconds(5));
+  EXPECT_FALSE(late_ran);
+  sim.run(SimTime::seconds(20));
+  EXPECT_TRUE(late_ran);
+}
+
+}  // namespace
+}  // namespace eac::sim

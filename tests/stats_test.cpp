@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/flow_stats.hpp"
+#include "stats/summary.hpp"
+
+namespace eac::stats {
+namespace {
+
+TEST(Summary, EmptyIsSafe) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.ci95(), 0.0);
+}
+
+TEST(Summary, SingleValue) {
+  Summary s;
+  s.add(4.0);
+  EXPECT_EQ(s.mean(), 4.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 4.0);
+  EXPECT_EQ(s.max(), 4.0);
+}
+
+TEST(Summary, KnownMeanAndVariance) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(Summary, NumericallyStableAroundLargeOffset) {
+  Summary s;
+  const double offset = 1e12;
+  for (double x : {offset + 1, offset + 2, offset + 3}) s.add(x);
+  EXPECT_NEAR(s.mean(), offset + 2, 1e-3);
+  EXPECT_NEAR(s.variance(), 1.0, 1e-6);
+}
+
+TEST(Summary, Ci95ShrinksWithSamples) {
+  Summary small, large;
+  for (int i = 0; i < 10; ++i) small.add(i % 2);
+  for (int i = 0; i < 1000; ++i) large.add(i % 2);
+  EXPECT_GT(small.ci95(), large.ci95());
+}
+
+TEST(TimeSeries, BucketsByWidth) {
+  TimeSeries ts{sim::SimTime::seconds(10)};
+  ts.add(sim::SimTime::seconds(1), 5);
+  ts.add(sim::SimTime::seconds(9.9), 5);
+  ts.add(sim::SimTime::seconds(10.1), 7);
+  ASSERT_EQ(ts.buckets().size(), 2u);
+  EXPECT_EQ(ts.buckets()[0], 10);
+  EXPECT_EQ(ts.buckets()[1], 7);
+}
+
+TEST(TimeSeries, SparseBucketsAreZeroFilled) {
+  TimeSeries ts{sim::SimTime::seconds(1)};
+  ts.add(sim::SimTime::seconds(5.5), 1);
+  ASSERT_EQ(ts.buckets().size(), 6u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(ts.buckets()[static_cast<std::size_t>(i)], 0);
+}
+
+TEST(FlowStats, NothingCountedBeforeMeasurement) {
+  FlowStats fs;
+  fs.record_decision(0, true);
+  fs.record_data_sent(0);
+  fs.record_data_received(0, false);
+  EXPECT_EQ(fs.total().attempts, 0u);
+  EXPECT_EQ(fs.total().data_sent, 0u);
+}
+
+TEST(FlowStats, CountsAfterMeasurementStarts) {
+  FlowStats fs;
+  fs.begin_measurement();
+  fs.record_decision(0, true);
+  fs.record_decision(0, false);
+  fs.record_data_sent(0);
+  fs.record_data_received(0, true);
+  const auto t = fs.total();
+  EXPECT_EQ(t.attempts, 2u);
+  EXPECT_EQ(t.accepts, 1u);
+  EXPECT_EQ(t.data_sent, 1u);
+  EXPECT_EQ(t.data_received, 1u);
+  EXPECT_EQ(t.data_marked, 1u);
+}
+
+TEST(FlowStats, GroupsIndependent) {
+  FlowStats fs;
+  fs.begin_measurement();
+  fs.record_decision(1, true);
+  fs.record_decision(2, false);
+  EXPECT_EQ(fs.group(1).accepts, 1u);
+  EXPECT_EQ(fs.group(2).accepts, 0u);
+  EXPECT_EQ(fs.group(2).attempts, 1u);
+  EXPECT_EQ(fs.group(3).attempts, 0u);  // untouched group reads as empty
+}
+
+TEST(FlowStats, BlockingProbability) {
+  GroupCounters g;
+  g.attempts = 10;
+  g.accepts = 7;
+  EXPECT_DOUBLE_EQ(g.blocking_probability(), 0.3);
+  GroupCounters empty;
+  EXPECT_EQ(empty.blocking_probability(), 0.0);
+}
+
+TEST(FlowStats, LossProbabilityClampedNonNegative) {
+  GroupCounters g;
+  g.data_sent = 100;
+  g.data_received = 98;
+  EXPECT_DOUBLE_EQ(g.loss_probability(), 0.02);
+  // In-flight packets at measurement end can make received > sent in
+  // degenerate windows; loss must clamp to zero, not go negative.
+  g.data_received = 102;
+  EXPECT_EQ(g.loss_probability(), 0.0);
+  GroupCounters empty;
+  EXPECT_EQ(empty.loss_probability(), 0.0);
+}
+
+TEST(FlowStats, TotalAggregatesGroups) {
+  FlowStats fs;
+  fs.begin_measurement();
+  for (int g = 0; g < 4; ++g) {
+    fs.record_decision(g, g % 2 == 0);
+    fs.record_data_sent(g);
+  }
+  EXPECT_EQ(fs.total().attempts, 4u);
+  EXPECT_EQ(fs.total().accepts, 2u);
+  EXPECT_EQ(fs.total().data_sent, 4u);
+}
+
+}  // namespace
+}  // namespace eac::stats

@@ -1,0 +1,143 @@
+// Deeper TCP Reno behaviour tests: congestion response, RTT estimation,
+// fairness with different segment counts, interaction with the
+// rate-limited scheduler.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/queue_disc.hpp"
+#include "net/rate_limited_queue.hpp"
+#include "net/topology.hpp"
+#include "tcp/tcp.hpp"
+#include "traffic/onoff_source.hpp"
+
+namespace eac::tcp {
+namespace {
+
+struct Net {
+  explicit Net(std::unique_ptr<net::QueueDisc> q, double rate = 10e6)
+      : topo{sim} {
+    a = topo.add_node().id();
+    b = topo.add_node().id();
+    bottleneck = &topo.add_link(a, b, rate, sim::SimTime::milliseconds(10),
+                                std::move(q));
+    topo.add_link(b, a, 1e9, sim::SimTime::milliseconds(10),
+                  std::make_unique<net::DropTailQueue>(10'000));
+  }
+  std::pair<std::unique_ptr<TcpSender>, std::unique_ptr<TcpSink>> flow(
+      net::FlowId id) {
+    auto snd = std::make_unique<TcpSender>(sim, id, a, b, topo.node(a));
+    auto snk = std::make_unique<TcpSink>(sim, id, b, a, topo.node(b));
+    topo.node(b).attach_sink(id, snk.get());
+    topo.node(a).attach_sink(id, snd.get());
+    return {std::move(snd), std::move(snk)};
+  }
+  sim::Simulator sim;
+  net::Topology topo;
+  net::NodeId a, b;
+  net::Link* bottleneck;
+};
+
+TEST(TcpBehavior, CwndShrinksOnLoss) {
+  Net net{std::make_unique<net::DropTailQueue>(20)};
+  auto [snd, snk] = net.flow(1);
+  snd->start();
+  // Run long enough for the first loss episode.
+  double max_cwnd = 0;
+  for (int i = 0; i < 100; ++i) {
+    net.sim.run(net.sim.now() + sim::SimTime::milliseconds(100));
+    max_cwnd = std::max(max_cwnd, snd->cwnd_segments());
+  }
+  EXPECT_GT(snd->retransmits(), 0u);
+  // After losses the window must have been cut below its peak.
+  EXPECT_LT(snd->cwnd_segments(), max_cwnd);
+}
+
+TEST(TcpBehavior, SsthreshTracksHalfFlightAfterLoss) {
+  Net net{std::make_unique<net::DropTailQueue>(20)};
+  auto [snd, snk] = net.flow(1);
+  snd->start();
+  net.sim.run(sim::SimTime::seconds(30));
+  ASSERT_GT(snd->retransmits(), 0u);
+  // ssthresh must have been pulled down from its 64-segment initial.
+  EXPECT_LT(snd->ssthresh_segments(), 64.0);
+  EXPECT_GE(snd->ssthresh_segments(), 2.0);
+}
+
+TEST(TcpBehavior, ThroughputScalesWithBottleneck) {
+  double goodput[2];
+  int i = 0;
+  for (double rate : {2e6, 8e6}) {
+    Net net{std::make_unique<net::DropTailQueue>(100), rate};
+    auto [snd, snk] = net.flow(1);
+    snd->start();
+    net.sim.run(sim::SimTime::seconds(30));
+    goodput[i++] =
+        static_cast<double>(snk->next_expected()) * 1000 * 8 / 30.0;
+  }
+  EXPECT_NEAR(goodput[0], 2e6, 0.3e6);
+  EXPECT_NEAR(goodput[1], 8e6, 1.2e6);
+}
+
+TEST(TcpBehavior, TcpConfinedToBestEffortShareUnderRateLimiter) {
+  // TCP (best effort) under a rate-limited priority queue while the
+  // admission-controlled class consumes its 5 Mbps cap: TCP must get the
+  // leftover ~5 Mbps, not be starved (the §2.1.2 lower bound).
+  Net net{std::make_unique<net::RateLimitedPriorityQueue>(5e6, 10 * 125.0,
+                                                          200, 200)};
+  auto [snd, snk] = net.flow(1);
+  // Admission-controlled CBR at 6 Mbps offered (capped to 5 Mbps).
+  traffic::SourceIdentity id;
+  id.flow = 99;
+  id.src = net.a;
+  id.dst = net.b;
+  id.packet_size = 125;
+  id.type = net::PacketType::kData;
+  id.band = 0;
+  struct Null : net::PacketHandler {
+    void handle(net::Packet) override {}
+  } null_sink;
+  net.topo.node(net.b).attach_sink(99, &null_sink);
+  traffic::OnOffSource ac{net.sim, id, net.topo.node(net.a),
+                          {.burst_rate_bps = 6e6, .mean_on_s = 1e6,
+                           .mean_off_s = 1e-9},
+                          1, 99};
+  ac.start();
+  snd->start();
+  net.sim.run(sim::SimTime::seconds(30));
+  const double tcp_goodput =
+      static_cast<double>(snk->next_expected()) * 1000 * 8 / 30.0;
+  const double ac_rate =
+      static_cast<double>(
+          net.bottleneck->counters().bytes(net::PacketType::kData)) *
+      8 / 30.0;
+  EXPECT_NEAR(ac_rate, 5e6, 0.4e6);      // capped at the share
+  EXPECT_GT(tcp_goodput, 3.5e6);         // TCP keeps the leftover
+}
+
+TEST(TcpBehavior, ManyFlowsRemainLossBoundedAndBusy) {
+  Net net{std::make_unique<net::DropTailQueue>(200)};
+  std::vector<std::unique_ptr<TcpSender>> snds;
+  std::vector<std::unique_ptr<TcpSink>> snks;
+  for (net::FlowId id = 1; id <= 8; ++id) {
+    auto [s, k] = net.flow(id);
+    snds.push_back(std::move(s));
+    snks.push_back(std::move(k));
+    snds.back()->start();
+  }
+  net.sim.run(sim::SimTime::seconds(40));
+  std::uint64_t delivered = 0;
+  for (auto& k : snks) delivered += k->next_expected();
+  const double agg = static_cast<double>(delivered) * 1000 * 8 / 40.0;
+  EXPECT_GT(agg, 8.5e6);  // near-full utilization
+  // Aggregate retransmission overhead bounded (< 10%).
+  std::uint64_t sent = 0, rtx = 0;
+  for (auto& s : snds) {
+    sent += s->segments_sent();
+    rtx += s->retransmits();
+  }
+  EXPECT_LT(static_cast<double>(rtx) / static_cast<double>(sent), 0.1);
+}
+
+}  // namespace
+}  // namespace eac::tcp

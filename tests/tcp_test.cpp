@@ -1,0 +1,137 @@
+#include "tcp/tcp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/queue_disc.hpp"
+#include "net/topology.hpp"
+
+namespace eac::tcp {
+namespace {
+
+/// Dumbbell fixture: a -> b bottleneck (configurable) plus a fat reverse
+/// path for ACKs.
+struct Dumbbell {
+  explicit Dumbbell(double rate_bps = 10e6, std::size_t buffer = 200,
+                    sim::SimTime delay = sim::SimTime::milliseconds(20))
+      : topo{sim} {
+    a = topo.add_node().id();
+    b = topo.add_node().id();
+    bottleneck = &topo.add_link(a, b, rate_bps, delay,
+                                std::make_unique<net::DropTailQueue>(buffer));
+    topo.add_link(b, a, 1e9, delay,
+                  std::make_unique<net::DropTailQueue>(10'000));
+  }
+
+  /// Create sender+sink pair for `flow`.
+  std::pair<std::unique_ptr<TcpSender>, std::unique_ptr<TcpSink>> make_flow(
+      net::FlowId flow, TcpConfig cfg = {}) {
+    auto sender = std::make_unique<TcpSender>(sim, flow, a, b,
+                                              topo.node(a), cfg);
+    auto sink = std::make_unique<TcpSink>(sim, flow, b, a, topo.node(b),
+                                          cfg.ack_bytes);
+    topo.node(b).attach_sink(flow, sink.get());
+    topo.node(a).attach_sink(flow, sender.get());
+    return {std::move(sender), std::move(sink)};
+  }
+
+  sim::Simulator sim;
+  net::Topology topo;
+  net::NodeId a = 0, b = 0;
+  net::Link* bottleneck = nullptr;
+};
+
+TEST(Tcp, SingleFlowFillsTheLink) {
+  Dumbbell net;
+  auto [sender, sink] = net.make_flow(1);
+  sender->start();
+  net.sim.run(sim::SimTime::seconds(20));
+  const double goodput =
+      static_cast<double>(sink->next_expected()) * 1000 * 8 / 20.0;
+  // >= 80% of 10 Mbps after slow-start transient.
+  EXPECT_GT(goodput, 8e6);
+  EXPECT_LE(goodput, 10e6);
+}
+
+TEST(Tcp, CongestionWindowGrowsInSlowStart) {
+  Dumbbell net;
+  auto [sender, sink] = net.make_flow(1);
+  sender->start();
+  // One RTT (~40 ms) after start, cwnd should have roughly doubled.
+  net.sim.run(sim::SimTime::milliseconds(150));
+  EXPECT_GT(sender->cwnd_segments(), 2.0);
+}
+
+TEST(Tcp, LossCausesRetransmissionsNotDeadlock) {
+  Dumbbell net{10e6, 10};  // tiny buffer forces drops
+  auto [sender, sink] = net.make_flow(1);
+  sender->start();
+  net.sim.run(sim::SimTime::seconds(30));
+  EXPECT_GT(sender->retransmits(), 0u);
+  // Despite losses the connection keeps delivering.
+  EXPECT_GT(sink->next_expected(), 10'000u);
+}
+
+TEST(Tcp, TwoFlowsShareRoughlyFairly) {
+  Dumbbell net;
+  auto [s1, k1] = net.make_flow(1);
+  auto [s2, k2] = net.make_flow(2);
+  s1->start();
+  s2->start();
+  net.sim.run(sim::SimTime::seconds(60));
+  const double g1 = static_cast<double>(k1->next_expected());
+  const double g2 = static_cast<double>(k2->next_expected());
+  EXPECT_GT(g1 / g2, 0.4);
+  EXPECT_LT(g1 / g2, 2.5);
+  // Together they fill the link.
+  EXPECT_GT((g1 + g2) * 1000 * 8 / 60.0, 8e6);
+}
+
+TEST(Tcp, ReceiverReordersOutOfOrderSegments) {
+  sim::Simulator sim;
+  net::Topology topo{sim};
+  net::NodeId h = topo.add_node().id();
+  // Sink with a loopback-ish entry: ACKs go nowhere relevant.
+  TcpSink sink{sim, 5, h, h, topo.node(h)};
+  auto seg = [](std::uint32_t seq) {
+    net::Packet p;
+    p.flow = 5;
+    p.tcp_seq = seq;
+    p.size_bytes = 1000;
+    return p;
+  };
+  sink.handle(seg(0));
+  sink.handle(seg(2));  // gap at 1
+  EXPECT_EQ(sink.next_expected(), 1u);
+  sink.handle(seg(1));  // fills the hole; 2 was buffered
+  EXPECT_EQ(sink.next_expected(), 3u);
+}
+
+TEST(Tcp, TimeoutRecoversFromTotalBlackout) {
+  Dumbbell net;
+  auto [sender, sink] = net.make_flow(1);
+  // Detach the sink so every segment vanishes: pure RTO territory.
+  net.topo.node(net.b).detach_sink(1);
+  sender->start();
+  net.sim.run(sim::SimTime::seconds(5));
+  EXPECT_GT(sender->timeouts(), 0u);
+  // Re-attach; the connection must resume.
+  net.topo.node(net.b).attach_sink(1, sink.get());
+  net.sim.run(sim::SimTime::seconds(25));
+  EXPECT_GT(sink->next_expected(), 1000u);
+}
+
+TEST(Tcp, StopQuiescesTheSender) {
+  Dumbbell net;
+  auto [sender, sink] = net.make_flow(1);
+  sender->start();
+  net.sim.run(sim::SimTime::seconds(2));
+  sender->stop();
+  const auto sent = sender->segments_sent();
+  net.sim.run(sim::SimTime::seconds(10));
+  EXPECT_EQ(sender->segments_sent(), sent);
+}
+
+}  // namespace
+}  // namespace eac::tcp

@@ -1,0 +1,83 @@
+#include "net/tracer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "net/link.hpp"
+#include "net/queue_disc.hpp"
+
+namespace eac::net {
+namespace {
+
+struct Null : PacketHandler {
+  void handle(Packet) override {}
+};
+
+Packet pkt(FlowId flow, PacketType type = PacketType::kData) {
+  Packet p;
+  p.flow = flow;
+  p.size_bytes = 125;
+  p.type = type;
+  return p;
+}
+
+TEST(Tracer, RecordsEveryTransmittedPacket) {
+  sim::Simulator sim;
+  Link link{sim, "l", 10e6, sim::SimTime::zero(),
+            std::make_unique<DropTailQueue>(10)};
+  Null sink;
+  link.set_destination(&sink);
+  PacketTracer tracer;
+  link.set_tx_observer(std::ref(tracer));
+  for (int i = 0; i < 5; ++i) link.handle(pkt(1));
+  sim.run();
+  ASSERT_EQ(tracer.records().size(), 5u);
+  // Transmission completion times are 100 us apart.
+  EXPECT_EQ(tracer.records()[0].time, sim::SimTime::microseconds(100));
+  EXPECT_EQ(tracer.records()[4].time, sim::SimTime::microseconds(500));
+}
+
+TEST(Tracer, FilterSelectsPackets) {
+  sim::Simulator sim;
+  Link link{sim, "l", 10e6, sim::SimTime::zero(),
+            std::make_unique<DropTailQueue>(10)};
+  Null sink;
+  link.set_destination(&sink);
+  PacketTracer tracer{[](const Packet& p) {
+    return p.type == PacketType::kProbe;
+  }};
+  link.set_tx_observer(std::ref(tracer));
+  link.handle(pkt(1, PacketType::kData));
+  link.handle(pkt(2, PacketType::kProbe));
+  link.handle(pkt(3, PacketType::kData));
+  sim.run();
+  ASSERT_EQ(tracer.records().size(), 1u);
+  EXPECT_EQ(tracer.records()[0].packet.flow, 2u);
+}
+
+TEST(Tracer, DumpFormatsRecords) {
+  PacketTracer tracer;
+  Packet p = pkt(7);
+  p.seq = 42;
+  p.ecn_marked = true;
+  tracer(p, sim::SimTime::seconds(1.5));
+  std::ostringstream os;
+  tracer.dump(os);
+  const std::string line = os.str();
+  EXPECT_NE(line.find("flow 7"), std::string::npos);
+  EXPECT_NE(line.find("seq 42"), std::string::npos);
+  EXPECT_NE(line.find("data"), std::string::npos);
+  EXPECT_NE(line.find("CE"), std::string::npos);
+}
+
+TEST(Tracer, ClearResets) {
+  PacketTracer tracer;
+  tracer(pkt(1), sim::SimTime::zero());
+  tracer.clear();
+  EXPECT_TRUE(tracer.records().empty());
+}
+
+}  // namespace
+}  // namespace eac::net

@@ -1,0 +1,124 @@
+#include "net/virtual_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/marking_queue.hpp"
+#include "net/queue_disc.hpp"
+
+namespace eac::net {
+namespace {
+
+Packet probe_packet(std::uint8_t band, std::uint32_t size = 125) {
+  Packet p;
+  p.size_bytes = size;
+  p.band = band;
+  p.type = band == 0 ? PacketType::kData : PacketType::kProbe;
+  p.ecn_capable = true;
+  return p;
+}
+
+TEST(VirtualQueue, NoMarksWhileUnderBuffer) {
+  VirtualQueueMarker vq{9e6, 25'000, 1};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(vq.on_arrival(probe_packet(0), sim::SimTime::zero()));
+  }
+  EXPECT_EQ(vq.marks(), 0u);
+}
+
+TEST(VirtualQueue, MarksWhenVirtualBufferOverflows) {
+  // Buffer of 10 packets; 11 instantaneous arrivals overflow the VQ.
+  VirtualQueueMarker vq{9e6, 1250, 1};
+  int marked = 0;
+  for (int i = 0; i < 11; ++i) {
+    if (vq.on_arrival(probe_packet(0), sim::SimTime::zero())) ++marked;
+  }
+  EXPECT_EQ(marked, 1);
+}
+
+TEST(VirtualQueue, DrainsAtVirtualRate) {
+  // 1250-byte buffer, 10 kbps virtual rate = 1250 bytes per second.
+  VirtualQueueMarker vq{10'000, 1250, 1};
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(vq.on_arrival(probe_packet(0), sim::SimTime::zero()));
+  }
+  // Immediately: full, next arrival marks.
+  EXPECT_TRUE(vq.on_arrival(probe_packet(0), sim::SimTime::zero()));
+  // After 0.2 s, 250 bytes drained: two more packets fit.
+  const auto later = sim::SimTime::seconds(0.2);
+  EXPECT_FALSE(vq.on_arrival(probe_packet(0), later));
+  EXPECT_FALSE(vq.on_arrival(probe_packet(0), later));
+  EXPECT_TRUE(vq.on_arrival(probe_packet(0), later));
+}
+
+TEST(VirtualQueue, MarksEarlierThanRealQueueDrops) {
+  // The virtual queue runs at 90% of the real rate, so under a load
+  // between 0.9C and C it marks even though the real queue never drops.
+  const double real_rate = 10e6;
+  VirtualQueueMarker vq{0.9 * real_rate, 12'500, 1};
+  // Offer packets at 0.95C: inter-arrival of a 125-byte packet at 0.95C.
+  const double interval_s = 125 * 8 / (0.95 * real_rate);
+  int marked = 0;
+  const int kPackets = 20'000;
+  for (int i = 0; i < kPackets; ++i) {
+    const auto t = sim::SimTime::seconds(i * interval_s);
+    if (vq.on_arrival(probe_packet(0), t)) ++marked;
+  }
+  // Excess rate is ~5.3% of arrivals once the virtual buffer fills.
+  EXPECT_GT(marked, kPackets / 40);
+  EXPECT_LT(marked, kPackets / 10);
+}
+
+TEST(VirtualQueue, DataVirtuallyPushesOutProbeBacklog) {
+  VirtualQueueMarker vq{9e6, 1250, 2};
+  // Fill the virtual buffer with probe backlog (band 1).
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(vq.on_arrival(probe_packet(1), sim::SimTime::zero()));
+  }
+  // Arriving data (band 0) evicts probe backlog instead of being marked.
+  EXPECT_FALSE(vq.on_arrival(probe_packet(0), sim::SimTime::zero()));
+  EXPECT_EQ(vq.backlog(0), 125.0);
+  EXPECT_LT(vq.backlog(1), 10 * 125.0);
+  // A further probe arrival is marked (buffer still full).
+  EXPECT_TRUE(vq.on_arrival(probe_packet(1), sim::SimTime::zero()));
+}
+
+TEST(VirtualQueue, ProbeCannotEvictData) {
+  VirtualQueueMarker vq{9e6, 1250, 2};
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(vq.on_arrival(probe_packet(0), sim::SimTime::zero()));
+  }
+  EXPECT_TRUE(vq.on_arrival(probe_packet(1), sim::SimTime::zero()));
+  EXPECT_EQ(vq.backlog(0), 1250.0);
+}
+
+TEST(MarkingQueue, MarksArrivalButStillEnqueues) {
+  auto inner = std::make_unique<DropTailQueue>(100);
+  MarkingQueue q{std::move(inner), 10'000, 250, 1};
+  // Two packets fill the virtual buffer; the third gets marked but still
+  // occupies the real queue.
+  Packet p = probe_packet(0);
+  ASSERT_TRUE(q.enqueue(p, sim::SimTime::zero()));
+  ASSERT_TRUE(q.enqueue(p, sim::SimTime::zero()));
+  ASSERT_TRUE(q.enqueue(p, sim::SimTime::zero()));
+  EXPECT_EQ(q.packet_count(), 3u);
+  int marked = 0;
+  while (auto out = q.dequeue(sim::SimTime::zero())) {
+    if (out->ecn_marked) ++marked;
+  }
+  EXPECT_EQ(marked, 1);
+}
+
+TEST(MarkingQueue, NonEcnCapablePacketNotMarked) {
+  auto inner = std::make_unique<DropTailQueue>(100);
+  MarkingQueue q{std::move(inner), 10'000, 125, 1};
+  Packet p = probe_packet(0);
+  p.ecn_capable = false;
+  ASSERT_TRUE(q.enqueue(p, sim::SimTime::zero()));
+  ASSERT_TRUE(q.enqueue(p, sim::SimTime::zero()));
+  while (auto out = q.dequeue(sim::SimTime::zero())) {
+    EXPECT_FALSE(out->ecn_marked);
+  }
+}
+
+}  // namespace
+}  // namespace eac::net

@@ -1,0 +1,136 @@
+#include "net/wfq_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace eac::net {
+namespace {
+
+Packet pkt(FlowId flow, std::uint32_t size = 125) {
+  Packet p;
+  p.flow = flow;
+  p.size_bytes = size;
+  return p;
+}
+
+TEST(Wfq, EqualWeightsAlternateService) {
+  WfqQueue q{100};
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(q.enqueue(pkt(1), {}));
+    ASSERT_TRUE(q.enqueue(pkt(2), {}));
+  }
+  std::map<FlowId, int> served;
+  for (int i = 0; i < 4; ++i) {
+    auto a = q.dequeue({});
+    auto b = q.dequeue({});
+    ASSERT_TRUE(a && b);
+    ++served[a->flow];
+    ++served[b->flow];
+    // After each pair, both flows have equal service.
+    EXPECT_EQ(served[1], served[2]);
+  }
+}
+
+TEST(Wfq, WeightsSkewService) {
+  WfqQueue q{100};
+  q.set_weight(1, 3.0);
+  q.set_weight(2, 1.0);
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(q.enqueue(pkt(1), {}));
+  }
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(q.enqueue(pkt(2), {}));
+  }
+  int flow1 = 0;
+  for (int i = 0; i < 8; ++i) {
+    auto p = q.dequeue({});
+    ASSERT_TRUE(p.has_value());
+    if (p->flow == 1) ++flow1;
+  }
+  // Flow 1 should get ~3/4 of the first 8 services.
+  EXPECT_GE(flow1, 5);
+  EXPECT_LE(flow1, 7);
+}
+
+TEST(Wfq, SmallPacketsDoNotStarveLargeOnes) {
+  WfqQueue q{100};
+  // Flow 1 sends 500-byte packets, flow 2 sends 125-byte packets: byte
+  // fairness means flow 2 serves ~4 packets per flow-1 packet.
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.enqueue(pkt(1, 500), {}));
+  for (int i = 0; i < 20; ++i) ASSERT_TRUE(q.enqueue(pkt(2, 125), {}));
+  std::uint64_t bytes1 = 0, bytes2 = 0;
+  for (int i = 0; i < 10; ++i) {
+    auto p = q.dequeue({});
+    ASSERT_TRUE(p.has_value());
+    (p->flow == 1 ? bytes1 : bytes2) += p->size_bytes;
+  }
+  const double ratio = static_cast<double>(bytes1) / static_cast<double>(bytes2);
+  EXPECT_GT(ratio, 0.5);
+  EXPECT_LT(ratio, 2.0);
+}
+
+TEST(Wfq, FifoWithinFlow) {
+  WfqQueue q{100};
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    Packet p = pkt(1);
+    p.seq = i;
+    ASSERT_TRUE(q.enqueue(p, {}));
+  }
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    auto p = q.dequeue({});
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->seq, i);
+  }
+}
+
+TEST(Wfq, LongestQueueDropWhenFull) {
+  WfqQueue q{4};
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(q.enqueue(pkt(1), {}));
+  // Arrival from a new flow evicts one of the hog's packets...
+  EXPECT_TRUE(q.enqueue(pkt(2), {}));
+  EXPECT_EQ(q.drops().data, 1u);
+  EXPECT_EQ(q.packet_count(), 4u);
+  // ...but an arrival from the hog itself is dropped.
+  EXPECT_FALSE(q.enqueue(pkt(1), {}));
+  EXPECT_EQ(q.drops().data, 2u);
+  // Drain respects tombstones: exactly four packets come out, one of
+  // them flow 2's.
+  int out = 0, flow2 = 0;
+  while (auto p = q.dequeue({})) {
+    ++out;
+    if (p->flow == 2) ++flow2;
+  }
+  EXPECT_EQ(out, 4);
+  EXPECT_EQ(flow2, 1);
+}
+
+TEST(Wfq, VirtualTimeResetsWhenIdle) {
+  WfqQueue q{10};
+  ASSERT_TRUE(q.enqueue(pkt(1), {}));
+  ASSERT_TRUE(q.dequeue({}).has_value());
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.virtual_time(), 0.0);
+}
+
+TEST(Wfq, LateFlowNotPenalizedForPastIdleness) {
+  WfqQueue q{100};
+  // Flow 1 has been sending a while...
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(q.enqueue(pkt(1), {}));
+    q.dequeue({});
+  }
+  // ...then flow 2 arrives: its start stamp is max(vtime, 0), so it is
+  // served interleaved with flow 1's backlog (within the first two
+  // services), not queued behind all of it.
+  ASSERT_TRUE(q.enqueue(pkt(1), {}));
+  ASSERT_TRUE(q.enqueue(pkt(1), {}));
+  ASSERT_TRUE(q.enqueue(pkt(2), {}));
+  auto first = q.dequeue({});
+  auto second = q.dequeue({});
+  ASSERT_TRUE(first.has_value() && second.has_value());
+  EXPECT_TRUE(first->flow == 2 || second->flow == 2);
+}
+
+}  // namespace
+}  // namespace eac::net
