@@ -7,17 +7,54 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "eac/config.hpp"
+#include "scenario/parallel.hpp"
 #include "scenario/runner.hpp"
 #include "scenario/scale.hpp"
 #include "traffic/catalog.hpp"
 #include "traffic/trace.hpp"
 
 namespace eac::bench {
+
+/// One point of a figure sweep: an independent run plus the code that
+/// reports its averaged result.
+struct SweepPoint {
+  scenario::RunConfig cfg;
+  std::function<void(const scenario::RunResult&)> report;
+};
+
+/// Run every point (and its seed replications) across the shared
+/// SweepRunner pool, then invoke each point's `report` in declaration
+/// order — output is byte-identical for any thread count. Honour
+/// `--threads=N` (apply_thread_flag) or EAC_THREADS to size the pool.
+inline void run_sweep(std::vector<SweepPoint> points, int seeds) {
+  std::vector<scenario::RunResult> results(points.size());
+  scenario::SweepRunner::shared().for_each(points.size(), [&](std::size_t i) {
+    results[i] = scenario::run_single_link_averaged(points[i].cfg, seeds);
+  });
+  for (std::size_t i = 0; i < points.size(); ++i) points[i].report(results[i]);
+}
+
+/// Consume a `--threads N` / `--threads=N` argument (bench harness
+/// override of EAC_THREADS; must run before the first sweep).
+inline void apply_thread_flag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--threads=", 0) == 0) {
+      scenario::SweepRunner::set_default_threads(
+          std::strtoul(a.c_str() + 10, nullptr, 10));
+    } else if (a == "--threads" && i + 1 < argc) {
+      scenario::SweepRunner::set_default_threads(
+          std::strtoul(argv[++i], nullptr, 10));
+    }
+  }
+}
 
 /// The four §3.1 prototype designs in the paper's presentation order.
 struct NamedDesign {
@@ -174,27 +211,33 @@ inline std::vector<NamedScenario> robustness_scenarios(
   return out;
 }
 
-/// Sweep one design's epsilons plus the MBAC benchmark on a base config.
+/// Sweep one design's epsilons plus the MBAC benchmark on a base config,
+/// fanning every point across the shared pool.
 inline void sweep_designs_and_mbac(scenario::RunConfig base,
                                    const scenario::Scale& scale) {
   print_loss_load_header();
+  std::vector<SweepPoint> points;
   for (const NamedDesign& d : prototype_designs()) {
     for (double eps : epsilon_sweep(d.cfg)) {
       scenario::RunConfig cfg = base;
       cfg.policy = scenario::PolicyKind::kEndpoint;
       cfg.eac = d.cfg;
       for (auto& cls : cfg.classes) cls.epsilon = eps;
-      print_loss_load_row(d.name, eps,
-                          scenario::run_single_link_averaged(cfg, scale.seeds));
+      points.push_back({std::move(cfg),
+                        [name = d.name, eps](const scenario::RunResult& r) {
+                          print_loss_load_row(name, eps, r);
+                        }});
     }
   }
   for (double u : mbac_target_sweep()) {
     scenario::RunConfig cfg = base;
     cfg.policy = scenario::PolicyKind::kMbac;
     cfg.mbac_target_utilization = u;
-    print_loss_load_row("MBAC", u,
-                        scenario::run_single_link_averaged(cfg, scale.seeds));
+    points.push_back({std::move(cfg), [u](const scenario::RunResult& r) {
+                        print_loss_load_row("MBAC", u, r);
+                      }});
   }
+  run_sweep(std::move(points), scale.seeds);
 }
 
 }  // namespace eac::bench

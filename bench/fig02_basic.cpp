@@ -9,8 +9,9 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eac;
+  bench::apply_thread_flag(argc, argv);
   const auto scale = scenario::bench_scale();
   std::printf("== Figure 2: basic scenario (EXP1, tau=3.5 s) ==\n");
   bench::print_scale_banner(scale);

@@ -10,8 +10,9 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eac;
+  bench::apply_thread_flag(argc, argv);
   const auto scale = scenario::bench_scale();
   std::printf("== Figures 4-7: high load (EXP1, tau=1.0 s) ==\n");
   bench::print_scale_banner(scale);
@@ -33,6 +34,7 @@ int main() {
                {"fig7:mark-outofband", mark_out_of_band()}};
 
   bench::print_loss_load_header();
+  std::vector<bench::SweepPoint> points;
   for (const auto& fig : kFigs) {
     for (const auto& algo : kAlgos) {
       EacConfig cfg = fig.design;
@@ -42,9 +44,12 @@ int main() {
         run.policy = scenario::PolicyKind::kEndpoint;
         run.eac = cfg;
         for (auto& c : run.classes) c.epsilon = eps;
-        bench::print_loss_load_row(
-            std::string{fig.fig} + "/" + algo.name, eps,
-            scenario::run_single_link_averaged(run, scale.seeds));
+        points.push_back(
+            {std::move(run),
+             [label = std::string{fig.fig} + "/" + algo.name,
+              eps](const scenario::RunResult& r) {
+               bench::print_loss_load_row(label, eps, r);
+             }});
       }
     }
   }
@@ -52,8 +57,10 @@ int main() {
     scenario::RunConfig run = base;
     run.policy = scenario::PolicyKind::kMbac;
     run.mbac_target_utilization = u;
-    bench::print_loss_load_row(
-        "MBAC", u, scenario::run_single_link_averaged(run, scale.seeds));
+    points.push_back({std::move(run), [u](const scenario::RunResult& r) {
+                        bench::print_loss_load_row("MBAC", u, r);
+                      }});
   }
+  bench::run_sweep(std::move(points), scale.seeds);
   return 0;
 }

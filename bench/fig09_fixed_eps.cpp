@@ -8,8 +8,9 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eac;
+  bench::apply_thread_flag(argc, argv);
   const auto scale = scenario::bench_scale();
   std::printf("== Figure 9: loss at fixed eps across scenarios ==\n");
   bench::print_scale_banner(scale);
@@ -26,26 +27,45 @@ int main() {
 
   std::printf("%-22s %-18s %8s %12s %12s\n", "scenario", "design", "eps",
               "loss_prob", "utilization");
+  // Reports run serially in declaration order, so the per-design min/max
+  // accumulators below are safe to share across the report lambdas.
+  struct Spread {
+    double min_loss = 1, max_loss = 0;
+  };
+  std::vector<Spread> spreads(bench::prototype_designs().size());
+  std::vector<bench::SweepPoint> points;
+  std::size_t design_idx = 0;
   for (const auto& design : bench::prototype_designs()) {
     const double eps =
         design.cfg.band == ProbeBand::kInBand ? 0.01 : 0.05;
-    double min_loss = 1, max_loss = 0;
-    for (const auto& sc : scenarios) {
-      scenario::RunConfig run = sc.cfg;
+    for (std::size_t s = 0; s < scenarios.size(); ++s) {
+      scenario::RunConfig run = scenarios[s].cfg;
       run.policy = scenario::PolicyKind::kEndpoint;
       run.eac = design.cfg;
       for (auto& c : run.classes) c.epsilon = eps;
-      const auto r = scenario::run_single_link_averaged(run, scale.seeds);
-      const double loss = r.loss();
-      if (loss < min_loss) min_loss = loss;
-      if (loss > max_loss) max_loss = loss;
-      std::printf("%-22s %-18s %8.3f %12.3e %12.4f\n", sc.name.c_str(),
-                  design.name, eps, loss, r.utilization);
-      std::fflush(stdout);
+      const bool last = s + 1 == scenarios.size();
+      points.push_back(
+          {std::move(run),
+           [&spread = spreads[design_idx], name = scenarios[s].name,
+            design_name = design.name, eps,
+            last](const scenario::RunResult& r) {
+             const double loss = r.loss();
+             if (loss < spread.min_loss) spread.min_loss = loss;
+             if (loss > spread.max_loss) spread.max_loss = loss;
+             std::printf("%-22s %-18s %8.3f %12.3e %12.4f\n", name.c_str(),
+                         design_name, eps, loss, r.utilization);
+             std::fflush(stdout);
+             if (last) {
+               std::printf("# %-18s loss spread: %.3e .. %.3e (x%.0f)\n\n",
+                           design_name, spread.min_loss, spread.max_loss,
+                           spread.min_loss > 0
+                               ? spread.max_loss / spread.min_loss
+                               : 0.0);
+             }
+           }});
     }
-    std::printf("# %-18s loss spread: %.3e .. %.3e (x%.0f)\n\n", design.name,
-                min_loss, max_loss,
-                min_loss > 0 ? max_loss / min_loss : 0.0);
+    ++design_idx;
   }
+  bench::run_sweep(std::move(points), scale.seeds);
   return 0;
 }

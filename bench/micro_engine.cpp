@@ -1,9 +1,17 @@
 // google-benchmark microbenchmarks for the simulation engine: these bound
 // how much simulated traffic a wall-clock second buys, which sizes the
 // default experiment scale (see scenario/scale.hpp).
+//
+// Besides the console table, the binary writes BENCH_engine.json
+// (events/sec per benchmark; path overridable via EAC_BENCH_JSON) so the
+// engine's performance trajectory is machine-readable PR-over-PR.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "net/fair_queue.hpp"
 #include "net/link.hpp"
@@ -47,6 +55,73 @@ void BM_EventChained(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_EventChained);
+
+void BM_EventCancelHeavy(benchmark::State& state) {
+  // Timer-reset churn: schedule, cancel half before they fire, run, then
+  // unconditionally cancel every id again (the cancel-in-destructor
+  // pattern). The old engine paid a hash-set insert per cancel and grew a
+  // tombstone set on the already-fired ones.
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int fired = 0;
+    std::vector<sim::EventId> ids;
+    ids.reserve(1000);
+    for (int i = 0; i < 1000; ++i) {
+      ids.push_back(
+          sim.schedule_at(sim::SimTime::microseconds(i), [&fired] { ++fired; }));
+    }
+    for (int i = 0; i < 1000; i += 2) sim.cancel(ids[static_cast<std::size_t>(i)]);
+    sim.run();
+    for (sim::EventId id : ids) sim.cancel(id);  // all fired or cancelled
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventCancelHeavy);
+
+void BM_EventSboCallback(benchmark::State& state) {
+  // 56-byte capture (a net::Packet plus a pointer): fits EventFn's inline
+  // buffer, so scheduling must not allocate.
+  struct Payload {
+    std::uint64_t v[6];
+  };
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::uint64_t sum = 0;
+    Payload p{{1, 2, 3, 4, 5, 6}};
+    for (int i = 0; i < 1000; ++i) {
+      p.v[0] = static_cast<std::uint64_t>(i);
+      sim.schedule_at(sim::SimTime::microseconds(i),
+                      [&sum, p] { sum += p.v[0]; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventSboCallback);
+
+void BM_EventAllocatingCallback(benchmark::State& state) {
+  // 80-byte capture: exceeds the inline buffer, so each event costs a heap
+  // round trip. The gap to BM_EventSboCallback prices the SBO.
+  struct Payload {
+    std::uint64_t v[9];
+  };
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::uint64_t sum = 0;
+    Payload p{{1, 2, 3, 4, 5, 6, 7, 8, 9}};
+    for (int i = 0; i < 1000; ++i) {
+      p.v[0] = static_cast<std::uint64_t>(i);
+      sim.schedule_at(sim::SimTime::microseconds(i),
+                      [&sum, p] { sum += p.v[0]; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventAllocatingCallback);
 
 void BM_DropTailEnqueueDequeue(benchmark::State& state) {
   net::DropTailQueue q{256};
@@ -145,6 +220,58 @@ void BM_LinkPipeline(benchmark::State& state) {
 }
 BENCHMARK(BM_LinkPipeline)->Unit(benchmark::kMillisecond);
 
+/// Console output plus a JSON sidecar: one row per benchmark with its
+/// items/sec throughput, appended to BENCH_engine.json for PR-over-PR
+/// tracking.
+class JsonSidecarReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& r : runs) {
+      Row row;
+      row.name = r.benchmark_name();
+      const auto it = r.counters.find("items_per_second");
+      if (it != r.counters.end()) row.items_per_second = it->second;
+      row.real_time_ns = r.GetAdjustedRealTime();
+      rows_.push_back(std::move(row));
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  void write_json(const char* path) const {
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path);
+      return;
+    }
+    std::fprintf(f, "{\n  \"benchmarks\": [\n");
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"events_per_second\": %.6e, "
+                   "\"real_time_ns\": %.1f}%s\n",
+                   rows_[i].name.c_str(), rows_[i].items_per_second,
+                   rows_[i].real_time_ns, i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+  }
+
+ private:
+  struct Row {
+    std::string name;
+    double items_per_second = 0;
+    double real_time_ns = 0;
+  };
+  std::vector<Row> rows_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonSidecarReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  const char* path = std::getenv("EAC_BENCH_JSON");
+  reporter.write_json(path != nullptr ? path : "BENCH_engine.json");
+  return 0;
+}

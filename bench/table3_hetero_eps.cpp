@@ -9,14 +9,16 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eac;
+  bench::apply_thread_flag(argc, argv);
   const auto scale = scenario::bench_scale();
   std::printf("== Table 3: blocking for low/high eps classes ==\n");
   bench::print_scale_banner(scale);
   std::printf("%-18s %12s %12s %12s\n", "design", "block(low)",
               "block(high)", "loss(both)");
 
+  std::vector<bench::SweepPoint> points;
   for (const auto& design : bench::prototype_designs()) {
     const double high_eps =
         design.cfg.band == ProbeBand::kInBand ? 0.05 : 0.20;
@@ -33,11 +35,14 @@ int main() {
     high.group = 1;
     cfg.classes = {low, high};
 
-    const auto r = scenario::run_single_link_averaged(cfg, scale.seeds);
-    std::printf("%-18s %12.3f %12.3f %12.3e\n", design.name,
-                r.groups.at(0).blocking_probability(),
-                r.groups.at(1).blocking_probability(), r.loss());
-    std::fflush(stdout);
+    points.push_back(
+        {std::move(cfg), [name = design.name](const scenario::RunResult& r) {
+           std::printf("%-18s %12.3f %12.3f %12.3e\n", name,
+                       r.groups.at(0).blocking_probability(),
+                       r.groups.at(1).blocking_probability(), r.loss());
+           std::fflush(stdout);
+         }});
   }
+  bench::run_sweep(std::move(points), scale.seeds);
   return 0;
 }

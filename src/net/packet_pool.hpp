@@ -1,0 +1,160 @@
+// Free-list arena for the Packet copies queue disciplines keep resident.
+//
+// Every packet sitting in a router buffer is a 48-byte copy owned by the
+// queue discipline. std::deque buys and returns a 512-byte allocator chunk
+// every ~10 packets as the backlog breathes, which puts malloc on the
+// enqueue/dequeue hot path. PacketArena hands out stable linked-list nodes
+// from chunked slabs recycled through a free list: after the arena warms up
+// to the buffer limit, queue churn allocates nothing, and several FIFOs
+// (the bands of a strict-priority queue, which share one buffer limit) can
+// share one arena.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace eac::net {
+
+/// Slab allocator of doubly-linked Packet nodes. Nodes are addressed by
+/// 32-bit index and never move; freed nodes are recycled LIFO.
+class PacketArena {
+ public:
+  static constexpr std::uint32_t kNil = 0xFFFF'FFFF;
+
+  struct Node {
+    Packet pkt;
+    std::uint32_t prev;
+    std::uint32_t next;  ///< doubles as the free-list link when unallocated
+  };
+
+  PacketArena() = default;
+  PacketArena(const PacketArena&) = delete;
+  PacketArena& operator=(const PacketArena&) = delete;
+
+  /// Take a node off the free list (growing a slab if needed) and copy `p`
+  /// into it. Link fields are left for the caller to thread.
+  std::uint32_t allocate(const Packet& p) {
+    std::uint32_t idx = free_head_;
+    if (idx != kNil) {
+      free_head_ = node(idx).next;
+    } else {
+      idx = grow();
+    }
+    node(idx).pkt = p;
+    return idx;
+  }
+
+  void release(std::uint32_t idx) {
+    node(idx).next = free_head_;
+    free_head_ = idx;
+  }
+
+  Node& node(std::uint32_t idx) {
+    assert(idx < count_);
+    return chunks_[idx >> kChunkShift][idx & (kChunkNodes - 1)];
+  }
+
+  /// Total nodes ever carved out (capacity high-water mark, for tests).
+  std::uint32_t capacity() const { return count_; }
+
+ private:
+  // 64 nodes (~3.5 KB) per slab: small enough that a lightly loaded queue
+  // stays cheap, large enough that a 200-packet buffer needs four mallocs
+  // ever.
+  static constexpr std::uint32_t kChunkShift = 6;
+  static constexpr std::uint32_t kChunkNodes = 1u << kChunkShift;
+
+  std::uint32_t grow() {
+    if ((count_ >> kChunkShift) == chunks_.size()) {
+      chunks_.push_back(std::make_unique<Node[]>(kChunkNodes));
+    }
+    return count_++;
+  }
+
+  std::vector<std::unique_ptr<Node[]>> chunks_;
+  std::uint32_t count_ = 0;
+  std::uint32_t free_head_ = kNil;
+};
+
+/// FIFO of packets backed by a shared PacketArena. Supports exactly what
+/// the disciplines need: push_back/front/pop_front for normal service, and
+/// back/pop_back because probe push-out evicts the most recently queued
+/// resident of a lower band.
+class PacketFifo {
+ public:
+  explicit PacketFifo(PacketArena& arena) : arena_{&arena} {}
+
+  PacketFifo(PacketFifo&& other) noexcept
+      : arena_{other.arena_},
+        head_{std::exchange(other.head_, PacketArena::kNil)},
+        tail_{std::exchange(other.tail_, PacketArena::kNil)},
+        size_{std::exchange(other.size_, 0)} {}
+  PacketFifo& operator=(PacketFifo&&) = delete;
+  PacketFifo(const PacketFifo&) = delete;
+  PacketFifo& operator=(const PacketFifo&) = delete;
+
+  ~PacketFifo() { clear(); }
+
+  void push_back(const Packet& p) {
+    const std::uint32_t idx = arena_->allocate(p);
+    PacketArena::Node& n = arena_->node(idx);
+    n.prev = tail_;
+    n.next = PacketArena::kNil;
+    if (tail_ != PacketArena::kNil) {
+      arena_->node(tail_).next = idx;
+    } else {
+      head_ = idx;
+    }
+    tail_ = idx;
+    ++size_;
+  }
+
+  const Packet& front() const { return arena_->node(head_).pkt; }
+  const Packet& back() const { return arena_->node(tail_).pkt; }
+
+  void pop_front() {
+    assert(size_ > 0);
+    const std::uint32_t idx = head_;
+    head_ = arena_->node(idx).next;
+    if (head_ != PacketArena::kNil) {
+      arena_->node(head_).prev = PacketArena::kNil;
+    } else {
+      tail_ = PacketArena::kNil;
+    }
+    arena_->release(idx);
+    --size_;
+  }
+
+  void pop_back() {
+    assert(size_ > 0);
+    const std::uint32_t idx = tail_;
+    tail_ = arena_->node(idx).prev;
+    if (tail_ != PacketArena::kNil) {
+      arena_->node(tail_).next = PacketArena::kNil;
+    } else {
+      head_ = PacketArena::kNil;
+    }
+    arena_->release(idx);
+    --size_;
+  }
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  void clear() {
+    while (size_ > 0) pop_front();
+  }
+
+ private:
+  PacketArena* arena_;
+  std::uint32_t head_ = PacketArena::kNil;
+  std::uint32_t tail_ = PacketArena::kNil;
+  std::size_t size_ = 0;
+};
+
+}  // namespace eac::net

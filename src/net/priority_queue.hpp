@@ -9,10 +9,10 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <vector>
 
+#include "net/packet_pool.hpp"
 #include "net/queue_disc.hpp"
 
 namespace eac::net {
@@ -22,7 +22,10 @@ class StrictPriorityQueue : public QueueDisc {
   /// `bands` scheduling levels (0 = highest) sharing `limit_packets` slots.
   StrictPriorityQueue(std::size_t bands, std::size_t limit_packets,
                       bool push_out = true)
-      : bands_(bands), limit_{limit_packets}, push_out_{push_out} {}
+      : limit_{limit_packets}, push_out_{push_out} {
+    bands_.reserve(bands);
+    for (std::size_t b = 0; b < bands; ++b) bands_.emplace_back(arena_);
+  }
 
   bool enqueue(Packet p, sim::SimTime now) override;
   std::optional<Packet> dequeue(sim::SimTime now) override;
@@ -31,7 +34,8 @@ class StrictPriorityQueue : public QueueDisc {
   std::size_t band_count(std::size_t band) const { return bands_[band].size(); }
 
  private:
-  std::vector<std::deque<Packet>> bands_;
+  PacketArena arena_;  // shared by all bands (they share one buffer limit)
+  std::vector<PacketFifo> bands_;
   std::size_t limit_;
   std::size_t count_ = 0;
   bool push_out_;

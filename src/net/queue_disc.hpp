@@ -2,11 +2,11 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <optional>
 
 #include "net/packet.hpp"
+#include "net/packet_pool.hpp"
 #include "sim/time.hpp"
 
 namespace eac::net {
@@ -65,7 +65,8 @@ class QueueDisc {
 /// default router behaviour; buffers are 200 packets in the scenarios).
 class DropTailQueue : public QueueDisc {
  public:
-  explicit DropTailQueue(std::size_t limit_packets) : limit_{limit_packets} {}
+  explicit DropTailQueue(std::size_t limit_packets)
+      : q_{arena_}, limit_{limit_packets} {}
 
   bool enqueue(Packet p, sim::SimTime now) override;
   std::optional<Packet> dequeue(sim::SimTime now) override;
@@ -73,7 +74,8 @@ class DropTailQueue : public QueueDisc {
   std::size_t packet_count() const override { return q_.size(); }
 
  private:
-  std::deque<Packet> q_;
+  PacketArena arena_;  // must outlive q_
+  PacketFifo q_;
   std::size_t limit_;
 };
 

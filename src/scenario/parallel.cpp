@@ -1,0 +1,135 @@
+#include "scenario/parallel.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+namespace eac::scenario {
+
+namespace {
+
+std::atomic<std::size_t> g_default_threads{0};
+
+std::size_t resolve_threads(std::size_t requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("EAC_THREADS")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0 && v <= 1024) {
+      return static_cast<std::size_t>(v);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+/// Depth of for_each frames on this thread; > 0 means we are already
+/// inside a parallel region, so nested fan-outs must run inline.
+thread_local int t_parallel_depth = 0;
+
+}  // namespace
+
+/// One for_each invocation. Lives in a shared_ptr so a worker that wakes
+/// late can still safely observe an already-finished job.
+struct SweepRunner::Job {
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::size_t n = 0;
+  std::atomic<std::size_t> next{0};       ///< next index to claim
+  std::atomic<std::size_t> remaining{0};  ///< indices not yet finished
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+};
+
+SweepRunner::SweepRunner(std::size_t threads) {
+  const std::size_t total = resolve_threads(threads);
+  workers_.reserve(total - 1);
+  for (std::size_t i = 0; i + 1 < total; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+SweepRunner::~SweepRunner() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void SweepRunner::drain(Job& job) {
+  for (;;) {
+    const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job.n) return;
+    (*job.fn)(i);
+    if (job.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last index done: wake the caller. Taking the lock orders the
+      // notify after the caller enters its wait.
+      std::lock_guard<std::mutex> lk(job.done_mu);
+      job.done_cv.notify_all();
+    }
+  }
+}
+
+void SweepRunner::worker_loop() {
+  ++t_parallel_depth;  // nested for_each from a job runs inline
+  std::uint64_t seen_epoch = 0;
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    work_cv_.wait(lk, [&] {
+      return shutdown_ || (job_ != nullptr && job_epoch_ != seen_epoch);
+    });
+    if (shutdown_) return;
+    const std::shared_ptr<Job> job = job_;
+    seen_epoch = job_epoch_;
+    lk.unlock();
+    drain(*job);
+    lk.lock();
+  }
+}
+
+void SweepRunner::for_each(std::size_t n,
+                           const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (t_parallel_depth > 0 || workers_.empty() || n == 1) {
+    ++t_parallel_depth;
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    --t_parallel_depth;
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->n = n;
+  job->remaining.store(n, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_ = job;
+    ++job_epoch_;
+  }
+  work_cv_.notify_all();
+
+  ++t_parallel_depth;
+  drain(*job);  // the calling thread works too
+  --t_parallel_depth;
+
+  {
+    std::unique_lock<std::mutex> lk(job->done_mu);
+    job->done_cv.wait(lk, [&] {
+      return job->remaining.load(std::memory_order_acquire) == 0;
+    });
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  job_.reset();
+}
+
+SweepRunner& SweepRunner::shared() {
+  static SweepRunner runner(g_default_threads.load());
+  return runner;
+}
+
+void SweepRunner::set_default_threads(std::size_t threads) {
+  g_default_threads.store(threads);
+}
+
+}  // namespace eac::scenario

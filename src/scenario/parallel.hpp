@@ -1,0 +1,68 @@
+// Thread-pool fan-out for independent simulation runs.
+//
+// Every figure in the paper is a sweep of runs that differ only in their
+// RunConfig, and each run derives all randomness from RunConfig::seed, so
+// runs are embarrassingly parallel and bit-reproducible regardless of which
+// worker executes them. SweepRunner owns a persistent pool of workers and
+// hands out job indices; callers write results into per-index slots and
+// reduce in index order, which makes parallel output identical to serial.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace eac::scenario {
+
+/// Persistent worker pool that runs `fn(0..n-1)` across threads.
+///
+/// Thread count resolution, in priority order: the constructor argument if
+/// non-zero, else the `EAC_THREADS` environment variable, else
+/// `std::thread::hardware_concurrency()`. A count of 1 means no worker
+/// threads are spawned and for_each degenerates to a plain serial loop.
+///
+/// Nested for_each calls (fn itself fanning out) run inline on the calling
+/// thread rather than deadlocking the pool.
+class SweepRunner {
+ public:
+  explicit SweepRunner(std::size_t threads = 0);
+  ~SweepRunner();
+
+  SweepRunner(const SweepRunner&) = delete;
+  SweepRunner& operator=(const SweepRunner&) = delete;
+
+  /// Total threads that participate in a for_each (workers + caller).
+  std::size_t thread_count() const { return workers_.size() + 1; }
+
+  /// Invoke `fn(i)` for every i in [0, n), spread across the pool, and
+  /// block until all calls return. Callers must write any output to
+  /// index-addressed slots; `fn` must not touch shared mutable state.
+  void for_each(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide pool, constructed on first use with the default thread
+  /// resolution (honouring set_default_threads / EAC_THREADS).
+  static SweepRunner& shared();
+
+  /// Override the thread count shared() will use. Takes effect only if
+  /// called before the first shared() call (bench harness --threads flag).
+  static void set_default_threads(std::size_t threads);
+
+ private:
+  struct Job;
+
+  void worker_loop();
+  static void drain(Job& job);
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::shared_ptr<Job> job_;       // guarded by mu_
+  std::uint64_t job_epoch_ = 0;    // guarded by mu_; bumped per for_each
+  bool shutdown_ = false;          // guarded by mu_
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace eac::scenario

@@ -2,6 +2,8 @@
 
 #include <memory>
 
+#include "scenario/parallel.hpp"
+
 #include "eac/endpoint_policy.hpp"
 #include "mbac/mbac_policy.hpp"
 #include "net/marking_queue.hpp"
@@ -124,12 +126,20 @@ RunResult run_single_link(const RunConfig& cfg) {
   return res;
 }
 
-RunResult run_single_link_averaged(RunConfig cfg, int seeds) {
-  RunResult avg;
+RunResult run_single_link_averaged(RunConfig cfg, int seeds,
+                                   SweepRunner* pool) {
   const std::uint64_t base_seed = cfg.seed;
-  for (int s = 0; s < seeds; ++s) {
-    cfg.seed = base_seed + static_cast<std::uint64_t>(s) * 7919;
-    RunResult r = run_single_link(cfg);
+  std::vector<RunResult> runs(static_cast<std::size_t>(seeds));
+  (pool != nullptr ? *pool : SweepRunner::shared())
+      .for_each(runs.size(), [&](std::size_t s) {
+        RunConfig c = cfg;
+        c.seed = base_seed + static_cast<std::uint64_t>(s) * 7919;
+        runs[s] = run_single_link(c);
+      });
+  // Reduce in seed order so the aggregate is independent of which worker
+  // finished first (floating-point sums are order-sensitive).
+  RunResult avg;
+  for (const RunResult& r : runs) {
     avg.utilization += r.utilization;
     avg.probe_utilization += r.probe_utilization;
     avg.delay_p50_s += r.delay_p50_s;

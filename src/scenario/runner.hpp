@@ -12,6 +12,8 @@
 
 namespace eac::scenario {
 
+class SweepRunner;
+
 /// Which admission controller a run uses.
 enum class PolicyKind { kEndpoint, kMbac };
 
@@ -65,7 +67,12 @@ RunResult run_single_link(const RunConfig& cfg);
 
 /// Average `seeds` replications of run_single_link (seeds derive from
 /// cfg.seed). Utilization/loss/blocking are averaged; counters summed.
-RunResult run_single_link_averaged(RunConfig cfg, int seeds);
+///
+/// Replications fan out across `pool` (default: SweepRunner::shared()).
+/// Results are bit-identical for any thread count: each replication's RNG
+/// comes from its own derived seed and the reduction runs in seed order.
+RunResult run_single_link_averaged(RunConfig cfg, int seeds,
+                                   SweepRunner* pool = nullptr);
 
 /// Result of the Figure-10 multi-link scenario.
 struct MultiLinkResult {

@@ -1,65 +1,37 @@
 #include "sim/simulator.hpp"
 
-#include <algorithm>
-#include <cassert>
-
 namespace eac::sim {
 
-EventId Simulator::schedule_at(SimTime t, std::function<void()> fn) {
-  assert(t >= now_ && "cannot schedule into the past");
-  const EventId id = next_id_++;
-  push(Event{t, id, std::move(fn)});
-  return id;
-}
-
-void Simulator::cancel(EventId id) {
-  if (id == 0 || id >= next_id_) return;
-  cancelled_.insert(id);
-  // Cancelling an already-run id leaves a stale entry; compact the set
-  // occasionally so it cannot grow past the live heap.
-  if (cancelled_.size() > 64 && cancelled_.size() > 4 * heap_.size()) {
-    std::unordered_set<EventId> live;
-    for (const Event& e : heap_) {
-      if (cancelled_.contains(e.id)) live.insert(e.id);
-    }
-    cancelled_ = std::move(live);
+std::uint32_t Simulator::grow_arena() {
+  if ((slot_count_ >> kChunkShift) == chunks_.size()) {
+    chunks_.push_back(std::make_unique<Slot[]>(kChunkSlots));
   }
-}
-
-void Simulator::push(Event e) {
-  heap_.push_back(std::move(e));
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
-}
-
-bool Simulator::pop_next(Event& out) {
-  while (!heap_.empty()) {
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    Event e = std::move(heap_.back());
-    heap_.pop_back();
-    if (!cancelled_.empty() && cancelled_.erase(e.id) > 0) continue;
-    out = std::move(e);
-    return true;
-  }
-  return false;
+  return slot_count_++;
 }
 
 std::uint64_t Simulator::run(SimTime horizon) {
   stopped_ = false;
   std::uint64_t executed = 0;
-  Event e;
   while (!stopped_ && !heap_.empty()) {
-    if (heap_.front().time > horizon) break;
-    if (!pop_next(e)) break;
-    if (e.time > horizon) {
-      // A cancelled earlier event exposed one past the horizon: put it back.
-      push(std::move(e));
-      break;
+    const Entry top = heap_.front();
+    Slot& s = slot(top.slot);
+    if (s.gen != top.gen) {  // orphaned by cancel(): discard and move on
+      heap_pop_top();
+      continue;
     }
-    now_ = e.time;
-    e.fn();
+    if (top.time > horizon) break;
+    heap_pop_top();
+    // Invalidate before invoking so a handler cancelling its own id is a
+    // no-op, but keep the storage off the free list until the callback
+    // returns: chunks never move, so it executes in place with no copy.
+    invalidate_slot(s);
+    --live_;
+    now_ = top.time;
+    s.fn.invoke_and_dispose();
+    free_empty_slot(s, top.slot);
     ++executed;
   }
-  if (heap_.empty() && now_ < horizon && horizon != SimTime::max()) now_ = horizon;
+  if (live_ == 0 && now_ < horizon && horizon != SimTime::max()) now_ = horizon;
   return executed;
 }
 

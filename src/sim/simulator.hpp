@@ -1,16 +1,20 @@
 // Discrete-event simulation core: a clock plus a cancellable event heap.
 #pragma once
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
-#include <functional>
-#include <unordered_set>
+#include <memory>
 #include <vector>
 
+#include "sim/event_fn.hpp"
 #include "sim/time.hpp"
 
 namespace eac::sim {
 
 /// Identifier returned by schedule_*; usable to cancel the event later.
+/// Encodes (slot, generation); 0 is never a valid id, so owners can use it
+/// as a "no pending event" sentinel.
 using EventId = std::uint64_t;
 
 /// The event loop. One Simulator owns the clock and every pending event.
@@ -18,6 +22,17 @@ using EventId = std::uint64_t;
 /// Events execute in (time, schedule-order) order: two events scheduled for
 /// the same instant run in the order they were scheduled, which keeps runs
 /// deterministic. Handlers may schedule or cancel further events freely.
+///
+/// Internals: a four-ary implicit heap of 24-byte (time, seq, slot, gen)
+/// entries keyed on (time, seq), with callbacks parked in a chunked slot
+/// arena recycled through a free list. Chunks never move, so callbacks are
+/// constructed in their slot and execute in place — scheduling an event
+/// copies the callable exactly once and the steady state allocates
+/// nothing. cancel() is O(1): it bumps the slot's generation, which
+/// orphans the heap entry; orphans are discarded when they surface at the
+/// top. There is no hash set and no state that grows when already-fired
+/// ids are cancelled (the common "cancel in the destructor" pattern), and
+/// pending() counts exactly the live events.
 class Simulator {
  public:
   Simulator() = default;
@@ -28,16 +43,32 @@ class Simulator {
   SimTime now() const { return now_; }
 
   /// Schedule `fn` to run at absolute time `t` (>= now).
-  EventId schedule_at(SimTime t, std::function<void()> fn);
+  template <typename F>
+  EventId schedule_at(SimTime t, F&& fn) {
+    assert(t >= now_ && "cannot schedule into the past");
+    return schedule_impl(t, std::forward<F>(fn));
+  }
 
   /// Schedule `fn` to run `delay` after the current time.
-  EventId schedule_after(SimTime delay, std::function<void()> fn) {
-    return schedule_at(now_ + delay, std::move(fn));
+  template <typename F>
+  EventId schedule_after(SimTime delay, F&& fn) {
+    return schedule_impl(now_ + delay, std::forward<F>(fn));
   }
 
   /// Cancel a pending event. Cancelling an already-run or unknown id is a
   /// harmless no-op, which lets owners cancel unconditionally in destructors.
-  void cancel(EventId id);
+  void cancel(EventId id) {
+    const auto idx = static_cast<std::uint32_t>(id >> 32);
+    const auto gen = static_cast<std::uint32_t>(id);
+    if (idx >= slot_count_) return;
+    Slot& s = slot(idx);
+    if (s.next_free != kActiveSlot || s.gen != gen) return;  // fired or stale
+    // Bumping the generation orphans the heap entry; it is discarded when
+    // it reaches the top. No allocation, no tombstone bookkeeping.
+    invalidate_slot(s);
+    free_slot(s, idx);
+    --live_;
+  }
 
   /// Run until the event queue is empty, `stop()` is called, or the next
   /// event would be after `horizon`. Returns the number of events executed.
@@ -46,29 +77,127 @@ class Simulator {
   /// Request that run() return after the current handler completes.
   void stop() { stopped_ = true; }
 
-  /// Number of events currently pending (including cancelled-but-unpopped).
-  std::size_t pending() const { return heap_.size(); }
+  /// Number of live (schedulable, not cancelled) pending events.
+  std::size_t pending() const { return live_; }
 
  private:
-  struct Event {
+  /// Heap entry: everything the ordering needs, nothing the callback needs.
+  struct Entry {
     SimTime time;
-    EventId id;
-    std::function<void()> fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.id > b.id;
+    std::uint64_t seq;  ///< schedule order; ties events at the same instant
+    std::uint32_t slot;
+    std::uint32_t gen;
+
+    bool before(const Entry& o) const {
+      if (time != o.time) return time < o.time;
+      return seq < o.seq;
     }
   };
 
-  void push(Event e);
-  bool pop_next(Event& out);
+  /// Callback parking space, recycled through `free_head_`.
+  struct Slot {
+    EventFn fn;
+    std::uint32_t gen = 1;        ///< bumped when the event fires or cancels
+    std::uint32_t next_free = 0;  ///< free-list link (index + 1; 0 = none)
+  };
 
-  std::vector<Event> heap_;  // binary min-heap via std::push_heap/pop_heap
-  std::unordered_set<EventId> cancelled_;
+  static constexpr std::uint32_t kNoFree = 0;
+  /// Slot::next_free value marking a slot that holds a live event.
+  static constexpr std::uint32_t kActiveSlot = 0xFFFF'FFFF;
+  /// Slots are allocated in fixed chunks so they never move: callbacks can
+  /// execute in place and growing the arena never relocates an EventFn.
+  /// 64 slots (~5 KB) keeps the cost of the first event small for the many
+  /// short-lived Simulators the parallel sweep layer spins up.
+  static constexpr std::uint32_t kChunkShift = 6;
+  static constexpr std::uint32_t kChunkSlots = 1u << kChunkShift;
+
+  Slot& slot(std::uint32_t idx) {
+    return chunks_[idx >> kChunkShift][idx & (kChunkSlots - 1)];
+  }
+
+  template <typename F>
+  EventId schedule_impl(SimTime t, F&& fn) {
+    std::uint32_t idx = free_head_;
+    Slot* s;
+    if (idx != kNoFree) {
+      --idx;
+      s = &slot(idx);
+      free_head_ = s->next_free;
+    } else {
+      idx = grow_arena();
+      s = &slot(idx);
+    }
+    // Freed slots always hold a destroyed fn, so construct straight over it.
+    s->fn.emplace_over_empty(std::forward<F>(fn));
+    s->next_free = kActiveSlot;
+    heap_push(Entry{t, next_seq_++, idx, s->gen});
+    ++live_;
+    return (static_cast<EventId>(idx) << 32) | s->gen;
+  }
+
+  /// Allocate a fresh slot index, adding a chunk when needed (slow path).
+  std::uint32_t grow_arena();
+
+  /// Bump the generation (orphans the heap entry and any outstanding id).
+  static void invalidate_slot(Slot& s) {
+    if (++s.gen == 0) s.gen = 1;  // generation 0 is reserved: never valid
+  }
+
+  /// Push a slot whose callable is already destroyed onto the free list.
+  void free_empty_slot(Slot& s, std::uint32_t idx) {
+    s.next_free = free_head_;
+    free_head_ = idx + 1;
+  }
+
+  /// Destroy a cancelled slot's callable and return it to the free list.
+  void free_slot(Slot& s, std::uint32_t idx) {
+    s.fn.reset();
+    free_empty_slot(s, idx);
+  }
+
+  void heap_push(Entry e) {
+    std::size_t i = heap_.size();
+    heap_.push_back(e);
+    if (i == 0) return;
+    std::size_t parent = (i - 1) >> 2;
+    if (!e.before(heap_[parent])) return;  // common case: appended in order
+    do {
+      heap_[i] = heap_[parent];
+      i = parent;
+      if (i == 0) break;
+      parent = (i - 1) >> 2;
+    } while (e.before(heap_[parent]));
+    heap_[i] = e;
+  }
+
+  void heap_pop_top() {
+    const Entry last = heap_.back();
+    heap_.pop_back();
+    const std::size_t n = heap_.size();
+    if (n == 0) return;
+    std::size_t i = 0;
+    for (;;) {
+      const std::size_t first = (i << 2) + 1;
+      if (first >= n) break;
+      std::size_t best = first;
+      const std::size_t end = std::min(first + 4, n);
+      for (std::size_t c = first + 1; c < end; ++c) {
+        if (heap_[c].before(heap_[best])) best = c;
+      }
+      if (!heap_[best].before(last)) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = last;
+  }
+
+  std::vector<Entry> heap_;  // implicit 4-ary min-heap on (time, seq)
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  std::uint32_t slot_count_ = 0;
+  std::uint32_t free_head_ = kNoFree;
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_ = 0;
   SimTime now_ = SimTime::zero();
-  EventId next_id_ = 1;
   bool stopped_ = false;
 };
 

@@ -1,0 +1,97 @@
+// PacketArena / PacketFifo: FIFO order, both-end pops (probe push-out),
+// node recycling, and multiple FIFOs sharing one arena.
+#include <gtest/gtest.h>
+
+#include "net/packet_pool.hpp"
+
+namespace eac::net {
+namespace {
+
+Packet make_packet(std::uint64_t id) {
+  Packet p;
+  p.seq = static_cast<std::uint32_t>(id);
+  return p;
+}
+
+TEST(PacketFifo, PreservesFifoOrder) {
+  PacketArena arena;
+  PacketFifo q{arena};
+  for (std::uint64_t i = 0; i < 100; ++i) q.push_back(make_packet(i));
+  EXPECT_EQ(q.size(), 100u);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(q.front().seq, i);
+    q.pop_front();
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(PacketFifo, PopBackEvictsMostRecent) {
+  PacketArena arena;
+  PacketFifo q{arena};
+  for (std::uint64_t i = 0; i < 5; ++i) q.push_back(make_packet(i));
+  EXPECT_EQ(q.back().seq, 4u);
+  q.pop_back();
+  EXPECT_EQ(q.back().seq, 3u);
+  EXPECT_EQ(q.front().seq, 0u);
+  q.pop_front();
+  EXPECT_EQ(q.front().seq, 1u);
+  EXPECT_EQ(q.size(), 3u);
+}
+
+TEST(PacketFifo, SingleElementPopBackEmptiesBothEnds) {
+  PacketArena arena;
+  PacketFifo q{arena};
+  q.push_back(make_packet(7));
+  q.pop_back();
+  EXPECT_TRUE(q.empty());
+  q.push_back(make_packet(8));  // head/tail must have been reset
+  EXPECT_EQ(q.front().seq, 8u);
+  EXPECT_EQ(q.back().seq, 8u);
+}
+
+TEST(PacketFifo, SteadyStateChurnRecyclesNodes) {
+  PacketArena arena;
+  PacketFifo q{arena};
+  for (std::uint64_t i = 0; i < 32; ++i) q.push_back(make_packet(i));
+  const std::uint32_t warm = arena.capacity();
+  for (std::uint64_t i = 0; i < 10'000; ++i) {
+    q.pop_front();
+    q.push_back(make_packet(100 + i));
+  }
+  EXPECT_EQ(arena.capacity(), warm) << "steady churn must not grow the arena";
+  EXPECT_EQ(q.size(), 32u);
+  EXPECT_EQ(q.front().seq, 10'068u);
+}
+
+TEST(PacketFifo, MultipleFifosShareOneArena) {
+  PacketArena arena;
+  PacketFifo a{arena};
+  PacketFifo b{arena};
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    a.push_back(make_packet(i));
+    b.push_back(make_packet(100 + i));
+  }
+  // Interleaved pops must not cross-contaminate the lists.
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.front().seq, i);
+    EXPECT_EQ(b.front().seq, 100 + i);
+    a.pop_front();
+    b.pop_front();
+  }
+  EXPECT_TRUE(a.empty());
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(PacketFifo, ClearReleasesEverything) {
+  PacketArena arena;
+  PacketFifo q{arena};
+  for (std::uint64_t i = 0; i < 20; ++i) q.push_back(make_packet(i));
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  const std::uint32_t cap = arena.capacity();
+  for (std::uint64_t i = 0; i < 20; ++i) q.push_back(make_packet(i));
+  EXPECT_EQ(arena.capacity(), cap) << "cleared nodes must be reused";
+}
+
+}  // namespace
+}  // namespace eac::net

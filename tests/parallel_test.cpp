@@ -1,0 +1,99 @@
+// SweepRunner pool mechanics plus the determinism contract: runs derive
+// all randomness from RunConfig::seed and reductions happen in index
+// order, so results must be bit-identical for any thread count.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "scenario/parallel.hpp"
+#include "scenario/runner.hpp"
+#include "traffic/catalog.hpp"
+
+namespace eac::scenario {
+namespace {
+
+RunConfig quick_run() {
+  RunConfig cfg;
+  FlowClass c;
+  c.arrival_rate_per_s = 1.0 / 3.5;
+  c.onoff = traffic::exp1();
+  c.packet_size = traffic::kOnOffPacketBytes;
+  c.probe_rate_bps = c.onoff.burst_rate_bps;
+  c.epsilon = 0.02;
+  cfg.classes = {c};
+  cfg.duration_s = 60;
+  cfg.warmup_s = 20;
+  cfg.seed = 17;
+  return cfg;
+}
+
+void expect_identical(const RunResult& a, const RunResult& b) {
+  // Exact equality on purpose: the determinism guarantee is bitwise.
+  EXPECT_EQ(a.utilization, b.utilization);
+  EXPECT_EQ(a.probe_utilization, b.probe_utilization);
+  EXPECT_EQ(a.delay_p50_s, b.delay_p50_s);
+  EXPECT_EQ(a.delay_p99_s, b.delay_p99_s);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.total.attempts, b.total.attempts);
+  EXPECT_EQ(a.total.accepts, b.total.accepts);
+  EXPECT_EQ(a.total.data_sent, b.total.data_sent);
+  EXPECT_EQ(a.total.data_received, b.total.data_received);
+  EXPECT_EQ(a.total.data_marked, b.total.data_marked);
+  ASSERT_EQ(a.groups.size(), b.groups.size());
+  for (const auto& [g, c] : a.groups) {
+    const auto it = b.groups.find(g);
+    ASSERT_NE(it, b.groups.end());
+    EXPECT_EQ(c.attempts, it->second.attempts);
+    EXPECT_EQ(c.data_sent, it->second.data_sent);
+    EXPECT_EQ(c.data_received, it->second.data_received);
+  }
+}
+
+TEST(SweepRunner, CoversEveryIndexExactlyOnce) {
+  SweepRunner pool{4};
+  EXPECT_EQ(pool.thread_count(), 4u);
+  std::vector<std::atomic<int>> hits(257);
+  pool.for_each(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(SweepRunner, ZeroItemsIsANoOp) {
+  SweepRunner pool{3};
+  pool.for_each(0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(SweepRunner, NestedForEachRunsInlineWithoutDeadlock) {
+  SweepRunner pool{4};
+  std::atomic<int> inner_total{0};
+  pool.for_each(8, [&](std::size_t) {
+    pool.for_each(8, [&](std::size_t) { ++inner_total; });
+  });
+  EXPECT_EQ(inner_total.load(), 64);
+}
+
+TEST(SweepRunner, SingleThreadPoolRunsSerially) {
+  SweepRunner pool{1};
+  EXPECT_EQ(pool.thread_count(), 1u);
+  std::vector<std::size_t> order;
+  pool.for_each(16, [&](std::size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 16u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Determinism, SameConfigTwiceGivesIdenticalResult) {
+  const RunConfig cfg = quick_run();
+  expect_identical(run_single_link(cfg), run_single_link(cfg));
+}
+
+TEST(Determinism, ParallelAveragedMatchesSerialBitForBit) {
+  const RunConfig cfg = quick_run();
+  SweepRunner serial{1};
+  SweepRunner parallel{4};
+  const RunResult a = run_single_link_averaged(cfg, 3, &serial);
+  const RunResult b = run_single_link_averaged(cfg, 3, &parallel);
+  expect_identical(a, b);
+}
+
+}  // namespace
+}  // namespace eac::scenario

@@ -109,6 +109,73 @@ TEST(Simulator, EventsCanScheduleMoreEvents) {
   EXPECT_EQ(sim.now(), SimTime::milliseconds(100));
 }
 
+TEST(Simulator, PendingCountsOnlyLiveEvents) {
+  Simulator sim;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 10; ++i) {
+    ids.push_back(sim.schedule_at(SimTime::seconds(i + 1), [] {}));
+  }
+  EXPECT_EQ(sim.pending(), 10u);
+  sim.cancel(ids[1]);
+  sim.cancel(ids[4]);
+  sim.cancel(ids[7]);
+  EXPECT_EQ(sim.pending(), 7u);
+  sim.cancel(ids[4]);  // double cancel must not double-count
+  EXPECT_EQ(sim.pending(), 7u);
+  EXPECT_EQ(sim.run(), 7u);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, CancelAfterFireIsANoOpAndPendingStaysExact) {
+  // Regression: the old design kept a tombstone set that grew each time a
+  // fired event's id was cancelled (the usual unconditional cancel-in-
+  // destructor pattern). pending() must stay exact through such churn.
+  Simulator sim;
+  std::vector<EventId> fired;
+  for (int round = 0; round < 100; ++round) {
+    fired.push_back(
+        sim.schedule_after(SimTime::milliseconds(1), [] {}));
+    sim.run(sim.now() + SimTime::milliseconds(2));
+    EXPECT_EQ(sim.pending(), 0u);
+    for (EventId id : fired) sim.cancel(id);  // all already ran
+    EXPECT_EQ(sim.pending(), 0u);
+  }
+  bool ran = false;
+  sim.schedule_after(SimTime::milliseconds(1), [&] { ran = true; });
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, StaleIdNeverCancelsARecycledSlot) {
+  Simulator sim;
+  bool second_ran = false;
+  const EventId first = sim.schedule_at(SimTime::seconds(1), [] {});
+  sim.cancel(first);
+  // The freed slot is recycled for the next event; the stale id must not
+  // reach it.
+  const EventId second =
+      sim.schedule_at(SimTime::seconds(2), [&] { second_ran = true; });
+  EXPECT_NE(first, second);
+  sim.cancel(first);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_TRUE(second_ran);
+}
+
+TEST(Simulator, SelfCancelInsideHandlerIsHarmless) {
+  Simulator sim;
+  EventId self = 0;
+  int runs = 0;
+  self = sim.schedule_at(SimTime::seconds(1), [&] {
+    ++runs;
+    sim.cancel(self);  // own id: already firing, must be a no-op
+  });
+  EXPECT_EQ(sim.run(), 1u);
+  EXPECT_EQ(runs, 1);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
 TEST(Simulator, CancelledEventAtHorizonBoundary) {
   Simulator sim;
   bool late_ran = false;
