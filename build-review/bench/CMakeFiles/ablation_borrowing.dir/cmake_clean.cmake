@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_borrowing.dir/ablation_borrowing.cpp.o"
+  "CMakeFiles/ablation_borrowing.dir/ablation_borrowing.cpp.o.d"
+  "ablation_borrowing"
+  "ablation_borrowing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_borrowing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

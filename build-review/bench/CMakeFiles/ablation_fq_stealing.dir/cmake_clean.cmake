@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fq_stealing.dir/ablation_fq_stealing.cpp.o"
+  "CMakeFiles/ablation_fq_stealing.dir/ablation_fq_stealing.cpp.o.d"
+  "ablation_fq_stealing"
+  "ablation_fq_stealing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fq_stealing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

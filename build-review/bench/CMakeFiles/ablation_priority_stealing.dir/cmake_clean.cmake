@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_priority_stealing.dir/ablation_priority_stealing.cpp.o"
+  "CMakeFiles/ablation_priority_stealing.dir/ablation_priority_stealing.cpp.o.d"
+  "ablation_priority_stealing"
+  "ablation_priority_stealing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_priority_stealing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_red_vs_droptail.dir/ablation_red_vs_droptail.cpp.o"
+  "CMakeFiles/ablation_red_vs_droptail.dir/ablation_red_vs_droptail.cpp.o.d"
+  "ablation_red_vs_droptail"
+  "ablation_red_vs_droptail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_red_vs_droptail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

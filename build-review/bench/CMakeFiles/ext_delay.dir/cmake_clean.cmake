@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_delay.dir/ext_delay.cpp.o"
+  "CMakeFiles/ext_delay.dir/ext_delay.cpp.o.d"
+  "ext_delay"
+  "ext_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

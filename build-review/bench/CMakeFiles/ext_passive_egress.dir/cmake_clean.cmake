@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_passive_egress.dir/ext_passive_egress.cpp.o"
+  "CMakeFiles/ext_passive_egress.dir/ext_passive_egress.cpp.o.d"
+  "ext_passive_egress"
+  "ext_passive_egress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_passive_egress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_passive_egress.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_probe_shapes.dir/ext_probe_shapes.cpp.o"
+  "CMakeFiles/ext_probe_shapes.dir/ext_probe_shapes.cpp.o.d"
+  "ext_probe_shapes"
+  "ext_probe_shapes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_probe_shapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

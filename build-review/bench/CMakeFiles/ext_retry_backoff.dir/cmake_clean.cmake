@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_retry_backoff.dir/ext_retry_backoff.cpp.o"
+  "CMakeFiles/ext_retry_backoff.dir/ext_retry_backoff.cpp.o.d"
+  "ext_retry_backoff"
+  "ext_retry_backoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_retry_backoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_virtual_drop.dir/ext_virtual_drop.cpp.o"
+  "CMakeFiles/ext_virtual_drop.dir/ext_virtual_drop.cpp.o.d"
+  "ext_virtual_drop"
+  "ext_virtual_drop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_virtual_drop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

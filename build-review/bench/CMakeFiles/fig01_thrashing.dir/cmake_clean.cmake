@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_thrashing.dir/fig01_thrashing.cpp.o"
+  "CMakeFiles/fig01_thrashing.dir/fig01_thrashing.cpp.o.d"
+  "fig01_thrashing"
+  "fig01_thrashing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_thrashing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

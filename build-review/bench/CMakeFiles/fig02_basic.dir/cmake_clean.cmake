@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_basic.dir/fig02_basic.cpp.o"
+  "CMakeFiles/fig02_basic.dir/fig02_basic.cpp.o.d"
+  "fig02_basic"
+  "fig02_basic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

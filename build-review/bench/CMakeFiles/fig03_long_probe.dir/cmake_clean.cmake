@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_long_probe.dir/fig03_long_probe.cpp.o"
+  "CMakeFiles/fig03_long_probe.dir/fig03_long_probe.cpp.o.d"
+  "fig03_long_probe"
+  "fig03_long_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_long_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_07_highload.dir/fig04_07_highload.cpp.o"
+  "CMakeFiles/fig04_07_highload.dir/fig04_07_highload.cpp.o.d"
+  "fig04_07_highload"
+  "fig04_07_highload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_07_highload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_robustness.dir/fig08_robustness.cpp.o"
+  "CMakeFiles/fig08_robustness.dir/fig08_robustness.cpp.o.d"
+  "fig08_robustness"
+  "fig08_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

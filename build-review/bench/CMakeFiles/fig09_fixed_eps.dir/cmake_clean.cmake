@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_fixed_eps.dir/fig09_fixed_eps.cpp.o"
+  "CMakeFiles/fig09_fixed_eps.dir/fig09_fixed_eps.cpp.o.d"
+  "fig09_fixed_eps"
+  "fig09_fixed_eps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_fixed_eps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_fixed_eps.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_tcp_coexist.dir/fig11_tcp_coexist.cpp.o"
+  "CMakeFiles/fig11_tcp_coexist.dir/fig11_tcp_coexist.cpp.o.d"
+  "fig11_tcp_coexist"
+  "fig11_tcp_coexist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_tcp_coexist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_hetero_eps.dir/table3_hetero_eps.cpp.o"
+  "CMakeFiles/table3_hetero_eps.dir/table3_hetero_eps.cpp.o.d"
+  "table3_hetero_eps"
+  "table3_hetero_eps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_hetero_eps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

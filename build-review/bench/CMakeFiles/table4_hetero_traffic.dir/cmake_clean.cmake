@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_hetero_traffic.dir/table4_hetero_traffic.cpp.o"
+  "CMakeFiles/table4_hetero_traffic.dir/table4_hetero_traffic.cpp.o.d"
+  "table4_hetero_traffic"
+  "table4_hetero_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_hetero_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table56_multihop.dir/table56_multihop.cpp.o"
+  "CMakeFiles/table56_multihop.dir/table56_multihop.cpp.o.d"
+  "table56_multihop"
+  "table56_multihop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table56_multihop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table56_multihop.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eac_cli.dir/eac_cli.cpp.o"
+  "CMakeFiles/eac_cli.dir/eac_cli.cpp.o.d"
+  "eac_cli"
+  "eac_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eac_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/legacy_coexistence.cpp" "examples/CMakeFiles/legacy_coexistence.dir/legacy_coexistence.cpp.o" "gcc" "examples/CMakeFiles/legacy_coexistence.dir/legacy_coexistence.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/scenario/CMakeFiles/eac_scenario.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/eac/CMakeFiles/eac_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/mbac/CMakeFiles/eac_mbac.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/fluid/CMakeFiles/eac_fluid.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/tcp/CMakeFiles/eac_tcp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/traffic/CMakeFiles/eac_traffic.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/net/CMakeFiles/eac_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/eac_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

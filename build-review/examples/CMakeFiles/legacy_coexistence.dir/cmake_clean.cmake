@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legacy_coexistence.dir/legacy_coexistence.cpp.o"
+  "CMakeFiles/legacy_coexistence.dir/legacy_coexistence.cpp.o.d"
+  "legacy_coexistence"
+  "legacy_coexistence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legacy_coexistence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voip_gateway.dir/voip_gateway.cpp.o"
+  "CMakeFiles/voip_gateway.dir/voip_gateway.cpp.o.d"
+  "voip_gateway"
+  "voip_gateway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voip_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

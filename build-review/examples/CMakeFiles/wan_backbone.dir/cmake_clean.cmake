@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_backbone.dir/wan_backbone.cpp.o"
+  "CMakeFiles/wan_backbone.dir/wan_backbone.cpp.o.d"
+  "wan_backbone"
+  "wan_backbone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_backbone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

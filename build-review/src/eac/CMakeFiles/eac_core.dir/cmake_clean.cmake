@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eac_core.dir/flow_manager.cpp.o"
+  "CMakeFiles/eac_core.dir/flow_manager.cpp.o.d"
+  "CMakeFiles/eac_core.dir/probe_session.cpp.o"
+  "CMakeFiles/eac_core.dir/probe_session.cpp.o.d"
+  "libeac_core.a"
+  "libeac_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eac_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

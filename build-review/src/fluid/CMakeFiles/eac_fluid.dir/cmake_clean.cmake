@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eac_fluid.dir/fluid_model.cpp.o"
+  "CMakeFiles/eac_fluid.dir/fluid_model.cpp.o.d"
+  "libeac_fluid.a"
+  "libeac_fluid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eac_fluid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

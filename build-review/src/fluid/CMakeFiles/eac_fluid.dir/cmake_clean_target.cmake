@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libeac_fluid.a"
+)

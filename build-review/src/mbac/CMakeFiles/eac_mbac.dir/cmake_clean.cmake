@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eac_mbac.dir/measured_sum.cpp.o"
+  "CMakeFiles/eac_mbac.dir/measured_sum.cpp.o.d"
+  "libeac_mbac.a"
+  "libeac_mbac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eac_mbac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

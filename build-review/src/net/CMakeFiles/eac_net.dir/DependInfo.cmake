@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/fair_queue.cpp" "src/net/CMakeFiles/eac_net.dir/fair_queue.cpp.o" "gcc" "src/net/CMakeFiles/eac_net.dir/fair_queue.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/net/CMakeFiles/eac_net.dir/link.cpp.o" "gcc" "src/net/CMakeFiles/eac_net.dir/link.cpp.o.d"
+  "/root/repo/src/net/node.cpp" "src/net/CMakeFiles/eac_net.dir/node.cpp.o" "gcc" "src/net/CMakeFiles/eac_net.dir/node.cpp.o.d"
+  "/root/repo/src/net/priority_queue.cpp" "src/net/CMakeFiles/eac_net.dir/priority_queue.cpp.o" "gcc" "src/net/CMakeFiles/eac_net.dir/priority_queue.cpp.o.d"
+  "/root/repo/src/net/queue_disc.cpp" "src/net/CMakeFiles/eac_net.dir/queue_disc.cpp.o" "gcc" "src/net/CMakeFiles/eac_net.dir/queue_disc.cpp.o.d"
+  "/root/repo/src/net/rate_limited_queue.cpp" "src/net/CMakeFiles/eac_net.dir/rate_limited_queue.cpp.o" "gcc" "src/net/CMakeFiles/eac_net.dir/rate_limited_queue.cpp.o.d"
+  "/root/repo/src/net/red_queue.cpp" "src/net/CMakeFiles/eac_net.dir/red_queue.cpp.o" "gcc" "src/net/CMakeFiles/eac_net.dir/red_queue.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/net/CMakeFiles/eac_net.dir/topology.cpp.o" "gcc" "src/net/CMakeFiles/eac_net.dir/topology.cpp.o.d"
+  "/root/repo/src/net/tracer.cpp" "src/net/CMakeFiles/eac_net.dir/tracer.cpp.o" "gcc" "src/net/CMakeFiles/eac_net.dir/tracer.cpp.o.d"
+  "/root/repo/src/net/virtual_queue.cpp" "src/net/CMakeFiles/eac_net.dir/virtual_queue.cpp.o" "gcc" "src/net/CMakeFiles/eac_net.dir/virtual_queue.cpp.o.d"
+  "/root/repo/src/net/wfq_queue.cpp" "src/net/CMakeFiles/eac_net.dir/wfq_queue.cpp.o" "gcc" "src/net/CMakeFiles/eac_net.dir/wfq_queue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/sim/CMakeFiles/eac_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eac_net.dir/fair_queue.cpp.o"
+  "CMakeFiles/eac_net.dir/fair_queue.cpp.o.d"
+  "CMakeFiles/eac_net.dir/link.cpp.o"
+  "CMakeFiles/eac_net.dir/link.cpp.o.d"
+  "CMakeFiles/eac_net.dir/node.cpp.o"
+  "CMakeFiles/eac_net.dir/node.cpp.o.d"
+  "CMakeFiles/eac_net.dir/priority_queue.cpp.o"
+  "CMakeFiles/eac_net.dir/priority_queue.cpp.o.d"
+  "CMakeFiles/eac_net.dir/queue_disc.cpp.o"
+  "CMakeFiles/eac_net.dir/queue_disc.cpp.o.d"
+  "CMakeFiles/eac_net.dir/rate_limited_queue.cpp.o"
+  "CMakeFiles/eac_net.dir/rate_limited_queue.cpp.o.d"
+  "CMakeFiles/eac_net.dir/red_queue.cpp.o"
+  "CMakeFiles/eac_net.dir/red_queue.cpp.o.d"
+  "CMakeFiles/eac_net.dir/topology.cpp.o"
+  "CMakeFiles/eac_net.dir/topology.cpp.o.d"
+  "CMakeFiles/eac_net.dir/tracer.cpp.o"
+  "CMakeFiles/eac_net.dir/tracer.cpp.o.d"
+  "CMakeFiles/eac_net.dir/virtual_queue.cpp.o"
+  "CMakeFiles/eac_net.dir/virtual_queue.cpp.o.d"
+  "CMakeFiles/eac_net.dir/wfq_queue.cpp.o"
+  "CMakeFiles/eac_net.dir/wfq_queue.cpp.o.d"
+  "libeac_net.a"
+  "libeac_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eac_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

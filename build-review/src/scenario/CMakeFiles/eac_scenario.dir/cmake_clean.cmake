@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eac_scenario.dir/parallel.cpp.o"
+  "CMakeFiles/eac_scenario.dir/parallel.cpp.o.d"
+  "CMakeFiles/eac_scenario.dir/runner.cpp.o"
+  "CMakeFiles/eac_scenario.dir/runner.cpp.o.d"
+  "CMakeFiles/eac_scenario.dir/tcp_coexistence.cpp.o"
+  "CMakeFiles/eac_scenario.dir/tcp_coexistence.cpp.o.d"
+  "libeac_scenario.a"
+  "libeac_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eac_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

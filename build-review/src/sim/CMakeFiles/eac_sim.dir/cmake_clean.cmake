@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eac_sim.dir/random.cpp.o"
+  "CMakeFiles/eac_sim.dir/random.cpp.o.d"
+  "CMakeFiles/eac_sim.dir/simulator.cpp.o"
+  "CMakeFiles/eac_sim.dir/simulator.cpp.o.d"
+  "libeac_sim.a"
+  "libeac_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eac_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eac_tcp.dir/tcp.cpp.o"
+  "CMakeFiles/eac_tcp.dir/tcp.cpp.o.d"
+  "libeac_tcp.a"
+  "libeac_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eac_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

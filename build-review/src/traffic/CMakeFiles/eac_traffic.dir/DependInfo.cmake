@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/onoff_source.cpp" "src/traffic/CMakeFiles/eac_traffic.dir/onoff_source.cpp.o" "gcc" "src/traffic/CMakeFiles/eac_traffic.dir/onoff_source.cpp.o.d"
+  "/root/repo/src/traffic/trace.cpp" "src/traffic/CMakeFiles/eac_traffic.dir/trace.cpp.o" "gcc" "src/traffic/CMakeFiles/eac_traffic.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/sim/CMakeFiles/eac_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/net/CMakeFiles/eac_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eac_traffic.dir/onoff_source.cpp.o"
+  "CMakeFiles/eac_traffic.dir/onoff_source.cpp.o.d"
+  "CMakeFiles/eac_traffic.dir/trace.cpp.o"
+  "CMakeFiles/eac_traffic.dir/trace.cpp.o.d"
+  "libeac_traffic.a"
+  "libeac_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eac_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/endpoint_policy_test.dir/endpoint_policy_test.cpp.o"
+  "CMakeFiles/endpoint_policy_test.dir/endpoint_policy_test.cpp.o.d"
+  "endpoint_policy_test"
+  "endpoint_policy_test.pdb"
+  "endpoint_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/endpoint_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

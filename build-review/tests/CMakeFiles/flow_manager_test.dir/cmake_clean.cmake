@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_manager_test.dir/flow_manager_test.cpp.o"
+  "CMakeFiles/flow_manager_test.dir/flow_manager_test.cpp.o.d"
+  "flow_manager_test"
+  "flow_manager_test.pdb"
+  "flow_manager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

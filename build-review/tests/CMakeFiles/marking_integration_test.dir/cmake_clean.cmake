@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marking_integration_test.dir/marking_integration_test.cpp.o"
+  "CMakeFiles/marking_integration_test.dir/marking_integration_test.cpp.o.d"
+  "marking_integration_test"
+  "marking_integration_test.pdb"
+  "marking_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marking_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbac_test.dir/mbac_test.cpp.o"
+  "CMakeFiles/mbac_test.dir/mbac_test.cpp.o.d"
+  "mbac_test"
+  "mbac_test.pdb"
+  "mbac_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbac_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/passive_egress_test.dir/passive_egress_test.cpp.o"
+  "CMakeFiles/passive_egress_test.dir/passive_egress_test.cpp.o.d"
+  "passive_egress_test"
+  "passive_egress_test.pdb"
+  "passive_egress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/passive_egress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for passive_egress_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probe_matrix_test.dir/probe_matrix_test.cpp.o"
+  "CMakeFiles/probe_matrix_test.dir/probe_matrix_test.cpp.o.d"
+  "probe_matrix_test"
+  "probe_matrix_test.pdb"
+  "probe_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probe_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

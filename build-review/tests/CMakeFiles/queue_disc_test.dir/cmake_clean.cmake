@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queue_disc_test.dir/queue_disc_test.cpp.o"
+  "CMakeFiles/queue_disc_test.dir/queue_disc_test.cpp.o.d"
+  "queue_disc_test"
+  "queue_disc_test.pdb"
+  "queue_disc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queue_disc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queue_property_test.dir/queue_property_test.cpp.o"
+  "CMakeFiles/queue_property_test.dir/queue_property_test.cpp.o.d"
+  "queue_property_test"
+  "queue_property_test.pdb"
+  "queue_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queue_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

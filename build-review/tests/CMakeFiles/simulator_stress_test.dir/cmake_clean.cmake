@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulator_stress_test.dir/simulator_stress_test.cpp.o"
+  "CMakeFiles/simulator_stress_test.dir/simulator_stress_test.cpp.o.d"
+  "simulator_stress_test"
+  "simulator_stress_test.pdb"
+  "simulator_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulator_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

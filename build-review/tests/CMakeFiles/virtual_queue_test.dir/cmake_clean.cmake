@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virtual_queue_test.dir/virtual_queue_test.cpp.o"
+  "CMakeFiles/virtual_queue_test.dir/virtual_queue_test.cpp.o.d"
+  "virtual_queue_test"
+  "virtual_queue_test.pdb"
+  "virtual_queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virtual_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

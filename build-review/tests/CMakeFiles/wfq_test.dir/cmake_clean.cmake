@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfq_test.dir/wfq_test.cpp.o"
+  "CMakeFiles/wfq_test.dir/wfq_test.cpp.o.d"
+  "wfq_test"
+  "wfq_test.pdb"
+  "wfq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
