@@ -18,6 +18,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "eac/endpoint_policy.hpp"
 #include "net/priority_queue.hpp"
 #include "net/rate_limited_queue.hpp"
@@ -126,21 +127,30 @@ Outcome run(bool rate_limited) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  eac::bench::init(argc, argv);
   std::printf("== Ablation (S2.1.2): admission-controlled traffic must not "
               "borrow ==\n");
   std::printf("# AC share 5 Mbps of a 10 Mbps link; best effort (4.5 Mbps) "
               "pauses while AC flows probe\n");
   std::printf("%-24s %10s %18s %18s\n", "scheduler", "admitted",
               "BE after (Mbps)", "AC after (Mbps)");
-  const Outcome borrow = run(false);
-  std::printf("%-24s %10d %18.2f %18.2f\n", "priority, no cap",
-              borrow.admitted, borrow.be_throughput_after_mbps,
-              borrow.ac_throughput_after_mbps);
-  const Outcome capped = run(true);
-  std::printf("%-24s %10d %18.2f %18.2f\n", "priority + rate limit",
-              capped.admitted, capped.be_throughput_after_mbps,
-              capped.ac_throughput_after_mbps);
+  const auto report = [](const char* name, const Outcome& o) {
+    std::printf("%-24s %10d %18.2f %18.2f\n", name, o.admitted,
+                o.be_throughput_after_mbps, o.ac_throughput_after_mbps);
+    if (eac::bench::json_enabled()) {
+      eac::scenario::JsonWriter w;
+      w.object_begin()
+          .field("scheduler", name)
+          .field("admitted", o.admitted)
+          .field("be_after_mbps", o.be_throughput_after_mbps)
+          .field("ac_after_mbps", o.ac_throughput_after_mbps)
+          .object_end();
+      eac::bench::json_row(w.take());
+    }
+  };
+  report("priority, no cap", run(false));
+  report("priority + rate limit", run(true));
   std::printf("# expected: without the cap the probes admit ~8 Mbps and "
               "best effort is crushed on\n# return; with the strict cap "
               "only ~5 Mbps is admitted and best effort keeps its share.\n");

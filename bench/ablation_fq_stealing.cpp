@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "eac/endpoint_policy.hpp"
 #include "net/fair_queue.hpp"
 #include "net/queue_disc.hpp"
@@ -147,21 +148,30 @@ Outcome run(Sched sched) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  eac::bench::init(argc, argv);
   std::printf("== Ablation (S2.1.1): stolen bandwidth under fair queueing ==\n");
   std::printf("# 4 accepted 2 Mbps flows; then 12 late 1 Mbps flows probe "
               "(eps=0) a 10 Mbps link\n");
   std::printf("%-12s %16s %14s %14s\n", "scheduler", "small_admitted",
               "large_loss", "small_loss");
-  const Outcome fifo = run(Sched::kFifo);
-  std::printf("%-12s %16d %14.3f %14.3f\n", "FIFO", fifo.small_admitted,
-              fifo.large_loss, fifo.small_loss);
-  const Outcome drr = run(Sched::kDrr);
-  std::printf("%-12s %16d %14.3f %14.3f\n", "DRR", drr.small_admitted,
-              drr.large_loss, drr.small_loss);
-  const Outcome wfq = run(Sched::kWfq);
-  std::printf("%-12s %16d %14.3f %14.3f\n", "WFQ", wfq.small_admitted,
-              wfq.large_loss, wfq.small_loss);
+  const auto report = [](const char* name, const Outcome& o) {
+    std::printf("%-12s %16d %14.3f %14.3f\n", name, o.small_admitted,
+                o.large_loss, o.small_loss);
+    if (eac::bench::json_enabled()) {
+      eac::scenario::JsonWriter w;
+      w.object_begin()
+          .field("scheduler", name)
+          .field("small_admitted", o.small_admitted)
+          .field("large_loss", o.large_loss)
+          .field("small_loss", o.small_loss)
+          .object_end();
+      eac::bench::json_row(w.take());
+    }
+  };
+  report("FIFO", run(Sched::kFifo));
+  report("DRR", run(Sched::kDrr));
+  report("WFQ", run(Sched::kWfq));
   std::printf("# expected: FIFO admits ~2 small flows (filling the link) and "
               "keeps large-flow loss ~0;\n");
   std::printf("# FQ keeps admitting beyond that - its isolation hides the "

@@ -18,6 +18,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "eac/config.hpp"
 #include "eac/probe_session.hpp"
 #include "net/priority_queue.hpp"
@@ -136,19 +137,29 @@ Outcome run(bool common_probe_band) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  eac::bench::init(argc, argv);
   std::printf("== Ablation (S2.1.3): probe placement with two data "
               "priorities ==\n");
   std::printf("# 5 accepted level-2 flows (9 Mbps); later level-1 flows "
               "probe a 10 Mbps link\n");
   std::printf("%-22s %16s %16s\n", "probe placement", "level1_admitted",
               "level2_loss");
-  const Outcome steal = run(false);
-  std::printf("%-22s %16d %16.3f\n", "per-level (band 0)",
-              steal.level1_admitted, steal.level2_loss);
-  const Outcome fair = run(true);
-  std::printf("%-22s %16d %16.3f\n", "common low band",
-              fair.level1_admitted, fair.level2_loss);
+  const auto report = [](const char* name, const Outcome& o) {
+    std::printf("%-22s %16d %16.3f\n", name, o.level1_admitted,
+                o.level2_loss);
+    if (eac::bench::json_enabled()) {
+      eac::scenario::JsonWriter w;
+      w.object_begin()
+          .field("probe_placement", name)
+          .field("level1_admitted", o.level1_admitted)
+          .field("level2_loss", o.level2_loss)
+          .object_end();
+      eac::bench::json_row(w.take());
+    }
+  };
+  report("per-level (band 0)", run(false));
+  report("common low band", run(true));
   std::printf("# expected: per-level probes admit the level-1 flows, which "
               "then starve level 2\n");
   std::printf("# (loss -> ~1); a common probe class below all data rejects "

@@ -7,6 +7,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <memory>
 #include <string>
@@ -15,12 +16,82 @@
 
 #include "eac/config.hpp"
 #include "scenario/parallel.hpp"
+#include "scenario/report.hpp"
 #include "scenario/runner.hpp"
 #include "scenario/scale.hpp"
 #include "traffic/catalog.hpp"
 #include "traffic/trace.hpp"
 
 namespace eac::bench {
+
+/// Structured artifact sink behind the shared `--json=PATH` flag: rows are
+/// collected during the run and written as one JSON document
+/// ({"bench":..., "scale":..., "rows":[...]}) when the program exits, so
+/// every bench leaves a machine-readable artifact alongside its text
+/// table. Disabled (zero-cost) unless --json is given.
+class JsonReport {
+ public:
+  static JsonReport& instance() {
+    static JsonReport r;
+    return r;
+  }
+
+  void open(std::string path, std::string bench_name) {
+    path_ = std::move(path);
+    bench_ = std::move(bench_name);
+  }
+  bool enabled() const { return !path_.empty(); }
+
+  /// Append one pre-serialized JSON object to the rows array.
+  void add(std::string row_json) {
+    if (enabled()) rows_.push_back(std::move(row_json));
+  }
+
+  ~JsonReport() { flush(); }
+
+  void flush() {
+    if (!enabled() || flushed_) return;
+    flushed_ = true;
+    const scenario::Scale s = scenario::bench_scale();
+    scenario::JsonWriter w;
+    w.object_begin()
+        .field("bench", bench_)
+        .key("scale")
+        .object_begin()
+        .field("duration_s", s.duration_s)
+        .field("warmup_s", s.warmup_s)
+        .field("seeds", s.seeds)
+        .object_end()
+        .key("rows")
+        .array_begin();
+    for (const std::string& r : rows_) w.raw(r);
+    w.array_end().object_end();
+    if (!scenario::write_json_file(path_, w.str())) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path_.c_str());
+    }
+  }
+
+ private:
+  std::string path_, bench_;
+  std::vector<std::string> rows_;
+  bool flushed_ = false;
+};
+
+/// Append one row object to the --json artifact (no-op when disabled).
+inline void json_row(std::string row_json) {
+  JsonReport::instance().add(std::move(row_json));
+}
+inline bool json_enabled() { return JsonReport::instance().enabled(); }
+
+/// Scenario label stamped onto subsequent loss-load JSON rows, for
+/// benches that sweep the same designs across several scenarios.
+inline std::string& json_scenario() {
+  static std::string s;
+  return s;
+}
+inline void set_json_scenario(std::string name) {
+  json_scenario() = std::move(name);
+}
 
 /// One point of a figure sweep: an independent run plus the code that
 /// reports its averaged result.
@@ -54,6 +125,26 @@ inline void apply_thread_flag(int argc, char** argv) {
           std::strtoul(argv[++i], nullptr, 10));
     }
   }
+}
+
+/// Shared bench flag handling: `--threads N|--threads=N` sizes the sweep
+/// pool, `--json PATH|--json=PATH` arms the structured artifact sink.
+/// Call first thing in every bench main().
+inline void init(int argc, char** argv) {
+  apply_thread_flag(argc, argv);
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--json=", 0) == 0) {
+      json_path = a.substr(7);
+    } else if (a == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+  if (json_path.empty()) return;
+  const char* base = argv[0];
+  if (const char* slash = std::strrchr(base, '/')) base = slash + 1;
+  JsonReport::instance().open(std::move(json_path), base);
 }
 
 /// The four §3.1 prototype designs in the paper's presentation order.
@@ -138,6 +229,16 @@ inline void print_loss_load_row(const std::string& design, double eps,
     std::fprintf(csv, "%s,%g,%.6f,%.6e,%.6f,%.6f\n", design.c_str(), eps,
                  r.utilization, r.loss(), r.blocking(), r.probe_utilization);
     std::fflush(csv);
+  }
+  if (json_enabled()) {
+    scenario::JsonWriter w;
+    w.object_begin();
+    if (!json_scenario().empty()) w.field("scenario", json_scenario());
+    w.field("design", design)
+        .field("eps", eps)
+        .field_raw("result", scenario::to_json(r))
+        .object_end();
+    json_row(w.take());
   }
 }
 

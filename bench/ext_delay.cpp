@@ -7,8 +7,9 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eac;
+  bench::init(argc, argv);
   const auto scale = scenario::bench_scale();
   std::printf("== Extension: data packet delay percentiles ==\n");
   bench::print_scale_banner(scale);
@@ -26,6 +27,15 @@ int main() {
     std::printf("%-18s %8.2f %12.2f %12.2f %12.3e\n", d.name, eps,
                 r.delay_p50_s * 1e3, r.delay_p99_s * 1e3, r.loss());
     std::fflush(stdout);
+    if (bench::json_enabled()) {
+      scenario::JsonWriter w;
+      w.object_begin()
+          .field("design", d.name)
+          .field("eps", eps)
+          .field_raw("result", scenario::to_json(r))
+          .object_end();
+      bench::json_row(w.take());
+    }
   }
   std::printf("# propagation alone is 20 ms; a 200-packet 10 Mbps buffer "
               "adds at most 20 ms more.\n");

@@ -12,8 +12,9 @@
 #include "eac/passive_egress.hpp"
 #include "net/priority_queue.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eac;
+  bench::init(argc, argv);
   const auto scale = scenario::bench_scale();
   std::printf("== Extension: passive egress admission vs active probing ==\n");
   bench::print_scale_banner(scale);
@@ -64,11 +65,23 @@ int main() {
     const double probe_util =
         static_cast<double>(link.measured().bytes(net::PacketType::kProbe)) *
         8 / (10e6 * measured_s);
-    std::printf("%-22s %12.4f %12.3e %10.3f %12.4f %10.1f\n",
-                mode == 0 ? "active-probe (5s)" : "passive-egress",
+    const char* name = mode == 0 ? "active-probe (5s)" : "passive-egress";
+    std::printf("%-22s %12.4f %12.3e %10.3f %12.4f %10.1f\n", name,
                 link.measured_data_utilization(end), t.loss_probability(),
                 t.blocking_probability(), probe_util, mode == 0 ? 5.0 : 0.0);
     std::fflush(stdout);
+    if (bench::json_enabled()) {
+      scenario::JsonWriter w;
+      w.object_begin()
+          .field("policy", name)
+          .field("utilization", link.measured_data_utilization(end))
+          .field("loss", t.loss_probability())
+          .field("blocking", t.blocking_probability())
+          .field("probe_utilization", probe_util)
+          .field("setup_s", mode == 0 ? 5.0 : 0.0)
+          .object_end();
+      bench::json_row(w.take());
+    }
   }
   std::printf("# passive egress: no probe overhead, zero set-up delay, "
               "MBAC-grade accuracy -\n# but it requires the endpoint to be "

@@ -12,8 +12,9 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eac;
+  bench::init(argc, argv);
   const auto scale = scenario::bench_scale();
   std::printf("== Extension: token-bucket-aware probe shapes "
               "(video workload) ==\n");

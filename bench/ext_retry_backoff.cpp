@@ -11,8 +11,9 @@
 #include "eac/endpoint_policy.hpp"
 #include "net/priority_queue.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eac;
+  bench::init(argc, argv);
   const auto scale = scenario::bench_scale();
   std::printf("== Extension: retry with exponential back-off "
               "(high load, tau=1.0 s) ==\n");
@@ -56,12 +57,23 @@ int main() {
     sim.run(sim::SimTime::seconds(scale.duration_s));
 
     const auto t = stats.total();
-    std::printf("%-10d %12.4f %12.3e %12.3f %12llu\n", retries,
-                link.measured_data_utilization(
-                    sim::SimTime::seconds(scale.duration_s)),
+    const double util = link.measured_data_utilization(
+        sim::SimTime::seconds(scale.duration_s));
+    std::printf("%-10d %12.4f %12.3e %12.3f %12llu\n", retries, util,
                 t.loss_probability(), t.blocking_probability(),
                 static_cast<unsigned long long>(mgr.gave_up()));
     std::fflush(stdout);
+    if (bench::json_enabled()) {
+      scenario::JsonWriter w;
+      w.object_begin()
+          .field("retries", retries)
+          .field("utilization", util)
+          .field("loss", t.loss_probability())
+          .field("per_attempt_blocking", t.blocking_probability())
+          .field("gave_up", static_cast<std::uint64_t>(mgr.gave_up()))
+          .object_end();
+      bench::json_row(w.take());
+    }
   }
   return 0;
 }

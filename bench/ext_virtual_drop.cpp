@@ -8,8 +8,9 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eac;
+  bench::init(argc, argv);
   const auto scale = scenario::bench_scale();
   std::printf("== Extension: out-of-band virtual dropping vs marking ==\n");
   bench::print_scale_banner(scale);

@@ -12,10 +12,12 @@
 #include <cstdlib>
 #include <string>
 
+#include "bench_util.hpp"
 #include "fluid/fluid_model.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eac::fluid;
+  eac::bench::init(argc, argv);
   std::printf("== Figure 1: fluid-model thrashing ==\n");
   std::printf("# Poisson arrivals 2.2/s, exponential lifetimes 30 s,\n");
   std::printf("# C=10 Mbps, r=128 kbps; rejected probers retry, giving up\n");
@@ -36,6 +38,17 @@ int main() {
     std::printf("%10.1f %12.4f %14.4e %12.1f %10.3f\n", tp, r.utilization,
                 r.in_band_loss, r.mean_probers, r.blocking);
     std::fflush(stdout);
+    if (eac::bench::json_enabled()) {
+      eac::scenario::JsonWriter w;
+      w.object_begin()
+          .field("probe_s", tp)
+          .field("utilization", r.utilization)
+          .field("in_band_loss", r.in_band_loss)
+          .field("mean_probers", r.mean_probers)
+          .field("blocking", r.blocking)
+          .object_end();
+      eac::bench::json_row(w.take());
+    }
   }
   std::printf("# out-of-band: identical utilization column, data loss = 0\n");
   return 0;

@@ -11,7 +11,7 @@
 
 int main(int argc, char** argv) {
   using namespace eac;
-  bench::apply_thread_flag(argc, argv);
+  bench::init(argc, argv);
   const auto scale = scenario::bench_scale();
   std::printf("== Figure 2: basic scenario (EXP1, tau=3.5 s) ==\n");
   bench::print_scale_banner(scale);

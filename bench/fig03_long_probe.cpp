@@ -6,8 +6,9 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eac;
+  bench::init(argc, argv);
   const auto scale = scenario::bench_scale();
   std::printf("== Figure 3: basic scenario with long probing ==\n");
   bench::print_scale_banner(scale);

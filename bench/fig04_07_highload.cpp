@@ -12,7 +12,7 @@
 
 int main(int argc, char** argv) {
   using namespace eac;
-  bench::apply_thread_flag(argc, argv);
+  bench::init(argc, argv);
   const auto scale = scenario::bench_scale();
   std::printf("== Figures 4-7: high load (EXP1, tau=1.0 s) ==\n");
   bench::print_scale_banner(scale);

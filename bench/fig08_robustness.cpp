@@ -9,13 +9,15 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eac;
+  bench::init(argc, argv);
   const auto scale = scenario::bench_scale();
   std::printf("== Figure 8: robustness experiments ==\n");
   bench::print_scale_banner(scale);
   for (const auto& sc : bench::robustness_scenarios(scale)) {
     std::printf("\n-- %s --\n", sc.name.c_str());
+    bench::set_json_scenario(sc.name);
     bench::sweep_designs_and_mbac(sc.cfg, scale);
   }
   return 0;

@@ -10,7 +10,7 @@
 
 int main(int argc, char** argv) {
   using namespace eac;
-  bench::apply_thread_flag(argc, argv);
+  bench::init(argc, argv);
   const auto scale = scenario::bench_scale();
   std::printf("== Figure 9: loss at fixed eps across scenarios ==\n");
   bench::print_scale_banner(scale);
@@ -55,6 +55,16 @@ int main(int argc, char** argv) {
              std::printf("%-22s %-18s %8.3f %12.3e %12.4f\n", name.c_str(),
                          design_name, eps, loss, r.utilization);
              std::fflush(stdout);
+             if (bench::json_enabled()) {
+               scenario::JsonWriter w;
+               w.object_begin()
+                   .field("scenario", name)
+                   .field("design", design_name)
+                   .field("eps", eps)
+                   .field_raw("result", scenario::to_json(r))
+                   .object_end();
+               bench::json_row(w.take());
+             }
              if (last) {
                std::printf("# %-18s loss spread: %.3e .. %.3e (x%.0f)\n\n",
                            design_name, spread.min_loss, spread.max_loss,

@@ -10,10 +10,12 @@
 #include <cstdlib>
 #include <string>
 
+#include "bench_util.hpp"
 #include "scenario/tcp_coexistence.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eac::scenario;
+  eac::bench::init(argc, argv);
   std::printf("== Figure 11: TCP vs admission-controlled traffic at a "
               "legacy router ==\n");
   double duration = 1'000;
@@ -34,6 +36,17 @@ int main() {
     std::printf("%8.2f %16.3f %16.3f %12.3f\n", eps, r.tcp_mean, r.ac_mean,
                 r.ac_blocking);
     std::fflush(stdout);
+    if (eac::bench::json_enabled()) {
+      JsonWriter w;
+      w.object_begin()
+          .field("order", "tcp_first")
+          .field("eps", eps)
+          .field("tcp_share", r.tcp_mean)
+          .field("ac_share", r.ac_mean)
+          .field("ac_blocking", r.ac_blocking)
+          .object_end();
+      eac::bench::json_row(w.take());
+    }
   }
 
   // Reversed start order (paper: "similar results were obtained when we
@@ -48,6 +61,17 @@ int main() {
     std::printf("%8.2f %16.3f %16.3f %12.3f\n", eps, r.tcp_mean, r.ac_mean,
                 r.ac_blocking);
     std::fflush(stdout);
+    if (eac::bench::json_enabled()) {
+      JsonWriter w;
+      w.object_begin()
+          .field("order", "ac_first")
+          .field("eps", eps)
+          .field("tcp_share", r.tcp_mean)
+          .field("ac_share", r.ac_mean)
+          .field("ac_blocking", r.ac_blocking)
+          .object_end();
+      eac::bench::json_row(w.take());
+    }
   }
   return 0;
 }

@@ -267,11 +267,29 @@ class JsonSidecarReporter : public benchmark::ConsoleReporter {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Accept the shared bench `--json=PATH` flag (strip it before the
+  // benchmark library sees it); EAC_BENCH_JSON remains as a fallback.
+  std::string json_path;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   JsonSidecarReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
-  const char* path = std::getenv("EAC_BENCH_JSON");
-  reporter.write_json(path != nullptr ? path : "BENCH_engine.json");
+  if (json_path.empty()) {
+    const char* env = std::getenv("EAC_BENCH_JSON");
+    json_path = env != nullptr ? env : "BENCH_engine.json";
+  }
+  reporter.write_json(json_path.c_str());
   return 0;
 }

@@ -11,7 +11,7 @@
 
 int main(int argc, char** argv) {
   using namespace eac;
-  bench::apply_thread_flag(argc, argv);
+  bench::init(argc, argv);
   const auto scale = scenario::bench_scale();
   std::printf("== Table 3: blocking for low/high eps classes ==\n");
   bench::print_scale_banner(scale);
@@ -41,6 +41,18 @@ int main(int argc, char** argv) {
                        r.groups.at(0).blocking_probability(),
                        r.groups.at(1).blocking_probability(), r.loss());
            std::fflush(stdout);
+           if (bench::json_enabled()) {
+             scenario::JsonWriter w;
+             w.object_begin()
+                 .field("design", name)
+                 .field("blocking_low_eps",
+                        r.groups.at(0).blocking_probability())
+                 .field("blocking_high_eps",
+                        r.groups.at(1).blocking_probability())
+                 .field_raw("result", scenario::to_json(r))
+                 .object_end();
+             bench::json_row(w.take());
+           }
          }});
   }
   bench::run_sweep(std::move(points), scale.seeds);

@@ -8,8 +8,9 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eac;
+  bench::init(argc, argv);
   const auto scale = scenario::bench_scale();
   std::printf("== Table 4: blocking of small vs large flows ==\n");
   bench::print_scale_banner(scale);
@@ -21,26 +22,35 @@ int main() {
   }
 
   std::printf("%-18s %12s %12s\n", "design", "block(small)", "block(large)");
+  const auto report = [](const char* name, const scenario::RunResult& r) {
+    std::printf("%-18s %12.3f %12.3f\n", name,
+                r.groups.at(0).blocking_probability(),
+                r.groups.at(1).blocking_probability());
+    std::fflush(stdout);
+    if (bench::json_enabled()) {
+      scenario::JsonWriter w;
+      w.object_begin()
+          .field("design", name)
+          .field("blocking_small", r.groups.at(0).blocking_probability())
+          .field("blocking_large", r.groups.at(1).blocking_probability())
+          .field_raw("result", scenario::to_json(r))
+          .object_end();
+      bench::json_row(w.take());
+    }
+  };
   for (const auto& design : bench::prototype_designs()) {
     const double eps = design.cfg.band == ProbeBand::kInBand ? 0.01 : 0.05;
     scenario::RunConfig cfg = hetero;
     cfg.policy = scenario::PolicyKind::kEndpoint;
     cfg.eac = design.cfg;
     for (auto& c : cfg.classes) c.epsilon = eps;
-    const auto r = scenario::run_single_link_averaged(cfg, scale.seeds);
-    std::printf("%-18s %12.3f %12.3f\n", design.name,
-                r.groups.at(0).blocking_probability(),
-                r.groups.at(1).blocking_probability());
-    std::fflush(stdout);
+    report(design.name, scenario::run_single_link_averaged(cfg, scale.seeds));
   }
   {
     scenario::RunConfig cfg = hetero;
     cfg.policy = scenario::PolicyKind::kMbac;
     cfg.mbac_target_utilization = 0.9;
-    const auto r = scenario::run_single_link_averaged(cfg, scale.seeds);
-    std::printf("%-18s %12.3f %12.3f\n", "MBAC",
-                r.groups.at(0).blocking_probability(),
-                r.groups.at(1).blocking_probability());
+    report("MBAC", scenario::run_single_link_averaged(cfg, scale.seeds));
   }
   return 0;
 }

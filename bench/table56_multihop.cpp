@@ -12,8 +12,9 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eac;
+  bench::init(argc, argv);
   const auto scale = scenario::bench_scale();
   std::printf("== Tables 5-6: multi-hop topology (Fig. 10) ==\n");
   bench::print_scale_banner(scale);
@@ -42,6 +43,18 @@ int main() {
                 r.groups.at(2).blocking_probability(),
                 lng.blocking_probability(), 1.0 - short_accept);
     std::fflush(stdout);
+    if (bench::json_enabled()) {
+      scenario::JsonWriter w;
+      w.object_begin()
+          .field("design", name)
+          .field("short_loss", short_loss)
+          .field("long_loss", lng.loss_probability())
+          .field("long_blocking", lng.blocking_probability())
+          .field("blocking_product", 1.0 - short_accept)
+          .field_raw("result", scenario::to_json(r))
+          .object_end();
+      bench::json_row(w.take());
+    }
   };
 
   for (const auto& d : bench::prototype_designs()) {

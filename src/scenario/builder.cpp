@@ -1,0 +1,205 @@
+#include "scenario/builder.hpp"
+
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "eac/endpoint_policy.hpp"
+#include "mbac/mbac_policy.hpp"
+#include "net/marking_queue.hpp"
+#include "net/priority_queue.hpp"
+#include "net/red_queue.hpp"
+#include "net/topology.hpp"
+#include "net/virtual_drop_queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace eac::scenario {
+
+namespace {
+
+/// Build one link's queue. For kAdmission links this is the paper's §3.1
+/// arrangement: two-band strict priority (data above probes) with probe
+/// push-out, wrapped in the 90 %-rate virtual queue for the marking
+/// designs; RED replaces it when the spec asks (footnote-11 ablation).
+std::unique_ptr<net::QueueDisc> make_queue(const ScenarioSpec& spec,
+                                           const LinkSpec& l) {
+  if (l.queue == LinkQueueKind::kDropTail) {
+    return std::make_unique<net::DropTailQueue>(l.buffer_packets);
+  }
+  if (spec.ac_queue == AcQueueKind::kRed) {
+    net::RedConfig red;
+    red.limit_packets = l.buffer_packets;
+    red.min_th_packets = static_cast<double>(l.buffer_packets) / 8;
+    red.max_th_packets = static_cast<double>(l.buffer_packets) / 2;
+    return std::make_unique<net::RedQueue>(red, spec.seed, 4242);
+  }
+  auto pq = std::make_unique<net::StrictPriorityQueue>(2, l.buffer_packets);
+  if (spec.policy != PolicyKind::kEndpoint) return pq;
+  const double buffer_bytes =
+      static_cast<double>(l.buffer_packets) * spec.typical_packet_bytes;
+  const double virtual_rate = spec.virtual_queue_fraction * l.rate_bps;
+  switch (spec.eac.signal) {
+    case SignalType::kMark:
+      return std::make_unique<net::MarkingQueue>(std::move(pq), virtual_rate,
+                                                 buffer_bytes, 2);
+    case SignalType::kVirtualDrop:
+      return std::make_unique<net::VirtualDropQueue>(
+          std::move(pq), virtual_rate, buffer_bytes, 2);
+    case SignalType::kDrop:
+      break;
+  }
+  return pq;
+}
+
+/// first_link[dst] = index of the link to take at `src` towards dst, under
+/// the same BFS (link-insertion-order tie-break) as Topology::build_routes,
+/// so spec-level paths agree with what packets actually traverse.
+std::vector<std::size_t> bfs_first_links(const ScenarioSpec& spec,
+                                         net::NodeId src) {
+  const std::size_t n = spec.node_count();
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::vector<std::vector<std::size_t>> out(n);
+  for (std::size_t i = 0; i < spec.links.size(); ++i) {
+    out[spec.links[i].from].push_back(i);
+  }
+  std::vector<std::size_t> first(n, kNone);
+  std::vector<bool> seen(n, false);
+  seen[src] = true;
+  std::vector<std::pair<net::NodeId, std::size_t>> frontier, next;
+  for (std::size_t li : out[src]) {
+    const net::NodeId to = spec.links[li].to;
+    if (!seen[to]) {
+      seen[to] = true;
+      first[to] = li;
+      frontier.emplace_back(to, li);
+    }
+  }
+  while (!frontier.empty()) {
+    next.clear();
+    for (const auto& [v, hop] : frontier) {
+      for (std::size_t li : out[v]) {
+        const net::NodeId to = spec.links[li].to;
+        if (!seen[to]) {
+          seen[to] = true;
+          first[to] = hop;
+          next.emplace_back(to, hop);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return first;
+}
+
+}  // namespace
+
+std::vector<std::size_t> route_links(const ScenarioSpec& spec,
+                                     net::NodeId src, net::NodeId dst) {
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> path;
+  net::NodeId at = src;
+  // Per-node forwarding, exactly as routed packets hop: at every node,
+  // consult that node's own BFS table for the next link towards dst.
+  while (at != dst) {
+    const std::vector<std::size_t> first = bfs_first_links(spec, at);
+    if (dst >= first.size() || first[dst] == kNone) return {};
+    const std::size_t li = first[dst];
+    path.push_back(li);
+    at = spec.links[li].to;
+  }
+  return path;
+}
+
+ScenarioResult run_scenario(const ScenarioSpec& spec) {
+  sim::Simulator sim;
+  net::Topology topo{sim};
+  const std::size_t n_nodes = spec.node_count();
+  for (std::size_t i = 0; i < n_nodes; ++i) topo.add_node();
+
+  std::vector<net::Link*> links;
+  links.reserve(spec.links.size());
+  for (const LinkSpec& l : spec.links) {
+    links.push_back(&topo.add_link(l.from, l.to, l.rate_bps, l.delay,
+                                   make_queue(spec, l)));
+  }
+  topo.build_routes();
+
+  stats::FlowStats stats;
+
+  // Admission policy. MBAC attaches a Measured Sum estimator to every
+  // admission-controlled link, in link order; a request consults the
+  // estimators of the admission-controlled hops on its path, in path
+  // order.
+  std::vector<std::unique_ptr<mbac::MeasuredSumEstimator>> estimators;
+  std::unique_ptr<AdmissionPolicy> policy;
+  if (spec.policy == PolicyKind::kEndpoint) {
+    policy = std::make_unique<EndpointAdmission>(sim, topo, spec.eac);
+  } else {
+    mbac::MeasuredSumConfig mcfg;
+    mcfg.target_utilization = spec.mbac_target_utilization;
+    std::map<std::size_t, mbac::MeasuredSumEstimator*> by_link;
+    for (std::size_t i = 0; i < spec.links.size(); ++i) {
+      if (spec.links[i].queue != LinkQueueKind::kAdmission) continue;
+      estimators.push_back(
+          std::make_unique<mbac::MeasuredSumEstimator>(sim, *links[i], mcfg));
+      by_link[i] = estimators.back().get();
+    }
+    // Precompute each flow group's estimator path; requests only ever
+    // originate at flow-class endpoints.
+    std::map<std::pair<net::NodeId, net::NodeId>,
+             std::vector<mbac::MeasuredSumEstimator*>>
+        paths;
+    for (const FlowClass& f : spec.flows) {
+      std::vector<mbac::MeasuredSumEstimator*> path;
+      for (std::size_t li : route_links(spec, f.src, f.dst)) {
+        auto it = by_link.find(li);
+        if (it != by_link.end()) path.push_back(it->second);
+      }
+      paths[{f.src, f.dst}] = std::move(path);
+    }
+    policy = std::make_unique<mbac::MbacPolicy>(
+        [paths = std::move(paths)](net::NodeId src, net::NodeId dst) {
+          auto it = paths.find({src, dst});
+          return it != paths.end()
+                     ? it->second
+                     : std::vector<mbac::MeasuredSumEstimator*>{};
+        });
+  }
+
+  FlowManagerConfig fm_cfg;
+  fm_cfg.classes = spec.flows;
+  fm_cfg.mean_lifetime_s = spec.mean_lifetime_s;
+  fm_cfg.seed = spec.seed;
+  fm_cfg.prewarm_bps = spec.prewarm_bps;
+  fm_cfg.max_retries = spec.max_retries;
+  fm_cfg.retry_backoff_s = spec.retry_backoff_s;
+  FlowManager manager{sim, topo, *policy, stats, fm_cfg};
+  manager.start();
+
+  sim.schedule_at(sim::SimTime::seconds(spec.warmup_s), [&] {
+    stats.begin_measurement();
+    topo.begin_measurement();
+  });
+
+  ScenarioResult res;
+  res.events = sim.run(sim::SimTime::seconds(spec.duration_s));
+
+  const sim::SimTime end = sim::SimTime::seconds(spec.duration_s);
+  const double secs = spec.duration_s - spec.warmup_s;
+  for (net::Link* l : links) {
+    LinkReport lr;
+    lr.name = l->name();
+    lr.utilization = l->measured_data_utilization(end);
+    lr.probe_utilization =
+        static_cast<double>(l->measured().bytes(net::PacketType::kProbe)) *
+        8.0 / (l->rate_bps() * secs);
+    res.links.push_back(std::move(lr));
+  }
+  res.groups = stats.groups();
+  res.total = stats.total();
+  res.delay_p50_s = stats.delays().quantile(0.5);
+  res.delay_p99_s = stats.delays().quantile(0.99);
+  return res;
+}
+
+}  // namespace eac::scenario

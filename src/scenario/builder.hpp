@@ -1,0 +1,21 @@
+// The one generic scenario builder: instantiate any ScenarioSpec and run it.
+#pragma once
+
+#include "scenario/spec.hpp"
+
+namespace eac::scenario {
+
+/// Build the spec's topology, admission policy, flow population and
+/// statistics, run the simulation to spec.duration_s, and collect a
+/// structured result. Deterministic: the same spec (including seed)
+/// always produces the same result, bit for bit.
+ScenarioResult run_scenario(const ScenarioSpec& spec);
+
+/// Compute the ordered list of link indices a packet from `src` to `dst`
+/// traverses under the topology's BFS (hop-count) shortest-path routing.
+/// Exposed for tests and for callers that need path-aware reporting.
+/// Returns an empty vector when `dst` is unreachable from `src`.
+std::vector<std::size_t> route_links(const ScenarioSpec& spec,
+                                     net::NodeId src, net::NodeId dst);
+
+}  // namespace eac::scenario

@@ -1,0 +1,303 @@
+#include "scenario/report.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace eac::scenario {
+
+namespace {
+
+const char* policy_name(PolicyKind p) {
+  return p == PolicyKind::kMbac ? "mbac" : "endpoint";
+}
+
+const char* algo_name(ProbeAlgo a) {
+  switch (a) {
+    case ProbeAlgo::kSimple: return "simple";
+    case ProbeAlgo::kEarlyReject: return "earlyreject";
+    case ProbeAlgo::kSlowStart: break;
+  }
+  return "slowstart";
+}
+
+const char* shape_name(ProbeShape s) {
+  switch (s) {
+    case ProbeShape::kTokenBurst: return "token-burst";
+    case ProbeShape::kEffectiveRate: return "effective-rate";
+    case ProbeShape::kPaced: break;
+  }
+  return "paced";
+}
+
+void append_groups(JsonWriter& w,
+                   const std::map<int, stats::GroupCounters>& groups) {
+  w.key("groups").object_begin();
+  for (const auto& [g, c] : groups) {
+    w.field_raw(std::to_string(g), to_json(c));
+  }
+  w.object_end();
+}
+
+void append_flow_class(JsonWriter& w, const FlowClass& f) {
+  w.object_begin()
+      .field("group", f.group)
+      .field("src", f.src)
+      .field("dst", f.dst)
+      .field("kind", f.kind == SourceKind::kTrace ? "trace" : "onoff")
+      .field("arrival_rate_per_s", f.arrival_rate_per_s)
+      .field("probe_rate_bps", f.probe_rate_bps)
+      .field("packet_size", static_cast<std::uint64_t>(f.packet_size))
+      .field("epsilon", f.epsilon)
+      .object_end();
+}
+
+void append_eac(JsonWriter& w, const EacConfig& eac) {
+  w.object_begin()
+      .field("design", eac.name())
+      .field("algo", algo_name(eac.algo))
+      .field("shape", shape_name(eac.shape))
+      .field("stages", eac.stages)
+      .field("stage_seconds", eac.stage_seconds)
+      .object_end();
+}
+
+}  // namespace
+
+void JsonWriter::separate() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (!first_.empty()) {
+    if (!first_.back()) out_ += ',';
+    first_.back() = false;
+  }
+}
+
+JsonWriter& JsonWriter::object_begin() {
+  separate();
+  out_ += '{';
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::object_end() {
+  first_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::array_begin() {
+  separate();
+  out_ += '[';
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::array_end() {
+  first_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  separate();
+  append_escaped(k);
+  out_ += ':';
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  separate();
+  if (!std::isfinite(v)) {
+    out_ += "null";  // JSON has no inf/nan
+    return *this;
+  }
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  out_.append(buf, end);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  separate();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  separate();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  separate();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  separate();
+  append_escaped(v);
+  return *this;
+}
+
+void JsonWriter::append_escaped(std::string_view v) {
+  out_ += '"';
+  for (char c : v) {
+    switch (c) {
+      case '"': out_ += "\\\""; break;
+      case '\\': out_ += "\\\\"; break;
+      case '\n': out_ += "\\n"; break;
+      case '\r': out_ += "\\r"; break;
+      case '\t': out_ += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out_ += buf;
+        } else {
+          out_ += c;
+        }
+    }
+  }
+  out_ += '"';
+}
+
+JsonWriter& JsonWriter::raw(std::string_view json) {
+  separate();
+  out_ += json;
+  return *this;
+}
+
+std::string to_json(const stats::GroupCounters& c) {
+  JsonWriter w;
+  w.object_begin()
+      .field("attempts", c.attempts)
+      .field("accepts", c.accepts)
+      .field("data_sent", c.data_sent)
+      .field("data_received", c.data_received)
+      .field("data_marked", c.data_marked)
+      .field("blocking", c.blocking_probability())
+      .field("loss", c.loss_probability())
+      .object_end();
+  return w.take();
+}
+
+std::string to_json(const RunResult& r) {
+  JsonWriter w;
+  w.object_begin()
+      .field("utilization", r.utilization)
+      .field("probe_utilization", r.probe_utilization)
+      .field("loss", r.loss())
+      .field("blocking", r.blocking())
+      .field("delay_p50_s", r.delay_p50_s)
+      .field("delay_p99_s", r.delay_p99_s)
+      .field("events", r.events)
+      .field_raw("total", to_json(r.total));
+  append_groups(w, r.groups);
+  w.object_end();
+  return w.take();
+}
+
+std::string to_json(const MultiLinkResult& r) {
+  JsonWriter w;
+  w.object_begin().key("link_utilization").array_begin();
+  for (double u : r.link_utilization) w.value(u);
+  w.array_end();
+  append_groups(w, r.groups);
+  w.object_end();
+  return w.take();
+}
+
+std::string to_json(const ScenarioResult& r) {
+  JsonWriter w;
+  w.object_begin().key("links").array_begin();
+  for (const LinkReport& l : r.links) {
+    w.object_begin()
+        .field("name", l.name)
+        .field("utilization", l.utilization)
+        .field("probe_utilization", l.probe_utilization)
+        .object_end();
+  }
+  w.array_end()
+      .field("loss", r.loss())
+      .field("blocking", r.blocking())
+      .field("delay_p50_s", r.delay_p50_s)
+      .field("delay_p99_s", r.delay_p99_s)
+      .field("events", r.events)
+      .field_raw("total", to_json(r.total));
+  append_groups(w, r.groups);
+  w.object_end();
+  return w.take();
+}
+
+std::string to_json(const ScenarioSpec& spec) {
+  JsonWriter w;
+  w.object_begin()
+      .field("name", spec.name)
+      .field("policy", policy_name(spec.policy))
+      .key("eac");
+  append_eac(w, spec.eac);
+  w.field("mbac_target_utilization", spec.mbac_target_utilization)
+      .field("ac_queue",
+             spec.ac_queue == AcQueueKind::kRed ? "red" : "strict-priority")
+      .field("nodes", static_cast<std::uint64_t>(spec.node_count()))
+      .key("links")
+      .array_begin();
+  for (const LinkSpec& l : spec.links) {
+    w.object_begin()
+        .field("from", l.from)
+        .field("to", l.to)
+        .field("rate_bps", l.rate_bps)
+        .field("delay_s", l.delay.to_seconds())
+        .field("buffer_packets", static_cast<std::uint64_t>(l.buffer_packets))
+        .field("queue", l.queue == LinkQueueKind::kAdmission ? "admission"
+                                                             : "droptail")
+        .object_end();
+  }
+  w.array_end().key("flows").array_begin();
+  for (const FlowClass& f : spec.flows) append_flow_class(w, f);
+  w.array_end()
+      .field("mean_lifetime_s", spec.mean_lifetime_s)
+      .field("prewarm_bps", spec.prewarm_bps)
+      .field("duration_s", spec.duration_s)
+      .field("warmup_s", spec.warmup_s)
+      .field("seed", spec.seed)
+      .object_end();
+  return w.take();
+}
+
+std::string to_json(const RunConfig& cfg) {
+  JsonWriter w;
+  w.object_begin().field("policy", policy_name(cfg.policy)).key("eac");
+  append_eac(w, cfg.eac);
+  w.field("mbac_target_utilization", cfg.mbac_target_utilization)
+      .field("link_rate_bps", cfg.link_rate_bps)
+      .field("buffer_packets", static_cast<std::uint64_t>(cfg.buffer_packets))
+      .field("mean_lifetime_s", cfg.mean_lifetime_s)
+      .key("flows")
+      .array_begin();
+  for (const FlowClass& f : cfg.classes) append_flow_class(w, f);
+  w.array_end()
+      .field("duration_s", cfg.duration_s)
+      .field("warmup_s", cfg.warmup_s)
+      .field("seed", cfg.seed)
+      .object_end();
+  return w.take();
+}
+
+bool write_json_file(const std::string& path, std::string_view json) {
+  std::FILE* f = path == "-" ? stdout : std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok =
+      std::fwrite(json.data(), 1, json.size(), f) == json.size() &&
+      std::fputc('\n', f) != EOF;
+  if (f != stdout) std::fclose(f);
+  return ok;
+}
+
+}  // namespace eac::scenario

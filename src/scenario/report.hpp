@@ -1,0 +1,77 @@
+// Structured result sink: serialize scenario specs and results to JSON so
+// every run can leave a machine-readable artifact next to its text table.
+//
+// The writer is dependency-free and deterministic: keys are emitted in a
+// fixed order and doubles use the shortest round-trip representation, so
+// the same run always produces byte-identical JSON (golden-testable).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+
+namespace eac::scenario {
+
+/// Minimal streaming JSON writer (objects, arrays, scalars). Commas and
+/// key quoting/escaping are handled; nesting is tracked by a stack.
+class JsonWriter {
+ public:
+  JsonWriter& object_begin();
+  JsonWriter& object_end();
+  JsonWriter& array_begin();
+  JsonWriter& array_end();
+
+  JsonWriter& key(std::string_view k);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view{v}); }
+  /// Splice a pre-serialized JSON fragment as one value.
+  JsonWriter& raw(std::string_view json);
+
+  template <typename T>
+  JsonWriter& field(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+  JsonWriter& field_raw(std::string_view k, std::string_view json) {
+    key(k);
+    return raw(json);
+  }
+
+  const std::string& str() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  void separate();
+  void append_escaped(std::string_view v);
+
+  std::string out_;
+  std::vector<bool> first_;  ///< per nesting level: no element written yet
+  bool pending_key_ = false;
+};
+
+/// One counters block: attempts/accepts/data_* plus derived probabilities.
+std::string to_json(const stats::GroupCounters& c);
+
+/// Per-run results. Shapes are stable (golden-tested in report_test).
+std::string to_json(const RunResult& r);
+std::string to_json(const MultiLinkResult& r);
+std::string to_json(const ScenarioResult& r);
+
+/// Config echoes, so an artifact is self-describing.
+std::string to_json(const ScenarioSpec& spec);
+std::string to_json(const RunConfig& cfg);
+
+/// Write `json` (plus a trailing newline) to `path`; "-" means stdout.
+bool write_json_file(const std::string& path, std::string_view json);
+
+}  // namespace eac::scenario

@@ -1,57 +1,13 @@
 #include "scenario/runner.hpp"
 
-#include <memory>
+#include <utility>
 
+#include "scenario/builder.hpp"
 #include "scenario/parallel.hpp"
-
-#include "eac/endpoint_policy.hpp"
-#include "mbac/mbac_policy.hpp"
-#include "net/marking_queue.hpp"
-#include "net/priority_queue.hpp"
-#include "net/red_queue.hpp"
-#include "net/virtual_drop_queue.hpp"
-#include "net/topology.hpp"
-#include "sim/simulator.hpp"
 
 namespace eac::scenario {
 
 namespace {
-
-/// Build the admission-controlled queue for a congested link per §3.1:
-/// two-band strict priority (data above probes) with probe push-out;
-/// marking designs wrap it in the 90 %-rate virtual queue.
-std::unique_ptr<net::QueueDisc> make_ac_queue(const RunConfig& cfg) {
-  if (cfg.ac_queue == AcQueueKind::kRed) {
-    net::RedConfig red;
-    red.limit_packets = cfg.buffer_packets;
-    red.min_th_packets = static_cast<double>(cfg.buffer_packets) / 8;
-    red.max_th_packets = static_cast<double>(cfg.buffer_packets) / 2;
-    return std::make_unique<net::RedQueue>(red, cfg.seed, 4242);
-  }
-  auto pq = std::make_unique<net::StrictPriorityQueue>(2, cfg.buffer_packets);
-  if (cfg.policy != PolicyKind::kEndpoint) return pq;
-  const double buffer_bytes =
-      static_cast<double>(cfg.buffer_packets) * cfg.typical_packet_bytes;
-  const double virtual_rate = cfg.virtual_queue_fraction * cfg.link_rate_bps;
-  switch (cfg.eac.signal) {
-    case SignalType::kMark:
-      return std::make_unique<net::MarkingQueue>(std::move(pq), virtual_rate,
-                                                 buffer_bytes, 2);
-    case SignalType::kVirtualDrop:
-      return std::make_unique<net::VirtualDropQueue>(
-          std::move(pq), virtual_rate, buffer_bytes, 2);
-    case SignalType::kDrop:
-      break;
-  }
-  return pq;
-}
-
-void fill_result(const stats::FlowStats& stats, RunResult& out) {
-  out.groups = stats.groups();
-  out.total = stats.total();
-  out.delay_p50_s = stats.delays().quantile(0.5);
-  out.delay_p99_s = stats.delays().quantile(0.99);
-}
 
 /// Long-run offered data load of a set of flow classes, in bps.
 double offered_bps(const std::vector<FlowClass>& classes, double lifetime_s) {
@@ -73,56 +29,122 @@ double prewarm_target(const RunConfig& cfg, double per_hop_scale) {
   return want < cap ? want : cap;
 }
 
+/// Copy the RunConfig knobs every spec shares.
+ScenarioSpec base_spec(const RunConfig& cfg) {
+  ScenarioSpec spec;
+  spec.policy = cfg.policy;
+  spec.eac = cfg.eac;
+  spec.mbac_target_utilization = cfg.mbac_target_utilization;
+  spec.ac_queue = cfg.ac_queue;
+  spec.typical_packet_bytes = cfg.typical_packet_bytes;
+  spec.virtual_queue_fraction = cfg.virtual_queue_fraction;
+  spec.mean_lifetime_s = cfg.mean_lifetime_s;
+  spec.duration_s = cfg.duration_s;
+  spec.warmup_s = cfg.warmup_s;
+  spec.seed = cfg.seed;
+  return spec;
+}
+
 }  // namespace
 
-RunResult run_single_link(const RunConfig& cfg) {
-  sim::Simulator sim;
-  net::Topology topo{sim};
-  net::Node& ingress = topo.add_node();
-  net::Node& egress = topo.add_node();
-  net::Link& bottleneck = topo.add_link(ingress.id(), egress.id(),
-                                        cfg.link_rate_bps, cfg.prop_delay,
-                                        make_ac_queue(cfg));
+ScenarioSpec single_link_spec(const RunConfig& cfg) {
+  ScenarioSpec spec = base_spec(cfg);
+  spec.name = "single-link";
 
-  stats::FlowStats stats;
+  LinkSpec bottleneck;
+  bottleneck.from = 0;
+  bottleneck.to = 1;
+  bottleneck.rate_bps = cfg.link_rate_bps;
+  bottleneck.delay = cfg.prop_delay;
+  bottleneck.buffer_packets = cfg.buffer_packets;
+  bottleneck.queue = LinkQueueKind::kAdmission;
+  spec.links = {bottleneck};
 
-  std::unique_ptr<AdmissionPolicy> policy;
-  std::unique_ptr<mbac::MeasuredSumEstimator> estimator;
-  if (cfg.policy == PolicyKind::kEndpoint) {
-    policy = std::make_unique<EndpointAdmission>(sim, topo, cfg.eac);
-  } else {
-    mbac::MeasuredSumConfig mcfg;
-    mcfg.target_utilization = cfg.mbac_target_utilization;
-    estimator = std::make_unique<mbac::MeasuredSumEstimator>(sim, bottleneck, mcfg);
-    policy = std::make_unique<mbac::MbacPolicy>(
-        [&estimator](net::NodeId, net::NodeId) {
-          return std::vector<mbac::MeasuredSumEstimator*>{estimator.get()};
-        });
+  spec.flows = cfg.classes;
+  spec.prewarm_bps = prewarm_target(cfg, 1.0);
+  return spec;
+}
+
+ScenarioSpec multi_link_spec(const RunConfig& cfg) {
+  ScenarioSpec spec = base_spec(cfg);
+  spec.name = "multi-link-fig10";
+
+  // Backbone routers are nodes 0..3, joined by three congested hops.
+  const auto ac_hop = [&](net::NodeId from, net::NodeId to) {
+    LinkSpec l;
+    l.from = from;
+    l.to = to;
+    l.rate_bps = cfg.link_rate_bps;
+    l.delay = cfg.prop_delay;
+    l.buffer_packets = cfg.buffer_packets;
+    l.queue = LinkQueueKind::kAdmission;
+    return l;
+  };
+  for (net::NodeId i = 0; i < 3; ++i) spec.links.push_back(ac_hop(i, i + 1));
+
+  // Access nodes: fast, uncongested drop-tail links on and off the
+  // backbone. Node ids continue past the routers, in attach order.
+  const auto access = [](net::NodeId from, net::NodeId to) {
+    LinkSpec l;
+    l.from = from;
+    l.to = to;
+    l.rate_bps = 100e6;
+    l.delay = sim::SimTime::milliseconds(1);
+    l.buffer_packets = 1000;
+    l.queue = LinkQueueKind::kDropTail;
+    return l;
+  };
+  const net::NodeId long_src = 4, long_dst = 5;
+  spec.links.push_back(access(long_src, 0));  // onto R0
+  spec.links.push_back(access(3, long_dst));  // off R3
+  net::NodeId next = 6;
+  net::NodeId cross_src[3], cross_dst[3];
+  for (net::NodeId i = 0; i < 3; ++i) {
+    cross_src[i] = next++;
+    spec.links.push_back(access(cross_src[i], i));
+    cross_dst[i] = next++;
+    spec.links.push_back(access(i + 1, cross_dst[i]));
   }
 
-  FlowManagerConfig fm_cfg;
-  fm_cfg.classes = cfg.classes;
-  fm_cfg.mean_lifetime_s = cfg.mean_lifetime_s;
-  fm_cfg.seed = cfg.seed;
-  fm_cfg.prewarm_bps = prewarm_target(cfg, 1.0);
-  FlowManager manager{sim, topo, *policy, stats, fm_cfg};
-  manager.start();
+  // Flow classes: the caller supplies a template class (rates, source,
+  // epsilon); instantiate it per path. Groups 0-2: cross traffic on hop
+  // i; group 3: long flows.
+  const FlowClass tmpl = cfg.classes.at(0);
+  for (int i = 0; i < 3; ++i) {
+    FlowClass c = tmpl;
+    c.src = cross_src[i];
+    c.dst = cross_dst[i];
+    c.group = i;
+    spec.flows.push_back(c);
+  }
+  FlowClass lng = tmpl;
+  lng.src = long_src;
+  lng.dst = long_dst;
+  lng.group = 3;
+  spec.flows.push_back(lng);
 
-  sim.schedule_at(sim::SimTime::seconds(cfg.warmup_s), [&] {
-    stats.begin_measurement();
-    topo.begin_measurement();
-  });
+  // Each backbone hop carries two of the four classes (its cross class
+  // plus the long flows), so the population-wide pre-warm target is twice
+  // the per-hop target.
+  if (cfg.prewarm_fraction > 0) {
+    const double offered = offered_bps(spec.flows, cfg.mean_lifetime_s);
+    const double want = 2.0 * cfg.prewarm_fraction * cfg.link_rate_bps;
+    const double cap = 0.9 * offered;
+    spec.prewarm_bps = want < cap ? want : cap;
+  }
+  return spec;
+}
 
+RunResult run_single_link(const RunConfig& cfg) {
+  const ScenarioResult r = run_scenario(single_link_spec(cfg));
   RunResult res;
-  res.events = sim.run(sim::SimTime::seconds(cfg.duration_s));
-
-  const sim::SimTime end = sim::SimTime::seconds(cfg.duration_s);
-  res.utilization = bottleneck.measured_data_utilization(end);
-  const double secs = cfg.duration_s - cfg.warmup_s;
-  res.probe_utilization =
-      static_cast<double>(bottleneck.measured().bytes(net::PacketType::kProbe)) *
-      8.0 / (cfg.link_rate_bps * secs);
-  fill_result(stats, res);
+  res.utilization = r.links.at(0).utilization;
+  res.probe_utilization = r.links.at(0).probe_utilization;
+  res.groups = r.groups;
+  res.total = r.total;
+  res.delay_p50_s = r.delay_p50_s;
+  res.delay_p99_s = r.delay_p99_s;
+  res.events = r.events;
   return res;
 }
 
@@ -169,118 +191,15 @@ RunResult run_single_link_averaged(RunConfig cfg, int seeds,
 }
 
 MultiLinkResult run_multi_link(const RunConfig& cfg) {
-  sim::Simulator sim;
-  net::Topology topo{sim};
-
-  // Backbone routers R0..R3 and three congested hops between them.
-  std::vector<net::NodeId> router;
-  for (int i = 0; i < 4; ++i) router.push_back(topo.add_node().id());
-
-  std::vector<net::Link*> hops;
-  for (int i = 0; i < 3; ++i) {
-    hops.push_back(&topo.add_link(router[i], router[i + 1], cfg.link_rate_bps,
-                                  cfg.prop_delay, make_ac_queue(cfg)));
-  }
-
-  // Access nodes: fast, uncongested links on and off the backbone.
-  const double access_rate = 100e6;
-  const sim::SimTime access_delay = sim::SimTime::milliseconds(1);
-  const auto access_queue = [&] {
-    return std::make_unique<net::DropTailQueue>(1000);
-  };
-  const auto attach_in = [&](net::NodeId r) {
-    net::NodeId n = topo.add_node().id();
-    topo.add_link(n, r, access_rate, access_delay, access_queue());
-    return n;
-  };
-  const auto attach_out = [&](net::NodeId r) {
-    net::NodeId n = topo.add_node().id();
-    topo.add_link(r, n, access_rate, access_delay, access_queue());
-    return n;
-  };
-
-  const net::NodeId long_src = attach_in(router[0]);
-  const net::NodeId long_dst = attach_out(router[3]);
-  std::vector<net::NodeId> cross_src, cross_dst;
-  for (int i = 0; i < 3; ++i) {
-    cross_src.push_back(attach_in(router[i]));
-    cross_dst.push_back(attach_out(router[i + 1]));
-  }
-  topo.build_routes();
-
-  stats::FlowStats stats;
-
-  // Instantiate per-hop estimators even for endpoint runs; unused then.
-  std::vector<std::unique_ptr<mbac::MeasuredSumEstimator>> estimators;
-  std::unique_ptr<AdmissionPolicy> policy;
-  if (cfg.policy == PolicyKind::kEndpoint) {
-    policy = std::make_unique<EndpointAdmission>(sim, topo, cfg.eac);
-  } else {
-    mbac::MeasuredSumConfig mcfg;
-    mcfg.target_utilization = cfg.mbac_target_utilization;
-    for (net::Link* l : hops) {
-      estimators.push_back(
-          std::make_unique<mbac::MeasuredSumEstimator>(sim, *l, mcfg));
-    }
-    policy = std::make_unique<mbac::MbacPolicy>(
-        [&estimators, long_src, cross_src](net::NodeId src, net::NodeId) {
-          std::vector<mbac::MeasuredSumEstimator*> path;
-          if (src == long_src) {
-            for (const auto& e : estimators) path.push_back(e.get());
-          } else {
-            for (std::size_t i = 0; i < cross_src.size(); ++i) {
-              if (src == cross_src[i]) path.push_back(estimators[i].get());
-            }
-          }
-          return path;
-        });
-  }
-
-  // Flow classes: the caller supplies a template class (rates, source,
-  // epsilon); we instantiate it per path. Groups 0-2: cross traffic on hop
-  // i; group 3: long flows.
-  FlowManagerConfig fm_cfg;
-  fm_cfg.mean_lifetime_s = cfg.mean_lifetime_s;
-  fm_cfg.seed = cfg.seed;
-  FlowClass tmpl = cfg.classes.at(0);
-  for (int i = 0; i < 3; ++i) {
-    FlowClass c = tmpl;
-    c.src = cross_src[static_cast<std::size_t>(i)];
-    c.dst = cross_dst[static_cast<std::size_t>(i)];
-    c.group = i;
-    fm_cfg.classes.push_back(c);
-  }
-  FlowClass lng = tmpl;
-  lng.src = long_src;
-  lng.dst = long_dst;
-  lng.group = 3;
-  fm_cfg.classes.push_back(lng);
-
-  // Each backbone hop carries two of the four classes (its cross class
-  // plus the long flows), so the population-wide pre-warm target is twice
-  // the per-hop target.
-  if (cfg.prewarm_fraction > 0) {
-    const double offered = offered_bps(fm_cfg.classes, cfg.mean_lifetime_s);
-    const double want = 2.0 * cfg.prewarm_fraction * cfg.link_rate_bps;
-    const double cap = 0.9 * offered;
-    fm_cfg.prewarm_bps = want < cap ? want : cap;
-  }
-
-  FlowManager manager{sim, topo, *policy, stats, fm_cfg};
-  manager.start();
-
-  sim.schedule_at(sim::SimTime::seconds(cfg.warmup_s), [&] {
-    stats.begin_measurement();
-    topo.begin_measurement();
-  });
-  sim.run(sim::SimTime::seconds(cfg.duration_s));
-
+  const ScenarioSpec spec = multi_link_spec(cfg);
+  const ScenarioResult r = run_scenario(spec);
   MultiLinkResult res;
-  const sim::SimTime end = sim::SimTime::seconds(cfg.duration_s);
-  for (net::Link* l : hops) {
-    res.link_utilization.push_back(l->measured_data_utilization(end));
+  for (std::size_t i = 0; i < spec.links.size(); ++i) {
+    if (spec.links[i].queue == LinkQueueKind::kAdmission) {
+      res.link_utilization.push_back(r.links.at(i).utilization);
+    }
   }
-  res.groups = stats.groups();
+  res.groups = r.groups;
   return res;
 }
 

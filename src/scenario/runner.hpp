@@ -1,4 +1,7 @@
-// Scenario construction and execution for the paper's experiments.
+// The paper's two canonical scenarios as thin spec factories over the
+// generic builder (builder.hpp). RunConfig/RunResult remain the stable
+// compatibility surface; anything beyond these two topologies should be
+// described directly as a ScenarioSpec.
 #pragma once
 
 #include <cstdint>
@@ -8,19 +11,12 @@
 #include "eac/config.hpp"
 #include "eac/flow_manager.hpp"
 #include "mbac/measured_sum.hpp"
+#include "scenario/spec.hpp"
 #include "stats/flow_stats.hpp"
 
 namespace eac::scenario {
 
 class SweepRunner;
-
-/// Which admission controller a run uses.
-enum class PolicyKind { kEndpoint, kMbac };
-
-/// Queue discipline for the admission-controlled class. The paper used
-/// drop-tail (strict priority across data/probe bands); RED is provided
-/// to check its footnote-11 claim that the choice does not matter.
-enum class AcQueueKind { kStrictPriority, kRed };
 
 /// Complete description of one simulation run.
 struct RunConfig {
@@ -62,7 +58,18 @@ struct RunResult {
   double blocking() const { return total.blocking_probability(); }
 };
 
+/// The spec of the paper's dominant setup: many hosts sharing one
+/// congested link (two nodes, one admission-controlled bottleneck).
+ScenarioSpec single_link_spec(const RunConfig& cfg);
+
+/// The spec of the Figure-10 topology: routers R0..R3 with a 3-hop
+/// congested backbone, fast access links on and off every router, long
+/// flows end-to-end (group 3) and single-hop cross traffic per hop
+/// (groups 0..2). cfg.classes.at(0) is the per-path template class.
+ScenarioSpec multi_link_spec(const RunConfig& cfg);
+
 /// The paper's dominant setup: many hosts sharing one congested link.
+/// Equivalent to run_scenario(single_link_spec(cfg)).
 RunResult run_single_link(const RunConfig& cfg);
 
 /// Average `seeds` replications of run_single_link (seeds derive from
@@ -82,7 +89,7 @@ struct MultiLinkResult {
 
 /// 12-node topology (Figure 10): a 3-hop congested backbone carrying long
 /// flows end-to-end plus single-hop cross traffic on every hop.
-/// Groups: 0..2 = cross traffic at hop i, 3 = long (multi-hop) flows.
+/// Equivalent to run_scenario(multi_link_spec(cfg)).
 MultiLinkResult run_multi_link(const RunConfig& cfg);
 
 }  // namespace eac::scenario

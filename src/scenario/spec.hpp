@@ -1,0 +1,125 @@
+// Declarative scenario description: topology, flow population, admission
+// policy and measurement window as *data*.
+//
+// A ScenarioSpec is a plain value. The generic builder (builder.hpp)
+// instantiates it — nodes, links, queues, policies, flow managers, stats —
+// and returns a structured ScenarioResult. The legacy `run_single_link` /
+// `run_multi_link` entry points (runner.hpp) are thin factories over this
+// type, so any topology either of them could build is expressible here,
+// along with arbitrary ones they could not (heterogeneous link rates,
+// longer backbones, meshes — see examples/custom_topology.cpp).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "eac/config.hpp"
+#include "eac/flow_manager.hpp"
+#include "sim/time.hpp"
+#include "stats/flow_stats.hpp"
+
+namespace eac::scenario {
+
+/// Which admission controller a run uses.
+enum class PolicyKind { kEndpoint, kMbac };
+
+/// Queue discipline for the admission-controlled class. The paper used
+/// drop-tail (strict priority across data/probe bands); RED is provided
+/// to check its footnote-11 claim that the choice does not matter.
+enum class AcQueueKind { kStrictPriority, kRed };
+
+/// What kind of queue a link carries.
+enum class LinkQueueKind {
+  /// The admission-controlled queue of the run's design: two-band strict
+  /// priority (or RED, per ScenarioSpec::ac_queue), wrapped in the
+  /// virtual-queue marker for the marking designs. Links of this kind are
+  /// the congested hops: they get an MBAC estimator under PolicyKind::kMbac
+  /// and their utilization is reported per hop.
+  kAdmission,
+  /// A plain drop-tail FIFO: fast, uncongested access links.
+  kDropTail,
+};
+
+/// One unidirectional link of the topology.
+struct LinkSpec {
+  net::NodeId from = 0;
+  net::NodeId to = 0;
+  double rate_bps = 10e6;
+  sim::SimTime delay = sim::SimTime::milliseconds(20);
+  std::size_t buffer_packets = 200;
+  LinkQueueKind queue = LinkQueueKind::kAdmission;
+};
+
+/// Complete, declarative description of one simulation run.
+///
+/// Nodes are implicit: ids 0 .. node_count()-1, where node_count() is one
+/// past the largest id referenced by a link. Flow routes are implicit too:
+/// every flow class names its (src, dst) endpoints and packets follow the
+/// BFS shortest path, as do MBAC admission checks (every kAdmission link
+/// on the path is consulted).
+struct ScenarioSpec {
+  std::string name;  ///< free-form label, echoed into reports
+
+  // --- admission control ---
+  PolicyKind policy = PolicyKind::kEndpoint;
+  EacConfig eac = drop_in_band();
+  double mbac_target_utilization = 0.9;  ///< Measured Sum's u (kMbac only)
+  AcQueueKind ac_queue = AcQueueKind::kStrictPriority;
+  std::uint32_t typical_packet_bytes = 125;  ///< sizes the marker's buffer
+  double virtual_queue_fraction = 0.9;       ///< marking designs
+
+  // --- topology ---
+  std::vector<LinkSpec> links;
+
+  // --- flow population ---
+  /// Flow groups. Each class carries its own route (src, dst), source
+  /// model, probe rate, epsilon and reporting group.
+  std::vector<FlowClass> flows;
+  double mean_lifetime_s = 300.0;
+  double prewarm_bps = 0;  ///< see FlowManagerConfig::prewarm_bps
+  int max_retries = 0;     ///< see FlowManagerConfig::max_retries
+  double retry_backoff_s = 5.0;
+
+  // --- measurement window ---
+  double duration_s = 600;  ///< total simulated seconds
+  double warmup_s = 200;    ///< discarded prefix
+  std::uint64_t seed = 1;
+
+  /// One past the largest node id referenced by any link or flow.
+  std::size_t node_count() const {
+    std::size_t n = 0;
+    for (const LinkSpec& l : links) {
+      if (l.from + 1 > n) n = l.from + 1;
+      if (l.to + 1 > n) n = l.to + 1;
+    }
+    for (const FlowClass& f : flows) {
+      if (f.src + 1 > n) n = f.src + 1;
+      if (f.dst + 1 > n) n = f.dst + 1;
+    }
+    return n;
+  }
+};
+
+/// Measured outcome of one link over the measurement window.
+struct LinkReport {
+  std::string name;           ///< "link{from}-{to}"
+  double utilization = 0;     ///< admission-controlled data share
+  double probe_utilization = 0;  ///< probe bytes' share of the link
+};
+
+/// Structured outcome of one scenario run: every link, every flow group.
+struct ScenarioResult {
+  std::vector<LinkReport> links;  ///< one per LinkSpec, same order
+  std::map<int, stats::GroupCounters> groups;
+  stats::GroupCounters total;
+  double delay_p50_s = 0;  ///< median end-to-end data packet delay
+  double delay_p99_s = 0;
+  std::uint64_t events = 0;
+
+  double loss() const { return total.loss_probability(); }
+  double blocking() const { return total.blocking_probability(); }
+};
+
+}  // namespace eac::scenario

@@ -1,0 +1,157 @@
+// Golden tests for the structured result sink (scenario/report.hpp).
+// The writer promises byte-identical output for identical input — keys in
+// fixed order, shortest round-trip doubles — so these tests compare whole
+// JSON strings, not parsed fragments.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "scenario/report.hpp"
+
+namespace eac::scenario {
+namespace {
+
+TEST(JsonWriter, ObjectsArraysAndCommas) {
+  JsonWriter w;
+  w.object_begin()
+      .field("a", 1)
+      .field("b", "two")
+      .key("c")
+      .array_begin()
+      .value(1)
+      .value(2.5)
+      .value(true)
+      .array_end()
+      .key("d")
+      .object_begin()
+      .object_end()
+      .object_end();
+  EXPECT_EQ(w.str(), R"({"a":1,"b":"two","c":[1,2.5,true],"d":{}})");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  JsonWriter w;
+  w.object_begin().field("k\"1", "a\\b\n\t\x01").object_end();
+  EXPECT_EQ(w.str(), "{\"k\\\"1\":\"a\\\\b\\n\\t\\u0001\"}");
+}
+
+TEST(JsonWriter, DoublesRoundTripAndNonFinite) {
+  JsonWriter w;
+  w.array_begin()
+      .value(0.1)
+      .value(1e300)
+      .value(-0.0)
+      .value(std::numeric_limits<double>::quiet_NaN())
+      .value(std::numeric_limits<double>::infinity())
+      .array_end();
+  EXPECT_EQ(w.str(), "[0.1,1e+300,-0,null,null]");
+}
+
+TEST(JsonWriter, RawSplicesFragments) {
+  JsonWriter inner;
+  inner.object_begin().field("x", 1).object_end();
+  JsonWriter w;
+  w.object_begin().field_raw("inner", inner.str()).object_end();
+  EXPECT_EQ(w.str(), R"({"inner":{"x":1}})");
+}
+
+stats::GroupCounters sample_group() {
+  stats::GroupCounters g;
+  g.attempts = 10;
+  g.accepts = 8;
+  g.data_sent = 1000;
+  g.data_received = 990;
+  g.data_marked = 5;
+  return g;
+}
+
+TEST(ReportGolden, GroupCounters) {
+  EXPECT_EQ(to_json(sample_group()),
+            R"({"attempts":10,"accepts":8,"data_sent":1000,)"
+            R"("data_received":990,"data_marked":5,)"
+            R"("blocking":0.19999999999999996,"loss":0.01})");
+}
+
+TEST(ReportGolden, RunResult) {
+  RunResult r;
+  r.utilization = 0.75;
+  r.probe_utilization = 0.015625;
+  r.delay_p50_s = 0.02;
+  r.delay_p99_s = 0.05;
+  r.events = 42;
+  r.total = sample_group();
+  r.groups[0] = sample_group();
+  EXPECT_EQ(
+      to_json(r),
+      R"({"utilization":0.75,"probe_utilization":0.015625,"loss":0.01,)"
+      R"("blocking":0.19999999999999996,)"
+      R"("delay_p50_s":0.02,"delay_p99_s":0.05,"events":42,)"
+      R"("total":{"attempts":10,"accepts":8,"data_sent":1000,)"
+      R"("data_received":990,"data_marked":5,)"
+      R"("blocking":0.19999999999999996,"loss":0.01},)"
+      R"("groups":{"0":{"attempts":10,"accepts":8,"data_sent":1000,)"
+      R"("data_received":990,"data_marked":5,)"
+      R"("blocking":0.19999999999999996,"loss":0.01}}})");
+}
+
+TEST(ReportGolden, ScenarioSpecEcho) {
+  ScenarioSpec spec;
+  spec.name = "golden";
+  spec.links.push_back({0, 1, 10e6, sim::SimTime::milliseconds(20), 200,
+                        LinkQueueKind::kAdmission});
+  FlowClass c;
+  c.src = 0;
+  c.dst = 1;
+  c.arrival_rate_per_s = 0.25;
+  c.probe_rate_bps = 128000;
+  c.packet_size = 125;
+  c.epsilon = 0.01;
+  spec.flows = {c};
+  spec.duration_s = 100;
+  spec.warmup_s = 25;
+  spec.seed = 7;
+  EXPECT_EQ(
+      to_json(spec),
+      R"({"name":"golden","policy":"endpoint",)"
+      R"("eac":{"design":"drop-inband","algo":"slowstart","shape":"paced",)"
+      R"("stages":5,"stage_seconds":1},)"
+      R"("mbac_target_utilization":0.9,"ac_queue":"strict-priority",)"
+      R"("nodes":2,)"
+      R"("links":[{"from":0,"to":1,"rate_bps":1e+07,"delay_s":0.02,)"
+      R"("buffer_packets":200,"queue":"admission"}],)"
+      R"("flows":[{"group":0,"src":0,"dst":1,"kind":"onoff",)"
+      R"("arrival_rate_per_s":0.25,"probe_rate_bps":128000,)"
+      R"("packet_size":125,"epsilon":0.01}],)"
+      R"("mean_lifetime_s":300,"prewarm_bps":0,)"
+      R"("duration_s":100,"warmup_s":25,"seed":7})");
+}
+
+TEST(ReportGolden, MultiLinkResult) {
+  MultiLinkResult r;
+  r.link_utilization = {0.5, 0.25};
+  r.groups[3] = sample_group();
+  EXPECT_EQ(to_json(r),
+            R"({"link_utilization":[0.5,0.25],)"
+            R"("groups":{"3":{"attempts":10,"accepts":8,"data_sent":1000,)"
+            R"("data_received":990,"data_marked":5,)"
+            R"("blocking":0.19999999999999996,"loss":0.01}}})");
+}
+
+TEST(ReportFile, WritesJsonWithTrailingNewline) {
+  const std::string path = ::testing::TempDir() + "/report_test_out.json";
+  ASSERT_TRUE(write_json_file(path, R"({"ok":true})"));
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), "{\"ok\":true}\n");
+  std::remove(path.c_str());
+}
+
+TEST(ReportFile, FailsOnUnwritablePath) {
+  EXPECT_FALSE(write_json_file("/nonexistent-dir/x/y.json", "{}"));
+}
+
+}  // namespace
+}  // namespace eac::scenario
