@@ -2,7 +2,7 @@
 //
 // Run custom endpoint-admission-control experiments without writing code:
 //
-//   eac_cli --design drop-inband --eps 0.01 --source exp1 --tau 3.5 \
+//   eac_cli --design drop-inband --eps 0.01 --source exp1 --tau 3.5
 //           --link 10e6 --duration 600 --warmup 200 --seed 1
 //   eac_cli --policy mbac --target 0.9 --source poo1 --tau 3.5
 //   eac_cli --design mark-outofband --algo simple --source trace --tau 8

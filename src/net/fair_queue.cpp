@@ -2,17 +2,23 @@
 
 namespace eac::net {
 
-bool FairQueue::enqueue(Packet p, sim::SimTime /*now*/) {
+bool FairQueue::do_enqueue(Packet p, sim::SimTime /*now*/) {
   if (count_ >= limit_) {
     // Drop from the longest queue so one flow cannot monopolize the
     // buffer (longest-queue-drop, the usual FQ companion policy). If the
-    // arriving flow already owns the longest queue, the arrival is dropped.
+    // arriving flow already owns the longest queue, the arrival is
+    // dropped. Length ties among rivals break on the smaller flow id so
+    // the victim never depends on hash-map iteration order.
     FlowId longest = p.flow;
+    bool longest_is_self = true;
     std::size_t longest_len = flows_[p.flow].q.size() + 1;
+    // lint:allow(unordered-iteration: victim is the unique (len, flow-id) max)
     for (const auto& [id, st] : flows_) {
-      if (st.q.size() > longest_len) {
+      if (st.q.size() > longest_len ||
+          (!longest_is_self && st.q.size() == longest_len && id < longest)) {
         longest = id;
         longest_len = st.q.size();
+        longest_is_self = false;
       }
     }
     if (longest == p.flow) {
@@ -21,11 +27,13 @@ bool FairQueue::enqueue(Packet p, sim::SimTime /*now*/) {
     }
     auto& victim = flows_[longest];
     record_drop(victim.q.back());
+    bytes_ -= victim.q.back().size_bytes;
     victim.q.pop_back();
     --count_;
   }
   auto& st = flows_[p.flow];
   st.q.push_back(p);
+  bytes_ += p.size_bytes;
   ++count_;
   if (!st.active) {
     st.active = true;
@@ -35,7 +43,7 @@ bool FairQueue::enqueue(Packet p, sim::SimTime /*now*/) {
   return true;
 }
 
-std::optional<Packet> FairQueue::dequeue(sim::SimTime /*now*/) {
+std::optional<Packet> FairQueue::do_dequeue(sim::SimTime /*now*/) {
   while (!active_.empty()) {
     const FlowId id = active_.front();
     auto& st = flows_[id];
@@ -53,6 +61,7 @@ std::optional<Packet> FairQueue::dequeue(sim::SimTime /*now*/) {
     Packet p = st.q.front();
     st.q.pop_front();
     st.deficit -= p.size_bytes;
+    bytes_ -= p.size_bytes;
     --count_;
     if (st.q.empty()) {
       st.active = false;

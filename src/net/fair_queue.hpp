@@ -24,10 +24,13 @@ class FairQueue : public QueueDisc {
   FairQueue(std::size_t limit_packets, std::uint32_t quantum_bytes)
       : limit_{limit_packets}, quantum_{quantum_bytes} {}
 
-  bool enqueue(Packet p, sim::SimTime now) override;
-  std::optional<Packet> dequeue(sim::SimTime now) override;
   bool empty() const override { return count_ == 0; }
   std::size_t packet_count() const override { return count_; }
+  std::uint64_t byte_count() const override { return bytes_; }
+
+ protected:
+  bool do_enqueue(Packet p, sim::SimTime now) override;
+  std::optional<Packet> do_dequeue(sim::SimTime now) override;
 
  private:
   struct FlowState {
@@ -39,6 +42,7 @@ class FairQueue : public QueueDisc {
   std::size_t limit_;
   std::uint32_t quantum_;
   std::size_t count_ = 0;
+  std::uint64_t bytes_ = 0;
   std::unordered_map<FlowId, FlowState> flows_;
   std::list<FlowId> active_;  ///< round-robin order of backlogged flows
 };

@@ -45,6 +45,7 @@ void Link::try_transmit() {
     return;
   }
   busy_ = true;
+  EAC_AUDIT_ONLY(++audit_in_flight_;)
   const sim::SimTime tx = sim::transmission_time(p->size_bytes, rate_bps_);
   sim_.schedule_after(tx, [this, pkt = *p] { on_tx_complete(pkt); });
 }
@@ -55,7 +56,21 @@ void Link::on_tx_complete(Packet p) {
   if (measuring_) measured_.count(p);
   if (tx_observer_) tx_observer_(p, sim_.now());
   if (dst_ != nullptr) {
+#if EAC_AUDIT_ENABLED
+    // The packet stays "in flight" on this link until the propagation
+    // event hands it to the destination.
+    sim_.schedule_after(prop_delay_, [this, dst = dst_, p] {
+      --audit_in_flight_;
+      dst->handle(p);
+    });
+#else
     sim_.schedule_after(prop_delay_, [dst = dst_, p] { dst->handle(p); });
+#endif
+  } else {
+    // No destination attached (test harnesses): the packet leaves the
+    // network here.
+    EAC_AUDIT_ONLY(--audit_in_flight_;)
+    EAC_AUDIT_COUNT(packets_delivered, 1);
   }
   try_transmit();
 }

@@ -9,6 +9,7 @@
 
 #include "net/packet.hpp"
 #include "net/queue_disc.hpp"
+#include "sim/audit.hpp"
 #include "sim/simulator.hpp"
 
 namespace eac::net {
@@ -69,6 +70,12 @@ class Link : public PacketHandler {
   /// to `share_bps` (defaults to the full link rate).
   double measured_data_utilization(sim::SimTime end, double share_bps = 0) const;
 
+#if EAC_AUDIT_ENABLED
+  /// Packets dequeued for transmission whose propagation has not yet
+  /// delivered them (audit builds only; conservation accounting).
+  std::uint64_t audit_in_flight() const { return audit_in_flight_; }
+#endif
+
   NodeId from = 0, to = 0;  ///< endpoints, filled in by Topology
 
  private:
@@ -87,6 +94,7 @@ class Link : public PacketHandler {
   sim::SimTime measure_start_;
   LinkCounters all_;
   LinkCounters measured_;
+  EAC_AUDIT_ONLY(std::uint64_t audit_in_flight_ = 0;)
   std::function<void(const Packet&, sim::SimTime)> tx_observer_;
 };
 

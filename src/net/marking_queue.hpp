@@ -20,19 +20,22 @@ class MarkingQueue : public QueueDisc {
       : inner_{std::move(inner)},
         marker_{virtual_rate_bps, buffer_bytes, bands} {}
 
-  bool enqueue(Packet p, sim::SimTime now) override {
-    if (p.ecn_capable && marker_.on_arrival(p, now)) p.ecn_marked = true;
-    return inner_->enqueue(p, now);
-  }
-  std::optional<Packet> dequeue(sim::SimTime now) override {
-    return inner_->dequeue(now);
-  }
   bool empty() const override { return inner_->empty(); }
   std::size_t packet_count() const override { return inner_->packet_count(); }
+  std::uint64_t byte_count() const override { return inner_->byte_count(); }
   const QueueDropStats& drops() const override { return inner_->drops(); }
 
   const QueueDisc& inner() const { return *inner_; }
   const VirtualQueueMarker& marker() const { return marker_; }
+
+ protected:
+  bool do_enqueue(Packet p, sim::SimTime now) override {
+    if (p.ecn_capable && marker_.on_arrival(p, now)) p.ecn_marked = true;
+    return inner_->enqueue(p, now);
+  }
+  std::optional<Packet> do_dequeue(sim::SimTime now) override {
+    return inner_->dequeue(now);
+  }
 
  private:
   std::unique_ptr<QueueDisc> inner_;

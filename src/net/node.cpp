@@ -1,5 +1,7 @@
 #include "net/node.hpp"
 
+#include "sim/audit.hpp"
+
 namespace eac::net {
 
 void Node::set_route(NodeId dst, PacketHandler* next_hop) {
@@ -9,6 +11,10 @@ void Node::set_route(NodeId dst, PacketHandler* next_hop) {
 
 void Node::handle(Packet p) {
   if (p.dst == id_) {
+    // Local delivery: whether a sink consumes the packet or it lands on
+    // the undeliverable counter (departed flow draining), it leaves the
+    // network here.
+    EAC_AUDIT_COUNT(packets_delivered, 1);
     auto it = sinks_.find(p.flow);
     if (it == sinks_.end()) {
       ++undeliverable_;
@@ -19,6 +25,7 @@ void Node::handle(Packet p) {
   }
   PacketHandler* next = p.dst < routes_.size() ? routes_[p.dst] : nullptr;
   if (next == nullptr) {
+    EAC_AUDIT_COUNT(packets_delivered, 1);
     ++undeliverable_;
     return;
   }

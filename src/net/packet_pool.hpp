@@ -17,11 +17,17 @@
 #include <vector>
 
 #include "net/packet.hpp"
+#include "sim/audit.hpp"
 
 namespace eac::net {
 
 /// Slab allocator of doubly-linked Packet nodes. Nodes are addressed by
 /// 32-bit index and never move; freed nodes are recycled LIFO.
+///
+/// Audit builds (-DEAC_AUDIT=ON) tag every node with a generation counter
+/// and a liveness bit: releasing a node twice, destroying the arena with
+/// nodes outstanding, or touching a freed node's payload through pkt()
+/// aborts with a precise message. Regular builds carry none of that state.
 class PacketArena {
  public:
   static constexpr std::uint32_t kNil = 0xFFFF'FFFF;
@@ -30,11 +36,21 @@ class PacketArena {
     Packet pkt;
     std::uint32_t prev;
     std::uint32_t next;  ///< doubles as the free-list link when unallocated
+    EAC_AUDIT_ONLY(std::uint32_t audit_gen = 0;  ///< bumped on every release
+                   bool audit_live = false;)
   };
 
   PacketArena() = default;
   PacketArena(const PacketArena&) = delete;
   PacketArena& operator=(const PacketArena&) = delete;
+
+#if EAC_AUDIT_ENABLED
+  ~PacketArena() {
+    EAC_AUDIT_CHECK(live_ == 0, "packet arena destroyed with " +
+                                    std::to_string(live_) +
+                                    " node(s) still allocated (leak)");
+  }
+#endif
 
   /// Take a node off the free list (growing a slab if needed) and copy `p`
   /// into it. Link fields are left for the caller to thread.
@@ -46,10 +62,30 @@ class PacketArena {
       idx = grow();
     }
     node(idx).pkt = p;
+#if EAC_AUDIT_ENABLED
+    EAC_AUDIT_CHECK(!node(idx).audit_live,
+                    "arena free list handed out a live node " +
+                        std::to_string(idx) + " (corrupted free list)");
+    node(idx).audit_live = true;
+    ++live_;
+    EAC_AUDIT_COUNT(pool_allocs, 1);
+#endif
     return idx;
   }
 
   void release(std::uint32_t idx) {
+#if EAC_AUDIT_ENABLED
+    EAC_AUDIT_CHECK(idx < count_, "release of out-of-range node index " +
+                                      std::to_string(idx));
+    EAC_AUDIT_CHECK(node(idx).audit_live,
+                    "double release of arena node " + std::to_string(idx) +
+                        " (generation " + std::to_string(node(idx).audit_gen) +
+                        ")");
+    node(idx).audit_live = false;
+    ++node(idx).audit_gen;
+    --live_;
+    EAC_AUDIT_COUNT(pool_releases, 1);
+#endif
     node(idx).next = free_head_;
     free_head_ = idx;
   }
@@ -59,8 +95,24 @@ class PacketArena {
     return chunks_[idx >> kChunkShift][idx & (kChunkNodes - 1)];
   }
 
+  /// Checked payload access: the audit build verifies the node is live, so
+  /// reading a packet through a stale index (use-after-free) is caught.
+  Packet& pkt(std::uint32_t idx) {
+    EAC_AUDIT_CHECK(idx < count_ && node(idx).audit_live,
+                    "payload access to freed arena node " +
+                        std::to_string(idx) + " (use after free)");
+    return node(idx).pkt;
+  }
+
   /// Total nodes ever carved out (capacity high-water mark, for tests).
   std::uint32_t capacity() const { return count_; }
+
+#if EAC_AUDIT_ENABLED
+  /// Currently allocated nodes (audit builds only; for tests).
+  std::uint32_t live() const { return live_; }
+  /// Release generation of a node (audit builds only; for tests).
+  std::uint32_t generation(std::uint32_t idx) { return node(idx).audit_gen; }
+#endif
 
  private:
   // 64 nodes (~3.5 KB) per slab: small enough that a lightly loaded queue
@@ -79,6 +131,7 @@ class PacketArena {
   std::vector<std::unique_ptr<Node[]>> chunks_;
   std::uint32_t count_ = 0;
   std::uint32_t free_head_ = kNil;
+  EAC_AUDIT_ONLY(std::uint32_t live_ = 0;)
 };
 
 /// FIFO of packets backed by a shared PacketArena. Supports exactly what
@@ -114,8 +167,8 @@ class PacketFifo {
     ++size_;
   }
 
-  const Packet& front() const { return arena_->node(head_).pkt; }
-  const Packet& back() const { return arena_->node(tail_).pkt; }
+  const Packet& front() const { return arena_->pkt(head_); }
+  const Packet& back() const { return arena_->pkt(tail_); }
 
   void pop_front() {
     assert(size_ > 0);

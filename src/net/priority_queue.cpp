@@ -4,8 +4,12 @@
 
 namespace eac::net {
 
-bool StrictPriorityQueue::enqueue(Packet p, sim::SimTime /*now*/) {
+bool StrictPriorityQueue::do_enqueue(Packet p, sim::SimTime /*now*/) {
   assert(p.band < bands_.size());
+  EAC_AUDIT_CHECK(p.band < bands_.size(),
+                  "packet band " + std::to_string(p.band) +
+                      " out of range for " + std::to_string(bands_.size()) +
+                      "-band priority queue");
   if (count_ >= limit_) {
     if (push_out_) {
       // Evict the most recent resident of the lowest-priority occupied band
@@ -13,9 +17,11 @@ bool StrictPriorityQueue::enqueue(Packet p, sim::SimTime /*now*/) {
       for (std::size_t b = bands_.size(); b-- > static_cast<std::size_t>(p.band) + 1;) {
         if (!bands_[b].empty()) {
           record_drop(bands_[b].back());
+          bytes_ -= bands_[b].back().size_bytes;
           bands_[b].pop_back();
           --count_;
           bands_[p.band].push_back(p);
+          bytes_ += p.size_bytes;
           ++count_;
           return true;
         }
@@ -25,15 +31,17 @@ bool StrictPriorityQueue::enqueue(Packet p, sim::SimTime /*now*/) {
     return false;
   }
   bands_[p.band].push_back(p);
+  bytes_ += p.size_bytes;
   ++count_;
   return true;
 }
 
-std::optional<Packet> StrictPriorityQueue::dequeue(sim::SimTime /*now*/) {
+std::optional<Packet> StrictPriorityQueue::do_dequeue(sim::SimTime /*now*/) {
   for (auto& band : bands_) {
     if (!band.empty()) {
       Packet p = band.front();
       band.pop_front();
+      bytes_ -= p.size_bytes;
       --count_;
       return p;
     }

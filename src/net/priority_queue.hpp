@@ -27,17 +27,21 @@ class StrictPriorityQueue : public QueueDisc {
     for (std::size_t b = 0; b < bands; ++b) bands_.emplace_back(arena_);
   }
 
-  bool enqueue(Packet p, sim::SimTime now) override;
-  std::optional<Packet> dequeue(sim::SimTime now) override;
   bool empty() const override { return count_ == 0; }
   std::size_t packet_count() const override { return count_; }
+  std::uint64_t byte_count() const override { return bytes_; }
   std::size_t band_count(std::size_t band) const { return bands_[band].size(); }
+
+ protected:
+  bool do_enqueue(Packet p, sim::SimTime now) override;
+  std::optional<Packet> do_dequeue(sim::SimTime now) override;
 
  private:
   PacketArena arena_;  // shared by all bands (they share one buffer limit)
   std::vector<PacketFifo> bands_;
   std::size_t limit_;
   std::size_t count_ = 0;
+  std::uint64_t bytes_ = 0;
   bool push_out_;
 };
 

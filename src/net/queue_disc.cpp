@@ -2,19 +2,21 @@
 
 namespace eac::net {
 
-bool DropTailQueue::enqueue(Packet p, sim::SimTime /*now*/) {
+bool DropTailQueue::do_enqueue(Packet p, sim::SimTime /*now*/) {
   if (q_.size() >= limit_) {
     record_drop(p);
     return false;
   }
   q_.push_back(p);
+  bytes_ += p.size_bytes;
   return true;
 }
 
-std::optional<Packet> DropTailQueue::dequeue(sim::SimTime /*now*/) {
+std::optional<Packet> DropTailQueue::do_dequeue(sim::SimTime /*now*/) {
   if (q_.empty()) return std::nullopt;
   Packet p = q_.front();
   q_.pop_front();
+  bytes_ -= p.size_bytes;
   return p;
 }
 

@@ -1,12 +1,23 @@
 // Queue discipline interface and the baseline drop-tail FIFO.
+//
+// The public enqueue()/dequeue() entry points are non-virtual shells over
+// the do_enqueue()/do_dequeue() hooks subclasses implement. In a regular
+// build the shells forward with zero overhead; under -DEAC_AUDIT=ON they
+// maintain a packet/byte ledger per queue and verify, after every
+// operation, that the discipline's resident population exactly equals
+// what was accepted minus what was served minus what was pushed out —
+// so a leaked, duplicated or double-counted packet aborts the run at the
+// operation that corrupted the books.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <string>
 
 #include "net/packet.hpp"
 #include "net/packet_pool.hpp"
+#include "sim/audit.hpp"
 #include "sim/time.hpp"
 
 namespace eac::net {
@@ -16,6 +27,7 @@ struct QueueDropStats {
   std::uint64_t data = 0;
   std::uint64_t probe = 0;
   std::uint64_t best_effort = 0;
+  std::uint64_t bytes = 0;  ///< dropped bytes, all types
 
   std::uint64_t total() const { return data + probe + best_effort; }
   void count(const Packet& p) {
@@ -24,6 +36,7 @@ struct QueueDropStats {
       case PacketType::kProbe: ++probe; break;
       case PacketType::kBestEffort: ++best_effort; break;
     }
+    bytes += p.size_bytes;
   }
 };
 
@@ -36,14 +49,45 @@ class QueueDisc {
  public:
   virtual ~QueueDisc() = default;
 
-  /// Offer a packet. Returns false if the packet was dropped.
-  virtual bool enqueue(Packet p, sim::SimTime now) = 0;
+  /// Offer a packet. Returns false if the arriving packet was dropped.
+  bool enqueue(Packet p, sim::SimTime now) {
+#if EAC_AUDIT_ENABLED
+    const bool accepted = do_enqueue(p, now);
+    if (accepted) {
+      ++audit_accepted_;
+      audit_accepted_bytes_ += p.size_bytes;
+    } else {
+      ++audit_rejected_;
+      audit_rejected_bytes_ += p.size_bytes;
+    }
+    audit_verify_ledger("enqueue");
+    return accepted;
+#else
+    return do_enqueue(p, now);
+#endif
+  }
 
   /// Next packet to transmit, or nullopt when empty.
-  virtual std::optional<Packet> dequeue(sim::SimTime now) = 0;
+  std::optional<Packet> dequeue(sim::SimTime now) {
+#if EAC_AUDIT_ENABLED
+    std::optional<Packet> p = do_dequeue(now);
+    if (p) {
+      ++audit_dequeued_;
+      audit_dequeued_bytes_ += p->size_bytes;
+    }
+    audit_verify_ledger("dequeue");
+    return p;
+#else
+    return do_dequeue(now);
+#endif
+  }
 
   virtual bool empty() const = 0;
   virtual std::size_t packet_count() const = 0;
+
+  /// Bytes currently resident in the buffer. Every discipline keeps its
+  /// own tally; the audit layer cross-checks it against the ledger.
+  virtual std::uint64_t byte_count() const = 0;
 
   /// Earliest time a packet may next be dequeued. Non-work-conserving
   /// disciplines (rate limiters) return a future time when the backlog is
@@ -55,9 +99,54 @@ class QueueDisc {
   virtual const QueueDropStats& drops() const { return drops_; }
 
  protected:
-  void record_drop(const Packet& p) { drops_.count(p); }
+  /// Subclass hooks behind the audited public entry points.
+  virtual bool do_enqueue(Packet p, sim::SimTime now) = 0;
+  virtual std::optional<Packet> do_dequeue(sim::SimTime now) = 0;
+
+  void record_drop(const Packet& p) {
+    drops_.count(p);
+    // Every dropped packet leaves the network exactly here (arrival
+    // rejections and push-outs alike), so the run-wide conservation tally
+    // counts drops at this single point and decorators cannot double
+    // count them.
+    EAC_AUDIT_COUNT(packets_dropped, 1);
+  }
 
  private:
+#if EAC_AUDIT_ENABLED
+  /// Conservation identity for one queue: residents must equal accepted
+  /// arrivals minus served packets minus push-out drops (total drops less
+  /// rejected arrivals), in packets and in bytes.
+  void audit_verify_ledger(const char* op) const {
+    // drops() covers both rejected arrivals and push-outs, and for
+    // decorators it reports the level that actually dropped; the wrapper
+    // counted this level's rejections itself, so the difference is exactly
+    // the packets evicted while resident.
+    const QueueDropStats& d = drops();
+    const std::uint64_t pushed_out = d.total() - audit_rejected_;
+    const std::uint64_t expect_packets =
+        audit_accepted_ - audit_dequeued_ - pushed_out;
+    EAC_AUDIT_CHECK(packet_count() == expect_packets,
+                    std::string{op} + ": queue packet accounting broken: " +
+                        std::to_string(packet_count()) + " resident, ledger says " +
+                        std::to_string(expect_packets));
+    const std::uint64_t pushed_out_bytes = d.bytes - audit_rejected_bytes_;
+    const std::uint64_t expect_bytes =
+        audit_accepted_bytes_ - audit_dequeued_bytes_ - pushed_out_bytes;
+    EAC_AUDIT_CHECK(byte_count() == expect_bytes,
+                    std::string{op} + ": queue byte accounting broken: " +
+                        std::to_string(byte_count()) + " resident bytes, ledger says " +
+                        std::to_string(expect_bytes));
+  }
+
+  std::uint64_t audit_accepted_ = 0;
+  std::uint64_t audit_rejected_ = 0;
+  std::uint64_t audit_dequeued_ = 0;
+  std::uint64_t audit_accepted_bytes_ = 0;
+  std::uint64_t audit_rejected_bytes_ = 0;
+  std::uint64_t audit_dequeued_bytes_ = 0;
+#endif
+
   QueueDropStats drops_;
 };
 
@@ -68,15 +157,19 @@ class DropTailQueue : public QueueDisc {
   explicit DropTailQueue(std::size_t limit_packets)
       : q_{arena_}, limit_{limit_packets} {}
 
-  bool enqueue(Packet p, sim::SimTime now) override;
-  std::optional<Packet> dequeue(sim::SimTime now) override;
   bool empty() const override { return q_.empty(); }
   std::size_t packet_count() const override { return q_.size(); }
+  std::uint64_t byte_count() const override { return bytes_; }
+
+ protected:
+  bool do_enqueue(Packet p, sim::SimTime now) override;
+  std::optional<Packet> do_dequeue(sim::SimTime now) override;
 
  private:
   PacketArena arena_;  // must outlive q_
   PacketFifo q_;
   std::size_t limit_;
+  std::uint64_t bytes_ = 0;
 };
 
 }  // namespace eac::net

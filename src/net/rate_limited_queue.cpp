@@ -6,15 +6,19 @@ void RateLimitedPriorityQueue::refill(sim::SimTime now) {
   const double add = share_bps_ / 8.0 * (now - last_refill_).to_seconds();
   last_refill_ = now;
   tokens_ = tokens_ + add > bucket_bytes_ ? bucket_bytes_ : tokens_ + add;
+  EAC_AUDIT_CHECK(tokens_ >= 0 && tokens_ <= bucket_bytes_,
+                  "rate limiter token count " + std::to_string(tokens_) +
+                      " outside [0, " + std::to_string(bucket_bytes_) + "]");
 }
 
-bool RateLimitedPriorityQueue::enqueue(Packet p, sim::SimTime /*now*/) {
+bool RateLimitedPriorityQueue::do_enqueue(Packet p, sim::SimTime /*now*/) {
   if (p.band >= 2 || p.type == PacketType::kBestEffort) {
     if (best_effort_.size() >= be_limit_) {
       record_drop(p);
       return false;
     }
     best_effort_.push_back(p);
+    bytes_ += p.size_bytes;
     return true;
   }
   auto& q = p.band == 0 ? data_ : probe_;
@@ -22,14 +26,17 @@ bool RateLimitedPriorityQueue::enqueue(Packet p, sim::SimTime /*now*/) {
     // Data pushes out the most recent resident probe packet.
     if (p.band == 0 && !probe_.empty()) {
       record_drop(probe_.back());
+      bytes_ -= probe_.back().size_bytes;
       probe_.pop_back();
       q.push_back(p);
+      bytes_ += p.size_bytes;
       return true;
     }
     record_drop(p);
     return false;
   }
   q.push_back(p);
+  bytes_ += p.size_bytes;
   return true;
 }
 
@@ -39,7 +46,7 @@ const std::deque<Packet>* RateLimitedPriorityQueue::ac_head() const {
   return nullptr;
 }
 
-std::optional<Packet> RateLimitedPriorityQueue::dequeue(sim::SimTime now) {
+std::optional<Packet> RateLimitedPriorityQueue::do_dequeue(sim::SimTime now) {
   refill(now);
   if (const std::deque<Packet>* q = ac_head()) {
     const Packet& head = q->front();
@@ -47,12 +54,16 @@ std::optional<Packet> RateLimitedPriorityQueue::dequeue(sim::SimTime now) {
       Packet p = head;
       (p.band == 0 ? data_ : probe_).pop_front();
       tokens_ -= static_cast<double>(p.size_bytes);
+      EAC_AUDIT_CHECK(tokens_ >= 0,
+                      "rate limiter served a packet it had no tokens for");
+      bytes_ -= p.size_bytes;
       return p;
     }
   }
   if (!best_effort_.empty()) {
     Packet p = best_effort_.front();
     best_effort_.pop_front();
+    bytes_ -= p.size_bytes;
     return p;
   }
   return std::nullopt;  // AC backlogged but out of tokens: idle the link

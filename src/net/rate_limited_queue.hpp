@@ -32,8 +32,6 @@ class RateLimitedPriorityQueue : public QueueDisc {
         ac_limit_{ac_limit_packets},
         be_limit_{be_limit_packets} {}
 
-  bool enqueue(Packet p, sim::SimTime now) override;
-  std::optional<Packet> dequeue(sim::SimTime now) override;
   sim::SimTime next_ready(sim::SimTime now) const override;
   bool empty() const override {
     return data_.empty() && probe_.empty() && best_effort_.empty();
@@ -41,6 +39,11 @@ class RateLimitedPriorityQueue : public QueueDisc {
   std::size_t packet_count() const override {
     return data_.size() + probe_.size() + best_effort_.size();
   }
+  std::uint64_t byte_count() const override { return bytes_; }
+
+ protected:
+  bool do_enqueue(Packet p, sim::SimTime now) override;
+  std::optional<Packet> do_dequeue(sim::SimTime now) override;
 
  private:
   void refill(sim::SimTime now);
@@ -52,6 +55,7 @@ class RateLimitedPriorityQueue : public QueueDisc {
   sim::SimTime last_refill_;
   std::size_t ac_limit_;
   std::size_t be_limit_;
+  std::uint64_t bytes_ = 0;
   std::deque<Packet> data_;         // band 0
   std::deque<Packet> probe_;        // band 1
   std::deque<Packet> best_effort_;  // band 2

@@ -25,7 +25,7 @@ bool RedQueue::should_drop() {
   return false;
 }
 
-bool RedQueue::enqueue(Packet p, sim::SimTime now) {
+bool RedQueue::do_enqueue(Packet p, sim::SimTime now) {
   // EWMA update; while idle, decay the average as if empty packets passed.
   if (idle_) {
     // Assume one 'slot' per average packet already queued; standard RED
@@ -52,13 +52,15 @@ bool RedQueue::enqueue(Packet p, sim::SimTime now) {
     }
   }
   q_.push_back(p);
+  bytes_ += p.size_bytes;
   return true;
 }
 
-std::optional<Packet> RedQueue::dequeue(sim::SimTime now) {
+std::optional<Packet> RedQueue::do_dequeue(sim::SimTime now) {
   if (q_.empty()) return std::nullopt;
   Packet p = q_.front();
   q_.pop_front();
+  bytes_ -= p.size_bytes;
   if (q_.empty()) {
     idle_ = true;
     idle_since_ = now;

@@ -28,12 +28,15 @@ class RedQueue : public QueueDisc {
   RedQueue(RedConfig cfg, std::uint64_t seed, std::uint64_t stream)
       : cfg_{cfg}, rng_{seed, stream} {}
 
-  bool enqueue(Packet p, sim::SimTime now) override;
-  std::optional<Packet> dequeue(sim::SimTime now) override;
   bool empty() const override { return q_.empty(); }
   std::size_t packet_count() const override { return q_.size(); }
+  std::uint64_t byte_count() const override { return bytes_; }
 
   double average() const { return avg_; }
+
+ protected:
+  bool do_enqueue(Packet p, sim::SimTime now) override;
+  std::optional<Packet> do_dequeue(sim::SimTime now) override;
 
  private:
   bool should_drop();
@@ -41,6 +44,7 @@ class RedQueue : public QueueDisc {
   RedConfig cfg_;
   sim::RandomStream rng_;
   std::deque<Packet> q_;
+  std::uint64_t bytes_ = 0;
   double avg_ = 0;
   std::uint64_t count_since_drop_ = 0;  ///< packets since last marked/dropped
   sim::SimTime idle_since_;

@@ -21,19 +21,9 @@ class VirtualDropQueue : public QueueDisc {
       : inner_{std::move(inner)},
         marker_{virtual_rate_bps, buffer_bytes, bands} {}
 
-  bool enqueue(Packet p, sim::SimTime now) override {
-    const bool virtually_dropped = marker_.on_arrival(p, now);
-    if (virtually_dropped && p.type == PacketType::kProbe) {
-      record_drop(p);
-      return false;
-    }
-    return inner_->enqueue(p, now);
-  }
-  std::optional<Packet> dequeue(sim::SimTime now) override {
-    return inner_->dequeue(now);
-  }
   bool empty() const override { return inner_->empty(); }
   std::size_t packet_count() const override { return inner_->packet_count(); }
+  std::uint64_t byte_count() const override { return inner_->byte_count(); }
   const QueueDropStats& drops() const override {
     // Virtual drops are recorded here; real-queue drops in the inner
     // discipline. Merge lazily for reporting.
@@ -41,10 +31,24 @@ class VirtualDropQueue : public QueueDisc {
     merged_.data += QueueDisc::drops().data;
     merged_.probe += QueueDisc::drops().probe;
     merged_.best_effort += QueueDisc::drops().best_effort;
+    merged_.bytes += QueueDisc::drops().bytes;
     return merged_;
   }
 
   const VirtualQueueMarker& marker() const { return marker_; }
+
+ protected:
+  bool do_enqueue(Packet p, sim::SimTime now) override {
+    const bool virtually_dropped = marker_.on_arrival(p, now);
+    if (virtually_dropped && p.type == PacketType::kProbe) {
+      record_drop(p);
+      return false;
+    }
+    return inner_->enqueue(p, now);
+  }
+  std::optional<Packet> do_dequeue(sim::SimTime now) override {
+    return inner_->dequeue(now);
+  }
 
  private:
   std::unique_ptr<QueueDisc> inner_;

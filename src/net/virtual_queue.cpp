@@ -1,6 +1,9 @@
 #include "net/virtual_queue.hpp"
 
 #include <cassert>
+#include <string>
+
+#include "sim/audit.hpp"
 
 namespace eac::net {
 
@@ -13,12 +16,26 @@ void VirtualQueueMarker::drain(sim::SimTime now) {
     const double served = b < budget ? b : budget;
     b -= served;
     budget -= served;
+    EAC_AUDIT_CHECK(b >= 0, "virtual queue drained a band below zero: " +
+                                std::to_string(b));
   }
 }
 
 bool VirtualQueueMarker::on_arrival(const Packet& p, sim::SimTime now) {
   assert(p.band < backlog_.size());
+  EAC_AUDIT_CHECK(p.band < backlog_.size(),
+                  "packet band " + std::to_string(p.band) +
+                      " out of range for " + std::to_string(backlog_.size()) +
+                      "-band virtual queue");
   drain(now);
+#if EAC_AUDIT_ENABLED
+  double audit_total = 0;
+  for (double b : backlog_) audit_total += b;
+  EAC_AUDIT_CHECK(audit_total <= buffer_bytes_ + 1e-6,
+                  "virtual backlog " + std::to_string(audit_total) +
+                      " exceeds the virtual buffer " +
+                      std::to_string(buffer_bytes_));
+#endif
   double total = 0;
   for (double b : backlog_) total += b;
   const double size = static_cast<double>(p.size_bytes);

@@ -4,17 +4,22 @@
 
 namespace eac::net {
 
-bool WfqQueue::enqueue(Packet p, sim::SimTime /*now*/) {
+bool WfqQueue::do_enqueue(Packet p, sim::SimTime /*now*/) {
   if (count_ >= limit_) {
     // Longest-queue drop: the buffer hog loses its *tail* packet (whose
     // virtual service is then refunded); an arrival from the hog itself
-    // is simply dropped.
+    // is simply dropped. Length ties break on the smaller flow id so the
+    // victim never depends on hash-map iteration order.
     FlowId victim = p.flow;
+    bool victim_is_self = true;
     std::size_t victim_len = flows_[p.flow].q.size() + 1;
+    // lint:allow(unordered-iteration: victim is the unique (len, flow-id) max)
     for (const auto& [flow, st] : flows_) {
-      if (st.q.size() > victim_len) {
+      if (st.q.size() > victim_len ||
+          (!victim_is_self && st.q.size() == victim_len && flow < victim)) {
         victim = flow;
         victim_len = st.q.size();
+        victim_is_self = false;
       }
     }
     if (victim == p.flow) {
@@ -26,6 +31,7 @@ bool WfqQueue::enqueue(Packet p, sim::SimTime /*now*/) {
     record_drop(tail.packet);
     vs.last_finish -=
         static_cast<double>(tail.packet.size_bytes) / weight_of(victim);
+    bytes_ -= tail.packet.size_bytes;
     vs.q.pop_back();
     --count_;
   }
@@ -35,13 +41,15 @@ bool WfqQueue::enqueue(Packet p, sim::SimTime /*now*/) {
       start + static_cast<double>(p.size_bytes) / weight_of(p.flow);
   st.last_finish = finish;
   st.q.push_back(Stamped{finish, next_order_++, p});
+  bytes_ += p.size_bytes;
   ++count_;
   return true;
 }
 
-std::optional<Packet> WfqQueue::dequeue(sim::SimTime /*now*/) {
+std::optional<Packet> WfqQueue::do_dequeue(sim::SimTime /*now*/) {
   if (count_ == 0) return std::nullopt;
   FlowState* best = nullptr;
+  // lint:allow(unordered-iteration: min is unique, (finish, order) totally ordered)
   for (auto& [flow, st] : flows_) {
     if (st.q.empty()) continue;
     if (best == nullptr || st.q.front().finish < best->q.front().finish ||
@@ -52,6 +60,7 @@ std::optional<Packet> WfqQueue::dequeue(sim::SimTime /*now*/) {
   }
   Stamped s = best->q.front();
   best->q.pop_front();
+  bytes_ -= s.packet.size_bytes;
   --count_;
   vtime_ = s.finish;
   if (count_ == 0) {

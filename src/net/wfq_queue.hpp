@@ -27,12 +27,15 @@ class WfqQueue : public QueueDisc {
 
   void set_weight(FlowId flow, double weight) { weights_[flow] = weight; }
 
-  bool enqueue(Packet p, sim::SimTime now) override;
-  std::optional<Packet> dequeue(sim::SimTime now) override;
   bool empty() const override { return count_ == 0; }
   std::size_t packet_count() const override { return count_; }
+  std::uint64_t byte_count() const override { return bytes_; }
 
   double virtual_time() const { return vtime_; }
+
+ protected:
+  bool do_enqueue(Packet p, sim::SimTime now) override;
+  std::optional<Packet> do_dequeue(sim::SimTime now) override;
 
  private:
   struct Stamped {
@@ -52,6 +55,7 @@ class WfqQueue : public QueueDisc {
 
   std::size_t limit_;
   std::size_t count_ = 0;
+  std::uint64_t bytes_ = 0;
   double vtime_ = 0;
   std::uint64_t next_order_ = 0;
   std::unordered_map<FlowId, double> weights_;

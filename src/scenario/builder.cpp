@@ -11,6 +11,7 @@
 #include "net/red_queue.hpp"
 #include "net/topology.hpp"
 #include "net/virtual_drop_queue.hpp"
+#include "sim/audit.hpp"
 #include "sim/simulator.hpp"
 
 namespace eac::scenario {
@@ -111,6 +112,12 @@ std::vector<std::size_t> route_links(const ScenarioSpec& spec,
 }
 
 ScenarioResult run_scenario(const ScenarioSpec& spec) {
+  ScenarioResult res;
+  // Installed before any component runs so every packet-conservation tally
+  // of this run lands on this result's report (thread-local, so parallel
+  // SweepRunner workers audit independently).
+  sim::audit::Scope audit_scope{res.audit};
+
   sim::Simulator sim;
   net::Topology topo{sim};
   const std::size_t n_nodes = spec.node_count();
@@ -181,8 +188,18 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
     topo.begin_measurement();
   });
 
-  ScenarioResult res;
   res.events = sim.run(sim::SimTime::seconds(spec.duration_s));
+
+#if EAC_AUDIT_ENABLED
+  // Conservation ledger: whatever was neither delivered nor dropped must
+  // still be resident in a queue or propagating on a link.
+  std::uint64_t residual = 0;
+  for (net::Link* l : links) {
+    residual += l->queue().packet_count();
+    residual += l->audit_in_flight();
+  }
+  sim::audit::finalize_run(res.audit, residual);
+#endif
 
   const sim::SimTime end = sim::SimTime::seconds(spec.duration_s);
   const double secs = spec.duration_s - spec.warmup_s;

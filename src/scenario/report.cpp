@@ -187,6 +187,22 @@ std::string to_json(const stats::GroupCounters& c) {
   return w.take();
 }
 
+std::string to_json(const sim::AuditReport& a) {
+  JsonWriter w;
+  w.object_begin()
+      .field("packets_created", a.packets_created)
+      .field("packets_delivered", a.packets_delivered)
+      .field("packets_dropped", a.packets_dropped)
+      .field("packets_residual", a.packets_residual)
+      .field("pool_allocs", a.pool_allocs)
+      .field("pool_releases", a.pool_releases)
+      .field("events_executed", a.events_executed)
+      .field("checks_passed", a.checks_passed)
+      .field("conserved", a.conserved())
+      .object_end();
+  return w.take();
+}
+
 std::string to_json(const RunResult& r) {
   JsonWriter w;
   w.object_begin()
@@ -231,6 +247,9 @@ std::string to_json(const ScenarioResult& r) {
       .field("events", r.events)
       .field_raw("total", to_json(r.total));
   append_groups(w, r.groups);
+  // Only audited runs carry the ledger; plain builds (and hand-built
+  // results, e.g. goldens) keep the historical shape.
+  if (r.audit.enabled) w.field_raw("audit", to_json(r.audit));
   w.object_end();
   return w.take();
 }

@@ -62,6 +62,9 @@ class JsonWriter {
 /// One counters block: attempts/accepts/data_* plus derived probabilities.
 std::string to_json(const stats::GroupCounters& c);
 
+/// Conservation ledger of an audited run (-DEAC_AUDIT=ON).
+std::string to_json(const sim::AuditReport& a);
+
 /// Per-run results. Shapes are stable (golden-tested in report_test).
 std::string to_json(const RunResult& r);
 std::string to_json(const MultiLinkResult& r);

@@ -17,6 +17,7 @@
 
 #include "eac/config.hpp"
 #include "eac/flow_manager.hpp"
+#include "sim/audit.hpp"
 #include "sim/time.hpp"
 #include "stats/flow_stats.hpp"
 
@@ -117,6 +118,7 @@ struct ScenarioResult {
   double delay_p50_s = 0;  ///< median end-to-end data packet delay
   double delay_p99_s = 0;
   std::uint64_t events = 0;
+  sim::AuditReport audit;  ///< populated only in -DEAC_AUDIT=ON builds
 
   double loss() const { return total.loss_probability(); }
   double blocking() const { return total.blocking_probability(); }

@@ -1,0 +1,52 @@
+#include "sim/audit.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace eac::sim::audit {
+
+#if EAC_AUDIT_ENABLED
+
+namespace {
+thread_local AuditReport* tl_report = nullptr;
+}  // namespace
+
+AuditReport* current() { return tl_report; }
+
+AuditReport* exchange_current(AuditReport* next) {
+  AuditReport* prev = tl_report;
+  tl_report = next;
+  return prev;
+}
+
+void fail(const char* file, int line, const char* expr,
+          const std::string& msg) {
+  std::fprintf(stderr, "audit violation at %s:%d: %s -- %s\n", file, line,
+               expr, msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+void finalize_run(AuditReport& r, std::uint64_t residual_packets) {
+  r.enabled = true;
+  r.packets_residual = residual_packets;
+  EAC_AUDIT_CHECK(
+      r.conserved(),
+      "packet conservation: created " + std::to_string(r.packets_created) +
+          " != delivered " + std::to_string(r.packets_delivered) +
+          " + dropped " + std::to_string(r.packets_dropped) + " + residual " +
+          std::to_string(r.packets_residual));
+  EAC_AUDIT_CHECK(r.pool_allocs >= r.pool_releases,
+                  "packet arena released more nodes (" +
+                      std::to_string(r.pool_releases) +
+                      ") than it ever allocated (" +
+                      std::to_string(r.pool_allocs) + ")");
+}
+
+#else
+
+void finalize_run(AuditReport&, std::uint64_t) {}
+
+#endif
+
+}  // namespace eac::sim::audit

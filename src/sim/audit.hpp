@@ -1,0 +1,148 @@
+// Compiled-in invariant audit layer (-DEAC_AUDIT=ON).
+//
+// The loss-load curves are only as trustworthy as the simulator's packet
+// accounting: a silently leaked packet or a corrupted event heap skews
+// every admission decision downstream. This header provides the hooks the
+// engine, the packet pool, every queue discipline and the scenario layer
+// use to verify their invariants at runtime:
+//
+//   EAC_AUDIT_CHECK(cond, msg)   abort with file:line and `msg` if !cond
+//   EAC_AUDIT_COUNT(field, n)    bump a tally on the run's AuditReport
+//   EAC_AUDIT_ONLY(...)          splice audit-only members/statements
+//
+// In a regular build (EAC_AUDIT undefined) every macro expands to nothing
+// and AuditReport is an inert value type: the contract is *zero* cost when
+// off — no branches, no extra state, byte-identical results.
+//
+// One AuditReport describes one run. The report is installed thread-local
+// (audit::Scope), so the SweepRunner's workers each audit their own run
+// without sharing state; components reached outside a Scope (unit tests
+// driving a queue directly) still perform their checks, they just skip the
+// tallies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#if defined(EAC_AUDIT) && EAC_AUDIT
+#define EAC_AUDIT_ENABLED 1
+#else
+#define EAC_AUDIT_ENABLED 0
+#endif
+
+namespace eac::sim {
+
+/// True in audit builds; usable in `if constexpr` where a macro is clumsy.
+inline constexpr bool kAuditEnabled = EAC_AUDIT_ENABLED != 0;
+
+/// Per-run audit tallies. Serialized into scenario artifacts (report.cpp)
+/// when enabled, so an audited run documents its own conservation ledger.
+struct AuditReport {
+  // Packet conservation: every packet a source injects must end its life
+  // delivered (sink, undeliverable counter, or absorbed by an unterminated
+  // link), dropped by a queue discipline, or still resident in a queue /
+  // in flight on a link when the run ends.
+  std::uint64_t packets_created = 0;
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t packets_dropped = 0;
+  std::uint64_t packets_residual = 0;  ///< queued or in flight at teardown
+
+  // Packet arena (net/packet_pool.hpp) node traffic.
+  std::uint64_t pool_allocs = 0;
+  std::uint64_t pool_releases = 0;
+
+  // Event engine.
+  std::uint64_t events_executed = 0;
+
+  /// Invariant checks that ran (and passed) under this report's scope.
+  std::uint64_t checks_passed = 0;
+
+  /// True when the run was executed by an audit build. Defaults to false
+  /// so hand-built results (goldens) serialize identically in every build.
+  bool enabled = false;
+
+  bool conserved() const {
+    return packets_created ==
+           packets_delivered + packets_dropped + packets_residual;
+  }
+};
+
+namespace audit {
+
+#if EAC_AUDIT_ENABLED
+/// The thread's active report, or nullptr outside any Scope.
+AuditReport* current();
+AuditReport* exchange_current(AuditReport* next);
+
+/// Count one passed check on the active report (if any).
+inline void note_check() {
+  if (AuditReport* r = current()) ++r->checks_passed;
+}
+
+/// Print "audit violation at file:line: expr -- msg" and abort.
+[[noreturn]] void fail(const char* file, int line, const char* expr,
+                       const std::string& msg);
+#endif
+
+/// RAII: installs `r` as the thread's active report between construction
+/// and destruction. A no-op shell when the audit layer is compiled out.
+class Scope {
+ public:
+  explicit Scope([[maybe_unused]] AuditReport& r) {
+#if EAC_AUDIT_ENABLED
+    prev_ = exchange_current(&r);
+#endif
+  }
+  ~Scope() {
+#if EAC_AUDIT_ENABLED
+    exchange_current(prev_);
+#endif
+  }
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+#if EAC_AUDIT_ENABLED
+ private:
+  AuditReport* prev_ = nullptr;
+#endif
+};
+
+/// End-of-run bookkeeping: record the residual population and verify the
+/// conservation ledger. No-op (and `r` untouched) when the layer is off.
+void finalize_run([[maybe_unused]] AuditReport& r,
+                  [[maybe_unused]] std::uint64_t residual_packets);
+
+}  // namespace audit
+}  // namespace eac::sim
+
+#if EAC_AUDIT_ENABLED
+
+/// Verify `cond`; on failure abort with file:line, the condition text and
+/// `msg` (any std::string/const char* expression, evaluated lazily).
+#define EAC_AUDIT_CHECK(cond, msg)                                  \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      ::eac::sim::audit::fail(__FILE__, __LINE__, #cond, (msg));    \
+    }                                                               \
+    ::eac::sim::audit::note_check();                                \
+  } while (0)
+
+/// Add `n` to a tally of the thread's active AuditReport, if one is set.
+#define EAC_AUDIT_COUNT(field, n)                                   \
+  do {                                                              \
+    if (::eac::sim::AuditReport* _eac_r =                           \
+            ::eac::sim::audit::current()) {                         \
+      _eac_r->field += (n);                                         \
+    }                                                               \
+  } while (0)
+
+/// Splice declarations or statements only present in audit builds.
+#define EAC_AUDIT_ONLY(...) __VA_ARGS__
+
+#else
+
+#define EAC_AUDIT_CHECK(cond, msg) ((void)0)
+#define EAC_AUDIT_COUNT(field, n) ((void)0)
+#define EAC_AUDIT_ONLY(...)
+
+#endif

@@ -20,6 +20,9 @@ std::uint64_t Simulator::run(SimTime horizon) {
       continue;
     }
     if (top.time > horizon) break;
+    EAC_AUDIT_CHECK(top.time >= now_,
+                    "event heap surfaced an event before the clock: heap "
+                    "order or clock monotonicity violated");
     heap_pop_top();
     // Invalidate before invoking so a handler cancelling its own id is a
     // no-op, but keep the storage off the free list until the callback
@@ -30,9 +33,34 @@ std::uint64_t Simulator::run(SimTime horizon) {
     s.fn.invoke_and_dispose();
     free_empty_slot(s, top.slot);
     ++executed;
+#if EAC_AUDIT_ENABLED
+    // Periodic O(n) structural sweep; per-event it would dominate runtime.
+    if ((executed & 0xFFFF) == 0) audit_verify_heap();
+#endif
   }
+  EAC_AUDIT_COUNT(events_executed, executed);
+#if EAC_AUDIT_ENABLED
+  audit_verify_heap();
+  EAC_AUDIT_CHECK(!heap_.empty() || live_ == 0,
+                  "live event count nonzero with an empty heap: live_ = " +
+                      std::to_string(live_));
+  EAC_AUDIT_CHECK(live_ <= heap_.size(),
+                  "more live events than heap entries: live_ = " +
+                      std::to_string(live_) + ", heap = " +
+                      std::to_string(heap_.size()));
+#endif
   if (live_ == 0 && now_ < horizon && horizon != SimTime::max()) now_ = horizon;
   return executed;
 }
+
+#if EAC_AUDIT_ENABLED
+void Simulator::audit_verify_heap() const {
+  for (std::size_t i = 1; i < heap_.size(); ++i) {
+    const std::size_t parent = (i - 1) >> 2;
+    EAC_AUDIT_CHECK(!heap_[i].before(heap_[parent]),
+                    "heap shape violated at index " + std::to_string(i));
+  }
+}
+#endif
 
 }  // namespace eac::sim

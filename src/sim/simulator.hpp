@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "sim/audit.hpp"
 #include "sim/event_fn.hpp"
 #include "sim/time.hpp"
 
@@ -46,6 +47,7 @@ class Simulator {
   template <typename F>
   EventId schedule_at(SimTime t, F&& fn) {
     assert(t >= now_ && "cannot schedule into the past");
+    EAC_AUDIT_CHECK(t >= now_, "event posted into the past");
     return schedule_impl(t, std::forward<F>(fn));
   }
 
@@ -137,6 +139,12 @@ class Simulator {
 
   /// Allocate a fresh slot index, adding a chunk when needed (slow path).
   std::uint32_t grow_arena();
+
+#if EAC_AUDIT_ENABLED
+  /// O(n) structural check of the implicit 4-ary heap (audit builds only;
+  /// run() invokes it periodically, not per event).
+  void audit_verify_heap() const;
+#endif
 
   /// Bump the generation (orphans the heap entry and any outstanding id).
   static void invalidate_slot(Slot& s) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sim/audit.hpp"
+
 namespace eac::tcp {
 
 // --------------------------------------------------------------- TcpSender
@@ -48,6 +50,7 @@ void TcpSender::send_segment(std::uint32_t seq) {
     timing_seq_ = seq;
     timing_sent_ = sim_.now();
   }
+  EAC_AUDIT_COUNT(packets_created, 1);
   entry_->handle(p);
 }
 
@@ -194,6 +197,7 @@ void TcpSink::handle(net::Packet p) {
   ack.tcp_flags = net::kTcpAck;
   ack.tcp_ack = next_expected_;
   ack.created = sim_.now();
+  EAC_AUDIT_COUNT(packets_created, 1);
   entry_->handle(ack);
 }
 

@@ -5,6 +5,7 @@
 #include <functional>
 
 #include "net/packet.hpp"
+#include "sim/audit.hpp"
 #include "sim/simulator.hpp"
 
 namespace eac::traffic {
@@ -56,6 +57,7 @@ class TrafficSource {
     p.created = sim_.now();
     ++sent_;
     bytes_ += size;
+    EAC_AUDIT_COUNT(packets_created, 1);
     if (on_send_) on_send_(p);
     out_->handle(p);
   }

@@ -4,7 +4,9 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
+#include "sim/audit.hpp"
 #include "sim/time.hpp"
 
 namespace eac::traffic {
@@ -22,6 +24,8 @@ class TokenBucket {
     const double need = static_cast<double>(bytes);
     if (tokens_ >= need) {
       tokens_ -= need;
+      EAC_AUDIT_CHECK(tokens_ >= 0,
+                      "token bucket went negative: " + std::to_string(tokens_));
       return true;
     }
     return false;
@@ -36,6 +40,9 @@ class TokenBucket {
     tokens_ += rate_bps_ / 8.0 * (now - last_).to_seconds();
     if (tokens_ > bucket_bytes_) tokens_ = bucket_bytes_;
     last_ = now;
+    EAC_AUDIT_CHECK(tokens_ >= 0 && tokens_ <= bucket_bytes_,
+                    "token bucket fill " + std::to_string(tokens_) +
+                        " outside [0, " + std::to_string(bucket_bytes_) + "]");
   }
 
   double rate_bps_;

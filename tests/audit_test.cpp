@@ -1,0 +1,195 @@
+// Audit layer (-DEAC_AUDIT=ON): each compiled-in invariant check must
+// actually fire on a seeded violation (death tests), and a clean scenario
+// run must produce a balanced conservation ledger.
+#include <gtest/gtest.h>
+
+#include "net/packet_pool.hpp"
+#include "net/queue_disc.hpp"
+#include "scenario/builder.hpp"
+#include "sim/audit.hpp"
+#include "sim/simulator.hpp"
+#include "traffic/catalog.hpp"
+
+#if EAC_AUDIT_ENABLED
+
+namespace eac {
+namespace {
+
+net::Packet make_packet(std::uint32_t bytes = 125) {
+  net::Packet p;
+  p.size_bytes = bytes;
+  return p;
+}
+
+// ----------------------------------------------------------- packet arena
+
+TEST(AuditPoolDeath, DoubleReleaseAborts) {
+  EXPECT_DEATH(
+      {
+        net::PacketArena arena;
+        const std::uint32_t idx = arena.allocate(make_packet());
+        arena.release(idx);
+        arena.release(idx);
+      },
+      "double release of arena node");
+}
+
+TEST(AuditPoolDeath, UseAfterFreeAborts) {
+  EXPECT_DEATH(
+      {
+        net::PacketArena arena;
+        const std::uint32_t idx = arena.allocate(make_packet());
+        arena.release(idx);
+        (void)arena.pkt(idx).seq;
+      },
+      "use after free");
+}
+
+TEST(AuditPoolDeath, LeakedNodeAbortsOnArenaTeardown) {
+  EXPECT_DEATH(
+      {
+        net::PacketArena arena;
+        (void)arena.allocate(make_packet());
+        // arena destructor: one node still allocated.
+      },
+      "still allocated");
+}
+
+TEST(AuditPool, GenerationAdvancesOnRelease) {
+  net::PacketArena arena;
+  const std::uint32_t idx = arena.allocate(make_packet());
+  const std::uint32_t gen = arena.generation(idx);
+  arena.release(idx);
+  EXPECT_EQ(arena.generation(idx), gen + 1);
+  EXPECT_EQ(arena.live(), 0u);
+  // Recycled node comes back live with the bumped generation.
+  const std::uint32_t again = arena.allocate(make_packet());
+  EXPECT_EQ(again, idx);
+  EXPECT_EQ(arena.live(), 1u);
+  arena.release(again);
+}
+
+// ------------------------------------------------------ queue disc ledger
+
+// A discipline that stores packets correctly but lies about its resident
+// byte count: the NVI ledger must catch the mismatch on the first op.
+class LyingByteQueue : public net::DropTailQueue {
+ public:
+  using DropTailQueue::DropTailQueue;
+  std::uint64_t byte_count() const override {
+    return DropTailQueue::byte_count() + 1;
+  }
+};
+
+class LyingCountQueue : public net::DropTailQueue {
+ public:
+  using DropTailQueue::DropTailQueue;
+  std::size_t packet_count() const override {
+    return DropTailQueue::packet_count() + 1;
+  }
+};
+
+TEST(AuditQueueDeath, BrokenByteAccountingAborts) {
+  EXPECT_DEATH(
+      {
+        LyingByteQueue q{8};
+        q.enqueue(make_packet(), sim::SimTime{});
+      },
+      "byte accounting broken");
+}
+
+TEST(AuditQueueDeath, BrokenPacketAccountingAborts) {
+  EXPECT_DEATH(
+      {
+        LyingCountQueue q{8};
+        q.enqueue(make_packet(), sim::SimTime{});
+      },
+      "packet accounting broken");
+}
+
+TEST(AuditQueue, HonestDisciplinePassesLedger) {
+  net::DropTailQueue q{4};
+  for (int i = 0; i < 6; ++i) q.enqueue(make_packet(), sim::SimTime{});
+  EXPECT_EQ(q.packet_count(), 4u);
+  EXPECT_EQ(q.drops().total(), 2u);
+  while (q.dequeue(sim::SimTime{})) {
+  }
+  EXPECT_EQ(q.packet_count(), 0u);
+  EXPECT_EQ(q.byte_count(), 0u);
+}
+
+// ------------------------------------------------------------ event queue
+
+TEST(AuditSimulatorDeath, PastTimeEventAborts) {
+  EXPECT_DEATH(
+      {
+        sim::Simulator sim;
+        sim.schedule_at(sim::SimTime::seconds(2), [] {});
+        sim.run(sim::SimTime::seconds(5));
+        sim.schedule_at(sim::SimTime::seconds(1), [] {});
+      },
+      "past");
+}
+
+// ------------------------------------------------------------ conservation
+
+TEST(AuditConservationDeath, UnbalancedLedgerAborts) {
+  EXPECT_DEATH(
+      {
+        sim::AuditReport r;
+        r.packets_created = 5;
+        r.packets_delivered = 3;
+        sim::audit::finalize_run(r, /*residual_packets=*/0);
+      },
+      "packet conservation");
+}
+
+TEST(AuditConservation, BalancedLedgerFinalizes) {
+  sim::AuditReport r;
+  r.packets_created = 10;
+  r.packets_delivered = 6;
+  r.packets_dropped = 3;
+  sim::audit::finalize_run(r, /*residual_packets=*/1);
+  EXPECT_TRUE(r.enabled);
+  EXPECT_TRUE(r.conserved());
+  EXPECT_EQ(r.packets_residual, 1u);
+}
+
+// A full scenario run under audit: every hook fires, the ledger balances.
+TEST(AuditScenario, CleanRunIsConserved) {
+  scenario::ScenarioSpec spec;
+  spec.name = "audit-clean";
+  spec.links = {scenario::LinkSpec{}};
+  FlowClass c;
+  c.src = 0;
+  c.dst = 1;
+  c.arrival_rate_per_s = 1.0 / 3.5;
+  c.onoff = traffic::exp1();
+  c.packet_size = traffic::kOnOffPacketBytes;
+  c.probe_rate_bps = c.onoff.burst_rate_bps;
+  spec.flows = {c};
+  spec.duration_s = 60;
+  spec.warmup_s = 20;
+  spec.seed = 7;
+
+  const scenario::ScenarioResult res = scenario::run_scenario(spec);
+
+  EXPECT_TRUE(res.audit.enabled);
+  EXPECT_TRUE(res.audit.conserved());
+  EXPECT_GT(res.audit.packets_created, 0u);
+  EXPECT_GT(res.audit.packets_delivered, 0u);
+  EXPECT_GT(res.audit.events_executed, 0u);
+  EXPECT_GT(res.audit.checks_passed, 0u);
+  EXPECT_GE(res.audit.pool_allocs, res.audit.pool_releases);
+}
+
+}  // namespace
+}  // namespace eac
+
+#else  // !EAC_AUDIT_ENABLED
+
+TEST(Audit, RequiresAuditBuild) {
+  GTEST_SKIP() << "configure with -DEAC_AUDIT=ON to exercise the audit layer";
+}
+
+#endif

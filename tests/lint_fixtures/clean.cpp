@@ -1,0 +1,47 @@
+// Negative fixtures for tools/lint_determinism.py: constructs that look
+// near-miss similar to banned patterns but are deterministic. The lint
+// self-test requires zero findings in this file.
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+// Words like rand/time/clock inside comments or strings never count:
+// std::rand(), time(nullptr), std::chrono::system_clock::now().
+static const char* kDoc = "call srand(1) and time(0) for chaos";
+
+struct Sim {
+  double time() const { return now_; }  // member named `time` is fine
+  double now_ = 0;
+};
+
+double member_time_calls(const Sim& sim, Sim* psim) {
+  // Qualified/member `time` calls are simulation time, not wall clock.
+  return sim.time() + psim->time() + Sim{}.time();
+}
+
+int identifiers_containing_banned_words(int grand, int daytime) {
+  // rand/time as substrings of longer identifiers.
+  int operand = grand + 1;
+  int uptime = daytime * 2;
+  return operand + uptime;
+}
+
+struct OrderedBook {
+  std::map<int, double> table_;          // ordered: iteration is fine
+  std::unordered_map<int, double> fast_;
+
+  double sum_ordered() const {
+    double s = 0;
+    for (const auto& [k, v] : table_) s += v * k;
+    return s;
+  }
+
+  double count_order_independent() const {
+    double s = 0;
+    // Summation is commutative, so visiting order cannot change the
+    // result; annotated like production code would be.
+    // lint:allow(unordered-iteration: commutative reduction)
+    for (const auto& [k, v] : fast_) s += v;
+    return s + static_cast<double>(kDoc[0]);
+  }
+};

@@ -1,0 +1,48 @@
+// Positive fixtures for tools/lint_determinism.py. Never compiled; the
+// lint self-test checks that every line carrying an expect-lint marker
+// is flagged with exactly that rule and nothing else is.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+#include <unordered_map>
+
+int hidden_global_state() {
+  std::srand(42);                         // expect-lint(std-rand)
+  int a = std::rand();                    // expect-lint(std-rand)
+  int b = rand() % 6;                     // expect-lint(std-rand)
+  return a + b;
+}
+
+long wall_clock_reads() {
+  long t = time(nullptr);                 // expect-lint(wall-clock)
+  t += std::time(nullptr);                // expect-lint(wall-clock)
+  t += clock();                           // expect-lint(wall-clock)
+  auto n = std::chrono::system_clock::now();  // expect-lint(wall-clock)
+  auto h = std::chrono::high_resolution_clock::now();  // expect-lint(wall-clock)
+  return t + n.time_since_epoch().count() + h.time_since_epoch().count();
+}
+
+unsigned nondeterministic_seed() {
+  std::random_device rd;                  // expect-lint(random-device)
+  return rd();
+}
+
+double raw_engines() {
+  std::mt19937_64 gen;                    // expect-lint(raw-engine)
+  std::mt19937 gen32{123};                // expect-lint(raw-engine)
+  std::default_random_engine basic;       // expect-lint(raw-engine)
+  return static_cast<double>(gen() + gen32() + basic());
+}
+
+struct Book {
+  std::unordered_map<int, double> table_;
+
+  double sum_in_arbitrary_order() const {
+    double s = 0;
+    for (const auto& [k, v] : table_) {   // expect-lint(unordered-iteration)
+      s += v * k;
+    }
+    return s;
+  }
+};

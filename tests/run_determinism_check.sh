@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Regression check: simulation artifacts are a pure function of the spec.
+#
+# Runs the Figure 2 harness twice at reduced scale -- once on a single
+# worker, once on four -- and requires the two --json artifacts to be
+# byte-identical. Catches both run-to-run nondeterminism (two separate
+# processes must agree) and any dependence of results on worker count or
+# completion order in the SweepRunner pool.
+#
+# Usage: tests/run_determinism_check.sh FIG02_BINARY [scratch-dir]
+set -euo pipefail
+
+if [[ $# -lt 1 ]]; then
+  echo "usage: $0 FIG02_BINARY [scratch-dir]" >&2
+  exit 2
+fi
+
+BIN="$1"
+SCRATCH="${2:-$(mktemp -d)}"
+mkdir -p "$SCRATCH"
+
+EAC_SCALE=0.05 EAC_THREADS=1 "$BIN" --json="$SCRATCH/threads1.json" >/dev/null
+EAC_SCALE=0.05 EAC_THREADS=4 "$BIN" --json="$SCRATCH/threads4.json" >/dev/null
+
+if ! cmp "$SCRATCH/threads1.json" "$SCRATCH/threads4.json"; then
+  echo "determinism check FAILED: artifacts differ between 1 and 4 workers" >&2
+  diff "$SCRATCH/threads1.json" "$SCRATCH/threads4.json" | head -20 >&2 || true
+  exit 1
+fi
+
+echo "determinism check passed: byte-identical artifacts (1 vs 4 workers)"

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Tier-2: build and run the test suite under a sanitizer.
+#
+# Usage: tests/run_sanitized.sh SANITIZER [build-dir]
+#
+#   SANITIZER  thread | address | undefined | address,undefined
+#   build-dir  defaults to build-<sanitizer> (commas become dashes)
+#
+# The value is passed straight to -fsanitize=, so comma-joined lists work
+# wherever the toolchain accepts them (ASan+UBSan in one pass).
+#
+#   thread     rebuilds and runs only the thread-pool-facing tests: the
+#              SweepRunner pool is the sole concurrency in the codebase,
+#              and the TSan build ~10x's runtime, so the serial tests add
+#              cost but no coverage.
+#   address /  full build, full ctest: every test is a memory-error
+#   undefined  detector at normal (~2x) slowdown.
+#
+# Not part of tier-1 ctest because each variant doubles build time; CI
+# runs thread and address,undefined as separate jobs (.github/workflows).
+set -euo pipefail
+
+if [[ $# -lt 1 ]]; then
+  echo "usage: $0 thread|address|undefined|address,undefined [build-dir]" >&2
+  exit 2
+fi
+
+SAN="$1"
+cd "$(dirname "$0")/.."
+BUILD_DIR="${2:-build-${SAN//,/-}}"
+
+cmake -B "$BUILD_DIR" -S . -DEAC_SANITIZE="$SAN" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+
+case "$SAN" in
+  thread)
+    cmake --build "$BUILD_DIR" \
+      --target parallel_test scenario_test simulator_stress_test -j "$(nproc)"
+    TSAN_OPTIONS="halt_on_error=1" "$BUILD_DIR/tests/parallel_test"
+    TSAN_OPTIONS="halt_on_error=1" "$BUILD_DIR/tests/simulator_stress_test"
+    TSAN_OPTIONS="halt_on_error=1" "$BUILD_DIR/tests/scenario_test" \
+      --gtest_filter='*ResultsAreSane*'
+    ;;
+  *)
+    cmake --build "$BUILD_DIR" -j "$(nproc)"
+    ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+    UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+      ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+    ;;
+esac
+
+echo "Sanitizer run ($SAN) clean."

@@ -1,24 +1,6 @@
 #!/usr/bin/env bash
-# Tier-2: build and run the thread-pool-facing tests under ThreadSanitizer.
-#
-# The SweepRunner pool is the only concurrency in the codebase; this
-# harness rebuilds the scenario/parallel tests with -fsanitize=thread and
-# runs them, so data races in the pool or in anything a worker touches
-# surface as hard failures. Not part of tier-1 ctest because the TSan
-# build doubles build time and ~10x's run time.
+# Back-compat shim: the TSan harness is now one mode of run_sanitized.sh.
 #
 # Usage: tests/run_tsan.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
-
-cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build-tsan}"
-
-cmake -B "$BUILD_DIR" -S . -DEAC_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD_DIR" --target parallel_test scenario_test simulator_stress_test -j "$(nproc)"
-
-TSAN_OPTIONS="halt_on_error=1" "$BUILD_DIR/tests/parallel_test"
-TSAN_OPTIONS="halt_on_error=1" "$BUILD_DIR/tests/simulator_stress_test"
-TSAN_OPTIONS="halt_on_error=1" "$BUILD_DIR/tests/scenario_test" \
-  --gtest_filter='*ResultsAreSane*'
-
-echo "TSan run clean."
+exec "$(dirname "$0")/run_sanitized.sh" thread "${1:-build-tsan}"
