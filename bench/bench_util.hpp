@@ -15,10 +15,12 @@
 #include <vector>
 
 #include "eac/config.hpp"
+#include "scenario/builder.hpp"
 #include "scenario/parallel.hpp"
 #include "scenario/report.hpp"
 #include "scenario/runner.hpp"
 #include "scenario/scale.hpp"
+#include "telemetry/telemetry.hpp"
 #include "traffic/catalog.hpp"
 #include "traffic/trace.hpp"
 
@@ -127,8 +129,20 @@ inline void apply_thread_flag(int argc, char** argv) {
   }
 }
 
+/// Destination of the `--telemetry=PATH` artifact; empty when disabled.
+inline std::string& telemetry_path() {
+  static std::string p;
+  return p;
+}
+inline std::string& bench_name() {
+  static std::string n;
+  return n;
+}
+
 /// Shared bench flag handling: `--threads N|--threads=N` sizes the sweep
-/// pool, `--json PATH|--json=PATH` arms the structured artifact sink.
+/// pool, `--json PATH|--json=PATH` arms the structured artifact sink,
+/// `--telemetry PATH|--telemetry=PATH` arms the time-series recorder for
+/// one representative serial run (see maybe_telemetry_run).
 /// Call first thing in every bench main().
 inline void init(int argc, char** argv) {
   apply_thread_flag(argc, argv);
@@ -139,12 +153,57 @@ inline void init(int argc, char** argv) {
       json_path = a.substr(7);
     } else if (a == "--json" && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (a.rfind("--telemetry=", 0) == 0) {
+      telemetry_path() = a.substr(12);
+    } else if (a == "--telemetry" && i + 1 < argc) {
+      telemetry_path() = argv[++i];
     }
   }
-  if (json_path.empty()) return;
   const char* base = argv[0];
   if (const char* slash = std::strrchr(base, '/')) base = slash + 1;
-  JsonReport::instance().open(std::move(json_path), base);
+  bench_name() = base;
+  if (!json_path.empty()) {
+    JsonReport::instance().open(std::move(json_path), bench_name());
+  }
+}
+
+/// When `--telemetry=PATH` was given, re-run `spec` serially on this
+/// thread under a telemetry Recorder and write
+/// {"bench":..., "spec":..., "result":...} to PATH. Sweeps fan their
+/// points across worker threads (which never record), so the artifact
+/// comes from one representative run rather than slowing the whole sweep.
+/// The sampling cadence honours EAC_TELEMETRY_PERIOD (seconds).
+inline void maybe_telemetry_run(const scenario::ScenarioSpec& spec) {
+  if (telemetry_path().empty()) return;
+#if EAC_TELEMETRY_ENABLED
+  telemetry::Config tcfg;
+  if (const char* period = std::getenv("EAC_TELEMETRY_PERIOD")) {
+    const double p = std::strtod(period, nullptr);
+    if (p > 0) tcfg.sample_period_s = p;
+  }
+  telemetry::Recorder recorder{tcfg};
+  telemetry::Scope scope{recorder};
+  const scenario::ScenarioResult res = scenario::run_scenario(spec);
+  scenario::JsonWriter w;
+  w.object_begin()
+      .field("bench", bench_name())
+      .field_raw("spec", scenario::to_json(spec))
+      .field_raw("result", scenario::to_json(res))
+      .object_end();
+  if (!scenario::write_json_file(telemetry_path(), w.str())) {
+    std::fprintf(stderr, "bench: cannot write %s\n",
+                 telemetry_path().c_str());
+  }
+#else
+  std::fprintf(stderr,
+               "bench: --telemetry ignored: built with -DEAC_TELEMETRY=OFF\n");
+#endif
+}
+
+/// Convenience overload: representative single-link run of a RunConfig.
+inline void maybe_telemetry_run(const scenario::RunConfig& cfg) {
+  if (telemetry_path().empty()) return;
+  maybe_telemetry_run(scenario::single_link_spec(cfg));
 }
 
 /// The four §3.1 prototype designs in the paper's presentation order.

@@ -17,5 +17,6 @@ int main(int argc, char** argv) {
   bench::print_scale_banner(scale);
   scenario::RunConfig base = bench::onoff_run(traffic::exp1(), 3.5, scale);
   bench::sweep_designs_and_mbac(base, scale);
+  bench::maybe_telemetry_run(base);
   return 0;
 }

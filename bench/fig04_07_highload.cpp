@@ -62,5 +62,15 @@ int main(int argc, char** argv) {
                       }});
   }
   bench::run_sweep(std::move(points), scale.seeds);
+  // Representative telemetry run: the thrash-prone point (simple probing,
+  // in-band dropping, 400 % offered load) — the probe.thrash_rejects and
+  // probe.loss_fraction series are the interesting ones here.
+  {
+    scenario::RunConfig run = base;
+    run.policy = scenario::PolicyKind::kEndpoint;
+    run.eac = drop_in_band();
+    run.eac.algo = ProbeAlgo::kSimple;
+    bench::maybe_telemetry_run(run);
+  }
   return 0;
 }

@@ -12,29 +12,43 @@
 // probing predicts. Run with `--json -` to dump the structured result.
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "scenario/builder.hpp"
 #include "scenario/report.hpp"
+#include "telemetry/telemetry.hpp"
 #include "traffic/catalog.hpp"
 
 int main(int argc, char** argv) {
   using namespace eac;
   using namespace eac::scenario;
 
-  std::string json_path;
+  std::string json_path, telemetry_path;
   double duration = 500, warmup = 150;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--json=", 7) == 0) {
       json_path = argv[i] + 7;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--telemetry=", 12) == 0) {
+      telemetry_path = argv[i] + 12;
+    } else if (std::strcmp(argv[i], "--telemetry") == 0 && i + 1 < argc) {
+      telemetry_path = argv[++i];
     } else if (std::strcmp(argv[i], "--duration") == 0 && i + 1 < argc) {
       duration = std::stod(argv[++i]);
     } else if (std::strcmp(argv[i], "--warmup") == 0 && i + 1 < argc) {
       warmup = std::stod(argv[++i]);
     }
   }
+#if !EAC_TELEMETRY_ENABLED
+  if (!telemetry_path.empty()) {
+    std::fprintf(stderr,
+                 "custom_topology: --telemetry ignored: built with "
+                 "-DEAC_TELEMETRY=OFF\n");
+    telemetry_path.clear();
+  }
+#endif
 
   ScenarioSpec spec;
   spec.name = "hetero-backbone-5hop";
@@ -92,6 +106,15 @@ int main(int argc, char** argv) {
   }
   std::printf("(%zu links)\n", route.size());
 
+  // Record the run itself when asked: recording never perturbs results,
+  // so the printed numbers are identical with or without --telemetry.
+#if EAC_TELEMETRY_ENABLED
+  telemetry::Recorder recorder;
+  std::unique_ptr<telemetry::Scope> scope;
+  if (!telemetry_path.empty()) {
+    scope = std::make_unique<telemetry::Scope>(recorder);
+  }
+#endif
   const ScenarioResult r = run_scenario(spec);
 
   std::printf("%-10s %12s %12s\n", "hop", "rate(Mbps)", "utilization");
@@ -117,6 +140,17 @@ int main(int argc, char** argv) {
         .object_end();
     if (!write_json_file(json_path, w.str())) {
       std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
+  if (!telemetry_path.empty()) {
+    JsonWriter w;
+    w.object_begin()
+        .field_raw("spec", to_json(spec))
+        .field_raw("result", to_json(r))
+        .object_end();
+    if (!write_json_file(telemetry_path, w.str())) {
+      std::fprintf(stderr, "cannot write %s\n", telemetry_path.c_str());
       return 1;
     }
   }

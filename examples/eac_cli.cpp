@@ -15,7 +15,10 @@
 #include <map>
 #include <string>
 
+#include "scenario/builder.hpp"
+#include "scenario/report.hpp"
 #include "scenario/runner.hpp"
+#include "telemetry/telemetry.hpp"
 #include "traffic/catalog.hpp"
 #include "traffic/trace.hpp"
 
@@ -41,7 +44,10 @@ void usage() {
       "  --duration X / --warmup X     run length / discarded prefix, s\n"
       "  --seeds N                     replications to average (1)\n"
       "  --seed N                      base RNG seed (1)\n"
-      "  --retries N / --backoff X     retry rejected flows (off)\n");
+      "  --retries N / --backoff X     retry rejected flows (off)\n"
+      "  --telemetry PATH              write time-series JSON of one run\n"
+      "                                ('-' = stdout; telemetry builds)\n"
+      "  --telemetry-period X          sampling cadence, sim-seconds (0.5)\n");
 }
 
 std::map<std::string, EacConfig> designs() {
@@ -142,6 +148,35 @@ int main(int argc, char** argv) {
   const int seeds = static_cast<int>(num("seeds", 1));
   const scenario::RunResult r =
       scenario::run_single_link_averaged(cfg, seeds > 0 ? seeds : 1);
+
+  const std::string telemetry_path = get("telemetry", "");
+  if (!telemetry_path.empty()) {
+#if EAC_TELEMETRY_ENABLED
+    // One recorded serial run of the base seed; the averaged numbers
+    // above are untouched (recording never perturbs results anyway).
+    telemetry::Config tcfg;
+    const double period = num("telemetry-period", 0);
+    if (period > 0) tcfg.sample_period_s = period;
+    telemetry::Recorder recorder{tcfg};
+    telemetry::Scope scope{recorder};
+    const scenario::ScenarioSpec spec = scenario::single_link_spec(cfg);
+    const scenario::ScenarioResult sres = scenario::run_scenario(spec);
+    scenario::JsonWriter w;
+    w.object_begin()
+        .field_raw("spec", scenario::to_json(spec))
+        .field_raw("result", scenario::to_json(sres))
+        .object_end();
+    if (!scenario::write_json_file(telemetry_path, w.str())) {
+      std::fprintf(stderr, "eac_cli: cannot write %s\n",
+                   telemetry_path.c_str());
+      return 1;
+    }
+#else
+    std::fprintf(stderr,
+                 "eac_cli: --telemetry ignored: built with "
+                 "-DEAC_TELEMETRY=OFF\n");
+#endif
+  }
 
   std::printf("policy        : %s\n",
               cfg.policy == scenario::PolicyKind::kMbac

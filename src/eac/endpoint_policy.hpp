@@ -8,6 +8,7 @@
 #include "eac/config.hpp"
 #include "eac/probe_session.hpp"
 #include "net/topology.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace eac {
 
@@ -16,7 +17,12 @@ namespace eac {
 class EndpointAdmission : public AdmissionPolicy {
  public:
   EndpointAdmission(sim::Simulator& sim, net::Topology& topo, EacConfig cfg)
-      : sim_{sim}, topo_{topo}, cfg_{cfg} {}
+      : sim_{sim}, topo_{topo}, cfg_{cfg} {
+    EAC_TEL(tel_active_ = telemetry::register_series(
+                "probe.active_sessions", telemetry::SeriesKind::kGaugeMax));
+    EAC_TEL(tel_thrash_ = telemetry::register_series(
+                "probe.thrash_rejects", telemetry::SeriesKind::kCounter));
+  }
 
   void request(const FlowSpec& spec,
                std::function<void(bool)> decide) override {
@@ -25,10 +31,20 @@ class EndpointAdmission : public AdmissionPolicy {
         sim_, cfg_, spec, topo_.node(spec.src), topo_.node(spec.dst),
         [this, id, decide = std::move(decide)](bool admitted) {
           probes_sent_ += sessions_.at(id)->probes_sent();
+          // A rejection delivered while other probes are still in flight
+          // is the paper's thrashing signature: concurrent probe traffic
+          // congesting the very path it is admission-testing.
+          EAC_TEL(if (!admitted && sessions_.size() > 1) telemetry::add(
+                      tel_thrash_, 1.0, sim_.now()));
           sessions_.erase(id);  // safe: verdict arrives via a fresh event
+          EAC_TEL(telemetry::set(tel_active_,
+                                 static_cast<double>(sessions_.size()),
+                                 sim_.now()));
           decide(admitted);
         });
     sessions_.emplace(id, std::move(session));
+    EAC_TEL(telemetry::set(tel_active_,
+                           static_cast<double>(sessions_.size()), sim_.now()));
   }
 
   const EacConfig& config() const { return cfg_; }
@@ -41,6 +57,8 @@ class EndpointAdmission : public AdmissionPolicy {
   EacConfig cfg_;
   std::unordered_map<net::FlowId, std::unique_ptr<ProbeSession>> sessions_;
   std::uint64_t probes_sent_ = 0;
+  EAC_TEL_ONLY(telemetry::SeriesId tel_active_ = telemetry::kNoSeries;)
+  EAC_TEL_ONLY(telemetry::SeriesId tel_thrash_ = telemetry::kNoSeries;)
 };
 
 }  // namespace eac

@@ -28,6 +28,14 @@ FlowManager::FlowManager(sim::Simulator& sim, net::Topology& topo,
   for (std::size_t i = 0; i < cfg_.classes.size(); ++i) {
     arrival_rng_.emplace_back(cfg_.seed, kArrivalStreamBase + i);
   }
+  EAC_TEL(tel_attempts_ = telemetry::register_series(
+              "flows.attempts", telemetry::SeriesKind::kCounter));
+  EAC_TEL(tel_admitted_ = telemetry::register_series(
+              "flows.admitted", telemetry::SeriesKind::kCounter));
+  EAC_TEL(tel_rejected_ = telemetry::register_series(
+              "flows.rejected", telemetry::SeriesKind::kCounter));
+  EAC_TEL(tel_active_ = telemetry::register_series(
+              "flows.active", telemetry::SeriesKind::kGaugeMax));
 }
 
 void FlowManager::start() {
@@ -64,6 +72,7 @@ void FlowManager::schedule_arrival(std::size_t class_idx) {
 }
 
 void FlowManager::on_arrival(std::size_t class_idx) {
+  EAC_TEL_EVENT_CATEGORY(kFlows);
   schedule_arrival(class_idx);  // renew the Poisson process
   attempt(class_idx, next_flow_++, 0);
 }
@@ -85,6 +94,11 @@ void FlowManager::attempt(std::size_t class_idx, net::FlowId id,
   policy_.request(spec, [this, class_idx, id, attempt_no](bool admitted) {
     const FlowClass& c = cfg_.classes[class_idx];
     stats_.record_decision(c.group, admitted);
+    // Counted at the verdict (not the request) so that at any sampling
+    // instant attempts == admitted + rejected holds exactly.
+    EAC_TEL(telemetry::add(tel_attempts_, 1.0, sim_.now()));
+    EAC_TEL(telemetry::add(admitted ? tel_admitted_ : tel_rejected_, 1.0,
+                           sim_.now()));
     if (admitted) {
       admit(c, id);
       return;
@@ -137,12 +151,15 @@ void FlowManager::admit(const FlowClass& cls, net::FlowId id) {
   topo_.node(cls.dst).attach_sink(id, flow.sink.get());
   flow.source->start();
   active_.emplace(id, std::move(flow));
+  EAC_TEL(telemetry::set(tel_active_, static_cast<double>(active_.size()),
+                         sim_.now()));
 
   const double life = lifetime_rng_.exponential(cfg_.mean_lifetime_s);
   sim_.schedule_after(sim::SimTime::seconds(life), [this, id] { depart(id); });
 }
 
 void FlowManager::depart(net::FlowId id) {
+  EAC_TEL_EVENT_CATEGORY(kFlows);
   auto it = active_.find(id);
   if (it == active_.end()) return;
   it->second.source->stop();
@@ -154,6 +171,9 @@ void FlowManager::depart(net::FlowId id) {
         if (iter == active_.end()) return;
         topo_.node(iter->second.dst).detach_sink(id);
         active_.erase(iter);
+        EAC_TEL(telemetry::set(tel_active_,
+                               static_cast<double>(active_.size()),
+                               sim_.now()));
       });
 }
 

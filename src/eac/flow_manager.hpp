@@ -12,6 +12,7 @@
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 #include "stats/flow_stats.hpp"
+#include "telemetry/telemetry.hpp"
 #include "traffic/onoff_source.hpp"
 #include "traffic/catalog.hpp"
 #include "traffic/trace.hpp"
@@ -85,6 +86,7 @@ class FlowManager {
     DataSink(sim::Simulator& sim, stats::FlowStats& stats, int group)
         : sim_{sim}, stats_{stats}, group_{group} {}
     void handle(net::Packet p) override {
+      EAC_TEL_EVENT_CATEGORY(kNet);  // data delivery = network work
       stats_.record_data_received(group_, p.ecn_marked);
       stats_.record_delay((sim_.now() - p.created).to_seconds());
     }
@@ -119,6 +121,10 @@ class FlowManager {
   std::uint64_t retries_ = 0;
   std::uint64_t gave_up_ = 0;
   std::unordered_map<net::FlowId, ActiveFlow> active_;
+  EAC_TEL_ONLY(telemetry::SeriesId tel_attempts_ = telemetry::kNoSeries;)
+  EAC_TEL_ONLY(telemetry::SeriesId tel_admitted_ = telemetry::kNoSeries;)
+  EAC_TEL_ONLY(telemetry::SeriesId tel_rejected_ = telemetry::kNoSeries;)
+  EAC_TEL_ONLY(telemetry::SeriesId tel_active_ = telemetry::kNoSeries;)
 };
 
 }  // namespace eac

@@ -47,6 +47,13 @@ ProbeSession::ProbeSession(sim::Simulator& sim, const EacConfig& cfg,
         static_cast<std::uint64_t>(stage_rate(i) * pkts_per_byte_rate);
   }
 
+  EAC_TEL(tel_loss_ = telemetry::register_series(
+              "probe.loss_fraction", telemetry::SeriesKind::kMean));
+  EAC_TEL(tel_sent_ = telemetry::register_series(
+              "probe.packets_sent", telemetry::SeriesKind::kCounter));
+  EAC_TEL(tel_loss_hist_ = telemetry::register_histogram(
+              "probe.loss_fraction", 0.0, 1.0, 20));
+
   dst_node_.attach_sink(spec_.flow, this);
   start_stage(0);
   if (cfg_.algo == ProbeAlgo::kSimple) abort_check();
@@ -87,6 +94,7 @@ void ProbeSession::start_stage(int stage) {
 }
 
 void ProbeSession::end_stage(int stage) {
+  EAC_TEL_EVENT_CATEGORY(kProbe);
   if (finished_) return;
   auto& s = stages_[static_cast<std::size_t>(stage)];
   s.sent = sender_->packets_sent() - s.first_seq;
@@ -112,6 +120,7 @@ double ProbeSession::signal_fraction(const Stage& s) const {
 }
 
 void ProbeSession::judge_stage(int stage) {
+  EAC_TEL_EVENT_CATEGORY(kProbe);
   if (finished_) return;
   // Each stage is judged on its own loss/mark percentage, exactly as the
   // paper describes ("if in any second-long interval the loss percentage
@@ -130,6 +139,7 @@ void ProbeSession::judge_stage(int stage) {
 }
 
 void ProbeSession::abort_check() {
+  EAC_TEL_EVENT_CATEGORY(kProbe);
   if (finished_) return;
   // Packets sent at least `decision_lag` ago should have arrived; anything
   // older and missing is lost. If losses already exceed the whole-probe
@@ -150,6 +160,7 @@ void ProbeSession::abort_check() {
 }
 
 void ProbeSession::handle(net::Packet p) {
+  EAC_TEL_EVENT_CATEGORY(kProbe);
   if (finished_) return;
   ++total_received_;
   if (p.ecn_marked) ++total_marked_;
@@ -170,6 +181,25 @@ void ProbeSession::handle(net::Packet p) {
 void ProbeSession::finish(bool admitted) {
   if (finished_) return;
   finished_ = true;
+#if EAC_TELEMETRY_ENABLED
+  // Whole-session signal fraction: what the probing endpoint experienced,
+  // regardless of which stage triggered the verdict.
+  {
+    const std::uint64_t sent = sender_->packets_sent();
+    if (sent > 0) {
+      double bad =
+          static_cast<double>(sent) - static_cast<double>(total_received_);
+      if (bad < 0) bad = 0;
+      if (cfg_.signal == SignalType::kMark) {
+        bad += static_cast<double>(total_marked_);
+      }
+      const double frac = bad / static_cast<double>(sent);
+      telemetry::set(tel_loss_, frac, sim_.now());
+      telemetry::observe(tel_loss_hist_, frac);
+      telemetry::add(tel_sent_, static_cast<double>(sent), sim_.now());
+    }
+  }
+#endif
   sender_->stop();
   dst_node_.detach_sink(spec_.flow);
   if (abort_timer_ != 0) {

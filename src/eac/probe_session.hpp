@@ -18,6 +18,7 @@
 #include "eac/config.hpp"
 #include "net/node.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/telemetry.hpp"
 #include "traffic/burst_source.hpp"
 #include "traffic/cbr_source.hpp"
 
@@ -74,6 +75,9 @@ class ProbeSession : public net::PacketHandler {
   sim::EventId abort_timer_ = 0;
   std::vector<sim::EventId> pending_events_;  ///< stage end/judge timers
   bool finished_ = false;
+  EAC_TEL_ONLY(telemetry::SeriesId tel_loss_ = telemetry::kNoSeries;)
+  EAC_TEL_ONLY(telemetry::SeriesId tel_sent_ = telemetry::kNoSeries;)
+  EAC_TEL_ONLY(telemetry::HistogramId tel_loss_hist_ = telemetry::kNoSeries;)
 };
 
 }  // namespace eac

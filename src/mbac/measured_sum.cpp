@@ -9,11 +9,15 @@ MeasuredSumEstimator::MeasuredSumEstimator(sim::Simulator& sim,
                                            MeasuredSumConfig cfg)
     : sim_{sim}, link_{link}, cfg_{cfg} {
   window_.assign(static_cast<std::size_t>(cfg_.window_samples), 0.0);
+  EAC_TEL(tel_estimate_ = telemetry::register_series(
+              "mbac." + link_.name() + ".estimate_bps",
+              telemetry::SeriesKind::kGaugeLast));
   sim_.schedule_after(sim::SimTime::seconds(cfg_.sample_period_s),
                       [this] { sample(); });
 }
 
 void MeasuredSumEstimator::sample() {
+  EAC_TEL_EVENT_CATEGORY(kMbac);
   const std::uint64_t bytes =
       link_.counters().bytes(net::PacketType::kData);
   const double rate =
@@ -25,6 +29,7 @@ void MeasuredSumEstimator::sample() {
   // Once a full window has elapsed since the last burst of admissions, the
   // measurement reflects those flows; drop the boost.
   if (samples_taken_ % window_.size() == 0) boost_bps_ = 0;
+  EAC_TEL(telemetry::set(tel_estimate_, estimate_bps(), sim_.now()));
   sim_.schedule_after(sim::SimTime::seconds(cfg_.sample_period_s),
                       [this] { sample(); });
 }

@@ -15,6 +15,7 @@
 
 #include "net/link.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace eac::mbac {
 
@@ -54,6 +55,7 @@ class MeasuredSumEstimator {
   std::uint64_t samples_taken_ = 0;
   std::uint64_t last_bytes_ = 0;
   double boost_bps_ = 0;
+  EAC_TEL_ONLY(telemetry::SeriesId tel_estimate_ = telemetry::kNoSeries;)
 };
 
 }  // namespace eac::mbac

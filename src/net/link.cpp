@@ -10,13 +10,22 @@ Link::Link(sim::Simulator& sim, std::string name, double rate_bps,
       name_{std::move(name)},
       rate_bps_{rate_bps},
       prop_delay_{prop_delay},
-      queue_{std::move(queue)} {}
+      queue_{std::move(queue)} {
+  // Label only the outermost (link-owned) queue: decorators read through
+  // to inner disciplines, so labelling deeper levels would double-count.
+  EAC_TEL(queue_->enable_telemetry(name_));
+  EAC_TEL(tel_tx_bytes_ = telemetry::register_series(
+              name_ + ".tx.bytes", telemetry::SeriesKind::kCounter));
+  EAC_TEL(tel_tx_data_bytes_ = telemetry::register_series(
+              name_ + ".tx.data_bytes", telemetry::SeriesKind::kCounter));
+}
 
 void Link::handle(Packet p) {
   if (queue_->enqueue(p, sim_.now()) && !busy_) try_transmit();
 }
 
 void Link::try_transmit() {
+  EAC_TEL_EVENT_CATEGORY(kNet);
   if (busy_ || queue_->empty()) return;
   const sim::SimTime now = sim_.now();
   const sim::SimTime ready = queue_->next_ready(now);
@@ -51,8 +60,14 @@ void Link::try_transmit() {
 }
 
 void Link::on_tx_complete(Packet p) {
+  EAC_TEL_EVENT_CATEGORY(kNet);
   busy_ = false;
   all_.count(p);
+  EAC_TEL(telemetry::add(tel_tx_bytes_, static_cast<double>(p.size_bytes),
+                         sim_.now()));
+  EAC_TEL(if (p.type == PacketType::kData) telemetry::add(
+              tel_tx_data_bytes_, static_cast<double>(p.size_bytes),
+              sim_.now()));
   if (measuring_) measured_.count(p);
   if (tx_observer_) tx_observer_(p, sim_.now());
   if (dst_ != nullptr) {

@@ -94,6 +94,8 @@ class Link : public PacketHandler {
   sim::SimTime measure_start_;
   LinkCounters all_;
   LinkCounters measured_;
+  EAC_TEL_ONLY(telemetry::SeriesId tel_tx_bytes_ = telemetry::kNoSeries;)
+  EAC_TEL_ONLY(telemetry::SeriesId tel_tx_data_bytes_ = telemetry::kNoSeries;)
   EAC_AUDIT_ONLY(std::uint64_t audit_in_flight_ = 0;)
   std::function<void(const Packet&, sim::SimTime)> tx_observer_;
 };

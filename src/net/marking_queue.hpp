@@ -28,6 +28,15 @@ class MarkingQueue : public QueueDisc {
   const QueueDisc& inner() const { return *inner_; }
   const VirtualQueueMarker& marker() const { return marker_; }
 
+#if EAC_TELEMETRY_ENABLED
+  void enable_telemetry(std::string_view label) override {
+    // The decorator reports the stack's occupancy/drops (it reads through
+    // to the inner queue), so only this level is labelled.
+    QueueDisc::enable_telemetry(label);
+    marker_.enable_telemetry(label);
+  }
+#endif
+
  protected:
   bool do_enqueue(Packet p, sim::SimTime now) override {
     if (p.ecn_capable && marker_.on_arrival(p, now)) p.ecn_marked = true;

@@ -1,6 +1,7 @@
 #include "net/node.hpp"
 
 #include "sim/audit.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace eac::net {
 
@@ -23,6 +24,9 @@ void Node::handle(Packet p) {
     it->second->handle(p);
     return;
   }
+  // Forwarding is network work; local deliveries stay untagged so the
+  // receiving sink can claim the event (probe receives profile as probe).
+  EAC_TEL_EVENT_CATEGORY(kNet);
   PacketHandler* next = p.dst < routes_.size() ? routes_[p.dst] : nullptr;
   if (next == nullptr) {
     EAC_AUDIT_COUNT(packets_delivered, 1);

@@ -2,6 +2,49 @@
 
 namespace eac::net {
 
+#if EAC_TELEMETRY_ENABLED
+void QueueDisc::enable_telemetry(std::string_view label) {
+  const std::string base{label};
+  tel_packets_ =
+      telemetry::register_series(base + ".queue.packets",
+                                 telemetry::SeriesKind::kGaugeMax);
+  tel_bytes_ = telemetry::register_series(base + ".queue.bytes",
+                                          telemetry::SeriesKind::kGaugeMax);
+  tel_drop_data_ = telemetry::register_series(
+      base + ".drop.data", telemetry::SeriesKind::kCounter);
+  tel_drop_probe_ = telemetry::register_series(
+      base + ".drop.probe", telemetry::SeriesKind::kCounter);
+  tel_drop_be_ = telemetry::register_series(
+      base + ".drop.best_effort", telemetry::SeriesKind::kCounter);
+  tel_reported_drops_ = QueueDropStats{};
+}
+
+void QueueDisc::tel_sample(sim::SimTime now) const {
+  if (tel_packets_ == telemetry::kNoSeries) return;
+  telemetry::set(tel_packets_, static_cast<double>(packet_count()), now);
+  telemetry::set(tel_bytes_, static_cast<double>(byte_count()), now);
+  const QueueDropStats& d = drops();
+  if (d.data != tel_reported_drops_.data) {
+    telemetry::add(tel_drop_data_,
+                   static_cast<double>(d.data - tel_reported_drops_.data), now);
+    tel_reported_drops_.data = d.data;
+  }
+  if (d.probe != tel_reported_drops_.probe) {
+    telemetry::add(tel_drop_probe_,
+                   static_cast<double>(d.probe - tel_reported_drops_.probe),
+                   now);
+    tel_reported_drops_.probe = d.probe;
+  }
+  if (d.best_effort != tel_reported_drops_.best_effort) {
+    telemetry::add(
+        tel_drop_be_,
+        static_cast<double>(d.best_effort - tel_reported_drops_.best_effort),
+        now);
+    tel_reported_drops_.best_effort = d.best_effort;
+  }
+}
+#endif  // EAC_TELEMETRY_ENABLED
+
 bool DropTailQueue::do_enqueue(Packet p, sim::SimTime /*now*/) {
   if (q_.size() >= limit_) {
     record_drop(p);

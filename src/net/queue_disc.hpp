@@ -14,11 +14,13 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "net/packet.hpp"
 #include "net/packet_pool.hpp"
 #include "sim/audit.hpp"
 #include "sim/time.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace eac::net {
 
@@ -61,9 +63,12 @@ class QueueDisc {
       audit_rejected_bytes_ += p.size_bytes;
     }
     audit_verify_ledger("enqueue");
+    EAC_TEL(tel_sample(now));
     return accepted;
 #else
-    return do_enqueue(p, now);
+    const bool accepted = do_enqueue(p, now);
+    EAC_TEL(tel_sample(now));
+    return accepted;
 #endif
   }
 
@@ -76,9 +81,12 @@ class QueueDisc {
       audit_dequeued_bytes_ += p->size_bytes;
     }
     audit_verify_ledger("dequeue");
+    EAC_TEL(tel_sample(now));
     return p;
 #else
-    return do_dequeue(now);
+    std::optional<Packet> p = do_dequeue(now);
+    EAC_TEL(tel_sample(now));
+    return p;
 #endif
   }
 
@@ -98,6 +106,14 @@ class QueueDisc {
   /// to the discipline that actually drops.
   virtual const QueueDropStats& drops() const { return drops_; }
 
+#if EAC_TELEMETRY_ENABLED
+  /// Opt this queue into telemetry under the given label (the owning
+  /// link's name). Only the outermost queue a Link owns is labelled, so
+  /// decorator stacks never double-report; decorators extend this to
+  /// register their own series (marks, virtual backlog) as well.
+  virtual void enable_telemetry(std::string_view label);
+#endif
+
  protected:
   /// Subclass hooks behind the audited public entry points.
   virtual bool do_enqueue(Packet p, sim::SimTime now) = 0;
@@ -113,6 +129,23 @@ class QueueDisc {
   }
 
  private:
+#if EAC_TELEMETRY_ENABLED
+  /// Record occupancy and cumulative per-class drops into the current
+  /// recorder. Called from the enqueue()/dequeue() shells after the
+  /// discipline acted; pure observation, so recorded and unrecorded runs
+  /// execute identically.
+  void tel_sample(sim::SimTime now) const;
+
+  telemetry::SeriesId tel_packets_ = telemetry::kNoSeries;
+  telemetry::SeriesId tel_bytes_ = telemetry::kNoSeries;
+  telemetry::SeriesId tel_drop_data_ = telemetry::kNoSeries;
+  telemetry::SeriesId tel_drop_probe_ = telemetry::kNoSeries;
+  telemetry::SeriesId tel_drop_be_ = telemetry::kNoSeries;
+  // Last cumulative drop counts already reported, so each sample emits
+  // only the delta and the exported counter stays a true cumulative.
+  mutable QueueDropStats tel_reported_drops_;
+#endif
+
 #if EAC_AUDIT_ENABLED
   /// Conservation identity for one queue: residents must equal accepted
   /// arrivals minus served packets minus push-out drops (total drops less

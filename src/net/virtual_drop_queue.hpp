@@ -37,6 +37,13 @@ class VirtualDropQueue : public QueueDisc {
 
   const VirtualQueueMarker& marker() const { return marker_; }
 
+#if EAC_TELEMETRY_ENABLED
+  void enable_telemetry(std::string_view label) override {
+    QueueDisc::enable_telemetry(label);
+    marker_.enable_telemetry(label);
+  }
+#endif
+
  protected:
   bool do_enqueue(Packet p, sim::SimTime now) override {
     const bool virtually_dropped = marker_.on_arrival(p, now);

@@ -7,6 +7,16 @@
 
 namespace eac::net {
 
+#if EAC_TELEMETRY_ENABLED
+void VirtualQueueMarker::enable_telemetry(std::string_view label) {
+  const std::string base{label};
+  tel_backlog_ = telemetry::register_series(
+      base + ".vq.backlog_bytes", telemetry::SeriesKind::kGaugeMax);
+  tel_marks_ = telemetry::register_series(base + ".vq.marks",
+                                          telemetry::SeriesKind::kCounter);
+}
+#endif
+
 void VirtualQueueMarker::drain(sim::SimTime now) {
   double budget = rate_bps_ / 8.0 * (now - last_).to_seconds();
   last_ = now;
@@ -41,6 +51,7 @@ bool VirtualQueueMarker::on_arrival(const Packet& p, sim::SimTime now) {
   const double size = static_cast<double>(p.size_bytes);
   if (total + size <= buffer_bytes_) {
     backlog_[p.band] += size;
+    EAC_TEL(telemetry::set(tel_backlog_, total + size, now));
     return false;
   }
   // Overflow. A packet may still claim space held by *lower*-priority
@@ -58,9 +69,16 @@ bool VirtualQueueMarker::on_arrival(const Packet& p, sim::SimTime now) {
       remaining -= cut;
     }
     backlog_[p.band] += size;
+    EAC_TEL({
+      double tel_total = 0;
+      for (double b : backlog_) tel_total += b;
+      telemetry::set(tel_backlog_, tel_total, now);
+    });
     return false;
   }
   ++marks_;
+  EAC_TEL(telemetry::add(tel_marks_, 1.0, now));
+  EAC_TEL(telemetry::set(tel_backlog_, total, now));
   return true;
 }
 

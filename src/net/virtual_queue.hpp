@@ -15,10 +15,12 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "net/packet.hpp"
 #include "sim/time.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace eac::net {
 
@@ -42,6 +44,11 @@ class VirtualQueueMarker {
 
   std::uint64_t marks() const { return marks_; }
 
+#if EAC_TELEMETRY_ENABLED
+  /// Register this marker's series under the owning link's label.
+  void enable_telemetry(std::string_view label);
+#endif
+
  private:
   void drain(sim::SimTime now);
 
@@ -50,6 +57,10 @@ class VirtualQueueMarker {
   std::vector<double> backlog_;
   sim::SimTime last_;
   std::uint64_t marks_ = 0;
+#if EAC_TELEMETRY_ENABLED
+  telemetry::SeriesId tel_backlog_ = telemetry::kNoSeries;
+  telemetry::SeriesId tel_marks_ = telemetry::kNoSeries;
+#endif
 };
 
 }  // namespace eac::net

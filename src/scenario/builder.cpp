@@ -13,6 +13,7 @@
 #include "net/virtual_drop_queue.hpp"
 #include "sim/audit.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace eac::scenario {
 
@@ -117,6 +118,12 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
   // of this run lands on this result's report (thread-local, so parallel
   // SweepRunner workers audit independently).
   sim::audit::Scope audit_scope{res.audit};
+#if EAC_TELEMETRY_ENABLED
+  // Reset the thread's recorder (if one is installed) before components
+  // are built: they register their series during construction.
+  telemetry::Recorder* tel = telemetry::current();
+  if (tel != nullptr) tel->begin_run();
+#endif
 
   sim::Simulator sim;
   net::Topology topo{sim};
@@ -216,6 +223,9 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
   res.total = stats.total();
   res.delay_p50_s = stats.delays().quantile(0.5);
   res.delay_p99_s = stats.delays().quantile(0.99);
+#if EAC_TELEMETRY_ENABLED
+  if (tel != nullptr) tel->export_into(res.telemetry, end);
+#endif
   return res;
 }
 

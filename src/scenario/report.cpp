@@ -203,6 +203,74 @@ std::string to_json(const sim::AuditReport& a) {
   return w.take();
 }
 
+std::string to_json(const telemetry::Report& t) {
+  JsonWriter w;
+  w.object_begin()
+      .field("sample_period_s", t.sample_period_s)
+      .key("series")
+      .array_begin();
+  for (const telemetry::SeriesReport& s : t.series) {
+    const char* kind = "counter";
+    switch (s.kind) {
+      case telemetry::SeriesKind::kCounter: kind = "counter"; break;
+      case telemetry::SeriesKind::kGaugeLast: kind = "gauge"; break;
+      case telemetry::SeriesKind::kGaugeMax: kind = "gauge_max"; break;
+      case telemetry::SeriesKind::kMean: kind = "mean"; break;
+    }
+    w.object_begin()
+        .field("name", s.name)
+        .field("kind", kind)
+        .field("point_period_s", s.point_period_s)
+        .key("points")
+        .array_begin();
+    for (double v : s.points) w.value(v);  // NaN serializes as null
+    w.array_end()
+        .key("summary")
+        .object_begin()
+        .field("min", s.min)
+        .field("max", s.max)
+        .field("mean", s.mean)
+        .field("p50", s.p50)
+        .field("p99", s.p99)
+        .field("final", s.final_value)
+        .object_end()
+        .object_end();
+  }
+  w.array_end().key("histograms").array_begin();
+  for (const telemetry::HistogramReport& h : t.histograms) {
+    w.object_begin()
+        .field("name", h.name)
+        .field("lo", h.lo)
+        .field("hi", h.hi)
+        .field("total", h.total)
+        .field("mean", h.mean)
+        .key("buckets")
+        .array_begin();
+    for (std::uint64_t b : h.buckets) w.value(b);
+    w.array_end().object_end();
+  }
+  w.array_end();
+  if (t.profiled) {
+    w.key("profile")
+        .object_begin()
+        .field("events", t.profile.events)
+        .field("max_pending", t.profile.max_pending)
+        .field("max_heap_entries", t.profile.max_heap_entries)
+        .key("categories")
+        .array_begin();
+    for (const telemetry::ProfileCategoryReport& c : t.profile.categories) {
+      w.object_begin()
+          .field("name", c.name)
+          .field("events", c.events)
+          .field("wall_ms", c.wall_ms)
+          .object_end();
+    }
+    w.array_end().object_end();
+  }
+  w.object_end();
+  return w.take();
+}
+
 std::string to_json(const RunResult& r) {
   JsonWriter w;
   w.object_begin()
@@ -250,6 +318,8 @@ std::string to_json(const ScenarioResult& r) {
   // Only audited runs carry the ledger; plain builds (and hand-built
   // results, e.g. goldens) keep the historical shape.
   if (r.audit.enabled) w.field_raw("audit", to_json(r.audit));
+  // Likewise, only recorded runs carry telemetry.
+  if (r.telemetry.enabled) w.field_raw("telemetry", to_json(r.telemetry));
   w.object_end();
   return w.take();
 }

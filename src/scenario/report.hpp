@@ -65,6 +65,11 @@ std::string to_json(const stats::GroupCounters& c);
 /// Conservation ledger of an audited run (-DEAC_AUDIT=ON).
 std::string to_json(const sim::AuditReport& a);
 
+/// Time-series telemetry of a recorded run (-DEAC_TELEMETRY=ON plus an
+/// installed Recorder). The "profile" section holds wall-clock times and
+/// is NOT deterministic; byte-comparing tooling must strip it.
+std::string to_json(const telemetry::Report& t);
+
 /// Per-run results. Shapes are stable (golden-tested in report_test).
 std::string to_json(const RunResult& r);
 std::string to_json(const MultiLinkResult& r);

@@ -20,6 +20,7 @@
 #include "sim/audit.hpp"
 #include "sim/time.hpp"
 #include "stats/flow_stats.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace eac::scenario {
 
@@ -119,6 +120,11 @@ struct ScenarioResult {
   double delay_p99_s = 0;
   std::uint64_t events = 0;
   sim::AuditReport audit;  ///< populated only in -DEAC_AUDIT=ON builds
+  /// Time-series telemetry; populated only when a telemetry::Recorder was
+  /// installed on the running thread (telemetry builds). Never feeds back
+  /// into the simulation: with `telemetry` cleared, a recorded run's
+  /// result is bit-identical to an unrecorded one.
+  telemetry::Report telemetry;
 
   double loss() const { return total.loss_probability(); }
   double blocking() const { return total.blocking_probability(); }

@@ -1,5 +1,7 @@
 #include "sim/simulator.hpp"
 
+#include "telemetry/telemetry.hpp"
+
 namespace eac::sim {
 
 std::uint32_t Simulator::grow_arena() {
@@ -12,6 +14,11 @@ std::uint32_t Simulator::grow_arena() {
 std::uint64_t Simulator::run(SimTime horizon) {
   stopped_ = false;
   std::uint64_t executed = 0;
+  // Resolved once per run: recording is per-thread and a run never
+  // migrates threads. The hooks below only observe — they never schedule
+  // events or touch simulation state, so a recorded run is bit-identical
+  // to an unrecorded one.
+  EAC_TEL_ONLY(telemetry::Recorder* tel = telemetry::current();)
   while (!stopped_ && !heap_.empty()) {
     const Entry top = heap_.front();
     Slot& s = slot(top.slot);
@@ -30,7 +37,9 @@ std::uint64_t Simulator::run(SimTime horizon) {
     invalidate_slot(s);
     --live_;
     now_ = top.time;
+    EAC_TEL(if (tel != nullptr) tel->event_begin());
     s.fn.invoke_and_dispose();
+    EAC_TEL(if (tel != nullptr) tel->event_end(now_, live_, heap_.size()));
     free_empty_slot(s, top.slot);
     ++executed;
 #if EAC_AUDIT_ENABLED

@@ -1,0 +1,290 @@
+#include "telemetry/telemetry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#if EAC_TELEMETRY_ENABLED
+// The profiler buckets *wall* time per event category. steady_clock is a
+// monotonic interval timer, not a wall-clock date source, and its readings
+// never feed back into simulation state — the determinism lint's
+// wall-clock rule (system_clock/high_resolution_clock) stays satisfied.
+#include <chrono>
+#endif
+
+namespace eac::telemetry {
+
+const char* category_name(Category c) {
+  switch (c) {
+    case Category::kTraffic: return "traffic";
+    case Category::kNet: return "net";
+    case Category::kProbe: return "probe";
+    case Category::kFlows: return "flows";
+    case Category::kMbac: return "mbac";
+    case Category::kOther: break;
+  }
+  return "other";
+}
+
+#if EAC_TELEMETRY_ENABLED
+
+namespace {
+
+thread_local Recorder* tl_recorder = nullptr;
+
+constexpr double kUnset = std::numeric_limits<double>::quiet_NaN();
+
+std::uint64_t wall_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Percentile over an already-sorted sample set (nearest-rank).
+double sorted_quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace
+
+Recorder* current() { return tl_recorder; }
+
+Recorder* exchange_current(Recorder* next) {
+  Recorder* prev = tl_recorder;
+  tl_recorder = next;
+  return prev;
+}
+
+Recorder::Recorder(Config cfg) : cfg_{cfg} {
+  if (cfg_.sample_period_s <= 0) cfg_.sample_period_s = 0.5;
+  if (cfg_.max_export_points == 0) cfg_.max_export_points = 240;
+}
+
+void Recorder::begin_run() {
+  series_.clear();
+  histograms_.clear();
+  events_ = 0;
+  max_pending_ = 0;
+  max_heap_ = 0;
+  for (std::size_t i = 0; i < kCategoryCount; ++i) {
+    cat_events_[i] = 0;
+    cat_wall_ns_[i] = 0;
+  }
+  event_category_ = Category::kOther;
+  pending_series_ = series("engine.pending_events", SeriesKind::kGaugeMax);
+}
+
+SeriesId Recorder::series(std::string_view name, SeriesKind kind) {
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    if (series_[i].name == name) return static_cast<SeriesId>(i);
+  }
+  Series s;
+  s.name = std::string{name};
+  s.kind = kind;
+  series_.push_back(std::move(s));
+  return static_cast<SeriesId>(series_.size() - 1);
+}
+
+HistogramId Recorder::histogram(std::string_view name, double lo, double hi,
+                                std::uint32_t buckets) {
+  for (std::size_t i = 0; i < histograms_.size(); ++i) {
+    if (histograms_[i].name == name) return static_cast<HistogramId>(i);
+  }
+  Histogram h;
+  h.name = std::string{name};
+  h.lo = lo;
+  h.hi = hi > lo ? hi : lo + 1;
+  h.buckets.assign(buckets > 0 ? buckets : 1, 0);
+  histograms_.push_back(std::move(h));
+  return static_cast<HistogramId>(histograms_.size() - 1);
+}
+
+std::size_t Recorder::bin_of(sim::SimTime t) const {
+  const double s = t.to_seconds();
+  if (s <= 0) return 0;
+  return static_cast<std::size_t>(s / cfg_.sample_period_s);
+}
+
+double* Recorder::bin_slot(Series& s, sim::SimTime t) {
+  const std::size_t bin = bin_of(t);
+  if (bin >= s.bins.size()) {
+    s.bins.resize(bin + 1, kUnset);
+    if (s.kind == SeriesKind::kMean) s.counts.resize(bin + 1, 0);
+  }
+  return &s.bins[bin];
+}
+
+void Recorder::add(SeriesId id, double delta, sim::SimTime t) {
+  Series& s = series_[id];
+  s.cum += delta;
+  *bin_slot(s, t) = s.cum;
+}
+
+void Recorder::set(SeriesId id, double value, sim::SimTime t) {
+  Series& s = series_[id];
+  double* slot = bin_slot(s, t);
+  switch (s.kind) {
+    case SeriesKind::kCounter:  // set() on a counter: treat as kGaugeLast
+    case SeriesKind::kGaugeLast:
+      *slot = value;
+      break;
+    case SeriesKind::kGaugeMax:
+      *slot = std::isnan(*slot) ? value : std::max(*slot, value);
+      break;
+    case SeriesKind::kMean: {
+      const std::size_t bin = static_cast<std::size_t>(slot - s.bins.data());
+      *slot = std::isnan(*slot) ? value : *slot + value;
+      ++s.counts[bin];
+      break;
+    }
+  }
+}
+
+void Recorder::observe(HistogramId id, double value) {
+  Histogram& h = histograms_[id];
+  ++h.total;
+  h.sum += value;
+  const double pos = (value - h.lo) / (h.hi - h.lo) *
+                     static_cast<double>(h.buckets.size());
+  std::size_t idx = pos <= 0 ? 0 : static_cast<std::size_t>(pos);
+  if (idx >= h.buckets.size()) idx = h.buckets.size() - 1;
+  ++h.buckets[idx];
+}
+
+void Recorder::event_begin() {
+  event_category_ = Category::kOther;
+  if (cfg_.profile) event_t0_ns_ = wall_now_ns();
+}
+
+void Recorder::event_end(sim::SimTime now, std::size_t pending,
+                         std::size_t heap) {
+  ++events_;
+  if (pending > max_pending_) max_pending_ = pending;
+  if (heap > max_heap_) max_heap_ = heap;
+  const auto cat = static_cast<std::size_t>(event_category_);
+  ++cat_events_[cat];
+  if (cfg_.profile) cat_wall_ns_[cat] += wall_now_ns() - event_t0_ns_;
+  set(pending_series_, static_cast<double>(pending), now);
+}
+
+void Recorder::export_into(Report& out, sim::SimTime end) const {
+  out = Report{};
+  out.enabled = true;
+  out.sample_period_s = cfg_.sample_period_s;
+
+  double end_s = end.to_seconds();
+  if (end_s <= 0) end_s = cfg_.sample_period_s;
+  std::size_t nbins =
+      static_cast<std::size_t>(std::ceil(end_s / cfg_.sample_period_s));
+  if (nbins == 0) nbins = 1;
+  const std::size_t merge = (nbins + cfg_.max_export_points - 1) /
+                            cfg_.max_export_points;
+  const std::size_t npoints = (nbins + merge - 1) / merge;
+
+  for (const Series& s : series_) {
+    SeriesReport r;
+    r.name = s.name;
+    r.kind = s.kind;
+    r.point_period_s = cfg_.sample_period_s * static_cast<double>(merge);
+    r.points.reserve(npoints);
+
+    // Walk the raw bins once, folding `merge` bins into each point.
+    // Counters and gauges carry their last value across untouched bins
+    // (state persists between observations); mean series leave idle
+    // points as NaN (there was nothing to average).
+    double carry = s.kind == SeriesKind::kCounter ? 0 : kUnset;
+    for (std::size_t p = 0; p < npoints; ++p) {
+      const std::size_t lo = p * merge;
+      const std::size_t hi = std::min(lo + merge, nbins);
+      double point = kUnset;
+      double mean_sum = 0;
+      std::uint64_t mean_n = 0;
+      for (std::size_t b = lo; b < hi; ++b) {
+        const double v = b < s.bins.size() ? s.bins[b] : kUnset;
+        if (std::isnan(v)) continue;
+        switch (s.kind) {
+          case SeriesKind::kCounter:
+          case SeriesKind::kGaugeLast:
+            point = v;
+            break;
+          case SeriesKind::kGaugeMax:
+            point = std::isnan(point) ? v : std::max(point, v);
+            break;
+          case SeriesKind::kMean:
+            mean_sum += v;
+            mean_n += s.counts[b];
+            break;
+        }
+      }
+      if (s.kind == SeriesKind::kMean) {
+        r.points.push_back(mean_n > 0 ? mean_sum / static_cast<double>(mean_n)
+                                      : kUnset);
+        continue;
+      }
+      if (std::isnan(point)) point = carry;
+      carry = point;
+      r.points.push_back(point);
+    }
+
+    // Summary. Counters summarize per-point increments (activity rate);
+    // everything else summarizes the point values themselves.
+    std::vector<double> sample;
+    sample.reserve(r.points.size());
+    if (s.kind == SeriesKind::kCounter) {
+      double prev = 0;
+      for (double v : r.points) {
+        if (std::isnan(v)) continue;
+        sample.push_back(v - prev);
+        prev = v;
+      }
+      r.final_value = s.cum;
+    } else {
+      for (double v : r.points) {
+        if (!std::isnan(v)) sample.push_back(v);
+      }
+      r.final_value = sample.empty() ? 0 : sample.back();
+    }
+    if (!sample.empty()) {
+      std::sort(sample.begin(), sample.end());
+      r.min = sample.front();
+      r.max = sample.back();
+      double sum = 0;
+      for (double v : sample) sum += v;
+      r.mean = sum / static_cast<double>(sample.size());
+      r.p50 = sorted_quantile(sample, 0.5);
+      r.p99 = sorted_quantile(sample, 0.99);
+    }
+    out.series.push_back(std::move(r));
+  }
+
+  for (const Histogram& h : histograms_) {
+    HistogramReport r;
+    r.name = h.name;
+    r.lo = h.lo;
+    r.hi = h.hi;
+    r.total = h.total;
+    r.mean = h.total > 0 ? h.sum / static_cast<double>(h.total) : 0;
+    r.buckets = h.buckets;
+    out.histograms.push_back(std::move(r));
+  }
+
+  out.profiled = cfg_.profile;
+  out.profile.events = events_;
+  out.profile.max_pending = max_pending_;
+  out.profile.max_heap_entries = max_heap_;
+  for (std::size_t i = 0; i < kCategoryCount; ++i) {
+    ProfileCategoryReport c;
+    c.name = category_name(static_cast<Category>(i));
+    c.events = cat_events_[i];
+    c.wall_ms = static_cast<double>(cat_wall_ns_[i]) / 1e6;
+    out.profile.categories.push_back(std::move(c));
+  }
+}
+
+#endif  // EAC_TELEMETRY_ENABLED
+
+}  // namespace eac::telemetry

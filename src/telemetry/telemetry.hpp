@@ -1,0 +1,311 @@
+// Compiled-in time-series telemetry layer (-DEAC_TELEMETRY=ON, the default).
+//
+// The paper's whole argument rests on measured quantities — loss-load
+// curves, probe-loss distributions, thrashing under high load — yet a
+// ScenarioResult only reports end-of-run scalars. This layer samples the
+// moving parts while a run executes: queue occupancy, drops and marks per
+// class, virtual-queue backlog, admission decisions and thrash episodes,
+// the MBAC load estimate, and a lightweight wall-time profile of the event
+// engine. Everything is keyed to *simulation* time on a configurable
+// cadence and exported as downsampled series plus summary percentiles.
+//
+// Activation mirrors the audit layer (sim/audit.hpp): a Recorder is
+// installed thread-local via telemetry::Scope, so SweepRunner workers
+// never record unless a recorder is installed on their own thread. The
+// contract is two-fold:
+//
+//   * -DEAC_TELEMETRY=OFF builds contain no telemetry code at all: every
+//     hook macro expands to nothing and the instrumented members vanish.
+//   * With telemetry compiled in, recording is opt-in per thread and MUST
+//     NOT perturb results: hooks never schedule events, never touch RNG,
+//     and a recorded run's ScenarioResult is bit-identical to an
+//     unrecorded one (proven by tests/telemetry_test.cpp).
+//
+// The value types (Report and friends) exist in every build so that
+// ScenarioResult keeps one shape; they are simply never populated when
+// the layer is off.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+#if defined(EAC_TELEMETRY) && EAC_TELEMETRY
+#define EAC_TELEMETRY_ENABLED 1
+#else
+#define EAC_TELEMETRY_ENABLED 0
+#endif
+
+namespace eac::telemetry {
+
+/// True in telemetry builds; usable in `if constexpr` where a macro is
+/// clumsy (tests skip their series assertions when the layer is off).
+inline constexpr bool kTelemetryEnabled = EAC_TELEMETRY_ENABLED != 0;
+
+/// How a series folds multiple observations into one sample bin.
+enum class SeriesKind : std::uint8_t {
+  kCounter,   ///< cumulative sum; bin holds the running total at bin end
+  kGaugeLast, ///< bin holds the last observed value
+  kGaugeMax,  ///< bin holds the largest observed value (e.g. occupancy)
+  kMean,      ///< bin holds the mean of the bin's observations
+};
+
+/// Event-engine profiler buckets. Handlers tag the executing event with
+/// EAC_TEL_EVENT_CATEGORY; the first tag wins, so a synchronous call chain
+/// (source event -> node -> link) is attributed to its outermost owner.
+enum class Category : std::uint8_t {
+  kTraffic,  ///< data/probe source send events
+  kNet,      ///< link transmission, forwarding and delivery events
+  kProbe,    ///< probe-session stage, judge and abort events
+  kFlows,    ///< flow arrivals, departures, retry backoff
+  kMbac,     ///< Measured Sum estimator sampling
+  kOther,    ///< untagged (scenario bookkeeping, measurement boundaries)
+};
+inline constexpr std::size_t kCategoryCount = 6;
+
+/// Display names, indexed by Category.
+const char* category_name(Category c);
+
+// ---------------------------------------------------------------------------
+// Export value types — defined in every build so ScenarioResult keeps one
+// shape; populated only by an active Recorder.
+// ---------------------------------------------------------------------------
+
+/// One exported time series, downsampled to at most
+/// Config::max_export_points points of `point_period_s` seconds each.
+/// Point i covers sim time (i*period, (i+1)*period]; NaN points (bins with
+/// no observation, e.g. a mean series over an idle stretch) serialize as
+/// JSON null.
+struct SeriesReport {
+  std::string name;
+  SeriesKind kind = SeriesKind::kCounter;
+  double point_period_s = 0;
+  std::vector<double> points;
+
+  // Summary over the exported points (counters: over per-point
+  // increments, so the summary describes the activity rate).
+  double min = 0;
+  double max = 0;
+  double mean = 0;
+  double p50 = 0;
+  double p99 = 0;
+  double final_value = 0;  ///< counters: run total; gauges: last value
+};
+
+/// Fixed linear-bin histogram over [lo, hi]; out-of-range observations
+/// clamp into the edge buckets.
+struct HistogramReport {
+  std::string name;
+  double lo = 0;
+  double hi = 1;
+  std::uint64_t total = 0;
+  double mean = 0;
+  std::vector<std::uint64_t> buckets;
+};
+
+/// Wall-time bucket of one event-handler category. `wall_ms` is real time
+/// and therefore NOT deterministic; tooling that byte-compares telemetry
+/// artifacts must strip the profile section (run_determinism_check.sh does).
+struct ProfileCategoryReport {
+  std::string name;
+  std::uint64_t events = 0;
+  double wall_ms = 0;
+};
+
+/// Engine statistics: event totals, heap high-water marks, per-category
+/// wall-time buckets.
+struct ProfileReport {
+  std::uint64_t events = 0;            ///< events executed while recording
+  std::uint64_t max_pending = 0;       ///< live-event high-water mark
+  std::uint64_t max_heap_entries = 0;  ///< heap-array high-water mark
+  std::vector<ProfileCategoryReport> categories;
+};
+
+/// Everything one recorded run exported. Inert (enabled == false) unless a
+/// Recorder was active for the run in a telemetry build.
+struct Report {
+  bool enabled = false;
+  double sample_period_s = 0;
+  std::vector<SeriesReport> series;
+  std::vector<HistogramReport> histograms;
+  bool profiled = false;
+  ProfileReport profile;
+
+  /// The named series, or nullptr. Convenience for tests/tools.
+  const SeriesReport* find(std::string_view name) const {
+    for (const SeriesReport& s : series) {
+      if (s.name == name) return &s;
+    }
+    return nullptr;
+  }
+};
+
+/// Recorder knobs. `sample_period_s` is the sim-time cadence observations
+/// are folded at; exports merge adjacent bins down to `max_export_points`.
+struct Config {
+  double sample_period_s = 0.5;
+  std::size_t max_export_points = 240;
+  bool profile = true;  ///< collect wall-time per event category
+};
+
+// ---------------------------------------------------------------------------
+// Recorder — telemetry builds only.
+// ---------------------------------------------------------------------------
+
+#if EAC_TELEMETRY_ENABLED
+
+/// Opaque handle to a registered series/histogram. kNoSeries means "no
+/// recorder was active at registration": every hook taking the id is a
+/// no-op for it.
+using SeriesId = std::uint32_t;
+using HistogramId = std::uint32_t;
+inline constexpr std::uint32_t kNoSeries = 0xFFFF'FFFFu;
+
+/// Collects one run's series. Install with telemetry::Scope before
+/// building the scenario so components register their series during
+/// construction; harvest with export_into() after the run.
+class Recorder {
+ public:
+  explicit Recorder(Config cfg = {});
+
+  /// Reset all collected state for a fresh run (run_scenario calls this).
+  /// Registered series survive — components re-register anyway because
+  /// they are rebuilt per run; re-registering an existing name returns the
+  /// same id with the data cleared.
+  void begin_run();
+
+  const Config& config() const { return cfg_; }
+
+  // --- registration (dedupes by name; returns the existing id) ---
+  SeriesId series(std::string_view name, SeriesKind kind);
+  HistogramId histogram(std::string_view name, double lo, double hi,
+                        std::uint32_t buckets);
+
+  // --- observation ---
+  void add(SeriesId id, double delta, sim::SimTime t);   ///< kCounter
+  void set(SeriesId id, double value, sim::SimTime t);   ///< gauges / kMean
+  void observe(HistogramId id, double value);
+
+  // --- event-engine hooks (Simulator::run) ---
+  void event_begin();
+  void event_end(sim::SimTime now, std::size_t pending, std::size_t heap);
+  /// Tag the executing event's category; the first tag per event wins.
+  void tag_event(Category c) {
+    if (event_category_ == Category::kOther) event_category_ = c;
+  }
+
+  /// Downsample and summarize everything into `out` for a run that ended
+  /// at sim time `end`.
+  void export_into(Report& out, sim::SimTime end) const;
+
+ private:
+  struct Series {
+    std::string name;
+    SeriesKind kind;
+    double cum = 0;  ///< counters: running total
+    std::vector<double> bins;          ///< NaN = untouched
+    std::vector<std::uint32_t> counts; ///< kMean only
+  };
+  struct Histogram {
+    std::string name;
+    double lo, hi;
+    std::uint64_t total = 0;
+    double sum = 0;
+    std::vector<std::uint64_t> buckets;
+  };
+
+  std::size_t bin_of(sim::SimTime t) const;
+  double* bin_slot(Series& s, sim::SimTime t);
+
+  Config cfg_;
+  std::vector<Series> series_;
+  std::vector<Histogram> histograms_;
+
+  // Engine profile.
+  std::uint64_t events_ = 0;
+  std::uint64_t max_pending_ = 0;
+  std::uint64_t max_heap_ = 0;
+  std::uint64_t cat_events_[kCategoryCount] = {};
+  std::uint64_t cat_wall_ns_[kCategoryCount] = {};
+  std::uint64_t event_t0_ns_ = 0;
+  Category event_category_ = Category::kOther;
+  SeriesId pending_series_ = kNoSeries;
+};
+
+/// The thread's active recorder, or nullptr outside any Scope.
+Recorder* current();
+Recorder* exchange_current(Recorder* next);
+
+/// RAII: installs `r` as the thread's active recorder. Mirrors
+/// audit::Scope; recording never crosses threads implicitly.
+class Scope {
+ public:
+  explicit Scope(Recorder& r) { prev_ = exchange_current(&r); }
+  ~Scope() { exchange_current(prev_); }
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+ private:
+  Recorder* prev_ = nullptr;
+};
+
+// --- registration/observation helpers used by the instrumented classes ---
+
+inline SeriesId register_series(std::string_view name, SeriesKind kind) {
+  Recorder* r = current();
+  return r != nullptr ? r->series(name, kind) : kNoSeries;
+}
+inline HistogramId register_histogram(std::string_view name, double lo,
+                                      double hi, std::uint32_t buckets) {
+  Recorder* r = current();
+  return r != nullptr ? r->histogram(name, lo, hi, buckets) : kNoSeries;
+}
+inline void add(SeriesId id, double delta, sim::SimTime t) {
+  if (id == kNoSeries) return;
+  if (Recorder* r = current()) r->add(id, delta, t);
+}
+inline void set(SeriesId id, double value, sim::SimTime t) {
+  if (id == kNoSeries) return;
+  if (Recorder* r = current()) r->set(id, value, t);
+}
+inline void observe(HistogramId id, double value) {
+  if (id == kNoSeries) return;
+  if (Recorder* r = current()) r->observe(id, value);
+}
+
+#endif  // EAC_TELEMETRY_ENABLED
+
+}  // namespace eac::telemetry
+
+#if EAC_TELEMETRY_ENABLED
+
+/// Splice declarations or statements only present in telemetry builds.
+#define EAC_TEL_ONLY(...) __VA_ARGS__
+
+/// Execute a statement only in telemetry builds (still runtime-gated by
+/// the hooks themselves when no recorder is installed).
+#define EAC_TEL(...)    \
+  do {                  \
+    __VA_ARGS__;        \
+  } while (0)
+
+/// Tag the currently executing event for the engine profiler. Place at
+/// the top of an event handler; the first tag per event wins.
+#define EAC_TEL_EVENT_CATEGORY(cat)                                  \
+  do {                                                               \
+    if (::eac::telemetry::Recorder* _eac_tel =                       \
+            ::eac::telemetry::current()) {                           \
+      _eac_tel->tag_event(::eac::telemetry::Category::cat);          \
+    }                                                                \
+  } while (0)
+
+#else
+
+#define EAC_TEL_ONLY(...)
+#define EAC_TEL(...) ((void)0)
+#define EAC_TEL_EVENT_CATEGORY(cat) ((void)0)
+
+#endif

@@ -7,6 +7,7 @@
 #include "net/packet.hpp"
 #include "sim/audit.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace eac::traffic {
 
@@ -45,6 +46,10 @@ class TrafficSource {
  protected:
   /// Build and emit one packet of `size` bytes.
   void emit(std::uint32_t size) {
+    // All source tick events funnel through here, so one tag covers every
+    // source type. Probe senders' events still profile as traffic; the
+    // probe category tracks the receive/judge side.
+    EAC_TEL_EVENT_CATEGORY(kTraffic);
     net::Packet p;
     p.flow = id_.flow;
     p.src = id_.src;

@@ -1,0 +1,204 @@
+// Figure-2 regression: reduced-scale loss-load points for all four
+// endpoint designs plus the Measured Sum benchmark, replicated across
+// seeds and asserted against committed tolerance bands
+// (tests/fixtures/figure_regression_bands.hpp).
+//
+// The bands are calibrated from the seed spread at the reduced scale and
+// hold the *means* — individual seeds wander further. Knobs:
+//   EAC_FIGREG_SEEDS=N        replications per design (default 5; the
+//                             nightly CI job runs 10)
+//   EAC_FIGREG_DUMP=1         print measured means/stddev (band tuning)
+//   EAC_FIGREG_PERTURB=X      add X to every admission threshold (each
+//                             design's epsilon, MBAC's target). Used to
+//                             demonstrate the suite actually fails when
+//                             admission control is miscalibrated.
+//   EAC_FIGREG_ARTIFACT_DIR=D write one telemetry JSON per design into D
+//                             (the nightly job uploads them on failure)
+//
+// Also here: the seed-sensitivity contract for the same scenario point —
+// different seeds give different results, the same seed gives bit-equal
+// results for any sweep worker count.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "fixtures/figure_regression_bands.hpp"
+#include "scenario/builder.hpp"
+#include "scenario/parallel.hpp"
+#include "scenario/report.hpp"
+#include "scenario/runner.hpp"
+#include "telemetry/telemetry.hpp"
+#include "traffic/catalog.hpp"
+
+namespace {
+
+using namespace eac;
+
+int figreg_seeds() {
+  if (const char* s = std::getenv("EAC_FIGREG_SEEDS")) {
+    const int n = std::atoi(s);
+    if (n > 0) return n;
+  }
+  return 5;
+}
+
+double figreg_perturb() {
+  if (const char* s = std::getenv("EAC_FIGREG_PERTURB")) {
+    return std::atof(s);
+  }
+  return 0;
+}
+
+EacConfig design_by_name(const std::string& name) {
+  if (name == "drop-inband") return drop_in_band();
+  if (name == "drop-outofband") return drop_out_of_band();
+  if (name == "mark-inband") return mark_in_band();
+  if (name == "mark-outofband") return mark_out_of_band();
+  ADD_FAILURE() << "unknown design in bands fixture: " << name;
+  return drop_in_band();
+}
+
+/// The reduced-scale Figure 2 point for one band row.
+scenario::RunConfig figreg_config(const figreg::Band& band) {
+  scenario::RunConfig cfg;
+  FlowClass c;
+  c.arrival_rate_per_s = 1.0 / figreg::kInterarrivalS;
+  c.src = 0;
+  c.dst = 1;
+  c.onoff = traffic::exp1();
+  c.packet_size = traffic::kOnOffPacketBytes;
+  c.probe_rate_bps = c.onoff.burst_rate_bps;
+  c.epsilon = band.eps + figreg_perturb();
+  cfg.classes = {c};
+  cfg.duration_s = figreg::kDurationS;
+  cfg.warmup_s = figreg::kWarmupS;
+  if (std::string{band.design} == "MBAC") {
+    cfg.policy = scenario::PolicyKind::kMbac;
+    cfg.mbac_target_utilization = band.eps + figreg_perturb();
+  } else {
+    cfg.policy = scenario::PolicyKind::kEndpoint;
+    cfg.eac = design_by_name(band.design);
+  }
+  return cfg;
+}
+
+struct Measured {
+  double util_mean = 0, util_sd = 0;
+  double loss_mean = 0;
+  double blocking_mean = 0, blocking_sd = 0;
+};
+
+Measured measure(const figreg::Band& band, int seeds) {
+  std::vector<double> util, loss, blocking;
+  for (int s = 0; s < seeds; ++s) {
+    scenario::RunConfig cfg = figreg_config(band);
+    // Same derivation as run_single_link_averaged, so these replications
+    // match what the benches average.
+    cfg.seed = 1 + static_cast<std::uint64_t>(s) * 7919;
+    const scenario::RunResult r = scenario::run_single_link(cfg);
+    util.push_back(r.utilization);
+    loss.push_back(r.loss());
+    blocking.push_back(r.blocking());
+  }
+  const auto mean = [](const std::vector<double>& v) {
+    double sum = 0;
+    for (double x : v) sum += x;
+    return sum / static_cast<double>(v.size());
+  };
+  const auto sd = [&](const std::vector<double>& v, double m) {
+    if (v.size() < 2) return 0.0;
+    double sum = 0;
+    for (double x : v) sum += (x - m) * (x - m);
+    return std::sqrt(sum / static_cast<double>(v.size() - 1));
+  };
+  Measured out;
+  out.util_mean = mean(util);
+  out.util_sd = sd(util, out.util_mean);
+  out.loss_mean = mean(loss);
+  out.blocking_mean = mean(blocking);
+  out.blocking_sd = sd(blocking, out.blocking_mean);
+  return out;
+}
+
+void maybe_write_artifact(const figreg::Band& band) {
+#if EAC_TELEMETRY_ENABLED
+  const char* dir = std::getenv("EAC_FIGREG_ARTIFACT_DIR");
+  if (dir == nullptr) return;
+  telemetry::Recorder rec;
+  telemetry::Scope scope{rec};
+  scenario::RunConfig cfg = figreg_config(band);
+  cfg.seed = 1;
+  const scenario::ScenarioSpec spec = scenario::single_link_spec(cfg);
+  const scenario::ScenarioResult res = scenario::run_scenario(spec);
+  scenario::JsonWriter w;
+  w.object_begin()
+      .field("design", band.design)
+      .field_raw("spec", scenario::to_json(spec))
+      .field_raw("result", scenario::to_json(res))
+      .object_end();
+  const std::string path =
+      std::string{dir} + "/figreg-" + band.design + ".json";
+  if (!scenario::write_json_file(path, w.str())) {
+    ADD_FAILURE() << "cannot write telemetry artifact " << path;
+  }
+#else
+  (void)band;
+#endif
+}
+
+TEST(FigureRegression, LossLoadPointsStayInBands) {
+  const int seeds = figreg_seeds();
+  const bool dump = std::getenv("EAC_FIGREG_DUMP") != nullptr;
+  for (const figreg::Band& band : figreg::kBands) {
+    SCOPED_TRACE(std::string{"design "} + band.design + " eps/target " +
+                 std::to_string(band.eps) + " seeds " +
+                 std::to_string(seeds));
+    const Measured m = measure(band, seeds);
+    if (dump) {
+      std::printf(
+          "%-16s eps %.3f  util %.4f (sd %.4f)  loss %.3e  "
+          "blocking %.4f (sd %.4f)\n",
+          band.design, band.eps, m.util_mean, m.util_sd, m.loss_mean,
+          m.blocking_mean, m.blocking_sd);
+      std::fflush(stdout);
+    }
+    EXPECT_GE(m.util_mean, band.util_lo);
+    EXPECT_LE(m.util_mean, band.util_hi);
+    EXPECT_LE(m.loss_mean, band.loss_hi);
+    EXPECT_GE(m.blocking_mean, band.blocking_lo);
+    EXPECT_LE(m.blocking_mean, band.blocking_hi);
+    // CI-width sanity: the seed spread at this scale is bounded, so a
+    // run where replications scatter wildly is itself a regression.
+    EXPECT_LE(m.util_sd, figreg::kMaxUtilStddev);
+    if (testing::Test::HasFailure()) maybe_write_artifact(band);
+  }
+}
+
+// --- seed sensitivity ------------------------------------------------------
+
+TEST(FigureRegression, DifferentSeedsGiveDifferentResults) {
+  scenario::RunConfig cfg = figreg_config(figreg::kBands[0]);
+  cfg.seed = 1;
+  const scenario::RunResult a = scenario::run_single_link(cfg);
+  cfg.seed = 2;
+  const scenario::RunResult b = scenario::run_single_link(cfg);
+  // The scenario is stochastic: a different seed must actually change the
+  // trajectory (a frozen RNG would silently void every replication).
+  EXPECT_NE(scenario::to_json(a), scenario::to_json(b));
+}
+
+TEST(FigureRegression, SameSeedIsWorkerCountInvariant) {
+  const scenario::RunConfig cfg = figreg_config(figreg::kBands[0]);
+  scenario::SweepRunner one{1};
+  scenario::SweepRunner four{4};
+  const scenario::RunResult a = scenario::run_single_link_averaged(cfg, 3, &one);
+  const scenario::RunResult b =
+      scenario::run_single_link_averaged(cfg, 3, &four);
+  EXPECT_EQ(scenario::to_json(a), scenario::to_json(b));
+}
+
+}  // namespace

@@ -19,13 +19,44 @@ BIN="$1"
 SCRATCH="${2:-$(mktemp -d)}"
 mkdir -p "$SCRATCH"
 
-EAC_SCALE=0.05 EAC_THREADS=1 "$BIN" --json="$SCRATCH/threads1.json" >/dev/null
-EAC_SCALE=0.05 EAC_THREADS=4 "$BIN" --json="$SCRATCH/threads4.json" >/dev/null
+EAC_SCALE=0.05 EAC_THREADS=1 "$BIN" --json="$SCRATCH/threads1.json" \
+  --telemetry="$SCRATCH/tel1.json" >/dev/null
+EAC_SCALE=0.05 EAC_THREADS=4 "$BIN" --json="$SCRATCH/threads4.json" \
+  --telemetry="$SCRATCH/tel4.json" >/dev/null
 
 if ! cmp "$SCRATCH/threads1.json" "$SCRATCH/threads4.json"; then
   echo "determinism check FAILED: artifacts differ between 1 and 4 workers" >&2
   diff "$SCRATCH/threads1.json" "$SCRATCH/threads4.json" | head -20 >&2 || true
   exit 1
+fi
+
+# Telemetry artifacts must be deterministic too, except the "profile"
+# section (wall-clock times). Strip it, then require byte-equality of the
+# rest: series, histograms and the embedded result. Skipped when the
+# binary was built with -DEAC_TELEMETRY=OFF (no artifact is written).
+if [[ -s "$SCRATCH/tel1.json" && -s "$SCRATCH/tel4.json" ]]; then
+  PY="$(command -v python3 || command -v python || true)"
+  if [[ -n "$PY" ]]; then
+    for f in tel1 tel4; do
+      "$PY" - "$SCRATCH/$f.json" "$SCRATCH/$f.stripped.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as fh:
+    doc = json.load(fh)
+doc.get("result", {}).get("telemetry", {}).pop("profile", None)
+with open(sys.argv[2], "w") as fh:
+    json.dump(doc, fh, sort_keys=True, separators=(",", ":"))
+EOF
+    done
+    if ! cmp "$SCRATCH/tel1.stripped.json" "$SCRATCH/tel4.stripped.json"; then
+      echo "determinism check FAILED: telemetry series differ (1 vs 4 workers)" >&2
+      exit 1
+    fi
+    echo "determinism check passed: telemetry series identical (1 vs 4 workers)"
+  else
+    echo "determinism check: python not found, skipping telemetry compare" >&2
+  fi
+else
+  echo "determinism check: no telemetry artifacts (telemetry off), skipping"
 fi
 
 echo "determinism check passed: byte-identical artifacts (1 vs 4 workers)"

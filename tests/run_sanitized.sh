@@ -16,8 +16,14 @@
 #   address /  full build, full ctest: every test is a memory-error
 #   undefined  detector at normal (~2x) slowdown.
 #
+# Set EAC_SAN_AUDIT=1 to also compile the audit layer in (-DEAC_AUDIT=ON):
+# the conservation ledgers allocate and index on every hot-path event, so
+# sanitizing them exercises code plain sanitizer lanes never see. Uses a
+# distinct default build dir so audit and non-audit caches never collide.
+#
 # Not part of tier-1 ctest because each variant doubles build time; CI
-# runs thread and address,undefined as separate jobs (.github/workflows).
+# runs thread, address,undefined and address+audit as separate jobs
+# (.github/workflows).
 set -euo pipefail
 
 if [[ $# -lt 1 ]]; then
@@ -27,9 +33,17 @@ fi
 
 SAN="$1"
 cd "$(dirname "$0")/.."
-BUILD_DIR="${2:-build-${SAN//,/-}}"
 
-cmake -B "$BUILD_DIR" -S . -DEAC_SANITIZE="$SAN" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+AUDIT_FLAG=OFF
+AUDIT_SUFFIX=""
+if [[ "${EAC_SAN_AUDIT:-0}" == "1" ]]; then
+  AUDIT_FLAG=ON
+  AUDIT_SUFFIX="-audit"
+fi
+BUILD_DIR="${2:-build-${SAN//,/-}${AUDIT_SUFFIX}}"
+
+cmake -B "$BUILD_DIR" -S . -DEAC_SANITIZE="$SAN" -DEAC_AUDIT="$AUDIT_FLAG" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
 
 case "$SAN" in
   thread)

@@ -1,0 +1,320 @@
+// Telemetry layer: recorder folding semantics, zero-perturbation parity,
+// and property-style invariants over randomized scenario specs.
+//
+// The central contract under test is the one CMakeLists.txt promises for
+// -DEAC_TELEMETRY=ON builds: installing a Recorder changes *nothing* about
+// a simulation's results. The parity tests prove it by byte-comparing the
+// serialized ScenarioResult of recorded and unrecorded runs; the property
+// tests then pin the internal consistency of what was recorded.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "scenario/builder.hpp"
+#include "scenario/parallel.hpp"
+#include "scenario/report.hpp"
+#include "scenario/runner.hpp"
+#include "sim/random.hpp"
+#include "telemetry/telemetry.hpp"
+#include "traffic/catalog.hpp"
+
+namespace {
+
+using namespace eac;
+
+scenario::RunConfig small_run() {
+  scenario::RunConfig cfg;
+  FlowClass c;
+  c.arrival_rate_per_s = 1.0 / 2.0;
+  c.src = 0;
+  c.dst = 1;
+  c.onoff = traffic::exp1();
+  c.packet_size = traffic::kOnOffPacketBytes;
+  c.probe_rate_bps = c.onoff.burst_rate_bps;
+  c.epsilon = 0.02;
+  cfg.classes = {c};
+  cfg.duration_s = 60;
+  cfg.warmup_s = 20;
+  cfg.seed = 7;
+  return cfg;
+}
+
+#if EAC_TELEMETRY_ENABLED
+
+TEST(Recorder, CounterBinsAreCumulative) {
+  telemetry::Recorder rec{{1.0, 240, false}};
+  rec.begin_run();
+  const telemetry::SeriesId id =
+      rec.series("c", telemetry::SeriesKind::kCounter);
+  telemetry::Scope scope{rec};
+  rec.add(id, 2, sim::SimTime::seconds(0.5));
+  rec.add(id, 3, sim::SimTime::seconds(2.5));
+  rec.add(id, 1, sim::SimTime::seconds(2.9));
+
+  telemetry::Report out;
+  rec.export_into(out, sim::SimTime::seconds(4));
+  const telemetry::SeriesReport* s = out.find("c");
+  ASSERT_NE(s, nullptr);
+  ASSERT_EQ(s->points.size(), 4u);
+  // Bin totals at bin end, idle bins forward-filled.
+  EXPECT_DOUBLE_EQ(s->points[0], 2);
+  EXPECT_DOUBLE_EQ(s->points[1], 2);
+  EXPECT_DOUBLE_EQ(s->points[2], 6);
+  EXPECT_DOUBLE_EQ(s->points[3], 6);
+  EXPECT_DOUBLE_EQ(s->final_value, 6);
+}
+
+TEST(Recorder, GaugeKindsFoldWithinBin) {
+  telemetry::Recorder rec{{1.0, 240, false}};
+  rec.begin_run();
+  const telemetry::SeriesId last =
+      rec.series("last", telemetry::SeriesKind::kGaugeLast);
+  const telemetry::SeriesId peak =
+      rec.series("peak", telemetry::SeriesKind::kGaugeMax);
+  const telemetry::SeriesId mean =
+      rec.series("mean", telemetry::SeriesKind::kMean);
+  for (double v : {5.0, 9.0, 2.0}) {
+    rec.set(last, v, sim::SimTime::seconds(0.5));
+    rec.set(peak, v, sim::SimTime::seconds(0.5));
+    rec.set(mean, v, sim::SimTime::seconds(0.5));
+  }
+  telemetry::Report out;
+  rec.export_into(out, sim::SimTime::seconds(2));
+  EXPECT_DOUBLE_EQ(out.find("last")->points[0], 2);
+  EXPECT_DOUBLE_EQ(out.find("peak")->points[0], 9);
+  EXPECT_NEAR(out.find("mean")->points[0], 16.0 / 3, 1e-12);
+  // The idle second bin: gauges forward-fill, the mean has no samples.
+  EXPECT_DOUBLE_EQ(out.find("last")->points[1], 2);
+  EXPECT_DOUBLE_EQ(out.find("peak")->points[1], 9);
+  EXPECT_TRUE(std::isnan(out.find("mean")->points[1]));
+}
+
+TEST(Recorder, DownsamplingMergesAdjacentBins) {
+  telemetry::Recorder rec{{1.0, 4, false}};
+  rec.begin_run();
+  const telemetry::SeriesId id =
+      rec.series("c", telemetry::SeriesKind::kCounter);
+  for (int t = 0; t < 16; ++t) {
+    rec.add(id, 1, sim::SimTime::seconds(t + 0.5));
+  }
+  telemetry::Report out;
+  rec.export_into(out, sim::SimTime::seconds(16));
+  const telemetry::SeriesReport* s = out.find("c");
+  ASSERT_NE(s, nullptr);
+  ASSERT_EQ(s->points.size(), 4u);
+  EXPECT_DOUBLE_EQ(s->point_period_s, 4);
+  const std::vector<double> want{4, 8, 12, 16};
+  for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(s->points[i], want[i]);
+  // Counter summaries describe per-point increments.
+  EXPECT_DOUBLE_EQ(s->mean, 4);
+  EXPECT_DOUBLE_EQ(s->final_value, 16);
+}
+
+TEST(Recorder, HistogramClampsIntoEdgeBuckets) {
+  telemetry::Recorder rec;
+  rec.begin_run();
+  const telemetry::HistogramId h = rec.histogram("h", 0, 1, 10);
+  rec.observe(h, -5);    // clamps low
+  rec.observe(h, 0.55);  // bucket 5
+  rec.observe(h, 7);     // clamps high
+  telemetry::Report out;
+  rec.export_into(out, sim::SimTime::seconds(1));
+  ASSERT_EQ(out.histograms.size(), 1u);
+  const telemetry::HistogramReport& hr = out.histograms[0];
+  EXPECT_EQ(hr.total, 3u);
+  EXPECT_EQ(hr.buckets[0], 1u);
+  EXPECT_EQ(hr.buckets[5], 1u);
+  EXPECT_EQ(hr.buckets[9], 1u);
+}
+
+TEST(Recorder, RegistrationDedupesByName) {
+  telemetry::Recorder rec;
+  rec.begin_run();
+  const telemetry::SeriesId a =
+      rec.series("x", telemetry::SeriesKind::kCounter);
+  const telemetry::SeriesId b =
+      rec.series("x", telemetry::SeriesKind::kCounter);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Recorder, NoRecorderInstalledIsSafe) {
+  // The inline helpers must be no-ops without a Scope (the default state
+  // of every SweepRunner worker thread).
+  ASSERT_EQ(telemetry::current(), nullptr);
+  const telemetry::SeriesId id =
+      telemetry::register_series("x", telemetry::SeriesKind::kCounter);
+  EXPECT_EQ(id, telemetry::kNoSeries);
+  telemetry::add(id, 1, sim::SimTime::seconds(1));  // must not crash
+}
+
+// --- zero-perturbation parity ---------------------------------------------
+
+TEST(TelemetryParity, RecordedRunIsBitIdenticalToUnrecorded) {
+  const scenario::ScenarioSpec spec =
+      scenario::single_link_spec(small_run());
+
+  scenario::ScenarioResult plain = scenario::run_scenario(spec);
+
+  telemetry::Recorder rec;
+  telemetry::Scope scope{rec};
+  scenario::ScenarioResult recorded = scenario::run_scenario(spec);
+
+  EXPECT_TRUE(recorded.telemetry.enabled);
+  EXPECT_FALSE(plain.telemetry.enabled);
+  EXPECT_EQ(plain.events, recorded.events);
+
+  // With the telemetry section cleared, the serialized results must be
+  // byte-identical: hooks never touch RNG, events or packet state.
+  recorded.telemetry = telemetry::Report{};
+  EXPECT_EQ(scenario::to_json(plain), scenario::to_json(recorded));
+}
+
+TEST(TelemetryParity, SamplePeriodDoesNotPerturbEither) {
+  const scenario::ScenarioSpec spec =
+      scenario::single_link_spec(small_run());
+  std::string baseline;
+  for (double period : {0.1, 2.0}) {
+    telemetry::Recorder rec{{period, 64, true}};
+    telemetry::Scope scope{rec};
+    scenario::ScenarioResult r = scenario::run_scenario(spec);
+    r.telemetry = telemetry::Report{};
+    const std::string json = scenario::to_json(r);
+    if (baseline.empty()) {
+      baseline = json;
+    } else {
+      EXPECT_EQ(baseline, json);
+    }
+  }
+}
+
+// --- property tests over randomized specs ----------------------------------
+
+TEST(TelemetryProperty, InvariantsHoldOverRandomScenarios) {
+  // Deterministically randomized: same specs every run, but spanning
+  // designs, loads, thresholds and seeds.
+  sim::RandomStream rng{0x7E1E, 1};
+  const EacConfig designs[] = {drop_in_band(), drop_out_of_band(),
+                               mark_in_band(), mark_out_of_band()};
+  for (int trial = 0; trial < 5; ++trial) {
+    scenario::RunConfig cfg = small_run();
+    cfg.eac = designs[rng.integer(4)];
+    cfg.classes[0].arrival_rate_per_s = 0.2 + 0.6 * rng.uniform();
+    cfg.classes[0].epsilon = 0.05 * rng.uniform();
+    cfg.buffer_packets = 50 + rng.integer(200);
+    cfg.seed = 1 + rng.integer(1000);
+    cfg.duration_s = 40 + 20.0 * rng.uniform();
+    cfg.warmup_s = 10;
+    SCOPED_TRACE("trial " + std::to_string(trial) + " design " +
+                 cfg.eac.name() + " seed " + std::to_string(cfg.seed));
+
+    telemetry::Recorder rec{{0.5, 120, true}};
+    telemetry::Scope scope{rec};
+    const scenario::ScenarioResult r =
+        scenario::run_scenario(scenario::single_link_spec(cfg));
+    ASSERT_TRUE(r.telemetry.enabled);
+
+    // Counters are monotone non-decreasing over exported points.
+    for (const telemetry::SeriesReport& s : r.telemetry.series) {
+      if (s.kind != telemetry::SeriesKind::kCounter) continue;
+      double prev = 0;
+      for (double v : s.points) {
+        ASSERT_FALSE(std::isnan(v)) << s.name;
+        ASSERT_GE(v, prev) << s.name;
+        prev = v;
+      }
+      EXPECT_DOUBLE_EQ(prev, s.final_value) << s.name;
+    }
+
+    // Queue occupancy never exceeds the configured buffer.
+    for (const telemetry::SeriesReport& s : r.telemetry.series) {
+      if (s.name.find(".queue.packets") == std::string::npos) continue;
+      for (double v : s.points) {
+        if (!std::isnan(v)) {
+          ASSERT_LE(v, static_cast<double>(cfg.buffer_packets)) << s.name;
+        }
+      }
+    }
+
+    // Every verdict is either an admit or a reject.
+    const telemetry::SeriesReport* attempts =
+        r.telemetry.find("flows.attempts");
+    const telemetry::SeriesReport* admitted =
+        r.telemetry.find("flows.admitted");
+    const telemetry::SeriesReport* rejected =
+        r.telemetry.find("flows.rejected");
+    ASSERT_NE(attempts, nullptr);
+    ASSERT_NE(admitted, nullptr);
+    ASSERT_NE(rejected, nullptr);
+    EXPECT_DOUBLE_EQ(attempts->final_value,
+                     admitted->final_value + rejected->final_value);
+    ASSERT_EQ(attempts->points.size(), admitted->points.size());
+    ASSERT_EQ(attempts->points.size(), rejected->points.size());
+    for (std::size_t i = 0; i < attempts->points.size(); ++i) {
+      EXPECT_DOUBLE_EQ(attempts->points[i],
+                       admitted->points[i] + rejected->points[i]);
+    }
+
+    // Probe loss fractions live in [0, 1], series and histogram agree on
+    // the sample count order of magnitude (histogram counts sessions).
+    const telemetry::SeriesReport* loss =
+        r.telemetry.find("probe.loss_fraction");
+    ASSERT_NE(loss, nullptr);
+    for (double v : loss->points) {
+      if (!std::isnan(v)) {
+        ASSERT_GE(v, 0.0);
+        ASSERT_LE(v, 1.0);
+      }
+    }
+
+    // The profiler accounted every executed event to some category.
+    ASSERT_TRUE(r.telemetry.profiled);
+    std::uint64_t categorized = 0;
+    for (const telemetry::ProfileCategoryReport& c :
+         r.telemetry.profile.categories) {
+      categorized += c.events;
+    }
+    EXPECT_EQ(categorized, r.telemetry.profile.events);
+    EXPECT_EQ(r.telemetry.profile.events, r.events);
+    EXPECT_GT(r.telemetry.profile.max_pending, 0u);
+    EXPECT_GE(r.telemetry.profile.max_heap_entries,
+              r.telemetry.profile.max_pending);
+  }
+}
+
+TEST(TelemetryProperty, JsonRoundTripShapeIsStable) {
+  telemetry::Recorder rec{{0.5, 32, true}};
+  telemetry::Scope scope{rec};
+  const scenario::ScenarioResult r =
+      scenario::run_scenario(scenario::single_link_spec(small_run()));
+  const std::string json = scenario::to_json(r);
+  EXPECT_NE(json.find("\"telemetry\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"series\":["), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\":["), std::string::npos);
+  EXPECT_NE(json.find("\"profile\":{"), std::string::npos);
+  // NaN points must serialize as JSON null, never as a bare nan token.
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+}
+
+#else  // !EAC_TELEMETRY_ENABLED
+
+TEST(Telemetry, RequiresTelemetryBuild) {
+  GTEST_SKIP() << "built with -DEAC_TELEMETRY=OFF; telemetry layer absent";
+}
+
+#endif
+
+// --- build-independent checks ----------------------------------------------
+
+TEST(Telemetry, ResultCarriesNoTelemetryByDefault) {
+  // Without a Recorder installed (any build), results keep the historical
+  // JSON shape: no "telemetry" key at all.
+  const scenario::ScenarioResult r =
+      scenario::run_scenario(scenario::single_link_spec(small_run()));
+  EXPECT_FALSE(r.telemetry.enabled);
+  EXPECT_EQ(scenario::to_json(r).find("\"telemetry\""), std::string::npos);
+}
+
+}  // namespace
