@@ -21,6 +21,7 @@
 #include "scenario/runner.hpp"
 #include "scenario/scale.hpp"
 #include "telemetry/telemetry.hpp"
+#include "trace/trace.hpp"
 #include "traffic/catalog.hpp"
 #include "traffic/trace.hpp"
 
@@ -134,6 +135,15 @@ inline std::string& telemetry_path() {
   static std::string p;
   return p;
 }
+/// Destination + filter of the `--trace=PATH[:filter]` artifact.
+inline std::string& trace_path() {
+  static std::string p;
+  return p;
+}
+inline trace::Config& trace_config() {
+  static trace::Config c;
+  return c;
+}
 inline std::string& bench_name() {
   static std::string n;
   return n;
@@ -141,12 +151,13 @@ inline std::string& bench_name() {
 
 /// Shared bench flag handling: `--threads N|--threads=N` sizes the sweep
 /// pool, `--json PATH|--json=PATH` arms the structured artifact sink,
-/// `--telemetry PATH|--telemetry=PATH` arms the time-series recorder for
-/// one representative serial run (see maybe_telemetry_run).
+/// `--telemetry PATH|--telemetry=PATH` arms the time-series recorder and
+/// `--trace PATH[:filter]` / `--trace-limit N` the event tracer for one
+/// representative serial run (see maybe_telemetry_run/maybe_trace_run).
 /// Call first thing in every bench main().
 inline void init(int argc, char** argv) {
   apply_thread_flag(argc, argv);
-  std::string json_path;
+  std::string json_path, trace_arg;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a.rfind("--json=", 0) == 0) {
@@ -157,7 +168,20 @@ inline void init(int argc, char** argv) {
       telemetry_path() = a.substr(12);
     } else if (a == "--telemetry" && i + 1 < argc) {
       telemetry_path() = argv[++i];
+    } else if (a.rfind("--trace=", 0) == 0) {
+      trace_arg = a.substr(8);
+    } else if (a == "--trace" && i + 1 < argc) {
+      trace_arg = argv[++i];
+    } else if (a.rfind("--trace-limit=", 0) == 0) {
+      trace_config().limit_events = std::strtoul(a.c_str() + 14, nullptr, 10);
+    } else if (a == "--trace-limit" && i + 1 < argc) {
+      trace_config().limit_events = std::strtoul(argv[++i], nullptr, 10);
     }
+  }
+  if (!trace_arg.empty() &&
+      !trace::parse_trace_arg(trace_arg, trace_path(), trace_config())) {
+    std::fprintf(stderr, "bench: bad --trace value '%s'\n", trace_arg.c_str());
+    std::exit(2);
   }
   const char* base = argv[0];
   if (const char* slash = std::strrchr(base, '/')) base = slash + 1;
@@ -195,6 +219,7 @@ inline void maybe_telemetry_run(const scenario::ScenarioSpec& spec) {
                  telemetry_path().c_str());
   }
 #else
+  (void)spec;
   std::fprintf(stderr,
                "bench: --telemetry ignored: built with -DEAC_TELEMETRY=OFF\n");
 #endif
@@ -204,6 +229,37 @@ inline void maybe_telemetry_run(const scenario::ScenarioSpec& spec) {
 inline void maybe_telemetry_run(const scenario::RunConfig& cfg) {
   if (telemetry_path().empty()) return;
   maybe_telemetry_run(scenario::single_link_spec(cfg));
+}
+
+/// When `--trace=PATH[:filter]` was given, re-run `spec` serially on this
+/// thread under a trace Sink and write the Chrome trace_event JSON to
+/// PATH. Like maybe_telemetry_run, the artifact comes from one
+/// representative run; the sweep itself is never traced.
+inline void maybe_trace_run(const scenario::ScenarioSpec& spec) {
+  if (trace_path().empty()) return;
+#if EAC_TRACE_ENABLED
+  trace::Sink sink{trace_config()};
+  trace::Scope scope{sink};
+  const scenario::ScenarioResult res = scenario::run_scenario(spec);
+  if (!scenario::write_json_file(trace_path(), sink.export_chrome_json())) {
+    std::fprintf(stderr, "bench: cannot write %s\n", trace_path().c_str());
+  }
+  if (res.trace.dropped > 0) {
+    std::fprintf(stderr,
+                 "bench: trace ring dropped %llu oldest events "
+                 "(raise --trace-limit)\n",
+                 static_cast<unsigned long long>(res.trace.dropped));
+  }
+#else
+  (void)spec;
+  std::fprintf(stderr, "bench: --trace ignored: built with -DEAC_TRACE=OFF\n");
+#endif
+}
+
+/// Convenience overload: representative single-link run of a RunConfig.
+inline void maybe_trace_run(const scenario::RunConfig& cfg) {
+  if (trace_path().empty()) return;
+  maybe_trace_run(scenario::single_link_spec(cfg));
 }
 
 /// The four §3.1 prototype designs in the paper's presentation order.

@@ -31,5 +31,10 @@ int main(int argc, char** argv) {
   }
   std::printf("# expected: the two designs trace near-identical loss-load "
               "curves.\n");
+  {
+    scenario::RunConfig run = base;
+    run.eac = virtual_drop_out_of_band();
+    bench::maybe_trace_run(run);
+  }
   return 0;
 }

@@ -18,5 +18,6 @@ int main(int argc, char** argv) {
   scenario::RunConfig base = bench::onoff_run(traffic::exp1(), 3.5, scale);
   bench::sweep_designs_and_mbac(base, scale);
   bench::maybe_telemetry_run(base);
+  bench::maybe_trace_run(base);
   return 0;
 }

@@ -36,5 +36,6 @@ int main(int argc, char** argv) {
     bench::print_loss_load_row(
         "MBAC", u, scenario::run_single_link_averaged(run, scale.seeds));
   }
+  bench::maybe_trace_run(base);
   return 0;
 }

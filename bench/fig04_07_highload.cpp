@@ -71,6 +71,7 @@ int main(int argc, char** argv) {
     run.eac = drop_in_band();
     run.eac.algo = ProbeAlgo::kSimple;
     bench::maybe_telemetry_run(run);
+    bench::maybe_trace_run(run);
   }
   return 0;
 }

@@ -77,5 +77,6 @@ int main(int argc, char** argv) {
     ++design_idx;
   }
   bench::run_sweep(std::move(points), scale.seeds);
+  bench::maybe_trace_run(scenarios.front().cfg);
   return 0;
 }

@@ -20,6 +20,7 @@
 #include "net/virtual_queue.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
+#include "trace/trace.hpp"
 #include "traffic/onoff_source.hpp"
 
 namespace {
@@ -122,6 +123,48 @@ void BM_EventAllocatingCallback(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_EventAllocatingCallback);
+
+#if EAC_TRACE_ENABLED
+void BM_EventTraceInstalled(benchmark::State& state) {
+  // BM_EventScheduleAndRun with a trace sink on this thread: prices the
+  // per-dispatch engine_event() hook, the only tracing cost a run pays
+  // when nothing down the stack emits. Compare against
+  // BM_EventScheduleAndRun in the same build (ON-unrecorded) and in a
+  // -DEAC_TRACE=OFF build (the compiled-out baseline).
+  trace::Sink sink;
+  trace::Scope scope{sink};
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int counter = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule_at(sim::SimTime::microseconds(i), [&counter] { ++counter; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventTraceInstalled);
+
+void BM_TraceEmitInstant(benchmark::State& state) {
+  // Raw cost of recording one queue instant into the ring (filter checks
+  // + 32-byte store), the per-packet price of an actively recording run.
+  trace::Sink sink;
+  trace::Scope scope{sink};
+  const std::uint16_t track = sink.track("bench.q");
+  const std::uint64_t bits =
+      trace::pack_packet_bits(125, 0, 0, false);
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    t += 100'000;
+    trace::emit(trace::EventKind::kEnqueue, 'i', sim::SimTime::nanoseconds(t),
+                7, static_cast<std::uint64_t>(t), bits, track);
+  }
+  benchmark::DoNotOptimize(sink.recorded());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceEmitInstant);
+#endif  // EAC_TRACE_ENABLED
 
 void BM_DropTailEnqueueDequeue(benchmark::State& state) {
   net::DropTailQueue q{256};

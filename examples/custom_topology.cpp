@@ -18,13 +18,14 @@
 #include "scenario/builder.hpp"
 #include "scenario/report.hpp"
 #include "telemetry/telemetry.hpp"
+#include "trace/trace.hpp"
 #include "traffic/catalog.hpp"
 
 int main(int argc, char** argv) {
   using namespace eac;
   using namespace eac::scenario;
 
-  std::string json_path, telemetry_path;
+  std::string json_path, telemetry_path, trace_arg;
   double duration = 500, warmup = 150;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--json=", 7) == 0) {
@@ -35,6 +36,10 @@ int main(int argc, char** argv) {
       telemetry_path = argv[i] + 12;
     } else if (std::strcmp(argv[i], "--telemetry") == 0 && i + 1 < argc) {
       telemetry_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_arg = argv[i] + 8;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_arg = argv[++i];
     } else if (std::strcmp(argv[i], "--duration") == 0 && i + 1 < argc) {
       duration = std::stod(argv[++i]);
     } else if (std::strcmp(argv[i], "--warmup") == 0 && i + 1 < argc) {
@@ -47,6 +52,22 @@ int main(int argc, char** argv) {
                  "custom_topology: --telemetry ignored: built with "
                  "-DEAC_TELEMETRY=OFF\n");
     telemetry_path.clear();
+  }
+#endif
+  std::string trace_path;
+  trace::Config trace_cfg;
+  if (!trace_arg.empty() &&
+      !trace::parse_trace_arg(trace_arg, trace_path, trace_cfg)) {
+    std::fprintf(stderr, "custom_topology: bad --trace value '%s'\n",
+                 trace_arg.c_str());
+    return 2;
+  }
+#if !EAC_TRACE_ENABLED
+  if (!trace_path.empty()) {
+    std::fprintf(stderr,
+                 "custom_topology: --trace ignored: built with "
+                 "-DEAC_TRACE=OFF\n");
+    trace_path.clear();
   }
 #endif
 
@@ -115,6 +136,14 @@ int main(int argc, char** argv) {
     scope = std::make_unique<telemetry::Scope>(recorder);
   }
 #endif
+#if EAC_TRACE_ENABLED
+  std::unique_ptr<trace::Sink> trace_sink;
+  std::unique_ptr<trace::Scope> trace_scope;
+  if (!trace_path.empty()) {
+    trace_sink = std::make_unique<trace::Sink>(trace_cfg);
+    trace_scope = std::make_unique<trace::Scope>(*trace_sink);
+  }
+#endif
   const ScenarioResult r = run_scenario(spec);
 
   std::printf("%-10s %12s %12s\n", "hop", "rate(Mbps)", "utilization");
@@ -154,5 +183,17 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+#if EAC_TRACE_ENABLED
+  if (!trace_path.empty()) {
+    if (!write_json_file(trace_path, trace_sink->export_chrome_json())) {
+      std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    if (r.trace.dropped > 0) {
+      std::fprintf(stderr, "custom_topology: trace ring dropped %llu events\n",
+                   static_cast<unsigned long long>(r.trace.dropped));
+    }
+  }
+#endif
   return 0;
 }

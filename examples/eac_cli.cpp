@@ -19,6 +19,7 @@
 #include "scenario/report.hpp"
 #include "scenario/runner.hpp"
 #include "telemetry/telemetry.hpp"
+#include "trace/trace.hpp"
 #include "traffic/catalog.hpp"
 #include "traffic/trace.hpp"
 
@@ -47,7 +48,13 @@ void usage() {
       "  --retries N / --backoff X     retry rejected flows (off)\n"
       "  --telemetry PATH              write time-series JSON of one run\n"
       "                                ('-' = stdout; telemetry builds)\n"
-      "  --telemetry-period X          sampling cadence, sim-seconds (0.5)\n");
+      "  --telemetry-period X          sampling cadence, sim-seconds (0.5)\n"
+      "  --trace PATH[:filter]         write a Chrome/Perfetto event trace\n"
+      "                                of one run; filter = comma-separated\n"
+      "                                categories (flow,probe,queue,link,\n"
+      "                                mbac) and/or flow=N (trace builds)\n"
+      "  --trace-limit N               trace ring capacity, events (2^20);\n"
+      "                                oldest events drop once full\n");
 }
 
 std::map<std::string, EacConfig> designs() {
@@ -175,6 +182,40 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "eac_cli: --telemetry ignored: built with "
                  "-DEAC_TELEMETRY=OFF\n");
+#endif
+  }
+
+  const std::string trace_arg = get("trace", "");
+  if (!trace_arg.empty()) {
+#if EAC_TRACE_ENABLED
+    // Like --telemetry: one traced serial run of the base seed, exported
+    // as Chrome trace_event JSON (load into Perfetto / chrome://tracing).
+    trace::Config tcfg;
+    const double limit = num("trace-limit", 0);
+    if (limit > 0) tcfg.limit_events = static_cast<std::size_t>(limit);
+    std::string trace_path;
+    if (!trace::parse_trace_arg(trace_arg, trace_path, tcfg)) {
+      std::fprintf(stderr, "eac_cli: bad --trace value '%s'\n",
+                   trace_arg.c_str());
+      return 2;
+    }
+    trace::Sink sink{tcfg};
+    trace::Scope scope{sink};
+    const scenario::ScenarioSpec spec = scenario::single_link_spec(cfg);
+    const scenario::ScenarioResult sres = scenario::run_scenario(spec);
+    if (!scenario::write_json_file(trace_path, sink.export_chrome_json())) {
+      std::fprintf(stderr, "eac_cli: cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    if (sres.trace.dropped > 0) {
+      std::fprintf(stderr,
+                   "eac_cli: trace ring dropped %llu oldest events "
+                   "(raise --trace-limit)\n",
+                   static_cast<unsigned long long>(sres.trace.dropped));
+    }
+#else
+    std::fprintf(stderr,
+                 "eac_cli: --trace ignored: built with -DEAC_TRACE=OFF\n");
 #endif
   }
 

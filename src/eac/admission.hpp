@@ -20,6 +20,28 @@ struct FlowSpec {
   double epsilon = 0.0;            ///< acceptance threshold
 };
 
+/// Why a probe session rejected (or kNone when it admitted). Shared by
+/// the per-reason telemetry counters and the trace span verdicts so the
+/// two layers can never disagree. The numeric values are a wire format:
+/// trace spans pack them into Event args, and both the Chrome exporter
+/// (src/trace/trace.cpp) and tools/trace_report.py decode them by value.
+enum class RejectReason : std::uint8_t {
+  kNone = 0,         ///< admitted
+  kThreshold = 1,    ///< final-stage signal fraction above epsilon
+  kEarlyStage = 2,   ///< an earlier slow-start stage exceeded epsilon
+  kBudgetAbort = 3,  ///< whole-probe loss budget blown mid-probe (kSimple)
+};
+
+inline const char* reject_reason_name(RejectReason r) {
+  switch (r) {
+    case RejectReason::kNone: return "none";
+    case RejectReason::kThreshold: return "threshold";
+    case RejectReason::kEarlyStage: return "early_stage";
+    case RejectReason::kBudgetAbort: return "abort";
+  }
+  return "?";
+}
+
 /// Renders an admit/reject decision for a flow. Endpoint policies take
 /// ~probe-duration to answer; router-based MBAC answers immediately. The
 /// callback is invoked exactly once, possibly asynchronously.

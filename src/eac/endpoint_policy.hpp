@@ -9,6 +9,7 @@
 #include "eac/probe_session.hpp"
 #include "net/topology.hpp"
 #include "telemetry/telemetry.hpp"
+#include "trace/trace.hpp"
 
 namespace eac {
 
@@ -36,6 +37,10 @@ class EndpointAdmission : public AdmissionPolicy {
           // congesting the very path it is admission-testing.
           EAC_TEL(if (!admitted && sessions_.size() > 1) telemetry::add(
                       tel_thrash_, 1.0, sim_.now()));
+          EAC_TRC(if (!admitted && sessions_.size() > 1) {
+            trace::emit(trace::EventKind::kThrashReject, 'i', sim_.now(), id,
+                        sessions_.size() - 1);
+          });
           sessions_.erase(id);  // safe: verdict arrives via a fresh event
           EAC_TEL(telemetry::set(tel_active_,
                                  static_cast<double>(sessions_.size()),

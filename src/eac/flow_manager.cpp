@@ -91,6 +91,10 @@ void FlowManager::attempt(std::size_t class_idx, net::FlowId id,
   spec.packet_size = cls.packet_size;
   spec.epsilon = cls.epsilon;
 
+  EAC_TRC(trace::emit(trace::EventKind::kFlowArrival, 'i', sim_.now(), id,
+                      static_cast<std::uint64_t>(attempt_no),
+                      static_cast<std::uint64_t>(cls.group)));
+
   policy_.request(spec, [this, class_idx, id, attempt_no](bool admitted) {
     const FlowClass& c = cfg_.classes[class_idx];
     stats_.record_decision(c.group, admitted);
@@ -99,6 +103,9 @@ void FlowManager::attempt(std::size_t class_idx, net::FlowId id,
     EAC_TEL(telemetry::add(tel_attempts_, 1.0, sim_.now()));
     EAC_TEL(telemetry::add(admitted ? tel_admitted_ : tel_rejected_, 1.0,
                            sim_.now()));
+    EAC_TRC(trace::emit(trace::EventKind::kFlowVerdict, 'i', sim_.now(), id,
+                        static_cast<std::uint64_t>(admitted),
+                        static_cast<std::uint64_t>(attempt_no)));
     if (admitted) {
       admit(c, id);
       return;
@@ -148,6 +155,8 @@ void FlowManager::admit(const FlowClass& cls, net::FlowId id) {
     stats_.record_data_sent(group);
   });
 
+  EAC_TRC(trace::emit(trace::EventKind::kDataPhase, 'B', sim_.now(), id,
+                      static_cast<std::uint64_t>(cls.group)));
   topo_.node(cls.dst).attach_sink(id, flow.sink.get());
   flow.source->start();
   active_.emplace(id, std::move(flow));
@@ -162,6 +171,8 @@ void FlowManager::depart(net::FlowId id) {
   EAC_TEL_EVENT_CATEGORY(kFlows);
   auto it = active_.find(id);
   if (it == active_.end()) return;
+  EAC_TRC(trace::emit(trace::EventKind::kDataPhase, 'E', sim_.now(), id,
+                      static_cast<std::uint64_t>(it->second.sink->group())));
   it->second.source->stop();
   // Keep the sink attached briefly so in-flight packets are delivered and
   // counted; then release everything.

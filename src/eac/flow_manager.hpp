@@ -13,6 +13,7 @@
 #include "sim/simulator.hpp"
 #include "stats/flow_stats.hpp"
 #include "telemetry/telemetry.hpp"
+#include "trace/trace.hpp"
 #include "traffic/onoff_source.hpp"
 #include "traffic/catalog.hpp"
 #include "traffic/trace.hpp"
@@ -87,9 +88,15 @@ class FlowManager {
         : sim_{sim}, stats_{stats}, group_{group} {}
     void handle(net::Packet p) override {
       EAC_TEL_EVENT_CATEGORY(kNet);  // data delivery = network work
+      EAC_TRC(if (p.ecn_marked) {
+        trace::emit(trace::EventKind::kEcnEcho, 'i', sim_.now(), p.flow,
+                    p.seq);
+      });
       stats_.record_data_received(group_, p.ecn_marked);
       stats_.record_delay((sim_.now() - p.created).to_seconds());
     }
+
+    int group() const { return group_; }
 
    private:
     sim::Simulator& sim_;

@@ -1,7 +1,10 @@
 #include "eac/probe_session.hpp"
 
+#include <bit>
 #include <cassert>
 #include <cmath>
+
+#include "trace/trace.hpp"
 
 namespace eac {
 
@@ -53,6 +56,20 @@ ProbeSession::ProbeSession(sim::Simulator& sim, const EacConfig& cfg,
               "probe.packets_sent", telemetry::SeriesKind::kCounter));
   EAC_TEL(tel_loss_hist_ = telemetry::register_histogram(
               "probe.loss_fraction", 0.0, 1.0, 20));
+  // Per-reason reject counters, one per RejectReason (satellite of the
+  // trace layer: spans and counters decode the same enum).
+  EAC_TEL(tel_rej_threshold_ = telemetry::register_series(
+              "probe.reject.threshold", telemetry::SeriesKind::kCounter));
+  EAC_TEL(tel_rej_early_ = telemetry::register_series(
+              "probe.reject.early_stage", telemetry::SeriesKind::kCounter));
+  EAC_TEL(tel_rej_abort_ = telemetry::register_series(
+              "probe.reject.abort", telemetry::SeriesKind::kCounter));
+  EAC_TEL(tel_rej_stage_ = telemetry::register_series(
+              "probe.reject.stage", telemetry::SeriesKind::kMean));
+
+  EAC_TRC(trace::emit(trace::EventKind::kProbeSession, 'B', sim_.now(),
+                      spec_.flow, planned_total_,
+                      static_cast<std::uint64_t>(spec_.rate_bps)));
 
   dst_node_.attach_sink(spec_.flow, this);
   start_stage(0);
@@ -86,6 +103,9 @@ void ProbeSession::start_stage(int stage) {
   current_stage_ = stage;
   auto& s = stages_[static_cast<std::size_t>(stage)];
   s.first_seq = sender_->packets_sent();
+  EAC_TRC(trace::emit(trace::EventKind::kProbeStage, 'B', sim_.now(),
+                      spec_.flow, static_cast<std::uint64_t>(stage),
+                      static_cast<std::uint64_t>(stage_rate(stage))));
   sender_->set_rate(stage_rate(stage));
   if (stage == 0) sender_->start();
   pending_events_.push_back(
@@ -99,6 +119,8 @@ void ProbeSession::end_stage(int stage) {
   auto& s = stages_[static_cast<std::size_t>(stage)];
   s.sent = sender_->packets_sent() - s.first_seq;
   s.closed = true;
+  EAC_TRC(trace::emit(trace::EventKind::kProbeStage, 'E', sim_.now(),
+                      spec_.flow, static_cast<std::uint64_t>(stage), s.sent));
   const bool last = stage + 1 == stage_count(cfg_);
   if (last) {
     sender_->stop();
@@ -131,10 +153,15 @@ void ProbeSession::judge_stage(int stage) {
   // the design being evaluated, not an artifact.
   const auto& s = stages_[static_cast<std::size_t>(stage)];
   const bool last = stage + 1 == stage_count(cfg_);
-  if (signal_fraction(s) > spec_.epsilon) {
-    finish(false);
+  const double frac = signal_fraction(s);
+  EAC_TRC(trace::emit(trace::EventKind::kProbeCheckpoint, 'i', sim_.now(),
+                      spec_.flow, static_cast<std::uint64_t>(stage),
+                      std::bit_cast<std::uint64_t>(frac)));
+  if (frac > spec_.epsilon) {
+    finish(false,
+           last ? RejectReason::kThreshold : RejectReason::kEarlyStage, stage);
   } else if (last) {
-    finish(true);
+    finish(true, RejectReason::kNone, stage);
   }
 }
 
@@ -152,7 +179,7 @@ void ProbeSession::abort_check() {
   double bad = lost > 0 ? lost : 0;
   if (cfg_.signal == SignalType::kMark) bad += static_cast<double>(total_marked_);
   if (bad > spec_.epsilon * static_cast<double>(planned_total_)) {
-    finish(false);
+    finish(false, RejectReason::kBudgetAbort, current_stage_);
     return;
   }
   abort_timer_ = sim_.schedule_after(
@@ -162,6 +189,11 @@ void ProbeSession::abort_check() {
 void ProbeSession::handle(net::Packet p) {
   EAC_TEL_EVENT_CATEGORY(kProbe);
   if (finished_) return;
+  // Emitted behind the same finished_ gate that guards total_received_,
+  // so a trace reconstruction of "received" matches the session exactly.
+  EAC_TRC(trace::emit(trace::EventKind::kProbeRecv, 'i', sim_.now(),
+                      spec_.flow, p.seq,
+                      static_cast<std::uint64_t>(p.ecn_marked)));
   ++total_received_;
   if (p.ecn_marked) ++total_marked_;
   // Attribute to the stage whose seq range contains it. Only stages that
@@ -178,7 +210,7 @@ void ProbeSession::handle(net::Packet p) {
   }
 }
 
-void ProbeSession::finish(bool admitted) {
+void ProbeSession::finish(bool admitted, RejectReason reason, int stage) {
   if (finished_) return;
   finished_ = true;
 #if EAC_TELEMETRY_ENABLED
@@ -198,7 +230,47 @@ void ProbeSession::finish(bool admitted) {
       telemetry::observe(tel_loss_hist_, frac);
       telemetry::add(tel_sent_, static_cast<double>(sent), sim_.now());
     }
+    if (!admitted) {
+      switch (reason) {
+        case RejectReason::kThreshold:
+          telemetry::add(tel_rej_threshold_, 1.0, sim_.now());
+          break;
+        case RejectReason::kEarlyStage:
+          telemetry::add(tel_rej_early_, 1.0, sim_.now());
+          break;
+        case RejectReason::kBudgetAbort:
+          telemetry::add(tel_rej_abort_, 1.0, sim_.now());
+          break;
+        case RejectReason::kNone:
+          break;
+      }
+      telemetry::set(tel_rej_stage_, static_cast<double>(stage), sim_.now());
+    }
   }
+#endif
+#if EAC_TRACE_ENABLED
+  {
+    // A reject can land mid-stage; close the open stage span so every 'B'
+    // has its 'E' (read-only: session state is untouched).
+    if (current_stage_ >= 0 &&
+        !stages_[static_cast<std::size_t>(current_stage_)].closed) {
+      const auto& open = stages_[static_cast<std::size_t>(current_stage_)];
+      trace::emit(trace::EventKind::kProbeStage, 'E', sim_.now(), spec_.flow,
+                  static_cast<std::uint64_t>(current_stage_),
+                  sender_->packets_sent() - open.first_seq);
+    }
+    const std::uint64_t sent = sender_->packets_sent();
+    const std::uint64_t verdict =
+        static_cast<std::uint64_t>(admitted) |
+        (static_cast<std::uint64_t>(reason) << 1) |
+        (static_cast<std::uint64_t>(stage < 0 ? 0 : stage) << 8) |
+        (total_marked_ << 16);
+    trace::emit(trace::EventKind::kProbeSession, 'E', sim_.now(), spec_.flow,
+                verdict, sent | (total_received_ << 32));
+  }
+#else
+  (void)reason;
+  (void)stage;
 #endif
   sender_->stop();
   dst_node_.detach_sink(spec_.flow);

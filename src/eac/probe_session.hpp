@@ -58,7 +58,9 @@ class ProbeSession : public net::PacketHandler {
   void end_stage(int stage);
   void judge_stage(int stage);
   void abort_check();
-  void finish(bool admitted);
+  /// `reason` is kNone iff admitted; `stage` is the stage the verdict was
+  /// rendered on (feeds the per-reason telemetry and the trace span).
+  void finish(bool admitted, RejectReason reason, int stage);
   double signal_fraction(const Stage& s) const;
 
   sim::Simulator& sim_;
@@ -78,6 +80,10 @@ class ProbeSession : public net::PacketHandler {
   EAC_TEL_ONLY(telemetry::SeriesId tel_loss_ = telemetry::kNoSeries;)
   EAC_TEL_ONLY(telemetry::SeriesId tel_sent_ = telemetry::kNoSeries;)
   EAC_TEL_ONLY(telemetry::HistogramId tel_loss_hist_ = telemetry::kNoSeries;)
+  EAC_TEL_ONLY(telemetry::SeriesId tel_rej_threshold_ = telemetry::kNoSeries;)
+  EAC_TEL_ONLY(telemetry::SeriesId tel_rej_early_ = telemetry::kNoSeries;)
+  EAC_TEL_ONLY(telemetry::SeriesId tel_rej_abort_ = telemetry::kNoSeries;)
+  EAC_TEL_ONLY(telemetry::SeriesId tel_rej_stage_ = telemetry::kNoSeries;)
 };
 
 }  // namespace eac

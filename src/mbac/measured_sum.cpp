@@ -1,6 +1,7 @@
 #include "mbac/measured_sum.hpp"
 
 #include <algorithm>
+#include <bit>
 
 namespace eac::mbac {
 
@@ -12,6 +13,7 @@ MeasuredSumEstimator::MeasuredSumEstimator(sim::Simulator& sim,
   EAC_TEL(tel_estimate_ = telemetry::register_series(
               "mbac." + link_.name() + ".estimate_bps",
               telemetry::SeriesKind::kGaugeLast));
+  EAC_TRC(trc_track_ = trace::register_track("mbac." + link_.name()));
   sim_.schedule_after(sim::SimTime::seconds(cfg_.sample_period_s),
                       [this] { sample(); });
 }
@@ -30,6 +32,10 @@ void MeasuredSumEstimator::sample() {
   // measurement reflects those flows; drop the boost.
   if (samples_taken_ % window_.size() == 0) boost_bps_ = 0;
   EAC_TEL(telemetry::set(tel_estimate_, estimate_bps(), sim_.now()));
+  EAC_TRC(if (trc_track_ != 0) {
+    trace::emit(trace::EventKind::kMbacEstimate, 'C', sim_.now(), 0,
+                std::bit_cast<std::uint64_t>(estimate_bps()), 0, trc_track_);
+  });
   sim_.schedule_after(sim::SimTime::seconds(cfg_.sample_period_s),
                       [this] { sample(); });
 }

@@ -16,6 +16,7 @@
 #include "net/link.hpp"
 #include "sim/simulator.hpp"
 #include "telemetry/telemetry.hpp"
+#include "trace/trace.hpp"
 
 namespace eac::mbac {
 
@@ -56,6 +57,7 @@ class MeasuredSumEstimator {
   std::uint64_t last_bytes_ = 0;
   double boost_bps_ = 0;
   EAC_TEL_ONLY(telemetry::SeriesId tel_estimate_ = telemetry::kNoSeries;)
+  EAC_TRC_ONLY(std::uint16_t trc_track_ = 0;)
 };
 
 }  // namespace eac::mbac

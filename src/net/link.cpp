@@ -18,6 +18,8 @@ Link::Link(sim::Simulator& sim, std::string name, double rate_bps,
               name_ + ".tx.bytes", telemetry::SeriesKind::kCounter));
   EAC_TEL(tel_tx_data_bytes_ = telemetry::register_series(
               name_ + ".tx.data_bytes", telemetry::SeriesKind::kCounter));
+  EAC_TRC(trc_track_ = trace::register_track(name_));
+  EAC_TRC(queue_->enable_trace(name_));
 }
 
 void Link::handle(Packet p) {
@@ -70,17 +72,14 @@ void Link::on_tx_complete(Packet p) {
               sim_.now()));
   if (measuring_) measured_.count(p);
   if (tx_observer_) tx_observer_(p, sim_.now());
+  EAC_TRC(if (trc_track_ != 0) {
+    trace::emit(trace::EventKind::kLinkTx, 'i', sim_.now(), p.flow, p.seq,
+                trc_packet_bits(p), trc_track_);
+  });
   if (dst_ != nullptr) {
-#if EAC_AUDIT_ENABLED
     // The packet stays "in flight" on this link until the propagation
     // event hands it to the destination.
-    sim_.schedule_after(prop_delay_, [this, dst = dst_, p] {
-      --audit_in_flight_;
-      dst->handle(p);
-    });
-#else
-    sim_.schedule_after(prop_delay_, [dst = dst_, p] { dst->handle(p); });
-#endif
+    sim_.schedule_after(prop_delay_, [this, p] { deliver(p); });
   } else {
     // No destination attached (test harnesses): the packet leaves the
     // network here.
@@ -88,6 +87,15 @@ void Link::on_tx_complete(Packet p) {
     EAC_AUDIT_COUNT(packets_delivered, 1);
   }
   try_transmit();
+}
+
+void Link::deliver(Packet p) {
+  EAC_AUDIT_ONLY(--audit_in_flight_;)
+  EAC_TRC(if (trc_track_ != 0) {
+    trace::emit(trace::EventKind::kLinkRx, 'i', sim_.now(), p.flow, p.seq,
+                trc_packet_bits(p), trc_track_);
+  });
+  dst_->handle(p);
 }
 
 double Link::measured_data_utilization(sim::SimTime end, double share_bps) const {

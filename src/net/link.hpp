@@ -81,6 +81,7 @@ class Link : public PacketHandler {
  private:
   void try_transmit();
   void on_tx_complete(Packet p);
+  void deliver(Packet p);
 
   sim::Simulator& sim_;
   std::string name_;
@@ -96,6 +97,7 @@ class Link : public PacketHandler {
   LinkCounters measured_;
   EAC_TEL_ONLY(telemetry::SeriesId tel_tx_bytes_ = telemetry::kNoSeries;)
   EAC_TEL_ONLY(telemetry::SeriesId tel_tx_data_bytes_ = telemetry::kNoSeries;)
+  EAC_TRC_ONLY(std::uint16_t trc_track_ = 0;)
   EAC_AUDIT_ONLY(std::uint64_t audit_in_flight_ = 0;)
   std::function<void(const Packet&, sim::SimTime)> tx_observer_;
 };

@@ -37,9 +37,24 @@ class MarkingQueue : public QueueDisc {
   }
 #endif
 
+#if EAC_TRACE_ENABLED
+  void enable_trace(std::string_view label) override {
+    // Outer shells emit the stack's enqueue/dequeue instants; the inner
+    // discipline's real drops must still surface on the same track.
+    QueueDisc::enable_trace(label);
+    inner_->set_trace_drop_track(trc_track());
+  }
+#endif
+
  protected:
   bool do_enqueue(Packet p, sim::SimTime now) override {
-    if (p.ecn_capable && marker_.on_arrival(p, now)) p.ecn_marked = true;
+    if (p.ecn_capable && marker_.on_arrival(p, now)) {
+      p.ecn_marked = true;
+      EAC_TRC(if (trc_track() != 0) {
+        trace::emit(trace::EventKind::kMark, 'i', now, p.flow, p.seq,
+                    trc_packet_bits(p), trc_track());
+      });
+    }
     return inner_->enqueue(p, now);
   }
   std::optional<Packet> do_dequeue(sim::SimTime now) override {

@@ -21,8 +21,18 @@
 #include "sim/audit.hpp"
 #include "sim/time.hpp"
 #include "telemetry/telemetry.hpp"
+#include "trace/trace.hpp"
 
 namespace eac::net {
+
+#if EAC_TRACE_ENABLED
+/// Event::b payload every queue/link instant carries for a packet.
+inline std::uint64_t trc_packet_bits(const Packet& p) {
+  return trace::pack_packet_bits(p.size_bytes,
+                                 static_cast<std::uint8_t>(p.type), p.band,
+                                 p.ecn_marked);
+}
+#endif
 
 /// Per-type drop counters a queue maintains for diagnostics.
 struct QueueDropStats {
@@ -53,6 +63,9 @@ class QueueDisc {
 
   /// Offer a packet. Returns false if the arriving packet was dropped.
   bool enqueue(Packet p, sim::SimTime now) {
+    // record_drop has no time parameter (drops only ever happen inside
+    // do_enqueue), so the shell stashes `now` for the drop instants.
+    EAC_TRC(trc_now_ = now);
 #if EAC_AUDIT_ENABLED
     const bool accepted = do_enqueue(p, now);
     if (accepted) {
@@ -63,13 +76,15 @@ class QueueDisc {
       audit_rejected_bytes_ += p.size_bytes;
     }
     audit_verify_ledger("enqueue");
-    EAC_TEL(tel_sample(now));
-    return accepted;
 #else
     const bool accepted = do_enqueue(p, now);
-    EAC_TEL(tel_sample(now));
-    return accepted;
 #endif
+    EAC_TEL(tel_sample(now));
+    EAC_TRC(if (accepted && trc_track_ != 0) {
+      trace::emit(trace::EventKind::kEnqueue, 'i', now, p.flow, p.seq,
+                  trc_packet_bits(p), trc_track_);
+    });
+    return accepted;
   }
 
   /// Next packet to transmit, or nullopt when empty.
@@ -81,13 +96,15 @@ class QueueDisc {
       audit_dequeued_bytes_ += p->size_bytes;
     }
     audit_verify_ledger("dequeue");
-    EAC_TEL(tel_sample(now));
-    return p;
 #else
     std::optional<Packet> p = do_dequeue(now);
-    EAC_TEL(tel_sample(now));
-    return p;
 #endif
+    EAC_TEL(tel_sample(now));
+    EAC_TRC(if (p && trc_track_ != 0) {
+      trace::emit(trace::EventKind::kDequeue, 'i', now, p->flow, p->seq,
+                  trc_packet_bits(*p), trc_track_);
+    });
+    return p;
   }
 
   virtual bool empty() const = 0;
@@ -114,18 +131,43 @@ class QueueDisc {
   virtual void enable_telemetry(std::string_view label);
 #endif
 
+#if EAC_TRACE_ENABLED
+  /// Opt this queue into event tracing on a track named after the owning
+  /// link. As with telemetry, only the outermost queue of a decorator
+  /// stack is enabled — its shells emit the enqueue/dequeue instants —
+  /// but decorators extend this to point the *inner* discipline's drop
+  /// instants (tail overflows, RED, push-outs) at the stack's track via
+  /// set_trace_drop_track, so every drop surfaces exactly once.
+  virtual void enable_trace(std::string_view label) {
+    trc_track_ = trace::register_track(label);
+    trc_drop_track_ = trc_track_;
+  }
+  virtual void set_trace_drop_track(std::uint16_t track) {
+    trc_drop_track_ = track;
+  }
+#endif
+
  protected:
   /// Subclass hooks behind the audited public entry points.
   virtual bool do_enqueue(Packet p, sim::SimTime now) = 0;
   virtual std::optional<Packet> do_dequeue(sim::SimTime now) = 0;
+
+#if EAC_TRACE_ENABLED
+  /// The stack's track id, for decorators' own instants (marks, vdrops).
+  std::uint16_t trc_track() const { return trc_track_; }
+#endif
 
   void record_drop(const Packet& p) {
     drops_.count(p);
     // Every dropped packet leaves the network exactly here (arrival
     // rejections and push-outs alike), so the run-wide conservation tally
     // counts drops at this single point and decorators cannot double
-    // count them.
+    // count them. The trace instant shares the property.
     EAC_AUDIT_COUNT(packets_dropped, 1);
+    EAC_TRC(if (trc_drop_track_ != 0) {
+      trace::emit(trace::EventKind::kDrop, 'i', trc_now_, p.flow, p.seq,
+                  trc_packet_bits(p), trc_drop_track_);
+    });
   }
 
  private:
@@ -144,6 +186,12 @@ class QueueDisc {
   // Last cumulative drop counts already reported, so each sample emits
   // only the delta and the exported counter stays a true cumulative.
   mutable QueueDropStats tel_reported_drops_;
+#endif
+
+#if EAC_TRACE_ENABLED
+  std::uint16_t trc_track_ = 0;       ///< shell instants; 0 = untraced
+  std::uint16_t trc_drop_track_ = 0;  ///< record_drop instants
+  sim::SimTime trc_now_;              ///< stashed by the enqueue shell
 #endif
 
 #if EAC_AUDIT_ENABLED

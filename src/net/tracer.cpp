@@ -15,10 +15,10 @@ const char* type_name(PacketType t) {
 
 void PacketTracer::dump(std::ostream& os) const {
   for (const TraceRecord& r : records_) {
-    os << "+ " << r.time.to_seconds() << " flow " << r.packet.flow << " seq "
-       << r.packet.seq << ' ' << type_name(r.packet.type) << ' '
-       << r.packet.size_bytes << "B band " << int{r.packet.band};
-    if (r.packet.ecn_marked) os << " CE";
+    os << "+ " << r.time.to_seconds() << " flow " << r.flow << " seq "
+       << r.seq << ' ' << type_name(r.type) << ' ' << r.size_bytes
+       << "B band " << int{r.band};
+    if (r.ecn_marked) os << " CE";
     os << '\n';
   }
 }

@@ -1,6 +1,12 @@
 // Lightweight packet tracing, ns-style: subscribe to a link and get one
 // record per transmitted packet. Useful for debugging scenarios and for
 // tests that assert on timing/ordering without instrumenting endpoints.
+//
+// This is the legacy *text* front-end; for whole-run structured tracing
+// (every hop, spans, Perfetto export) use src/trace/ and --trace=PATH.
+// PacketTracer stays because its per-link attach point and predicate
+// filter are convenient in unit tests; records are compact (24 bytes, no
+// Packet copy) so long runs stay bounded by record count, not payload.
 #pragma once
 
 #include <cstdint>
@@ -13,14 +19,21 @@
 
 namespace eac::net {
 
-/// One trace record: a packet leaving a link at a given time.
+/// One trace record: the fields of a packet leaving a link that the text
+/// dump renders, nothing more (a full Packet copy tripled the size with
+/// TCP/ECN state the dump never printed).
 struct TraceRecord {
   sim::SimTime time;
-  Packet packet;
+  FlowId flow = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t size_bytes = 0;
+  PacketType type = PacketType::kData;
+  std::uint8_t band = 0;
+  bool ecn_marked = false;
 };
 
 /// Collects transmit records, optionally filtered; can dump them as
-/// ns-like text lines ("+ 1.000125 flow 7 seq 42 data 125B").
+/// ns-like text lines ("+ 1.000125 flow 7 seq 42 data 125B band 0").
 class PacketTracer {
  public:
   using Filter = std::function<bool(const Packet&)>;
@@ -32,7 +45,8 @@ class PacketTracer {
   /// Hook compatible with Link::set_tx_observer.
   void operator()(const Packet& p, sim::SimTime t) {
     if (filter_ && !filter_(p)) return;
-    records_.push_back(TraceRecord{t, p});
+    records_.push_back(TraceRecord{t, p.flow, p.seq, p.size_bytes, p.type,
+                                   p.band, p.ecn_marked});
   }
 
   const std::vector<TraceRecord>& records() const { return records_; }

@@ -44,6 +44,15 @@ class VirtualDropQueue : public QueueDisc {
   }
 #endif
 
+#if EAC_TRACE_ENABLED
+  void enable_trace(std::string_view label) override {
+    // Virtual probe drops go through this level's record_drop (already on
+    // the stack's track); real drops happen in the inner discipline.
+    QueueDisc::enable_trace(label);
+    inner_->set_trace_drop_track(trc_track());
+  }
+#endif
+
  protected:
   bool do_enqueue(Packet p, sim::SimTime now) override {
     const bool virtually_dropped = marker_.on_arrival(p, now);

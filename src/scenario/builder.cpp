@@ -124,6 +124,12 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
   telemetry::Recorder* tel = telemetry::current();
   if (tel != nullptr) tel->begin_run();
 #endif
+#if EAC_TRACE_ENABLED
+  // Same for the trace sink: components register their tracks as they are
+  // constructed, so the ring and track table must be fresh first.
+  trace::Sink* trc = trace::current();
+  if (trc != nullptr) trc->begin_run();
+#endif
 
   sim::Simulator sim;
   net::Topology topo{sim};
@@ -225,6 +231,9 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
   res.delay_p99_s = stats.delays().quantile(0.99);
 #if EAC_TELEMETRY_ENABLED
   if (tel != nullptr) tel->export_into(res.telemetry, end);
+#endif
+#if EAC_TRACE_ENABLED
+  if (trc != nullptr) trc->export_summary(res.trace);
 #endif
   return res;
 }

@@ -271,6 +271,22 @@ std::string to_json(const telemetry::Report& t) {
   return w.take();
 }
 
+std::string to_json(const trace::Summary& t) {
+  JsonWriter w;
+  w.object_begin()
+      .field("recorded", t.recorded)
+      .field("dropped", t.dropped)
+      .field("engine_events", t.engine_events)
+      .key("categories")
+      .object_begin();
+  for (std::size_t i = 0; i < trace::kCategoryCount; ++i) {
+    w.field(trace::category_name(static_cast<trace::Category>(i)),
+            t.by_category[i]);
+  }
+  w.object_end().object_end();
+  return w.take();
+}
+
 std::string to_json(const RunResult& r) {
   JsonWriter w;
   w.object_begin()
@@ -320,6 +336,8 @@ std::string to_json(const ScenarioResult& r) {
   if (r.audit.enabled) w.field_raw("audit", to_json(r.audit));
   // Likewise, only recorded runs carry telemetry.
   if (r.telemetry.enabled) w.field_raw("telemetry", to_json(r.telemetry));
+  // And only traced runs carry the trace accounting.
+  if (r.trace.enabled) w.field_raw("trace", to_json(r.trace));
   w.object_end();
   return w.take();
 }

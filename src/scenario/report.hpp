@@ -70,6 +70,11 @@ std::string to_json(const sim::AuditReport& a);
 /// is NOT deterministic; byte-comparing tooling must strip it.
 std::string to_json(const telemetry::Report& t);
 
+/// Event-trace accounting of a traced run (-DEAC_TRACE=ON plus an
+/// installed Sink): events per category, ring-buffer drops. Fully
+/// deterministic (sim-time based).
+std::string to_json(const trace::Summary& t);
+
 /// Per-run results. Shapes are stable (golden-tested in report_test).
 std::string to_json(const RunResult& r);
 std::string to_json(const MultiLinkResult& r);

@@ -21,6 +21,7 @@
 #include "sim/time.hpp"
 #include "stats/flow_stats.hpp"
 #include "telemetry/telemetry.hpp"
+#include "trace/trace.hpp"
 
 namespace eac::scenario {
 
@@ -125,6 +126,10 @@ struct ScenarioResult {
   /// into the simulation: with `telemetry` cleared, a recorded run's
   /// result is bit-identical to an unrecorded one.
   telemetry::Report telemetry;
+  /// Event-trace accounting (counts per category, ring drops); populated
+  /// only when a trace::Sink was installed on the running thread (trace
+  /// builds). Same contract as telemetry: purely observational.
+  trace::Summary trace;
 
   double loss() const { return total.loss_probability(); }
   double blocking() const { return total.blocking_probability(); }

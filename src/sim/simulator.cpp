@@ -1,6 +1,7 @@
 #include "sim/simulator.hpp"
 
 #include "telemetry/telemetry.hpp"
+#include "trace/trace.hpp"
 
 namespace eac::sim {
 
@@ -19,6 +20,7 @@ std::uint64_t Simulator::run(SimTime horizon) {
   // events or touch simulation state, so a recorded run is bit-identical
   // to an unrecorded one.
   EAC_TEL_ONLY(telemetry::Recorder* tel = telemetry::current();)
+  EAC_TRC_ONLY(trace::Sink* trc = trace::current();)
   while (!stopped_ && !heap_.empty()) {
     const Entry top = heap_.front();
     Slot& s = slot(top.slot);
@@ -40,6 +42,7 @@ std::uint64_t Simulator::run(SimTime horizon) {
     EAC_TEL(if (tel != nullptr) tel->event_begin());
     s.fn.invoke_and_dispose();
     EAC_TEL(if (tel != nullptr) tel->event_end(now_, live_, heap_.size()));
+    EAC_TRC(if (trc != nullptr) trc->engine_event());
     free_empty_slot(s, top.slot);
     ++executed;
 #if EAC_AUDIT_ENABLED

@@ -1,0 +1,428 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstring>
+
+namespace eac::trace {
+
+const char* category_name(Category c) {
+  switch (c) {
+    case Category::kFlow: return "flow";
+    case Category::kProbe: return "probe";
+    case Category::kQueue: return "queue";
+    case Category::kLink: return "link";
+    case Category::kMbac: return "mbac";
+  }
+  return "?";
+}
+
+bool category_from_name(std::string_view name, Category& out) {
+  for (std::size_t i = 0; i < kCategoryCount; ++i) {
+    const auto c = static_cast<Category>(i);
+    if (name == category_name(c)) {
+      out = c;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool parse_trace_arg(std::string_view arg, std::string& path, Config& cfg) {
+  const std::size_t colon = arg.find(':');
+  const std::string_view p = arg.substr(0, colon);
+  if (p.empty()) return false;
+  Config parsed;
+  parsed.limit_events = cfg.limit_events;  // --trace-limit composes
+  if (colon != std::string_view::npos) {
+    std::string_view filter = arg.substr(colon + 1);
+    std::uint32_t mask = 0;
+    while (!filter.empty()) {
+      const std::size_t comma = filter.find(',');
+      std::string_view tok = filter.substr(0, comma);
+      filter = comma == std::string_view::npos ? std::string_view{}
+                                               : filter.substr(comma + 1);
+      if (tok.empty()) return false;
+      if (tok.rfind("flow=", 0) == 0) {
+        const std::string_view num = tok.substr(5);
+        std::uint32_t flow = 0;
+        const auto [end, ec] =
+            std::from_chars(num.data(), num.data() + num.size(), flow);
+        if (ec != std::errc{} || end != num.data() + num.size() || flow == 0) {
+          return false;
+        }
+        parsed.flow_filter = flow;
+        continue;
+      }
+      Category c;
+      if (!category_from_name(tok, c)) return false;
+      mask |= 1u << static_cast<unsigned>(c);
+    }
+    if (mask != 0) parsed.category_mask = mask;
+  }
+  path.assign(p);
+  cfg = parsed;
+  return true;
+}
+
+#if EAC_TRACE_ENABLED
+
+Category kind_category(EventKind k) {
+  switch (k) {
+    case EventKind::kFlowArrival:
+    case EventKind::kFlowVerdict:
+    case EventKind::kThrashReject:
+    case EventKind::kDataPhase:
+    case EventKind::kEcnEcho:
+      return Category::kFlow;
+    case EventKind::kProbeSession:
+    case EventKind::kProbeStage:
+    case EventKind::kProbeCheckpoint:
+    case EventKind::kProbeRecv:
+      return Category::kProbe;
+    case EventKind::kEnqueue:
+    case EventKind::kDequeue:
+    case EventKind::kDrop:
+    case EventKind::kMark:
+      return Category::kQueue;
+    case EventKind::kLinkTx:
+    case EventKind::kLinkRx:
+      return Category::kLink;
+    case EventKind::kMbacEstimate:
+      return Category::kMbac;
+  }
+  return Category::kFlow;
+}
+
+Sink::Sink(Config cfg) : cfg_{cfg} {
+  if (cfg_.limit_events == 0) cfg_.limit_events = 1;
+  ring_.resize(cfg_.limit_events);
+}
+
+void Sink::begin_run() {
+  head_ = 0;
+  full_ = false;
+  dropped_ = 0;
+  engine_events_ = 0;
+  std::fill(std::begin(by_category_), std::end(by_category_), 0);
+  tracks_.clear();
+}
+
+std::uint16_t Sink::track(std::string_view name) {
+  for (std::size_t i = 0; i < tracks_.size(); ++i) {
+    if (tracks_[i] == name) return static_cast<std::uint16_t>(i + 1);
+  }
+  tracks_.emplace_back(name);
+  return static_cast<std::uint16_t>(tracks_.size());
+}
+
+std::vector<Event> Sink::snapshot() const {
+  std::vector<Event> out;
+  out.reserve(recorded());
+  if (full_) {
+    out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(head_),
+               ring_.end());
+  }
+  out.insert(out.end(), ring_.begin(),
+             ring_.begin() + static_cast<std::ptrdiff_t>(head_));
+  return out;
+}
+
+void Sink::export_summary(Summary& out) const {
+  out.enabled = true;
+  out.recorded = recorded();
+  out.dropped = dropped_;
+  out.engine_events = engine_events_;
+  std::copy(std::begin(by_category_), std::end(by_category_),
+            std::begin(out.by_category));
+}
+
+namespace {
+
+// The exporter builds the document by hand: the trace library sits below
+// scenario/ in the dependency graph, so it cannot reuse the JsonWriter
+// there. Doubles use the shortest round-trip form for determinism.
+
+void append_double(std::string& out, double v) {
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, end);
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  out += std::to_string(v);
+}
+
+void append_escaped(std::string& out, std::string_view v) {
+  out += '"';
+  for (char c : v) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+}
+
+const char* packet_type_name(std::uint64_t packed_b) {
+  switch ((packed_b >> 32) & 0xFF) {
+    case 0: return "data";
+    case 1: return "probe";
+    case 2: return "be";
+  }
+  return "?";
+}
+
+const char* reject_reason_label(std::uint64_t reason) {
+  switch (reason) {
+    case 0: return "none";
+    case 1: return "threshold";
+    case 2: return "early-stage";
+    case 3: return "budget-abort";
+  }
+  return "?";
+}
+
+struct KindInfo {
+  const char* name;
+  bool packet_args;  ///< a = seq, b = pack_packet_bits
+};
+
+KindInfo kind_info(EventKind k) {
+  switch (k) {
+    case EventKind::kFlowArrival: return {"arrival", false};
+    case EventKind::kFlowVerdict: return {"verdict", false};
+    case EventKind::kThrashReject: return {"thrash_reject", false};
+    case EventKind::kDataPhase: return {"data", false};
+    case EventKind::kEcnEcho: return {"ecn_echo", false};
+    case EventKind::kProbeSession: return {"probe", false};
+    case EventKind::kProbeStage: return {"stage", false};
+    case EventKind::kProbeCheckpoint: return {"checkpoint", false};
+    case EventKind::kProbeRecv: return {"probe_recv", false};
+    case EventKind::kEnqueue: return {"enqueue", true};
+    case EventKind::kDequeue: return {"dequeue", true};
+    case EventKind::kDrop: return {"drop", true};
+    case EventKind::kMark: return {"mark", true};
+    case EventKind::kLinkTx: return {"link_tx", true};
+    case EventKind::kLinkRx: return {"link_rx", true};
+    case EventKind::kMbacEstimate: return {"estimate_bps", false};
+  }
+  return {"?", false};
+}
+
+/// Kind-specific args object. Packed integers are unpacked here, at
+/// export time, so tools never need the bit layout.
+void append_args(std::string& out, const Event& e) {
+  out += "{";
+  const auto field = [&out](const char* k, bool first = false) {
+    if (!first) out += ',';
+    out += '"';
+    out += k;
+    out += "\":";
+  };
+  if (kind_info(e.kind).packet_args) {
+    field("seq", true);
+    append_u64(out, e.a);
+    field("flow");
+    append_u64(out, e.flow);
+    field("size");
+    append_u64(out, e.b & 0xFFFF'FFFFu);
+    field("type");
+    out += '"';
+    out += packet_type_name(e.b);
+    out += '"';
+    field("band");
+    append_u64(out, (e.b >> 40) & 0xFF);
+    field("marked");
+    out += ((e.b >> 48) & 1) != 0 ? "true" : "false";
+    out += '}';
+    return;
+  }
+  switch (e.kind) {
+    case EventKind::kFlowArrival:
+      field("attempt", true);
+      append_u64(out, e.a);
+      field("group");
+      append_u64(out, e.b);
+      break;
+    case EventKind::kFlowVerdict:
+      field("admitted", true);
+      out += e.a != 0 ? "true" : "false";
+      field("attempt");
+      append_u64(out, e.b);
+      break;
+    case EventKind::kThrashReject:
+      field("concurrent_probes", true);
+      append_u64(out, e.a);
+      break;
+    case EventKind::kDataPhase:
+      field("group", true);
+      append_u64(out, e.a);
+      break;
+    case EventKind::kEcnEcho:
+      field("seq", true);
+      append_u64(out, e.a);
+      break;
+    case EventKind::kProbeSession:
+      if (e.phase == 'E') {
+        field("admitted", true);
+        out += (e.a & 1) != 0 ? "true" : "false";
+        field("reason");
+        out += '"';
+        out += reject_reason_label((e.a >> 1) & 0x7F);
+        out += '"';
+        field("stage");
+        append_u64(out, (e.a >> 8) & 0xFF);
+        field("marked");
+        append_u64(out, e.a >> 16);
+        field("sent");
+        append_u64(out, e.b & 0xFFFF'FFFFu);
+        field("received");
+        append_u64(out, e.b >> 32);
+      } else {
+        field("planned_packets", true);
+        append_u64(out, e.a);
+        field("rate_bps");
+        append_u64(out, e.b);
+      }
+      break;
+    case EventKind::kProbeStage:
+      field("stage", true);
+      append_u64(out, e.a);
+      field(e.phase == 'E' ? "sent" : "rate_bps");
+      append_u64(out, e.b);
+      break;
+    case EventKind::kProbeCheckpoint: {
+      field("stage", true);
+      append_u64(out, e.a);
+      field("signal_fraction");
+      double frac;
+      static_assert(sizeof(frac) == sizeof(e.b));
+      std::memcpy(&frac, &e.b, sizeof(frac));
+      append_double(out, frac);
+      break;
+    }
+    case EventKind::kProbeRecv:
+      field("seq", true);
+      append_u64(out, e.a);
+      field("marked");
+      out += e.b != 0 ? "true" : "false";
+      break;
+    case EventKind::kMbacEstimate: {
+      field("value", true);
+      double v;
+      static_assert(sizeof(v) == sizeof(e.a));
+      std::memcpy(&v, &e.a, sizeof(v));
+      append_double(out, v);
+      break;
+    }
+    default:
+      break;
+  }
+  out += '}';
+}
+
+}  // namespace
+
+std::string Sink::export_chrome_json() const {
+  const std::vector<Event> events = snapshot();
+  std::string out;
+  out.reserve(events.size() * 96 + 4096);
+  out += "{\"traceEvents\":[";
+
+  // Track-name metadata: pid 1 = per-flow lifecycle rows, pid 2 = the
+  // packet path (one row per registered queue/link/estimator track).
+  bool first = true;
+  const auto meta = [&](int pid, std::uint64_t tid, const std::string& name) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":";
+    append_u64(out, static_cast<std::uint64_t>(pid));
+    out += ",\"tid\":";
+    append_u64(out, tid);
+    out += ",\"args\":{\"name\":";
+    append_escaped(out, name);
+    out += "}}";
+  };
+  out += "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":1,"
+         "\"args\":{\"name\":\"flows\"}},"
+         "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":2,"
+         "\"args\":{\"name\":\"network\"}}";
+  first = false;
+  for (std::size_t i = 0; i < tracks_.size(); ++i) {
+    meta(2, i + 1, tracks_[i]);
+  }
+  std::vector<std::uint32_t> flows;
+  for (const Event& e : events) {
+    if (e.flow != 0 && kind_category(e.kind) != Category::kQueue &&
+        kind_category(e.kind) != Category::kLink) {
+      flows.push_back(e.flow);
+    }
+  }
+  std::sort(flows.begin(), flows.end());
+  flows.erase(std::unique(flows.begin(), flows.end()), flows.end());
+  for (std::uint32_t f : flows) {
+    meta(1, f, "flow " + std::to_string(f));
+  }
+
+  for (const Event& e : events) {
+    const Category cat = kind_category(e.kind);
+    // Lifecycle events render on the flow's own row; packet-path events
+    // on their component's row.
+    const bool flow_row = cat == Category::kFlow || cat == Category::kProbe;
+    out += ",{\"name\":";
+    if (e.kind == EventKind::kMbacEstimate && e.track != 0) {
+      append_escaped(out, tracks_[e.track - 1] + ".estimate_bps");
+    } else {
+      append_escaped(out, kind_info(e.kind).name);
+    }
+    out += ",\"cat\":\"";
+    out += category_name(cat);
+    out += "\",\"ph\":\"";
+    out += static_cast<char>(e.phase);
+    out += "\"";
+    if (e.phase == 'i') out += ",\"s\":\"t\"";
+    out += ",\"ts\":";
+    append_double(out, static_cast<double>(e.t_ns) / 1000.0);
+    out += ",\"pid\":";
+    out += flow_row ? '1' : '2';
+    out += ",\"tid\":";
+    append_u64(out, flow_row ? e.flow : e.track);
+    // 'E' events carry args too (our B/E pairs encode the outcome on the
+    // close); Perfetto merges them onto the slice.
+    out += ",\"args\":";
+    append_args(out, e);
+    out += '}';
+  }
+  out += "],\"displayTimeUnit\":\"ms\",\"eacSummary\":{";
+  out += "\"recorded\":";
+  append_u64(out, recorded());
+  out += ",\"dropped\":";
+  append_u64(out, dropped_);
+  out += ",\"engine_events\":";
+  append_u64(out, engine_events_);
+  out += ",\"categories\":{";
+  for (std::size_t i = 0; i < kCategoryCount; ++i) {
+    if (i != 0) out += ',';
+    out += '"';
+    out += category_name(static_cast<Category>(i));
+    out += "\":";
+    append_u64(out, by_category_[i]);
+  }
+  out += "}}}";
+  return out;
+}
+
+namespace {
+thread_local Sink* tl_sink = nullptr;
+}  // namespace
+
+Sink* current() { return tl_sink; }
+
+Sink* exchange_current(Sink* next) {
+  Sink* prev = tl_sink;
+  tl_sink = next;
+  return prev;
+}
+
+#endif  // EAC_TRACE_ENABLED
+
+}  // namespace eac::trace

@@ -1,0 +1,282 @@
+// Compiled-in structured event tracing (-DEAC_TRACE=ON, the default).
+//
+// The telemetry layer (src/telemetry/) answers "how much": binned series
+// of drops, occupancy, admissions. This layer answers "which packet, in
+// what order, on which hop": a per-run stream of compact binary events —
+// flow/probe lifecycle spans and per-packet instants — exportable as
+// Chrome/Perfetto trace_event JSON so an admission decision can be
+// replayed hop by hop (tools/trace_report.py renders per-flow timelines
+// and cross-checks probe loss against raw queue events).
+//
+// Activation mirrors telemetry and audit: a Sink is installed
+// thread-local via trace::Scope, so SweepRunner workers never record
+// unless a sink is installed on their own thread. The contract:
+//
+//   * -DEAC_TRACE=OFF builds contain no tracing code at all: every hook
+//     macro expands to nothing and the instrumented members vanish (CI
+//     proves the binaries carry no trace::Sink symbols).
+//   * With tracing compiled in, recording is opt-in per thread and MUST
+//     NOT perturb results: hooks never allocate on the record path, never
+//     schedule events, never touch RNG; a recorded run's ScenarioResult
+//     is bit-identical to an unrecorded one (tests/trace_test.cpp).
+//
+// Events land in a preallocated ring buffer (Config::limit_events); once
+// full, the oldest events are overwritten and counted as dropped, so
+// memory stays bounded no matter how long the run.
+//
+// The value types (Summary, Config) exist in every build so that
+// ScenarioResult keeps one shape; they are simply never populated when
+// the layer is off.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+#if defined(EAC_TRACE) && EAC_TRACE
+#define EAC_TRACE_ENABLED 1
+#else
+#define EAC_TRACE_ENABLED 0
+#endif
+
+namespace eac::trace {
+
+/// True in trace builds; usable in `if constexpr` where a macro is clumsy.
+inline constexpr bool kTraceEnabled = EAC_TRACE_ENABLED != 0;
+
+/// Coarse event family, used for filtering (--trace=PATH:probe,queue) and
+/// for the per-category counts in the exported Summary.
+enum class Category : std::uint8_t {
+  kFlow,   ///< flow arrival/verdict/data-phase lifecycle
+  kProbe,  ///< probe session/stage spans, checkpoints, receptions
+  kQueue,  ///< enqueue/dequeue/drop/mark per queue discipline
+  kLink,   ///< transmission complete / propagation delivered
+  kMbac,   ///< Measured Sum estimate updates
+};
+inline constexpr std::size_t kCategoryCount = 5;
+
+/// Display name, indexed by Category ("flow", "probe", ...).
+const char* category_name(Category c);
+
+/// Parse one filter token ("probe", "queue", ...); returns false on an
+/// unknown name.
+bool category_from_name(std::string_view name, Category& out);
+
+// ---------------------------------------------------------------------------
+// Value types — defined in every build so ScenarioResult keeps one shape.
+// ---------------------------------------------------------------------------
+
+/// Per-run trace accounting, exported into ScenarioResult ("trace" JSON
+/// key). Inert (enabled == false) unless a Sink was active in a trace
+/// build.
+struct Summary {
+  bool enabled = false;
+  std::uint64_t recorded = 0;  ///< events resident in the ring at export
+  std::uint64_t dropped = 0;   ///< oldest events overwritten (ring full)
+  std::uint64_t engine_events = 0;  ///< simulator dispatches while recording
+  std::uint64_t by_category[kCategoryCount] = {};  ///< events emitted, pre-drop
+};
+
+/// Sink knobs. `limit_events` bounds memory (32 B per event); when the
+/// ring is full the *oldest* events are overwritten and counted as
+/// dropped. `category_mask` keeps only the named families (bit per
+/// Category); `flow_filter` keeps one flow's events plus everything not
+/// attributed to any flow (0 = all flows).
+struct Config {
+  std::size_t limit_events = 1u << 20;
+  std::uint32_t category_mask = 0xFFFF'FFFFu;
+  std::uint32_t flow_filter = 0;
+};
+
+/// Parse the shared `--trace=PATH[:filter]` argument value: everything
+/// before the first ':' is the output path; the filter is a
+/// comma-separated list of category names and/or `flow=N`. Returns false
+/// (and leaves outputs untouched) on a malformed filter. Usable in every
+/// build so OFF binaries can still reject bad flags.
+bool parse_trace_arg(std::string_view arg, std::string& path, Config& cfg);
+
+// ---------------------------------------------------------------------------
+// Sink — trace builds only.
+// ---------------------------------------------------------------------------
+
+#if EAC_TRACE_ENABLED
+
+/// What happened. Every kind maps to one Category (see kind_category) and
+/// one Chrome phase: spans emit 'B'/'E' pairs, instants 'i', counters 'C'.
+enum class EventKind : std::uint8_t {
+  // Category::kFlow — per-flow lifecycle (exported on the flow's track).
+  kFlowArrival,   ///< i: admission attempt issued; a = attempt#, b = group
+  kFlowVerdict,   ///< i: policy answered; a = admitted, b = attempt#
+  kThrashReject,  ///< i: rejected while other probes in flight (thrashing)
+  kDataPhase,     ///< B/E: admitted data transfer, admit -> departure
+  kEcnEcho,       ///< i: receiver saw a CE-marked data packet; a = seq
+  // Category::kProbe — probe lifecycle (flow track).
+  kProbeSession,  ///< B/E: whole probe; E: a = verdict bits, b = sent|recv
+  kProbeStage,    ///< B/E: one rate step; a = stage, b = rate_bps / sent
+  kProbeCheckpoint,  ///< i: stage judged; a = stage, b = signal fraction bits
+  kProbeRecv,     ///< i: probe packet reached the receiving host; a = seq
+  // Category::kQueue — packet path (queue/link track).
+  kEnqueue,  ///< i: accepted into the discipline; a = seq, b = packet bits
+  kDequeue,  ///< i: handed to the link for serialization
+  kDrop,     ///< i: arrival rejection, push-out, or virtual-queue drop
+  kMark,     ///< i: virtual queue set the CE bit
+  // Category::kLink.
+  kLinkTx,  ///< i: serialization finished
+  kLinkRx,  ///< i: propagation delivered the packet to the next hop
+  // Category::kMbac.
+  kMbacEstimate,  ///< C: Measured Sum estimate; a = double bits
+};
+
+/// The Category an EventKind belongs to.
+Category kind_category(EventKind k);
+
+/// One recorded event: 32 bytes, trivially copyable, no pointers.
+struct Event {
+  std::int64_t t_ns = 0;    ///< sim time
+  std::uint64_t a = 0;      ///< kind-specific (usually seq / packed verdict)
+  std::uint64_t b = 0;      ///< kind-specific (usually packed packet bits)
+  std::uint32_t flow = 0;   ///< owning flow; 0 = not flow-attributed
+  std::uint16_t track = 0;  ///< Sink::track() id; 0 = the flow's own track
+  EventKind kind = EventKind::kFlowArrival;
+  std::uint8_t phase = 'i';  ///< 'B', 'E', 'i' or 'C'
+};
+
+/// Pack the packet fields every queue/link instant carries into Event::b.
+inline std::uint64_t pack_packet_bits(std::uint32_t size_bytes,
+                                      std::uint8_t type, std::uint8_t band,
+                                      bool marked) {
+  return static_cast<std::uint64_t>(size_bytes) |
+         (static_cast<std::uint64_t>(type) << 32) |
+         (static_cast<std::uint64_t>(band) << 40) |
+         (static_cast<std::uint64_t>(marked) << 48);
+}
+
+/// Collects one run's events into a preallocated ring. Install with
+/// trace::Scope before building the scenario so components register their
+/// tracks during construction; export after the run.
+class Sink {
+ public:
+  explicit Sink(Config cfg = {});
+
+  /// Reset events, counters and tracks for a fresh run (run_scenario
+  /// calls this). The ring storage is retained.
+  void begin_run();
+
+  const Config& config() const { return cfg_; }
+
+  /// Register (or look up) a named track — a queue/link/estimator label.
+  /// Allocation happens here, at component construction, never on the
+  /// record path. Ids start at 1; 0 means "the event's flow track".
+  std::uint16_t track(std::string_view name);
+
+  /// Record one event (hot path: two branches and a ring store).
+  void emit(EventKind kind, char phase, sim::SimTime t, std::uint32_t flow,
+            std::uint64_t a = 0, std::uint64_t b = 0,
+            std::uint16_t track = 0) {
+    if (((cfg_.category_mask >>
+          static_cast<unsigned>(kind_category(kind))) & 1u) == 0) {
+      return;
+    }
+    if (cfg_.flow_filter != 0 && flow != 0 && flow != cfg_.flow_filter) {
+      return;
+    }
+    ++by_category_[static_cast<std::size_t>(kind_category(kind))];
+    Event& e = ring_[head_];
+    if (++head_ == ring_.size()) head_ = 0;
+    if (full_) {
+      ++dropped_;
+    } else if (head_ == 0) {
+      full_ = true;
+    }
+    e.t_ns = t.ns();
+    e.a = a;
+    e.b = b;
+    e.flow = flow;
+    e.track = track;
+    e.kind = kind;
+    e.phase = static_cast<std::uint8_t>(phase);
+  }
+
+  /// Count one simulator dispatch (Simulator::run hook; one increment).
+  void engine_event() { ++engine_events_; }
+
+  std::size_t recorded() const { return full_ ? ring_.size() : head_; }
+  std::uint64_t dropped() const { return dropped_; }
+
+  /// Resident events, oldest first.
+  std::vector<Event> snapshot() const;
+
+  /// Fill `out` with this run's accounting.
+  void export_summary(Summary& out) const;
+
+  /// The whole run as a Chrome/Perfetto trace_event JSON document:
+  /// spans as B/E pairs on per-flow tracks (pid 1), packet-path instants
+  /// and counters on per-component tracks (pid 2), plus an "eacSummary"
+  /// top-level key mirroring export_summary. Deterministic byte-for-byte.
+  std::string export_chrome_json() const;
+
+ private:
+  Config cfg_;
+  std::vector<Event> ring_;
+  std::vector<std::string> tracks_;  ///< index = track id - 1
+  std::size_t head_ = 0;
+  bool full_ = false;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t engine_events_ = 0;
+  std::uint64_t by_category_[kCategoryCount] = {};
+};
+
+/// The thread's active sink, or nullptr outside any Scope.
+Sink* current();
+Sink* exchange_current(Sink* next);
+
+/// RAII: installs `s` as the thread's active sink. Mirrors
+/// telemetry::Scope; recording never crosses threads implicitly.
+class Scope {
+ public:
+  explicit Scope(Sink& s) { prev_ = exchange_current(&s); }
+  ~Scope() { exchange_current(prev_); }
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+ private:
+  Sink* prev_ = nullptr;
+};
+
+// --- helpers used by the instrumented classes ---
+
+inline std::uint16_t register_track(std::string_view name) {
+  Sink* s = current();
+  return s != nullptr ? s->track(name) : 0;
+}
+inline void emit(EventKind kind, char phase, sim::SimTime t,
+                 std::uint32_t flow, std::uint64_t a = 0, std::uint64_t b = 0,
+                 std::uint16_t track = 0) {
+  if (Sink* s = current()) s->emit(kind, phase, t, flow, a, b, track);
+}
+
+#endif  // EAC_TRACE_ENABLED
+
+}  // namespace eac::trace
+
+#if EAC_TRACE_ENABLED
+
+/// Splice declarations or statements only present in trace builds.
+#define EAC_TRC_ONLY(...) __VA_ARGS__
+
+/// Execute a statement only in trace builds (still runtime-gated by the
+/// hooks themselves when no sink is installed).
+#define EAC_TRC(...)  \
+  do {                \
+    __VA_ARGS__;      \
+  } while (0)
+
+#else
+
+#define EAC_TRC_ONLY(...)
+#define EAC_TRC(...) ((void)0)
+
+#endif

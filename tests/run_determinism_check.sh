@@ -20,9 +20,11 @@ SCRATCH="${2:-$(mktemp -d)}"
 mkdir -p "$SCRATCH"
 
 EAC_SCALE=0.05 EAC_THREADS=1 "$BIN" --json="$SCRATCH/threads1.json" \
-  --telemetry="$SCRATCH/tel1.json" >/dev/null
+  --telemetry="$SCRATCH/tel1.json" \
+  --trace="$SCRATCH/trace1.json" --trace-limit=2000000 >/dev/null
 EAC_SCALE=0.05 EAC_THREADS=4 "$BIN" --json="$SCRATCH/threads4.json" \
-  --telemetry="$SCRATCH/tel4.json" >/dev/null
+  --telemetry="$SCRATCH/tel4.json" \
+  --trace="$SCRATCH/trace4.json" --trace-limit=2000000 >/dev/null
 
 if ! cmp "$SCRATCH/threads1.json" "$SCRATCH/threads4.json"; then
   echo "determinism check FAILED: artifacts differ between 1 and 4 workers" >&2
@@ -57,6 +59,19 @@ EOF
   fi
 else
   echo "determinism check: no telemetry artifacts (telemetry off), skipping"
+fi
+
+# Trace artifacts carry only sim-time (no wall clock), so they must be
+# byte-identical as-is -- no stripping. Skipped under -DEAC_TRACE=OFF
+# (no artifact is written).
+if [[ -s "$SCRATCH/trace1.json" && -s "$SCRATCH/trace4.json" ]]; then
+  if ! cmp "$SCRATCH/trace1.json" "$SCRATCH/trace4.json"; then
+    echo "determinism check FAILED: trace artifacts differ (1 vs 4 workers)" >&2
+    exit 1
+  fi
+  echo "determinism check passed: traces byte-identical (1 vs 4 workers)"
+else
+  echo "determinism check: no trace artifacts (trace off), skipping"
 fi
 
 echo "determinism check passed: byte-identical artifacts (1 vs 4 workers)"

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Cross-layer trace consistency: run a reduced Figure-2 scenario under
+# --trace, then require tools/trace_report.py --check to reconstruct every
+# probe session's sent/received counts -- and hence its measured loss
+# fraction, exactly -- from the raw queue/link events in the same capture.
+#
+# The scenario is scaled down (2 Mbps link, 80 s) so the full event stream
+# fits the ring with no drops; --check refuses lossy captures.
+#
+# Usage: tests/run_trace_check.sh EAC_CLI_BINARY [python3] [scratch-dir]
+set -euo pipefail
+
+if [[ $# -lt 1 ]]; then
+  echo "usage: $0 EAC_CLI_BINARY [python3] [scratch-dir]" >&2
+  exit 2
+fi
+
+BIN="$1"
+PY="${2:-python3}"
+SCRATCH="${3:-$(mktemp -d)}"
+mkdir -p "$SCRATCH"
+HERE="$(cd "$(dirname "$0")" && pwd)"
+
+"$BIN" --design drop-inband --source exp1 --tau 3.5 --link 2e6 \
+  --duration 80 --warmup 20 --seed 3 \
+  --trace "$SCRATCH/trace.json" --trace-limit 2000000 >/dev/null
+
+"$PY" "$HERE/../tools/trace_report.py" --check --quiet "$SCRATCH/trace.json"
+echo "trace check passed: probe sessions consistent with raw queue events"

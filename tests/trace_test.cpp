@@ -1,0 +1,298 @@
+// Event-trace layer: ring-buffer semantics (wraparound, drop accounting),
+// category/flow filtering, the --trace argument parser, Chrome export
+// shape, and the bit-identical parity contract.
+//
+// The central contract under test is the one CMakeLists.txt promises for
+// -DEAC_TRACE=ON builds: installing a Sink changes *nothing* about a
+// simulation's results. The parity test proves it by byte-comparing the
+// serialized ScenarioResult of traced and untraced runs.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "scenario/builder.hpp"
+#include "scenario/report.hpp"
+#include "scenario/runner.hpp"
+#include "trace/trace.hpp"
+#include "traffic/catalog.hpp"
+
+namespace {
+
+using namespace eac;
+
+scenario::RunConfig small_run() {
+  scenario::RunConfig cfg;
+  FlowClass c;
+  c.arrival_rate_per_s = 1.0 / 2.0;
+  c.src = 0;
+  c.dst = 1;
+  c.onoff = traffic::exp1();
+  c.packet_size = traffic::kOnOffPacketBytes;
+  c.probe_rate_bps = c.onoff.burst_rate_bps;
+  c.epsilon = 0.02;
+  cfg.classes = {c};
+  cfg.duration_s = 60;
+  cfg.warmup_s = 20;
+  cfg.seed = 7;
+  return cfg;
+}
+
+// --- argument parser (available in every build) ----------------------------
+
+TEST(TraceArg, PathOnly) {
+  std::string path;
+  trace::Config cfg;
+  ASSERT_TRUE(trace::parse_trace_arg("out.json", path, cfg));
+  EXPECT_EQ(path, "out.json");
+  EXPECT_EQ(cfg.category_mask, 0xFFFF'FFFFu);
+  EXPECT_EQ(cfg.flow_filter, 0u);
+}
+
+TEST(TraceArg, CategoryFilter) {
+  std::string path;
+  trace::Config cfg;
+  ASSERT_TRUE(trace::parse_trace_arg("t.json:probe,queue", path, cfg));
+  EXPECT_EQ(path, "t.json");
+  EXPECT_EQ(cfg.category_mask,
+            (1u << static_cast<unsigned>(trace::Category::kProbe)) |
+                (1u << static_cast<unsigned>(trace::Category::kQueue)));
+}
+
+TEST(TraceArg, FlowFilterAndCategories) {
+  std::string path;
+  trace::Config cfg;
+  ASSERT_TRUE(trace::parse_trace_arg("t.json:flow=7,link", path, cfg));
+  EXPECT_EQ(cfg.flow_filter, 7u);
+  EXPECT_EQ(cfg.category_mask,
+            1u << static_cast<unsigned>(trace::Category::kLink));
+}
+
+TEST(TraceArg, FlowFilterAloneKeepsAllCategories) {
+  std::string path;
+  trace::Config cfg;
+  ASSERT_TRUE(trace::parse_trace_arg("t.json:flow=3", path, cfg));
+  EXPECT_EQ(cfg.flow_filter, 3u);
+  EXPECT_EQ(cfg.category_mask, 0xFFFF'FFFFu);
+}
+
+TEST(TraceArg, RejectsMalformed) {
+  std::string path = "untouched";
+  trace::Config cfg;
+  EXPECT_FALSE(trace::parse_trace_arg("t.json:bogus", path, cfg));
+  EXPECT_FALSE(trace::parse_trace_arg(":probe", path, cfg));
+  EXPECT_FALSE(trace::parse_trace_arg("t.json:flow=0", path, cfg));
+  EXPECT_FALSE(trace::parse_trace_arg("t.json:flow=x", path, cfg));
+  EXPECT_FALSE(trace::parse_trace_arg("t.json:probe,,queue", path, cfg));
+  EXPECT_EQ(path, "untouched");  // outputs untouched on failure
+}
+
+TEST(TraceArg, LimitSurvivesParsing) {
+  // --trace-limit is parsed separately and must compose with --trace.
+  std::string path;
+  trace::Config cfg;
+  cfg.limit_events = 123;
+  ASSERT_TRUE(trace::parse_trace_arg("t.json:probe", path, cfg));
+  EXPECT_EQ(cfg.limit_events, 123u);
+}
+
+#if EAC_TRACE_ENABLED
+
+// --- ring buffer -----------------------------------------------------------
+
+TEST(TraceSink, RecordsEventsInOrder) {
+  trace::Sink sink{{16, 0xFFFF'FFFFu, 0}};
+  sink.begin_run();
+  for (int i = 0; i < 5; ++i) {
+    sink.emit(trace::EventKind::kFlowArrival, 'i',
+              sim::SimTime::seconds(i), 1, static_cast<std::uint64_t>(i));
+  }
+  EXPECT_EQ(sink.recorded(), 5u);
+  EXPECT_EQ(sink.dropped(), 0u);
+  const auto events = sink.snapshot();
+  ASSERT_EQ(events.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(events[static_cast<std::size_t>(i)].a,
+              static_cast<std::uint64_t>(i));
+  }
+}
+
+TEST(TraceSink, WraparoundDropsOldestAndCounts) {
+  trace::Sink sink{{4, 0xFFFF'FFFFu, 0}};
+  sink.begin_run();
+  for (int i = 0; i < 10; ++i) {
+    sink.emit(trace::EventKind::kFlowArrival, 'i',
+              sim::SimTime::seconds(i), 1, static_cast<std::uint64_t>(i));
+  }
+  EXPECT_EQ(sink.recorded(), 4u);
+  EXPECT_EQ(sink.dropped(), 6u);
+  const auto events = sink.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // The four *newest* events survive, oldest-first.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].a, 6u + i);
+  }
+  // The drop count lands in the exported summary.
+  trace::Summary s;
+  sink.export_summary(s);
+  EXPECT_TRUE(s.enabled);
+  EXPECT_EQ(s.recorded, 4u);
+  EXPECT_EQ(s.dropped, 6u);
+  // by_category counts emissions pre-drop: all ten were flow events.
+  EXPECT_EQ(s.by_category[static_cast<std::size_t>(trace::Category::kFlow)],
+            10u);
+}
+
+TEST(TraceSink, BeginRunResetsEverything) {
+  trace::Sink sink{{2, 0xFFFF'FFFFu, 0}};
+  sink.begin_run();
+  for (int i = 0; i < 5; ++i) {
+    sink.emit(trace::EventKind::kEnqueue, 'i', sim::SimTime::zero(), 1);
+  }
+  (void)sink.track("q0");
+  sink.begin_run();
+  EXPECT_EQ(sink.recorded(), 0u);
+  EXPECT_EQ(sink.dropped(), 0u);
+  EXPECT_EQ(sink.track("fresh"), 1u);  // track ids restart from 1
+}
+
+TEST(TraceSink, CategoryMaskFilters) {
+  trace::Config cfg{16, 1u << static_cast<unsigned>(trace::Category::kProbe),
+                    0};
+  trace::Sink sink{cfg};
+  sink.begin_run();
+  sink.emit(trace::EventKind::kEnqueue, 'i', sim::SimTime::zero(), 1);
+  sink.emit(trace::EventKind::kProbeRecv, 'i', sim::SimTime::zero(), 1);
+  sink.emit(trace::EventKind::kLinkTx, 'i', sim::SimTime::zero(), 1);
+  EXPECT_EQ(sink.recorded(), 1u);
+  EXPECT_EQ(sink.snapshot()[0].kind, trace::EventKind::kProbeRecv);
+}
+
+TEST(TraceSink, FlowFilterKeepsTargetAndUnattributed) {
+  trace::Sink sink{{16, 0xFFFF'FFFFu, 2}};
+  sink.begin_run();
+  sink.emit(trace::EventKind::kFlowArrival, 'i', sim::SimTime::zero(), 1);
+  sink.emit(trace::EventKind::kFlowArrival, 'i', sim::SimTime::zero(), 2);
+  sink.emit(trace::EventKind::kMbacEstimate, 'C', sim::SimTime::zero(), 0);
+  ASSERT_EQ(sink.recorded(), 2u);
+  EXPECT_EQ(sink.snapshot()[0].flow, 2u);
+  EXPECT_EQ(sink.snapshot()[1].flow, 0u);  // flow 0 = not flow-attributed
+}
+
+TEST(TraceSink, TracksDeduplicateByName) {
+  trace::Sink sink;
+  sink.begin_run();
+  const std::uint16_t a = sink.track("link0-1");
+  const std::uint16_t b = sink.track("link1-2");
+  EXPECT_EQ(sink.track("link0-1"), a);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, 1u);
+}
+
+TEST(TraceHelpers, NoSinkInstalledIsSafe) {
+  ASSERT_EQ(trace::current(), nullptr);
+  EXPECT_EQ(trace::register_track("x"), 0u);
+  trace::emit(trace::EventKind::kEnqueue, 'i', sim::SimTime::zero(), 1);
+}
+
+// --- whole-run integration -------------------------------------------------
+
+TEST(TraceRun, ScenarioPopulatesSummaryAndExport) {
+  const scenario::ScenarioSpec spec = scenario::single_link_spec(small_run());
+  trace::Sink sink;
+  trace::Scope scope{sink};
+  scenario::ScenarioResult res = scenario::run_scenario(spec);
+
+  ASSERT_TRUE(res.trace.enabled);
+  EXPECT_GT(res.trace.recorded, 0u);
+  EXPECT_GT(res.trace.engine_events, 0u);
+  EXPECT_GT(res.trace.by_category[static_cast<std::size_t>(
+                trace::Category::kFlow)], 0u);
+  EXPECT_GT(res.trace.by_category[static_cast<std::size_t>(
+                trace::Category::kProbe)], 0u);
+  EXPECT_GT(res.trace.by_category[static_cast<std::size_t>(
+                trace::Category::kQueue)], 0u);
+  EXPECT_GT(res.trace.by_category[static_cast<std::size_t>(
+                trace::Category::kLink)], 0u);
+
+  // The scenario JSON carries the accounting under a "trace" key.
+  const std::string json = scenario::to_json(res);
+  EXPECT_NE(json.find("\"trace\":{\"recorded\":"), std::string::npos);
+
+  // The Chrome export is structurally sound: document frame, track-name
+  // metadata, span begin/end pairs, and the summary echo.
+  const std::string chrome = sink.export_chrome_json();
+  EXPECT_EQ(chrome.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(chrome.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"ph\":\"E\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"eacSummary\""), std::string::npos);
+  // Export reflects exactly what the ring holds.
+  std::string expect_recorded =
+      "\"recorded\":" + std::to_string(res.trace.recorded);
+  EXPECT_NE(chrome.find(expect_recorded), std::string::npos);
+}
+
+TEST(TraceRun, ExportIsDeterministic) {
+  const scenario::ScenarioSpec spec = scenario::single_link_spec(small_run());
+  std::string first;
+  for (int i = 0; i < 2; ++i) {
+    trace::Sink sink;
+    trace::Scope scope{sink};
+    (void)scenario::run_scenario(spec);
+    if (i == 0) {
+      first = sink.export_chrome_json();
+    } else {
+      EXPECT_EQ(first, sink.export_chrome_json());
+    }
+  }
+  EXPECT_FALSE(first.empty());
+}
+
+TEST(TraceRun, LimitBoundsMemoryAndReportsDrops) {
+  const scenario::ScenarioSpec spec = scenario::single_link_spec(small_run());
+  trace::Sink sink{{256, 0xFFFF'FFFFu, 0}};
+  trace::Scope scope{sink};
+  scenario::ScenarioResult res = scenario::run_scenario(spec);
+  EXPECT_EQ(res.trace.recorded, 256u);
+  EXPECT_GT(res.trace.dropped, 0u);
+  // Emission counts are pre-drop: they exceed what the ring retains.
+  std::uint64_t emitted = 0;
+  for (std::uint64_t c : res.trace.by_category) emitted += c;
+  EXPECT_EQ(emitted, res.trace.recorded + res.trace.dropped);
+}
+
+// --- zero-perturbation parity ----------------------------------------------
+
+TEST(TraceParity, TracedRunIsBitIdenticalToUntraced) {
+  const scenario::ScenarioSpec spec = scenario::single_link_spec(small_run());
+
+  scenario::ScenarioResult plain = scenario::run_scenario(spec);
+
+  trace::Sink sink;
+  trace::Scope scope{sink};
+  scenario::ScenarioResult traced = scenario::run_scenario(spec);
+
+  EXPECT_TRUE(traced.trace.enabled);
+  EXPECT_FALSE(plain.trace.enabled);
+  EXPECT_EQ(plain.events, traced.events);
+
+  // With the trace section cleared, the serialized results must be
+  // byte-identical: hooks never allocate, schedule events or touch RNG.
+  traced.trace = trace::Summary{};
+  EXPECT_EQ(scenario::to_json(plain), scenario::to_json(traced));
+}
+
+TEST(TraceParity, TinyRingDoesNotPerturbEither) {
+  // Wraparound on the hot path must be just as invisible as recording.
+  const scenario::ScenarioSpec spec = scenario::single_link_spec(small_run());
+  scenario::ScenarioResult plain = scenario::run_scenario(spec);
+  trace::Sink sink{{64, 0xFFFF'FFFFu, 0}};
+  trace::Scope scope{sink};
+  scenario::ScenarioResult traced = scenario::run_scenario(spec);
+  traced.trace = trace::Summary{};
+  EXPECT_EQ(scenario::to_json(plain), scenario::to_json(traced));
+}
+
+#endif  // EAC_TRACE_ENABLED
+
+}  // namespace

@@ -54,7 +54,28 @@ TEST(Tracer, FilterSelectsPackets) {
   link.handle(pkt(3, PacketType::kData));
   sim.run();
   ASSERT_EQ(tracer.records().size(), 1u);
-  EXPECT_EQ(tracer.records()[0].packet.flow, 2u);
+  EXPECT_EQ(tracer.records()[0].flow, 2u);
+  EXPECT_EQ(tracer.records()[0].type, PacketType::kProbe);
+}
+
+TEST(Tracer, RecordIsCompact) {
+  // The record keeps only what dump() renders; a full Packet copy (TCP
+  // state, ECN capability, creation time) made long runs unbounded.
+  static_assert(sizeof(TraceRecord) < sizeof(sim::SimTime) + sizeof(Packet));
+  Packet p = pkt(9, PacketType::kBestEffort);
+  p.seq = 3;
+  p.band = 2;
+  p.tcp_seq = 12345;  // not retained
+  PacketTracer tracer;
+  tracer(p, sim::SimTime::seconds(2));
+  ASSERT_EQ(tracer.records().size(), 1u);
+  const TraceRecord& r = tracer.records()[0];
+  EXPECT_EQ(r.flow, 9u);
+  EXPECT_EQ(r.seq, 3u);
+  EXPECT_EQ(r.size_bytes, 125u);
+  EXPECT_EQ(r.type, PacketType::kBestEffort);
+  EXPECT_EQ(r.band, 2);
+  EXPECT_FALSE(r.ecn_marked);
 }
 
 TEST(Tracer, DumpFormatsRecords) {
@@ -70,6 +91,17 @@ TEST(Tracer, DumpFormatsRecords) {
   EXPECT_NE(line.find("seq 42"), std::string::npos);
   EXPECT_NE(line.find("data"), std::string::npos);
   EXPECT_NE(line.find("CE"), std::string::npos);
+}
+
+TEST(Tracer, DumpExactLineFormat) {
+  PacketTracer tracer;
+  Packet p = pkt(7, PacketType::kProbe);
+  p.seq = 1;
+  p.band = 1;
+  tracer(p, sim::SimTime::seconds(1.0));
+  std::ostringstream os;
+  tracer.dump(os);
+  EXPECT_EQ(os.str(), "+ 1 flow 7 seq 1 probe 125B band 1\n");
 }
 
 TEST(Tracer, ClearResets) {

@@ -1,0 +1,240 @@
+#!/usr/bin/env python3
+"""Validate and report on EAC Chrome/Perfetto trace files (--trace=PATH).
+
+Usage:
+  trace_report.py TRACE.json            validate + print per-flow timelines
+  trace_report.py --check TRACE.json    validate + cross-layer consistency
+                                        (exit 1 on any failure)
+  trace_report.py --quiet ...           suppress timelines, print verdict only
+
+Validation: the document must be well-formed trace_event JSON (traceEvents
+array, known phases, microsecond timestamps non-decreasing in emission
+order), every 'E' must close a matching 'B' on its track, and the event
+count must equal eacSummary.recorded.
+
+--check adds the cross-layer probe consistency test: for every completed
+probe span, the number of probe packets reconstructed from raw queue
+events (distinct sequence numbers over enqueue/drop/mark instants inside
+the span) must equal the session's own "sent", the count of probe_recv
+instants must equal its "received", and hence the reconstructed loss
+fraction must equal the session's measured fraction exactly. Requires a
+trace captured with the probe and queue categories enabled and no ring
+drops.
+"""
+
+import argparse
+import json
+import sys
+
+REJECT_REASONS = {0: "none", 1: "threshold", 2: "early-stage", 3: "budget-abort"}
+PHASES = {"B", "E", "i", "C", "M"}
+
+
+def fail(msg):
+    print(f"trace_report: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {path}: {e}")
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        fail("missing traceEvents array")
+    return doc
+
+
+def validate(doc):
+    """Structural checks; returns (events, summary, problems)."""
+    problems = []
+    summary = doc.get("eacSummary", {})
+    events = [e for e in doc["traceEvents"] if e.get("ph") != "M"]
+    recorded = summary.get("recorded")
+    if recorded is not None and recorded != len(events):
+        problems.append(
+            f"eacSummary.recorded = {recorded} but {len(events)} events exported")
+
+    last_ts = None
+    stacks = {}  # (pid, tid) -> [name, ...]
+    unmatched_end = 0
+    for i, e in enumerate(events):
+        ph = e.get("ph")
+        if ph not in PHASES:
+            problems.append(f"event {i}: unknown phase {ph!r}")
+            continue
+        ts = e.get("ts")
+        if not isinstance(ts, (int, float)):
+            problems.append(f"event {i}: missing ts")
+            continue
+        if last_ts is not None and ts < last_ts:
+            problems.append(f"event {i}: ts went backwards ({ts} < {last_ts})")
+        last_ts = ts
+        key = (e.get("pid"), e.get("tid"))
+        if ph == "B":
+            stacks.setdefault(key, []).append(e.get("name"))
+        elif ph == "E":
+            stack = stacks.get(key, [])
+            if not stack:
+                unmatched_end += 1
+            elif stack[-1] != e.get("name"):
+                problems.append(
+                    f"event {i}: 'E' for {e.get('name')!r} but open span is "
+                    f"{stack[-1]!r} on track {key}")
+            else:
+                stack.pop()
+    # E-without-B only ever comes from the ring overwriting the B.
+    if unmatched_end and not summary.get("dropped"):
+        problems.append(
+            f"{unmatched_end} 'E' events without a matching 'B' and no ring drops")
+    open_spans = sum(len(s) for s in stacks.values())
+    return events, summary, problems, open_spans
+
+
+def flow_events(events):
+    """Group pid-1 (lifecycle) events by flow id (= tid)."""
+    flows = {}
+    for e in events:
+        if e.get("pid") == 1:
+            flows.setdefault(e.get("tid"), []).append(e)
+    return flows
+
+
+def print_timeline(flow, evs):
+    print(f"flow {flow}:")
+    for e in evs:
+        t = e["ts"] / 1e6
+        name, ph, args = e.get("name"), e.get("ph"), e.get("args", {})
+        if name == "arrival":
+            print(f"  {t:12.6f}s  arrival (attempt {args.get('attempt')})")
+        elif name == "probe" and ph == "B":
+            print(f"  {t:12.6f}s  probe start (rate {args.get('rate_bps')} bps,"
+                  f" ~{args.get('planned_packets')} pkts planned)")
+        elif name == "stage" and ph == "B":
+            print(f"  {t:12.6f}s    stage {args.get('stage')} start "
+                  f"({args.get('rate_bps')} bps)")
+        elif name == "stage" and ph == "E":
+            print(f"  {t:12.6f}s    stage {args.get('stage')} end "
+                  f"({args.get('sent')} sent)")
+        elif name == "checkpoint":
+            print(f"  {t:12.6f}s    checkpoint stage {args.get('stage')}: "
+                  f"signal fraction {args.get('signal_fraction'):.6g}")
+        elif name == "probe" and ph == "E":
+            verdict = "ADMIT" if args.get("admitted") else \
+                f"REJECT ({args.get('reason')}, stage {args.get('stage')})"
+            print(f"  {t:12.6f}s  probe end: {verdict}  "
+                  f"[sent {args.get('sent')}, received {args.get('received')},"
+                  f" marked {args.get('marked')}]")
+        elif name == "thrash_reject":
+            print(f"  {t:12.6f}s  thrash reject "
+                  f"({args.get('concurrent_probes')} other probes in flight)")
+        elif name == "verdict":
+            pass  # folded into the probe end line
+        elif name == "data" and ph == "B":
+            print(f"  {t:12.6f}s  data phase start")
+        elif name == "data" and ph == "E":
+            print(f"  {t:12.6f}s  data phase end (departure)")
+
+
+def check_probe_consistency(events, summary):
+    """Exact cross-layer check; returns list of error strings."""
+    cats = summary.get("categories", {})
+    if not cats.get("probe") or not cats.get("queue"):
+        return ["--check needs the probe and queue categories in the capture"]
+    if summary.get("dropped"):
+        return [f"--check needs a lossless capture "
+                f"(ring dropped {summary['dropped']} events)"]
+
+    # Packet-path instants, by flow.
+    sent_seqs = {}   # flow -> {seq} seen in enqueue/drop/mark instants
+    recv = {}        # flow -> [ts of probe_recv]
+    spans = []       # (flow, b_ts, e_ts, args)
+    open_b = {}
+    for e in events:
+        name, ph, args = e.get("name"), e.get("ph"), e.get("args", {})
+        if name in ("enqueue", "drop", "mark") and args.get("type") == "probe":
+            sent_seqs.setdefault(args.get("flow"), {}).setdefault(
+                args.get("seq"), e["ts"])
+        elif name == "probe_recv":
+            recv.setdefault(e.get("tid"), []).append(e["ts"])
+        elif name == "probe" and ph == "B":
+            open_b[e.get("tid")] = e["ts"]
+        elif name == "probe" and ph == "E":
+            flow = e.get("tid")
+            spans.append((flow, open_b.pop(flow, None), e["ts"], args))
+
+    errors = []
+    checked = 0
+    for flow, b_ts, e_ts, args in spans:
+        if b_ts is None:
+            errors.append(f"flow {flow}: probe 'E' without 'B'")
+            continue
+        in_span = lambda ts: b_ts <= ts <= e_ts
+        sent_rec = sum(1 for ts in sent_seqs.get(flow, {}).values()
+                       if in_span(ts))
+        recv_rec = sum(1 for ts in recv.get(flow, []) if in_span(ts))
+        sent, received = args.get("sent"), args.get("received")
+        if sent_rec != sent:
+            errors.append(f"flow {flow}: queue events show {sent_rec} probe "
+                          f"packets sent, session says {sent}")
+        if recv_rec != received:
+            errors.append(f"flow {flow}: {recv_rec} probe_recv instants, "
+                          f"session says {received} received")
+        if sent and sent_rec == sent and recv_rec == received:
+            # Integer equality implies the fractions are bit-identical.
+            assert (sent_rec - recv_rec) / sent_rec == (sent - received) / sent
+        checked += 1
+    if not checked:
+        errors.append("no completed probe spans to check")
+    return errors, checked
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace")
+    ap.add_argument("--check", action="store_true",
+                    help="run the probe cross-layer consistency check")
+    ap.add_argument("--quiet", action="store_true",
+                    help="no timelines, just the verdict")
+    args = ap.parse_args()
+
+    doc = load(args.trace)
+    events, summary, problems, open_spans = validate(doc)
+    for p in problems:
+        print(f"trace_report: FAIL: {p}", file=sys.stderr)
+    if problems:
+        sys.exit(1)
+
+    if not args.quiet:
+        by_cat = ", ".join(f"{k}={v}" for k, v in
+                           sorted(summary.get("categories", {}).items()))
+        print(f"{args.trace}: {len(events)} events "
+              f"({summary.get('dropped', 0)} dropped, "
+              f"{open_spans} spans still open at end of run)")
+        if by_cat:
+            print(f"  categories: {by_cat}")
+        for flow, evs in sorted(flow_events(events).items()):
+            print_timeline(flow, evs)
+
+    if args.check:
+        result = check_probe_consistency(events, summary)
+        if isinstance(result, list):  # setup error only
+            errors, checked = result, 0
+        else:
+            errors, checked = result
+        for e in errors:
+            print(f"trace_report: FAIL: {e}", file=sys.stderr)
+        if errors:
+            sys.exit(1)
+        print(f"trace_report: OK: {checked} probe spans consistent "
+              f"with raw queue events")
+    elif not problems:
+        print("trace_report: OK")
+
+
+if __name__ == "__main__":
+    try:
+        main()
+    except BrokenPipeError:  # e.g. piped into head
+        sys.exit(0)
