@@ -1,0 +1,192 @@
+// Engine-scale benchmark: how fast (and how small) is one run at large
+// concurrent-flow populations?
+//
+// Workloads, in run order (each appends one row to the --json artifact,
+// canonically BENCH_scale.json):
+//
+//   calibration  a bare self-rescheduling event chain. Pure engine + event
+//                queue throughput, no protocol work. The perf gate
+//                (tools/check_perf.py) divides every other row's events/s
+//                by this row's, so a committed snapshot transfers across
+//                hardware of different absolute speed.
+//   fig02_fixed  the Figure-2 basic scenario at a FIXED duration/seed
+//                (320 s / 120 s warm-up, seed 17), immune to EAC_SCALE —
+//                the macro regression workload for the seed-path layers.
+//   fig04_fixed  the Figures-4-7 high-load scenario, same fixed window.
+//   scale10k     10^4 concurrent flows (SoA driver, compact RNG).
+//   scale100k    10^5 concurrent flows; --preset=full only, since it is a
+//                multi-minute run. This is the headline number: a single
+//                run sustaining >= 100 000 concurrent flows.
+//
+// The scale workloads pre-warm the population to the target (prewarm
+// bypasses admission, so the target is reached at t=0) and size the link
+// so the offered data load sits at 72 % utilization; arrivals then hold
+// the population stationary (lambda = target / mean lifetime).
+//
+// EAC_SCALE_TARGET=<n> replaces the scale workloads with one custom-sized
+// run — e.g. EAC_SCALE_TARGET=1000000 for a million-flow experiment (see
+// EXPERIMENTS.md for the memory arithmetic before trying that).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace eac;
+
+void report_row(const char* name, std::uint64_t target_flows,
+                std::uint64_t flows_created, std::uint64_t peak_active,
+                std::uint64_t events, double wall_s) {
+  const double eps =
+      wall_s > 0 ? static_cast<double>(events) / wall_s : 0.0;
+  const std::uint64_t rss = scenario::current_peak_rss_bytes();
+  std::printf("%-12s %12llu %14llu %14llu %14llu %9.2f %14.0f %13.1f\n",
+              name, static_cast<unsigned long long>(target_flows),
+              static_cast<unsigned long long>(peak_active),
+              static_cast<unsigned long long>(flows_created),
+              static_cast<unsigned long long>(events), wall_s, eps,
+              static_cast<double>(rss) / (1024.0 * 1024.0));
+  std::fflush(stdout);
+  bench::JsonReport::instance().add_events(events);
+  if (bench::json_enabled()) {
+    scenario::JsonWriter w;
+    w.object_begin()
+        .field("name", name)
+        .field("target_flows", target_flows)
+        .field("peak_active_flows", peak_active)
+        .field("flows_created", flows_created)
+        .field("events", events)
+        .field("wall_s", wall_s)
+        .field("events_per_second", eps)
+        .field("peak_rss_bytes", rss)
+        .object_end();
+    bench::json_row(w.take());
+  }
+}
+
+/// Self-rescheduling chain: every event schedules the next one 100 ns out,
+/// so the engine's schedule/pop/dispatch path is the entire workload.
+void run_calibration() {
+  constexpr std::uint64_t kEvents = 2'000'000;
+  sim::Simulator sim;
+  std::uint64_t remaining = kEvents;
+  const auto t0 = std::chrono::steady_clock::now();
+  // One self-scheduling callback; [&] keeps it alive for the whole chain.
+  std::function<void()> tick = [&] {
+    if (--remaining > 0) {
+      sim.schedule_after(sim::SimTime::nanoseconds(100), [&] { tick(); });
+    }
+  };
+  sim.schedule_after(sim::SimTime::nanoseconds(100), [&] { tick(); });
+  const std::uint64_t executed = sim.run();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  report_row("calibration", 0, 0, 0, executed, wall);
+}
+
+void run_spec(const char* name, const scenario::ScenarioSpec& spec,
+              std::uint64_t target_flows) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const scenario::ScenarioResult res = scenario::run_scenario(spec);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  report_row(name, target_flows, res.flows_created, res.peak_active_flows,
+             res.events, wall);
+}
+
+/// Fixed-window (320 s, 120 s warm-up, seed 17) variant of a figure
+/// scenario, so the measured row is comparable across machines and
+/// independent of EAC_SCALE / EAC_FULL.
+scenario::ScenarioSpec fixed_figure_spec(double interarrival_s) {
+  scenario::RunConfig cfg = bench::onoff_run(
+      traffic::exp1(), interarrival_s,
+      scenario::Scale{.duration_s = 320, .warmup_s = 120, .seeds = 1});
+  cfg.eac = drop_in_band();
+  for (auto& c : cfg.classes) c.epsilon = 0.01;
+  cfg.seed = 17;
+  return scenario::single_link_spec(cfg);
+}
+
+/// One admission-controlled link sized so `target` concurrent flows put
+/// 72 % offered data load on it; the population is pre-warmed to the
+/// target and arrivals hold it stationary.
+scenario::ScenarioSpec scale_spec(std::uint64_t target) {
+  constexpr double kPerFlowBps = 16'000;  // 32 kbps burst, 50 % duty cycle
+
+  scenario::ScenarioSpec spec;
+  spec.name = "scale";
+  spec.policy = scenario::PolicyKind::kEndpoint;
+  spec.eac = drop_in_band();
+
+  FlowClass c;
+  c.arrival_rate_per_s = static_cast<double>(target) / 300.0;
+  c.src = 0;
+  c.dst = 1;
+  c.onoff.burst_rate_bps = 32'000;
+  c.onoff.mean_on_s = 0.5;
+  c.onoff.mean_off_s = 0.5;
+  c.packet_size = 125;
+  c.probe_rate_bps = 32'000;
+  c.epsilon = 0.02;
+  // The whole point of the scale path: 8-byte per-flow RNG state instead
+  // of a 2.5 KB engine per flow.
+  c.compact_rng = true;
+  spec.flows = {c};
+  spec.mean_lifetime_s = 300.0;
+  spec.prewarm_bps = static_cast<double>(target) * kPerFlowBps;
+
+  scenario::LinkSpec l;
+  l.from = 0;
+  l.to = 1;
+  l.rate_bps = static_cast<double>(target) * kPerFlowBps / 0.72;
+  l.buffer_packets = 200;
+  spec.links = {l};
+
+  spec.duration_s = 25;
+  spec.warmup_s = 10;
+  spec.seed = 42;
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
+  bool full = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--preset=full") == 0) full = true;
+    if (std::strcmp(argv[i], "--preset=smoke") == 0) full = false;
+  }
+
+  std::printf("== Engine scale: concurrent-flow capacity and throughput ==\n");
+  std::printf("%-12s %12s %14s %14s %14s %9s %14s %13s\n", "workload",
+              "target", "peak_active", "flows_created", "events", "wall_s",
+              "events/s", "peak_rss_MiB");
+
+  run_calibration();
+  run_spec("fig02_fixed", fixed_figure_spec(3.5), 0);
+  run_spec("fig04_fixed", fixed_figure_spec(1.0), 0);
+
+  std::uint64_t observed_target = 10'000;
+  if (const char* t = std::getenv("EAC_SCALE_TARGET")) {
+    const std::uint64_t target = std::strtoull(t, nullptr, 10);
+    if (target > 0) {
+      run_spec("scale_custom", scale_spec(target), target);
+      observed_target = target;
+    }
+  } else {
+    run_spec("scale10k", scale_spec(10'000), 10'000);
+    if (full) run_spec("scale100k", scale_spec(100'000), 100'000);
+  }
+  // Observability re-runs (serial, one representative workload): the
+  // scale scenario at the smoke/custom target.
+  bench::maybe_telemetry_run(scale_spec(observed_target));
+  bench::maybe_trace_run(scale_spec(observed_target));
+  return 0;
+}

@@ -5,6 +5,7 @@
 // loss-load curves can be plotted directly.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -50,12 +51,25 @@ class JsonReport {
     if (enabled()) rows_.push_back(std::move(row_json));
   }
 
+  /// Tally simulated events into the artifact's "perf" block, so every
+  /// bench reports its aggregate throughput alongside its rows.
+  void add_events(std::uint64_t n) { events_ += n; }
+
   ~JsonReport() { flush(); }
 
   void flush() {
     if (!enabled() || flushed_) return;
     flushed_ = true;
     const scenario::Scale s = scenario::bench_scale();
+    scenario::PerfSample perf;
+    perf.wall_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start_)
+                      .count();
+    perf.peak_rss_bytes = scenario::current_peak_rss_bytes();
+    perf.events = events_;
+    perf.events_per_second = perf.wall_s > 0
+                                 ? static_cast<double>(events_) / perf.wall_s
+                                 : 0.0;
     scenario::JsonWriter w;
     w.object_begin()
         .field("bench", bench_)
@@ -68,7 +82,10 @@ class JsonReport {
         .key("rows")
         .array_begin();
     for (const std::string& r : rows_) w.raw(r);
-    w.array_end().object_end();
+    // Host-side measurement, appended last: the deterministic prefix of
+    // the artifact is unchanged and byte-comparing tooling strips "perf"
+    // the same way it strips telemetry profiles.
+    w.array_end().field_raw("perf", scenario::to_json(perf)).object_end();
     if (!scenario::write_json_file(path_, w.str())) {
       std::fprintf(stderr, "bench: cannot write %s\n", path_.c_str());
     }
@@ -78,6 +95,11 @@ class JsonReport {
   std::string path_, bench_;
   std::vector<std::string> rows_;
   bool flushed_ = false;
+  // Wall clock (steady, never simulation-visible) from process start, for
+  // the artifact's perf block.
+  std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
+  std::uint64_t events_ = 0;
 };
 
 /// Append one row object to the --json artifact (no-op when disabled).
@@ -336,6 +358,7 @@ inline void print_loss_load_header() {
 
 inline void print_loss_load_row(const std::string& design, double eps,
                                 const scenario::RunResult& r) {
+  JsonReport::instance().add_events(r.events);
   std::printf("%-16s %8.3f %12.4f %12.3e %10.3f %10.4f\n", design.c_str(),
               eps, r.utilization, r.loss(), r.blocking(),
               r.probe_utilization);

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "net/fair_queue.hpp"
+#include "sim/event_queue.hpp"
 #include "net/link.hpp"
 #include "net/priority_queue.hpp"
 #include "net/queue_disc.hpp"
@@ -79,6 +80,44 @@ void BM_EventCancelHeavy(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_EventCancelHeavy);
+
+// Classic hold benchmark on the two pending-event containers
+// (event_queue.hpp): prefill N entries spread over a horizon of N
+// microseconds, then steady-state pop-min + push at popped.time plus an
+// exponential gap with mean equal to the horizon, so the population stays
+// stationary at N. This is the access pattern of a simulation holding N
+// concurrent timers, and the head-to-head that picks the Simulator's
+// default container (DESIGN.md section 10).
+template <typename Q>
+void queue_hold(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const double horizon_ns = static_cast<double>(n) * 1000.0;
+  Q q;
+  sim::RandomStream rng{7, 11};
+  std::uint64_t seq = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto t = static_cast<std::int64_t>(rng.exponential(horizon_ns));
+    q.push({sim::SimTime::nanoseconds(t), seq++, 0, 0});
+  }
+  for (auto _ : state) {
+    const sim::EventEntry e = q.front();
+    q.pop_front();
+    const auto gap = 1 + static_cast<std::int64_t>(rng.exponential(horizon_ns));
+    q.push({e.time + sim::SimTime::nanoseconds(gap), seq++, 0, 0});
+    benchmark::DoNotOptimize(seq);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_QueueHoldHeap(benchmark::State& state) {
+  queue_hold<sim::FourAryHeap>(state);
+}
+BENCHMARK(BM_QueueHoldHeap)->Arg(1'000)->Arg(100'000)->Arg(1'000'000);
+
+void BM_QueueHoldCalendar(benchmark::State& state) {
+  queue_hold<sim::CalendarQueue>(state);
+}
+BENCHMARK(BM_QueueHoldCalendar)->Arg(1'000)->Arg(100'000)->Arg(1'000'000);
 
 void BM_EventSboCallback(benchmark::State& state) {
   // 56-byte capture (a net::Packet plus a pointer): fits EventFn's inline

@@ -1,5 +1,6 @@
 #include "eac/flow_manager.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -39,6 +40,15 @@ FlowManager::FlowManager(sim::Simulator& sim, net::Topology& topo,
 }
 
 void FlowManager::start() {
+  if (cfg_.driver == FlowDriver::kSoa) {
+    class_rt_.resize(cfg_.classes.size());
+    for (std::size_t i = 0; i < cfg_.classes.size(); ++i) {
+      class_rt_[i].entry = &topo_.node(cfg_.classes[i].src);
+      class_rt_[i].sink =
+          std::make_unique<DataSink>(sim_, stats_, cfg_.classes[i].group);
+    }
+    next_arrival_.assign(cfg_.classes.size(), sim::SimTime::zero());
+  }
   if (cfg_.prewarm_bps > 0) {
     // Offered data load of each class, to apportion the pre-warm target.
     double offered_total = 0;
@@ -58,23 +68,14 @@ void FlowManager::start() {
                                   : c.probe_rate_bps * 0.45;
       const double share = cfg_.prewarm_bps * offered[i] / offered_total;
       const int count = static_cast<int>(share / per_flow);
-      for (int k = 0; k < count; ++k) admit(c, next_flow_++);
+      for (int k = 0; k < count; ++k) dispatch_admit(i, next_flow_++);
     }
   }
-  for (std::size_t i = 0; i < cfg_.classes.size(); ++i) schedule_arrival(i);
-}
-
-void FlowManager::schedule_arrival(std::size_t class_idx) {
-  const double mean = 1.0 / cfg_.classes[class_idx].arrival_rate_per_s;
-  sim_.schedule_after(
-      sim::SimTime::seconds(arrival_rng_[class_idx].exponential(mean)),
-      [this, class_idx] { on_arrival(class_idx); });
-}
-
-void FlowManager::on_arrival(std::size_t class_idx) {
-  EAC_TEL_EVENT_CATEGORY(kFlows);
-  schedule_arrival(class_idx);  // renew the Poisson process
-  attempt(class_idx, next_flow_++, 0);
+  if (cfg_.driver == FlowDriver::kSoa) {
+    soa_start_arrivals();
+  } else {
+    for (std::size_t i = 0; i < cfg_.classes.size(); ++i) schedule_arrival(i);
+  }
 }
 
 void FlowManager::attempt(std::size_t class_idx, net::FlowId id,
@@ -107,7 +108,7 @@ void FlowManager::attempt(std::size_t class_idx, net::FlowId id,
                         static_cast<std::uint64_t>(admitted),
                         static_cast<std::uint64_t>(attempt_no)));
     if (admitted) {
-      admit(c, id);
+      dispatch_admit(class_idx, id);
       return;
     }
     if (attempt_no < cfg_.max_retries) {
@@ -123,6 +124,32 @@ void FlowManager::attempt(std::size_t class_idx, net::FlowId id,
       ++gave_up_;
     }
   });
+}
+
+void FlowManager::dispatch_admit(std::size_t class_idx, net::FlowId id) {
+  if (cfg_.driver == FlowDriver::kSoa) {
+    soa_admit(class_idx, id);
+  } else {
+    admit(cfg_.classes[class_idx], id);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Reference driver: the seed-path one-object-per-flow implementation, kept
+// verbatim as the parity baseline for the SoA driver.
+// --------------------------------------------------------------------------
+
+void FlowManager::schedule_arrival(std::size_t class_idx) {
+  const double mean = 1.0 / cfg_.classes[class_idx].arrival_rate_per_s;
+  sim_.schedule_after(
+      sim::SimTime::seconds(arrival_rng_[class_idx].exponential(mean)),
+      [this, class_idx] { on_arrival(class_idx); });
+}
+
+void FlowManager::on_arrival(std::size_t class_idx) {
+  EAC_TEL_EVENT_CATEGORY(kFlows);
+  schedule_arrival(class_idx);  // renew the Poisson process
+  attempt(class_idx, next_flow_++, 0);
 }
 
 void FlowManager::admit(const FlowClass& cls, net::FlowId id) {
@@ -160,6 +187,7 @@ void FlowManager::admit(const FlowClass& cls, net::FlowId id) {
   topo_.node(cls.dst).attach_sink(id, flow.sink.get());
   flow.source->start();
   active_.emplace(id, std::move(flow));
+  if (active_.size() > peak_active_) peak_active_ = active_.size();
   EAC_TEL(telemetry::set(tel_active_, static_cast<double>(active_.size()),
                          sim_.now()));
 
@@ -186,6 +214,290 @@ void FlowManager::depart(net::FlowId id) {
                                static_cast<double>(active_.size()),
                                sim_.now()));
       });
+}
+
+// --------------------------------------------------------------------------
+// SoA driver: FlowTable rows plus three batched timers (arrival, departure,
+// drain). Each timer fire services exactly one lifecycle edge and then
+// reschedules at the next one — even when that is the same instant — so the
+// executed-event stream matches the reference driver one for one, and every
+// RNG stream is drawn in the same per-stream order. That is the whole parity
+// argument; the golden tests check it byte for byte.
+// --------------------------------------------------------------------------
+
+bool FlowManager::dep_after(const DepEntry& a, const DepEntry& b) {
+  if (a.t.ns() != b.t.ns()) return b.t < a.t;
+  return b.order < a.order;
+}
+
+void FlowManager::soa_start_arrivals() {
+  // Initial gaps drawn in class order, exactly like the reference start().
+  for (std::size_t i = 0; i < cfg_.classes.size(); ++i) {
+    const double mean = 1.0 / cfg_.classes[i].arrival_rate_per_s;
+    next_arrival_[i] =
+        sim_.now() + sim::SimTime::seconds(arrival_rng_[i].exponential(mean));
+  }
+  soa_schedule_arrival_timer();
+}
+
+void FlowManager::soa_schedule_arrival_timer() {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < next_arrival_.size(); ++i) {
+    if (next_arrival_[i] < next_arrival_[best]) best = i;
+  }
+  sim_.schedule_at(next_arrival_[best], [this] { soa_on_arrival_timer(); });
+}
+
+void FlowManager::soa_on_arrival_timer() {
+  EAC_TEL_EVENT_CATEGORY(kFlows);
+  // Service the earliest class only (lowest index on a tie); a tied class
+  // is picked up by the immediate reschedule at the same instant, so each
+  // fire is one arrival — the same event count as one event per arrival.
+  std::size_t ci = 0;
+  for (std::size_t i = 1; i < next_arrival_.size(); ++i) {
+    if (next_arrival_[i] < next_arrival_[ci]) ci = i;
+  }
+  // Renew before attempting, like the reference on_arrival().
+  const double mean = 1.0 / cfg_.classes[ci].arrival_rate_per_s;
+  next_arrival_[ci] =
+      sim_.now() + sim::SimTime::seconds(arrival_rng_[ci].exponential(mean));
+  soa_schedule_arrival_timer();
+  attempt(ci, next_flow_++, 0);
+}
+
+void FlowManager::soa_admit(std::size_t class_idx, net::FlowId id) {
+  const FlowClass& cls = cfg_.classes[class_idx];
+  const FlowHandle h =
+      table_.allocate(id, static_cast<std::uint32_t>(class_idx));
+  const std::uint32_t idx = h.index;
+
+  if (cls.kind == SourceKind::kOnOff) {
+    if (cls.compact_rng) {
+      table_.crng[idx] =
+          sim::CompactRandomStream{cfg_.seed, kSourceStreamBase + id};
+    } else {
+      ensure_rng_pool(idx);
+      rng_pool_[idx] = sim::RandomStream{cfg_.seed, kSourceStreamBase + id};
+    }
+  } else {
+    assert(cls.trace != nullptr);
+    // Trace flows consume their per-flow stream only for the start offset,
+    // so no stream outlives this scope.
+    std::size_t start_frame;
+    if (cls.compact_rng) {
+      sim::CompactRandomStream offset_rng{cfg_.seed, kSourceStreamBase + id};
+      start_frame = offset_rng.integer(cls.trace->size());
+    } else {
+      sim::RandomStream offset_rng{cfg_.seed, kSourceStreamBase + id};
+      start_frame = offset_rng.integer(cls.trace->size());
+    }
+    table_.next_frame[idx] =
+        static_cast<std::uint32_t>(start_frame % cls.trace->size());
+    table_.bucket[idx] = traffic::TokenBucket{traffic::kTraceTokenRateBps,
+                                              traffic::kTraceBucketBytes};
+  }
+
+  EAC_TRC(trace::emit(trace::EventKind::kDataPhase, 'B', sim_.now(), id,
+                      static_cast<std::uint64_t>(cls.group)));
+  topo_.node(cls.dst).attach_sink(id, class_rt_[class_idx].sink.get());
+  if (cls.kind == SourceKind::kOnOff) {
+    soa_onoff_start(h);
+  } else {
+    soa_trace_tick(h);
+  }
+  if (table_.live() > peak_active_) peak_active_ = table_.live();
+  EAC_TEL(telemetry::set(tel_active_, static_cast<double>(table_.live()),
+                         sim_.now()));
+
+  const double life = lifetime_rng_.exponential(cfg_.mean_lifetime_s);
+  soa_push_departure(sim_.now() + sim::SimTime::seconds(life), h);
+}
+
+void FlowManager::soa_push_departure(sim::SimTime t, FlowHandle h) {
+  dep_heap_.push_back(DepEntry{t, dep_order_++, h});
+  std::push_heap(dep_heap_.begin(), dep_heap_.end(), dep_after);
+  if (t < dep_timer_time_) {
+    // The new departure preempts the pending timer. The cancelled entry
+    // becomes an orphan, which the engine discards without counting it.
+    if (dep_timer_ != 0) sim_.cancel(dep_timer_);
+    dep_timer_time_ = t;
+    dep_timer_ = sim_.schedule_at(t, [this] { soa_on_dep_timer(); });
+  }
+}
+
+void FlowManager::soa_schedule_dep_timer() {
+  if (dep_heap_.empty()) {
+    dep_timer_ = 0;
+    dep_timer_time_ = sim::SimTime::max();
+    return;
+  }
+  dep_timer_time_ = dep_heap_.front().t;
+  dep_timer_ = sim_.schedule_at(dep_timer_time_, [this] { soa_on_dep_timer(); });
+}
+
+void FlowManager::soa_on_dep_timer() {
+  EAC_TEL_EVENT_CATEGORY(kFlows);
+  std::pop_heap(dep_heap_.begin(), dep_heap_.end(), dep_after);
+  const DepEntry e = dep_heap_.back();
+  dep_heap_.pop_back();
+
+  const std::uint32_t idx = table_.index_of(e.h);
+  const std::size_t ci = table_.class_idx[idx];
+  EAC_TRC(trace::emit(trace::EventKind::kDataPhase, 'E', sim_.now(),
+                      table_.flow_id[idx],
+                      static_cast<std::uint64_t>(cfg_.classes[ci].group)));
+  // Stop the data source: the row's single pending tick goes away.
+  if (table_.pending[idx] != 0) {
+    sim_.cancel(table_.pending[idx]);
+    table_.pending[idx] = 0;
+  }
+  // Keep the sink attached through the drain grace period, as in the
+  // reference driver. Drain times are monotone (departure order + constant
+  // grace), so a FIFO suffices and the timer never needs preempting.
+  drain_q_.push_back(
+      DrainEntry{sim_.now() + sim::SimTime::seconds(cfg_.drain_seconds), e.h});
+  if (drain_timer_ == 0) {
+    drain_timer_ =
+        sim_.schedule_at(drain_q_.front().t, [this] { soa_on_drain_timer(); });
+  }
+  soa_schedule_dep_timer();
+}
+
+void FlowManager::soa_on_drain_timer() {
+  // Deliberately no telemetry event category: the reference driver's drain
+  // lambda is untagged, and the profiles must match.
+  const DrainEntry e = drain_q_.front();
+  drain_q_.pop_front();
+
+  const std::uint32_t idx = table_.index_of(e.h);
+  const std::size_t ci = table_.class_idx[idx];
+  const net::FlowId id = table_.flow_id[idx];
+  topo_.node(cfg_.classes[ci].dst).detach_sink(id);
+  table_.release(e.h);
+  EAC_TEL(telemetry::set(tel_active_, static_cast<double>(table_.live()),
+                         sim_.now()));
+
+  if (!drain_q_.empty()) {
+    drain_timer_ =
+        sim_.schedule_at(drain_q_.front().t, [this] { soa_on_drain_timer(); });
+  } else {
+    drain_timer_ = 0;
+  }
+}
+
+// --- SoA data-plane ticks: row-for-row mirrors of OnOffSource/TraceSource --
+
+double FlowManager::row_uniform(std::uint32_t idx, bool compact) {
+  return compact ? table_.crng[idx].uniform() : rng_pool_[idx].uniform();
+}
+
+double FlowManager::row_draw(std::uint32_t idx, const FlowClass& cls,
+                             double mean) {
+  if (cls.compact_rng) {
+    return cls.onoff.dist == traffic::OnOffDistribution::kExponential
+               ? table_.crng[idx].exponential(mean)
+               : table_.crng[idx].pareto(cls.onoff.pareto_shape, mean);
+  }
+  return cls.onoff.dist == traffic::OnOffDistribution::kExponential
+             ? rng_pool_[idx].exponential(mean)
+             : rng_pool_[idx].pareto(cls.onoff.pareto_shape, mean);
+}
+
+void FlowManager::ensure_rng_pool(std::uint32_t idx) {
+  // Placeholder streams for rows that have only ever held compact flows;
+  // they are overwritten before any draw.
+  while (rng_pool_.size() <= idx) rng_pool_.emplace_back(0, 0);
+}
+
+void FlowManager::soa_onoff_start(FlowHandle h) {
+  const std::uint32_t idx = table_.index_of(h);
+  const FlowClass& cls = cfg_.classes[table_.class_idx[idx]];
+  // Begin in ON or OFF with the stationary probability so that a flow
+  // admitted mid-session looks statistically like a running one.
+  const double p_on =
+      cls.onoff.mean_on_s / (cls.onoff.mean_on_s + cls.onoff.mean_off_s);
+  if (row_uniform(idx, cls.compact_rng) < p_on) {
+    soa_onoff_enter_on(h);
+  } else {
+    table_.pending[idx] = sim_.schedule_after(
+        sim::SimTime::seconds(row_draw(idx, cls, cls.onoff.mean_off_s)),
+        [this, h] { soa_onoff_enter_on(h); });
+  }
+}
+
+void FlowManager::soa_onoff_enter_on(FlowHandle h) {
+  const std::uint32_t idx = table_.index_of(h);
+  const FlowClass& cls = cfg_.classes[table_.class_idx[idx]];
+  table_.pending[idx] = 0;  // may be entering from the scheduled OFF event
+  table_.on_ends[idx] =
+      sim_.now() + sim::SimTime::seconds(row_draw(idx, cls, cls.onoff.mean_on_s));
+  soa_onoff_tick(h);
+}
+
+void FlowManager::soa_onoff_tick(FlowHandle h) {
+  const std::uint32_t idx = table_.index_of(h);
+  const std::size_t ci = table_.class_idx[idx];
+  const FlowClass& cls = cfg_.classes[ci];
+  if (sim_.now() >= table_.on_ends[idx]) {
+    table_.pending[idx] = sim_.schedule_after(
+        sim::SimTime::seconds(row_draw(idx, cls, cls.onoff.mean_off_s)),
+        [this, h] { soa_onoff_enter_on(h); });
+    return;
+  }
+  soa_emit(idx, ci);
+  // +-2 % gap jitter: perfectly periodic sources phase-lock against each
+  // other at a full drop-tail queue (see CbrSource).
+  const double factor =
+      1.0 + 0.02 * (2.0 * row_uniform(idx, cls.compact_rng) - 1.0);
+  const double gap_s = static_cast<double>(cls.packet_size) * 8.0 /
+                       cls.onoff.burst_rate_bps * factor;
+  table_.pending[idx] = sim_.schedule_after(sim::SimTime::seconds(gap_s),
+                                            [this, h] { soa_onoff_tick(h); });
+}
+
+void FlowManager::soa_trace_tick(FlowHandle h) {
+  const std::uint32_t idx = table_.index_of(h);
+  const std::size_t ci = table_.class_idx[idx];
+  const FlowClass& cls = cfg_.classes[ci];
+  const auto& frames = *cls.trace;
+  const std::uint32_t frame = frames[table_.next_frame[idx]];
+  table_.next_frame[idx] =
+      static_cast<std::uint32_t>((table_.next_frame[idx] + 1) % frames.size());
+
+  // Packetize the frame; nonconforming packets are dropped at the source.
+  const std::uint32_t psize = cls.packet_size;
+  const std::uint32_t npkts = (frame + psize - 1) / psize;
+  for (std::uint32_t i = 0; i < npkts; ++i) {
+    if (table_.bucket[idx].conforms(psize, sim_.now())) {
+      soa_emit(idx, ci);
+    } else {
+      ++reshaping_drops_;
+    }
+  }
+  table_.pending[idx] =
+      sim_.schedule_after(sim::SimTime::seconds(1.0 / cls.trace_fps),
+                          [this, h] { soa_trace_tick(h); });
+}
+
+void FlowManager::soa_emit(std::uint32_t idx, std::size_t class_idx) {
+  EAC_TEL_EVENT_CATEGORY(kTraffic);
+  const FlowClass& cls = cfg_.classes[class_idx];
+  net::Packet p;
+  p.flow = table_.flow_id[idx];
+  p.src = cls.src;
+  p.dst = cls.dst;
+  p.size_bytes = cls.packet_size;
+  p.seq = static_cast<std::uint32_t>(table_.sent[idx]);
+  p.type = net::PacketType::kData;
+  p.band = 0;
+  p.ecn_capable = true;
+  p.created = sim_.now();
+  ++table_.sent[idx];
+  EAC_AUDIT_COUNT(packets_created, 1);
+  // The reference driver's on_send hook runs before the entry node sees
+  // the packet; keep that order.
+  stats_.record_data_sent(cls.group);
+  class_rt_[class_idx].entry->handle(p);
 }
 
 }  // namespace eac

@@ -1,13 +1,37 @@
 // Flow population dynamics: Poisson arrivals, admission, data transfer,
 // exponential departure (§3.2 of the paper).
+//
+// Two interchangeable drivers run the population:
+//
+//  - kSoa (default): per-flow state lives in a struct-of-arrays FlowTable
+//    (flow_table.hpp) and the lifecycle edges are driven by three batched
+//    timers — one arrival timer over all classes, one departure timer over
+//    a min-heap of pending departures, one drain timer over a FIFO. Each
+//    timer fire services exactly ONE lifecycle edge and then reschedules
+//    itself at the next edge (even when that is the same instant), so the
+//    executed-event count — and with it every (time, seq)-ordered result —
+//    matches the reference driver exactly. This is what makes 10^5-10^6
+//    concurrent flows fit: no per-flow heap objects, no allocator churn on
+//    admit/depart, and per-flow randomness can use the 8-byte
+//    CompactRandomStream (FlowClass::compact_rng) instead of a 2.5 KB
+//    mt19937_64.
+//
+//  - kReference: the original one-object-per-flow implementation, kept
+//    verbatim. It exists so the parity tests can prove, byte for byte,
+//    that the SoA driver reproduces the seed path's ScenarioResults.
+//
+// Both drivers draw from identical RNG streams in identical per-stream
+// order, so any scenario produces bit-identical results under either.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "eac/admission.hpp"
+#include "eac/flow_table.hpp"
 #include "net/topology.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
@@ -22,6 +46,9 @@ namespace eac {
 
 /// What kind of data traffic an admitted flow sends.
 enum class SourceKind { kOnOff, kTrace };
+
+/// Which implementation drives the flow population.
+enum class FlowDriver { kSoa, kReference };
 
 /// One class of flows: its own Poisson arrival process, source model,
 /// endpoints, probe rate and threshold, and reporting group.
@@ -38,6 +65,13 @@ struct FlowClass {
   double bucket_bytes = 0;          ///< token depth b; 0 = one packet
   double epsilon = 0.0;
   int group = 0;
+
+  /// Use the 8-byte CompactRandomStream for this class's per-flow source
+  /// randomness instead of the 2.5 KB mt19937_64. NOT bit-compatible with
+  /// the classic stream, so the golden figure scenarios leave this off;
+  /// the million-flow scale scenarios turn it on (2.5 KB x 10^6 flows of
+  /// engine state would dwarf the flow table itself). SoA driver only.
+  bool compact_rng = false;
 };
 
 struct FlowManagerConfig {
@@ -62,6 +96,9 @@ struct FlowManagerConfig {
   /// flow lifetimes to a fraction of one; 0 disables. Pre-warmed flows
   /// bypass admission and are never counted (measurement starts later).
   double prewarm_bps = 0;
+
+  /// Which driver runs the population (see the header comment).
+  FlowDriver driver = FlowDriver::kSoa;
 };
 
 /// Drives the whole flow population against one AdmissionPolicy and
@@ -75,13 +112,17 @@ class FlowManager {
   /// Begin all arrival processes (and pre-warm the population if asked).
   void start();
 
-  std::size_t active_flows() const { return active_.size(); }
+  std::size_t active_flows() const {
+    return cfg_.driver == FlowDriver::kSoa ? table_.live() : active_.size();
+  }
   std::uint64_t flows_created() const { return next_flow_; }
+  std::uint64_t peak_active_flows() const { return peak_active_; }
   std::uint64_t retries() const { return retries_; }
   std::uint64_t gave_up() const { return gave_up_; }
 
  private:
-  /// Sink for an admitted flow's data packets.
+  /// Sink for admitted flows' data packets. Stateless beyond its group, so
+  /// the SoA driver shares one instance per class across every flow.
   class DataSink : public net::PacketHandler {
    public:
     DataSink(sim::Simulator& sim, stats::FlowStats& stats, int group)
@@ -110,11 +151,53 @@ class FlowManager {
     net::NodeId dst;
   };
 
+  // --- shared admission path (both drivers) -------------------------------
+  void attempt(std::size_t class_idx, net::FlowId id, int attempt_no);
+  void dispatch_admit(std::size_t class_idx, net::FlowId id);
+
+  // --- reference driver (seed-path implementation, kept verbatim) ---------
   void schedule_arrival(std::size_t class_idx);
   void on_arrival(std::size_t class_idx);
-  void attempt(std::size_t class_idx, net::FlowId id, int attempt_no);
   void admit(const FlowClass& cls, net::FlowId id);
   void depart(net::FlowId id);
+
+  // --- SoA driver ---------------------------------------------------------
+  /// One pending departure. Ordered by (time, admit order) so simultaneous
+  /// departures pop in the order the reference driver scheduled them.
+  struct DepEntry {
+    sim::SimTime t;
+    std::uint64_t order = 0;
+    FlowHandle h;
+  };
+  /// A departed flow waiting out its drain grace period. Push order is
+  /// departure order and the grace is constant, so the queue is FIFO.
+  struct DrainEntry {
+    sim::SimTime t;
+    FlowHandle h;
+  };
+
+  /// Min-heap comparator: std::push_heap builds a max-heap, so "a after b"
+  /// puts the earliest (time, admit-order) departure on top.
+  static bool dep_after(const DepEntry& a, const DepEntry& b);
+
+  void soa_start_arrivals();
+  void soa_schedule_arrival_timer();
+  void soa_on_arrival_timer();
+  void soa_admit(std::size_t class_idx, net::FlowId id);
+  void soa_push_departure(sim::SimTime t, FlowHandle h);
+  void soa_schedule_dep_timer();
+  void soa_on_dep_timer();
+  void soa_on_drain_timer();
+
+  void soa_onoff_start(FlowHandle h);
+  void soa_onoff_enter_on(FlowHandle h);
+  void soa_onoff_tick(FlowHandle h);
+  void soa_trace_tick(FlowHandle h);
+  void soa_emit(std::uint32_t idx, std::size_t class_idx);
+
+  double row_uniform(std::uint32_t idx, bool compact);
+  double row_draw(std::uint32_t idx, const FlowClass& cls, double mean);
+  void ensure_rng_pool(std::uint32_t idx);
 
   sim::Simulator& sim_;
   net::Topology& topo_;
@@ -127,7 +210,32 @@ class FlowManager {
   net::FlowId next_flow_ = 1;
   std::uint64_t retries_ = 0;
   std::uint64_t gave_up_ = 0;
+  std::uint64_t peak_active_ = 0;
+
+  // Reference-driver population.
   std::unordered_map<net::FlowId, ActiveFlow> active_;
+
+  // SoA-driver population and batched timers.
+  FlowTable table_;
+  /// Classic per-flow streams for non-compact on/off rows, indexed by row.
+  /// Grown only when a classic flow actually occupies the row, so compact
+  /// scale runs never pay the 2.5 KB per slot.
+  std::vector<sim::RandomStream> rng_pool_;
+  /// Per-class entry node and shared sink, resolved once in start().
+  struct ClassRuntime {
+    net::PacketHandler* entry = nullptr;
+    std::unique_ptr<DataSink> sink;
+  };
+  std::vector<ClassRuntime> class_rt_;
+  std::vector<sim::SimTime> next_arrival_;  ///< per class, absolute
+  std::vector<DepEntry> dep_heap_;          ///< min-heap on (t, order)
+  std::uint64_t dep_order_ = 0;
+  sim::EventId dep_timer_ = 0;
+  sim::SimTime dep_timer_time_ = sim::SimTime::max();
+  std::deque<DrainEntry> drain_q_;
+  sim::EventId drain_timer_ = 0;
+  std::uint64_t reshaping_drops_ = 0;
+
   EAC_TEL_ONLY(telemetry::SeriesId tel_attempts_ = telemetry::kNoSeries;)
   EAC_TEL_ONLY(telemetry::SeriesId tel_admitted_ = telemetry::kNoSeries;)
   EAC_TEL_ONLY(telemetry::SeriesId tel_rejected_ = telemetry::kNoSeries;)

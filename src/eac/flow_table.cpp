@@ -1,0 +1,41 @@
+#include "eac/flow_table.hpp"
+
+namespace eac {
+
+FlowHandle FlowTable::allocate(net::FlowId id, std::uint32_t cls) {
+  std::uint32_t idx;
+  if (!free_.empty()) {
+    idx = free_.back();
+    free_.pop_back();
+  } else {
+    idx = static_cast<std::uint32_t>(gen_.size());
+    gen_.push_back(0);  // bumped to 1 below
+    flow_id.emplace_back();
+    class_idx.emplace_back();
+    sent.emplace_back();
+    on_ends.emplace_back();
+    pending.emplace_back();
+    crng.emplace_back();
+    next_frame.emplace_back();
+    bucket.push_back(traffic::TokenBucket{0, 0});  // placeholder; no default ctor
+  }
+  if (++gen_[idx] == 0) gen_[idx] = 1;  // generation 0 is reserved: never valid
+  flow_id[idx] = id;
+  class_idx[idx] = cls;
+  sent[idx] = 0;
+  on_ends[idx] = sim::SimTime::zero();
+  pending[idx] = 0;
+  crng[idx] = sim::CompactRandomStream{};
+  next_frame[idx] = 0;
+  ++live_;
+  return FlowHandle{idx, gen_[idx]};
+}
+
+void FlowTable::release(FlowHandle h) {
+  const std::uint32_t idx = index_of(h);
+  if (++gen_[idx] == 0) gen_[idx] = 1;
+  free_.push_back(idx);
+  --live_;
+}
+
+}  // namespace eac

@@ -1,0 +1,85 @@
+// Struct-of-arrays store of per-flow runtime state, keyed by dense
+// generation-tagged handles.
+//
+// The seed-path flow driver kept one heap object per flow (an OnOffSource
+// or TraceSource plus a DataSink behind unique_ptrs in an unordered_map).
+// At 10^5-10^6 concurrent flows that layout is the bottleneck: every
+// lifecycle edge chases two pointers into cold cache lines and the
+// population churns the allocator. Here every per-flow field lives in its
+// own contiguous column, rows are recycled through a free list, and a row
+// index is only dereferenced through a handle whose generation tag must
+// match the row's current generation — so a departed flow's stale handle
+// can never silently read a recycled row. In audit builds (-DEAC_AUDIT=ON)
+// a stale dereference aborts; release builds pay nothing.
+//
+// The columns are deliberately public: the SoA flow driver in
+// flow_manager.cpp is the single writer and iterates them directly, which
+// is the point of the layout. Everyone else goes through FlowManager.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+#include "traffic/token_bucket.hpp"
+
+namespace eac {
+
+/// Dense generation-tagged reference to one FlowTable row. A default
+/// handle (gen 0) is never valid: generations start at 1 and skip 0.
+struct FlowHandle {
+  std::uint32_t index = 0;
+  std::uint32_t gen = 0;
+};
+
+class FlowTable {
+ public:
+  /// Claim a row (recycled or fresh) for flow `id` of class `class_idx`.
+  /// All columns of the row are reset to their defaults.
+  FlowHandle allocate(net::FlowId id, std::uint32_t class_idx);
+
+  /// Retire a row. Bumps the generation so every outstanding handle to it
+  /// goes stale, and recycles the index through the free list.
+  void release(FlowHandle h);
+
+  /// True while `h` still names the allocation it was created for.
+  bool is_live(FlowHandle h) const {
+    return h.gen != 0 && h.index < gen_.size() && gen_[h.index] == h.gen;
+  }
+
+  /// Resolve a handle to its row index. Dereferencing a stale handle is a
+  /// use-after-free of a departed flow: audit builds abort here.
+  std::uint32_t index_of(FlowHandle h) const {
+    EAC_AUDIT_CHECK(is_live(h),
+                    "stale flow handle: use-after-free of a departed flow "
+                    "(index " + std::to_string(h.index) + ", gen " +
+                        std::to_string(h.gen) + ")");
+    assert(is_live(h) && "stale flow handle");
+    return h.index;
+  }
+
+  std::size_t live() const { return live_; }
+  std::size_t capacity() const { return gen_.size(); }
+
+  // --- columns, indexed by a resolved row index ---------------------------
+  std::vector<net::FlowId> flow_id;
+  std::vector<std::uint32_t> class_idx;
+  std::vector<std::uint64_t> sent;        ///< packets emitted (wire seq)
+  std::vector<sim::SimTime> on_ends;      ///< on/off rows: current ON end
+  std::vector<sim::EventId> pending;      ///< the row's one pending event
+  std::vector<sim::CompactRandomStream> crng;  ///< compact-stream rows
+  std::vector<std::uint32_t> next_frame;  ///< trace rows: replay cursor
+  std::vector<traffic::TokenBucket> bucket;  ///< trace rows: reshaper
+
+ private:
+  std::vector<std::uint32_t> gen_;   ///< current generation per row
+  std::vector<std::uint32_t> free_;  ///< recycled row indexes (LIFO)
+  std::size_t live_ = 0;
+};
+
+}  // namespace eac

@@ -131,7 +131,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
   if (trc != nullptr) trc->begin_run();
 #endif
 
-  sim::Simulator sim;
+  sim::Simulator sim{spec.event_queue};
   net::Topology topo{sim};
   const std::size_t n_nodes = spec.node_count();
   for (std::size_t i = 0; i < n_nodes; ++i) topo.add_node();
@@ -193,6 +193,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
   fm_cfg.prewarm_bps = spec.prewarm_bps;
   fm_cfg.max_retries = spec.max_retries;
   fm_cfg.retry_backoff_s = spec.retry_backoff_s;
+  fm_cfg.driver = spec.flow_driver;
   FlowManager manager{sim, topo, *policy, stats, fm_cfg};
   manager.start();
 
@@ -202,6 +203,8 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
   });
 
   res.events = sim.run(sim::SimTime::seconds(spec.duration_s));
+  res.flows_created = manager.flows_created();
+  res.peak_active_flows = manager.peak_active_flows();
 
 #if EAC_AUDIT_ENABLED
   // Conservation ledger: whatever was neither delivered nor dropped must

@@ -4,6 +4,10 @@
 #include <cmath>
 #include <cstdio>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 namespace eac::scenario {
 
 namespace {
@@ -284,6 +288,31 @@ std::string to_json(const trace::Summary& t) {
             t.by_category[i]);
   }
   w.object_end().object_end();
+  return w.take();
+}
+
+std::uint64_t current_peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(ru.ru_maxrss);  // already bytes
+#else
+  return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+std::string to_json(const PerfSample& p) {
+  JsonWriter w;
+  w.object_begin()
+      .field("wall_s", p.wall_s)
+      .field("peak_rss_bytes", p.peak_rss_bytes)
+      .field("events", p.events)
+      .field("events_per_second", p.events_per_second)
+      .object_end();
   return w.take();
 }
 

@@ -75,6 +75,22 @@ std::string to_json(const telemetry::Report& t);
 /// deterministic (sim-time based).
 std::string to_json(const trace::Summary& t);
 
+/// Host-side performance measurement of one bench workload: wall-clock
+/// time, process peak RSS and simulated-event throughput. NOT
+/// deterministic — byte-comparing tooling must strip any "perf" block
+/// (tests/run_determinism_check.sh does).
+struct PerfSample {
+  double wall_s = 0;
+  std::uint64_t peak_rss_bytes = 0;
+  std::uint64_t events = 0;
+  double events_per_second = 0;
+};
+
+/// The process's peak resident set size in bytes (0 where unsupported).
+std::uint64_t current_peak_rss_bytes();
+
+std::string to_json(const PerfSample& p);
+
 /// Per-run results. Shapes are stable (golden-tested in report_test).
 std::string to_json(const RunResult& r);
 std::string to_json(const MultiLinkResult& r);

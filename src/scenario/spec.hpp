@@ -18,6 +18,7 @@
 #include "eac/config.hpp"
 #include "eac/flow_manager.hpp"
 #include "sim/audit.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/time.hpp"
 #include "stats/flow_stats.hpp"
 #include "telemetry/telemetry.hpp"
@@ -90,6 +91,21 @@ struct ScenarioSpec {
   double warmup_s = 200;    ///< discarded prefix
   std::uint64_t seed = 1;
 
+  // --- engine selection ---
+  /// Which flow-population driver runs the scenario. Both produce
+  /// bit-identical results (see flow_manager.hpp); kReference exists for
+  /// the parity tests and as an always-available baseline.
+  FlowDriver flow_driver = FlowDriver::kSoa;
+  /// Which pending-event container the engine uses. Both pop in the same
+  /// total order, so this never changes results — only speed. The calendar
+  /// queue wins the uniform-horizon hold micro bench (2.1x at 10^6 pending
+  /// events, BM_QueueHold*), but loses end-to-end by ~10x on the real
+  /// scenarios, whose event horizons are wildly heterogeneous (us-scale
+  /// packet events next to 100s-of-seconds flow timers defeat any single
+  /// bucket width) — so the heap stays the default. Measured numbers in
+  /// DESIGN.md §10.
+  sim::EventQueueKind event_queue = sim::EventQueueKind::kFourAryHeap;
+
   /// One past the largest node id referenced by any link or flow.
   std::size_t node_count() const {
     std::size_t n = 0;
@@ -120,6 +136,11 @@ struct ScenarioResult {
   double delay_p50_s = 0;  ///< median end-to-end data packet delay
   double delay_p99_s = 0;
   std::uint64_t events = 0;
+  /// Population bookkeeping for the scale benches. Deliberately NOT
+  /// serialized by to_json (report.cpp): the golden artifacts predate
+  /// these fields and must stay byte-identical.
+  std::uint64_t flows_created = 0;
+  std::uint64_t peak_active_flows = 0;
   sim::AuditReport audit;  ///< populated only in -DEAC_AUDIT=ON builds
   /// Time-series telemetry; populated only when a telemetry::Recorder was
   /// installed on the running thread (telemetry builds). Never feeds back

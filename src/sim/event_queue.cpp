@@ -1,0 +1,80 @@
+#include "sim/event_queue.hpp"
+
+#include <bit>
+#include <limits>
+
+namespace eac::sim {
+
+void CalendarQueue::find_min() {
+  // Lap scan: walk day counters forward from the floor. All entries of one
+  // day share one bucket, so the first day with an entry holds the queue
+  // minimum; ties within the day resolve by seq via before().
+  std::int64_t day = floor_ns_ >> width_shift_;
+  const std::size_t nbuckets = buckets_.size();
+  for (std::size_t step = 0; step < nbuckets; ++step, ++day) {
+    const std::vector<EventEntry>& b =
+        buckets_[static_cast<std::size_t>(day) & mask_];
+    bool found = false;
+    std::size_t best = 0;
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      if ((b[i].time.ns() >> width_shift_) != day) continue;  // other lap
+      if (!found || b[i].before(b[best])) {
+        best = i;
+        found = true;
+      }
+    }
+    if (found) {
+      min_bucket_ = static_cast<std::size_t>(day) & mask_;
+      min_pos_ = best;
+      min_valid_ = true;
+      return;
+    }
+  }
+  // Sparse regime: fewer than one event per lap. Scan everything once.
+  bool found = false;
+  for (std::size_t bi = 0; bi < nbuckets; ++bi) {
+    const std::vector<EventEntry>& b = buckets_[bi];
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      if (!found || b[i].before(buckets_[min_bucket_][min_pos_])) {
+        min_bucket_ = bi;
+        min_pos_ = i;
+        found = true;
+      }
+    }
+  }
+  min_valid_ = found;  // callers only ask when !empty()
+}
+
+void CalendarQueue::rebuild(std::size_t nbuckets) {
+  if (nbuckets < kMinBuckets) nbuckets = kMinBuckets;
+  if (nbuckets > kMaxBuckets) nbuckets = kMaxBuckets;
+
+  std::vector<EventEntry> all;
+  all.reserve(size_);
+  std::int64_t lo = std::numeric_limits<std::int64_t>::max();
+  std::int64_t hi = std::numeric_limits<std::int64_t>::min();
+  for (std::vector<EventEntry>& b : buckets_) {
+    for (const EventEntry& e : b) {
+      all.push_back(e);
+      lo = std::min(lo, e.time.ns());
+      hi = std::max(hi, e.time.ns());
+    }
+    b.clear();
+  }
+
+  // Width so the live population spreads to about one entry per bucket.
+  // Purely a function of queue content, so rebuilds are deterministic.
+  if (!all.empty() && hi > lo) {
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo);
+    const std::uint64_t width = std::max<std::uint64_t>(span / all.size(), 1);
+    width_shift_ = std::bit_width(width) - 1;
+    if (width_shift_ > 40) width_shift_ = 40;  // ~18 min: beyond any horizon
+  }
+
+  buckets_.assign(nbuckets, {});
+  mask_ = nbuckets - 1;
+  min_valid_ = false;
+  for (const EventEntry& e : all) buckets_[bucket_of(e.time)].push_back(e);
+}
+
+}  // namespace eac::sim

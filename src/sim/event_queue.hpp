@@ -1,0 +1,213 @@
+// Pending-event containers for the simulation core.
+//
+// The Simulator keys every pending event on (time, seq): two events at the
+// same instant run in schedule order. Any container that pops entries in
+// exactly that total order is interchangeable without changing a single
+// simulation result, so the engine can pick its structure on performance
+// alone. Two implementations live here:
+//
+//   FourAryHeap    the implicit 4-ary min-heap the engine has always used:
+//                  O(log n) push/pop with a shallow, cache-friendly tree.
+//   CalendarQueue  a Brown-style calendar queue: power-of-two bucket array
+//                  indexed by event day (time >> width_shift), amortized
+//                  O(1) push/pop when the pending set is dense in time.
+//                  Bucket count and width adapt to the live population on
+//                  resize; a lap scan finds the next day with events, with
+//                  a direct full scan as the sparse fallback.
+//
+// Both are deterministic: ties are broken by seq, never by address or
+// insertion bucket. micro_engine benchmarks the two head-to-head at 10^3,
+// 10^5 and 10^6 pending events (BM_QueueHold*); see DESIGN.md section 10
+// for the measured numbers that picked the default.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace eac::sim {
+
+/// One pending event: everything the ordering needs, nothing the callback
+/// needs (callbacks are parked in the Simulator's slot arena).
+struct EventEntry {
+  SimTime time;
+  std::uint64_t seq;  ///< schedule order; ties events at the same instant
+  std::uint32_t slot;
+  std::uint32_t gen;
+
+  bool before(const EventEntry& o) const {
+    if (time != o.time) return time < o.time;
+    return seq < o.seq;
+  }
+};
+
+/// Which pending-event container a Simulator uses. Interchangeable without
+/// changing results (identical (time, seq) pop order).
+enum class EventQueueKind { kFourAryHeap, kCalendar };
+
+/// Implicit 4-ary min-heap on (time, seq).
+class FourAryHeap {
+ public:
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+  const EventEntry& front() const { return heap_.front(); }
+
+  void push(EventEntry e) {
+    std::size_t i = heap_.size();
+    heap_.push_back(e);
+    if (i == 0) return;
+    std::size_t parent = (i - 1) >> 2;
+    if (!e.before(heap_[parent])) return;  // common case: appended in order
+    do {
+      heap_[i] = heap_[parent];
+      i = parent;
+      if (i == 0) break;
+      parent = (i - 1) >> 2;
+    } while (e.before(heap_[parent]));
+    heap_[i] = e;
+  }
+
+  void pop_front() {
+    const EventEntry last = heap_.back();
+    heap_.pop_back();
+    const std::size_t n = heap_.size();
+    if (n == 0) return;
+    std::size_t i = 0;
+    for (;;) {
+      const std::size_t first = (i << 2) + 1;
+      if (first >= n) break;
+      std::size_t best = first;
+      const std::size_t end = std::min(first + 4, n);
+      for (std::size_t c = first + 1; c < end; ++c) {
+        if (heap_[c].before(heap_[best])) best = c;
+      }
+      if (!heap_[best].before(last)) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = last;
+  }
+
+  /// Raw entries, for the audit layer's structural sweep.
+  const std::vector<EventEntry>& entries() const { return heap_; }
+
+ private:
+  std::vector<EventEntry> heap_;
+};
+
+/// Brown-style calendar queue on (time, seq).
+///
+/// Entries land in bucket (time.ns() >> width_shift_) & mask_. front()
+/// lazily locates the minimum: a lap scan walks day buckets forward from
+/// the last popped day (each day's entries all share one bucket, so the
+/// first non-empty day yields the minimum after an in-bucket (time, seq)
+/// scan); if a whole lap is empty the queue is sparse and a direct scan of
+/// every entry finds the minimum instead. Correct for any width/bucket
+/// choice — those only affect speed — and pops never reorder ties because
+/// in-bucket selection uses EventEntry::before.
+class CalendarQueue {
+ public:
+  CalendarQueue() : buckets_(kMinBuckets), mask_{kMinBuckets - 1} {}
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  void push(EventEntry e) {
+    std::vector<EventEntry>& b = buckets_[bucket_of(e.time)];
+    b.push_back(e);
+    ++size_;
+    if (min_valid_ && e.before(buckets_[min_bucket_][min_pos_])) {
+      min_bucket_ = bucket_of(e.time);
+      min_pos_ = buckets_[min_bucket_].size() - 1;
+    }
+    if (size_ > buckets_.size() * 2) rebuild(buckets_.size() * 2);
+  }
+
+  const EventEntry& front() {
+    if (!min_valid_) find_min();
+    return buckets_[min_bucket_][min_pos_];
+  }
+
+  void pop_front() {
+    if (!min_valid_) find_min();
+    std::vector<EventEntry>& b = buckets_[min_bucket_];
+    floor_ns_ = b[min_pos_].time.ns();
+    b[min_pos_] = b.back();  // order within a bucket is irrelevant
+    b.pop_back();
+    --size_;
+    min_valid_ = false;
+    if (buckets_.size() > kMinBuckets && size_ < buckets_.size() / 8) {
+      rebuild(buckets_.size() / 2);
+    }
+  }
+
+ private:
+  static constexpr std::size_t kMinBuckets = 16;
+  static constexpr std::size_t kMaxBuckets = std::size_t{1} << 22;
+
+  std::size_t bucket_of(SimTime t) const {
+    return static_cast<std::size_t>(t.ns() >> width_shift_) & mask_;
+  }
+
+  void find_min();
+  void rebuild(std::size_t nbuckets);
+
+  std::vector<std::vector<EventEntry>> buckets_;
+  std::size_t mask_;
+  int width_shift_ = 20;  ///< ~1 ms buckets until the first resize
+  std::size_t size_ = 0;
+  /// No remaining entry is before this (Simulator never schedules into the
+  /// past), so lap scans start at its day.
+  std::int64_t floor_ns_ = 0;
+  bool min_valid_ = false;
+  std::size_t min_bucket_ = 0;
+  std::size_t min_pos_ = 0;
+};
+
+/// The Simulator's pending set: one of the two structures above, chosen at
+/// construction. Dispatch is a predictable branch on a fixed enum.
+class EventQueue {
+ public:
+  explicit EventQueue(EventQueueKind kind = EventQueueKind::kFourAryHeap)
+      : kind_{kind} {}
+
+  EventQueueKind kind() const { return kind_; }
+  bool empty() const {
+    return kind_ == EventQueueKind::kFourAryHeap ? heap_.empty()
+                                                 : calendar_.empty();
+  }
+  std::size_t size() const {
+    return kind_ == EventQueueKind::kFourAryHeap ? heap_.size()
+                                                 : calendar_.size();
+  }
+  const EventEntry& front() {
+    return kind_ == EventQueueKind::kFourAryHeap ? heap_.front()
+                                                 : calendar_.front();
+  }
+  void push(EventEntry e) {
+    if (kind_ == EventQueueKind::kFourAryHeap) {
+      heap_.push(e);
+    } else {
+      calendar_.push(e);
+    }
+  }
+  void pop_front() {
+    if (kind_ == EventQueueKind::kFourAryHeap) {
+      heap_.pop_front();
+    } else {
+      calendar_.pop_front();
+    }
+  }
+
+  /// Heap entries for the audit layer's shape check (heap kind only).
+  const FourAryHeap& heap() const { return heap_; }
+
+ private:
+  EventQueueKind kind_;
+  FourAryHeap heap_;
+  CalendarQueue calendar_;
+};
+
+}  // namespace eac::sim

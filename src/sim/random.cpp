@@ -42,4 +42,36 @@ double RandomStream::lognormal(double mu, double sigma) {
   return d(eng_);
 }
 
+std::uint64_t CompactRandomStream::next() {
+  // splitmix64 counter walk: increment by the golden-ratio constant, mix.
+  state_ += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+double CompactRandomStream::uniform() {
+  // Same 53-bit mantissa draw as RandomStream, over the splitmix output.
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t CompactRandomStream::integer(std::uint64_t bound) {
+  assert(bound > 0);
+  return next() % bound;
+}
+
+double CompactRandomStream::exponential(double mean) {
+  assert(mean > 0);
+  const double u = uniform();
+  return -mean * std::log1p(-u);
+}
+
+double CompactRandomStream::pareto(double alpha, double mean) {
+  assert(alpha > 1.0 && mean > 0);
+  const double xm = mean * (alpha - 1.0) / alpha;
+  const double u = uniform();
+  return xm / std::pow(1.0 - u, 1.0 / alpha);
+}
+
 }  // namespace eac::sim

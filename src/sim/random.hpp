@@ -41,4 +41,38 @@ class RandomStream {
   std::mt19937_64 eng_;
 };
 
+/// Compact 8-byte random stream: a splitmix64 counter walk seeded like
+/// RandomStream via derive_seed, with the same distribution formulas.
+///
+/// RandomStream's mt19937_64 carries ~2.5 KB of state — fine for a few
+/// hundred components, prohibitive for 10^5-10^6 concurrent per-flow
+/// streams (the million-flow scale scenarios). CompactRandomStream is the
+/// struct-of-arrays replacement: one machine word per flow, trivially
+/// copyable, default-constructible (columns can resize). It is NOT
+/// bit-compatible with RandomStream, so golden scenarios keep the classic
+/// stream; only populations opting in (FlowClass::compact_rng) use this.
+class CompactRandomStream {
+ public:
+  CompactRandomStream() = default;
+  CompactRandomStream(std::uint64_t seed, std::uint64_t stream)
+      : state_{derive_seed(seed, stream)} {}
+
+  /// Uniform on [0, 1).
+  double uniform();
+
+  /// Uniform on [0, bound).
+  std::uint64_t integer(std::uint64_t bound);
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Pareto with shape `alpha` (> 1) scaled so the mean is `mean`.
+  double pareto(double alpha, double mean);
+
+ private:
+  std::uint64_t next();
+
+  std::uint64_t state_ = 0;
+};
+
 }  // namespace eac::sim

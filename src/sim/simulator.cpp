@@ -21,18 +21,18 @@ std::uint64_t Simulator::run(SimTime horizon) {
   // to an unrecorded one.
   EAC_TEL_ONLY(telemetry::Recorder* tel = telemetry::current();)
   EAC_TRC_ONLY(trace::Sink* trc = trace::current();)
-  while (!stopped_ && !heap_.empty()) {
-    const Entry top = heap_.front();
+  while (!stopped_ && !queue_.empty()) {
+    const EventEntry top = queue_.front();
     Slot& s = slot(top.slot);
     if (s.gen != top.gen) {  // orphaned by cancel(): discard and move on
-      heap_pop_top();
+      queue_.pop_front();
       continue;
     }
     if (top.time > horizon) break;
     EAC_AUDIT_CHECK(top.time >= now_,
-                    "event heap surfaced an event before the clock: heap "
+                    "event queue surfaced an event before the clock: queue "
                     "order or clock monotonicity violated");
-    heap_pop_top();
+    queue_.pop_front();
     // Invalidate before invoking so a handler cancelling its own id is a
     // no-op, but keep the storage off the free list until the callback
     // returns: chunks never move, so it executes in place with no copy.
@@ -41,35 +41,37 @@ std::uint64_t Simulator::run(SimTime horizon) {
     now_ = top.time;
     EAC_TEL(if (tel != nullptr) tel->event_begin());
     s.fn.invoke_and_dispose();
-    EAC_TEL(if (tel != nullptr) tel->event_end(now_, live_, heap_.size()));
+    EAC_TEL(if (tel != nullptr) tel->event_end(now_, live_, queue_.size()));
     EAC_TRC(if (trc != nullptr) trc->engine_event());
     free_empty_slot(s, top.slot);
     ++executed;
 #if EAC_AUDIT_ENABLED
     // Periodic O(n) structural sweep; per-event it would dominate runtime.
-    if ((executed & 0xFFFF) == 0) audit_verify_heap();
+    if ((executed & 0xFFFF) == 0) audit_verify_queue();
 #endif
   }
   EAC_AUDIT_COUNT(events_executed, executed);
 #if EAC_AUDIT_ENABLED
-  audit_verify_heap();
-  EAC_AUDIT_CHECK(!heap_.empty() || live_ == 0,
-                  "live event count nonzero with an empty heap: live_ = " +
+  audit_verify_queue();
+  EAC_AUDIT_CHECK(!queue_.empty() || live_ == 0,
+                  "live event count nonzero with an empty queue: live_ = " +
                       std::to_string(live_));
-  EAC_AUDIT_CHECK(live_ <= heap_.size(),
-                  "more live events than heap entries: live_ = " +
-                      std::to_string(live_) + ", heap = " +
-                      std::to_string(heap_.size()));
+  EAC_AUDIT_CHECK(live_ <= queue_.size(),
+                  "more live events than queue entries: live_ = " +
+                      std::to_string(live_) + ", queue = " +
+                      std::to_string(queue_.size()));
 #endif
   if (live_ == 0 && now_ < horizon && horizon != SimTime::max()) now_ = horizon;
   return executed;
 }
 
 #if EAC_AUDIT_ENABLED
-void Simulator::audit_verify_heap() const {
-  for (std::size_t i = 1; i < heap_.size(); ++i) {
+void Simulator::audit_verify_queue() const {
+  if (queue_.kind() != EventQueueKind::kFourAryHeap) return;
+  const std::vector<EventEntry>& heap = queue_.heap().entries();
+  for (std::size_t i = 1; i < heap.size(); ++i) {
     const std::size_t parent = (i - 1) >> 2;
-    EAC_AUDIT_CHECK(!heap_[i].before(heap_[parent]),
+    EAC_AUDIT_CHECK(!heap[i].before(heap[parent]),
                     "heap shape violated at index " + std::to_string(i));
   }
 }

@@ -1,7 +1,6 @@
 // Discrete-event simulation core: a clock plus a cancellable event heap.
 #pragma once
 
-#include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <memory>
@@ -9,6 +8,7 @@
 
 #include "sim/audit.hpp"
 #include "sim/event_fn.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/time.hpp"
 
 namespace eac::sim {
@@ -24,19 +24,22 @@ using EventId = std::uint64_t;
 /// the same instant run in the order they were scheduled, which keeps runs
 /// deterministic. Handlers may schedule or cancel further events freely.
 ///
-/// Internals: a four-ary implicit heap of 24-byte (time, seq, slot, gen)
-/// entries keyed on (time, seq), with callbacks parked in a chunked slot
-/// arena recycled through a free list. Chunks never move, so callbacks are
-/// constructed in their slot and execute in place — scheduling an event
-/// copies the callable exactly once and the steady state allocates
-/// nothing. cancel() is O(1): it bumps the slot's generation, which
-/// orphans the heap entry; orphans are discarded when they surface at the
-/// top. There is no hash set and no state that grows when already-fired
-/// ids are cancelled (the common "cancel in the destructor" pattern), and
-/// pending() counts exactly the live events.
+/// Internals: a pending-event container of 24-byte (time, seq, slot, gen)
+/// entries keyed on (time, seq) — the classic 4-ary implicit heap or a
+/// calendar queue, chosen at construction (see event_queue.hpp; both pop
+/// in the identical total order, so the choice never changes results) —
+/// with callbacks parked in a chunked slot arena recycled through a free
+/// list. Chunks never move, so callbacks are constructed in their slot and
+/// execute in place — scheduling an event copies the callable exactly once
+/// and the steady state allocates nothing. cancel() is O(1): it bumps the
+/// slot's generation, which orphans the queue entry; orphans are discarded
+/// when they surface at the top. There is no hash set and no state that
+/// grows when already-fired ids are cancelled (the common "cancel in the
+/// destructor" pattern), and pending() counts exactly the live events.
 class Simulator {
  public:
-  Simulator() = default;
+  explicit Simulator(EventQueueKind queue_kind = EventQueueKind::kFourAryHeap)
+      : queue_{queue_kind} {}
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -82,20 +85,10 @@ class Simulator {
   /// Number of live (schedulable, not cancelled) pending events.
   std::size_t pending() const { return live_; }
 
+  /// Which pending-event container this instance runs on.
+  EventQueueKind queue_kind() const { return queue_.kind(); }
+
  private:
-  /// Heap entry: everything the ordering needs, nothing the callback needs.
-  struct Entry {
-    SimTime time;
-    std::uint64_t seq;  ///< schedule order; ties events at the same instant
-    std::uint32_t slot;
-    std::uint32_t gen;
-
-    bool before(const Entry& o) const {
-      if (time != o.time) return time < o.time;
-      return seq < o.seq;
-    }
-  };
-
   /// Callback parking space, recycled through `free_head_`.
   struct Slot {
     EventFn fn;
@@ -132,7 +125,7 @@ class Simulator {
     // Freed slots always hold a destroyed fn, so construct straight over it.
     s->fn.emplace_over_empty(std::forward<F>(fn));
     s->next_free = kActiveSlot;
-    heap_push(Entry{t, next_seq_++, idx, s->gen});
+    queue_.push(EventEntry{t, next_seq_++, idx, s->gen});
     ++live_;
     return (static_cast<EventId>(idx) << 32) | s->gen;
   }
@@ -141,9 +134,10 @@ class Simulator {
   std::uint32_t grow_arena();
 
 #if EAC_AUDIT_ENABLED
-  /// O(n) structural check of the implicit 4-ary heap (audit builds only;
-  /// run() invokes it periodically, not per event).
-  void audit_verify_heap() const;
+  /// O(n) structural check of the pending set (audit builds only; run()
+  /// invokes it periodically, not per event). Verifies heap shape for the
+  /// 4-ary kind; size consistency for the calendar kind.
+  void audit_verify_queue() const;
 #endif
 
   /// Bump the generation (orphans the heap entry and any outstanding id).
@@ -163,43 +157,7 @@ class Simulator {
     free_empty_slot(s, idx);
   }
 
-  void heap_push(Entry e) {
-    std::size_t i = heap_.size();
-    heap_.push_back(e);
-    if (i == 0) return;
-    std::size_t parent = (i - 1) >> 2;
-    if (!e.before(heap_[parent])) return;  // common case: appended in order
-    do {
-      heap_[i] = heap_[parent];
-      i = parent;
-      if (i == 0) break;
-      parent = (i - 1) >> 2;
-    } while (e.before(heap_[parent]));
-    heap_[i] = e;
-  }
-
-  void heap_pop_top() {
-    const Entry last = heap_.back();
-    heap_.pop_back();
-    const std::size_t n = heap_.size();
-    if (n == 0) return;
-    std::size_t i = 0;
-    for (;;) {
-      const std::size_t first = (i << 2) + 1;
-      if (first >= n) break;
-      std::size_t best = first;
-      const std::size_t end = std::min(first + 4, n);
-      for (std::size_t c = first + 1; c < end; ++c) {
-        if (heap_[c].before(heap_[best])) best = c;
-      }
-      if (!heap_[best].before(last)) break;
-      heap_[i] = heap_[best];
-      i = best;
-    }
-    heap_[i] = last;
-  }
-
-  std::vector<Entry> heap_;  // implicit 4-ary min-heap on (time, seq)
+  EventQueue queue_;  // pending entries, popped in (time, seq) order
   std::vector<std::unique_ptr<Slot[]>> chunks_;
   std::uint32_t slot_count_ = 0;
   std::uint32_t free_head_ = kNoFree;

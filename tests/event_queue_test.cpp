@@ -1,0 +1,145 @@
+// The two pending-event containers (4-ary heap, calendar queue) must be
+// interchangeable: identical (time, seq) pop order on any input, which is
+// what lets ScenarioSpec::event_queue change engine speed without changing
+// a single simulation result.
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace eac::sim {
+namespace {
+
+EventEntry entry(std::int64_t t_ns, std::uint64_t seq) {
+  return EventEntry{SimTime::nanoseconds(t_ns), seq, 0, 0};
+}
+
+/// Drive both containers with the same push/pop script and require the
+/// identical pop sequence.
+class LockstepPair {
+ public:
+  void push(EventEntry e) {
+    heap_.push(e);
+    calendar_.push(e);
+  }
+  void pop_and_check() {
+    ASSERT_FALSE(heap_.empty());
+    const EventEntry h = heap_.front();
+    const EventEntry c = calendar_.front();
+    EXPECT_EQ(h.time.ns(), c.time.ns());
+    EXPECT_EQ(h.seq, c.seq) << "tie at t=" << h.time.ns()
+                            << " broken differently";
+    heap_.pop_front();
+    calendar_.pop_front();
+  }
+  void drain() {
+    while (!heap_.empty()) pop_and_check();
+    EXPECT_TRUE(calendar_.empty());
+  }
+  std::size_t size() const { return heap_.size(); }
+
+ private:
+  FourAryHeap heap_;
+  CalendarQueue calendar_;
+};
+
+TEST(EventQueue, PopOrderMatchesOnTies) {
+  // Many events at few distinct instants: order within an instant must be
+  // schedule order (seq), in both structures.
+  LockstepPair q;
+  std::uint64_t seq = 0;
+  for (int round = 0; round < 10; ++round) {
+    for (std::int64_t t : {300, 100, 200, 100, 300, 100}) {
+      q.push(entry(t, seq++));
+    }
+  }
+  q.drain();
+}
+
+TEST(EventQueue, PopOrderMatchesUnderRandomStorm) {
+  // Mixed pushes and pops over a wide, advancing time range: exercises the
+  // calendar's grow rebuild, shrink rebuild, lap scan and sparse fallback.
+  LockstepPair q;
+  RandomStream rng{123, 7};
+  std::uint64_t seq = 0;
+  std::int64_t now_ns = 0;
+  for (int phase = 0; phase < 4; ++phase) {
+    // Grow: burst of pushes clustered near `now` plus far outliers
+    // (calendar bucket widths cannot fit both; order must still hold).
+    for (int i = 0; i < 2000; ++i) {
+      const bool outlier = rng.uniform() < 0.05;
+      const double span = outlier ? 3e11 : 1e6;  // 300 s vs 1 ms horizon
+      q.push(entry(now_ns + 1 + static_cast<std::int64_t>(
+                                    rng.uniform() * span),
+                   seq++));
+    }
+    // Churn: pop some, push at the popped frontier (hold pattern).
+    for (int i = 0; i < 1500 && q.size() > 1; ++i) {
+      q.pop_and_check();
+    }
+    now_ns += 1'000'000;
+  }
+  q.drain();
+}
+
+TEST(EventQueue, DispatcherForwardsToSelectedKind) {
+  EventQueue heap{EventQueueKind::kFourAryHeap};
+  EventQueue cal{EventQueueKind::kCalendar};
+  EXPECT_EQ(heap.kind(), EventQueueKind::kFourAryHeap);
+  EXPECT_EQ(cal.kind(), EventQueueKind::kCalendar);
+  for (EventQueue* q : {&heap, &cal}) {
+    EXPECT_TRUE(q->empty());
+    q->push(entry(50, 1));
+    q->push(entry(10, 2));
+    EXPECT_EQ(q->size(), 2u);
+    EXPECT_EQ(q->front().seq, 2u);
+    q->pop_front();
+    EXPECT_EQ(q->front().seq, 1u);
+    q->pop_front();
+    EXPECT_TRUE(q->empty());
+  }
+}
+
+/// The same event program on both Simulator backends: identical execution
+/// order, identical executed count, including cancels (orphans) and
+/// same-instant ties.
+TEST(EventQueue, SimulatorRunsIdenticallyOnBothKinds) {
+  auto run_program = [](EventQueueKind kind) {
+    Simulator sim{kind};
+    std::vector<int> order;
+    std::vector<EventId> cancellable;
+    for (int i = 0; i < 200; ++i) {
+      const auto t = SimTime::microseconds(7 * (i % 13));  // many ties
+      sim.schedule_at(t, [&order, i] { order.push_back(i); });
+      if (i % 3 == 0) {
+        cancellable.push_back(sim.schedule_at(
+            t, [&order] { order.push_back(-1); }));
+      }
+    }
+    for (EventId id : cancellable) sim.cancel(id);
+    // Self-rescheduling chain on top, as every source/link does.
+    int chain = 0;
+    std::function<void()> tick = [&] {
+      order.push_back(1000 + chain);
+      if (++chain < 50) sim.schedule_after(SimTime::microseconds(3), tick);
+    };
+    sim.schedule_after(SimTime::microseconds(1), tick);
+    const std::uint64_t executed = sim.run();
+    return std::pair{executed, order};
+  };
+
+  const auto [heap_count, heap_order] =
+      run_program(EventQueueKind::kFourAryHeap);
+  const auto [cal_count, cal_order] = run_program(EventQueueKind::kCalendar);
+  EXPECT_EQ(heap_count, cal_count);
+  EXPECT_EQ(heap_order, cal_order);
+  EXPECT_EQ(heap_count, 200u + 50u) << "cancelled orphans must not count";
+}
+
+}  // namespace
+}  // namespace eac::sim

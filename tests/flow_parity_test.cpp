@@ -1,0 +1,167 @@
+// Driver parity, byte-for-byte: the SoA flow driver (FlowDriver::kSoa)
+// must reproduce the reference per-flow-object driver exactly — same
+// admissions, same packets, same RNG draws, same event count — on every
+// workload shape the figure benches use. The comparison is the serialized
+// ScenarioResult JSON, so any drift anywhere (utilization hex floats,
+// counters, delays, event totals) fails the test at the first byte.
+//
+// The same harness pins the event-queue interchangeability claim: a run on
+// the calendar queue must serialize identically to the 4-ary heap run.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "scenario/builder.hpp"
+#include "scenario/report.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+#include "traffic/catalog.hpp"
+#include "traffic/trace.hpp"
+
+namespace eac::scenario {
+namespace {
+
+std::string run_json(ScenarioSpec spec, FlowDriver driver,
+                     sim::EventQueueKind queue =
+                         sim::EventQueueKind::kFourAryHeap) {
+  spec.flow_driver = driver;
+  spec.event_queue = queue;
+  ScenarioResult res = run_scenario(spec);
+  EXPECT_GT(res.events, 0u);
+  // In -DEAC_AUDIT=ON builds the ledger counts how many audit assertions
+  // ran, which is a property of the checking machinery, not of the
+  // simulation: the SoA driver checks every handle dereference and the
+  // heap-shape sweep only runs on the heap kind. Everything else in the
+  // audit block (packet conservation, events executed) must still match.
+  res.audit.checks_passed = 0;
+  return to_json(res);
+}
+
+void expect_driver_parity(const ScenarioSpec& spec) {
+  const std::string reference = run_json(spec, FlowDriver::kReference);
+  const std::string soa = run_json(spec, FlowDriver::kSoa);
+  EXPECT_EQ(reference, soa);
+}
+
+/// Figure-2 shape: EXP1 on/off flows, drop-in-band probing, one link.
+RunConfig basic_onoff(double interarrival_s) {
+  RunConfig cfg;
+  FlowClass c;
+  c.arrival_rate_per_s = 1.0 / interarrival_s;
+  c.onoff = traffic::exp1();
+  c.packet_size = traffic::kOnOffPacketBytes;
+  c.probe_rate_bps = c.onoff.burst_rate_bps;
+  c.epsilon = 0.01;
+  cfg.classes = {c};
+  cfg.eac = drop_in_band();
+  cfg.duration_s = 120;
+  cfg.warmup_s = 40;
+  cfg.seed = 17;
+  return cfg;
+}
+
+TEST(FlowDriverParity, Fig02BasicWorkload) {
+  expect_driver_parity(single_link_spec(basic_onoff(3.5)));
+}
+
+TEST(FlowDriverParity, Fig04HighLoadWithRetries) {
+  // tau = 1 s drives heavy rejection; retries exercise the shared
+  // attempt/backoff path (retry RNG draw order must match too).
+  ScenarioSpec spec = single_link_spec(basic_onoff(1.0));
+  spec.max_retries = 2;
+  spec.retry_backoff_s = 2.0;
+  expect_driver_parity(spec);
+}
+
+TEST(FlowDriverParity, TraceDrivenVbrWorkload) {
+  // Figure-8d shape: trace-driven VBR video with token-bucket reshaping.
+  // Covers the per-flow trace offset draw, frame ticks and reshaping
+  // drops in the SoA columns.
+  RunConfig cfg;
+  FlowClass c;
+  c.arrival_rate_per_s = 1.0 / 8.0;
+  c.kind = SourceKind::kTrace;
+  c.trace = std::make_shared<const std::vector<std::uint32_t>>(
+      traffic::generate_vbr_trace(traffic::VbrTraceParams{}, 1, 1, 20'000));
+  c.packet_size = traffic::kTracePacketBytes;
+  c.probe_rate_bps = traffic::kTraceTokenRateBps;
+  c.epsilon = 0.02;
+  cfg.classes = {c};
+  cfg.eac = drop_in_band();
+  cfg.typical_packet_bytes = traffic::kTracePacketBytes;
+  cfg.duration_s = 90;
+  cfg.warmup_s = 30;
+  cfg.seed = 5;
+  expect_driver_parity(single_link_spec(cfg));
+}
+
+TEST(FlowDriverParity, HeterogeneousPrewarmedMarkOutOfBand) {
+  // Two flow classes in different reporting groups, a pre-warmed
+  // population (prewarm admits in class order at t=0) and the
+  // mark-out-of-band design (ECN path + out-of-band probe band).
+  RunConfig cfg = basic_onoff(3.5);
+  FlowClass second;
+  second.arrival_rate_per_s = 1.0 / 7.0;
+  second.onoff = traffic::exp2();
+  second.packet_size = traffic::kOnOffPacketBytes;
+  second.probe_rate_bps = second.onoff.burst_rate_bps;
+  second.epsilon = 0.1;
+  second.group = 1;
+  cfg.classes.push_back(second);
+  cfg.eac = mark_out_of_band();
+  cfg.classes[0].epsilon = 0.05;
+  ScenarioSpec spec = single_link_spec(cfg);
+  spec.prewarm_bps = 3e6;
+  expect_driver_parity(spec);
+}
+
+TEST(FlowDriverParity, MeasuredSumAdmission) {
+  // MBAC consults per-link estimators instead of probes: exercises the
+  // non-probing admission path against the SoA population bookkeeping.
+  RunConfig cfg = basic_onoff(3.0);
+  cfg.policy = PolicyKind::kMbac;
+  cfg.mbac_target_utilization = 0.9;
+  cfg.duration_s = 90;
+  cfg.warmup_s = 30;
+  expect_driver_parity(single_link_spec(cfg));
+}
+
+TEST(FlowDriverParity, MultiHopBackbone) {
+  RunConfig cfg = basic_onoff(3.5);
+  cfg.duration_s = 90;
+  cfg.warmup_s = 30;
+  expect_driver_parity(multi_link_spec(cfg));
+}
+
+TEST(FlowDriverParity, CalendarQueueIsBitIdentical) {
+  // Same spec, three engines: reference-on-heap, SoA-on-heap and
+  // SoA-on-calendar must all serialize to the same bytes.
+  const ScenarioSpec spec = single_link_spec(basic_onoff(3.5));
+  const std::string reference = run_json(spec, FlowDriver::kReference);
+  const std::string soa_heap = run_json(spec, FlowDriver::kSoa);
+  const std::string soa_calendar = run_json(
+      spec, FlowDriver::kSoa, sim::EventQueueKind::kCalendar);
+  EXPECT_EQ(reference, soa_heap);
+  EXPECT_EQ(soa_heap, soa_calendar);
+}
+
+TEST(FlowDriverParity, PopulationBookkeepingIsReported) {
+  // flows_created / peak_active_flows feed the scale bench; they are not
+  // serialized (goldens predate them) but both drivers must agree.
+  ScenarioSpec spec = single_link_spec(basic_onoff(3.5));
+  spec.duration_s = 90;
+  spec.warmup_s = 30;
+  spec.flow_driver = FlowDriver::kReference;
+  const ScenarioResult ref = run_scenario(spec);
+  spec.flow_driver = FlowDriver::kSoa;
+  const ScenarioResult soa = run_scenario(spec);
+  EXPECT_GT(soa.flows_created, 0u);
+  EXPECT_GT(soa.peak_active_flows, 0u);
+  EXPECT_EQ(ref.flows_created, soa.flows_created);
+  EXPECT_EQ(ref.peak_active_flows, soa.peak_active_flows);
+}
+
+}  // namespace
+}  // namespace eac::scenario

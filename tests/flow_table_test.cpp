@@ -1,0 +1,118 @@
+// FlowTable: the SoA backing store of the scale flow driver. What must
+// hold: dense indices are recycled LIFO, generation tags make recycled
+// handles to departed flows detectably stale (never aliased to the new
+// occupant), and — in audit builds — dereferencing a stale handle trips
+// the audit layer instead of silently reading another flow's row.
+#include "eac/flow_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace eac {
+namespace {
+
+TEST(FlowTable, AllocateGrowsDenseIndices) {
+  FlowTable t;
+  std::vector<FlowHandle> hs;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    FlowHandle h = t.allocate(/*flow_id=*/100 + i, /*class_idx=*/i % 2);
+    EXPECT_EQ(h.index, i) << "fresh table must hand out 0,1,2,...";
+    EXPECT_TRUE(t.is_live(h));
+    hs.push_back(h);
+  }
+  EXPECT_EQ(t.live(), 8u);
+  EXPECT_EQ(t.capacity(), 8u);
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    const std::size_t idx = t.index_of(hs[i]);
+    EXPECT_EQ(t.flow_id[idx], 100 + i);
+    EXPECT_EQ(t.class_idx[idx], i % 2);
+  }
+}
+
+TEST(FlowTable, ReleaseRecyclesIndexWithFreshGeneration) {
+  FlowTable t;
+  const FlowHandle a = t.allocate(1, 0);
+  const FlowHandle b = t.allocate(2, 0);
+  t.release(a);
+  EXPECT_EQ(t.live(), 1u);
+
+  // LIFO free list: the very next allocation reuses a's row...
+  const FlowHandle c = t.allocate(3, 1);
+  EXPECT_EQ(c.index, a.index);
+  EXPECT_EQ(t.capacity(), 2u) << "reuse must not grow the table";
+  // ...under a different generation, so the old handle stays dead.
+  EXPECT_NE(c.gen, a.gen);
+  EXPECT_FALSE(t.is_live(a));
+  EXPECT_TRUE(t.is_live(b));
+  EXPECT_TRUE(t.is_live(c));
+  EXPECT_EQ(t.flow_id[t.index_of(c)], 3u);
+}
+
+TEST(FlowTable, StaleHandleStaysDeadThroughManyReuses) {
+  FlowTable t;
+  FlowHandle first = t.allocate(0, 0);
+  t.release(first);
+  for (std::uint64_t i = 1; i <= 100; ++i) {
+    FlowHandle h = t.allocate(i, 0);
+    ASSERT_EQ(h.index, first.index);
+    EXPECT_FALSE(t.is_live(first))
+        << "generation " << i << " aliased the original handle";
+    t.release(h);
+  }
+  EXPECT_EQ(t.live(), 0u);
+  EXPECT_EQ(t.capacity(), 1u);
+}
+
+TEST(FlowTable, DefaultAndForeignHandlesAreNotLive) {
+  FlowTable t;
+  EXPECT_FALSE(t.is_live(FlowHandle{}));  // gen 0 is never valid
+  t.allocate(1, 0);
+  EXPECT_FALSE(t.is_live(FlowHandle{5, 1}));  // index out of range
+  EXPECT_FALSE(t.is_live(FlowHandle{0, 99}));  // wrong generation
+}
+
+TEST(FlowTable, ColumnsSurviveGrowth) {
+  // Handles are stable names, not pointers: growth may reallocate every
+  // column, but index_of(h) must keep resolving to the same row data.
+  FlowTable t;
+  const FlowHandle h0 = t.allocate(7, 1);
+  t.sent[t.index_of(h0)] = 41;
+  for (std::uint64_t i = 0; i < 1000; ++i) t.allocate(100 + i, 0);
+  ASSERT_TRUE(t.is_live(h0));
+  EXPECT_EQ(t.flow_id[t.index_of(h0)], 7u);
+  EXPECT_EQ(t.sent[t.index_of(h0)], 41u);
+}
+
+#if EAC_AUDIT_ENABLED
+
+using FlowTableDeathTest = ::testing::Test;
+
+TEST(FlowTableDeathTest, StaleHandleDereferenceTripsAudit) {
+  // Use-after-free of a departed flow: the recycled row now belongs to a
+  // different flow, and the audit layer must refuse to hand it out.
+  FlowTable t;
+  const FlowHandle dead = t.allocate(1, 0);
+  t.release(dead);
+  t.allocate(2, 0);  // recycles the row under a new generation
+  EXPECT_DEATH(static_cast<void>(t.index_of(dead)), "stale flow handle");
+}
+
+TEST(FlowTableDeathTest, DoubleReleaseTripsAudit) {
+  FlowTable t;
+  const FlowHandle h = t.allocate(1, 0);
+  t.release(h);
+  EXPECT_DEATH(t.release(h), "stale flow handle");
+}
+
+#else  // !EAC_AUDIT_ENABLED
+
+TEST(FlowTableDeathTest, RequiresAuditBuild) {
+  GTEST_SKIP() << "configure with -DEAC_AUDIT=ON to exercise the stale-handle"
+                  " audit checks";
+}
+
+#endif  // EAC_AUDIT_ENABLED
+
+}  // namespace
+}  // namespace eac

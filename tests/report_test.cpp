@@ -96,6 +96,27 @@ TEST(ReportGolden, RunResult) {
       R"("blocking":0.19999999999999996,"loss":0.01}}})");
 }
 
+TEST(ReportGolden, PerfSample) {
+  PerfSample p;
+  p.wall_s = 1.5;
+  p.peak_rss_bytes = 8 << 20;
+  p.events = 1000000;
+  p.events_per_second = 666666.6666666666;
+  EXPECT_EQ(to_json(p),
+            R"({"wall_s":1.5,"peak_rss_bytes":8388608,"events":1000000,)"
+            R"("events_per_second":666666.6666666666})");
+}
+
+TEST(ReportTest, PeakRssIsMeasurable) {
+  // Supported platforms report a real resident set; the value can only
+  // grow over a process's life.
+  const std::uint64_t first = current_peak_rss_bytes();
+#if defined(__unix__) || defined(__APPLE__)
+  EXPECT_GT(first, 0u);
+#endif
+  EXPECT_GE(current_peak_rss_bytes(), first);
+}
+
 TEST(ReportGolden, ScenarioSpecEcho) {
   ScenarioSpec spec;
   spec.name = "golden";

@@ -26,9 +26,31 @@ EAC_SCALE=0.05 EAC_THREADS=4 "$BIN" --json="$SCRATCH/threads4.json" \
   --telemetry="$SCRATCH/tel4.json" \
   --trace="$SCRATCH/trace4.json" --trace-limit=2000000 >/dev/null
 
-if ! cmp "$SCRATCH/threads1.json" "$SCRATCH/threads4.json"; then
+# The result artifact ends with a top-level "perf" block (wall-clock time,
+# peak RSS, events/s — see scenario::PerfSample) that is measurement, not
+# simulation, and legitimately differs run to run. Strip it, then require
+# byte-equality of everything else.
+PY="$(command -v python3 || command -v python || true)"
+for f in threads1 threads4; do
+  if [[ -n "$PY" ]]; then
+    "$PY" - "$SCRATCH/$f.json" "$SCRATCH/$f.stripped.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as fh:
+    doc = json.load(fh)
+doc.pop("perf", None)
+with open(sys.argv[2], "w") as fh:
+    json.dump(doc, fh, sort_keys=True, separators=(",", ":"))
+EOF
+  else
+    # No python: the perf block is the final top-level field on the single
+    # JSON line; cut it off textually.
+    sed 's/,"perf":{[^}]*}}$/}/' "$SCRATCH/$f.json" > "$SCRATCH/$f.stripped.json"
+  fi
+done
+if ! cmp "$SCRATCH/threads1.stripped.json" "$SCRATCH/threads4.stripped.json"; then
   echo "determinism check FAILED: artifacts differ between 1 and 4 workers" >&2
-  diff "$SCRATCH/threads1.json" "$SCRATCH/threads4.json" | head -20 >&2 || true
+  diff "$SCRATCH/threads1.stripped.json" "$SCRATCH/threads4.stripped.json" \
+    | head -20 >&2 || true
   exit 1
 fi
 

@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Macro-performance regression gate over BENCH_scale.json snapshots.
+
+Compares a current bench_scale artifact against a committed baseline and
+fails (exit 1) when a workload got meaningfully slower or fatter than the
+baseline says it should be.
+
+Raw events/s is hardware-dependent, so the comparison is *normalized*: the
+bench's first row is a bare self-rescheduling event chain ("calibration")
+that measures only engine + host speed. Dividing every workload's events/s
+by its run's calibration events/s yields a machine-free ratio ("how much
+protocol work costs relative to an empty event"), and THAT ratio is gated
+with --tolerance (default 15 %). A uniformly slower machine moves both
+numerator and denominator and passes; a code change that slows scenario
+work but not the bare engine moves only the numerator and fails.
+
+Peak RSS is compared raw (bytes are bytes on any host) with the looser
+--rss-tolerance (default 50 %), because allocator and libc noise is real
+but a 2x memory blow-up at 100k flows must not land silently.
+
+Rows are matched by name. Rows present only in the baseline are skipped
+with a note (e.g. a smoke run checked against a full-preset baseline has
+no scale100k row); rows present only in the current artifact are new
+workloads and pass with a note.
+
+  check_perf.py --baseline BENCH_scale.json --current build/scale.json
+  check_perf.py --self-test     # prove the gate can actually fail
+"""
+
+import argparse
+import json
+import sys
+
+CALIBRATION = "calibration"
+
+
+def load_rows(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    rows = {r["name"]: r for r in doc.get("rows", [])}
+    if CALIBRATION not in rows:
+        raise SystemExit(f"{path}: no '{CALIBRATION}' row; not a bench_scale artifact")
+    return rows
+
+
+def compare(base_rows, cur_rows, tolerance, rss_tolerance, out=sys.stdout):
+    """Returns a list of failure strings (empty = gate passes)."""
+    failures = []
+    base_cal = base_rows[CALIBRATION]["events_per_second"]
+    cur_cal = cur_rows[CALIBRATION]["events_per_second"]
+    if base_cal <= 0 or cur_cal <= 0:
+        return ["calibration row has non-positive events/s"]
+    print(f"calibration: baseline {base_cal:.3e} ev/s, current {cur_cal:.3e} ev/s "
+          f"(host speed ratio {cur_cal / base_cal:.2f}x)", file=out)
+
+    for name, cur in cur_rows.items():
+        if name == CALIBRATION:
+            continue
+        if name not in base_rows:
+            print(f"  {name}: new workload (no baseline row) — skipped", file=out)
+            continue
+        base = base_rows[name]
+
+        base_ratio = base["events_per_second"] / base_cal
+        cur_ratio = cur["events_per_second"] / cur_cal
+        floor = base_ratio * (1.0 - tolerance)
+        verdict = "ok" if cur_ratio >= floor else "FAIL"
+        print(f"  {name}: normalized throughput {cur_ratio:.4f} vs baseline "
+              f"{base_ratio:.4f} (floor {floor:.4f}) {verdict}", file=out)
+        if cur_ratio < floor:
+            failures.append(
+                f"{name}: normalized events/s {cur_ratio:.4f} below "
+                f"{floor:.4f} ({(1 - cur_ratio / base_ratio) * 100:.1f}% slower "
+                f"than baseline after host normalization)")
+
+        base_rss = base.get("peak_rss_bytes", 0)
+        cur_rss = cur.get("peak_rss_bytes", 0)
+        if base_rss > 0 and cur_rss > 0:
+            ceil = base_rss * (1.0 + rss_tolerance)
+            verdict = "ok" if cur_rss <= ceil else "FAIL"
+            print(f"  {name}: peak RSS {cur_rss / 2**20:.1f} MiB vs baseline "
+                  f"{base_rss / 2**20:.1f} MiB (ceiling {ceil / 2**20:.1f}) "
+                  f"{verdict}", file=out)
+            if cur_rss > ceil:
+                failures.append(
+                    f"{name}: peak RSS {cur_rss} exceeds "
+                    f"{base_rss} * {1 + rss_tolerance:.2f}")
+
+    for name in base_rows:
+        if name != CALIBRATION and name not in cur_rows:
+            print(f"  {name}: in baseline only (reduced preset?) — skipped",
+                  file=out)
+    return failures
+
+
+def self_test():
+    """The gate must catch real regressions and forgive slower hardware."""
+
+    def rows(cal_eps, work_eps, rss):
+        return {
+            CALIBRATION: {"name": CALIBRATION, "events_per_second": cal_eps,
+                          "peak_rss_bytes": 3 << 20},
+            "scale10k": {"name": "scale10k", "events_per_second": work_eps,
+                         "peak_rss_bytes": rss},
+        }
+
+    base = rows(5e7, 5e6, 8 << 20)
+    checks = [
+        ("identical run passes", rows(5e7, 5e6, 8 << 20), True),
+        # Whole machine half as fast: calibration halves too -> ratio holds.
+        ("uniformly slower host passes", rows(2.5e7, 2.5e6, 8 << 20), True),
+        # Scenario path half as fast on the same engine: a real regression.
+        ("scenario-only slowdown fails", rows(5e7, 2.5e6, 8 << 20), False),
+        ("doubled peak RSS fails", rows(5e7, 5e6, 16 << 20), False),
+        # 10 % inside a 15 % tolerance is noise, not a regression.
+        ("10% slowdown within tolerance passes",
+         rows(5e7, 4.5e6, 8 << 20), True),
+    ]
+    ok = True
+    for label, cur, want_pass in checks:
+        failures = compare(base, cur, 0.15, 0.5)
+        got_pass = not failures
+        status = "ok" if got_pass == want_pass else "SELF-TEST FAILURE"
+        print(f"self-test: {label}: {status}")
+        ok &= got_pass == want_pass
+    return 0 if ok else 1
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", help="committed BENCH_scale.json snapshot")
+    ap.add_argument("--current", help="freshly produced artifact to check")
+    ap.add_argument("--tolerance", type=float, default=0.15,
+                    help="allowed normalized events/s shortfall (default 0.15)")
+    ap.add_argument("--rss-tolerance", type=float, default=0.5,
+                    help="allowed raw peak-RSS growth (default 0.5)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify the gate catches synthetic regressions")
+    args = ap.parse_args()
+
+    if args.self_test:
+        sys.exit(self_test())
+    if not args.baseline or not args.current:
+        ap.error("--baseline and --current are required (or --self-test)")
+
+    failures = compare(load_rows(args.baseline), load_rows(args.current),
+                       args.tolerance, args.rss_tolerance)
+    if failures:
+        print("\nPERF GATE FAILED:")
+        for f in failures:
+            print(f"  - {f}")
+        sys.exit(1)
+    print("perf gate passed")
+
+
+if __name__ == "__main__":
+    main()
