@@ -113,6 +113,25 @@ scenario::ScenarioSpec fixed_figure_spec(double interarrival_s) {
   return scenario::single_link_spec(cfg);
 }
 
+/// The 4-cluster partitionable ring (multihop_pdes_spec) at a fixed
+/// window. The two rows run the SAME spec serially and cut into four
+/// event domains; results are byte-identical at any domain count
+/// (tests/domain_determinism_test.cpp), so the pair isolates the
+/// coordinator's cost/speedup. On a single hardware thread the dom4 row
+/// measures pure coordination overhead; with >= 4 cores it measures the
+/// parallel speedup (see EXPERIMENTS.md).
+scenario::ScenarioSpec multihop_domains_spec(int domains) {
+  scenario::RunConfig cfg = bench::onoff_run(
+      traffic::exp1(), 1.0,
+      scenario::Scale{.duration_s = 160, .warmup_s = 60, .seeds = 1});
+  cfg.eac = drop_in_band();
+  for (auto& c : cfg.classes) c.epsilon = 0.01;
+  cfg.seed = 17;
+  scenario::ScenarioSpec spec = scenario::multihop_pdes_spec(cfg);
+  spec.partitions = domains;
+  return spec;
+}
+
 /// One admission-controlled link sized so `target` concurrent flows put
 /// 72 % offered data load on it; the population is pre-warmed to the
 /// target and arrivals hold it stationary.
@@ -172,6 +191,8 @@ int main(int argc, char** argv) {
   run_calibration();
   run_spec("fig02_fixed", fixed_figure_spec(3.5), 0);
   run_spec("fig04_fixed", fixed_figure_spec(1.0), 0);
+  run_spec("multihop_serial", multihop_domains_spec(1), 0);
+  run_spec("multihop_dom4", multihop_domains_spec(4), 0);
 
   std::uint64_t observed_target = 10'000;
   if (const char* t = std::getenv("EAC_SCALE_TARGET")) {

@@ -46,6 +46,11 @@ void usage() {
       "  --seeds N                     replications to average (1)\n"
       "  --seed N                      base RNG seed (1)\n"
       "  --retries N / --backoff X     retry rejected flows (off)\n"
+      "  --scenario single|multihop    topology: the single bottleneck or\n"
+      "                                the 4-cluster partitionable ring\n"
+      "  --domains N                   event domains (worker threads); 0 =\n"
+      "                                honor EAC_DOMAINS, default serial\n"
+      "  --json PATH                   write spec+result JSON of one run\n"
       "  --telemetry PATH              write time-series JSON of one run\n"
       "                                ('-' = stdout; telemetry builds)\n"
       "  --telemetry-period X          sampling cadence, sim-seconds (0.5)\n"
@@ -152,9 +157,62 @@ int main(int argc, char** argv) {
   cfg.warmup_s = num("warmup", 200);
   cfg.seed = static_cast<std::uint64_t>(num("seed", 1));
 
+  const std::string scen = get("scenario", "single");
+  if (scen != "single" && scen != "multihop") {
+    std::fprintf(stderr, "unknown scenario '%s'\n", scen.c_str());
+    usage();
+    return 2;
+  }
+  const int domains = static_cast<int>(num("domains", 0));
+  const auto make_spec = [&] {
+    scenario::ScenarioSpec spec = scen == "multihop"
+                                      ? scenario::multihop_pdes_spec(cfg)
+                                      : scenario::single_link_spec(cfg);
+    spec.partitions = domains;
+    return spec;
+  };
+
   const int seeds = static_cast<int>(num("seeds", 1));
-  const scenario::RunResult r =
-      scenario::run_single_link_averaged(cfg, seeds > 0 ? seeds : 1);
+  scenario::RunResult r;
+  if (scen == "multihop") {
+    // One run of the ring; summarize the admission hops' average.
+    const scenario::ScenarioSpec spec = make_spec();
+    const scenario::ScenarioResult sres = scenario::run_scenario(spec);
+    double util = 0, probe = 0;
+    int hops = 0;
+    for (std::size_t i = 0; i < spec.links.size(); ++i) {
+      if (spec.links[i].queue != scenario::LinkQueueKind::kAdmission) continue;
+      util += sres.links.at(i).utilization;
+      probe += sres.links.at(i).probe_utilization;
+      ++hops;
+    }
+    r.utilization = hops > 0 ? util / hops : 0;
+    r.probe_utilization = hops > 0 ? probe / hops : 0;
+    r.groups = sres.groups;
+    r.total = sres.total;
+    r.delay_p50_s = sres.delay_p50_s;
+    r.delay_p99_s = sres.delay_p99_s;
+    r.events = sres.events;
+  } else {
+    r = scenario::run_single_link_averaged(cfg, seeds > 0 ? seeds : 1);
+  }
+
+  const std::string json_path = get("json", "");
+  if (!json_path.empty()) {
+    // A dedicated run so the artifact is a single ScenarioResult (the
+    // summary above may be a multi-seed average).
+    const scenario::ScenarioSpec spec = make_spec();
+    const scenario::ScenarioResult sres = scenario::run_scenario(spec);
+    scenario::JsonWriter w;
+    w.object_begin()
+        .field_raw("spec", scenario::to_json(spec))
+        .field_raw("result", scenario::to_json(sres))
+        .object_end();
+    if (!scenario::write_json_file(json_path, w.str())) {
+      std::fprintf(stderr, "eac_cli: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
 
   const std::string telemetry_path = get("telemetry", "");
   if (!telemetry_path.empty()) {
@@ -166,7 +224,7 @@ int main(int argc, char** argv) {
     if (period > 0) tcfg.sample_period_s = period;
     telemetry::Recorder recorder{tcfg};
     telemetry::Scope scope{recorder};
-    const scenario::ScenarioSpec spec = scenario::single_link_spec(cfg);
+    const scenario::ScenarioSpec spec = make_spec();
     const scenario::ScenarioResult sres = scenario::run_scenario(spec);
     scenario::JsonWriter w;
     w.object_begin()
@@ -201,7 +259,7 @@ int main(int argc, char** argv) {
     }
     trace::Sink sink{tcfg};
     trace::Scope scope{sink};
-    const scenario::ScenarioSpec spec = scenario::single_link_spec(cfg);
+    const scenario::ScenarioSpec spec = make_spec();
     const scenario::ScenarioResult sres = scenario::run_scenario(spec);
     if (!scenario::write_json_file(trace_path, sink.export_chrome_json())) {
       std::fprintf(stderr, "eac_cli: cannot write %s\n", trace_path.c_str());

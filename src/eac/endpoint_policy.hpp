@@ -1,8 +1,10 @@
 // AdmissionPolicy implementation backed by endpoint probing.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "eac/admission.hpp"
 #include "eac/config.hpp"
@@ -15,41 +17,67 @@ namespace eac {
 
 /// Runs one ProbeSession per admission request. Requests resolve after the
 /// probing delay (≈ total_probe_seconds, less on early reject/abort).
+///
+/// Sessions are pooled: a verdict returns the session to a free list and
+/// the next request re-arms it in place, so steady-state probing allocates
+/// nothing (the pool high-water mark is the peak concurrent probe count).
+/// All probe telemetry series are registered here, at construction — the
+/// probe path itself never registers, which keeps domain-decomposed runs
+/// free of registrations off the main thread.
 class EndpointAdmission : public AdmissionPolicy {
  public:
   EndpointAdmission(sim::Simulator& sim, net::Topology& topo, EacConfig cfg)
       : sim_{sim}, topo_{topo}, cfg_{cfg} {
     EAC_TEL(tel_active_ = telemetry::register_series(
-                "probe.active_sessions", telemetry::SeriesKind::kGaugeMax));
+                "probe.active_sessions", telemetry::SeriesKind::kGaugeSum));
     EAC_TEL(tel_thrash_ = telemetry::register_series(
                 "probe.thrash_rejects", telemetry::SeriesKind::kCounter));
+    EAC_TEL(probe_tel_ = ProbeTelemetry::register_all());
   }
 
   void request(const FlowSpec& spec,
                std::function<void(bool)> decide) override {
     const net::FlowId id = spec.flow;
-    auto session = std::make_unique<ProbeSession>(
-        sim_, cfg_, spec, topo_.node(spec.src), topo_.node(spec.dst),
-        [this, id, decide = std::move(decide)](bool admitted) {
-          probes_sent_ += sessions_.at(id)->probes_sent();
+    const std::uint64_t path = path_key(spec.src, spec.dst);
+    ProbeSession* session;
+    if (!free_.empty()) {
+      session = free_.back();
+      free_.pop_back();
+    } else {
+      pool_.push_back(std::make_unique<ProbeSession>(sim_, cfg_, probe_tel_));
+      session = pool_.back().get();
+    }
+    ++path_probes_[path];
+    sessions_.insert(id, session);
+    EAC_TEL(telemetry::add(tel_active_, 1.0, sim_.now()));
+    session->activate(
+        spec, topo_.node(spec.src), topo_.node(spec.dst),
+        [this, id, path, decide = std::move(decide)](bool admitted) {
+          auto* s = static_cast<ProbeSession*>(sessions_.find(id));
+          probes_sent_ += s->probes_sent();
           // A rejection delivered while other probes are still in flight
-          // is the paper's thrashing signature: concurrent probe traffic
-          // congesting the very path it is admission-testing.
-          EAC_TEL(if (!admitted && sessions_.size() > 1) telemetry::add(
+          // on the same src->dst path is the paper's thrashing signature:
+          // concurrent probe traffic congesting the very path it is
+          // admission-testing. Counted per path (not per policy) so the
+          // count is a pure function of the scenario, independent of how
+          // many domains the run is decomposed into.
+          const std::uint32_t concurrent = path_probes_[path];
+          EAC_TEL(if (!admitted && concurrent > 1) telemetry::add(
                       tel_thrash_, 1.0, sim_.now()));
-          EAC_TRC(if (!admitted && sessions_.size() > 1) {
+          EAC_TRC(if (!admitted && concurrent > 1) {
             trace::emit(trace::EventKind::kThrashReject, 'i', sim_.now(), id,
-                        sessions_.size() - 1);
+                        concurrent - 1);
           });
+          if (concurrent == 1) {
+            path_probes_.erase(path);
+          } else {
+            --path_probes_[path];
+          }
           sessions_.erase(id);  // safe: verdict arrives via a fresh event
-          EAC_TEL(telemetry::set(tel_active_,
-                                 static_cast<double>(sessions_.size()),
-                                 sim_.now()));
+          free_.push_back(s);  // inert; reusable by the next request
+          EAC_TEL(telemetry::add(tel_active_, -1.0, sim_.now()));
           decide(admitted);
         });
-    sessions_.emplace(id, std::move(session));
-    EAC_TEL(telemetry::set(tel_active_,
-                           static_cast<double>(sessions_.size()), sim_.now()));
   }
 
   const EacConfig& config() const { return cfg_; }
@@ -57,11 +85,22 @@ class EndpointAdmission : public AdmissionPolicy {
   std::uint64_t probes_sent() const { return probes_sent_; }
 
  private:
+  static std::uint64_t path_key(net::NodeId src, net::NodeId dst) {
+    return (static_cast<std::uint64_t>(src) << 32) | dst;
+  }
+
   sim::Simulator& sim_;
   net::Topology& topo_;
   EacConfig cfg_;
-  std::unordered_map<net::FlowId, std::unique_ptr<ProbeSession>> sessions_;
+  /// Live sessions by flow id (sessions are PacketHandlers; the table is
+  /// the same allocation-free flat map the nodes use for sinks).
+  net::SinkTable sessions_;
+  std::vector<std::unique_ptr<ProbeSession>> pool_;  ///< owns every session
+  std::vector<ProbeSession*> free_;                  ///< inert, re-armable
+  /// Concurrent probes per (src, dst) path, for the thrashing signature.
+  std::unordered_map<std::uint64_t, std::uint32_t> path_probes_;
   std::uint64_t probes_sent_ = 0;
+  ProbeTelemetry probe_tel_;
   EAC_TEL_ONLY(telemetry::SeriesId tel_active_ = telemetry::kNoSeries;)
   EAC_TEL_ONLY(telemetry::SeriesId tel_thrash_ = telemetry::kNoSeries;)
 };

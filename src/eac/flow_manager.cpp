@@ -12,6 +12,9 @@ namespace {
 constexpr std::uint64_t kArrivalStreamBase = 1'000;
 constexpr std::uint64_t kLifetimeStream = 2;
 constexpr std::uint64_t kSourceStreamBase = 1'000'000;
+// Lifetime/retry streams for global classes >= 1 (class 0 keeps the
+// historical ids above so single-class scenarios stay bit-identical).
+constexpr std::uint64_t kClassStreamBase = 10'000'000'000;
 }  // namespace
 
 FlowManager::FlowManager(sim::Simulator& sim, net::Topology& topo,
@@ -21,13 +24,29 @@ FlowManager::FlowManager(sim::Simulator& sim, net::Topology& topo,
       topo_{topo},
       policy_{policy},
       stats_{stats},
-      cfg_{std::move(cfg)},
-      lifetime_rng_{cfg_.seed, kLifetimeStream},
-      retry_rng_{cfg_.seed, kLifetimeStream + 1} {
+      cfg_{std::move(cfg)} {
   assert(!cfg_.classes.empty());
-  arrival_rng_.reserve(cfg_.classes.size());
-  for (std::size_t i = 0; i < cfg_.classes.size(); ++i) {
-    arrival_rng_.emplace_back(cfg_.seed, kArrivalStreamBase + i);
+  assert(cfg_.global_class_index.empty() ||
+         cfg_.global_class_index.size() == cfg_.classes.size());
+  const std::size_t n = cfg_.classes.size();
+  arrival_rng_.reserve(n);
+  lifetime_rng_.reserve(n);
+  retry_rng_.reserve(n);
+  class_id_base_.resize(n);
+  next_in_class_.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t g = cfg_.global_class_index.empty()
+                                ? i
+                                : cfg_.global_class_index[i];
+    arrival_rng_.emplace_back(cfg_.seed, kArrivalStreamBase + g);
+    if (g == 0) {
+      lifetime_rng_.emplace_back(cfg_.seed, kLifetimeStream);
+      retry_rng_.emplace_back(cfg_.seed, kLifetimeStream + 1);
+    } else {
+      lifetime_rng_.emplace_back(cfg_.seed, kClassStreamBase + 2 * g);
+      retry_rng_.emplace_back(cfg_.seed, kClassStreamBase + 2 * g + 1);
+    }
+    class_id_base_[i] = static_cast<net::FlowId>(g) << 24;
   }
   EAC_TEL(tel_attempts_ = telemetry::register_series(
               "flows.attempts", telemetry::SeriesKind::kCounter));
@@ -36,7 +55,20 @@ FlowManager::FlowManager(sim::Simulator& sim, net::Topology& topo,
   EAC_TEL(tel_rejected_ = telemetry::register_series(
               "flows.rejected", telemetry::SeriesKind::kCounter));
   EAC_TEL(tel_active_ = telemetry::register_series(
-              "flows.active", telemetry::SeriesKind::kGaugeMax));
+              "flows.active", telemetry::SeriesKind::kGaugeSum));
+}
+
+net::FlowId FlowManager::new_flow_id(std::size_t class_idx) {
+  ++flows_created_;
+  return class_id_base_[class_idx] + ++next_in_class_[class_idx];
+}
+
+double FlowManager::offered_load_bps(const FlowClass& c,
+                                     double mean_lifetime_s) {
+  const double per_flow = c.kind == SourceKind::kOnOff
+                              ? c.onoff.average_rate_bps()
+                              : c.probe_rate_bps * 0.45;  // trace average
+  return c.arrival_rate_per_s * mean_lifetime_s * per_flow;
 }
 
 void FlowManager::start() {
@@ -54,21 +86,22 @@ void FlowManager::start() {
     double offered_total = 0;
     std::vector<double> offered(cfg_.classes.size());
     for (std::size_t i = 0; i < cfg_.classes.size(); ++i) {
-      const FlowClass& c = cfg_.classes[i];
-      const double per_flow = c.kind == SourceKind::kOnOff
-                                  ? c.onoff.average_rate_bps()
-                                  : c.probe_rate_bps * 0.45;  // trace average
-      offered[i] = c.arrival_rate_per_s * cfg_.mean_lifetime_s * per_flow;
+      offered[i] = offered_load_bps(cfg_.classes[i], cfg_.mean_lifetime_s);
       offered_total += offered[i];
     }
+    // Partitioned runs apportion against the whole scenario's offered
+    // load, so a class pre-warms the same flows no matter the cut.
+    const double denom = cfg_.prewarm_offered_total_bps > 0
+                             ? cfg_.prewarm_offered_total_bps
+                             : offered_total;
     for (std::size_t i = 0; i < cfg_.classes.size(); ++i) {
       const FlowClass& c = cfg_.classes[i];
       const double per_flow = c.kind == SourceKind::kOnOff
                                   ? c.onoff.average_rate_bps()
                                   : c.probe_rate_bps * 0.45;
-      const double share = cfg_.prewarm_bps * offered[i] / offered_total;
+      const double share = cfg_.prewarm_bps * offered[i] / denom;
       const int count = static_cast<int>(share / per_flow);
-      for (int k = 0; k < count; ++k) dispatch_admit(i, next_flow_++);
+      for (int k = 0; k < count; ++k) dispatch_admit(i, new_flow_id(i));
     }
   }
   if (cfg_.driver == FlowDriver::kSoa) {
@@ -115,7 +148,7 @@ void FlowManager::attempt(std::size_t class_idx, net::FlowId id,
       ++retries_;
       const double backoff = cfg_.retry_backoff_s *
                              std::pow(2.0, attempt_no) *
-                             (0.5 + retry_rng_.uniform());
+                             (0.5 + retry_rng_[class_idx].uniform());
       sim_.schedule_after(sim::SimTime::seconds(backoff),
                           [this, class_idx, id, attempt_no] {
                             attempt(class_idx, id, attempt_no + 1);
@@ -130,7 +163,7 @@ void FlowManager::dispatch_admit(std::size_t class_idx, net::FlowId id) {
   if (cfg_.driver == FlowDriver::kSoa) {
     soa_admit(class_idx, id);
   } else {
-    admit(cfg_.classes[class_idx], id);
+    admit(class_idx, id);
   }
 }
 
@@ -149,10 +182,11 @@ void FlowManager::schedule_arrival(std::size_t class_idx) {
 void FlowManager::on_arrival(std::size_t class_idx) {
   EAC_TEL_EVENT_CATEGORY(kFlows);
   schedule_arrival(class_idx);  // renew the Poisson process
-  attempt(class_idx, next_flow_++, 0);
+  attempt(class_idx, new_flow_id(class_idx), 0);
 }
 
-void FlowManager::admit(const FlowClass& cls, net::FlowId id) {
+void FlowManager::admit(std::size_t class_idx, net::FlowId id) {
+  const FlowClass& cls = cfg_.classes[class_idx];
   traffic::SourceIdentity ident;
   ident.flow = id;
   ident.src = cls.src;
@@ -188,10 +222,9 @@ void FlowManager::admit(const FlowClass& cls, net::FlowId id) {
   flow.source->start();
   active_.emplace(id, std::move(flow));
   if (active_.size() > peak_active_) peak_active_ = active_.size();
-  EAC_TEL(telemetry::set(tel_active_, static_cast<double>(active_.size()),
-                         sim_.now()));
+  EAC_TEL(telemetry::add(tel_active_, 1.0, sim_.now()));
 
-  const double life = lifetime_rng_.exponential(cfg_.mean_lifetime_s);
+  const double life = lifetime_rng_[class_idx].exponential(cfg_.mean_lifetime_s);
   sim_.schedule_after(sim::SimTime::seconds(life), [this, id] { depart(id); });
 }
 
@@ -210,9 +243,7 @@ void FlowManager::depart(net::FlowId id) {
         if (iter == active_.end()) return;
         topo_.node(iter->second.dst).detach_sink(id);
         active_.erase(iter);
-        EAC_TEL(telemetry::set(tel_active_,
-                               static_cast<double>(active_.size()),
-                               sim_.now()));
+        EAC_TEL(telemetry::add(tel_active_, -1.0, sim_.now()));
       });
 }
 
@@ -262,7 +293,7 @@ void FlowManager::soa_on_arrival_timer() {
   next_arrival_[ci] =
       sim_.now() + sim::SimTime::seconds(arrival_rng_[ci].exponential(mean));
   soa_schedule_arrival_timer();
-  attempt(ci, next_flow_++, 0);
+  attempt(ci, new_flow_id(ci), 0);
 }
 
 void FlowManager::soa_admit(std::size_t class_idx, net::FlowId id) {
@@ -306,10 +337,9 @@ void FlowManager::soa_admit(std::size_t class_idx, net::FlowId id) {
     soa_trace_tick(h);
   }
   if (table_.live() > peak_active_) peak_active_ = table_.live();
-  EAC_TEL(telemetry::set(tel_active_, static_cast<double>(table_.live()),
-                         sim_.now()));
+  EAC_TEL(telemetry::add(tel_active_, 1.0, sim_.now()));
 
-  const double life = lifetime_rng_.exponential(cfg_.mean_lifetime_s);
+  const double life = lifetime_rng_[class_idx].exponential(cfg_.mean_lifetime_s);
   soa_push_departure(sim_.now() + sim::SimTime::seconds(life), h);
 }
 
@@ -374,8 +404,7 @@ void FlowManager::soa_on_drain_timer() {
   const net::FlowId id = table_.flow_id[idx];
   topo_.node(cfg_.classes[ci].dst).detach_sink(id);
   table_.release(e.h);
-  EAC_TEL(telemetry::set(tel_active_, static_cast<double>(table_.live()),
-                         sim_.now()));
+  EAC_TEL(telemetry::add(tel_active_, -1.0, sim_.now()));
 
   if (!drain_q_.empty()) {
     drain_timer_ =

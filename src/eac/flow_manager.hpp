@@ -97,8 +97,23 @@ struct FlowManagerConfig {
   /// bypass admission and are never counted (measurement starts later).
   double prewarm_bps = 0;
 
+  /// Denominator for the prewarm apportioning: the offered load of the
+  /// WHOLE scenario, not just this manager's classes. A domain-decomposed
+  /// run splits classes across managers but each class must pre-warm
+  /// exactly the flows it would in the serial run, so the builder passes
+  /// the global sum. 0 = the sum over `classes` (every serial run).
+  double prewarm_offered_total_bps = 0;
+
   /// Which driver runs the population (see the header comment).
   FlowDriver driver = FlowDriver::kSoa;
+
+  /// Global index of each class in the full scenario (parallel to
+  /// `classes`). A domain-decomposed run hands each domain's manager only
+  /// that domain's classes; flow ids and RNG streams are namespaced by
+  /// the class's *global* position, so a class draws the same ids and
+  /// randomness no matter how the scenario is cut. Empty = identity
+  /// (class i is global class i — every serial run).
+  std::vector<std::uint32_t> global_class_index;
 };
 
 /// Drives the whole flow population against one AdmissionPolicy and
@@ -112,10 +127,16 @@ class FlowManager {
   /// Begin all arrival processes (and pre-warm the population if asked).
   void start();
 
+  /// Offered data load of one class (bps): arrival rate x lifetime x mean
+  /// per-flow rate. Used to apportion the prewarm target; exposed so the
+  /// scenario builder can compute the global denominator for partitioned
+  /// runs (see FlowManagerConfig::prewarm_offered_total_bps).
+  static double offered_load_bps(const FlowClass& c, double mean_lifetime_s);
+
   std::size_t active_flows() const {
     return cfg_.driver == FlowDriver::kSoa ? table_.live() : active_.size();
   }
-  std::uint64_t flows_created() const { return next_flow_; }
+  std::uint64_t flows_created() const { return flows_created_; }
   std::uint64_t peak_active_flows() const { return peak_active_; }
   std::uint64_t retries() const { return retries_; }
   std::uint64_t gave_up() const { return gave_up_; }
@@ -152,13 +173,17 @@ class FlowManager {
   };
 
   // --- shared admission path (both drivers) -------------------------------
+  /// Allocate the next flow id of a class: ids live in per-class ranges
+  /// (global class g owns (g<<24)+1 ...), so an id names the same flow of
+  /// the same class under any domain decomposition.
+  net::FlowId new_flow_id(std::size_t class_idx);
   void attempt(std::size_t class_idx, net::FlowId id, int attempt_no);
   void dispatch_admit(std::size_t class_idx, net::FlowId id);
 
   // --- reference driver (seed-path implementation, kept verbatim) ---------
   void schedule_arrival(std::size_t class_idx);
   void on_arrival(std::size_t class_idx);
-  void admit(const FlowClass& cls, net::FlowId id);
+  void admit(std::size_t class_idx, net::FlowId id);
   void depart(net::FlowId id);
 
   // --- SoA driver ---------------------------------------------------------
@@ -205,9 +230,14 @@ class FlowManager {
   stats::FlowStats& stats_;
   FlowManagerConfig cfg_;
   std::vector<sim::RandomStream> arrival_rng_;
-  sim::RandomStream lifetime_rng_;
-  sim::RandomStream retry_rng_;
-  net::FlowId next_flow_ = 1;
+  /// Per-class lifetime and retry streams (indexed like classes). Global
+  /// class 0 keeps the historical shared stream ids, so single-class
+  /// scenarios reproduce the seed path bit for bit.
+  std::vector<sim::RandomStream> lifetime_rng_;
+  std::vector<sim::RandomStream> retry_rng_;
+  std::vector<net::FlowId> class_id_base_;   ///< global_class << 24
+  std::vector<net::FlowId> next_in_class_;   ///< ids handed out per class
+  std::uint64_t flows_created_ = 0;
   std::uint64_t retries_ = 0;
   std::uint64_t gave_up_ = 0;
   std::uint64_t peak_active_ = 0;

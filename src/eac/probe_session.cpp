@@ -18,14 +18,70 @@ double stage_seconds(const EacConfig& cfg) {
 }
 }  // namespace
 
+#if EAC_TELEMETRY_ENABLED
+ProbeTelemetry ProbeTelemetry::register_all() {
+  ProbeTelemetry t;
+  t.loss = telemetry::register_series("probe.loss_fraction",
+                                      telemetry::SeriesKind::kMean);
+  t.sent = telemetry::register_series("probe.packets_sent",
+                                      telemetry::SeriesKind::kCounter);
+  t.loss_hist = telemetry::register_histogram("probe.loss_fraction", 0.0,
+                                              1.0, 20);
+  // Per-reason reject counters, one per RejectReason (satellite of the
+  // trace layer: spans and counters decode the same enum).
+  t.rej_threshold = telemetry::register_series(
+      "probe.reject.threshold", telemetry::SeriesKind::kCounter);
+  t.rej_early = telemetry::register_series("probe.reject.early_stage",
+                                           telemetry::SeriesKind::kCounter);
+  t.rej_abort = telemetry::register_series("probe.reject.abort",
+                                           telemetry::SeriesKind::kCounter);
+  t.rej_stage = telemetry::register_series("probe.reject.stage",
+                                           telemetry::SeriesKind::kMean);
+  return t;
+}
+#endif
+
+ProbeSession::ProbeSession(sim::Simulator& sim, const EacConfig& cfg,
+                           const ProbeTelemetry& tel)
+    : sim_{sim}, cfg_{cfg} {
+  EAC_TEL_ONLY(tel_ = tel;)
+#if !EAC_TELEMETRY_ENABLED
+  (void)tel;
+#endif
+}
+
 ProbeSession::ProbeSession(sim::Simulator& sim, const EacConfig& cfg,
                            const FlowSpec& spec, net::PacketHandler& entry,
                            net::Node& dst_node, std::function<void(bool)> done)
-    : sim_{sim},
-      cfg_{cfg},
-      spec_{spec},
-      dst_node_{dst_node},
-      done_{std::move(done)} {
+    : sim_{sim}, cfg_{cfg} {
+  EAC_TEL_ONLY(tel_ = ProbeTelemetry::register_all();)
+  activate(spec, entry, dst_node, std::move(done));
+}
+
+ProbeSession::~ProbeSession() {
+  if (!finished_) {
+    sender_->stop();
+    dst_node_->detach_sink(spec_.flow);
+    if (abort_timer_ != 0) sim_.cancel(abort_timer_);
+    for (sim::EventId id : pending_events_) sim_.cancel(id);
+  }
+}
+
+void ProbeSession::activate(const FlowSpec& spec, net::PacketHandler& entry,
+                            net::Node& dst_node,
+                            std::function<void(bool)> done) {
+  assert(finished_);  // never re-arm a live session
+  spec_ = spec;
+  dst_node_ = &dst_node;
+  done_ = std::move(done);
+  finished_ = false;
+  current_stage_ = -1;
+  total_received_ = 0;
+  total_marked_ = 0;
+  planned_total_ = 0;
+  abort_timer_ = 0;
+  pending_events_.clear();
+
   traffic::SourceIdentity id;
   id.flow = spec_.flow;
   id.src = spec_.src;
@@ -34,55 +90,42 @@ ProbeSession::ProbeSession(sim::Simulator& sim, const EacConfig& cfg,
   id.type = net::PacketType::kProbe;
   id.band = cfg_.band == ProbeBand::kInBand ? 0 : 1;
   id.ecn_capable = cfg_.signal == SignalType::kMark;
+  // First use builds the sender; reuse re-arms it in place (identity,
+  // counters and — for CBR — the per-flow RNG, reseeded from the flow id,
+  // so a pooled sender emits exactly what a fresh one would).
   if (cfg_.shape == ProbeShape::kTokenBurst) {
-    sender_ = std::make_unique<traffic::BurstSource>(
-        sim_, id, entry, stage_rate(0), spec_.bucket_bytes);
+    if (sender_ == nullptr) {
+      sender_ = std::make_unique<traffic::BurstSource>(
+          sim_, id, entry, stage_rate(0), spec_.bucket_bytes);
+    } else {
+      static_cast<traffic::BurstSource*>(sender_.get())
+          ->reuse(id, entry, stage_rate(0), spec_.bucket_bytes);
+    }
   } else {
-    sender_ = std::make_unique<traffic::CbrSource>(sim_, id, entry,
-                                                   stage_rate(0));
+    if (sender_ == nullptr) {
+      sender_ = std::make_unique<traffic::CbrSource>(sim_, id, entry,
+                                                     stage_rate(0));
+    } else {
+      static_cast<traffic::CbrSource*>(sender_.get())
+          ->reuse(id, entry, stage_rate(0));
+    }
   }
 
   const int n = stage_count(cfg_);
-  stages_.resize(static_cast<std::size_t>(n));
+  stages_.assign(static_cast<std::size_t>(n), Stage{});
   const double pkts_per_byte_rate = stage_seconds(cfg_) / (8.0 * spec_.packet_size);
   for (int i = 0; i < n; ++i) {
     planned_total_ +=
         static_cast<std::uint64_t>(stage_rate(i) * pkts_per_byte_rate);
   }
 
-  EAC_TEL(tel_loss_ = telemetry::register_series(
-              "probe.loss_fraction", telemetry::SeriesKind::kMean));
-  EAC_TEL(tel_sent_ = telemetry::register_series(
-              "probe.packets_sent", telemetry::SeriesKind::kCounter));
-  EAC_TEL(tel_loss_hist_ = telemetry::register_histogram(
-              "probe.loss_fraction", 0.0, 1.0, 20));
-  // Per-reason reject counters, one per RejectReason (satellite of the
-  // trace layer: spans and counters decode the same enum).
-  EAC_TEL(tel_rej_threshold_ = telemetry::register_series(
-              "probe.reject.threshold", telemetry::SeriesKind::kCounter));
-  EAC_TEL(tel_rej_early_ = telemetry::register_series(
-              "probe.reject.early_stage", telemetry::SeriesKind::kCounter));
-  EAC_TEL(tel_rej_abort_ = telemetry::register_series(
-              "probe.reject.abort", telemetry::SeriesKind::kCounter));
-  EAC_TEL(tel_rej_stage_ = telemetry::register_series(
-              "probe.reject.stage", telemetry::SeriesKind::kMean));
-
   EAC_TRC(trace::emit(trace::EventKind::kProbeSession, 'B', sim_.now(),
                       spec_.flow, planned_total_,
                       static_cast<std::uint64_t>(spec_.rate_bps)));
 
-  dst_node_.attach_sink(spec_.flow, this);
+  dst_node_->attach_sink(spec_.flow, this);
   start_stage(0);
   if (cfg_.algo == ProbeAlgo::kSimple) abort_check();
-}
-
-ProbeSession::~ProbeSession() {
-  if (!finished_) {
-    sender_->stop();
-    dst_node_.detach_sink(spec_.flow);
-    if (abort_timer_ != 0) sim_.cancel(abort_timer_);
-    for (sim::EventId id : pending_events_) sim_.cancel(id);
-  }
 }
 
 std::uint64_t ProbeSession::probes_sent() const { return sender_->packets_sent(); }
@@ -226,25 +269,25 @@ void ProbeSession::finish(bool admitted, RejectReason reason, int stage) {
         bad += static_cast<double>(total_marked_);
       }
       const double frac = bad / static_cast<double>(sent);
-      telemetry::set(tel_loss_, frac, sim_.now());
-      telemetry::observe(tel_loss_hist_, frac);
-      telemetry::add(tel_sent_, static_cast<double>(sent), sim_.now());
+      telemetry::set(tel_.loss, frac, sim_.now());
+      telemetry::observe(tel_.loss_hist, frac, sim_.now());
+      telemetry::add(tel_.sent, static_cast<double>(sent), sim_.now());
     }
     if (!admitted) {
       switch (reason) {
         case RejectReason::kThreshold:
-          telemetry::add(tel_rej_threshold_, 1.0, sim_.now());
+          telemetry::add(tel_.rej_threshold, 1.0, sim_.now());
           break;
         case RejectReason::kEarlyStage:
-          telemetry::add(tel_rej_early_, 1.0, sim_.now());
+          telemetry::add(tel_.rej_early, 1.0, sim_.now());
           break;
         case RejectReason::kBudgetAbort:
-          telemetry::add(tel_rej_abort_, 1.0, sim_.now());
+          telemetry::add(tel_.rej_abort, 1.0, sim_.now());
           break;
         case RejectReason::kNone:
           break;
       }
-      telemetry::set(tel_rej_stage_, static_cast<double>(stage), sim_.now());
+      telemetry::set(tel_.rej_stage, static_cast<double>(stage), sim_.now());
     }
   }
 #endif
@@ -273,7 +316,7 @@ void ProbeSession::finish(bool admitted, RejectReason reason, int stage) {
   (void)stage;
 #endif
   sender_->stop();
-  dst_node_.detach_sink(spec_.flow);
+  dst_node_->detach_sink(spec_.flow);
   if (abort_timer_ != 0) {
     sim_.cancel(abort_timer_);
     abort_timer_ = 0;
@@ -282,8 +325,8 @@ void ProbeSession::finish(bool admitted, RejectReason reason, int stage) {
   // timer may outlive it.
   for (sim::EventId id : pending_events_) sim_.cancel(id);
   pending_events_.clear();
-  // Deliver the verdict from a fresh event so the owner may destroy this
-  // session inside the callback.
+  // Deliver the verdict from a fresh event so the owner may destroy or
+  // pool this session inside the callback.
   sim_.schedule_after(sim::SimTime::zero(),
                       [cb = std::move(done_), admitted] { cb(admitted); });
 }

@@ -7,6 +7,13 @@
 // host records losses/marks and communicates the decision; we model that
 // by judging each stage `decision_lag` after it ends so in-flight probe
 // packets have arrived.
+//
+// Sessions are POOLED by EndpointAdmission: construction happens once
+// (cheap — no network state), then activate() arms the session for one
+// flow and the verdict leaves it inert and reusable. A 10^6-flow run
+// allocates a handful of sessions, not one per probe; reuse resets every
+// per-flow field (including the sender's RNG, reseeded from the flow id)
+// so a pooled session is indistinguishable from a fresh one.
 #pragma once
 
 #include <cstdint>
@@ -24,12 +31,35 @@
 
 namespace eac {
 
+/// Telemetry ids shared by every probe session of a policy. Registered
+/// once at EndpointAdmission construction — never on the probe path, so
+/// domain-decomposed runs do no series registration off the main thread.
+#if EAC_TELEMETRY_ENABLED
+struct ProbeTelemetry {
+  telemetry::SeriesId loss = telemetry::kNoSeries;
+  telemetry::SeriesId sent = telemetry::kNoSeries;
+  telemetry::HistogramId loss_hist = telemetry::kNoSeries;
+  telemetry::SeriesId rej_threshold = telemetry::kNoSeries;
+  telemetry::SeriesId rej_early = telemetry::kNoSeries;
+  telemetry::SeriesId rej_abort = telemetry::kNoSeries;
+  telemetry::SeriesId rej_stage = telemetry::kNoSeries;
+
+  /// Register the probe series in their canonical order.
+  static ProbeTelemetry register_all();
+};
+#else
+struct ProbeTelemetry {};
+#endif
+
 class ProbeSession : public net::PacketHandler {
  public:
-  /// `entry` is where the sending host injects packets (its access node);
-  /// `dst_node` is the receiving host's node, where the sink registers.
-  /// `done` is called exactly once, via a scheduled event, after which the
-  /// session is inert and may be destroyed.
+  /// A pooled, inert session; activate() arms it.
+  ProbeSession(sim::Simulator& sim, const EacConfig& cfg,
+               const ProbeTelemetry& tel);
+
+  /// Construct-and-arm in one step (direct use in tests and benches; the
+  /// pooled policy path uses the inert ctor + activate()). Registers the
+  /// probe telemetry series itself, like sessions always did.
   ProbeSession(sim::Simulator& sim, const EacConfig& cfg, const FlowSpec& spec,
                net::PacketHandler& entry, net::Node& dst_node,
                std::function<void(bool)> done);
@@ -37,6 +67,14 @@ class ProbeSession : public net::PacketHandler {
 
   ProbeSession(const ProbeSession&) = delete;
   ProbeSession& operator=(const ProbeSession&) = delete;
+
+  /// Arm the session for one admission attempt. `entry` is where the
+  /// sending host injects packets (its access node); `dst_node` is the
+  /// receiving host's node, where the sink registers. `done` is called
+  /// exactly once, via a scheduled event, after which the session is
+  /// inert again and may be re-activated or destroyed.
+  void activate(const FlowSpec& spec, net::PacketHandler& entry,
+                net::Node& dst_node, std::function<void(bool)> done);
 
   /// Receiving-host path: count arriving probe packets and marks.
   void handle(net::Packet p) override;
@@ -66,7 +104,7 @@ class ProbeSession : public net::PacketHandler {
   sim::Simulator& sim_;
   EacConfig cfg_;
   FlowSpec spec_;
-  net::Node& dst_node_;
+  net::Node* dst_node_ = nullptr;
   std::function<void(bool)> done_;
   std::unique_ptr<traffic::AdjustableSource> sender_;
   std::vector<Stage> stages_;
@@ -76,14 +114,8 @@ class ProbeSession : public net::PacketHandler {
   std::uint64_t planned_total_ = 0;  ///< packets a full probe would send
   sim::EventId abort_timer_ = 0;
   std::vector<sim::EventId> pending_events_;  ///< stage end/judge timers
-  bool finished_ = false;
-  EAC_TEL_ONLY(telemetry::SeriesId tel_loss_ = telemetry::kNoSeries;)
-  EAC_TEL_ONLY(telemetry::SeriesId tel_sent_ = telemetry::kNoSeries;)
-  EAC_TEL_ONLY(telemetry::HistogramId tel_loss_hist_ = telemetry::kNoSeries;)
-  EAC_TEL_ONLY(telemetry::SeriesId tel_rej_threshold_ = telemetry::kNoSeries;)
-  EAC_TEL_ONLY(telemetry::SeriesId tel_rej_early_ = telemetry::kNoSeries;)
-  EAC_TEL_ONLY(telemetry::SeriesId tel_rej_abort_ = telemetry::kNoSeries;)
-  EAC_TEL_ONLY(telemetry::SeriesId tel_rej_stage_ = telemetry::kNoSeries;)
+  bool finished_ = true;  ///< pooled sessions start inert
+  EAC_TEL_ONLY(ProbeTelemetry tel_;)
 };
 
 }  // namespace eac

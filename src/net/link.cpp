@@ -76,7 +76,15 @@ void Link::on_tx_complete(Packet p) {
     trace::emit(trace::EventKind::kLinkTx, 'i', sim_.now(), p.flow, p.seq,
                 trc_packet_bits(p), trc_track_);
   });
-  if (dst_ != nullptr) {
+  if (cross_ != nullptr) {
+    // Domain-boundary edge: the delivery belongs to the peer domain. Hand
+    // the packet over with its arrival instant; the peer schedules the
+    // delivery event when it drains the inbox between rounds. From this
+    // domain's ledger the packet has left (the receiver's cross-in-flight
+    // counter picks it up at drain time).
+    cross_->push(sim_.now() + prop_delay_, this, p);
+    EAC_AUDIT_ONLY(--audit_in_flight_;)
+  } else if (dst_ != nullptr) {
     // The packet stays "in flight" on this link until the propagation
     // event hands it to the destination.
     sim_.schedule_after(prop_delay_, [this, p] { deliver(p); });
@@ -95,6 +103,21 @@ void Link::deliver(Packet p) {
     trace::emit(trace::EventKind::kLinkRx, 'i', sim_.now(), p.flow, p.seq,
                 trc_packet_bits(p), trc_track_);
   });
+  dst_->handle(p);
+}
+
+void Link::deliver_remote(sim::SimTime now, Packet p) {
+  // Runs on the receiving domain's thread at the message's arrival
+  // instant, which the caller passes in — the owner domain's clock (sim_)
+  // is being advanced concurrently and must not be read here. The trace
+  // emit resolves the receiving thread's sink, so the rx instant uses the
+  // track registered there.
+  EAC_AUDIT_ONLY(--cross_in_flight_;)
+  EAC_TRC(if (peer_track_ != 0) {
+    trace::emit(trace::EventKind::kLinkRx, 'i', now, p.flow, p.seq,
+                trc_packet_bits(p), peer_track_);
+  });
+  (void)now;
   dst_->handle(p);
 }
 

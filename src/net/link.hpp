@@ -3,9 +3,11 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "net/packet.hpp"
 #include "net/queue_disc.hpp"
@@ -13,6 +15,39 @@
 #include "sim/simulator.hpp"
 
 namespace eac::net {
+
+class Link;
+
+/// A packet in transit across a domain boundary: the link completed
+/// transmission in its owning domain and the peer domain must run the
+/// delivery at `t` (transmission end plus propagation delay).
+struct CrossMsg {
+  sim::SimTime t;
+  Link* link;
+  Packet pkt;
+};
+
+/// One direction of a (source-domain, destination-domain) edge. Exactly
+/// one producer (the sending domain's thread, during its event window) and
+/// one consumer (the receiving domain's thread, during the inter-round
+/// drain); the coordinator's barriers make the two phases mutually
+/// exclusive, so a plain vector is race-free and nothing is ever bounded
+/// away — a full inbox simply grows, it cannot stall or drop. Messages are
+/// appended in transmission order, which the drain's stable sort turns
+/// into the deterministic (time, source domain, push order) merge order.
+class CrossInbox {
+ public:
+  void push(sim::SimTime t, Link* link, const Packet& p) {
+    msgs_.push_back(CrossMsg{t, link, p});
+  }
+  std::vector<CrossMsg>& msgs() { return msgs_; }
+  bool empty() const { return msgs_.empty(); }
+  std::size_t size() const { return msgs_.size(); }
+  void clear() { msgs_.clear(); }
+
+ private:
+  std::vector<CrossMsg> msgs_;
+};
 
 /// Byte/packet counters kept per logical packet type.
 struct LinkCounters {
@@ -38,6 +73,20 @@ class Link : public PacketHandler {
 
   void set_destination(PacketHandler* dst) { dst_ = dst; }
 
+  /// Mark this link as a domain-boundary edge: completed transmissions are
+  /// appended to `inbox` (timestamped with the arrival instant) instead of
+  /// scheduling a local propagation event; the peer domain schedules
+  /// deliver_remote() when it drains the inbox. Pass nullptr to restore
+  /// local delivery.
+  void set_cross_domain(CrossInbox* inbox) { cross_ = inbox; }
+  bool cross_domain() const { return cross_ != nullptr; }
+
+  /// Receiver-side delivery of a cross-domain packet at arrival instant
+  /// `now` (the receiving domain's clock; the owner's clock must not be
+  /// read across threads). Touches only immutable routing state plus the
+  /// receiver-owned audit counter, never the sender-side counters.
+  void deliver_remote(sim::SimTime now, Packet p);
+
   /// Offer a packet to the queue; starts transmission if idle.
   void handle(Packet p) override;
 
@@ -58,10 +107,15 @@ class Link : public PacketHandler {
 
   /// Begin the measurement period: from `now` on, transmissions also count
   /// into measured(). Used to discard warm-up.
-  void begin_measurement() {
+  void begin_measurement() { begin_measurement(sim_.now()); }
+
+  /// Explicit-time variant for domain-decomposed runs: a non-zero domain's
+  /// measurement flip happens between synchronization rounds, when its
+  /// clock sits at the last executed event rather than the warmup instant.
+  void begin_measurement(sim::SimTime start) {
     measuring_ = true;
     measured_ = LinkCounters{};
-    measure_start_ = sim_.now();
+    measure_start_ = start;
   }
   sim::SimTime measure_start() const { return measure_start_; }
 
@@ -74,6 +128,21 @@ class Link : public PacketHandler {
   /// Packets dequeued for transmission whose propagation has not yet
   /// delivered them (audit builds only; conservation accounting).
   std::uint64_t audit_in_flight() const { return audit_in_flight_; }
+
+  /// Cross-domain packets drained from the inbox but not yet delivered
+  /// (audit builds only). Owned by the receiving domain: bumped by
+  /// note_cross_scheduled() when the drain schedules the delivery event,
+  /// dropped by deliver_remote().
+  std::uint64_t cross_in_flight() const { return cross_in_flight_; }
+  void note_cross_scheduled() { ++cross_in_flight_; }
+#endif
+
+#if EAC_TRACE_ENABLED
+  /// Track id of this link's name in the *receiving* domain's trace sink.
+  /// Cross-domain links appear in two sinks — transmissions trace into the
+  /// owner's, deliveries into the peer's — and the scenario builder
+  /// registers both at construction time.
+  void set_peer_track(std::uint16_t track) { peer_track_ = track; }
 #endif
 
   NodeId from = 0, to = 0;  ///< endpoints, filled in by Topology
@@ -89,6 +158,7 @@ class Link : public PacketHandler {
   sim::SimTime prop_delay_;
   std::unique_ptr<QueueDisc> queue_;
   PacketHandler* dst_ = nullptr;
+  CrossInbox* cross_ = nullptr;
   bool busy_ = false;
   bool retry_pending_ = false;
   bool measuring_ = false;
@@ -98,7 +168,9 @@ class Link : public PacketHandler {
   EAC_TEL_ONLY(telemetry::SeriesId tel_tx_bytes_ = telemetry::kNoSeries;)
   EAC_TEL_ONLY(telemetry::SeriesId tel_tx_data_bytes_ = telemetry::kNoSeries;)
   EAC_TRC_ONLY(std::uint16_t trc_track_ = 0;)
+  EAC_TRC_ONLY(std::uint16_t peer_track_ = 0;)
   EAC_AUDIT_ONLY(std::uint64_t audit_in_flight_ = 0;)
+  EAC_AUDIT_ONLY(std::uint64_t cross_in_flight_ = 0;)
   std::function<void(const Packet&, sim::SimTime)> tx_observer_;
 };
 

@@ -16,12 +16,12 @@ void Node::handle(Packet p) {
     // the undeliverable counter (departed flow draining), it leaves the
     // network here.
     EAC_AUDIT_COUNT(packets_delivered, 1);
-    auto it = sinks_.find(p.flow);
-    if (it == sinks_.end()) {
+    PacketHandler* sink = sinks_.find(p.flow);
+    if (sink == nullptr) {
       ++undeliverable_;
       return;
     }
-    it->second->handle(p);
+    sink->handle(p);
     return;
   }
   // Forwarding is network work; local deliveries stay untagged so the

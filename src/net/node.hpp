@@ -2,13 +2,102 @@
 // to per-flow sinks.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
-#include <unordered_map>
+#include <cstddef>
 #include <vector>
 
 #include "net/packet.hpp"
 
 namespace eac::net {
+
+/// Dense flow -> sink table: open addressing with linear probing over one
+/// flat array, sized to the node's high-water sink population. Replaces
+/// the per-node std::unordered_map, whose node allocation on every insert
+/// put one malloc on the attach path of every probe and every admitted
+/// flow; after warm-up this table allocates nothing (geometric growth,
+/// backward-shift deletion, no tombstones). Lookups are never iterated,
+/// so no ordering issue arises.
+class SinkTable {
+ public:
+  static constexpr FlowId kEmpty = 0xFFFF'FFFF;
+
+  SinkTable() { rehash(16); }
+
+  void insert(FlowId flow, PacketHandler* sink) {
+    assert(flow != kEmpty);
+    if ((size_ + 1) * 10 > slots_.size() * 7) rehash(slots_.size() * 2);
+    std::size_t i = index(flow);
+    while (slots_[i].flow != kEmpty) {
+      if (slots_[i].flow == flow) {
+        slots_[i].sink = sink;  // re-attach overwrites, like map assignment
+        return;
+      }
+      i = next(i);
+    }
+    slots_[i] = Slot{flow, sink};
+    ++size_;
+  }
+
+  PacketHandler* find(FlowId flow) const {
+    std::size_t i = index(flow);
+    while (slots_[i].flow != kEmpty) {
+      if (slots_[i].flow == flow) return slots_[i].sink;
+      i = next(i);
+    }
+    return nullptr;
+  }
+
+  void erase(FlowId flow) {
+    std::size_t i = index(flow);
+    while (slots_[i].flow != kEmpty && slots_[i].flow != flow) i = next(i);
+    if (slots_[i].flow == kEmpty) return;
+    // Backward-shift deletion: close the hole by moving every displaced
+    // follower of the probe chain up one slot.
+    std::size_t hole = i;
+    std::size_t j = next(i);
+    while (slots_[j].flow != kEmpty) {
+      const std::size_t home = index(slots_[j].flow);
+      // Move j into the hole unless j sits between its home and the hole
+      // (cyclically), in which case shifting would break its chain.
+      const bool movable = hole <= j ? (home <= hole || home > j)
+                                     : (home <= hole && home > j);
+      if (movable) {
+        slots_[hole] = slots_[j];
+        hole = j;
+      }
+      j = next(j);
+    }
+    slots_[hole] = Slot{};
+    --size_;
+  }
+
+  std::size_t size() const { return size_; }
+
+ private:
+  struct Slot {
+    FlowId flow = kEmpty;
+    PacketHandler* sink = nullptr;
+  };
+
+  std::size_t index(FlowId flow) const {
+    // Fibonacci hashing spreads the dense, stride-patterned flow ids.
+    return (flow * 2654435769u) & (slots_.size() - 1);
+  }
+  std::size_t next(std::size_t i) const { return (i + 1) & (slots_.size() - 1); }
+
+  void rehash(std::size_t cap) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(cap, Slot{});
+    size_ = 0;
+    for (const Slot& s : old) {
+      if (s.flow != kEmpty) insert(s.flow, s.sink);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+};
 
 class Node : public PacketHandler {
  public:
@@ -22,7 +111,9 @@ class Node : public PacketHandler {
   /// Register/remove the local delivery target for a flow. Packets for a
   /// flow with no sink (e.g. a departed flow draining from queues) are
   /// counted and discarded.
-  void attach_sink(FlowId flow, PacketHandler* sink) { sinks_[flow] = sink; }
+  void attach_sink(FlowId flow, PacketHandler* sink) {
+    sinks_.insert(flow, sink);
+  }
   void detach_sink(FlowId flow) { sinks_.erase(flow); }
 
   void handle(Packet p) override;
@@ -32,7 +123,7 @@ class Node : public PacketHandler {
  private:
   NodeId id_;
   std::vector<PacketHandler*> routes_;
-  std::unordered_map<FlowId, PacketHandler*> sinks_;
+  SinkTable sinks_;
   std::uint64_t undeliverable_ = 0;
 };
 

@@ -13,10 +13,12 @@ Node& Topology::add_node() {
 
 Link& Topology::add_link(NodeId from, NodeId to, double rate_bps,
                          sim::SimTime prop_delay,
-                         std::unique_ptr<QueueDisc> queue) {
+                         std::unique_ptr<QueueDisc> queue,
+                         sim::Simulator* sim) {
   auto link = std::make_unique<Link>(
-      sim_, "link" + std::to_string(from) + "-" + std::to_string(to),
-      rate_bps, prop_delay, std::move(queue));
+      sim != nullptr ? *sim : sim_,
+      "link" + std::to_string(from) + "-" + std::to_string(to), rate_bps,
+      prop_delay, std::move(queue));
   link->from = from;
   link->to = to;
   link->set_destination(nodes_[to].get());

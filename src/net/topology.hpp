@@ -18,8 +18,12 @@ class Topology {
 
   /// Add a unidirectional link `from` -> `to`; the link's destination is
   /// wired to the `to` node, and `from`'s route to `to` is set directly.
+  /// A domain-decomposed run passes `sim` to bind the link to its owning
+  /// domain's simulator (the domain of `from`, whose thread runs every
+  /// enqueue and transmission); by default links share the topology's.
   Link& add_link(NodeId from, NodeId to, double rate_bps,
-                 sim::SimTime prop_delay, std::unique_ptr<QueueDisc> queue);
+                 sim::SimTime prop_delay, std::unique_ptr<QueueDisc> queue,
+                 sim::Simulator* sim = nullptr);
 
   Node& node(NodeId id) { return *nodes_[id]; }
   const std::vector<std::unique_ptr<Link>>& links() const { return links_; }

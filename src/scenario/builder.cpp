@@ -1,19 +1,26 @@
 #include "scenario/builder.hpp"
 
+#include <algorithm>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <utility>
+#include <vector>
 
 #include "eac/endpoint_policy.hpp"
+#include "eac/flow_manager.hpp"
 #include "mbac/mbac_policy.hpp"
 #include "net/marking_queue.hpp"
 #include "net/priority_queue.hpp"
 #include "net/red_queue.hpp"
 #include "net/topology.hpp"
 #include "net/virtual_drop_queue.hpp"
+#include "scenario/partition.hpp"
 #include "sim/audit.hpp"
+#include "sim/domain.hpp"
 #include "sim/simulator.hpp"
 #include "telemetry/telemetry.hpp"
+#include "trace/trace.hpp"
 
 namespace eac::scenario {
 
@@ -95,6 +102,18 @@ std::vector<std::size_t> bfs_first_links(const ScenarioSpec& spec,
 
 }  // namespace
 
+void schedule_cross_messages(sim::Simulator& sim,
+                             const std::vector<net::CrossMsg>& msgs,
+                             [[maybe_unused]] sim::SimTime window_start) {
+  for (const net::CrossMsg& m : msgs) {
+    EAC_AUDIT_CHECK(m.t >= window_start,
+                    "cross-domain delivery below the lookahead window");
+    EAC_AUDIT_ONLY(m.link->note_cross_scheduled();)
+    sim.schedule_at(m.t,
+                    [l = m.link, t = m.t, p = m.pkt] { l->deliver_remote(t, p); });
+  }
+}
+
 std::vector<std::size_t> route_links(const ScenarioSpec& spec,
                                      net::NodeId src, net::NodeId dst) {
   constexpr std::size_t kNone = static_cast<std::size_t>(-1);
@@ -112,56 +131,155 @@ std::vector<std::size_t> route_links(const ScenarioSpec& spec,
   return path;
 }
 
+// One code path for every domain count: the serial run is the P == 1 case
+// of the same construction and the same coordinator (which degenerates to
+// a single Simulator::run), not a separate branch. For P > 1 the scenario
+// is built once, on this thread, with each component's thread-local
+// recording contexts (telemetry recorder, trace sink, audit report)
+// swapped to those of the domain that will execute it, in the exact
+// global order the serial run registers things — that shared order is
+// what lets the post-run merges reproduce the serial artifacts byte for
+// byte (DESIGN.md §11).
 ScenarioResult run_scenario(const ScenarioSpec& spec) {
   ScenarioResult res;
+  const Partition part = partition_spec(spec, resolve_domains(spec));
+  const std::size_t P = static_cast<std::size_t>(part.domains);
+  const sim::SimTime warmup_t = sim::SimTime::seconds(spec.warmup_s);
+  const sim::SimTime end = sim::SimTime::seconds(spec.duration_s);
+
   // Installed before any component runs so every packet-conservation tally
   // of this run lands on this result's report (thread-local, so parallel
-  // SweepRunner workers audit independently).
+  // SweepRunner workers audit independently). Domain 0 keeps this report;
+  // the other domains tally into their own, summed after the run.
   sim::audit::Scope audit_scope{res.audit};
+  EAC_AUDIT_ONLY(std::vector<sim::AuditReport> dom_audit(P);)
+
 #if EAC_TELEMETRY_ENABLED
   // Reset the thread's recorder (if one is installed) before components
-  // are built: they register their series during construction.
+  // are built: they register their series during construction. Partitioned
+  // runs give domains 1..P-1 recorders of their own, chained to a shared
+  // registration-key counter (installed before begin_run so even the
+  // engine series takes a global key) and record replay logs for the
+  // mean/histogram merge.
   telemetry::Recorder* tel = telemetry::current();
+  std::uint64_t tel_keys = 0;
+  std::vector<std::unique_ptr<telemetry::Recorder>> dom_tel;  // domain d-1
+  if (tel != nullptr && P > 1) {
+    tel->set_key_counter(&tel_keys);
+    tel->set_observation_log(true);
+    for (std::size_t d = 1; d < P; ++d) {
+      dom_tel.push_back(std::make_unique<telemetry::Recorder>(tel->config()));
+      dom_tel.back()->set_key_counter(&tel_keys);
+      dom_tel.back()->set_observation_log(true);
+    }
+  }
   if (tel != nullptr) tel->begin_run();
+  for (auto& r : dom_tel) r->begin_run();
 #endif
 #if EAC_TRACE_ENABLED
   // Same for the trace sink: components register their tracks as they are
   // constructed, so the ring and track table must be fresh first.
   trace::Sink* trc = trace::current();
+  std::uint64_t trc_keys = 0;
+  std::vector<std::unique_ptr<trace::Sink>> dom_trc;  // domain d-1
+  if (trc != nullptr && P > 1) {
+    trc->set_key_counter(&trc_keys);
+    for (std::size_t d = 1; d < P; ++d) {
+      dom_trc.push_back(std::make_unique<trace::Sink>(trc->config()));
+      dom_trc.back()->set_key_counter(&trc_keys);
+    }
+  }
   if (trc != nullptr) trc->begin_run();
+  for (auto& s : dom_trc) s->begin_run();
 #endif
 
-  sim::Simulator sim{spec.event_queue};
-  net::Topology topo{sim};
+  // Swap this thread's recording contexts to domain d's — what d's thread
+  // will have installed at run time — so construction registers each
+  // component where its runtime emissions will land. Domain 0's contexts
+  // are the caller's own, so enter_domain(0) restores the ambient state.
+  auto enter_domain = [&]([[maybe_unused]] std::size_t d) {
+#if EAC_TELEMETRY_ENABLED
+    telemetry::exchange_current(
+        d == 0 ? tel : (tel != nullptr ? dom_tel[d - 1].get() : nullptr));
+#endif
+#if EAC_TRACE_ENABLED
+    trace::exchange_current(
+        d == 0 ? trc : (trc != nullptr ? dom_trc[d - 1].get() : nullptr));
+#endif
+#if EAC_AUDIT_ENABLED
+    sim::audit::exchange_current(d == 0 ? &res.audit : &dom_audit[d]);
+#endif
+  };
+
+  // One Simulator (clock + event queue + callback arena) per domain. The
+  // topology is shared — nodes and routing tables are immutable at run
+  // time — but every link is bound to the simulator of the domain that
+  // owns its sending side.
+  std::vector<std::unique_ptr<sim::SimDomain>> doms;
+  doms.reserve(P);
+  for (std::size_t d = 0; d < P; ++d) {
+    doms.push_back(std::make_unique<sim::SimDomain>(spec.event_queue));
+    doms.back()->index = static_cast<int>(d);
+  }
+
+  // Inbox per ordered domain pair (flat P x P); a boundary link appends
+  // completed transmissions to inboxes[owner * P + peer].
+  std::vector<net::CrossInbox> inboxes(P * P);
+
+  net::Topology topo{doms[0]->sim};
   const std::size_t n_nodes = spec.node_count();
   for (std::size_t i = 0; i < n_nodes; ++i) topo.add_node();
 
   std::vector<net::Link*> links;
+  std::vector<int> link_domain;
   links.reserve(spec.links.size());
+  link_domain.reserve(spec.links.size());
   for (const LinkSpec& l : spec.links) {
-    links.push_back(&topo.add_link(l.from, l.to, l.rate_bps, l.delay,
-                                   make_queue(spec, l)));
+    const int ld = part.domain_of(l.from);
+    const int rd = part.domain_of(l.to);
+    link_domain.push_back(ld);
+    enter_domain(static_cast<std::size_t>(ld));
+    net::Link& link = topo.add_link(l.from, l.to, l.rate_bps, l.delay,
+                                    make_queue(spec, l), &doms[ld]->sim);
+    links.push_back(&link);
+    if (rd != ld) {
+      link.set_cross_domain(
+          &inboxes[static_cast<std::size_t>(ld) * P + static_cast<std::size_t>(rd)]);
+      // Deliveries happen in the receiving domain, so the link needs a
+      // track in that domain's sink too (same name; the merge dedupes).
+      enter_domain(static_cast<std::size_t>(rd));
+      EAC_TRC(link.set_peer_track(trace::register_track(link.name())));
+    }
   }
+  enter_domain(0);
   topo.build_routes();
 
-  stats::FlowStats stats;
+  std::vector<stats::FlowStats> stats(P);
 
-  // Admission policy. MBAC attaches a Measured Sum estimator to every
-  // admission-controlled link, in link order; a request consults the
-  // estimators of the admission-controlled hops on its path, in path
-  // order.
+  // Admission policy, one per domain (every flow's endpoints share a
+  // domain, so each policy only ever serves its own). MBAC attaches a
+  // Measured Sum estimator to every admission-controlled link, in link
+  // order; a request consults the estimators of the admission-controlled
+  // hops on its path, in path order. MBAC estimators are consulted
+  // synchronously across the whole topology, which is why the partitioner
+  // keeps MBAC runs at P == 1.
   std::vector<std::unique_ptr<mbac::MeasuredSumEstimator>> estimators;
-  std::unique_ptr<AdmissionPolicy> policy;
+  std::vector<std::unique_ptr<AdmissionPolicy>> policies(P);
   if (spec.policy == PolicyKind::kEndpoint) {
-    policy = std::make_unique<EndpointAdmission>(sim, topo, spec.eac);
+    for (std::size_t d = 0; d < P; ++d) {
+      enter_domain(d);
+      policies[d] =
+          std::make_unique<EndpointAdmission>(doms[d]->sim, topo, spec.eac);
+    }
+    enter_domain(0);
   } else {
     mbac::MeasuredSumConfig mcfg;
     mcfg.target_utilization = spec.mbac_target_utilization;
     std::map<std::size_t, mbac::MeasuredSumEstimator*> by_link;
     for (std::size_t i = 0; i < spec.links.size(); ++i) {
       if (spec.links[i].queue != LinkQueueKind::kAdmission) continue;
-      estimators.push_back(
-          std::make_unique<mbac::MeasuredSumEstimator>(sim, *links[i], mcfg));
+      estimators.push_back(std::make_unique<mbac::MeasuredSumEstimator>(
+          doms[0]->sim, *links[i], mcfg));
       by_link[i] = estimators.back().get();
     }
     // Precompute each flow group's estimator path; requests only ever
@@ -177,7 +295,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
       }
       paths[{f.src, f.dst}] = std::move(path);
     }
-    policy = std::make_unique<mbac::MbacPolicy>(
+    policies[0] = std::make_unique<mbac::MbacPolicy>(
         [paths = std::move(paths)](net::NodeId src, net::NodeId dst) {
           auto it = paths.find({src, dst});
           return it != paths.end()
@@ -186,38 +304,180 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
         });
   }
 
-  FlowManagerConfig fm_cfg;
-  fm_cfg.classes = spec.flows;
-  fm_cfg.mean_lifetime_s = spec.mean_lifetime_s;
-  fm_cfg.seed = spec.seed;
-  fm_cfg.prewarm_bps = spec.prewarm_bps;
-  fm_cfg.max_retries = spec.max_retries;
-  fm_cfg.retry_backoff_s = spec.retry_backoff_s;
-  fm_cfg.driver = spec.flow_driver;
-  FlowManager manager{sim, topo, *policy, stats, fm_cfg};
-  manager.start();
+  // One FlowManager per domain, driving that domain's flow classes. The
+  // serial run passes all classes with the identity global index; a cut
+  // run records each class's global position so its flow ids and RNG
+  // streams are identical to the serial run's, and pins the prewarm
+  // denominator to the whole scenario's offered load for the same reason.
+  double offered_total = 0;
+  for (const FlowClass& f : spec.flows) {
+    offered_total += FlowManager::offered_load_bps(f, spec.mean_lifetime_s);
+  }
+  std::vector<FlowManagerConfig> fm_cfgs(P);
+  for (std::size_t d = 0; d < P; ++d) {
+    FlowManagerConfig& c = fm_cfgs[d];
+    c.mean_lifetime_s = spec.mean_lifetime_s;
+    c.seed = spec.seed;
+    c.prewarm_bps = spec.prewarm_bps;
+    c.max_retries = spec.max_retries;
+    c.retry_backoff_s = spec.retry_backoff_s;
+    c.driver = spec.flow_driver;
+    if (P > 1) c.prewarm_offered_total_bps = offered_total;
+  }
+  if (P == 1) {
+    fm_cfgs[0].classes = spec.flows;
+  } else {
+    for (std::size_t i = 0; i < spec.flows.size(); ++i) {
+      const auto d = static_cast<std::size_t>(part.domain_of(spec.flows[i].src));
+      fm_cfgs[d].classes.push_back(spec.flows[i]);
+      fm_cfgs[d].global_class_index.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  std::vector<std::unique_ptr<FlowManager>> managers(P);
+  for (std::size_t d = 0; d < P; ++d) {
+    enter_domain(d);
+    managers[d] = std::make_unique<FlowManager>(
+        doms[d]->sim, topo, *policies[d], stats[d], fm_cfgs[d]);
+  }
+  // start() pre-warms (admitting flows and emitting their first packets at
+  // t = 0), so it too runs under the owning domain's contexts.
+  for (std::size_t d = 0; d < P; ++d) {
+    enter_domain(d);
+    managers[d]->start();
+  }
+  enter_domain(0);
 
-  sim.schedule_at(sim::SimTime::seconds(spec.warmup_s), [&] {
-    stats.begin_measurement();
-    topo.begin_measurement();
+  // The scenario's single warmup event lives in domain 0, exactly as in
+  // the serial run; the coordinator flips the other domains' measurement
+  // state inside a barrier once the global lower bound reaches the warmup
+  // instant (their clocks sit just short of it then, so the flip takes the
+  // warmup time explicitly).
+  doms[0]->sim.schedule_at(warmup_t, [&] {
+    stats[0].begin_measurement();
+    for (std::size_t i = 0; i < links.size(); ++i) {
+      if (link_domain[i] == 0) links[i]->begin_measurement();
+    }
   });
+  for (std::size_t d = 1; d < P; ++d) {
+    doms[d]->begin_measurement = [&, d] {
+      stats[d].begin_measurement();
+      for (std::size_t i = 0; i < links.size(); ++i) {
+        if (link_domain[i] == static_cast<int>(d)) {
+          links[i]->begin_measurement(warmup_t);
+        }
+      }
+    };
+    doms[d]->install_scopes = [&, d] {
+#if EAC_TELEMETRY_ENABLED
+      if (tel != nullptr) telemetry::exchange_current(dom_tel[d - 1].get());
+#endif
+#if EAC_TRACE_ENABLED
+      if (trc != nullptr) trace::exchange_current(dom_trc[d - 1].get());
+#endif
+#if EAC_AUDIT_ENABLED
+      sim::audit::exchange_current(&dom_audit[d]);
+#endif
+    };
+    doms[d]->remove_scopes = [] {
+#if EAC_TELEMETRY_ENABLED
+      telemetry::exchange_current(nullptr);
+#endif
+#if EAC_TRACE_ENABLED
+      trace::exchange_current(nullptr);
+#endif
+#if EAC_AUDIT_ENABLED
+      sim::audit::exchange_current(nullptr);
+#endif
+    };
+  }
 
-  res.events = sim.run(sim::SimTime::seconds(spec.duration_s));
-  res.flows_created = manager.flows_created();
-  res.peak_active_flows = manager.peak_active_flows();
+  // Drain: schedule every cross-domain message received since the last
+  // round. Sources are appended in (domain, push) order and the sort is
+  // stable and by time alone, so equal-time deliveries execute in
+  // (time, source domain, transmission order) — a fixed rule independent
+  // of thread timing. The lookahead guarantee makes every message land at
+  // or after the upcoming window; audit builds verify it.
+  std::vector<std::vector<net::CrossMsg>> scratch(P);
+  if (P > 1) {
+    for (std::size_t d = 0; d < P; ++d) {
+      doms[d]->drain = [&, d](sim::SimTime window_start) {
+        auto& out = scratch[d];
+        out.clear();
+        for (std::size_t s = 0; s < P; ++s) {
+          if (s == d) continue;
+          net::CrossInbox& in = inboxes[s * P + d];
+          if (in.empty()) continue;
+          out.insert(out.end(), in.msgs().begin(), in.msgs().end());
+          in.clear();
+        }
+        if (out.empty()) return;
+        std::stable_sort(out.begin(), out.end(),
+                         [](const net::CrossMsg& a, const net::CrossMsg& b) {
+                           return a.t < b.t;
+                         });
+        schedule_cross_messages(doms[d]->sim, out, window_start);
+      };
+    }
+  }
+
+#if EAC_TELEMETRY_ENABLED
+  // Registration is over: detach the shared key counter so the merge never
+  // depends on cross-thread counter updates (a stray runtime registration
+  // falls back to a local-order key and sorts behind the rest).
+  if (tel != nullptr && P > 1) {
+    tel->set_key_counter(nullptr);
+    for (auto& r : dom_tel) r->set_key_counter(nullptr);
+  }
+#endif
+#if EAC_TRACE_ENABLED
+  if (trc != nullptr && P > 1) {
+    trc->set_key_counter(nullptr);
+    for (auto& s : dom_trc) s->set_key_counter(nullptr);
+  }
+#endif
+
+  std::vector<sim::SimDomain*> dom_ptrs;
+  dom_ptrs.reserve(P);
+  for (auto& d : doms) dom_ptrs.push_back(d.get());
+  sim::DomainCoordinator::Config ccfg;
+  ccfg.lookahead = part.lookahead;
+  ccfg.horizon = end;
+  ccfg.warmup = P > 1 ? warmup_t : sim::SimTime::max();
+  res.events = sim::DomainCoordinator::run(dom_ptrs, ccfg);
+
+  res.flows_created = 0;
+  res.peak_active_flows = 0;
+  for (auto& m : managers) {
+    res.flows_created += m->flows_created();
+    // Per-domain peaks need not coincide in time; the sum is an upper
+    // bound (exact at P == 1).
+    res.peak_active_flows += m->peak_active_flows();
+  }
 
 #if EAC_AUDIT_ENABLED
-  // Conservation ledger: whatever was neither delivered nor dropped must
-  // still be resident in a queue or propagating on a link.
+  // Conservation ledger over all domains: whatever was neither delivered
+  // nor dropped must still be resident in a queue, propagating on a link,
+  // scheduled for cross-domain delivery, or parked in an inbox.
+  for (std::size_t d = 1; d < P; ++d) {
+    const sim::AuditReport& a = dom_audit[d];
+    res.audit.packets_created += a.packets_created;
+    res.audit.packets_delivered += a.packets_delivered;
+    res.audit.packets_dropped += a.packets_dropped;
+    res.audit.pool_allocs += a.pool_allocs;
+    res.audit.pool_releases += a.pool_releases;
+    res.audit.events_executed += a.events_executed;
+    res.audit.checks_passed += a.checks_passed;
+  }
   std::uint64_t residual = 0;
   for (net::Link* l : links) {
     residual += l->queue().packet_count();
     residual += l->audit_in_flight();
+    residual += l->cross_in_flight();
   }
+  for (const net::CrossInbox& in : inboxes) residual += in.size();
   sim::audit::finalize_run(res.audit, residual);
 #endif
 
-  const sim::SimTime end = sim::SimTime::seconds(spec.duration_s);
   const double secs = spec.duration_s - spec.warmup_s;
   for (net::Link* l : links) {
     LinkReport lr;
@@ -228,15 +488,33 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
         8.0 / (l->rate_bps() * secs);
     res.links.push_back(std::move(lr));
   }
-  res.groups = stats.groups();
-  res.total = stats.total();
-  res.delay_p50_s = stats.delays().quantile(0.5);
-  res.delay_p99_s = stats.delays().quantile(0.99);
+  for (std::size_t d = 1; d < P; ++d) stats[0].merge(stats[d]);
+  res.groups = stats[0].groups();
+  res.total = stats[0].total();
+  res.delay_p50_s = stats[0].delays().quantile(0.5);
+  res.delay_p99_s = stats[0].delays().quantile(0.99);
 #if EAC_TELEMETRY_ENABLED
-  if (tel != nullptr) tel->export_into(res.telemetry, end);
+  if (tel != nullptr) {
+    if (P > 1) {
+      std::vector<const telemetry::Recorder*> others;
+      others.reserve(dom_tel.size());
+      for (auto& r : dom_tel) others.push_back(r.get());
+      telemetry::Recorder::merge_runs(*tel, others);
+      tel->set_observation_log(false);
+    }
+    tel->export_into(res.telemetry, end);
+  }
 #endif
 #if EAC_TRACE_ENABLED
-  if (trc != nullptr) trc->export_summary(res.trace);
+  if (trc != nullptr) {
+    if (P > 1) {
+      std::vector<const trace::Sink*> others;
+      others.reserve(dom_trc.size());
+      for (auto& s : dom_trc) others.push_back(s.get());
+      trace::Sink::merge_runs(*trc, others);
+    }
+    trc->export_summary(res.trace);
+  }
 #endif
   return res;
 }

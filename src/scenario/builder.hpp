@@ -1,7 +1,11 @@
 // The one generic scenario builder: instantiate any ScenarioSpec and run it.
 #pragma once
 
+#include <vector>
+
+#include "net/link.hpp"
 #include "scenario/spec.hpp"
+#include "sim/simulator.hpp"
 
 namespace eac::scenario {
 
@@ -17,5 +21,15 @@ ScenarioResult run_scenario(const ScenarioSpec& spec);
 /// Returns an empty vector when `dst` is unreachable from `src`.
 std::vector<std::size_t> route_links(const ScenarioSpec& spec,
                                      net::NodeId src, net::NodeId dst);
+
+/// Schedule one domain's drained cross-domain messages (already merged
+/// into (time, source domain, transmission) order) onto its simulator:
+/// audit builds verify each delivery lies at or after the upcoming window
+/// (the lookahead guarantee) and abort the run otherwise. run_scenario's
+/// drain hooks call this; exposed so the audit death test can feed it a
+/// message below the bound.
+void schedule_cross_messages(sim::Simulator& sim,
+                             const std::vector<net::CrossMsg>& msgs,
+                             sim::SimTime window_start);
 
 }  // namespace eac::scenario

@@ -1,0 +1,163 @@
+#include "scenario/partition.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <numeric>
+
+namespace eac::scenario {
+
+namespace {
+
+/// Plain union-find over node ids (path halving, union by smaller root:
+/// the root is always the smallest member, which makes the final domain
+/// numbering independent of merge order).
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0u);
+  }
+
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (b < a) std::swap(a, b);
+    parent_[b] = a;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+Partition single_domain(std::size_t n, bool fell_back, std::string reason) {
+  Partition p;
+  p.domains = 1;
+  p.node_domain.assign(n, 0);
+  p.fell_back = fell_back;
+  p.reason = std::move(reason);
+  return p;
+}
+
+}  // namespace
+
+Partition partition_spec(const ScenarioSpec& spec, int want_domains) {
+  const std::size_t n = spec.node_count();
+  if (want_domains <= 1 || n == 0) {
+    return single_domain(n, false, {});
+  }
+  if (spec.policy == PolicyKind::kMbac) {
+    return single_domain(
+        n, true, "mbac estimators are consulted synchronously at admission");
+  }
+
+  UnionFind uf{n};
+  // Hard constraint: a flow class's whole lifecycle (probe session,
+  // verdict, data sink) lives where its endpoints live.
+  for (const FlowClass& f : spec.flows) uf.unite(f.src, f.dst);
+  // Nodes that neither terminate flows nor touch a link cannot be reached
+  // by the link-merge loop below; fold them into the first cluster so they
+  // never occupy a domain of their own.
+  {
+    std::vector<bool> touched(n, false);
+    for (const LinkSpec& l : spec.links) touched[l.from] = touched[l.to] = true;
+    for (const FlowClass& f : spec.flows) touched[f.src] = touched[f.dst] = true;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!touched[v]) uf.unite(0, v);
+    }
+  }
+
+  auto cluster_count = [&] {
+    std::size_t c = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (uf.find(v) == v) ++c;
+    }
+    return c;
+  };
+
+  // Merge down to the requested count across the *lowest*-latency
+  // inter-cluster links first, keeping the big delays on the cut; then
+  // keep merging while any crossing link sits below the lookahead floor.
+  // Ties break on spec order, so the result is a pure function of the
+  // spec. O(merges * links) — topologies are small relative to event
+  // counts, so clarity wins over a priority queue.
+  std::size_t clusters = cluster_count();
+  const auto want = static_cast<std::size_t>(want_domains);
+  for (;;) {
+    std::size_t best = spec.links.size();
+    sim::SimTime best_delay = sim::SimTime::max();
+    sim::SimTime min_cut = sim::SimTime::max();
+    for (std::size_t i = 0; i < spec.links.size(); ++i) {
+      const LinkSpec& l = spec.links[i];
+      if (uf.find(l.from) == uf.find(l.to)) continue;
+      min_cut = std::min(min_cut, l.delay);
+      if (l.delay < best_delay) {
+        best_delay = l.delay;
+        best = i;
+      }
+    }
+    const bool too_many = clusters > want;
+    const bool below_floor =
+        min_cut != sim::SimTime::max() && min_cut < kLookaheadFloor;
+    if (!too_many && !below_floor) break;
+    if (best == spec.links.size()) {
+      // No inter-cluster link left to merge across, yet still more
+      // clusters than requested: disconnected components simply become
+      // the domains.
+      break;
+    }
+    uf.unite(spec.links[best].from, spec.links[best].to);
+    --clusters;
+  }
+
+  if (clusters <= 1) {
+    return single_domain(
+        n, true,
+        "no cut with lookahead >= 1us separates the flow components");
+  }
+
+  // Dense domain ids ordered by smallest member node id (the union-find
+  // root), so numbering is deterministic and domain 0 contains node 0.
+  Partition p;
+  p.node_domain.assign(n, -1);
+  std::vector<std::size_t> roots;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (uf.find(v) == v) roots.push_back(v);
+  }
+  std::sort(roots.begin(), roots.end());
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::size_t r = uf.find(v);
+    const auto it = std::lower_bound(roots.begin(), roots.end(), r);
+    p.node_domain[v] = static_cast<int>(it - roots.begin());
+  }
+  p.domains = static_cast<int>(roots.size());
+  p.fell_back = p.domains < want_domains;
+  if (p.fell_back) {
+    p.reason = "topology supports only " + std::to_string(p.domains) +
+               " domain(s) at the lookahead floor";
+  }
+  for (const LinkSpec& l : spec.links) {
+    if (p.node_domain[l.from] != p.node_domain[l.to]) {
+      p.lookahead = std::min(p.lookahead, l.delay);
+    }
+  }
+  return p;
+}
+
+int resolve_domains(const ScenarioSpec& spec) {
+  if (spec.partitions > 0) return spec.partitions;
+  if (const char* env = std::getenv("EAC_DOMAINS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return std::min(v, 64);
+  }
+  return 1;
+}
+
+}  // namespace eac::scenario

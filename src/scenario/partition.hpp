@@ -1,0 +1,59 @@
+// Graph-cut partitioner: splits a ScenarioSpec's topology into event
+// domains for the conservative parallel engine (sim/domain.hpp).
+//
+// The cut quality is the *lookahead*: the smallest propagation delay of
+// any link crossing a domain boundary, which bounds how far domains can
+// run ahead of each other per synchronization round. The partitioner
+// therefore cuts along the highest-latency links (merging clusters across
+// the lowest-latency ones first) and refuses any cut whose lookahead
+// would fall below kLookaheadFloor — rounds shorter than a microsecond
+// synchronize more than they simulate, so such a spec falls back to one
+// domain rather than degrade.
+//
+// Constraints honoured:
+//  - Every flow class's endpoints land in the same domain: a flow's probe
+//    session, verdict callback and data sink form one object graph that
+//    must live on one thread. Intermediate routers are free to move.
+//  - MBAC runs stay serial (its per-link estimators are consulted
+//    synchronously at admission time from the caller's domain).
+//
+// Partitioning is a pure function of the spec and the requested count —
+// no RNG, no iteration-order dependence — so a fixed spec always yields
+// the identical assignment (tested in partition_test.cpp).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scenario/spec.hpp"
+#include "sim/time.hpp"
+
+namespace eac::scenario {
+
+/// Smallest acceptable lookahead for a multi-domain cut.
+inline constexpr sim::SimTime kLookaheadFloor = sim::SimTime::microseconds(1);
+
+/// Result of partitioning a spec.
+struct Partition {
+  int domains = 1;               ///< number of event domains (>= 1)
+  std::vector<int> node_domain;  ///< node id -> domain id, dense 0..P-1
+  /// Minimum propagation delay over the crossing links; the coordinator's
+  /// per-round lookahead. SimTime::max() when domains == 1 (no cut).
+  sim::SimTime lookahead = sim::SimTime::max();
+  bool fell_back = false;  ///< true when fewer domains than requested
+  std::string reason;      ///< why (empty unless fell_back)
+
+  int domain_of(net::NodeId n) const {
+    return node_domain[static_cast<std::size_t>(n)];
+  }
+};
+
+/// Partition `spec` into at most `want_domains` domains. `want_domains`
+/// <= 1 returns the trivial single-domain assignment (not a fallback).
+Partition partition_spec(const ScenarioSpec& spec, int want_domains);
+
+/// Resolve the requested domain count: spec.partitions when positive,
+/// otherwise the EAC_DOMAINS environment variable, otherwise 1.
+int resolve_domains(const ScenarioSpec& spec);
+
+}  // namespace eac::scenario

@@ -220,6 +220,7 @@ std::string to_json(const telemetry::Report& t) {
       case telemetry::SeriesKind::kGaugeLast: kind = "gauge"; break;
       case telemetry::SeriesKind::kGaugeMax: kind = "gauge_max"; break;
       case telemetry::SeriesKind::kMean: kind = "mean"; break;
+      case telemetry::SeriesKind::kGaugeSum: kind = "gauge_sum"; break;
     }
     w.object_begin()
         .field("name", s.name)

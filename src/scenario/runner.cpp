@@ -135,6 +135,81 @@ ScenarioSpec multi_link_spec(const RunConfig& cfg) {
   return spec;
 }
 
+ScenarioSpec multihop_pdes_spec(const RunConfig& cfg) {
+  ScenarioSpec spec = base_spec(cfg);
+  spec.name = "multihop-pdes";
+
+  // Cluster i owns nodes 5i..5i+4: source host, ingress router, egress
+  // router, local destination host, transit destination host. The transit
+  // host of cluster i hangs off the NEXT cluster's egress router, but its
+  // flows originate in cluster i, so the partitioner keeps it (and the
+  // whole flow object graph) in domain i; the 5 ms link feeding it is a
+  // boundary edge delivered cross-domain.
+  const auto node = [](int cluster, int role) {
+    return static_cast<net::NodeId>(5 * cluster + role);
+  };
+  const auto mk = [](net::NodeId from, net::NodeId to, double rate_bps,
+                     sim::SimTime delay, LinkQueueKind kind,
+                     std::size_t buffer) {
+    LinkSpec l;
+    l.from = from;
+    l.to = to;
+    l.rate_bps = rate_bps;
+    l.delay = delay;
+    l.buffer_packets = buffer;
+    l.queue = kind;
+    return l;
+  };
+  const sim::SimTime ms1 = sim::SimTime::milliseconds(1);
+  const sim::SimTime ms5 = sim::SimTime::milliseconds(5);
+  const sim::SimTime ms10 = sim::SimTime::milliseconds(10);
+  for (int i = 0; i < 4; ++i) {
+    spec.links.push_back(mk(node(i, 0), node(i, 1), 100e6, ms1,
+                            LinkQueueKind::kDropTail, 1000));
+    spec.links.push_back(mk(node(i, 1), node(i, 2), cfg.link_rate_bps, ms10,
+                            LinkQueueKind::kAdmission, cfg.buffer_packets));
+    spec.links.push_back(mk(node(i, 2), node(i, 3), 100e6, ms1,
+                            LinkQueueKind::kDropTail, 1000));
+  }
+  for (int i = 0; i < 4; ++i) {
+    const int j = (i + 1) % 4;
+    // Ring: cluster i's egress feeds cluster j's ingress (the cut edge the
+    // transit data path crosses), and cluster j's egress feeds cluster i's
+    // transit host (the cut edge it crosses back).
+    spec.links.push_back(mk(node(i, 2), node(j, 1), 100e6, ms5,
+                            LinkQueueKind::kDropTail, 1000));
+    spec.links.push_back(mk(node(j, 2), node(i, 4), 100e6, ms5,
+                            LinkQueueKind::kDropTail, 1000));
+  }
+
+  // Classes cluster by cluster (heavy local, then light transit crossing
+  // two admission bottlenecks), which is also domain order under the
+  // 4-way cut.
+  const FlowClass tmpl = cfg.classes.at(0);
+  for (int i = 0; i < 4; ++i) {
+    FlowClass local = tmpl;
+    local.src = node(i, 0);
+    local.dst = node(i, 3);
+    local.group = i;
+    spec.flows.push_back(local);
+    FlowClass transit = tmpl;
+    transit.src = node(i, 0);
+    transit.dst = node(i, 4);
+    transit.group = 4 + i;
+    transit.arrival_rate_per_s = tmpl.arrival_rate_per_s * 0.25;
+    spec.flows.push_back(transit);
+  }
+
+  // Four bottlenecks' worth of pre-warm, capped by the offered load.
+  if (cfg.prewarm_fraction > 0) {
+    const double offered = offered_bps(spec.flows, cfg.mean_lifetime_s);
+    const double want = 4.0 * cfg.prewarm_fraction * cfg.link_rate_bps;
+    const double cap = 0.9 * offered;
+    spec.prewarm_bps = want < cap ? want : cap;
+  }
+  return spec;
+}
+
 RunResult run_single_link(const RunConfig& cfg) {
   const ScenarioResult r = run_scenario(single_link_spec(cfg));
   RunResult res;

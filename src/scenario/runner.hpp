@@ -68,6 +68,17 @@ ScenarioSpec single_link_spec(const RunConfig& cfg);
 /// (groups 0..2). cfg.classes.at(0) is the per-path template class.
 ScenarioSpec multi_link_spec(const RunConfig& cfg);
 
+/// A 4-cluster ring built to exercise the domain-decomposed engine: each
+/// cluster is an access -> 10 ms admission bottleneck -> egress chain with
+/// heavy local traffic, clusters joined by 5 ms ring links carrying light
+/// transit flows whose probes cross two bottlenecks. The natural 4-way cut
+/// severs only the 5 ms links, so EAC_DOMAINS=4 runs with 5 ms of
+/// lookahead per synchronization round. cfg.classes.at(0) is the template
+/// class; groups 0-3 are the per-cluster local classes, 4-7 the transit
+/// classes. Flow classes are ordered cluster by cluster so a partitioned
+/// run's t = 0 pre-warm emissions merge in the serial order.
+ScenarioSpec multihop_pdes_spec(const RunConfig& cfg);
+
 /// The paper's dominant setup: many hosts sharing one congested link.
 /// Equivalent to run_scenario(single_link_spec(cfg)).
 RunResult run_single_link(const RunConfig& cfg);

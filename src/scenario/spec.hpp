@@ -91,6 +91,15 @@ struct ScenarioSpec {
   double warmup_s = 200;    ///< discarded prefix
   std::uint64_t seed = 1;
 
+  // --- parallel execution ---
+  /// Number of event domains (worker threads) to split the topology
+  /// across. 0 = resolve from the EAC_DOMAINS environment variable,
+  /// defaulting to 1 (serial). The partitioner (partition.hpp) may
+  /// fall back to fewer domains — including 1 — when the topology has
+  /// no cut with enough lookahead; results are byte-identical at any
+  /// domain count, so this knob only ever changes speed.
+  int partitions = 0;
+
   // --- engine selection ---
   /// Which flow-population driver runs the scenario. Both produce
   /// bit-identical results (see flow_manager.hpp); kReference exists for

@@ -1,0 +1,104 @@
+#include "sim/domain.hpp"
+
+#include <algorithm>
+#include <barrier>
+#include <cstddef>
+#include <thread>
+
+namespace eac::sim {
+
+std::uint64_t DomainCoordinator::run(const std::vector<SimDomain*>& domains,
+                                     const Config& cfg) {
+  const std::size_t n = domains.size();
+  if (n == 0) return 0;
+  if (n == 1) {
+    // The serial special case of the same protocol: one domain, no
+    // barriers, a single run to the horizon — byte-identical to the
+    // pre-domain engine (the drain hook is absent because nothing can
+    // cross a boundary that does not exist).
+    SimDomain& dom = *domains[0];
+    if (dom.drain) dom.drain(SimTime::zero());
+    dom.events += dom.sim.run(cfg.horizon);
+    return dom.events;
+  }
+
+  const SimTime kTick = SimTime::nanoseconds(1);
+
+  // Shared round state, written only inside the barrier completion step
+  // (all threads blocked, so plain fields suffice; the barrier's own
+  // synchronization publishes them).
+  struct Round {
+    SimTime window_end;  ///< events strictly below this bound may run
+    bool done = false;
+  };
+  std::vector<SimTime> next(n, SimTime::max());
+  Round round;
+  bool flipped = cfg.warmup == SimTime::max();
+
+  auto compute_round = [&]() noexcept {
+    SimTime t = SimTime::max();
+    for (const SimTime v : next) t = std::min(t, v);
+    if (!flipped && t >= cfg.warmup) {
+      // The global lower bound reached the warmup instant: no event
+      // before it remains anywhere, none at or after it has run outside
+      // domain 0. Flip the waiting domains while every thread is parked.
+      for (std::size_t d = 1; d < n; ++d) {
+        if (domains[d]->begin_measurement) domains[d]->begin_measurement();
+      }
+      flipped = true;
+    }
+    if (t == SimTime::max() || t > cfg.horizon) {
+      round.done = true;
+      return;
+    }
+    SimTime w = t + cfg.lookahead;
+    // Simulator::run(h) is horizon-inclusive, so the final window must
+    // reach past the horizon by one tick for events at the horizon to run.
+    if (w > cfg.horizon) w = cfg.horizon + kTick;
+    // Windows never straddle the warmup instant: events before it must
+    // all execute un-measured before the flip above can happen.
+    if (!flipped && w > cfg.warmup) w = cfg.warmup;
+    round.window_end = w;
+  };
+
+  std::barrier round_barrier{static_cast<std::ptrdiff_t>(n), compute_round};
+  // The second barrier keeps a fast domain from draining inboxes while a
+  // slow one is still executing its window (and pushing into them): drain
+  // and push phases of neighbouring rounds never overlap.
+  std::barrier<> window_barrier{static_cast<std::ptrdiff_t>(n)};
+
+  auto worker = [&](std::size_t d) {
+    SimDomain& dom = *domains[d];
+    if (dom.install_scopes) dom.install_scopes();
+    SimTime window_start = SimTime::zero();
+    for (;;) {
+      if (dom.drain) dom.drain(window_start);
+      next[d] = dom.sim.next_event_time();
+      round_barrier.arrive_and_wait();
+      if (round.done) break;
+      const SimTime window_end = round.window_end;
+      dom.events += dom.sim.run(window_end - kTick);
+      window_start = window_end;
+      window_barrier.arrive_and_wait();
+    }
+    // Settle the clock exactly like the serial run: executes nothing (the
+    // lower bound is past the horizon), advances now() to the horizon only
+    // when the domain is idle.
+    dom.events += dom.sim.run(cfg.horizon);
+    if (dom.remove_scopes) dom.remove_scopes();
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(n - 1);
+  for (std::size_t d = 1; d < n; ++d) {
+    threads.emplace_back(worker, d);
+  }
+  worker(0);
+  for (std::thread& t : threads) t.join();
+
+  std::uint64_t total = 0;
+  for (const SimDomain* dom : domains) total += dom->events;
+  return total;
+}
+
+}  // namespace eac::sim

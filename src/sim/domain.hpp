@@ -1,0 +1,88 @@
+// Domain-decomposed conservative parallel simulation.
+//
+// A scenario is split into SimDomains — each with its own clock, event
+// queue and callback arena (a whole Simulator) — advanced together by the
+// DomainCoordinator in lower-bound-timestamp rounds (the classic YAWNS
+// scheme): every round computes T = min over domains of the next event
+// time, then lets each domain execute events in [T, T + L) concurrently,
+// where the lookahead L is the smallest propagation delay of any link that
+// crosses a domain boundary. Cross-domain packets travel as timestamped
+// inbox messages (see net::CrossInbox) drained between rounds, and the
+// drain proof obligation — every message's delivery time lies at or after
+// the upcoming window — follows from the lookahead bound, so no domain
+// ever schedules into its past and results are byte-identical to the
+// serial run.
+//
+// The serial case is not a separate code path: one domain and the
+// coordinator degenerates to a single Simulator::run() call.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace eac::sim {
+
+/// One shard of a partitioned scenario: a Simulator plus the hooks the
+/// owning layer (scenario builder) installs around it. The coordinator
+/// never touches packets or scopes itself — domains stay a pure sim-layer
+/// concept and the net/scenario layers supply the callbacks.
+struct SimDomain {
+  explicit SimDomain(EventQueueKind queue_kind = EventQueueKind::kFourAryHeap)
+      : sim{queue_kind} {}
+
+  Simulator sim;
+  int index = 0;
+
+  /// Schedule every cross-domain message received since the last round.
+  /// Runs on the domain's own thread with its scopes installed; called at
+  /// the top of every round with the start of the upcoming window — every
+  /// drained message must be at or after it (the lookahead guarantee; the
+  /// net-layer drain checks it in audit builds).
+  std::function<void(SimTime window_start)> drain;
+
+  /// Flip the domain's measurement state at the warmup instant. Domains
+  /// other than 0 have no warmup event of their own (the scenario's single
+  /// warmup event lives in domain 0, exactly as in the serial run); the
+  /// coordinator invokes this hook inside a barrier — all threads blocked —
+  /// in the first round whose lower bound reaches the warmup time.
+  std::function<void()> begin_measurement;
+
+  /// Install / remove thread-local telemetry, trace and audit contexts on
+  /// the worker thread. Domain 0 runs on the caller's thread and keeps the
+  /// caller's contexts; both hooks are optional.
+  std::function<void()> install_scopes;
+  std::function<void()> remove_scopes;
+
+  /// Events executed by this domain (filled in by the coordinator).
+  std::uint64_t events = 0;
+};
+
+/// Advances a set of SimDomains to a common horizon in conservative
+/// synchronization rounds. Stateless: one call runs one scenario.
+class DomainCoordinator {
+ public:
+  struct Config {
+    /// Minimum propagation delay across any inter-domain link. Must be
+    /// positive when more than one domain is present (the partitioner
+    /// refuses cuts below its lookahead floor).
+    SimTime lookahead = SimTime::zero();
+    /// Run events with time <= horizon, exactly like Simulator::run().
+    SimTime horizon = SimTime::max();
+    /// Warmup instant for the begin_measurement hooks; SimTime::max()
+    /// when no measurement flip is needed.
+    SimTime warmup = SimTime::max();
+  };
+
+  /// Run every domain to the horizon. Domain 0 executes on the calling
+  /// thread; the rest get one worker thread each. Returns the total number
+  /// of events executed across all domains (the per-domain split stays in
+  /// SimDomain::events).
+  static std::uint64_t run(const std::vector<SimDomain*>& domains,
+                           const Config& cfg);
+};
+
+}  // namespace eac::sim

@@ -85,6 +85,19 @@ class Simulator {
   /// Number of live (schedulable, not cancelled) pending events.
   std::size_t pending() const { return live_; }
 
+  /// Time of the earliest live pending event, or SimTime::max() when idle.
+  /// Discards any cancelled entries that have surfaced at the top, so the
+  /// answer is exact — the coordinator uses it to compute the lower-bound
+  /// timestamp of each synchronization round.
+  SimTime next_event_time() {
+    while (!queue_.empty()) {
+      const EventEntry top = queue_.front();
+      if (slot(top.slot).gen == top.gen) return top.time;
+      queue_.pop_front();
+    }
+    return SimTime::max();
+  }
+
   /// Which pending-event container this instance runs on.
   EventQueueKind queue_kind() const { return queue_.kind(); }
 

@@ -83,6 +83,20 @@ class FlowStats {
 
   const std::map<int, GroupCounters>& groups() const { return groups_; }
 
+  /// Fold another domain's counters and delay samples into this one
+  /// (order-insensitive: everything here is sums of counts).
+  void merge(const FlowStats& other) {
+    for (const auto& [id, g] : other.groups_) {
+      auto& t = groups_[id];
+      t.attempts += g.attempts;
+      t.accepts += g.accepts;
+      t.data_sent += g.data_sent;
+      t.data_received += g.data_received;
+      t.data_marked += g.data_marked;
+    }
+    delay_.merge(other.delay_);
+  }
+
  private:
   std::map<int, GroupCounters> groups_;
   Histogram delay_{1e-6, 10.0};

@@ -22,6 +22,15 @@ class Histogram {
     counts_[index(value)] += 1;
   }
 
+  /// Fold another histogram's counts into this one (domain-decomposed
+  /// runs merge per-domain delay histograms). Bucket layouts must match.
+  void merge(const Histogram& other) {
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      counts_[i] += other.counts_[i];
+    }
+    total_ += other.total_;
+  }
+
   std::uint64_t count() const { return total_; }
 
   /// Value at quantile q in [0, 1]; returns the upper edge of the bucket

@@ -67,6 +67,7 @@ Recorder::Recorder(Config cfg) : cfg_{cfg} {
 void Recorder::begin_run() {
   series_.clear();
   histograms_.clear();
+  log_.clear();
   events_ = 0;
   max_pending_ = 0;
   max_heap_ = 0;
@@ -78,6 +79,14 @@ void Recorder::begin_run() {
   pending_series_ = series("engine.pending_events", SeriesKind::kGaugeMax);
 }
 
+namespace {
+/// Key base for series registered without a shared counter (serial runs,
+/// or stray registrations after the builder detached the counter): large
+/// enough to sort behind every counter-assigned key, ordered by local
+/// registration index so the serial export order is untouched.
+constexpr std::uint64_t kLocalKeyBase = 1ull << 62;
+}  // namespace
+
 SeriesId Recorder::series(std::string_view name, SeriesKind kind) {
   for (std::size_t i = 0; i < series_.size(); ++i) {
     if (series_[i].name == name) return static_cast<SeriesId>(i);
@@ -85,6 +94,8 @@ SeriesId Recorder::series(std::string_view name, SeriesKind kind) {
   Series s;
   s.name = std::string{name};
   s.kind = kind;
+  s.key = key_counter_ != nullptr ? (*key_counter_)++
+                                  : kLocalKeyBase + series_.size();
   series_.push_back(std::move(s));
   return static_cast<SeriesId>(series_.size() - 1);
 }
@@ -98,6 +109,8 @@ HistogramId Recorder::histogram(std::string_view name, double lo, double hi,
   h.name = std::string{name};
   h.lo = lo;
   h.hi = hi > lo ? hi : lo + 1;
+  h.key = key_counter_ != nullptr ? (*key_counter_)++
+                                  : kLocalKeyBase + histograms_.size();
   h.buckets.assign(buckets > 0 ? buckets : 1, 0);
   histograms_.push_back(std::move(h));
   return static_cast<HistogramId>(histograms_.size() - 1);
@@ -130,6 +143,7 @@ void Recorder::set(SeriesId id, double value, sim::SimTime t) {
   switch (s.kind) {
     case SeriesKind::kCounter:  // set() on a counter: treat as kGaugeLast
     case SeriesKind::kGaugeLast:
+    case SeriesKind::kGaugeSum:
       *slot = value;
       break;
     case SeriesKind::kGaugeMax:
@@ -139,12 +153,18 @@ void Recorder::set(SeriesId id, double value, sim::SimTime t) {
       const std::size_t bin = static_cast<std::size_t>(slot - s.bins.data());
       *slot = std::isnan(*slot) ? value : *slot + value;
       ++s.counts[bin];
+      if (log_observations_) {
+        log_.push_back(LogEntry{t.ns(), value, id, false});
+      }
       break;
     }
   }
 }
 
-void Recorder::observe(HistogramId id, double value) {
+void Recorder::observe(HistogramId id, double value, sim::SimTime t) {
+  if (log_observations_) {
+    log_.push_back(LogEntry{t.ns(), value, id, true});
+  }
   Histogram& h = histograms_[id];
   ++h.total;
   h.sum += value;
@@ -196,7 +216,10 @@ void Recorder::export_into(Report& out, sim::SimTime end) const {
     // Counters and gauges carry their last value across untouched bins
     // (state persists between observations); mean series leave idle
     // points as NaN (there was nothing to average).
-    double carry = s.kind == SeriesKind::kCounter ? 0 : kUnset;
+    double carry = s.kind == SeriesKind::kCounter ||
+                           s.kind == SeriesKind::kGaugeSum
+                       ? 0
+                       : kUnset;
     for (std::size_t p = 0; p < npoints; ++p) {
       const std::size_t lo = p * merge;
       const std::size_t hi = std::min(lo + merge, nbins);
@@ -209,6 +232,7 @@ void Recorder::export_into(Report& out, sim::SimTime end) const {
         switch (s.kind) {
           case SeriesKind::kCounter:
           case SeriesKind::kGaugeLast:
+          case SeriesKind::kGaugeSum:
             point = v;
             break;
           case SeriesKind::kGaugeMax:
@@ -283,6 +307,192 @@ void Recorder::export_into(Report& out, sim::SimTime end) const {
     c.wall_ms = static_cast<double>(cat_wall_ns_[i]) / 1e6;
     out.profile.categories.push_back(std::move(c));
   }
+}
+
+void Recorder::merge_runs(Recorder& target,
+                          const std::vector<const Recorder*>& others) {
+  // All recorders of the run in domain order; target is domain 0.
+  std::vector<const Recorder*> all;
+  all.reserve(others.size() + 1);
+  all.push_back(&target);
+  for (const Recorder* r : others) all.push_back(r);
+
+  // Canonical tables: unique names keyed by their smallest global
+  // registration key (see set_key_counter), ordered (key, name). With the
+  // shared counter installed for the whole construction phase this
+  // reproduces the serial run's registration order exactly.
+  auto canon_order = [](const auto& a, const auto& b) {
+    return a.key != b.key ? a.key < b.key : a.name < b.name;
+  };
+
+  std::vector<Series> merged_series;
+  for (const Recorder* r : all) {
+    for (const Series& s : r->series_) {
+      auto it = std::find_if(
+          merged_series.begin(), merged_series.end(),
+          [&](const Series& m) { return m.name == s.name; });
+      if (it == merged_series.end()) {
+        Series m;
+        m.name = s.name;
+        m.kind = s.kind;
+        m.key = s.key;
+        merged_series.push_back(std::move(m));
+      } else if (s.key < it->key) {
+        it->key = s.key;
+      }
+    }
+  }
+  std::sort(merged_series.begin(), merged_series.end(), canon_order);
+
+  std::vector<Histogram> merged_hists;
+  for (const Recorder* r : all) {
+    for (const Histogram& h : r->histograms_) {
+      auto it = std::find_if(
+          merged_hists.begin(), merged_hists.end(),
+          [&](const Histogram& m) { return m.name == h.name; });
+      if (it == merged_hists.end()) {
+        Histogram m;
+        m.name = h.name;
+        m.lo = h.lo;
+        m.hi = h.hi;
+        m.key = h.key;
+        m.buckets.assign(h.buckets.size(), 0);
+        merged_hists.push_back(std::move(m));
+      } else if (h.key < it->key) {
+        it->key = h.key;
+      }
+    }
+  }
+  std::sort(merged_hists.begin(), merged_hists.end(), canon_order);
+
+  // Per-recorder local id -> canonical index maps (replay remapping).
+  auto canon_series_index = [&](std::string_view name) {
+    for (std::size_t i = 0; i < merged_series.size(); ++i) {
+      if (merged_series[i].name == name) return i;
+    }
+    return merged_series.size();
+  };
+  auto canon_hist_index = [&](std::string_view name) {
+    for (std::size_t i = 0; i < merged_hists.size(); ++i) {
+      if (merged_hists[i].name == name) return i;
+    }
+    return merged_hists.size();
+  };
+
+  // Fold every non-mean series with the carry-sum rule: output bin b is
+  // set iff any domain touched b, and holds the sum over domains of each
+  // domain's value as of the end of bin b (its last touched bin <= b; 0
+  // before its first). For counters and delta gauges the per-domain
+  // running sums add to exactly the serial run's running total; a
+  // single-writer gauge (queue occupancy — one queue lives in one domain)
+  // reduces to a verbatim copy of the owner's bins.
+  for (Series& m : merged_series) {
+    if (m.kind == SeriesKind::kMean) continue;  // rebuilt by replay below
+    std::vector<const Series*> srcs;
+    for (const Recorder* r : all) {
+      const Series* found = nullptr;
+      for (const Series& s : r->series_) {
+        if (s.name == m.name) {
+          found = &s;
+          break;
+        }
+      }
+      srcs.push_back(found);
+    }
+    std::size_t nbins = 0;
+    for (const Series* s : srcs) {
+      if (s != nullptr) nbins = std::max(nbins, s->bins.size());
+    }
+    m.bins.assign(nbins, kUnset);
+    std::vector<double> carry(srcs.size(), 0);
+    for (std::size_t b = 0; b < nbins; ++b) {
+      bool touched = false;
+      double sum = 0;
+      for (std::size_t d = 0; d < srcs.size(); ++d) {
+        const Series* s = srcs[d];
+        if (s != nullptr && b < s->bins.size() && !std::isnan(s->bins[b])) {
+          carry[d] = s->bins[b];
+          touched = true;
+        }
+        sum += carry[d];
+      }
+      if (touched) m.bins[b] = sum;
+    }
+    m.cum = 0;
+    for (const Series* s : srcs) {
+      if (s != nullptr) m.cum += s->cum;
+    }
+  }
+
+  // Replay the observation logs — kMean sets and histogram observes — in
+  // global (time, domain, record order) order, reproducing the serial
+  // run's fold. Each domain's log is already time-ordered (events execute
+  // in time order), so a k-way stable merge suffices.
+  std::vector<std::vector<std::size_t>> series_map(all.size());
+  std::vector<std::vector<std::size_t>> hist_map(all.size());
+  for (std::size_t d = 0; d < all.size(); ++d) {
+    for (const Series& s : all[d]->series_) {
+      series_map[d].push_back(canon_series_index(s.name));
+    }
+    for (const Histogram& h : all[d]->histograms_) {
+      hist_map[d].push_back(canon_hist_index(h.name));
+    }
+  }
+  std::vector<std::size_t> cursor(all.size(), 0);
+  const double period = target.cfg_.sample_period_s;
+  auto bin_of_ns = [period](std::int64_t t_ns) {
+    const double s = static_cast<double>(t_ns) * 1e-9;
+    return s <= 0 ? std::size_t{0} : static_cast<std::size_t>(s / period);
+  };
+  for (;;) {
+    std::size_t pick = all.size();
+    std::int64_t best_t = 0;
+    for (std::size_t d = 0; d < all.size(); ++d) {
+      if (cursor[d] >= all[d]->log_.size()) continue;
+      const std::int64_t t = all[d]->log_[cursor[d]].t_ns;
+      if (pick == all.size() || t < best_t) {
+        pick = d;
+        best_t = t;
+      }
+    }
+    if (pick == all.size()) break;
+    const LogEntry& e = all[pick]->log_[cursor[pick]++];
+    if (e.is_histogram) {
+      Histogram& h = merged_hists[hist_map[pick][e.id]];
+      ++h.total;
+      h.sum += e.value;
+      const double pos = (e.value - h.lo) / (h.hi - h.lo) *
+                         static_cast<double>(h.buckets.size());
+      std::size_t idx = pos <= 0 ? 0 : static_cast<std::size_t>(pos);
+      if (idx >= h.buckets.size()) idx = h.buckets.size() - 1;
+      ++h.buckets[idx];
+    } else {
+      Series& s = merged_series[series_map[pick][e.id]];
+      const std::size_t bin = bin_of_ns(e.t_ns);
+      if (bin >= s.bins.size()) {
+        s.bins.resize(bin + 1, kUnset);
+        s.counts.resize(bin + 1, 0);
+      }
+      s.bins[bin] = std::isnan(s.bins[bin]) ? e.value : s.bins[bin] + e.value;
+      ++s.counts[bin];
+    }
+  }
+
+  // Engine profile: totals sum, high-water marks max.
+  for (const Recorder* r : others) {
+    target.events_ += r->events_;
+    target.max_pending_ = std::max(target.max_pending_, r->max_pending_);
+    target.max_heap_ = std::max(target.max_heap_, r->max_heap_);
+    for (std::size_t i = 0; i < kCategoryCount; ++i) {
+      target.cat_events_[i] += r->cat_events_[i];
+      target.cat_wall_ns_[i] += r->cat_wall_ns_[i];
+    }
+  }
+
+  target.series_ = std::move(merged_series);
+  target.histograms_ = std::move(merged_hists);
+  target.log_.clear();
+  target.log_observations_ = false;
 }
 
 #endif  // EAC_TELEMETRY_ENABLED

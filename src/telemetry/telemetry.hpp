@@ -51,6 +51,12 @@ enum class SeriesKind : std::uint8_t {
   kGaugeLast, ///< bin holds the last observed value
   kGaugeMax,  ///< bin holds the largest observed value (e.g. occupancy)
   kMean,      ///< bin holds the mean of the bin's observations
+  /// A gauge recorded through add() deltas (+1 on admit, -1 on departure)
+  /// rather than set(): the bin holds the running sum at bin end, exported
+  /// with gauge summaries. Deltas make the series mergeable across event
+  /// domains — per-domain running sums add up to exactly the value the
+  /// serial run records, which a set() gauge cannot guarantee.
+  kGaugeSum,
 };
 
 /// Event-engine profiler buckets. Handlers tag the executing event with
@@ -187,7 +193,30 @@ class Recorder {
   // --- observation ---
   void add(SeriesId id, double delta, sim::SimTime t);   ///< kCounter
   void set(SeriesId id, double value, sim::SimTime t);   ///< gauges / kMean
-  void observe(HistogramId id, double value);
+  void observe(HistogramId id, double value, sim::SimTime t);
+
+  // --- domain decomposition support (scenario/builder.cpp) ---
+  /// Share a registration counter across the per-domain recorders of one
+  /// run: every first-seen name takes the counter's next value as its
+  /// global key, and the post-run merge orders the combined series by
+  /// (key, name) — reproducing the serial run's registration order, since
+  /// per-domain construction happens in the same global sequence. The
+  /// builder installs the counter for the construction phase only and
+  /// clears it (nullptr) before events run, so the merge never depends on
+  /// cross-thread counter updates; a series registered after that falls
+  /// back to a large local-order key and sorts behind the rest.
+  void set_key_counter(std::uint64_t* counter) { key_counter_ = counter; }
+  /// Record a replay log of kMean set()s and histogram observe()s. Mean
+  /// bins and histogram sums cannot be merged from folded state; with the
+  /// log, the merge replays all domains' observations in global
+  /// (time, domain, order) order instead. Off by default (serial runs
+  /// keep zero bookkeeping).
+  void set_observation_log(bool enabled) { log_observations_ = enabled; }
+  /// Merge the per-domain recorders of one run into `target` (domain 0).
+  /// Afterwards target's export_into produces byte-identical output to
+  /// the serial run's (see DESIGN.md §11 for the exactness argument).
+  static void merge_runs(Recorder& target,
+                         const std::vector<const Recorder*>& others);
 
   // --- event-engine hooks (Simulator::run) ---
   void event_begin();
@@ -205,6 +234,7 @@ class Recorder {
   struct Series {
     std::string name;
     SeriesKind kind;
+    std::uint64_t key = 0;  ///< global registration key (see set_key_counter)
     double cum = 0;  ///< counters: running total
     std::vector<double> bins;          ///< NaN = untouched
     std::vector<std::uint32_t> counts; ///< kMean only
@@ -212,9 +242,17 @@ class Recorder {
   struct Histogram {
     std::string name;
     double lo, hi;
+    std::uint64_t key = 0;
     std::uint64_t total = 0;
     double sum = 0;
     std::vector<std::uint64_t> buckets;
+  };
+  /// One replayable observation (set_observation_log).
+  struct LogEntry {
+    std::int64_t t_ns;
+    double value;
+    std::uint32_t id;  ///< local series/histogram index at record time
+    bool is_histogram;
   };
 
   std::size_t bin_of(sim::SimTime t) const;
@@ -223,6 +261,9 @@ class Recorder {
   Config cfg_;
   std::vector<Series> series_;
   std::vector<Histogram> histograms_;
+  std::uint64_t* key_counter_ = nullptr;
+  bool log_observations_ = false;
+  std::vector<LogEntry> log_;
 
   // Engine profile.
   std::uint64_t events_ = 0;
@@ -271,9 +312,9 @@ inline void set(SeriesId id, double value, sim::SimTime t) {
   if (id == kNoSeries) return;
   if (Recorder* r = current()) r->set(id, value, t);
 }
-inline void observe(HistogramId id, double value) {
+inline void observe(HistogramId id, double value, sim::SimTime t) {
   if (id == kNoSeries) return;
-  if (Recorder* r = current()) r->observe(id, value);
+  if (Recorder* r = current()) r->observe(id, value, t);
 }
 
 #endif  // EAC_TELEMETRY_ENABLED

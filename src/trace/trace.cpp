@@ -106,12 +106,23 @@ void Sink::begin_run() {
   engine_events_ = 0;
   std::fill(std::begin(by_category_), std::end(by_category_), 0);
   tracks_.clear();
+  track_keys_.clear();
 }
+
+namespace {
+// Key space for tracks registered without a shared counter: high enough
+// that counter-issued keys (dense from 0) always sort first. Mirrors the
+// telemetry recorder's local-key fallback.
+constexpr std::uint64_t kLocalTrackKeyBase = 1ull << 62;
+}  // namespace
 
 std::uint16_t Sink::track(std::string_view name) {
   for (std::size_t i = 0; i < tracks_.size(); ++i) {
     if (tracks_[i] == name) return static_cast<std::uint16_t>(i + 1);
   }
+  track_keys_.push_back(key_counter_ != nullptr
+                            ? (*key_counter_)++
+                            : kLocalTrackKeyBase + tracks_.size());
   tracks_.emplace_back(name);
   return static_cast<std::uint16_t>(tracks_.size());
 }
@@ -135,6 +146,119 @@ void Sink::export_summary(Summary& out) const {
   out.engine_events = engine_events_;
   std::copy(std::begin(by_category_), std::end(by_category_),
             std::begin(out.by_category));
+}
+
+void Sink::merge_runs(Sink& target, const std::vector<const Sink*>& others) {
+  if (others.empty()) return;
+  std::vector<const Sink*> all;
+  all.reserve(others.size() + 1);
+  all.push_back(&target);
+  all.insert(all.end(), others.begin(), others.end());
+
+  // Canonical track table: dedupe by name, keep the smallest key (a
+  // cross-domain link registers on both sides; the owner's registration —
+  // the one matching serial order — came first off the shared counter).
+  std::vector<std::string> names;
+  std::vector<std::uint64_t> keys;
+  for (const Sink* s : all) {
+    for (std::size_t i = 0; i < s->tracks_.size(); ++i) {
+      std::size_t j = 0;
+      for (; j < names.size(); ++j) {
+        if (names[j] == s->tracks_[i]) break;
+      }
+      if (j == names.size()) {
+        names.push_back(s->tracks_[i]);
+        keys.push_back(s->track_keys_[i]);
+      } else {
+        keys[j] = std::min(keys[j], s->track_keys_[i]);
+      }
+    }
+  }
+  std::vector<std::size_t> order(names.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (keys[a] != keys[b]) return keys[a] < keys[b];
+    return names[a] < names[b];
+  });
+  std::vector<std::string> merged_tracks;
+  std::vector<std::uint64_t> merged_keys;
+  merged_tracks.reserve(order.size());
+  merged_keys.reserve(order.size());
+  for (std::size_t idx : order) {
+    merged_tracks.push_back(names[idx]);
+    merged_keys.push_back(keys[idx]);
+  }
+  const auto merged_id = [&](const std::string& name) {
+    for (std::size_t i = 0; i < merged_tracks.size(); ++i) {
+      if (merged_tracks[i] == name) return static_cast<std::uint16_t>(i + 1);
+    }
+    return static_cast<std::uint16_t>(0);  // unreachable
+  };
+  // Per-sink remap: local track id -> merged track id.
+  std::vector<std::vector<std::uint16_t>> remap(all.size());
+  for (std::size_t d = 0; d < all.size(); ++d) {
+    remap[d].resize(all[d]->tracks_.size());
+    for (std::size_t i = 0; i < all[d]->tracks_.size(); ++i) {
+      remap[d][i] = merged_id(all[d]->tracks_[i]);
+    }
+  }
+
+  // K-way merge of the per-domain rings by (t_ns, domain index); each
+  // ring is already in emission order, which is time order within its
+  // domain, so the result is the global interleaving a serial run records.
+  std::vector<std::vector<Event>> snaps(all.size());
+  std::size_t total = 0;
+  for (std::size_t d = 0; d < all.size(); ++d) {
+    snaps[d] = all[d]->snapshot();
+    total += snaps[d].size();
+  }
+  std::vector<Event> merged;
+  merged.reserve(total);
+  std::vector<std::size_t> cur(all.size(), 0);
+  for (;;) {
+    std::size_t pick = all.size();
+    for (std::size_t d = 0; d < all.size(); ++d) {
+      if (cur[d] >= snaps[d].size()) continue;
+      if (pick == all.size() ||
+          snaps[d][cur[d]].t_ns < snaps[pick][cur[pick]].t_ns) {
+        pick = d;
+      }
+    }
+    if (pick == all.size()) break;
+    Event e = snaps[pick][cur[pick]++];
+    if (e.track != 0) e.track = remap[pick][e.track - 1];
+    merged.push_back(e);
+  }
+
+  // Sum the counters, then overwrite target's state. If the merge
+  // overflows target's ring, the oldest events fall off — the same policy
+  // the live ring applies.
+  std::uint64_t dropped = 0;
+  std::uint64_t engine_events = 0;
+  std::uint64_t by_category[kCategoryCount] = {};
+  for (const Sink* s : all) {
+    dropped += s->dropped_;
+    engine_events += s->engine_events_;
+    for (std::size_t i = 0; i < kCategoryCount; ++i) {
+      by_category[i] += s->by_category_[i];
+    }
+  }
+  const std::size_t cap = target.ring_.size();
+  std::size_t start = 0;
+  if (merged.size() > cap) {
+    start = merged.size() - cap;
+    dropped += start;
+  }
+  std::copy(merged.begin() + static_cast<std::ptrdiff_t>(start), merged.end(),
+            target.ring_.begin());
+  target.head_ = (merged.size() - start) % cap;
+  target.full_ = merged.size() - start == cap;
+  target.dropped_ = dropped;
+  target.engine_events_ = engine_events;
+  std::copy(std::begin(by_category), std::end(by_category),
+            std::begin(target.by_category_));
+  target.tracks_ = std::move(merged_tracks);
+  target.track_keys_ = std::move(merged_keys);
 }
 
 namespace {

@@ -172,6 +172,25 @@ class Sink {
   /// record path. Ids start at 1; 0 means "the event's flow track".
   std::uint16_t track(std::string_view name);
 
+  /// Install a shared registration counter (domain-decomposed runs). New
+  /// tracks take a globally-unique key from `*counter`; merge_runs orders
+  /// the merged track table by those keys, which reproduces the serial
+  /// registration order because builders register components in the same
+  /// global order regardless of the partition. Not thread-safe: only set
+  /// while all registration happens on one thread (scenario construction).
+  void set_key_counter(std::uint64_t* counter) { key_counter_ = counter; }
+
+  /// Fold the per-domain sinks of a partitioned run into `target` (domain
+  /// 0's sink) so the export is indistinguishable from a serial run:
+  ///   * tracks dedupe by name, ordered by smallest registration key —
+  ///     with a shared key counter that is exactly serial track order;
+  ///   * events k-way merge by (t_ns, domain index), each sink's own
+  ///     order preserved, track ids remapped to the merged table;
+  ///   * if the merge overflows target's ring, the oldest events drop —
+  ///     same policy the live ring applies — and count as dropped;
+  ///   * dropped / engine_events / per-category counts sum.
+  static void merge_runs(Sink& target, const std::vector<const Sink*>& others);
+
   /// Record one event (hot path: two branches and a ring store).
   void emit(EventKind kind, char phase, sim::SimTime t, std::uint32_t flow,
             std::uint64_t a = 0, std::uint64_t b = 0,
@@ -222,6 +241,8 @@ class Sink {
   Config cfg_;
   std::vector<Event> ring_;
   std::vector<std::string> tracks_;  ///< index = track id - 1
+  std::vector<std::uint64_t> track_keys_;  ///< parallel to tracks_
+  std::uint64_t* key_counter_ = nullptr;
   std::size_t head_ = 0;
   bool full_ = false;
   std::uint64_t dropped_ = 0;

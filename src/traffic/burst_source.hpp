@@ -34,6 +34,14 @@ class BurstSource : public AdjustableSource {
   void set_rate(double rate_bps) override { rate_bps_ = rate_bps; }
   double rate_bps() const { return rate_bps_; }
 
+  /// Re-arm a pooled source (probe-session pooling); no per-flow RNG.
+  void reuse(const SourceIdentity& id, net::PacketHandler& out,
+             double rate_bps, double bucket_bytes) {
+    reset_identity(id, out);
+    rate_bps_ = rate_bps;
+    bucket_bytes_ = bucket_bytes;
+  }
+
  private:
   void burst() {
     if (!running_) return;

@@ -36,6 +36,15 @@ class CbrSource : public AdjustableSource {
   void set_rate(double rate_bps) override { rate_bps_ = rate_bps; }
   double rate_bps() const { return rate_bps_; }
 
+  /// Re-arm a pooled source (probe-session pooling): identical to fresh
+  /// construction, including the RNG reseed from the new flow id.
+  void reuse(const SourceIdentity& id, net::PacketHandler& out,
+             double rate_bps) {
+    reset_identity(id, out);
+    rate_bps_ = rate_bps;
+    rng_ = sim::RandomStream{0xCB12, id.flow};
+  }
+
  private:
   void tick() {
     if (!running_) return;

@@ -44,6 +44,18 @@ class TrafficSource {
   }
 
  protected:
+  /// Re-arm a pooled source for a new flow: fresh identity and output,
+  /// counters back to zero, send hook cleared. Only valid while stopped;
+  /// subclasses expose it via their own reuse() alongside re-seeding any
+  /// per-flow randomness.
+  void reset_identity(const SourceIdentity& id, net::PacketHandler& out) {
+    id_ = id;
+    out_ = &out;
+    sent_ = 0;
+    bytes_ = 0;
+    on_send_ = nullptr;
+  }
+
   /// Build and emit one packet of `size` bytes.
   void emit(std::uint32_t size) {
     // All source tick events funnel through here, so one tag covers every

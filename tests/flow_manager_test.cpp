@@ -149,7 +149,23 @@ TEST(FlowManager, FlowIdsAreUnique) {
   FlowManager fm{rig.sim, rig.topo, policy, rig.stats, one_class(5.0, 5)};
   fm.start();
   rig.sim.run(sim::SimTime::seconds(50));
-  EXPECT_EQ(fm.flows_created(), static_cast<net::FlowId>(policy.requests + 1));
+  // One id per admission attempt (no retries configured), counted exactly.
+  EXPECT_EQ(fm.flows_created(), static_cast<std::uint64_t>(policy.requests));
+}
+
+TEST(FlowManager, GlobalClassIndexNamespacesFlowIds) {
+  // A domain-decomposed run hands a manager class subsets with explicit
+  // global indices; ids must come from the global class's range.
+  Rig rig;
+  ScriptedPolicy policy{true};
+  FlowManagerConfig cfg = one_class(5.0, 5);
+  cfg.global_class_index = {3};
+  FlowManager fm{rig.sim, rig.topo, policy, rig.stats, cfg};
+  fm.start();
+  rig.sim.run(sim::SimTime::seconds(5));
+  ASSERT_GT(policy.requests, 0);
+  EXPECT_GE(policy.last.flow, net::FlowId{3} << 24);
+  EXPECT_LT(policy.last.flow, net::FlowId{4} << 24);
 }
 
 TEST(FlowManager, GroupsReportedSeparately) {

@@ -1,0 +1,223 @@
+// Graph-cut partitioner invariants: every cut respects the lookahead
+// floor, assignment is a pure function of the spec, and impossible cuts
+// fall back to one domain instead of degrading. Plus the audit-build
+// death test for the coordinator's core safety property: a cross-domain
+// delivery below the round's lookahead window aborts the run.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <random>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/queue_disc.hpp"
+#include "scenario/builder.hpp"
+#include "scenario/partition.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+#include "sim/audit.hpp"
+#include "sim/simulator.hpp"
+#include "traffic/catalog.hpp"
+
+namespace eac::scenario {
+namespace {
+
+LinkSpec mk_link(net::NodeId from, net::NodeId to, sim::SimTime delay) {
+  LinkSpec l;
+  l.from = from;
+  l.to = to;
+  l.rate_bps = 10e6;
+  l.delay = delay;
+  l.buffer_packets = 100;
+  l.queue = LinkQueueKind::kDropTail;
+  return l;
+}
+
+FlowClass mk_flow(net::NodeId src, net::NodeId dst) {
+  FlowClass c;
+  c.src = src;
+  c.dst = dst;
+  c.arrival_rate_per_s = 0.1;
+  c.onoff = traffic::exp1();
+  return c;
+}
+
+RunConfig pdes_run_config() {
+  RunConfig cfg;
+  FlowClass c;
+  c.arrival_rate_per_s = 0.5;
+  c.onoff = traffic::exp1();
+  c.packet_size = traffic::kOnOffPacketBytes;
+  c.probe_rate_bps = c.onoff.burst_rate_bps;
+  cfg.classes = {c};
+  return cfg;
+}
+
+/// Structural invariants every partition must satisfy against its spec.
+void check_partition(const ScenarioSpec& spec, const Partition& p) {
+  ASSERT_GE(p.domains, 1);
+  ASSERT_EQ(p.node_domain.size(), spec.node_count());
+  // Dense ids 0..P-1, with domain 0 holding node 0.
+  std::vector<bool> used(static_cast<std::size_t>(p.domains), false);
+  for (const int d : p.node_domain) {
+    ASSERT_GE(d, 0);
+    ASSERT_LT(d, p.domains);
+    used[static_cast<std::size_t>(d)] = true;
+  }
+  for (const bool u : used) EXPECT_TRUE(u);
+  if (!p.node_domain.empty()) EXPECT_EQ(p.node_domain[0], 0);
+  // Hard constraint: a flow's endpoints share a domain.
+  for (const FlowClass& f : spec.flows) {
+    EXPECT_EQ(p.domain_of(f.src), p.domain_of(f.dst));
+  }
+  // Cut quality: every crossing link is at or above the floor, and the
+  // recorded lookahead is exactly the minimum crossing delay.
+  if (p.domains > 1) {
+    sim::SimTime min_cut = sim::SimTime::max();
+    for (const LinkSpec& l : spec.links) {
+      if (p.domain_of(l.from) == p.domain_of(l.to)) continue;
+      EXPECT_GE(l.delay, kLookaheadFloor);
+      min_cut = std::min(min_cut, l.delay);
+    }
+    EXPECT_EQ(p.lookahead, min_cut);
+    EXPECT_GE(p.lookahead, kLookaheadFloor);
+  }
+}
+
+TEST(PartitionTest, PropertyRandomSpecsRespectLookaheadFloor) {
+  std::mt19937 rng{20260808};
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 3 + rng() % 20;
+    ScenarioSpec spec;
+    // A random spanning chain keeps everything reachable, then extra
+    // random links; delays span 100 ns .. 50 ms so some cuts are legal
+    // and some sit below the 1 us floor.
+    const auto delay = [&] {
+      static const sim::SimTime choices[] = {
+          sim::SimTime::nanoseconds(100), sim::SimTime::microseconds(1),
+          sim::SimTime::microseconds(50), sim::SimTime::milliseconds(1),
+          sim::SimTime::milliseconds(5),  sim::SimTime::milliseconds(50)};
+      return choices[rng() % 6];
+    };
+    for (std::size_t v = 1; v < n; ++v) {
+      spec.links.push_back(
+          mk_link(static_cast<net::NodeId>(rng() % v), static_cast<net::NodeId>(v), delay()));
+    }
+    const std::size_t extra = rng() % n;
+    for (std::size_t e = 0; e < extra; ++e) {
+      const auto a = static_cast<net::NodeId>(rng() % n);
+      const auto b = static_cast<net::NodeId>(rng() % n);
+      if (a != b) spec.links.push_back(mk_link(a, b, delay()));
+    }
+    const std::size_t flows = 1 + rng() % 4;
+    for (std::size_t f = 0; f < flows; ++f) {
+      const auto a = static_cast<net::NodeId>(rng() % n);
+      const auto b = static_cast<net::NodeId>(rng() % n);
+      if (a != b) spec.flows.push_back(mk_flow(a, b));
+    }
+    for (const int want : {1, 2, 4, 8}) {
+      const Partition p = partition_spec(spec, want);
+      check_partition(spec, p);
+      EXPECT_LE(p.domains, std::max(want, 1));
+    }
+  }
+}
+
+TEST(PartitionTest, DeterministicAssignment) {
+  const ScenarioSpec spec = multihop_pdes_spec(pdes_run_config());
+  const Partition a = partition_spec(spec, 4);
+  const Partition b = partition_spec(spec, 4);
+  EXPECT_EQ(a.domains, b.domains);
+  EXPECT_EQ(a.node_domain, b.node_domain);
+  EXPECT_EQ(a.lookahead, b.lookahead);
+  EXPECT_EQ(a.fell_back, b.fell_back);
+}
+
+TEST(PartitionTest, MultihopPdesCutsIntoFourDomains) {
+  const ScenarioSpec spec = multihop_pdes_spec(pdes_run_config());
+  const Partition p = partition_spec(spec, 4);
+  check_partition(spec, p);
+  EXPECT_EQ(p.domains, 4);
+  EXPECT_FALSE(p.fell_back);
+  EXPECT_EQ(p.lookahead, sim::SimTime::milliseconds(5));
+  // Each cluster's five nodes (source, routers, local dst, transit dst)
+  // land together; the transit host follows its flows, not its link.
+  for (int i = 0; i < 4; ++i) {
+    const int d = p.domain_of(static_cast<net::NodeId>(5 * i));
+    for (int role = 1; role < 5; ++role) {
+      EXPECT_EQ(p.domain_of(static_cast<net::NodeId>(5 * i + role)), d)
+          << "cluster " << i << " role " << role;
+    }
+  }
+}
+
+TEST(PartitionTest, SingleLinkSpecFallsBackToOneDomain) {
+  RunConfig cfg = pdes_run_config();
+  cfg.classes[0].src = 0;
+  cfg.classes[0].dst = 1;
+  const ScenarioSpec spec = single_link_spec(cfg);
+  const Partition p = partition_spec(spec, 4);
+  EXPECT_EQ(p.domains, 1);
+  EXPECT_TRUE(p.fell_back);
+  EXPECT_FALSE(p.reason.empty());
+}
+
+TEST(PartitionTest, SubMicrosecondCutRefusedFallsBack) {
+  // Two flow components joined only by a 100 ns link: the only possible
+  // cut sits below the lookahead floor, so the partitioner must refuse.
+  ScenarioSpec spec;
+  spec.links = {mk_link(0, 1, sim::SimTime::milliseconds(1)),
+                mk_link(2, 3, sim::SimTime::milliseconds(1)),
+                mk_link(1, 2, sim::SimTime::nanoseconds(100))};
+  spec.flows = {mk_flow(0, 1), mk_flow(2, 3)};
+  const Partition p = partition_spec(spec, 2);
+  EXPECT_EQ(p.domains, 1);
+  EXPECT_TRUE(p.fell_back);
+  EXPECT_FALSE(p.reason.empty());
+}
+
+TEST(PartitionTest, MbacAlwaysSerial) {
+  ScenarioSpec spec = multihop_pdes_spec(pdes_run_config());
+  spec.policy = PolicyKind::kMbac;
+  const Partition p = partition_spec(spec, 4);
+  EXPECT_EQ(p.domains, 1);
+  EXPECT_TRUE(p.fell_back);
+}
+
+TEST(PartitionTest, ResolveDomainsPrecedence) {
+  ScenarioSpec spec;
+  spec.partitions = 3;
+  EXPECT_EQ(resolve_domains(spec), 3);
+  spec.partitions = 0;
+  ::setenv("EAC_DOMAINS", "4", 1);
+  EXPECT_EQ(resolve_domains(spec), 4);
+  ::setenv("EAC_DOMAINS", "1000", 1);
+  EXPECT_EQ(resolve_domains(spec), 64);  // clamped
+  ::unsetenv("EAC_DOMAINS");
+  EXPECT_EQ(resolve_domains(spec), 1);
+}
+
+TEST(PartitionDeathTest, CrossDomainDeliveryBelowLookaheadAborts) {
+  if constexpr (!sim::kAuditEnabled) {
+    GTEST_SKIP() << "configure with -DEAC_AUDIT=ON to exercise the audit layer";
+  } else {
+    sim::Simulator owner{};
+    net::Link link{owner, "cut", 10e6, sim::SimTime::milliseconds(5),
+                   std::make_unique<net::DropTailQueue>(10)};
+    net::CrossInbox inbox;
+    link.set_cross_domain(&inbox);
+    // A message timestamped before the upcoming window start violates the
+    // lookahead guarantee — the coordinator would be scheduling into the
+    // receiver's past.
+    std::vector<net::CrossMsg> msgs;
+    msgs.push_back(net::CrossMsg{sim::SimTime::milliseconds(1), &link,
+                                 net::Packet{}});
+    sim::Simulator receiver{};
+    EXPECT_DEATH(
+        schedule_cross_messages(receiver, msgs, sim::SimTime::milliseconds(2)),
+        "lookahead");
+  }
+}
+
+}  // namespace
+}  // namespace eac::scenario

@@ -7,16 +7,25 @@
 # processes must agree) and any dependence of results on worker count or
 # completion order in the SweepRunner pool.
 #
-# Usage: tests/run_determinism_check.sh FIG02_BINARY [scratch-dir]
+# When an eac_cli binary is supplied as the second argument, the same
+# byte-equality bar is applied to the domain-decomposed engine: the
+# 4-cluster multihop ring is run serially (EAC_DOMAINS=1) and cut into
+# four event domains (EAC_DOMAINS=4), and the --json, --telemetry and
+# --trace artifacts must agree byte for byte (minus the wall-clock
+# profile, the per-engine pending-events gauge and the audit check
+# counter, which describe the engines rather than the network).
+#
+# Usage: tests/run_determinism_check.sh FIG02_BINARY [EAC_CLI] [scratch-dir]
 set -euo pipefail
 
 if [[ $# -lt 1 ]]; then
-  echo "usage: $0 FIG02_BINARY [scratch-dir]" >&2
+  echo "usage: $0 FIG02_BINARY [EAC_CLI] [scratch-dir]" >&2
   exit 2
 fi
 
 BIN="$1"
-SCRATCH="${2:-$(mktemp -d)}"
+CLI="${2:-}"
+SCRATCH="${3:-$(mktemp -d)}"
 mkdir -p "$SCRATCH"
 
 EAC_SCALE=0.05 EAC_THREADS=1 "$BIN" --json="$SCRATCH/threads1.json" \
@@ -97,3 +106,87 @@ else
 fi
 
 echo "determinism check passed: byte-identical artifacts (1 vs 4 workers)"
+
+# --- domain decomposition -------------------------------------------------
+# Serial vs 4-domain execution of the multihop ring must be byte-identical
+# too. eac_cli's --json/--telemetry/--trace runs all honor EAC_DOMAINS.
+if [[ -z "$CLI" ]]; then
+  echo "determinism check: no eac_cli supplied, skipping domain compare"
+  exit 0
+fi
+
+for d in 1 4; do
+  EAC_DOMAINS=$d "$CLI" --scenario multihop --source exp1 --tau 3.5 \
+    --link 2e6 --lifetime 20 --duration 25 --warmup 8 --seed 11 \
+    --json "$SCRATCH/dom$d.json" \
+    --telemetry "$SCRATCH/domtel$d.json" \
+    --trace "$SCRATCH/domtrace$d.json" --trace-limit 2000000 >/dev/null
+done
+
+if [[ -n "$PY" ]]; then
+  for f in dom1 dom4 domtel1 domtel4; do
+    [[ -s "$SCRATCH/$f.json" ]] || continue
+    "$PY" - "$SCRATCH/$f.json" "$SCRATCH/$f.stripped.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as fh:
+    doc = json.load(fh)
+result = doc.get("result", {})
+# Engine-shaped artifacts that legitimately depend on the domain count:
+# wall-clock profile, per-engine pending-events gauge, audit check count.
+tel = result.get("telemetry", {})
+tel.pop("profile", None)
+if "series" in tel:
+    tel["series"] = [s for s in tel["series"]
+                     if s.get("name") != "engine.pending_events"]
+result.get("audit", {}).pop("checks_passed", None)
+doc.pop("perf", None)
+with open(sys.argv[2], "w") as fh:
+    json.dump(doc, fh, sort_keys=True, separators=(",", ":"))
+EOF
+  done
+  if ! cmp "$SCRATCH/dom1.stripped.json" "$SCRATCH/dom4.stripped.json"; then
+    echo "determinism check FAILED: results differ between 1 and 4 domains" >&2
+    diff "$SCRATCH/dom1.stripped.json" "$SCRATCH/dom4.stripped.json" \
+      | head -20 >&2 || true
+    exit 1
+  fi
+  if [[ -s "$SCRATCH/domtel1.json" && -s "$SCRATCH/domtel4.json" ]]; then
+    if ! cmp "$SCRATCH/domtel1.stripped.json" \
+             "$SCRATCH/domtel4.stripped.json"; then
+      echo "determinism check FAILED: telemetry differs (1 vs 4 domains)" >&2
+      exit 1
+    fi
+    echo "determinism check passed: telemetry identical (1 vs 4 domains)"
+  fi
+else
+  echo "determinism check: python not found, skipping domain json compare" >&2
+fi
+
+# The merged trace is byte-identical to the serial one up to the order
+# of events sharing an exact nanosecond: the merge orders same-time
+# events by (time, domain) where serial execution interleaves them by
+# global schedule order, which no longer exists under the cut (DESIGN.md
+# §11). Canonicalize both sides — stable-sort events within each
+# timestamp — then require byte-equality: same multiset of events at
+# every instant, same metadata, same summary.
+if [[ -s "$SCRATCH/domtrace1.json" && -s "$SCRATCH/domtrace4.json" && -n "$PY" ]]; then
+  for f in domtrace1 domtrace4; do
+    "$PY" - "$SCRATCH/$f.json" "$SCRATCH/$f.sorted.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as fh:
+    doc = json.load(fh)
+doc["traceEvents"] = sorted(
+    doc.get("traceEvents", []),
+    key=lambda e: (e.get("ts", 0), json.dumps(e, sort_keys=True)))
+with open(sys.argv[2], "w") as fh:
+    json.dump(doc, fh, sort_keys=True, separators=(",", ":"))
+EOF
+  done
+  if ! cmp "$SCRATCH/domtrace1.sorted.json" "$SCRATCH/domtrace4.sorted.json"; then
+    echo "determinism check FAILED: traces differ (1 vs 4 domains)" >&2
+    exit 1
+  fi
+  echo "determinism check passed: traces identical (1 vs 4 domains)"
+fi
+
+echo "determinism check passed: byte-identical artifacts (1 vs 4 domains)"

@@ -9,10 +9,11 @@
 # The value is passed straight to -fsanitize=, so comma-joined lists work
 # wherever the toolchain accepts them (ASan+UBSan in one pass).
 #
-#   thread     rebuilds and runs only the thread-pool-facing tests: the
-#              SweepRunner pool is the sole concurrency in the codebase,
-#              and the TSan build ~10x's runtime, so the serial tests add
-#              cost but no coverage.
+#   thread     rebuilds and runs only the concurrency-facing tests: the
+#              SweepRunner pool and the domain coordinator's worker
+#              threads are the only concurrency in the codebase, and the
+#              TSan build ~10x's runtime, so the serial tests add cost
+#              but no coverage.
 #   address /  full build, full ctest: every test is a memory-error
 #   undefined  detector at normal (~2x) slowdown.
 #
@@ -48,11 +49,16 @@ cmake -B "$BUILD_DIR" -S . -DEAC_SANITIZE="$SAN" -DEAC_AUDIT="$AUDIT_FLAG" \
 case "$SAN" in
   thread)
     cmake --build "$BUILD_DIR" \
-      --target parallel_test scenario_test simulator_stress_test -j "$(nproc)"
+      --target parallel_test scenario_test simulator_stress_test \
+      domain_determinism_test -j "$(nproc)"
     TSAN_OPTIONS="halt_on_error=1" "$BUILD_DIR/tests/parallel_test"
     TSAN_OPTIONS="halt_on_error=1" "$BUILD_DIR/tests/simulator_stress_test"
     TSAN_OPTIONS="halt_on_error=1" "$BUILD_DIR/tests/scenario_test" \
       --gtest_filter='*ResultsAreSane*'
+    # Multi-domain execution: 4 worker threads advance the ring in
+    # lookahead rounds; byte-compares against the serial run while TSan
+    # watches the barrier/inbox handoffs.
+    TSAN_OPTIONS="halt_on_error=1" "$BUILD_DIR/tests/domain_determinism_test"
     ;;
   *)
     cmake --build "$BUILD_DIR" -j "$(nproc)"

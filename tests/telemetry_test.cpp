@@ -116,9 +116,9 @@ TEST(Recorder, HistogramClampsIntoEdgeBuckets) {
   telemetry::Recorder rec;
   rec.begin_run();
   const telemetry::HistogramId h = rec.histogram("h", 0, 1, 10);
-  rec.observe(h, -5);    // clamps low
-  rec.observe(h, 0.55);  // bucket 5
-  rec.observe(h, 7);     // clamps high
+  rec.observe(h, -5, sim::SimTime::seconds(0.1));    // clamps low
+  rec.observe(h, 0.55, sim::SimTime::seconds(0.2));  // bucket 5
+  rec.observe(h, 7, sim::SimTime::seconds(0.3));     // clamps high
   telemetry::Report out;
   rec.export_into(out, sim::SimTime::seconds(1));
   ASSERT_EQ(out.histograms.size(), 1u);
