@@ -36,8 +36,8 @@ struct SweepRunner::Job {
   std::size_t n = 0;
   std::atomic<std::size_t> next{0};       ///< next index to claim
   std::atomic<std::size_t> remaining{0};  ///< indices not yet finished
-  std::mutex done_mu;
-  std::condition_variable done_cv;
+  sim::Mutex done_mu;  ///< orders the completion notify after the wait
+  sim::CondVar done_cv;
 };
 
 SweepRunner::SweepRunner(std::size_t threads) {
@@ -50,7 +50,7 @@ SweepRunner::SweepRunner(std::size_t threads) {
 
 SweepRunner::~SweepRunner() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    sim::MutexLock lk(mu_);
     shutdown_ = true;
   }
   work_cv_.notify_all();
@@ -65,7 +65,7 @@ void SweepRunner::drain(Job& job) {
     if (job.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       // Last index done: wake the caller. Taking the lock orders the
       // notify after the caller enters its wait.
-      std::lock_guard<std::mutex> lk(job.done_mu);
+      sim::MutexLock lk(job.done_mu);
       job.done_cv.notify_all();
     }
   }
@@ -74,11 +74,9 @@ void SweepRunner::drain(Job& job) {
 void SweepRunner::worker_loop() {
   ++t_parallel_depth;  // nested for_each from a job runs inline
   std::uint64_t seen_epoch = 0;
-  std::unique_lock<std::mutex> lk(mu_);
+  sim::MutexLock lk(mu_);
   for (;;) {
-    work_cv_.wait(lk, [&] {
-      return shutdown_ || (job_ != nullptr && job_epoch_ != seen_epoch);
-    });
+    while (!work_ready(seen_epoch)) work_cv_.wait(lk);
     if (shutdown_) return;
     const std::shared_ptr<Job> job = job_;
     seen_epoch = job_epoch_;
@@ -103,7 +101,7 @@ void SweepRunner::for_each(std::size_t n,
   job->n = n;
   job->remaining.store(n, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    sim::MutexLock lk(mu_);
     job_ = job;
     ++job_epoch_;
   }
@@ -114,12 +112,12 @@ void SweepRunner::for_each(std::size_t n,
   --t_parallel_depth;
 
   {
-    std::unique_lock<std::mutex> lk(job->done_mu);
-    job->done_cv.wait(lk, [&] {
-      return job->remaining.load(std::memory_order_acquire) == 0;
-    });
+    sim::MutexLock lk(job->done_mu);
+    while (job->remaining.load(std::memory_order_acquire) != 0) {
+      job->done_cv.wait(lk);
+    }
   }
-  std::lock_guard<std::mutex> lk(mu_);
+  sim::MutexLock lk(mu_);
   job_.reset();
 }
 

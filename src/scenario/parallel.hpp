@@ -8,13 +8,14 @@
 // reduce in index order, which makes parallel output identical to serial.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "sim/thread_annotations.hpp"
 
 namespace eac::scenario {
 
@@ -57,11 +58,19 @@ class SweepRunner {
   void worker_loop();
   static void drain(Job& job);
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::shared_ptr<Job> job_;       // guarded by mu_
-  std::uint64_t job_epoch_ = 0;    // guarded by mu_; bumped per for_each
-  bool shutdown_ = false;          // guarded by mu_
+  /// True when a worker should leave its wait: shutdown, or a job it has
+  /// not participated in yet.
+  bool work_ready(std::uint64_t seen_epoch) const EAC_REQUIRES(mu_) {
+    return shutdown_ || (job_ != nullptr && job_epoch_ != seen_epoch);
+  }
+
+  mutable sim::Mutex mu_;
+  sim::CondVar work_cv_;
+  std::shared_ptr<Job> job_ EAC_GUARDED_BY(mu_);
+  /// Bumped once per for_each so a worker never re-joins a job it already
+  /// drained.
+  std::uint64_t job_epoch_ EAC_GUARDED_BY(mu_) = 0;
+  bool shutdown_ EAC_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -1,0 +1,174 @@
+// Clang thread-safety (capability) annotations and the annotated locking
+// primitives the engine's threaded layers use.
+//
+// The domain coordinator, the sweep thread pool and the cross-domain
+// inboxes all carry invariants of the form "this field is touched only
+// under that lock" or "these two phases never overlap". TSan checks them
+// dynamically on the schedules a given run happens to execute; clang's
+// -Wthread-safety analysis proves the lock-discipline part statically, on
+// every schedule, at compile time. This header makes that analysis
+// portable:
+//
+//   * Under clang, EAC_GUARDED_BY / EAC_REQUIRES / EAC_ACQUIRE / ... expand
+//     to the corresponding capability attributes and the CI static-analysis
+//     job builds with -Wthread-safety -Werror=thread-safety.
+//   * Under GCC (or with EAC_NO_THREAD_SAFETY_ANNOTATIONS defined) every
+//     macro expands to nothing and the wrappers below degrade to plain
+//     std::mutex / std::condition_variable behaviour with zero overhead —
+//     tests/thread_annotations_test.cpp compiles in both modes to prove it.
+//
+// std::mutex itself carries no capability attributes in libstdc++, so
+// GUARDED_BY members locked through it are invisible to the analysis. The
+// sim::Mutex / sim::MutexLock / sim::CondVar wrappers exist solely to make
+// the acquire/release points visible; they add no state and no branches
+// beyond the standard primitives they forward to.
+//
+// How to annotate a new shared structure (see DESIGN.md §12):
+//   1. give it a `sim::Mutex mu_;`
+//   2. tag every field the lock protects with EAC_GUARDED_BY(mu_)
+//   3. lock with `sim::MutexLock lk(mu_);` (never std::lock_guard — the
+//      analysis cannot see through an unannotated guard)
+//   4. annotate private helpers that assume the lock with EAC_REQUIRES(mu_)
+//      and public entry points that must not hold it with EAC_EXCLUDES(mu_)
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#if defined(__clang__) && !defined(EAC_NO_THREAD_SAFETY_ANNOTATIONS)
+#define EAC_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define EAC_THREAD_ANNOTATION(x)  // no-op: GCC has no capability analysis
+#endif
+
+/// Type attribute: this class is a lockable capability ("mutex").
+#define EAC_CAPABILITY(x) EAC_THREAD_ANNOTATION(capability(x))
+
+/// Type attribute: RAII object that acquires a capability in its
+/// constructor and releases it in its destructor.
+#define EAC_SCOPED_CAPABILITY EAC_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field attribute: reads/writes require holding the given capability.
+#define EAC_GUARDED_BY(x) EAC_THREAD_ANNOTATION(guarded_by(x))
+
+/// Field attribute: the pointed-to data requires the capability.
+#define EAC_PT_GUARDED_BY(x) EAC_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function attribute: caller must hold the capabilities when calling.
+#define EAC_REQUIRES(...) \
+  EAC_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function attribute: function acquires the capabilities and does not
+/// release them before returning.
+#define EAC_ACQUIRE(...) \
+  EAC_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function attribute: function releases the capabilities (caller must
+/// hold them on entry).
+#define EAC_RELEASE(...) \
+  EAC_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function attribute: acquires the capability iff the return value equals
+/// the first argument.
+#define EAC_TRY_ACQUIRE(...) \
+  EAC_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function attribute: caller must NOT hold the capabilities (deadlock
+/// guard for self-locking public entry points).
+#define EAC_EXCLUDES(...) EAC_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function attribute: returns a reference to the named capability.
+#define EAC_RETURN_CAPABILITY(x) EAC_THREAD_ANNOTATION(lock_returned(x))
+
+/// Function attribute: opt this function out of the analysis. Every use
+/// must carry a comment explaining why the discipline holds anyway.
+#define EAC_NO_THREAD_SAFETY_ANALYSIS \
+  EAC_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace eac::sim {
+
+/// std::mutex with its acquire/release points visible to the analysis.
+class EAC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() EAC_ACQUIRE() { mu_.lock(); }
+  void unlock() EAC_RELEASE() { mu_.unlock(); }
+  bool try_lock() EAC_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// The wrapped handle, for CondVar only. Using it to lock directly
+  /// would bypass the analysis — CondVar is the one sanctioned caller.
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock on a sim::Mutex; relockable (unlock()/lock()) so a holder can
+/// open a window the way std::unique_lock allows. The analysis tracks the
+/// capability through every transition.
+class EAC_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) EAC_ACQUIRE(mu) : mu_(mu), lk_(mu.native()) {}
+  ~MutexLock() EAC_RELEASE() {}  // the unique_lock member unlocks if held
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void unlock() EAC_RELEASE() { lk_.unlock(); }
+  void lock() EAC_ACQUIRE() { lk_.lock(); }
+
+  /// The wrapped handle, for CondVar::wait only.
+  std::unique_lock<std::mutex>& native() { return lk_; }
+
+ private:
+  [[maybe_unused]] Mutex& mu_;  // named by the ACQUIRE/RELEASE attributes
+  std::unique_lock<std::mutex> lk_;
+};
+
+/// std::condition_variable over sim::Mutex. wait() releases and reacquires
+/// the lock internally; from the analysis' point of view the capability is
+/// held across the call, which matches how guarded state may be used
+/// before and after (the standard capability-model treatment of condition
+/// variables). Callers loop on their own REQUIRES-annotated predicate:
+///
+///   MutexLock lk(mu_);
+///   while (!ready_locked()) cv_.wait(lk);   // ready_locked: REQUIRES(mu_)
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(MutexLock& lk) { cv_.wait(lk.native()); }
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+/// Monotonic counter handed out under a lock. The telemetry/trace layers
+/// share one across the per-domain recorders of a partitioned run so every
+/// first-seen series/track name takes a globally-unique registration key
+/// (see telemetry::Recorder::set_key_counter). Registration happens on the
+/// single construction thread today; the lock makes the counter safe — and
+/// statically checked — if registration ever moves onto domain threads.
+class LockedCounter {
+ public:
+  LockedCounter() = default;
+
+  /// Return the current value and advance by one.
+  std::uint64_t take() EAC_EXCLUDES(mu_) {
+    MutexLock lk(mu_);
+    return next_++;
+  }
+
+ private:
+  Mutex mu_;
+  std::uint64_t next_ EAC_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace eac::sim
