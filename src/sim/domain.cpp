@@ -4,8 +4,87 @@
 #include <barrier>
 #include <cstddef>
 #include <thread>
+#include <vector>
+
+#include "sim/thread_annotations.hpp"
 
 namespace eac::sim {
+
+namespace {
+
+/// Per-round shared state of one coordinator run: each domain's next event
+/// time (written before the round barrier) and the decided window (written
+/// by the barrier completion step, read by every domain after release).
+///
+/// The barrier alone already orders these accesses, but only by
+/// convention; the mutex makes the discipline explicit, cheap (one
+/// uncontended lock per domain per round, next to two barrier waits) and
+/// machine-checked: any new code path touching round state without the
+/// lock fails the clang -Wthread-safety build instead of racing silently.
+class RoundState {
+ public:
+  struct Window {
+    SimTime end;  ///< events strictly below this bound may run
+    bool done;    ///< no window: every domain is past the horizon
+  };
+
+  RoundState(std::size_t n, bool needs_flip)
+      : next_(n, SimTime::max()), flipped_(!needs_flip) {}
+
+  /// Domain d's next event time, published before the round barrier.
+  void set_next(std::size_t d, SimTime t) EAC_EXCLUDES(mu_) {
+    MutexLock lk(mu_);
+    next_[d] = t;
+  }
+
+  /// The barrier completion step: fold the per-domain bounds into the next
+  /// window. Returns true when the global lower bound has reached `warmup`
+  /// for the first time — the caller must flip the waiting domains (all
+  /// threads are parked) and then confirm with mark_flipped().
+  bool decide(SimTime lookahead, SimTime horizon, SimTime warmup)
+      EAC_EXCLUDES(mu_) {
+    MutexLock lk(mu_);
+    SimTime t = SimTime::max();
+    for (const SimTime v : next_) t = std::min(t, v);
+    const bool flip = !flipped_ && t >= warmup;
+    if (t == SimTime::max() || t > horizon) {
+      done_ = true;
+      return flip;
+    }
+    SimTime w = t + lookahead;
+    // Simulator::run(h) is horizon-inclusive, so the final window must
+    // reach past the horizon by one tick for events at the horizon to run.
+    if (w > horizon) w = horizon + kTick;
+    // Windows never straddle the warmup instant: events before it must
+    // all execute un-measured before the measurement flip can happen.
+    if (!flipped_ && !flip && w > warmup) w = warmup;
+    window_end_ = w;
+    return flip;
+  }
+
+  void mark_flipped() EAC_EXCLUDES(mu_) {
+    MutexLock lk(mu_);
+    flipped_ = true;
+  }
+
+  /// The decided window, read by every domain after the barrier releases.
+  Window window() const EAC_EXCLUDES(mu_) {
+    MutexLock lk(mu_);
+    return Window{window_end_, done_};
+  }
+
+  static constexpr SimTime kTick = SimTime::nanoseconds(1);
+
+ private:
+  mutable Mutex mu_;
+  std::vector<SimTime> next_ EAC_GUARDED_BY(mu_);
+  SimTime window_end_ EAC_GUARDED_BY(mu_) = SimTime::zero();
+  bool done_ EAC_GUARDED_BY(mu_) = false;
+  /// Measurement flip already performed (or never needed).
+  bool flipped_ EAC_GUARDED_BY(mu_);
+};
+
+}  // namespace
 
 std::uint64_t DomainCoordinator::run(const std::vector<SimDomain*>& domains,
                                      const Config& cfg) {
@@ -22,43 +101,18 @@ std::uint64_t DomainCoordinator::run(const std::vector<SimDomain*>& domains,
     return dom.events;
   }
 
-  const SimTime kTick = SimTime::nanoseconds(1);
-
-  // Shared round state, written only inside the barrier completion step
-  // (all threads blocked, so plain fields suffice; the barrier's own
-  // synchronization publishes them).
-  struct Round {
-    SimTime window_end;  ///< events strictly below this bound may run
-    bool done = false;
-  };
-  std::vector<SimTime> next(n, SimTime::max());
-  Round round;
-  bool flipped = cfg.warmup == SimTime::max();
+  RoundState round{n, cfg.warmup != SimTime::max()};
 
   auto compute_round = [&]() noexcept {
-    SimTime t = SimTime::max();
-    for (const SimTime v : next) t = std::min(t, v);
-    if (!flipped && t >= cfg.warmup) {
+    if (round.decide(cfg.lookahead, cfg.horizon, cfg.warmup)) {
       // The global lower bound reached the warmup instant: no event
       // before it remains anywhere, none at or after it has run outside
       // domain 0. Flip the waiting domains while every thread is parked.
       for (std::size_t d = 1; d < n; ++d) {
         if (domains[d]->begin_measurement) domains[d]->begin_measurement();
       }
-      flipped = true;
+      round.mark_flipped();
     }
-    if (t == SimTime::max() || t > cfg.horizon) {
-      round.done = true;
-      return;
-    }
-    SimTime w = t + cfg.lookahead;
-    // Simulator::run(h) is horizon-inclusive, so the final window must
-    // reach past the horizon by one tick for events at the horizon to run.
-    if (w > cfg.horizon) w = cfg.horizon + kTick;
-    // Windows never straddle the warmup instant: events before it must
-    // all execute un-measured before the flip above can happen.
-    if (!flipped && w > cfg.warmup) w = cfg.warmup;
-    round.window_end = w;
   };
 
   std::barrier round_barrier{static_cast<std::ptrdiff_t>(n), compute_round};
@@ -73,12 +127,12 @@ std::uint64_t DomainCoordinator::run(const std::vector<SimDomain*>& domains,
     SimTime window_start = SimTime::zero();
     for (;;) {
       if (dom.drain) dom.drain(window_start);
-      next[d] = dom.sim.next_event_time();
+      round.set_next(d, dom.sim.next_event_time());
       round_barrier.arrive_and_wait();
-      if (round.done) break;
-      const SimTime window_end = round.window_end;
-      dom.events += dom.sim.run(window_end - kTick);
-      window_start = window_end;
+      const RoundState::Window w = round.window();
+      if (w.done) break;
+      dom.events += dom.sim.run(w.end - RoundState::kTick);
+      window_start = w.end;
       window_barrier.arrive_and_wait();
     }
     // Settle the clock exactly like the serial run: executes nothing (the
