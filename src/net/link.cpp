@@ -112,7 +112,7 @@ void Link::deliver_remote(sim::SimTime now, Packet p) {
   // is being advanced concurrently and must not be read here. The trace
   // emit resolves the receiving thread's sink, so the rx instant uses the
   // track registered there.
-  EAC_AUDIT_ONLY(--cross_in_flight_;)
+  EAC_AUDIT_ONLY(--audit_cross_in_flight_;)
   EAC_TRC(if (peer_track_ != 0) {
     trace::emit(trace::EventKind::kLinkRx, 'i', now, p.flow, p.seq,
                 trc_packet_bits(p), peer_track_);

@@ -13,6 +13,7 @@
 #include "net/queue_disc.hpp"
 #include "sim/audit.hpp"
 #include "sim/simulator.hpp"
+#include "sim/thread_annotations.hpp"
 
 namespace eac::net {
 
@@ -31,22 +32,46 @@ struct CrossMsg {
 /// one producer (the sending domain's thread, during its event window) and
 /// one consumer (the receiving domain's thread, during the inter-round
 /// drain); the coordinator's barriers make the two phases mutually
-/// exclusive, so a plain vector is race-free and nothing is ever bounded
-/// away — a full inbox simply grows, it cannot stall or drop. Messages are
-/// appended in transmission order, which the drain's stable sort turns
-/// into the deterministic (time, source domain, push order) merge order.
+/// exclusive, and nothing is ever bounded away — a full inbox simply
+/// grows, it cannot stall or drop. Messages are appended in transmission
+/// order, which the drain's stable sort turns into the deterministic
+/// (time, source domain, push order) merge order.
+///
+/// The mutex does not replace the barrier protocol — it backstops it: the
+/// phase exclusion is a coordinator convention the inbox cannot verify,
+/// so the buffer guards itself, the clang -Wthread-safety build proves
+/// every access takes the lock, and a future coordinator that overlaps
+/// drain with execution (the ladder/async variant, ROADMAP item 2's
+/// leftover) inherits a structure that is already safe. The lock is
+/// uncontended by construction today: one acquisition per cross-domain
+/// packet, trivial next to the per-packet event costs around it.
 class CrossInbox {
  public:
-  void push(sim::SimTime t, Link* link, const Packet& p) {
+  void push(sim::SimTime t, Link* link, const Packet& p) EAC_EXCLUDES(mu_) {
+    sim::MutexLock lk(mu_);
     msgs_.push_back(CrossMsg{t, link, p});
   }
-  std::vector<CrossMsg>& msgs() { return msgs_; }
-  bool empty() const { return msgs_.empty(); }
-  std::size_t size() const { return msgs_.size(); }
-  void clear() { msgs_.clear(); }
+
+  /// Append every pending message to `out` in push order and empty the
+  /// inbox. The single consumer calls this once per drain phase.
+  void drain_into(std::vector<CrossMsg>& out) EAC_EXCLUDES(mu_) {
+    sim::MutexLock lk(mu_);
+    out.insert(out.end(), msgs_.begin(), msgs_.end());
+    msgs_.clear();
+  }
+
+  bool empty() const EAC_EXCLUDES(mu_) {
+    sim::MutexLock lk(mu_);
+    return msgs_.empty();
+  }
+  std::size_t size() const EAC_EXCLUDES(mu_) {
+    sim::MutexLock lk(mu_);
+    return msgs_.size();
+  }
 
  private:
-  std::vector<CrossMsg> msgs_;
+  mutable sim::Mutex mu_;
+  std::vector<CrossMsg> msgs_ EAC_GUARDED_BY(mu_);
 };
 
 /// Byte/packet counters kept per logical packet type.
@@ -131,10 +156,10 @@ class Link : public PacketHandler {
 
   /// Cross-domain packets drained from the inbox but not yet delivered
   /// (audit builds only). Owned by the receiving domain: bumped by
-  /// note_cross_scheduled() when the drain schedules the delivery event,
-  /// dropped by deliver_remote().
-  std::uint64_t cross_in_flight() const { return cross_in_flight_; }
-  void note_cross_scheduled() { ++cross_in_flight_; }
+  /// audit_note_cross_scheduled() when the drain schedules the delivery
+  /// event, dropped by deliver_remote().
+  std::uint64_t cross_in_flight() const { return audit_cross_in_flight_; }
+  void audit_note_cross_scheduled() { ++audit_cross_in_flight_; }
 #endif
 
 #if EAC_TRACE_ENABLED
@@ -170,7 +195,7 @@ class Link : public PacketHandler {
   EAC_TRC_ONLY(std::uint16_t trc_track_ = 0;)
   EAC_TRC_ONLY(std::uint16_t peer_track_ = 0;)
   EAC_AUDIT_ONLY(std::uint64_t audit_in_flight_ = 0;)
-  EAC_AUDIT_ONLY(std::uint64_t cross_in_flight_ = 0;)
+  EAC_AUDIT_ONLY(std::uint64_t audit_cross_in_flight_ = 0;)
   std::function<void(const Packet&, sim::SimTime)> tx_observer_;
 };
 

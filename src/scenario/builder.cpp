@@ -19,6 +19,7 @@
 #include "sim/audit.hpp"
 #include "sim/domain.hpp"
 #include "sim/simulator.hpp"
+#include "sim/thread_annotations.hpp"
 #include "telemetry/telemetry.hpp"
 #include "trace/trace.hpp"
 
@@ -108,7 +109,7 @@ void schedule_cross_messages(sim::Simulator& sim,
   for (const net::CrossMsg& m : msgs) {
     EAC_AUDIT_CHECK(m.t >= window_start,
                     "cross-domain delivery below the lookahead window");
-    EAC_AUDIT_ONLY(m.link->note_cross_scheduled();)
+    EAC_AUDIT_ONLY(m.link->audit_note_cross_scheduled();)
     sim.schedule_at(m.t,
                     [l = m.link, t = m.t, p = m.pkt] { l->deliver_remote(t, p); });
   }
@@ -162,7 +163,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
   // engine series takes a global key) and record replay logs for the
   // mean/histogram merge.
   telemetry::Recorder* tel = telemetry::current();
-  std::uint64_t tel_keys = 0;
+  sim::LockedCounter tel_keys;
   std::vector<std::unique_ptr<telemetry::Recorder>> dom_tel;  // domain d-1
   if (tel != nullptr && P > 1) {
     tel->set_key_counter(&tel_keys);
@@ -180,7 +181,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
   // Same for the trace sink: components register their tracks as they are
   // constructed, so the ring and track table must be fresh first.
   trace::Sink* trc = trace::current();
-  std::uint64_t trc_keys = 0;
+  sim::LockedCounter trc_keys;
   std::vector<std::unique_ptr<trace::Sink>> dom_trc;  // domain d-1
   if (trc != nullptr && P > 1) {
     trc->set_key_counter(&trc_keys);
@@ -405,10 +406,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
         out.clear();
         for (std::size_t s = 0; s < P; ++s) {
           if (s == d) continue;
-          net::CrossInbox& in = inboxes[s * P + d];
-          if (in.empty()) continue;
-          out.insert(out.end(), in.msgs().begin(), in.msgs().end());
-          in.clear();
+          inboxes[s * P + d].drain_into(out);
         }
         if (out.empty()) return;
         std::stable_sort(out.begin(), out.end(),
