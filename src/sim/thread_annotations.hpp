@@ -166,6 +166,10 @@ class LockedCounter {
     return next_++;
   }
 
+  /// Fetch-and-increment spelled the std::atomic way: `counter++` returns
+  /// the pre-increment value, same contract as take().
+  std::uint64_t operator++(int) EAC_EXCLUDES(mu_) { return take(); }
+
  private:
   Mutex mu_;
   std::uint64_t next_ EAC_GUARDED_BY(mu_) = 0;

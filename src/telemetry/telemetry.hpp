@@ -31,6 +31,7 @@
 #include <string_view>
 #include <vector>
 
+#include "sim/thread_annotations.hpp"
 #include "sim/time.hpp"
 
 #if defined(EAC_TELEMETRY) && EAC_TELEMETRY
@@ -205,7 +206,7 @@ class Recorder {
   /// clears it (nullptr) before events run, so the merge never depends on
   /// cross-thread counter updates; a series registered after that falls
   /// back to a large local-order key and sorts behind the rest.
-  void set_key_counter(std::uint64_t* counter) { key_counter_ = counter; }
+  void set_key_counter(sim::LockedCounter* counter) { key_counter_ = counter; }
   /// Record a replay log of kMean set()s and histogram observe()s. Mean
   /// bins and histogram sums cannot be merged from folded state; with the
   /// log, the merge replays all domains' observations in global
@@ -261,7 +262,7 @@ class Recorder {
   Config cfg_;
   std::vector<Series> series_;
   std::vector<Histogram> histograms_;
-  std::uint64_t* key_counter_ = nullptr;
+  sim::LockedCounter* key_counter_ = nullptr;
   bool log_observations_ = false;
   std::vector<LogEntry> log_;
 

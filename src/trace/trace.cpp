@@ -121,7 +121,7 @@ std::uint16_t Sink::track(std::string_view name) {
     if (tracks_[i] == name) return static_cast<std::uint16_t>(i + 1);
   }
   track_keys_.push_back(key_counter_ != nullptr
-                            ? (*key_counter_)++
+                            ? key_counter_->take()
                             : kLocalTrackKeyBase + tracks_.size());
   tracks_.emplace_back(name);
   return static_cast<std::uint16_t>(tracks_.size());

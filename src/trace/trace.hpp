@@ -34,6 +34,7 @@
 #include <string_view>
 #include <vector>
 
+#include "sim/thread_annotations.hpp"
 #include "sim/time.hpp"
 
 #if defined(EAC_TRACE) && EAC_TRACE
@@ -173,12 +174,13 @@ class Sink {
   std::uint16_t track(std::string_view name);
 
   /// Install a shared registration counter (domain-decomposed runs). New
-  /// tracks take a globally-unique key from `*counter`; merge_runs orders
-  /// the merged track table by those keys, which reproduces the serial
-  /// registration order because builders register components in the same
-  /// global order regardless of the partition. Not thread-safe: only set
-  /// while all registration happens on one thread (scenario construction).
-  void set_key_counter(std::uint64_t* counter) { key_counter_ = counter; }
+  /// tracks take a globally-unique key from `counter->take()`; merge_runs
+  /// orders the merged track table by those keys, which reproduces the
+  /// serial registration order because builders register components in the
+  /// same global order regardless of the partition. The counter locks
+  /// internally, so registration may happen from any thread; today it all
+  /// runs on the construction thread.
+  void set_key_counter(sim::LockedCounter* counter) { key_counter_ = counter; }
 
   /// Fold the per-domain sinks of a partitioned run into `target` (domain
   /// 0's sink) so the export is indistinguishable from a serial run:
@@ -242,7 +244,7 @@ class Sink {
   std::vector<Event> ring_;
   std::vector<std::string> tracks_;  ///< index = track id - 1
   std::vector<std::uint64_t> track_keys_;  ///< parallel to tracks_
-  std::uint64_t* key_counter_ = nullptr;
+  sim::LockedCounter* key_counter_ = nullptr;
   std::size_t head_ = 0;
   bool full_ = false;
   std::uint64_t dropped_ = 0;
