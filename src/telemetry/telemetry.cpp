@@ -37,6 +37,9 @@ constexpr double kUnset = std::numeric_limits<double>::quiet_NaN();
 std::uint64_t wall_now_ns() {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
+          // lint:allow(clock-purity: the engine profiler buckets wall time
+          // per event category; the reading feeds Report::profile only and
+          // never a simulation quantity)
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
 }
