@@ -1,0 +1,79 @@
+// lint-fixture-path: src/eac/fixture_policy.cpp
+// Golden fixture for the architecture rule set. Never compiled — only
+// text-scanned by eac_lint.py --self-test. The lint-fixture-path marker
+// above places it inside src/ (outside the sanctioned layers) so the
+// path-scoped rules apply; every line that must fire carries an
+// expect-lint(rule) marker, checked exactly per (line, rule).
+
+#include <chrono>
+#include <memory>
+
+namespace eac {
+
+struct Widget {
+  int v = 0;
+};
+
+// --- cross-domain-isolation ---------------------------------------------
+
+void domain_leak(void* opaque) {
+  auto* dom = static_cast<sim::SimDomain*>(opaque);  // expect-lint(cross-domain-isolation)
+  (void)dom;
+}
+
+void inbox_leak(net::CrossInbox& inbox) {  // expect-lint(cross-domain-isolation)
+  (void)inbox;
+}
+
+void scope_swap_leak() {
+  telemetry::exchange_current(nullptr);  // expect-lint(cross-domain-isolation)
+}
+
+void scope_swap_justified() {
+  // lint:allow(cross-domain-isolation: fixture demonstrating a reasoned
+  // suppression; real code would explain the layering exception here)
+  telemetry::exchange_current(nullptr);
+}
+
+// --- naked-ownership -----------------------------------------------------
+
+Widget* make_widget() {
+  return new Widget;  // expect-lint(naked-ownership)
+}
+
+void drop_widget(Widget* w) {
+  delete w;  // expect-lint(naked-ownership)
+}
+
+void drop_widgets(Widget* w) {
+  delete[] w;  // expect-lint(naked-ownership)
+}
+
+struct NoCopy {
+  NoCopy(const NoCopy&) = delete;             // deleted fn: not a finding
+  void* operator new(std::size_t) = delete;   // allocator plumbing: silent
+};
+
+std::unique_ptr<Widget> make_widget_owned() {
+  return std::make_unique<Widget>();  // sanctioned ownership: not a finding
+}
+
+void arena_internals(Widget* slab) {
+  // lint:allow(naked-ownership: fixture demonstrating a reasoned
+  // suppression for an owner type that manages memory itself)
+  delete slab;
+}
+
+// --- clock-purity --------------------------------------------------------
+
+long bad_clock() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();  // expect-lint(clock-purity)
+}
+
+long profiled_clock() {
+  // lint:allow(clock-purity: fixture demonstrating the wall-profiling
+  // exception; the reading never feeds a simulation quantity)
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace eac

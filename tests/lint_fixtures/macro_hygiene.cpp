@@ -1,0 +1,43 @@
+// lint-fixture-path: src/eac/fixture_hooks.cpp
+// Golden fixture for the macro-hygiene rule. Never compiled — only
+// text-scanned by eac_lint.py --self-test. Each positive line carries an
+// expect-lint(rule) marker; the negatives pin down the shapes the rule
+// must stay silent on (instrumentation-owned targets, splice
+// declarations, comparisons, reads).
+
+namespace eac {
+
+void hygiene_cases() {
+  // Mutation of simulation state inside a hook: one finding per shape.
+  EAC_TEL(packets_sent_ = 0);                        // expect-lint(macro-hygiene)
+  EAC_AUDIT_ONLY(++in_flight_;)                      // expect-lint(macro-hygiene)
+  EAC_TRC(queue_.push_back(p));                      // expect-lint(macro-hygiene)
+  EAC_TEL(sim_.schedule_at(t, fire));                // expect-lint(macro-hygiene)
+  EAC_AUDIT_ONLY(rng_.next_double();)                // expect-lint(macro-hygiene)
+
+  // Multi-line argument: the finding lands on the invocation line.
+  EAC_TEL(total_bytes_ +=                            // expect-lint(macro-hygiene)
+          p.size_bytes);
+
+  // Instrumentation-owned targets: silent.
+  EAC_TEL(tel_active_ = telemetry::register_series("active"));
+  EAC_AUDIT_ONLY(++audit_in_flight_;)
+  EAC_TRC(trc_events_.push_back(e));
+  EAC_TEL(telemetry::add(tel_attempts_, 1.0, now));
+
+  // Members declared by the splice exist only in instrumented builds, so
+  // initializing them is not a mutation of simulation state.
+  EAC_AUDIT_ONLY(std::uint32_t live_ = 0;)
+
+  // Comparisons and reads are not assignments.
+  EAC_AUDIT_CHECK(backlog_ >= 0, "backlog went negative");
+  EAC_AUDIT_CHECK(count <= limit,
+                  "queue exceeded its configured limit");
+
+  // A reasoned suppression.
+  // lint:allow(macro-hygiene: fixture demonstrating a justified side
+  // effect that is proven benign elsewhere)
+  EAC_TEL(snapshot_epoch_ = epoch);
+}
+
+}  // namespace eac

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Multi-rule static analysis for the EAC simulator tree.
+
+Rule sets (see tools/eaclint/ for the implementations):
+
+  determinism   results must be a pure function of (spec, seed):
+                std-rand, wall-clock, random-device, raw-engine,
+                unordered-iteration
+  architecture  layer isolation and resource discipline in src/:
+                cross-domain-isolation, naked-ownership, clock-purity
+  macros        instrumentation macros must not mutate simulation state:
+                macro-hygiene
+
+False positives are silenced in the source with an annotation on the same
+line or the line above — the reason text is mandatory by convention:
+
+    // lint:allow(rule-id: why this is safe)
+
+Usage:
+    eac_lint.py --root REPO_DIR          # scan src/ bench/ examples/
+                                         # tests/ tools/ (fixtures skipped)
+    eac_lint.py --self-test FIXTURES     # golden-check against
+                                         # // expect-lint(rule-id)
+    eac_lint.py --list-rules             # print the registry
+    eac_lint.py --rules determinism ...  # restrict to categories/ids
+
+Exit status: 0 clean / self-test passed, 1 findings / mismatch, 2 usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from eaclint import core  # noqa: E402
+
+
+def list_rules() -> int:
+    rules = core.all_rules()
+    width = max(len(r.id) for r in rules)
+    category = None
+    for r in rules:
+        if r.category != category:
+            category = r.category
+            print(f"{category}:")
+        print(f"  {r.id:<{width}}  {r.doc}")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="eac_lint.py",
+        description="static analysis rules for C++ simulation sources",
+    )
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument(
+        "--root",
+        type=Path,
+        help="repo root; scans src/, bench/, examples/, tests/, tools/",
+    )
+    group.add_argument(
+        "--self-test",
+        type=Path,
+        metavar="DIR",
+        help="check fixture dir against expect-lint annotations",
+    )
+    group.add_argument(
+        "--list-rules", action="store_true", help="print the rule registry"
+    )
+    parser.add_argument(
+        "--rules",
+        metavar="SPEC",
+        help="comma-separated categories and/or rule ids (default: all)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        return list_rules()
+    try:
+        rules = core.select_rules(args.rules)
+    except ValueError as err:
+        print(f"eac_lint: {err}", file=sys.stderr)
+        return 2
+    if args.self_test is not None:
+        return core.run_self_test(args.self_test, rules)
+    if not args.root.is_dir():
+        print(f"eac_lint: no such directory {args.root}", file=sys.stderr)
+        return 2
+    return core.run_tree_scan(args.root, rules)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

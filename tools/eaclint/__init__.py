@@ -1,0 +1,12 @@
+"""eac_lint: regex-level static analysis rules for the EAC simulator tree.
+
+The package splits into a shared scanner (`core`) and per-category rule
+modules. `tools/eac_lint.py` is the CLI; `tools/lint_determinism.py` is a
+compatibility shim that runs the determinism category only.
+"""
+
+from __future__ import annotations
+
+from .core import Finding, Rule, SourceFile, all_rules, select_rules
+
+__all__ = ["Finding", "Rule", "SourceFile", "all_rules", "select_rules"]

@@ -1,0 +1,377 @@
+"""Shared scanning machinery for the eac_lint rule engine.
+
+The scanner is deliberately textual (comment/string-stripped regex over
+lines, not a real C++ parse): every rule here flags a *discipline*, not a
+type error, and the disciplines are chosen so that honest code never
+tickles the pattern accidentally. The escape hatch for the rare justified
+exception is an annotation on the offending line or the line above:
+
+    // lint:allow(rule-id: why this is safe)
+
+The reason text is mandatory by convention — CI reviewers treat a bare
+allow as a finding in itself.
+
+Fixtures: `run_self_test` checks a directory of fixture files against
+`// expect-lint(rule-id)` markers, exact per (line, rule). Path-scoped
+rules (those that only apply under src/) see a fixture under the path
+named by a first-line `// lint-fixture-path: src/...` marker; without the
+marker a fixture pretends to live at src/<relative-path>.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+CXX_SUFFIXES = {".cpp", ".cc", ".cxx", ".hpp", ".hh", ".h", ".inl"}
+
+#: Directories scanned by --root, relative to the repo root. tests/ and
+#: tools/ are included so the discipline holds in the harnesses too; the
+#: lint fixtures themselves are skipped (they violate rules on purpose).
+SCAN_SUBDIRS = ("src", "bench", "examples", "tests", "tools")
+SKIP_RE = re.compile(r"^tests/lint_fixtures(?:/|$)")
+
+ALLOW_RE = re.compile(r"//\s*lint:allow\(([\w-]+)")
+EXPECT_RE = re.compile(r"//\s*expect-lint\(([\w-]+)\)")
+FIXTURE_PATH_RE = re.compile(r"//\s*lint-fixture-path:\s*(\S+)")
+
+
+class Finding:
+    __slots__ = ("path", "line", "rule", "message")
+
+    def __init__(self, path: str, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text: str) -> list[str]:
+    """Return per-line code with comments and string literals blanked.
+
+    Keeps line structure so findings carry real line numbers. Characters
+    are replaced by spaces rather than removed so column-ish regexes
+    (lookbehinds) still behave.
+    """
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line-comment | block-comment | string | char
+    cur: list[str] = []
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "\n":
+            out.append("".join(cur))
+            cur = []
+            if state == "line-comment":
+                state = "code"
+            i += 1
+            continue
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line-comment"
+                cur.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block-comment"
+                cur.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                cur.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                cur.append(" ")
+                i += 1
+                continue
+            cur.append(c)
+            i += 1
+            continue
+        if state == "block-comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                cur.append("  ")
+                i += 2
+                continue
+            cur.append(" ")
+            i += 1
+            continue
+        if state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                cur.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+            cur.append(" ")
+            i += 1
+            continue
+        # line-comment
+        cur.append(" ")
+        i += 1
+    out.append("".join(cur))
+    return out
+
+
+class SourceFile:
+    """One scanned file: raw lines (for allow annotations) plus
+    comment/string-stripped code lines (for rule patterns)."""
+
+    def __init__(self, path: Path, rel: str, text: str):
+        self.path = path
+        self.rel = rel  # "/"-separated, relative to the scan root
+        self.raw_lines = text.split("\n")
+        self.code_lines = strip_comments_and_strings(text)
+        self._sibling_code: list[str] | None = None
+        self._sibling_loaded = False
+
+    @classmethod
+    def load(cls, path: Path, rel: str) -> "SourceFile":
+        return cls(path, rel, path.read_text(encoding="utf-8", errors="replace"))
+
+    def allowed(self, idx: int) -> set[str]:
+        """Rules silenced for line `idx`: annotations on the same line or
+        in the contiguous comment block directly above (so a lint:allow
+        whose reason wraps onto further comment lines still applies)."""
+        rules: set[str] = set()
+        if 0 <= idx < len(self.raw_lines):
+            rules.update(ALLOW_RE.findall(self.raw_lines[idx]))
+        j = idx - 1
+        while 0 <= j < len(self.raw_lines):
+            raw = self.raw_lines[j]
+            code = self.code_lines[j] if j < len(self.code_lines) else ""
+            if code.strip() or not raw.strip():
+                break  # real code or a blank line ends the comment block
+            rules.update(ALLOW_RE.findall(raw))
+            j -= 1
+        return rules
+
+    def sibling_header_code(self) -> list[str]:
+        """Stripped code lines of the sibling header of a .cpp (members are
+        usually declared in the header and used in the implementation)."""
+        if not self._sibling_loaded:
+            self._sibling_loaded = True
+            self._sibling_code = []
+            if self.path.suffix in {".cpp", ".cc", ".cxx"}:
+                for suffix in (".hpp", ".hh", ".h"):
+                    sibling = self.path.with_suffix(suffix)
+                    if sibling.is_file():
+                        self._sibling_code = strip_comments_and_strings(
+                            sibling.read_text(encoding="utf-8", errors="replace")
+                        )
+                        break
+        return self._sibling_code or []
+
+
+class Rule:
+    """One lint rule: an id, a category (rule-set selector) and a check
+    that yields (line_index, message) pairs. Subclasses implement check().
+    """
+
+    id: str = ""
+    category: str = ""
+    doc: str = ""
+
+    #: When set, the rule only applies to files whose rel path matches.
+    path_re: re.Pattern[str] | None = None
+    #: When set, files whose rel path matches are exempt wholesale (the
+    #: sanctioned implementation of whatever the rule polices).
+    exempt_re: re.Pattern[str] | None = None
+
+    def applies_to(self, src: SourceFile) -> bool:
+        if self.path_re is not None and not self.path_re.match(src.rel):
+            return False
+        if self.exempt_re is not None and self.exempt_re.match(src.rel):
+            return False
+        return True
+
+    def check(self, src: SourceFile) -> Iterable[tuple[int, str]]:
+        raise NotImplementedError
+
+
+class RegexRule(Rule):
+    """A rule that fires on every code line matching one pattern."""
+
+    def __init__(
+        self,
+        rule_id: str,
+        category: str,
+        pattern: re.Pattern[str],
+        message: str,
+        doc: str = "",
+        path_re: re.Pattern[str] | None = None,
+        exempt_re: re.Pattern[str] | None = None,
+    ):
+        self.id = rule_id
+        self.category = category
+        self.pattern = pattern
+        self.message = message
+        self.doc = doc or message
+        self.path_re = path_re
+        self.exempt_re = exempt_re
+
+    def check(self, src: SourceFile) -> Iterator[tuple[int, str]]:
+        for idx, line in enumerate(src.code_lines):
+            if self.pattern.search(line):
+                yield idx, self.message
+
+
+def extract_macro_arg(
+    code_lines: list[str], start_idx: int, open_col: int, max_lines: int = 12
+) -> str:
+    """The balanced-paren argument text of a macro invocation whose opening
+    parenthesis sits at (start_idx, open_col). Joins up to `max_lines`
+    lines with spaces; an unbalanced tail returns what was gathered."""
+    depth = 0
+    parts: list[str] = []
+    for idx in range(start_idx, min(start_idx + max_lines, len(code_lines))):
+        line = code_lines[idx]
+        col = open_col if idx == start_idx else 0
+        for i in range(col, len(line)):
+            c = line[i]
+            if c == "(":
+                depth += 1
+                if depth == 1:
+                    continue  # the macro's own paren is not argument text
+            elif c == ")":
+                depth -= 1
+                if depth == 0:
+                    return "".join(parts)
+            if depth >= 1:
+                parts.append(c)
+        parts.append(" ")  # line break inside the argument list
+    return "".join(parts)
+
+
+def scan_file(src: SourceFile, rules: list[Rule]) -> list[Finding]:
+    findings: list[Finding] = []
+    for rule in rules:
+        if not rule.applies_to(src):
+            continue
+        for idx, message in rule.check(src):
+            if rule.id in src.allowed(idx):
+                continue
+            findings.append(Finding(src.rel, idx + 1, rule.id, message))
+    findings.sort(key=lambda f: (f.line, f.rule))
+    return findings
+
+
+def iter_sources(root: Path) -> list[tuple[Path, str]]:
+    files: list[tuple[Path, str]] = []
+    for sub in SCAN_SUBDIRS:
+        base = root / sub
+        if not base.is_dir():
+            continue
+        for p in sorted(base.rglob("*")):
+            if p.suffix not in CXX_SUFFIXES or not p.is_file():
+                continue
+            rel = p.relative_to(root).as_posix()
+            if SKIP_RE.match(rel):
+                continue
+            files.append((p, rel))
+    return files
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, in (category, id) order."""
+    # Imported here so the rule modules can import core freely.
+    from . import rules_architecture, rules_determinism, rules_macros
+
+    rules = (
+        rules_determinism.rules()
+        + rules_architecture.rules()
+        + rules_macros.rules()
+    )
+    rules.sort(key=lambda r: (r.category, r.id))
+    return rules
+
+
+def select_rules(spec: str | None) -> list[Rule]:
+    """Filter the registry by a comma-separated list of categories and/or
+    rule ids; None or "all" selects everything."""
+    rules = all_rules()
+    if spec is None or spec.strip() in ("", "all"):
+        return rules
+    wanted = {tok.strip() for tok in spec.split(",") if tok.strip()}
+    known = {r.id for r in rules} | {r.category for r in rules}
+    unknown = wanted - known
+    if unknown:
+        raise ValueError(
+            "unknown rule or category: " + ", ".join(sorted(unknown))
+        )
+    return [r for r in rules if r.id in wanted or r.category in wanted]
+
+
+def run_tree_scan(root: Path, rules: list[Rule], prog: str = "eac_lint") -> int:
+    findings: list[Finding] = []
+    files = iter_sources(root)
+    for path, rel in files:
+        findings.extend(scan_file(SourceFile.load(path, rel), rules))
+    for f in findings:
+        print(f)
+    print(
+        f"{prog}: {len(files)} files scanned, {len(rules)} rule(s), "
+        f"{len(findings)} finding(s)"
+    )
+    return 1 if findings else 0
+
+
+def fixture_rel(path: Path, fixtures: Path) -> str:
+    """The path a fixture pretends to live at (see module docstring)."""
+    rel = path.relative_to(fixtures).as_posix()
+    try:
+        first = path.read_text(encoding="utf-8").split("\n", 1)[0]
+    except OSError:
+        first = ""
+    m = FIXTURE_PATH_RE.search(first)
+    if m:
+        return m.group(1)
+    return f"src/{rel}"
+
+
+def run_self_test(fixtures: Path, rules: list[Rule], prog: str = "eac_lint") -> int:
+    """Check findings against // expect-lint(rule) annotations, per line.
+
+    Markers for rules outside the selected set are ignored, so a shared
+    fixture can carry expectations for several categories and still pass a
+    category-restricted run (the lint_determinism.py shim).
+    """
+    ok = True
+    enabled = {r.id for r in rules}
+    paths = sorted(
+        p for p in fixtures.rglob("*") if p.suffix in CXX_SUFFIXES and p.is_file()
+    )
+    if not paths:
+        print(f"{prog}: no fixtures under {fixtures}", file=sys.stderr)
+        return 2
+    for path in paths:
+        rel = fixture_rel(path, fixtures)
+        raw_lines = path.read_text(encoding="utf-8").split("\n")
+        expected: set[tuple[int, str]] = set()
+        for idx, line in enumerate(raw_lines):
+            for rule in EXPECT_RE.findall(line):
+                if rule in enabled:
+                    expected.add((idx + 1, rule))
+        src = SourceFile(path, rel, "\n".join(raw_lines))
+        actual = {(f.line, f.rule) for f in scan_file(src, rules)}
+        for line_no, rule in sorted(expected - actual):
+            ok = False
+            print(f"{rel}:{line_no}: expected [{rule}] but lint was silent")
+        for line_no, rule in sorted(actual - expected):
+            ok = False
+            print(f"{rel}:{line_no}: unexpected [{rule}] finding")
+    print(
+        f"{prog} self-test: {len(paths)} fixture(s), {len(enabled)} rule(s) "
+        f"{'passed' if ok else 'FAILED'}"
+    )
+    return 0 if ok else 1

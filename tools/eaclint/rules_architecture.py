@@ -1,0 +1,128 @@
+"""Architecture rules: layer isolation and resource discipline in src/.
+
+These rules police boundaries the build system cannot: which layers may
+name the domain-decomposition machinery, who may allocate raw memory, and
+which clocks simulation code may read. They apply to src/ only — tests
+and benches legitimately poke through the layers they exercise.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+from .core import RegexRule, Rule, SourceFile
+
+CATEGORY = "architecture"
+
+SRC_RE = re.compile(r"^src/")
+
+# --- cross-domain-isolation ------------------------------------------------
+
+# The conservative-parallel machinery (sim/domain.hpp) and the cross-domain
+# mailboxes (net/link.hpp) are wired together exclusively by the scenario
+# builder; any other layer naming them is a layering violation — a policy,
+# queue or estimator must not know whether the run is partitioned.
+DOMAIN_TOKENS_RE = re.compile(
+    r"\b(?:SimDomain|DomainCoordinator|CrossInbox|CrossMsg|deliver_remote)\b"
+)
+DOMAIN_LAYERS_RE = re.compile(
+    r"^src/(?:sim/domain\.(?:hpp|cpp)|net/link\.(?:hpp|cpp)|scenario/)"
+)
+
+# Thread-local instrumentation scopes are swapped only by the layers that
+# define them and by the builder's per-domain install/remove hooks; a
+# component swapping scopes mid-run would silently re-route another
+# component's samples.
+EXCHANGE_RE = re.compile(r"\bexchange_current\b")
+EXCHANGE_LAYERS_RE = re.compile(
+    r"^src/(?:telemetry/|trace/|sim/audit\.(?:hpp|cpp)|scenario/)"
+)
+
+
+class CrossDomainIsolationRule(Rule):
+    id = "cross-domain-isolation"
+    category = CATEGORY
+    doc = (
+        "domain-decomposition machinery referenced outside its owning "
+        "layers (sim/domain, net/link, scenario)"
+    )
+    path_re = SRC_RE
+
+    def check(self, src: SourceFile) -> Iterator[tuple[int, str]]:
+        in_domain_layer = bool(DOMAIN_LAYERS_RE.match(src.rel))
+        in_exchange_layer = bool(EXCHANGE_LAYERS_RE.match(src.rel))
+        for idx, line in enumerate(src.code_lines):
+            if not in_domain_layer:
+                m = DOMAIN_TOKENS_RE.search(line)
+                if m:
+                    yield idx, (
+                        f"'{m.group(0)}' belongs to the domain-decomposition "
+                        "layers (sim/domain, net/link, scenario); components "
+                        "must stay partition-agnostic"
+                    )
+            if not in_exchange_layer and EXCHANGE_RE.search(line):
+                yield idx, (
+                    "exchange_current swaps a thread-local instrumentation "
+                    "scope; only the defining layer and the scenario builder "
+                    "may call it"
+                )
+
+
+# --- naked-ownership -------------------------------------------------------
+
+NEW_RE = re.compile(r"(?<![\w.])new\s+[A-Za-z_:]")
+DELETE_RE = re.compile(r"\bdelete\b\s*(?:\[\s*\])?\s*[A-Za-z_*(]")
+OPERATOR_BEFORE_RE = re.compile(r"\boperator\s*$")
+
+
+class NakedOwnershipRule(Rule):
+    """Raw new/delete in simulation code. Every allocation in src/ flows
+    through std::unique_ptr/std::make_unique (or the packet arena); the
+    one sanctioned exception is the small-buffer callback container
+    sim/event_fn.hpp, which implements ownership itself."""
+
+    id = "naked-ownership"
+    category = CATEGORY
+    doc = "raw new/delete outside the sanctioned owner types"
+    path_re = SRC_RE
+    exempt_re = re.compile(r"^src/sim/event_fn\.hpp$")
+
+    def check(self, src: SourceFile) -> Iterator[tuple[int, str]]:
+        for idx, line in enumerate(src.code_lines):
+            for pattern, what in ((NEW_RE, "new"), (DELETE_RE, "delete")):
+                for m in pattern.finditer(line):
+                    # `operator new` / `operator delete` declarations and
+                    # placement-new forwarding are allocator plumbing, not
+                    # an ownership claim.
+                    if OPERATOR_BEFORE_RE.search(line[: m.start()]):
+                        continue
+                    yield idx, (
+                        f"raw `{what}` expression; own memory via "
+                        "std::unique_ptr/std::make_unique (sanctioned "
+                        "exception: sim/event_fn.hpp)"
+                    )
+                    break  # one finding per line per keyword
+
+
+# --- clock-purity ----------------------------------------------------------
+
+def rules() -> list[Rule]:
+    return [
+        CrossDomainIsolationRule(),
+        NakedOwnershipRule(),
+        RegexRule(
+            "clock-purity",
+            CATEGORY,
+            re.compile(r"\bsteady_clock\b"),
+            "simulation code derives time from sim::SimTime, never a host "
+            "clock; steady_clock is legitimate only in wall-profiling "
+            "instrumentation (justify with lint:allow)",
+            doc=(
+                "steady_clock read in src/ — the wall-clock rule covers "
+                "system/high_resolution clocks everywhere; this one keeps "
+                "even the monotonic clock out of simulation logic"
+            ),
+            path_re=SRC_RE,
+        ),
+    ]

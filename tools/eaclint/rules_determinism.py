@@ -1,0 +1,101 @@
+"""Determinism rules: results must be a pure function of (spec, seed).
+
+The repo's replication harness and golden tests depend on bit-identical
+reruns; these rules flag the standard ways C++ code silently breaks that
+property. Ported unchanged from the original lint_determinism.py.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+from .core import RegexRule, Rule, SourceFile
+
+CATEGORY = "determinism"
+
+# Paths where the raw <random> machinery is allowed: the seeded
+# RandomStream wrapper itself.
+RANDOM_WRAPPER_RE = re.compile(r"^src/sim/random\.(hpp|cpp)$")
+
+RAW_ENGINE_RE = re.compile(
+    r"\bstd::(?:mt19937(?:_64)?|minstd_rand0?|default_random_engine|"
+    r"ranlux(?:24|48)(?:_base)?|knuth_b|linear_congruential_engine|"
+    r"mersenne_twister_engine|subtract_with_carry_engine)\b"
+)
+
+UNORDERED_DECL_RE = re.compile(
+    r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<[^;{]*?>\s+(\w+)\s*[;{=]"
+)
+RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;()]*?:\s*(?:this->)?(\w+)\s*\)")
+
+
+class UnorderedIterationRule(Rule):
+    """Range-for over a container this file (or its sibling header)
+    declares as std::unordered_* — iteration order is implementation-
+    defined, so any result-affecting loop over one must justify itself."""
+
+    id = "unordered-iteration"
+    category = CATEGORY
+    doc = "range-for over an unordered container declared in this file"
+
+    @staticmethod
+    def _decls(code_lines: list[str]) -> set[str]:
+        names: set[str] = set()
+        for line in code_lines:
+            for m in UNORDERED_DECL_RE.finditer(line):
+                names.add(m.group(1))
+        return names
+
+    def check(self, src: SourceFile) -> Iterator[tuple[int, str]]:
+        names = self._decls(src.code_lines)
+        names |= self._decls(src.sibling_header_code())
+        if not names:
+            return
+        for idx, line in enumerate(src.code_lines):
+            for m in RANGE_FOR_RE.finditer(line):
+                if m.group(1) in names:
+                    yield idx, (
+                        f"iteration over unordered container '{m.group(1)}' "
+                        "has implementation-defined order"
+                    )
+
+
+def rules() -> list[Rule]:
+    return [
+        RegexRule(
+            "std-rand",
+            CATEGORY,
+            re.compile(r"(?:\bstd::s?rand\b|(?<![\w:.])s?rand\s*\()"),
+            "std::rand/srand use hidden global state; use sim::RandomStream",
+        ),
+        RegexRule(
+            "wall-clock",
+            CATEGORY,
+            # Bare time(...) must carry an argument (libc time always does)
+            # so that declaring a member *named* time() is not a finding;
+            # member calls are excluded by the lookbehind.
+            re.compile(
+                r"(?:\bstd::time\s*\(|(?<![\w:.>])time\s*\(\s*[^)\s]|"
+                r"\bstd::clock\s*\(|(?<![\w:.>])clock\s*\(\s*\)|"
+                r"\bgettimeofday\s*\(|\bclock_gettime\s*\(|"
+                r"\bsystem_clock\b|\bhigh_resolution_clock\b)"
+            ),
+            "wall-clock reads make results depend on when the run happened",
+        ),
+        RegexRule(
+            "random-device",
+            CATEGORY,
+            re.compile(r"\bstd::random_device\b"),
+            "std::random_device is nondeterministic; seed via sim::RandomStream",
+        ),
+        RegexRule(
+            "raw-engine",
+            CATEGORY,
+            RAW_ENGINE_RE,
+            "raw <random> engine outside src/sim/random.hpp; "
+            "use sim::RandomStream(seed, stream)",
+            exempt_re=RANDOM_WRAPPER_RE,
+        ),
+        UnorderedIterationRule(),
+    ]

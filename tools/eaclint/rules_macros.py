@@ -1,0 +1,130 @@
+"""Macro-hygiene rule: instrumentation macros must not mutate simulation
+state.
+
+The telemetry/trace/audit layers promise that an instrumented run is
+bit-identical to a bare one (-DEAC_TELEMETRY=OFF etc. compile the hooks
+away entirely). That promise dies the moment an EAC_TEL / EAC_TRC /
+EAC_AUDIT* argument carries a side effect on simulation state: the effect
+exists in one build flavour and not the other. This rule scans macro
+arguments for two shapes of mutation:
+
+  * assignments / increments whose target does not look instrumentation-
+    owned (no tel/trc/trace/track/telemetry/audit/dbg token in the name)
+    and is not a declaration (a member declared inside an *_ONLY splice
+    exists only in instrumented builds, so initializing it is fine);
+  * calls to simulation mutators (schedule*, queue ops, RNG draws) on
+    receivers that do not look instrumentation-owned.
+
+Heuristic by design — the point is to make accidental state capture loud,
+with lint:allow(macro-hygiene: reason) for the justified exception.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+from .core import Rule, SourceFile, extract_macro_arg
+
+CATEGORY = "macros"
+
+#: Instrumentation macro invocations (definitions live on `#define` lines,
+#: which are skipped). EAC_TEL_ONLY / EAC_TRC_ONLY / EAC_AUDIT_ONLY splice
+#: members and statements; EAC_TEL / EAC_TRC / EAC_AUDIT_CHECK / _COUNT
+#: wrap expressions.
+MACRO_RE = re.compile(r"\bEAC_(?:TEL|TRC|AUDIT)[A-Z_]*\s*(\()")
+
+#: Name tokens that mark a target as instrumentation-owned.
+OWNED_TOKENS_RE = re.compile(
+    r"(?:tel|trc|trace|track|telemetry|audit|dbg)", re.IGNORECASE
+)
+
+#: Post/pre increment-decrement, e.g. `++live_` / `live_++`.
+INCDEC_RE = re.compile(
+    r"(?:(?:\+\+|--)\s*([A-Za-z_][\w.]*(?:->[\w.]+)*)"
+    r"|([A-Za-z_][\w.]*(?:->[\w.]+)*)\s*(?:\+\+|--))"
+)
+
+#: Assignment to a member chain. The operator part deliberately excludes
+#: comparison shapes: `<=`, `>=`, `==`, `!=` never match.
+ASSIGN_RE = re.compile(
+    r"([A-Za-z_][\w]*(?:(?:\.|->)[A-Za-z_]\w*)*(?:\[[^\]]*\])?)\s*"
+    r"(?:\+|-|\*|/|%|\||&|\^|<<|>>)?=(?!=)"
+)
+
+#: Simulation mutators that must never hide inside an instrumentation
+#: macro unless the receiver is instrumentation-owned.
+MUTATOR_CALL_RE = re.compile(
+    r"((?:[A-Za-z_]\w*(?:\.|->|::))*)"
+    r"(schedule\w*|push_back|push_front|push|pop_back|pop_front|pop|"
+    r"enqueue|dequeue|insert|erase|clear|reset|cancel|stop|handle|"
+    r"deliver\w*|next_u64|next_double|uniform\w*|exponential\w*)\s*\("
+)
+
+PREPROC_RE = re.compile(r"^\s*#")
+
+
+def _statement_prefix(arg: str, pos: int) -> str:
+    """Text from the start of the enclosing statement to `pos`."""
+    start = max(arg.rfind(";", 0, pos), arg.rfind("{", 0, pos))
+    return arg[start + 1 : pos]
+
+
+def _is_declaration(prefix: str) -> bool:
+    """True when an assignment target is preceded by type tokens, i.e. the
+    `x` in `std::uint32_t x = 0` — a declaration with initializer, not a
+    mutation of pre-existing state."""
+    return re.search(r"[\w>\]&*]\s+$", prefix) is not None
+
+
+class MacroHygieneRule(Rule):
+    id = "macro-hygiene"
+    category = CATEGORY
+    doc = (
+        "side effect on simulation state inside an EAC_TEL/EAC_TRC/"
+        "EAC_AUDIT macro argument"
+    )
+
+    def check(self, src: SourceFile) -> Iterator[tuple[int, str]]:
+        for idx, line in enumerate(src.code_lines):
+            if PREPROC_RE.match(line):
+                continue
+            for m in MACRO_RE.finditer(line):
+                arg = extract_macro_arg(src.code_lines, idx, m.start(1))
+                message = self._check_arg(arg)
+                if message is not None:
+                    yield idx, message
+
+    @staticmethod
+    def _check_arg(arg: str) -> str | None:
+        for m in INCDEC_RE.finditer(arg):
+            target = m.group(1) or m.group(2)
+            if not OWNED_TOKENS_RE.search(target):
+                return (
+                    f"increment of '{target}' inside an instrumentation "
+                    "macro; hooks must not mutate simulation state"
+                )
+        for m in ASSIGN_RE.finditer(arg):
+            target = m.group(1)
+            if OWNED_TOKENS_RE.search(target):
+                continue
+            if _is_declaration(_statement_prefix(arg, m.start(1))):
+                continue  # member declared by the splice itself
+            return (
+                f"assignment to '{target}' inside an instrumentation "
+                "macro; hooks must not mutate simulation state"
+            )
+        for m in MUTATOR_CALL_RE.finditer(arg):
+            receiver, callee = m.group(1), m.group(2)
+            context = _statement_prefix(arg, m.start()) + receiver + callee
+            if OWNED_TOKENS_RE.search(context):
+                continue
+            return (
+                f"call to mutator '{callee}' inside an instrumentation "
+                "macro; hooks must not mutate simulation state"
+            )
+        return None
+
+
+def rules() -> list[Rule]:
+    return [MacroHygieneRule()]

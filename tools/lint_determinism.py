@@ -1,320 +1,24 @@
 #!/usr/bin/env python3
-"""Determinism lint for the EAC simulator tree.
+"""Determinism lint for the EAC simulator tree — compatibility shim.
 
-Simulation results must be a pure function of (spec, seed): the repo's
-replication harness and golden tests depend on bit-identical reruns. This
-tool scans C++ sources for constructs that break that property:
-
-  std-rand             std::rand / srand / bare rand() (global hidden state)
-  wall-clock           time(), clock(), gettimeofday, clock_gettime,
-                       std::chrono::system_clock / high_resolution_clock
-  random-device        std::random_device (nondeterministic by design)
-  raw-engine           direct <random> engine use (mt19937 & friends)
-                       outside src/sim/random.hpp, the one sanctioned
-                       wrapper (seeded per-component via splitmix64)
-  unordered-iteration  range-for over a container this file declares as
-                       std::unordered_map/set — iteration order is
-                       implementation-defined, so any result-affecting
-                       loop over one must justify itself
-
-False positives are silenced in the source with an annotation on the same
-line or the line above:
-
-    // lint:allow(rule-id: why this is safe)
-
-Usage:
-    lint_determinism.py --root REPO_DIR        # scan src/ bench/ examples/
-    lint_determinism.py --self-test FIXTURES   # golden-check against
-                                               # // expect-lint(rule-id)
-
-Exit status: 0 clean / self-test passed, 1 findings / mismatch, 2 usage.
+The determinism rules (std-rand, wall-clock, random-device, raw-engine,
+unordered-iteration) now live in the multi-rule engine tools/eac_lint.py;
+this entry point runs exactly that subset so existing invocations and CI
+references keep working. See `eac_lint.py --list-rules` for the full set.
 """
 
 from __future__ import annotations
 
-import argparse
-import re
 import sys
 from pathlib import Path
 
-CXX_SUFFIXES = {".cpp", ".cc", ".cxx", ".hpp", ".hh", ".h", ".inl"}
-SCAN_SUBDIRS = ("src", "bench", "examples")
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-# Paths (relative to the scan root, "/"-separated) where the raw <random>
-# machinery is allowed: the seeded RandomStream wrapper itself.
-RANDOM_WRAPPER_RE = re.compile(r"^src/sim/random\.(hpp|cpp)$")
-
-# rule id -> (regex, message). Patterns run on comment-stripped lines.
-SIMPLE_RULES = [
-    (
-        "std-rand",
-        re.compile(r"(?:\bstd::s?rand\b|(?<![\w:.])s?rand\s*\()"),
-        "std::rand/srand use hidden global state; use sim::RandomStream",
-    ),
-    (
-        "wall-clock",
-        # Bare time(...) must carry an argument (libc time always does) so
-        # that declaring a member *named* time() is not a finding; member
-        # calls are excluded by the lookbehind.
-        re.compile(
-            r"(?:\bstd::time\s*\(|(?<![\w:.>])time\s*\(\s*[^)\s]|"
-            r"\bstd::clock\s*\(|(?<![\w:.>])clock\s*\(\s*\)|"
-            r"\bgettimeofday\s*\(|\bclock_gettime\s*\(|"
-            r"\bsystem_clock\b|\bhigh_resolution_clock\b)"
-        ),
-        "wall-clock reads make results depend on when the run happened",
-    ),
-    (
-        "random-device",
-        re.compile(r"\bstd::random_device\b"),
-        "std::random_device is nondeterministic; seed via sim::RandomStream",
-    ),
-]
-
-# Raw standard-library engines; only the sanctioned wrapper may name them.
-RAW_ENGINE_RE = re.compile(
-    r"\bstd::(?:mt19937(?:_64)?|minstd_rand0?|default_random_engine|"
-    r"ranlux(?:24|48)(?:_base)?|knuth_b|linear_congruential_engine|"
-    r"mersenne_twister_engine|subtract_with_carry_engine)\b"
-)
-
-UNORDERED_DECL_RE = re.compile(
-    r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<[^;{]*?>\s+(\w+)\s*[;{=]"
-)
-RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;()]*?:\s*(?:this->)?(\w+)\s*\)")
-
-ALLOW_RE = re.compile(r"//\s*lint:allow\(([\w-]+)")
-EXPECT_RE = re.compile(r"//\s*expect-lint\(([\w-]+)\)")
-
-
-class Finding:
-    __slots__ = ("path", "line", "rule", "message")
-
-    def __init__(self, path: str, line: int, rule: str, message: str):
-        self.path = path
-        self.line = line
-        self.rule = rule
-        self.message = message
-
-    def __str__(self) -> str:
-        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
-
-
-def strip_comments_and_strings(text: str) -> list[str]:
-    """Return per-line code with comments and string literals blanked.
-
-    Keeps line structure so findings carry real line numbers. Characters
-    are replaced by spaces rather than removed so column-ish regexes
-    (lookbehinds) still behave.
-    """
-    out = []
-    i, n = 0, len(text)
-    state = "code"  # code | line-comment | block-comment | string | char
-    cur: list[str] = []
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if c == "\n":
-            out.append("".join(cur))
-            cur = []
-            if state == "line-comment":
-                state = "code"
-            i += 1
-            continue
-        if state == "code":
-            if c == "/" and nxt == "/":
-                state = "line-comment"
-                cur.append("  ")
-                i += 2
-                continue
-            if c == "/" and nxt == "*":
-                state = "block-comment"
-                cur.append("  ")
-                i += 2
-                continue
-            if c == '"':
-                state = "string"
-                cur.append(" ")
-                i += 1
-                continue
-            if c == "'":
-                state = "char"
-                cur.append(" ")
-                i += 1
-                continue
-            cur.append(c)
-            i += 1
-            continue
-        if state == "block-comment":
-            if c == "*" and nxt == "/":
-                state = "code"
-                cur.append("  ")
-                i += 2
-                continue
-            cur.append(" ")
-            i += 1
-            continue
-        if state in ("string", "char"):
-            quote = '"' if state == "string" else "'"
-            if c == "\\":
-                cur.append("  ")
-                i += 2
-                continue
-            if c == quote:
-                state = "code"
-            cur.append(" ")
-            i += 1
-            continue
-        # line-comment
-        cur.append(" ")
-        i += 1
-    out.append("".join(cur))
-    return out
-
-
-def allowed_rules(raw_lines: list[str], idx: int) -> set[str]:
-    """Rules silenced for line `idx` (same line or the line above)."""
-    rules: set[str] = set()
-    for j in (idx, idx - 1):
-        if 0 <= j < len(raw_lines):
-            rules.update(ALLOW_RE.findall(raw_lines[j]))
-    return rules
-
-
-def unordered_decls(code_lines: list[str]) -> set[str]:
-    names: set[str] = set()
-    for line in code_lines:
-        for m in UNORDERED_DECL_RE.finditer(line):
-            names.add(m.group(1))
-    return names
-
-
-def scan_file(path: Path, rel: str) -> list[Finding]:
-    text = path.read_text(encoding="utf-8", errors="replace")
-    raw_lines = text.split("\n")
-    code_lines = strip_comments_and_strings(text)
-    in_wrapper = bool(RANDOM_WRAPPER_RE.match(rel))
-
-    unordered_names = unordered_decls(code_lines)
-    # Members are usually declared in the class header and iterated in the
-    # implementation file: fold the sibling header's declarations in.
-    if path.suffix in {".cpp", ".cc", ".cxx"}:
-        for header_suffix in (".hpp", ".hh", ".h"):
-            sibling = path.with_suffix(header_suffix)
-            if sibling.is_file():
-                unordered_names |= unordered_decls(
-                    strip_comments_and_strings(
-                        sibling.read_text(encoding="utf-8", errors="replace")
-                    )
-                )
-
-    findings: list[Finding] = []
-
-    def report(idx: int, rule: str, message: str) -> None:
-        if rule in allowed_rules(raw_lines, idx):
-            return
-        findings.append(Finding(rel, idx + 1, rule, message))
-
-    for idx, line in enumerate(code_lines):
-        for rule, pattern, message in SIMPLE_RULES:
-            if pattern.search(line):
-                report(idx, rule, message)
-        if not in_wrapper and RAW_ENGINE_RE.search(line):
-            report(
-                idx,
-                "raw-engine",
-                "raw <random> engine outside src/sim/random.hpp; "
-                "use sim::RandomStream(seed, stream)",
-            )
-        for m in RANGE_FOR_RE.finditer(line):
-            if m.group(1) in unordered_names:
-                report(
-                    idx,
-                    "unordered-iteration",
-                    f"iteration over unordered container '{m.group(1)}' "
-                    "has implementation-defined order",
-                )
-    return findings
-
-
-def iter_sources(root: Path) -> list[tuple[Path, str]]:
-    files: list[tuple[Path, str]] = []
-    for sub in SCAN_SUBDIRS:
-        base = root / sub
-        if not base.is_dir():
-            continue
-        for p in sorted(base.rglob("*")):
-            if p.suffix in CXX_SUFFIXES and p.is_file():
-                files.append((p, p.relative_to(root).as_posix()))
-    return files
-
-
-def run_tree_scan(root: Path) -> int:
-    findings: list[Finding] = []
-    files = iter_sources(root)
-    for path, rel in files:
-        findings.extend(scan_file(path, rel))
-    for f in findings:
-        print(f)
-    print(
-        f"lint_determinism: {len(files)} files scanned, "
-        f"{len(findings)} finding(s)"
-    )
-    return 1 if findings else 0
-
-
-def run_self_test(fixtures: Path) -> int:
-    """Check findings against // expect-lint(rule) annotations, per line."""
-    ok = True
-    paths = sorted(
-        p for p in fixtures.rglob("*") if p.suffix in CXX_SUFFIXES and p.is_file()
-    )
-    if not paths:
-        print(f"lint_determinism: no fixtures under {fixtures}", file=sys.stderr)
-        return 2
-    for path in paths:
-        rel = path.relative_to(fixtures).as_posix()
-        raw_lines = path.read_text(encoding="utf-8").split("\n")
-        expected: set[tuple[int, str]] = set()
-        for idx, line in enumerate(raw_lines):
-            for rule in EXPECT_RE.findall(line):
-                expected.add((idx + 1, rule))
-        actual = {(f.line, f.rule) for f in scan_file(path, rel)}
-        for line_no, rule in sorted(expected - actual):
-            ok = False
-            print(f"{rel}:{line_no}: expected [{rule}] but lint was silent")
-        for line_no, rule in sorted(actual - expected):
-            ok = False
-            print(f"{rel}:{line_no}: unexpected [{rule}] finding")
-    print(
-        f"lint_determinism self-test: {len(paths)} fixture(s) "
-        f"{'passed' if ok else 'FAILED'}"
-    )
-    return 0 if ok else 1
+from eac_lint import main as eac_lint_main  # noqa: E402
 
 
 def main(argv: list[str]) -> int:
-    parser = argparse.ArgumentParser(
-        prog="lint_determinism.py",
-        description="determinism lint for C++ simulation sources",
-    )
-    group = parser.add_mutually_exclusive_group(required=True)
-    group.add_argument(
-        "--root", type=Path, help="repo root; scans src/, bench/, examples/"
-    )
-    group.add_argument(
-        "--self-test",
-        type=Path,
-        metavar="DIR",
-        help="check fixture dir against expect-lint annotations",
-    )
-    args = parser.parse_args(argv)
-    if args.self_test is not None:
-        return run_self_test(args.self_test)
-    if not args.root.is_dir():
-        print(f"lint_determinism: no such directory {args.root}", file=sys.stderr)
-        return 2
-    return run_tree_scan(args.root)
+    return eac_lint_main(["--rules", "determinism", *argv])
 
 
 if __name__ == "__main__":
