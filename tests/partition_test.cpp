@@ -85,6 +85,8 @@ void check_partition(const ScenarioSpec& spec, const Partition& p) {
 }
 
 TEST(PartitionTest, PropertyRandomSpecsRespectLookaheadFloor) {
+  // lint:allow(raw-engine: property-test shape generator with a fixed
+  // literal seed; it drives no simulation and never mixes with run RNG)
   std::mt19937 rng{20260808};
   for (int trial = 0; trial < 200; ++trial) {
     const std::size_t n = 3 + rng() % 20;
