@@ -1,0 +1,155 @@
+// Datacenter-fabric benchmark: the paper's five admission designs on a
+// generated k-ary fat-tree (scenario/topogen.hpp) with ECMP multipath.
+//
+// Workloads, in run order (each appends one row to the --json artifact,
+// canonically BENCH_topology.json):
+//
+//   calibration      the same bare event chain as bench_scale, so the
+//                    perf gate (tools/check_perf.py) can normalize the
+//                    fabric rows across hardware.
+//   fattree_<design> one fixed-window run per admission design — the four
+//                    endpoint prototypes plus the Measured Sum benchmark —
+//                    on the fat-tree, pod-pair traffic hashed across the
+//                    fabric's equal-cost paths.
+//
+// --preset=smoke (CI) uses the k=4 / 16-host tree at a short window;
+// --preset=full the paper-scale k=8 / 128-host tree at the fixed 320 s /
+// 120 s window. Both are deterministic: the spec is a pure function of
+// (params, seed) and the run honours EAC_DOMAINS byte-identically.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+
+#include "bench_util.hpp"
+#include "scenario/topogen.hpp"
+
+namespace {
+
+using namespace eac;
+
+void report_row(const char* name, const scenario::ScenarioSpec* spec,
+                const scenario::ScenarioResult* res, std::uint64_t events,
+                double wall_s) {
+  const double eps_s =
+      wall_s > 0 ? static_cast<double>(events) / wall_s : 0.0;
+  const std::uint64_t rss = scenario::current_peak_rss_bytes();
+
+  // Admission-hop average utilization, as eac_cli summarizes fabrics.
+  double util = 0, loss = 0, blocking = 0;
+  if (spec != nullptr && res != nullptr) {
+    int hops = 0;
+    for (std::size_t i = 0; i < spec->links.size(); ++i) {
+      if (spec->links[i].queue != scenario::LinkQueueKind::kAdmission)
+        continue;
+      util += res->links.at(i).utilization;
+      ++hops;
+    }
+    if (hops > 0) util /= hops;
+    loss = res->loss();
+    blocking = res->blocking();
+  }
+
+  std::printf("%-24s %9.4f %10.3e %9.3f %12llu %8.2f %14.0f %10.1f\n", name,
+              util, loss, blocking, static_cast<unsigned long long>(events),
+              wall_s, eps_s, static_cast<double>(rss) / (1024.0 * 1024.0));
+  std::fflush(stdout);
+  bench::JsonReport::instance().add_events(events);
+  if (bench::json_enabled()) {
+    scenario::JsonWriter w;
+    w.object_begin()
+        .field("name", name)
+        .field("utilization", util)
+        .field("loss", loss)
+        .field("blocking", blocking)
+        .field("events", events)
+        .field("wall_s", wall_s)
+        .field("events_per_second", eps_s)
+        .field("peak_rss_bytes", rss)
+        .object_end();
+    bench::json_row(w.take());
+  }
+}
+
+/// The same self-rescheduling chain bench_scale calibrates with.
+void run_calibration() {
+  constexpr std::uint64_t kEvents = 2'000'000;
+  sim::Simulator sim;
+  std::uint64_t remaining = kEvents;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::function<void()> tick = [&] {
+    if (--remaining > 0) {
+      sim.schedule_after(sim::SimTime::nanoseconds(100), [&] { tick(); });
+    }
+  };
+  sim.schedule_after(sim::SimTime::nanoseconds(100), [&] { tick(); });
+  const std::uint64_t executed = sim.run();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  report_row("calibration", nullptr, nullptr, executed, wall);
+}
+
+scenario::ScenarioSpec tree_spec(int k, double duration_s, double warmup_s) {
+  scenario::FatTreeParams p;
+  p.k = k;
+  scenario::ScenarioSpec spec = scenario::make_fat_tree(p, 17);
+  spec.duration_s = duration_s;
+  spec.warmup_s = warmup_s;
+  return spec;
+}
+
+void run_design(const scenario::ScenarioSpec& base, const char* name,
+                scenario::PolicyKind policy, const EacConfig& eac,
+                double eps, double mbac_target) {
+  scenario::ScenarioSpec spec = base;
+  spec.policy = policy;
+  spec.eac = eac;
+  spec.mbac_target_utilization = mbac_target;
+  for (auto& c : spec.flows) c.epsilon = eps;
+  const std::string row = std::string{"fattree_"} + name;
+  const auto t0 = std::chrono::steady_clock::now();
+  const scenario::ScenarioResult res = scenario::run_scenario(spec);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  report_row(row.c_str(), &spec, &res, res.events, wall);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
+  bool full = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--preset=full") == 0) full = true;
+  }
+  const int k = full ? 8 : 4;
+  const scenario::ScenarioSpec base =
+      full ? tree_spec(8, 320, 120) : tree_spec(4, 60, 20);
+
+  std::printf("# fat-tree k=%d: %d hosts, %zu links, ECMP pod-pair traffic\n",
+              k, scenario::fat_tree_hosts(k), base.links.size());
+  std::printf("%-24s %9s %10s %9s %12s %8s %14s %10s\n", "name", "util",
+              "loss", "blocking", "events", "wall_s", "events/s", "rss_mb");
+
+  run_calibration();
+  // The four endpoint prototypes at their loss-load operating points
+  // (in-band eps 0.01, out-of-band 0.05), plus the Measured Sum benchmark.
+  run_design(base, "drop-inband", scenario::PolicyKind::kEndpoint,
+             drop_in_band(), 0.01, 0.9);
+  run_design(base, "drop-outofband", scenario::PolicyKind::kEndpoint,
+             drop_out_of_band(), 0.05, 0.9);
+  run_design(base, "mark-inband", scenario::PolicyKind::kEndpoint,
+             mark_in_band(), 0.01, 0.9);
+  run_design(base, "mark-outofband", scenario::PolicyKind::kEndpoint,
+             mark_out_of_band(), 0.05, 0.9);
+  run_design(base, "mbac", scenario::PolicyKind::kMbac, drop_in_band(), 0.01,
+             0.9);
+
+  bench::maybe_telemetry_run(base);
+  bench::maybe_trace_run(base);
+  return 0;
+}

@@ -18,6 +18,7 @@
 #include "scenario/builder.hpp"
 #include "scenario/report.hpp"
 #include "scenario/runner.hpp"
+#include "scenario/topogen.hpp"
 #include "telemetry/telemetry.hpp"
 #include "trace/trace.hpp"
 #include "traffic/catalog.hpp"
@@ -46,8 +47,16 @@ void usage() {
       "  --seeds N                     replications to average (1)\n"
       "  --seed N                      base RNG seed (1)\n"
       "  --retries N / --backoff X     retry rejected flows (off)\n"
-      "  --scenario single|multihop    topology: the single bottleneck or\n"
-      "                                the 4-cluster partitionable ring\n"
+      "  --scenario single|multihop|fattree|dumbbells|backbone\n"
+      "                                topology: the single bottleneck, the\n"
+      "                                4-cluster partitionable ring, or a\n"
+      "                                generated ECMP fabric (topogen.hpp)\n"
+      "  --hosts N / --k N             fat-tree size: host count (16) or\n"
+      "                                arity k (overrides --hosts)\n"
+      "  --leaves N / --pairs N        dumbbells: leaf count (4), host\n"
+      "                                pairs per leaf (4)\n"
+      "  --routers N / --flowpairs N   backbone: router count (12), random\n"
+      "                                host-pair flow classes (8)\n"
       "  --domains N                   event domains (worker threads); 0 =\n"
       "                                honor EAC_DOMAINS, default serial\n"
       "  --json PATH                   write spec+result JSON of one run\n"
@@ -158,24 +167,69 @@ int main(int argc, char** argv) {
   cfg.seed = static_cast<std::uint64_t>(num("seed", 1));
 
   const std::string scen = get("scenario", "single");
-  if (scen != "single" && scen != "multihop") {
+  if (scen != "single" && scen != "multihop" && scen != "fattree" &&
+      scen != "dumbbells" && scen != "backbone") {
     std::fprintf(stderr, "unknown scenario '%s'\n", scen.c_str());
     usage();
     return 2;
   }
+  const bool generated =
+      scen == "fattree" || scen == "dumbbells" || scen == "backbone";
   const int domains = static_cast<int>(num("domains", 0));
   const auto make_spec = [&] {
-    scenario::ScenarioSpec spec = scen == "multihop"
-                                      ? scenario::multihop_pdes_spec(cfg)
-                                      : scenario::single_link_spec(cfg);
+    scenario::ScenarioSpec spec;
+    if (scen == "fattree") {
+      scenario::FatTreeParams p;
+      p.k = opt.count("k") != 0
+                ? static_cast<int>(num("k", 4))
+                : scenario::fat_tree_k_for_hosts(
+                      static_cast<int>(num("hosts", 16)));
+      p.fabric_rate_bps = cfg.link_rate_bps;
+      p.fabric_buffer_packets = cfg.buffer_packets;
+      p.flow = c;
+      p.mean_lifetime_s = cfg.mean_lifetime_s;
+      spec = scenario::make_fat_tree(p, cfg.seed);
+    } else if (scen == "dumbbells") {
+      scenario::DumbbellParams p;
+      p.leaves = static_cast<int>(num("leaves", 4));
+      p.pairs_per_leaf = static_cast<int>(num("pairs", 4));
+      p.leaf_rate_bps = cfg.link_rate_bps;
+      p.bottleneck_buffer_packets = cfg.buffer_packets;
+      p.flow = c;
+      p.mean_lifetime_s = cfg.mean_lifetime_s;
+      spec = scenario::make_dumbbells(p, cfg.seed);
+    } else if (scen == "backbone") {
+      scenario::BackboneParams p;
+      p.routers = static_cast<int>(num("routers", 12));
+      p.flow_pairs = static_cast<int>(num("flowpairs", 8));
+      p.backbone_rate_bps = cfg.link_rate_bps;
+      p.backbone_buffer_packets = cfg.buffer_packets;
+      p.flow = c;
+      p.mean_lifetime_s = cfg.mean_lifetime_s;
+      spec = scenario::make_backbone(p, cfg.seed);
+    } else {
+      spec = scen == "multihop" ? scenario::multihop_pdes_spec(cfg)
+                                : scenario::single_link_spec(cfg);
+    }
+    if (generated) {
+      // The generators fill topology/flows/prewarm; the run-shape knobs
+      // come from the command line like any other scenario.
+      spec.policy = cfg.policy;
+      spec.eac = cfg.eac;
+      spec.mbac_target_utilization = cfg.mbac_target_utilization;
+      spec.ac_queue = cfg.ac_queue;
+      spec.typical_packet_bytes = cfg.typical_packet_bytes;
+      spec.duration_s = cfg.duration_s;
+      spec.warmup_s = cfg.warmup_s;
+    }
     spec.partitions = domains;
     return spec;
   };
 
   const int seeds = static_cast<int>(num("seeds", 1));
   scenario::RunResult r;
-  if (scen == "multihop") {
-    // One run of the ring; summarize the admission hops' average.
+  if (scen != "single") {
+    // One run of the topology; summarize the admission hops' average.
     const scenario::ScenarioSpec spec = make_spec();
     const scenario::ScenarioResult sres = scenario::run_scenario(spec);
     double util = 0, probe = 0;

@@ -17,16 +17,17 @@ namespace eac::mbac {
 
 class MbacPolicy : public AdmissionPolicy {
  public:
-  /// `path_of` maps (src, dst) to the estimators of the congested links on
-  /// that path, in order.
-  using PathFn = std::function<std::vector<MeasuredSumEstimator*>(
-      net::NodeId, net::NodeId)>;
+  /// `path_of` maps a request to the estimators of the congested links on
+  /// its path, in order. The whole FlowSpec is passed (not just src/dst)
+  /// because under ECMP routing the path is a function of the flow id too.
+  using PathFn =
+      std::function<std::vector<MeasuredSumEstimator*>(const FlowSpec&)>;
 
   explicit MbacPolicy(PathFn path_of) : path_of_{std::move(path_of)} {}
 
   void request(const FlowSpec& spec,
                std::function<void(bool)> decide) override {
-    const auto path = path_of_(spec.src, spec.dst);
+    const auto path = path_of_(spec);
     for (MeasuredSumEstimator* hop : path) {
       if (!hop->fits(spec.rate_bps)) {
         decide(false);

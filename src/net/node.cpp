@@ -10,6 +10,19 @@ void Node::set_route(NodeId dst, PacketHandler* next_hop) {
   routes_[dst] = next_hop;
 }
 
+void Node::set_multipath(NodeId dst, std::vector<PacketHandler*> hops) {
+  if (hops.empty()) return;
+  set_route(dst, hops.front());
+  if (hops.size() == 1) {
+    // Singleton: the plain route suffices; clear any stale wider set so
+    // rebuilt topologies converge to the same state as a fresh build.
+    if (dst < multipaths_.size()) multipaths_[dst].clear();
+    return;
+  }
+  if (multipaths_.size() <= dst) multipaths_.resize(dst + 1);
+  multipaths_[dst] = std::move(hops);
+}
+
 void Node::handle(Packet p) {
   if (p.dst == id_) {
     // Local delivery: whether a sink consumes the packet or it lands on
@@ -28,6 +41,10 @@ void Node::handle(Packet p) {
   // receiving sink can claim the event (probe receives profile as probe).
   EAC_TEL_EVENT_CATEGORY(kNet);
   PacketHandler* next = p.dst < routes_.size() ? routes_[p.dst] : nullptr;
+  if (p.dst < multipaths_.size() && multipaths_[p.dst].size() > 1) {
+    const auto& hops = multipaths_[p.dst];
+    next = hops[ecmp_pick(p.flow, id_, hops.size())];
+  }
   if (next == nullptr) {
     EAC_AUDIT_COUNT(packets_delivered, 1);
     ++undeliverable_;

@@ -99,6 +99,28 @@ class SinkTable {
   std::size_t size_ = 0;
 };
 
+/// The ECMP coin: a splitmix64-finalizer mix of (flow, node). Pure and
+/// stateless, so a flow's hop choice at a node — and therefore its whole
+/// path — is a function of the spec and the flow id alone, never of
+/// arrival order, rebuild count, or domain layout. The spec-level path
+/// mirror (scenario::route_links) applies the identical function, which
+/// is the contract that keeps MBAC estimator paths and partitioned runs
+/// byte-exact (DESIGN.md §13).
+inline std::uint64_t ecmp_mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Index of the equal-cost next hop a flow takes at a node, given the
+/// size of the node's order-canonical next-hop set.
+inline std::uint32_t ecmp_pick(FlowId flow, NodeId node, std::size_t n_hops) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(flow) << 32) | static_cast<std::uint64_t>(node);
+  return static_cast<std::uint32_t>(ecmp_mix(key) % n_hops);
+}
+
 class Node : public PacketHandler {
  public:
   explicit Node(NodeId id) : id_{id} {}
@@ -107,6 +129,18 @@ class Node : public PacketHandler {
 
   /// Install the next hop towards `dst`.
   void set_route(NodeId dst, PacketHandler* next_hop);
+
+  /// Install the full equal-cost next-hop set towards `dst`, already in
+  /// canonical (link insertion) order. Singleton sets collapse to the
+  /// plain route; larger sets make forwarding hash per flow (ecmp_pick).
+  void set_multipath(NodeId dst, std::vector<PacketHandler*> hops);
+
+  /// The installed equal-cost set towards `dst` (empty when routing to
+  /// `dst` is single-path). Exposed for the ECMP determinism tests.
+  const std::vector<PacketHandler*>& multipath(NodeId dst) const {
+    static const std::vector<PacketHandler*> kNone;
+    return dst < multipaths_.size() ? multipaths_[dst] : kNone;
+  }
 
   /// Register/remove the local delivery target for a flow. Packets for a
   /// flow with no sink (e.g. a departed flow draining from queues) are
@@ -123,6 +157,10 @@ class Node : public PacketHandler {
  private:
   NodeId id_;
   std::vector<PacketHandler*> routes_;
+  /// Equal-cost next-hop sets, indexed by destination; empty inner sets
+  /// mean "use routes_". Outer vector stays empty on single-path nodes so
+  /// the legacy forwarding path pays nothing for the feature.
+  std::vector<std::vector<PacketHandler*>> multipaths_;
   SinkTable sinks_;
   std::uint64_t undeliverable_ = 0;
 };

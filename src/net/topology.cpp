@@ -65,6 +65,49 @@ void Topology::build_routes() {
   }
 }
 
+void Topology::build_routes_ecmp() {
+  const std::size_t n = nodes_.size();
+  std::vector<std::vector<Link*>> out(n), in(n);
+  for (const auto& l : links_) {
+    out[l->from].push_back(l.get());
+    in[l->to].push_back(l.get());
+  }
+  constexpr std::uint32_t kInf = 0xFFFF'FFFF;
+  std::vector<std::uint32_t> dist(n);
+  std::vector<NodeId> frontier, next;
+  for (NodeId dst = 0; dst < n; ++dst) {
+    // Reverse BFS from dst: dist[v] = hop count v -> dst.
+    dist.assign(n, kInf);
+    dist[dst] = 0;
+    frontier.assign(1, dst);
+    while (!frontier.empty()) {
+      next.clear();
+      for (const NodeId v : frontier) {
+        for (Link* l : in[v]) {
+          if (dist[l->from] == kInf) {
+            dist[l->from] = dist[v] + 1;
+            next.push_back(l->from);
+          }
+        }
+      }
+      frontier.swap(next);
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      if (v == dst || dist[v] == kInf) continue;
+      // Equal-cost set: every out-link dropping the distance by one, in
+      // link insertion order (out[v] preserves it) — the canonical order
+      // the per-flow hash indexes into.
+      std::vector<PacketHandler*> hops;
+      for (Link* l : out[v]) {
+        if (dist[l->to] != kInf && dist[l->to] + 1 == dist[v]) {
+          hops.push_back(l);
+        }
+      }
+      nodes_[v]->set_multipath(dst, std::move(hops));
+    }
+  }
+}
+
 void Topology::begin_measurement() {
   for (auto& l : links_) l->begin_measurement();
 }

@@ -32,6 +32,15 @@ class Topology {
   /// Fill every node's routing table with BFS (hop-count) shortest paths.
   void build_routes();
 
+  /// Like build_routes, but install the FULL equal-cost next-hop set at
+  /// every node (per-destination reverse BFS distances): forwarding then
+  /// hashes per flow over the set (ecmp_pick), so a flow's path is a pure
+  /// function of (topology, flow id). Sets are order-canonical — members
+  /// appear in link insertion order — making repeated builds, the
+  /// spec-level mirror (scenario::route_links) and domain-decomposed runs
+  /// agree exactly.
+  void build_routes_ecmp();
+
   /// Start the measurement window on every link.
   void begin_measurement();
 

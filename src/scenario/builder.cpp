@@ -101,6 +101,33 @@ std::vector<std::size_t> bfs_first_links(const ScenarioSpec& spec,
   return first;
 }
 
+/// dist[v] = hop count v -> dst over the spec's links (reverse BFS), the
+/// spec-level twin of the distance table Topology::build_routes_ecmp
+/// computes per destination. 0xFFFFFFFF = unreachable.
+std::vector<std::uint32_t> bfs_dist_to(const ScenarioSpec& spec,
+                                       net::NodeId dst) {
+  const std::size_t n = spec.node_count();
+  constexpr std::uint32_t kInf = 0xFFFF'FFFF;
+  std::vector<std::vector<net::NodeId>> in(n);
+  for (const LinkSpec& l : spec.links) in[l.to].push_back(l.from);
+  std::vector<std::uint32_t> dist(n, kInf);
+  dist[dst] = 0;
+  std::vector<net::NodeId> frontier{dst}, next;
+  while (!frontier.empty()) {
+    next.clear();
+    for (const net::NodeId v : frontier) {
+      for (const net::NodeId u : in[v]) {
+        if (dist[u] == kInf) {
+          dist[u] = dist[v] + 1;
+          next.push_back(u);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return dist;
+}
+
 }  // namespace
 
 void schedule_cross_messages(sim::Simulator& sim,
@@ -126,6 +153,38 @@ std::vector<std::size_t> route_links(const ScenarioSpec& spec,
     const std::vector<std::size_t> first = bfs_first_links(spec, at);
     if (dst >= first.size() || first[dst] == kNone) return {};
     const std::size_t li = first[dst];
+    path.push_back(li);
+    at = spec.links[li].to;
+  }
+  return path;
+}
+
+std::vector<std::size_t> route_links(const ScenarioSpec& spec,
+                                     net::NodeId src, net::NodeId dst,
+                                     net::FlowId flow) {
+  if (spec.routing == RoutingKind::kSinglePath) {
+    return route_links(spec, src, dst);
+  }
+  constexpr std::uint32_t kInf = 0xFFFF'FFFF;
+  const std::vector<std::uint32_t> dist = bfs_dist_to(spec, dst);
+  if (src >= dist.size() || dist[src] == kInf) return {};
+  // Group out-links per node once; members stay in spec (= insertion)
+  // order, the canonical order of the runtime equal-cost sets.
+  std::vector<std::vector<std::size_t>> out(spec.node_count());
+  for (std::size_t i = 0; i < spec.links.size(); ++i) {
+    out[spec.links[i].from].push_back(i);
+  }
+  std::vector<std::size_t> path;
+  net::NodeId at = src;
+  while (at != dst) {
+    std::vector<std::size_t> hops;
+    for (const std::size_t li : out[at]) {
+      const net::NodeId to = spec.links[li].to;
+      if (dist[to] != kInf && dist[to] + 1 == dist[at]) hops.push_back(li);
+    }
+    // Same coin as Node::handle: shortest-path sets shrink the distance
+    // at every hop, so the walk terminates in dist[src] steps.
+    const std::size_t li = hops[net::ecmp_pick(flow, at, hops.size())];
     path.push_back(li);
     at = spec.links[li].to;
   }
@@ -253,7 +312,11 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
     }
   }
   enter_domain(0);
-  topo.build_routes();
+  if (spec.routing == RoutingKind::kEcmp) {
+    topo.build_routes_ecmp();
+  } else {
+    topo.build_routes();
+  }
 
   std::vector<stats::FlowStats> stats(P);
 
@@ -283,26 +346,44 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
           doms[0]->sim, *links[i], mcfg));
       by_link[i] = estimators.back().get();
     }
-    // Precompute each flow group's estimator path; requests only ever
-    // originate at flow-class endpoints.
-    std::map<std::pair<net::NodeId, net::NodeId>,
-             std::vector<mbac::MeasuredSumEstimator*>>
-        paths;
-    for (const FlowClass& f : spec.flows) {
-      std::vector<mbac::MeasuredSumEstimator*> path;
-      for (std::size_t li : route_links(spec, f.src, f.dst)) {
-        auto it = by_link.find(li);
-        if (it != by_link.end()) path.push_back(it->second);
+    if (spec.routing == RoutingKind::kEcmp) {
+      // Under ECMP the path — and so the estimator list — depends on the
+      // flow id, which only exists at request time: resolve per request
+      // through the spec-level mirror of the forwarding hash, so MBAC
+      // meters exactly the hops the admitted flow's data will traverse.
+      // (MBAC runs stay serial, and the walk is linear in the topology,
+      // so per-request resolution costs nothing measurable.)
+      policies[0] = std::make_unique<mbac::MbacPolicy>(
+          [&spec, by_link = std::move(by_link)](const FlowSpec& f) {
+            std::vector<mbac::MeasuredSumEstimator*> path;
+            for (std::size_t li : route_links(spec, f.src, f.dst, f.flow)) {
+              auto it = by_link.find(li);
+              if (it != by_link.end()) path.push_back(it->second);
+            }
+            return path;
+          });
+    } else {
+      // Precompute each flow group's estimator path; requests only ever
+      // originate at flow-class endpoints.
+      std::map<std::pair<net::NodeId, net::NodeId>,
+               std::vector<mbac::MeasuredSumEstimator*>>
+          paths;
+      for (const FlowClass& f : spec.flows) {
+        std::vector<mbac::MeasuredSumEstimator*> path;
+        for (std::size_t li : route_links(spec, f.src, f.dst)) {
+          auto it = by_link.find(li);
+          if (it != by_link.end()) path.push_back(it->second);
+        }
+        paths[{f.src, f.dst}] = std::move(path);
       }
-      paths[{f.src, f.dst}] = std::move(path);
+      policies[0] = std::make_unique<mbac::MbacPolicy>(
+          [paths = std::move(paths)](const FlowSpec& f) {
+            auto it = paths.find({f.src, f.dst});
+            return it != paths.end()
+                       ? it->second
+                       : std::vector<mbac::MeasuredSumEstimator*>{};
+          });
     }
-    policies[0] = std::make_unique<mbac::MbacPolicy>(
-        [paths = std::move(paths)](net::NodeId src, net::NodeId dst) {
-          auto it = paths.find({src, dst});
-          return it != paths.end()
-                     ? it->second
-                     : std::vector<mbac::MeasuredSumEstimator*>{};
-        });
   }
 
   // One FlowManager per domain, driving that domain's flow classes. The
@@ -334,8 +415,12 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
       fm_cfgs[d].global_class_index.push_back(static_cast<std::uint32_t>(i));
     }
   }
+  // A domain can come out of the partitioner with no flow endpoints at
+  // all (a pure-transit cut, e.g. a generated fabric's core tier); it
+  // still simulates its links but gets no FlowManager.
   std::vector<std::unique_ptr<FlowManager>> managers(P);
   for (std::size_t d = 0; d < P; ++d) {
+    if (fm_cfgs[d].classes.empty()) continue;
     enter_domain(d);
     managers[d] = std::make_unique<FlowManager>(
         doms[d]->sim, topo, *policies[d], stats[d], fm_cfgs[d]);
@@ -343,6 +428,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
   // start() pre-warms (admitting flows and emitting their first packets at
   // t = 0), so it too runs under the owning domain's contexts.
   for (std::size_t d = 0; d < P; ++d) {
+    if (managers[d] == nullptr) continue;
     enter_domain(d);
     managers[d]->start();
   }
@@ -446,6 +532,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
   res.flows_created = 0;
   res.peak_active_flows = 0;
   for (auto& m : managers) {
+    if (m == nullptr) continue;
     res.flows_created += m->flows_created();
     // Per-domain peaks need not coincide in time; the sum is an upper
     // bound (exact at P == 1).

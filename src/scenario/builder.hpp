@@ -22,6 +22,16 @@ ScenarioResult run_scenario(const ScenarioSpec& spec);
 std::vector<std::size_t> route_links(const ScenarioSpec& spec,
                                      net::NodeId src, net::NodeId dst);
 
+/// Flow-aware variant: the path the given flow id takes under the spec's
+/// routing kind. For RoutingKind::kSinglePath the flow id is irrelevant
+/// and this matches the overload above; for kEcmp it mirrors, hop by hop,
+/// the per-flow hash the nodes apply at forwarding time (net::ecmp_pick
+/// over the order-canonical equal-cost set), so callers — MBAC estimator
+/// paths, tests, reports — see exactly the links the packets traverse.
+std::vector<std::size_t> route_links(const ScenarioSpec& spec,
+                                     net::NodeId src, net::NodeId dst,
+                                     net::FlowId flow);
+
 /// Schedule one domain's drained cross-domain messages (already merged
 /// into (time, source domain, transmission) order) onto its simulator:
 /// audit builds verify each delivery lies at or after the upcoming window

@@ -383,6 +383,8 @@ std::string to_json(const ScenarioSpec& spec) {
       .field("ac_queue",
              spec.ac_queue == AcQueueKind::kRed ? "red" : "strict-priority")
       .field("nodes", static_cast<std::uint64_t>(spec.node_count()))
+      .field("routing",
+             spec.routing == RoutingKind::kEcmp ? "ecmp" : "single-path")
       .key("links")
       .array_begin();
   for (const LinkSpec& l : spec.links) {

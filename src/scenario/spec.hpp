@@ -34,6 +34,21 @@ enum class PolicyKind { kEndpoint, kMbac };
 /// to check its footnote-11 claim that the choice does not matter.
 enum class AcQueueKind { kStrictPriority, kRed };
 
+/// How packets pick among shortest paths when the topology offers more
+/// than one. Generated fabrics (scenario/topogen.hpp) are the intended
+/// users of kEcmp; the default keeps every hand-built spec on the legacy
+/// single-path BFS tables, bit for bit.
+enum class RoutingKind {
+  /// One next hop per destination: the first-discovered BFS shortest
+  /// path (link-insertion-order tie-break). The historical behaviour.
+  kSinglePath,
+  /// Equal-cost multipath: each node holds the full order-canonical set
+  /// of shortest-path next hops and forwards by a per-flow hash
+  /// (net::ecmp_pick), so a flow's path — probes and data alike — is a
+  /// pure function of (spec, flow id).
+  kEcmp,
+};
+
 /// What kind of queue a link carries.
 enum class LinkQueueKind {
   /// The admission-controlled queue of the run's design: two-band strict
@@ -76,6 +91,7 @@ struct ScenarioSpec {
 
   // --- topology ---
   std::vector<LinkSpec> links;
+  RoutingKind routing = RoutingKind::kSinglePath;
 
   // --- flow population ---
   /// Flow groups. Each class carries its own route (src, dst), source

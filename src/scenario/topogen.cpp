@@ -1,0 +1,362 @@
+#include "scenario/topogen.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "eac/flow_manager.hpp"
+#include "sim/random.hpp"
+
+namespace eac::scenario {
+
+namespace {
+
+// Stream ids for the generators' RandomStreams. Disjoint from the flow
+// machinery's streams by construction: those are namespaced per class at
+// run time, these are consumed only while building the spec.
+constexpr std::uint64_t kJitterStream = 0x7090'0001;
+constexpr std::uint64_t kPlacementStream = 0x7090'0002;
+constexpr std::uint64_t kWaxmanStream = 0x7090'0003;
+constexpr std::uint64_t kTrafficStream = 0x7090'0004;
+
+// Jittered copy of `base`: +-frac, one draw per call, floored at 1 us so
+// a generated link can always serve as a partition-crossing edge.
+sim::SimTime jitter(sim::SimTime base, double frac, sim::RandomStream& rng) {
+  const double u = rng.uniform();  // always consume: stream position is
+                                   // part of the determinism contract
+  if (frac <= 0) return base;
+  const double factor = 1.0 + frac * (2.0 * u - 1.0);
+  const double s = std::max(base.to_seconds() * factor, 1e-6);
+  return sim::SimTime::seconds(s);
+}
+
+// Both directions of one physical cable, sharing a jittered delay.
+void add_cable(std::vector<LinkSpec>& links, net::NodeId a, net::NodeId b,
+               double rate_bps, sim::SimTime base_delay, double jitter_frac,
+               std::size_t buffer, LinkQueueKind queue,
+               sim::RandomStream& rng) {
+  const sim::SimTime d = jitter(base_delay, jitter_frac, rng);
+  links.push_back({a, b, rate_bps, d, buffer, queue});
+  links.push_back({b, a, rate_bps, d, buffer, queue});
+}
+
+// Flow ids are (global class << 24) + n, so a runnable spec must keep the
+// class count below 256. The generators enforce it; parameter draws in
+// the property tests stay within the bound by construction.
+void check_class_budget(const ScenarioSpec& spec) {
+  assert(spec.flows.size() < 256 && "flow-id encoding caps classes at 255");
+  (void)spec;
+}
+
+double offered_bps(const ScenarioSpec& spec) {
+  double sum = 0;
+  for (const FlowClass& c : spec.flows)
+    sum += FlowManager::offered_load_bps(c, spec.mean_lifetime_s);
+  return sum;
+}
+
+void finish(ScenarioSpec& spec, double prewarm_fraction, double lifetime_s,
+            std::uint64_t seed) {
+  spec.routing = RoutingKind::kEcmp;
+  spec.mean_lifetime_s = lifetime_s;
+  spec.prewarm_bps = prewarm_fraction * offered_bps(spec);
+  spec.seed = seed;
+  check_class_budget(spec);
+}
+
+}  // namespace
+
+int fat_tree_k_for_hosts(int hosts) {
+  int k = 2;
+  while (fat_tree_hosts(k) < hosts) k += 2;
+  return k;
+}
+
+ScenarioSpec make_fat_tree(const FatTreeParams& p, std::uint64_t seed) {
+  assert(p.k >= 2 && p.k % 2 == 0 && "fat-tree arity must be even");
+  const int k = p.k;
+  const int half = k / 2;
+  const int pods = k;
+  const int hosts_per_edge = half;
+  const int hosts_per_pod = half * hosts_per_edge;  // k^2/4
+  const int hosts = pods * hosts_per_pod;           // k^3/4
+
+  // Node numbering: hosts (pod-major), then per-pod edge switches, per-pod
+  // aggregation switches, finally the core. Host 0 of pod 0 is node 0, so
+  // the partitioner's domain 0 always contains the first pod pair.
+  const auto host_id = [&](int pod, int i) {
+    return static_cast<net::NodeId>(pod * hosts_per_pod + i);
+  };
+  const auto edge_id = [&](int pod, int e) {
+    return static_cast<net::NodeId>(hosts + pod * half + e);
+  };
+  const auto agg_id = [&](int pod, int a) {
+    return static_cast<net::NodeId>(hosts + pods * half + pod * half + a);
+  };
+  const auto core_id = [&](int c) {
+    return static_cast<net::NodeId>(hosts + 2 * pods * half + c);
+  };
+
+  ScenarioSpec spec;
+  {
+    char name[64];
+    std::snprintf(name, sizeof name, "fattree-k%d", k);
+    spec.name = name;
+  }
+
+  sim::RandomStream rng{seed, kJitterStream};
+  // Host access cables, pod by pod: host i of pod p hangs off edge switch
+  // i / (k/2).
+  for (int pod = 0; pod < pods; ++pod)
+    for (int i = 0; i < hosts_per_pod; ++i)
+      add_cable(spec.links, host_id(pod, i), edge_id(pod, i / hosts_per_edge),
+                p.host_rate_bps, p.host_delay, p.delay_jitter_frac,
+                p.host_buffer_packets, LinkQueueKind::kDropTail, rng);
+  // Intra-pod fabric: every edge to every aggregation switch of its pod.
+  for (int pod = 0; pod < pods; ++pod)
+    for (int e = 0; e < half; ++e)
+      for (int a = 0; a < half; ++a)
+        add_cable(spec.links, edge_id(pod, e), agg_id(pod, a),
+                  p.fabric_rate_bps, p.edge_delay, p.delay_jitter_frac,
+                  p.fabric_buffer_packets, LinkQueueKind::kAdmission, rng);
+  // Core: aggregation switch a of every pod reaches core group a
+  // (cores a*k/2 .. a*k/2 + k/2 - 1).
+  for (int pod = 0; pod < pods; ++pod)
+    for (int a = 0; a < half; ++a)
+      for (int j = 0; j < half; ++j)
+        add_cable(spec.links, agg_id(pod, a), core_id(a * half + j),
+                  p.fabric_rate_bps, p.core_delay, p.delay_jitter_frac,
+                  p.fabric_buffer_packets, LinkQueueKind::kAdmission, rng);
+
+  // Traffic, ordered flow-graph component by component so a partitioned
+  // run's t=0 prewarm emissions merge in serial order (the same contract
+  // multihop_pdes_spec keeps).
+  FlowClass tmpl = p.flow;
+  // Single-host pods (k=2) have no intra-pod peer: degenerate to pairs.
+  const bool pod_pairs =
+      p.traffic == FatTreeTraffic::kPodPairs || hosts_per_pod == 1;
+  if (pod_pairs) {
+    for (int pair = 0; pair < pods / 2; ++pair) {
+      const int a = 2 * pair, b = 2 * pair + 1;
+      for (int i = 0; i < hosts_per_pod; ++i) {
+        tmpl.src = host_id(a, i);
+        tmpl.dst = host_id(b, i);
+        tmpl.group = pair;
+        spec.flows.push_back(tmpl);
+        tmpl.src = host_id(b, i);
+        tmpl.dst = host_id(a, i);
+        spec.flows.push_back(tmpl);
+      }
+    }
+  } else {
+    for (int pod = 0; pod < pods; ++pod)
+      for (int i = 0; i < hosts_per_pod; ++i) {
+        tmpl.src = host_id(pod, i);
+        tmpl.dst = host_id(pod, (i + 1) % hosts_per_pod);
+        tmpl.group = pod;
+        spec.flows.push_back(tmpl);
+      }
+  }
+
+  finish(spec, p.prewarm_fraction, p.mean_lifetime_s, seed);
+  return spec;
+}
+
+ScenarioSpec make_dumbbells(const DumbbellParams& p, std::uint64_t seed) {
+  assert(p.leaves >= 1 && p.pairs_per_leaf >= 1 && p.core_trunks >= 1);
+  const int leaves = p.leaves;
+  const int pairs = p.pairs_per_leaf;
+
+  // Node numbering: per leaf, senders then receivers; all hosts first, so
+  // node 0 is sender 0 of leaf 0. Routers (A_i, B_i per leaf) follow, the
+  // two core routers last.
+  const auto sender_id = [&](int leaf, int j) {
+    return static_cast<net::NodeId>(leaf * 2 * pairs + j);
+  };
+  const auto receiver_id = [&](int leaf, int j) {
+    return static_cast<net::NodeId>(leaf * 2 * pairs + pairs + j);
+  };
+  const net::NodeId routers0 = static_cast<net::NodeId>(leaves * 2 * pairs);
+  const auto a_id = [&](int leaf) {
+    return static_cast<net::NodeId>(routers0 + 2 * leaf);
+  };
+  const auto b_id = [&](int leaf) {
+    return static_cast<net::NodeId>(routers0 + 2 * leaf + 1);
+  };
+  const net::NodeId core0 = static_cast<net::NodeId>(routers0 + 2 * leaves);
+  const net::NodeId core1 = core0 + 1;
+
+  ScenarioSpec spec;
+  {
+    char name[64];
+    std::snprintf(name, sizeof name, "dumbbells-%dx%d", leaves, pairs);
+    spec.name = name;
+  }
+
+  const double core_rate =
+      p.core_ratio * leaves * p.leaf_rate_bps / p.core_trunks;
+
+  sim::RandomStream rng{seed, kJitterStream};
+  for (int leaf = 0; leaf < leaves; ++leaf) {
+    for (int j = 0; j < pairs; ++j) {
+      add_cable(spec.links, sender_id(leaf, j), a_id(leaf), p.access_rate_bps,
+                p.access_delay, p.delay_jitter_frac, p.access_buffer_packets,
+                LinkQueueKind::kDropTail, rng);
+      add_cable(spec.links, b_id(leaf), receiver_id(leaf, j),
+                p.access_rate_bps, p.access_delay, p.delay_jitter_frac,
+                p.access_buffer_packets, LinkQueueKind::kDropTail, rng);
+    }
+    // The leaf bottleneck, then the feeders into the core dumbbell.
+    add_cable(spec.links, a_id(leaf), b_id(leaf), p.leaf_rate_bps,
+              p.leaf_delay, p.delay_jitter_frac, p.bottleneck_buffer_packets,
+              LinkQueueKind::kAdmission, rng);
+    add_cable(spec.links, a_id(leaf), core0, p.access_rate_bps,
+              p.access_delay, p.delay_jitter_frac, p.access_buffer_packets,
+              LinkQueueKind::kDropTail, rng);
+    add_cable(spec.links, core1, b_id(leaf), p.access_rate_bps,
+              p.access_delay, p.delay_jitter_frac, p.access_buffer_packets,
+              LinkQueueKind::kDropTail, rng);
+  }
+  // Parallel core trunks: equal-cost by construction, so cross-leaf flows
+  // are ECMP-hashed across them.
+  for (int t = 0; t < p.core_trunks; ++t)
+    add_cable(spec.links, core0, core1, core_rate, p.core_delay,
+              p.delay_jitter_frac, p.bottleneck_buffer_packets,
+              LinkQueueKind::kAdmission, rng);
+
+  // Local pairs first (leaf by leaf), then the cross-leaf classes. The
+  // template arrival rate is the LEAF aggregate (the single-bottleneck
+  // operating point), split evenly across the pairs sharing it.
+  FlowClass tmpl = p.flow;
+  tmpl.arrival_rate_per_s = p.flow.arrival_rate_per_s / pairs;
+  for (int leaf = 0; leaf < leaves; ++leaf)
+    for (int j = 0; j < pairs; ++j) {
+      tmpl.src = sender_id(leaf, j);
+      tmpl.dst = receiver_id(leaf, j);
+      tmpl.group = leaf;
+      spec.flows.push_back(tmpl);
+    }
+  if (p.cross_fraction > 0 && leaves > 1) {
+    tmpl.arrival_rate_per_s =
+        p.flow.arrival_rate_per_s / pairs * p.cross_fraction;
+    for (int leaf = 0; leaf < leaves; ++leaf)
+      for (int j = 0; j < pairs; ++j) {
+        tmpl.src = sender_id(leaf, j);
+        tmpl.dst = receiver_id((leaf + 1) % leaves, j);
+        tmpl.group = leaves + leaf;
+        spec.flows.push_back(tmpl);
+      }
+  }
+
+  finish(spec, p.prewarm_fraction, p.mean_lifetime_s, seed);
+  return spec;
+}
+
+ScenarioSpec make_backbone(const BackboneParams& p, std::uint64_t seed) {
+  assert(p.routers >= 2 && p.hosts_per_router >= 1 && p.max_degree >= 2);
+  const int n = p.routers;
+  const double diag = std::sqrt(2.0);
+
+  ScenarioSpec spec;
+  {
+    char name[64];
+    std::snprintf(name, sizeof name, "backbone-%d", n);
+    spec.name = name;
+  }
+
+  // Router placement in the unit square.
+  std::vector<double> x(n), y(n);
+  {
+    sim::RandomStream place{seed, kPlacementStream};
+    for (int i = 0; i < n; ++i) {
+      x[i] = place.uniform();
+      y[i] = place.uniform();
+    }
+  }
+  const auto dist = [&](int u, int v) {
+    return std::hypot(x[u] - x[v], y[u] - y[v]);
+  };
+  const auto delay_of = [&](double d) {
+    const double lo = p.min_delay.to_seconds();
+    const double hi = p.max_delay.to_seconds();
+    return sim::SimTime::seconds(lo + (hi - lo) * d / diag);
+  };
+
+  std::vector<int> degree(n, 0);
+  sim::RandomStream rng{seed, kWaxmanStream};
+  const auto add_backbone = [&](int u, int v) {
+    // Distance sets the base delay; the jitter stream still advances once
+    // per cable so toggling jitter off never re-shuffles later draws.
+    add_cable(spec.links, static_cast<net::NodeId>(u),
+              static_cast<net::NodeId>(v), p.backbone_rate_bps,
+              delay_of(dist(u, v)), 0.0, p.backbone_buffer_packets,
+              LinkQueueKind::kAdmission, rng);
+    ++degree[u];
+    ++degree[v];
+  };
+
+  // Spanning phase: router i joins its closest predecessor with spare
+  // degree. One always exists for max_degree >= 2: i predecessors carry
+  // i-1 tree links (2(i-1) degree), so some predecessor has degree < 2.
+  for (int i = 1; i < n; ++i) {
+    int best = -1;
+    for (int j = 0; j < i; ++j) {
+      if (degree[j] >= p.max_degree) continue;
+      if (best < 0 || dist(i, j) < dist(i, best)) best = j;
+    }
+    assert(best >= 0 && "spanning phase always finds a spare-degree peer");
+    add_backbone(best, i);
+  }
+  // Waxman phase: extra links in fixed pair order, strictly degree-bounded.
+  std::vector<std::vector<char>> linked(n, std::vector<char>(n, 0));
+  for (const LinkSpec& l : spec.links)
+    if (l.from < static_cast<net::NodeId>(n) &&
+        l.to < static_cast<net::NodeId>(n))
+      linked[l.from][l.to] = 1;
+  for (int u = 0; u < n; ++u)
+    for (int v = u + 1; v < n; ++v) {
+      const double prob =
+          p.waxman_alpha * std::exp(-dist(u, v) / (p.waxman_beta * diag));
+      const double draw = rng.uniform();  // consume even when skipping, so
+                                          // the degree bound does not shift
+                                          // later pairs' coin flips
+      if (linked[u][v] || degree[u] >= p.max_degree ||
+          degree[v] >= p.max_degree)
+        continue;
+      if (draw < prob) {
+        add_backbone(u, v);
+        linked[u][v] = 1;
+      }
+    }
+
+  // Stub hosts: host j of router r is node n + r*hosts_per_router + j.
+  const auto hid = [&](int r, int j) {
+    return static_cast<net::NodeId>(n + r * p.hosts_per_router + j);
+  };
+  for (int r = 0; r < n; ++r)
+    for (int j = 0; j < p.hosts_per_router; ++j)
+      add_cable(spec.links, hid(r, j), static_cast<net::NodeId>(r),
+                p.access_rate_bps, delay_of(0), 0.0, p.access_buffer_packets,
+                LinkQueueKind::kDropTail, rng);
+
+  // Random host-to-host classes.
+  FlowClass tmpl = p.flow;
+  sim::RandomStream traffic{seed, kTrafficStream};
+  const int total_hosts = n * p.hosts_per_router;
+  for (int f = 0; f < p.flow_pairs; ++f) {
+    const int src = static_cast<int>(traffic.integer(total_hosts));
+    int dst = static_cast<int>(traffic.integer(total_hosts - 1));
+    if (dst >= src) ++dst;
+    tmpl.src = hid(src / p.hosts_per_router, src % p.hosts_per_router);
+    tmpl.dst = hid(dst / p.hosts_per_router, dst % p.hosts_per_router);
+    tmpl.group = f;
+    spec.flows.push_back(tmpl);
+  }
+
+  finish(spec, p.prewarm_fraction, p.mean_lifetime_s, seed);
+  return spec;
+}
+
+}  // namespace eac::scenario

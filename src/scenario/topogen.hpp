@@ -1,0 +1,158 @@
+// Parameterized topology generators: datacenter and ISP-like fabrics as
+// pure functions (params, seed) -> ScenarioSpec.
+//
+// Three families, each deterministic in every byte of the returned spec:
+//
+//  - k-ary fat-tree (Clos): hosts = k^3/4, per-tier link speeds/delays,
+//    pod-pair or intra-pod traffic. The multipath fabric the ECMP routing
+//    layer (RoutingKind::kEcmp) was built for.
+//  - dumbbell-of-dumbbells: leaf bottlenecks feeding a parallel-trunk core
+//    bottleneck, with parameterized core/leaf capacity ratio and a cross-
+//    leaf traffic fraction that exercises the trunks' per-flow hashing.
+//  - ISP-like random backbone: routers placed in the unit square, a
+//    closest-neighbor spanning tree for guaranteed connectivity, then
+//    Waxman-probability extra links under a strict per-node degree bound.
+//    Delays follow Euclidean distance.
+//
+// All randomness (delay jitter, router placement, Waxman coin flips,
+// traffic endpoints) flows through sim::RandomStream keyed on the caller's
+// seed, so identical (params, seed) yield bit-identical specs and the
+// domain partitioner / determinism suite can rely on them as fixtures.
+//
+// Generators fill topology, flows, routing, prewarm, lifetime, name and
+// seed; run-length knobs (policy, eac, duration_s, warmup_s, partitions)
+// keep their ScenarioSpec defaults and are the caller's to override.
+#pragma once
+
+#include <cstdint>
+
+#include "scenario/spec.hpp"
+#include "sim/time.hpp"
+#include "traffic/catalog.hpp"
+
+namespace eac::scenario {
+
+/// Default flow template shared by the generators: the paper's EXP1
+/// on/off source at the single-link operating point (tau = 3.5 s of
+/// mean interarrival per class, probe at the burst rate).
+inline FlowClass topogen_default_flow() {
+  FlowClass c;
+  c.arrival_rate_per_s = 1.0 / 3.5;
+  c.onoff = traffic::exp1();
+  c.packet_size = traffic::kOnOffPacketBytes;
+  c.probe_rate_bps = c.onoff.burst_rate_bps;
+  c.epsilon = 0.02;
+  return c;
+}
+
+/// Traffic placement over a fat-tree.
+enum class FatTreeTraffic {
+  /// Pod p exchanges flows with pod p^1 (pairs {0,1}, {2,3}, ...). Every
+  /// flow crosses the core, and the flow graph splits into k/2 components
+  /// so the domain partitioner can cut the fabric.
+  kPodPairs,
+  /// Host i sends to host i+1 (mod pod size) within its own pod: core
+  /// links stay idle, the flow graph splits into k components.
+  kIntraPod,
+};
+
+/// k-ary fat-tree: k pods of k/2 edge and k/2 aggregation switches,
+/// (k/2)^2 core switches, k^3/4 hosts. Nodes are numbered hosts first
+/// (pod-major), then edge, aggregation and core switches, so node 0 is
+/// host 0 of pod 0 and partition domains inherit pod order.
+struct FatTreeParams {
+  int k = 4;  ///< even, >= 2; hosts = k^3/4 (k=4 -> 16, k=8 -> 128)
+
+  double host_rate_bps = 100e6;   ///< host <-> edge access links (drop-tail)
+  double fabric_rate_bps = 10e6;  ///< edge<->agg, agg<->core (admission)
+  sim::SimTime host_delay = sim::SimTime::microseconds(10);
+  sim::SimTime edge_delay = sim::SimTime::microseconds(50);   ///< edge<->agg
+  sim::SimTime core_delay = sim::SimTime::microseconds(200);  ///< agg<->core
+  /// Per-cable +-fractional delay jitter, drawn once per physical cable
+  /// (both directions share it) from the seed. Makes RTTs heterogeneous
+  /// and specs seed-sensitive; 0 disables.
+  double delay_jitter_frac = 0.2;
+  std::size_t host_buffer_packets = 1000;
+  std::size_t fabric_buffer_packets = 200;
+
+  FatTreeTraffic traffic = FatTreeTraffic::kPodPairs;
+  /// Per-class template (arrival rate, source model, probe rate, epsilon).
+  /// src/dst/group are overwritten per generated class.
+  FlowClass flow = topogen_default_flow();
+  double mean_lifetime_s = 300.0;
+  /// prewarm_bps = prewarm_fraction * total offered load.
+  double prewarm_fraction = 0.3;
+};
+
+/// Number of hosts in a k-ary fat-tree: k^3/4.
+inline int fat_tree_hosts(int k) { return k * k * k / 4; }
+/// Smallest even k with at least `hosts` hosts.
+int fat_tree_k_for_hosts(int hosts);
+
+ScenarioSpec make_fat_tree(const FatTreeParams& p, std::uint64_t seed);
+
+/// Dumbbell-of-dumbbells: `leaves` classic dumbbells (sender hosts ->
+/// leaf bottleneck -> receiver hosts) whose routers also attach to a
+/// central core dumbbell of `core_trunks` parallel bottleneck links.
+/// Local traffic crosses its leaf bottleneck; a cross_fraction share
+/// flows to the next leaf over the core, ECMP-hashed across the trunks.
+struct DumbbellParams {
+  int leaves = 4;          ///< >= 1 leaf dumbbells
+  int pairs_per_leaf = 4;  ///< sender/receiver host pairs per leaf
+
+  double access_rate_bps = 100e6;  ///< host and router feeder links (drop-tail)
+  double leaf_rate_bps = 10e6;     ///< each leaf bottleneck (admission)
+  /// Core capacity as a fraction of the summed leaf bottleneck capacity;
+  /// split evenly across the trunks.
+  double core_ratio = 0.25;
+  int core_trunks = 2;  ///< >= 1 parallel core bottleneck links
+  sim::SimTime access_delay = sim::SimTime::milliseconds(1);
+  sim::SimTime leaf_delay = sim::SimTime::milliseconds(10);
+  sim::SimTime core_delay = sim::SimTime::milliseconds(20);
+  double delay_jitter_frac = 0.2;  ///< same contract as FatTreeParams
+  std::size_t access_buffer_packets = 1000;
+  std::size_t bottleneck_buffer_packets = 200;
+
+  /// Cross-leaf arrival rate as a fraction of the local per-pair rate;
+  /// 0 keeps all traffic local (and the leaves partitionable).
+  double cross_fraction = 0.25;
+  /// Template; its arrival rate is the LEAF-aggregate rate, split evenly
+  /// across the pairs sharing the bottleneck.
+  FlowClass flow = topogen_default_flow();
+  double mean_lifetime_s = 300.0;
+  double prewarm_fraction = 0.3;
+};
+
+ScenarioSpec make_dumbbells(const DumbbellParams& p, std::uint64_t seed);
+
+/// ISP-like random backbone. Routers get seed-deterministic positions in
+/// the unit square; each router (in placement order) first links to its
+/// closest already-placed router with spare degree (a geometric spanning
+/// tree, so the graph is always connected), then every unordered pair is
+/// offered a Waxman-probability extra link, skipped whenever either end
+/// has reached max_degree. Link delays scale with Euclidean distance.
+struct BackboneParams {
+  int routers = 12;         ///< >= 2
+  int hosts_per_router = 1;  ///< >= 1 stub hosts per router
+  int max_degree = 4;        ///< >= 2 router-to-router degree bound
+
+  /// Waxman link probability alpha * exp(-d / (beta * sqrt(2))).
+  double waxman_alpha = 0.4;
+  double waxman_beta = 0.4;
+
+  double backbone_rate_bps = 10e6;  ///< router<->router (admission)
+  double access_rate_bps = 100e6;   ///< host<->router (drop-tail)
+  sim::SimTime min_delay = sim::SimTime::milliseconds(1);   ///< at distance 0
+  sim::SimTime max_delay = sim::SimTime::milliseconds(20);  ///< at sqrt(2)
+  std::size_t access_buffer_packets = 1000;
+  std::size_t backbone_buffer_packets = 200;
+
+  int flow_pairs = 8;  ///< random (src host, dst host) classes, src != dst
+  FlowClass flow = topogen_default_flow();
+  double mean_lifetime_s = 300.0;
+  double prewarm_fraction = 0.3;
+};
+
+ScenarioSpec make_backbone(const BackboneParams& p, std::uint64_t seed);
+
+}  // namespace eac::scenario

@@ -21,6 +21,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -28,6 +29,7 @@
 
 #include "fixtures/figure_regression_bands.hpp"
 #include "scenario/builder.hpp"
+#include "scenario/topogen.hpp"
 #include "scenario/parallel.hpp"
 #include "scenario/report.hpp"
 #include "scenario/runner.hpp"
@@ -176,6 +178,130 @@ TEST(FigureRegression, LossLoadPointsStayInBands) {
     EXPECT_LE(m.util_sd, figreg::kMaxUtilStddev);
     if (testing::Test::HasFailure()) maybe_write_artifact(band);
   }
+}
+
+// --- generated fat-tree ----------------------------------------------------
+// The same band contract on the multipath fabric (see the fixture's
+// fat-tree section). Replications regenerate the tree per seed, so the
+// measured spread covers delay jitter as well as the run RNG.
+
+int fat_tree_k() {
+  if (const char* s = std::getenv("EAC_FIGREG_FATTREE_HOSTS")) {
+    const int hosts = std::atoi(s);
+    if (hosts > 0) return scenario::fat_tree_k_for_hosts(hosts);
+  }
+  return 4;
+}
+
+int fat_tree_seeds() {
+  if (const char* s = std::getenv("EAC_FIGREG_SEEDS")) {
+    const int n = std::atoi(s);
+    if (n > 0) return n;
+  }
+  return 3;  // the fabric runs ~10x longer per seed than the single link
+}
+
+scenario::ScenarioSpec fat_tree_point(const figreg::Band& band,
+                                      std::uint64_t seed) {
+  scenario::FatTreeParams p;
+  p.k = fat_tree_k();
+  p.fabric_rate_bps = figreg::kFatTreeFabricRateBps;
+  p.flow.epsilon = band.eps + figreg_perturb();
+  scenario::ScenarioSpec spec = scenario::make_fat_tree(p, seed);
+  spec.duration_s = figreg::kFatTreeDurationS;
+  spec.warmup_s = figreg::kFatTreeWarmupS;
+  if (std::string{band.design} == "MBAC") {
+    spec.policy = scenario::PolicyKind::kMbac;
+    spec.mbac_target_utilization = band.eps + figreg_perturb();
+  } else {
+    spec.policy = scenario::PolicyKind::kEndpoint;
+    spec.eac = design_by_name(band.design);
+  }
+  return spec;
+}
+
+/// Admission-hop average utilization, as bench_topology and eac_cli
+/// summarize fabric runs.
+double fabric_utilization(const scenario::ScenarioSpec& spec,
+                          const scenario::ScenarioResult& res) {
+  double util = 0;
+  int hops = 0;
+  for (std::size_t i = 0; i < spec.links.size(); ++i) {
+    if (spec.links[i].queue != scenario::LinkQueueKind::kAdmission) continue;
+    util += res.links.at(i).utilization;
+    ++hops;
+  }
+  return hops > 0 ? util / hops : 0;
+}
+
+Measured measure_fat_tree(const figreg::Band& band, int seeds) {
+  std::vector<double> util, loss, blocking;
+  for (int s = 0; s < seeds; ++s) {
+    const scenario::ScenarioSpec spec =
+        fat_tree_point(band, 1 + static_cast<std::uint64_t>(s) * 7919);
+    const scenario::ScenarioResult r = scenario::run_scenario(spec);
+    util.push_back(fabric_utilization(spec, r));
+    loss.push_back(r.loss());
+    blocking.push_back(r.blocking());
+  }
+  const auto mean = [](const std::vector<double>& v) {
+    double sum = 0;
+    for (double x : v) sum += x;
+    return sum / static_cast<double>(v.size());
+  };
+  const auto sd = [&](const std::vector<double>& v, double m) {
+    if (v.size() < 2) return 0.0;
+    double sum = 0;
+    for (double x : v) sum += (x - m) * (x - m);
+    return std::sqrt(sum / static_cast<double>(v.size() - 1));
+  };
+  Measured out;
+  out.util_mean = mean(util);
+  out.util_sd = sd(util, out.util_mean);
+  out.loss_mean = mean(loss);
+  out.blocking_mean = mean(blocking);
+  out.blocking_sd = sd(blocking, out.blocking_mean);
+  return out;
+}
+
+TEST(FigureRegression, FatTreeLossLoadPointsStayInBands) {
+  if (fat_tree_k() != 4 && figreg_perturb() == 0) {
+    GTEST_SKIP() << "bands are calibrated for the k=4 tree; "
+                    "EAC_FIGREG_FATTREE_HOSTS selects scale, not a gate";
+  }
+  const int seeds = fat_tree_seeds();
+  const bool dump = std::getenv("EAC_FIGREG_DUMP") != nullptr;
+  for (const figreg::Band& band : figreg::kFatTreeBands) {
+    SCOPED_TRACE(std::string{"fat-tree design "} + band.design +
+                 " eps/target " + std::to_string(band.eps) + " seeds " +
+                 std::to_string(seeds));
+    const Measured m = measure_fat_tree(band, seeds);
+    if (dump) {
+      std::printf(
+          "fattree %-16s eps %.3f  util %.4f (sd %.4f)  loss %.3e  "
+          "blocking %.4f (sd %.4f)\n",
+          band.design, band.eps, m.util_mean, m.util_sd, m.loss_mean,
+          m.blocking_mean, m.blocking_sd);
+      std::fflush(stdout);
+    }
+    EXPECT_GE(m.util_mean, band.util_lo);
+    EXPECT_LE(m.util_mean, band.util_hi);
+    EXPECT_LE(m.loss_mean, band.loss_hi);
+    EXPECT_GE(m.blocking_mean, band.blocking_lo);
+    EXPECT_LE(m.blocking_mean, band.blocking_hi);
+    EXPECT_LE(m.util_sd, figreg::kFatTreeMaxUtilStddev);
+  }
+}
+
+TEST(FigureRegression, FatTreeDifferentSeedsGiveDifferentResults) {
+  // Seed sensitivity on the generated fabric: a different seed changes
+  // both the per-cable jitter and the traffic trajectory, so a frozen
+  // generator or run RNG is caught here.
+  const scenario::ScenarioSpec a = fat_tree_point(figreg::kFatTreeBands[0], 1);
+  const scenario::ScenarioSpec b = fat_tree_point(figreg::kFatTreeBands[0], 2);
+  EXPECT_NE(scenario::to_json(a), scenario::to_json(b));
+  EXPECT_NE(scenario::to_json(scenario::run_scenario(a)),
+            scenario::to_json(scenario::run_scenario(b)));
 }
 
 // --- seed sensitivity ------------------------------------------------------

@@ -55,4 +55,43 @@ inline constexpr Band kBands[] = {
 /// observed ~0.02 at this scale).
 inline constexpr double kMaxUtilStddev = 0.06;
 
+// --- generated fat-tree (scenario/topogen.hpp) ----------------------------
+//
+// The same loss-load contract on a multipath fabric: the k=4 fat-tree's
+// pod-pair traffic ECMP-hashed across the equal-cost core, utilization
+// averaged over the admission-controlled fabric hops (as bench_topology
+// and eac_cli report it). Each replication regenerates the tree from its
+// seed, so the bands also absorb per-cable delay jitter. ctest runs the
+// 16-host tree; EAC_FIGREG_FATTREE_HOSTS=128 selects the paper-scale k=8
+// fabric for the nightly job (bands below are calibrated for k=4 only).
+inline constexpr double kFatTreeDurationS = 25.0;
+inline constexpr double kFatTreeWarmupS = 8.0;
+/// Fabric links run at this rate instead of the generator's 10 Mb/s
+/// default: the default point is underloaded (offered load ~0.34 of
+/// fabric capacity, zero blocking — every design measures identical), so
+/// the regression point squeezes the fabric until admission decisions
+/// actually bind and the designs separate, as on the single link above.
+inline constexpr double kFatTreeFabricRateBps = 4e6;
+
+// Measured at this scale over 5 seeds (EAC_FIGREG_DUMP=1):
+//   drop-inband     util 0.806 (sd 0.011)  loss 1.6e-2  blocking 0.43 (sd 0.026)
+//   drop-outofband  util 0.791 (sd 0.010)  loss 9.7e-3  blocking 0.60 (sd 0.037)
+//   mark-inband     util 0.774 (sd 0.010)  loss 9.6e-3  blocking 0.73 (sd 0.044)
+//   mark-outofband  util 0.773 (sd 0.007)  loss 8.7e-3  blocking 0.74 (sd 0.052)
+//   MBAC            util 0.758 (sd 0.006)  loss 8.9e-3  blocking 0.94 (sd 0.027)
+// The paper's ordering survives the fabric: in-band dropping runs hottest
+// and lossiest, MBAC at u=0.9 blocks the most. Margins follow the
+// single-link recipe (util mean +- ~5 standard errors of a 3-seed mean,
+// blocking wider, loss upper bound ~3x the mean).
+inline constexpr Band kFatTreeBands[] = {
+    {"drop-inband", 0.01, 0.77, 0.84, 5e-2, 0.28, 0.57},
+    {"drop-outofband", 0.05, 0.76, 0.83, 3e-2, 0.46, 0.75},
+    {"mark-inband", 0.01, 0.74, 0.81, 3e-2, 0.58, 0.88},
+    {"mark-outofband", 0.05, 0.74, 0.81, 3e-2, 0.58, 0.89},
+    {"MBAC", 0.90, 0.72, 0.79, 3e-2, 0.85, 1.0},
+};
+
+/// Fat-tree seed spread guard (fabric-hop average utilization).
+inline constexpr double kFatTreeMaxUtilStddev = 0.06;
+
 }  // namespace eac::figreg

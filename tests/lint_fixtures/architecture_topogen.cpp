@@ -1,0 +1,23 @@
+// lint-fixture-path: src/scenario/topogen.cpp
+// Scoping regression for the architecture rule set: topology generators
+// live in src/scenario/ but are NOT part of the domain-decomposition
+// wiring (only builder and partition are), so a generator naming the
+// cross-domain machinery, swapping instrumentation scopes or reading a
+// host clock must fire like any other component. Never compiled — only
+// text-scanned by eac_lint.py --self-test.
+
+namespace eac::scenario {
+
+void generator_domain_leak(net::CrossInbox& inbox) {  // expect-lint(cross-domain-isolation)
+  (void)inbox;
+}
+
+void generator_scope_leak() {
+  telemetry::exchange_current(nullptr);  // expect-lint(cross-domain-isolation)
+}
+
+long generator_wall_clock() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();  // expect-lint(clock-purity)
+}
+
+}  // namespace eac::scenario

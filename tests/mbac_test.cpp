@@ -126,7 +126,7 @@ TEST(MbacPolicy, SingleHopAdmitAndRegister) {
   MeasuredSumConfig cfg;
   cfg.target_utilization = 0.5;
   MeasuredSumEstimator est{rig.sim, *rig.link, cfg};
-  MbacPolicy policy{[&](net::NodeId, net::NodeId) {
+  MbacPolicy policy{[&](const FlowSpec&) {
     return std::vector<MeasuredSumEstimator*>{&est};
   }};
   FlowSpec spec;
@@ -153,7 +153,7 @@ TEST(MbacPolicy, MultiHopRequiresEveryHop) {
   MeasuredSumEstimator a{rig.sim, *rig.link, cfg};
   MeasuredSumEstimator b{rig.sim, *rig.link, cfg};
   b.on_admit(4.5e6);  // hop b nearly full
-  MbacPolicy policy{[&](net::NodeId, net::NodeId) {
+  MbacPolicy policy{[&](const FlowSpec&) {
     return std::vector<MeasuredSumEstimator*>{&a, &b};
   }};
   FlowSpec spec;
@@ -166,7 +166,7 @@ TEST(MbacPolicy, MultiHopRequiresEveryHop) {
 }
 
 TEST(MbacPolicy, EmptyPathAdmits) {
-  MbacPolicy policy{[](net::NodeId, net::NodeId) {
+  MbacPolicy policy{[](const FlowSpec&) {
     return std::vector<MeasuredSumEstimator*>{};
   }};
   FlowSpec spec;

@@ -139,7 +139,7 @@ TEST(ReportGolden, ScenarioSpecEcho) {
       R"("eac":{"design":"drop-inband","algo":"slowstart","shape":"paced",)"
       R"("stages":5,"stage_seconds":1},)"
       R"("mbac_target_utilization":0.9,"ac_queue":"strict-priority",)"
-      R"("nodes":2,)"
+      R"("nodes":2,"routing":"single-path",)"
       R"("links":[{"from":0,"to":1,"rate_bps":1e+07,"delay_s":0.02,)"
       R"("buffer_packets":200,"queue":"admission"}],)"
       R"("flows":[{"group":0,"src":0,"dst":1,"kind":"onoff",)"

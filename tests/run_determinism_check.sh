@@ -190,3 +190,40 @@ EOF
 fi
 
 echo "determinism check passed: byte-identical artifacts (1 vs 4 domains)"
+
+# --- generated ECMP fat-tree ----------------------------------------------
+# The same bar on a generated fabric: the k=4 fat-tree (--scenario fattree)
+# hashes pod-pair traffic across equal-cost paths and cuts into domains
+# with a pure-transit core. The --json artifact (spec + counters + link
+# reports) must be byte-identical serial vs cut; telemetry/trace are
+# exercised by the multihop section above (instantaneous queue gauges are
+# not byte-mergeable across domains — see domain_determinism_test.cpp).
+for d in 1 4; do
+  EAC_DOMAINS=$d "$CLI" --scenario fattree --hosts 16 \
+    --duration 25 --warmup 8 --seed 11 \
+    --json "$SCRATCH/ft$d.json" >/dev/null
+done
+
+if [[ -n "$PY" ]]; then
+  for f in ft1 ft4; do
+    "$PY" - "$SCRATCH/$f.json" "$SCRATCH/$f.stripped.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as fh:
+    doc = json.load(fh)
+result = doc.get("result", {})
+result.get("audit", {}).pop("checks_passed", None)
+doc.pop("perf", None)
+with open(sys.argv[2], "w") as fh:
+    json.dump(doc, fh, sort_keys=True, separators=(",", ":"))
+EOF
+  done
+  if ! cmp "$SCRATCH/ft1.stripped.json" "$SCRATCH/ft4.stripped.json"; then
+    echo "determinism check FAILED: fat-tree differs between 1 and 4 domains" >&2
+    diff "$SCRATCH/ft1.stripped.json" "$SCRATCH/ft4.stripped.json" \
+      | head -20 >&2 || true
+    exit 1
+  fi
+  echo "determinism check passed: fat-tree byte-identical (1 vs 4 domains)"
+else
+  echo "determinism check: python not found, skipping fat-tree compare" >&2
+fi

@@ -50,14 +50,17 @@ case "$SAN" in
   thread)
     cmake --build "$BUILD_DIR" \
       --target parallel_test scenario_test simulator_stress_test \
-      domain_determinism_test -j "$(nproc)"
+      topogen_test domain_determinism_test -j "$(nproc)"
     TSAN_OPTIONS="halt_on_error=1" "$BUILD_DIR/tests/parallel_test"
     TSAN_OPTIONS="halt_on_error=1" "$BUILD_DIR/tests/simulator_stress_test"
     TSAN_OPTIONS="halt_on_error=1" "$BUILD_DIR/tests/scenario_test" \
       --gtest_filter='*ResultsAreSane*'
-    # Multi-domain execution: 4 worker threads advance the ring in
-    # lookahead rounds; byte-compares against the serial run while TSan
-    # watches the barrier/inbox handoffs.
+    # Topology generators + ECMP routing feed the multi-domain runs below;
+    # their property battery is cheap enough to keep in the TSan lane.
+    TSAN_OPTIONS="halt_on_error=1" "$BUILD_DIR/tests/topogen_test"
+    # Multi-domain execution: 4 worker threads advance the ring (and the
+    # generated fat-tree) in lookahead rounds; byte-compares against the
+    # serial run while TSan watches the barrier/inbox handoffs.
     TSAN_OPTIONS="halt_on_error=1" "$BUILD_DIR/tests/domain_determinism_test"
     ;;
   *)

@@ -1,0 +1,324 @@
+// Property battery for the topology generators (scenario/topogen.hpp) and
+// the ECMP routing layer they feed.
+//
+// Each generator takes ~200 random parameter draws and must hold its
+// structural invariants on every one: connectivity, no self links, no
+// duplicate cables (outside the dumbbells' deliberate parallel trunks),
+// the fat-tree's closed-form node/link arithmetic, the backbone's degree
+// bound — and byte-exact determinism: identical (params, seed) give
+// bit-identical specs, different seeds give different ones.
+//
+// The ECMP section checks the determinism contract the rest of the stack
+// leans on (DESIGN.md §13): every node's equal-cost set is order-canonical
+// and identical across rebuilds, and the spec-level path mirror
+// (route_links with a flow id) reproduces, hop for hop, the sets the
+// runtime topology installs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/node.hpp"
+#include "net/queue_disc.hpp"
+#include "net/topology.hpp"
+#include "scenario/builder.hpp"
+#include "scenario/report.hpp"
+#include "scenario/topogen.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace eac::scenario {
+namespace {
+
+constexpr int kDraws = 200;
+
+// Directed BFS reachability from node 0; generators emit every cable as a
+// link pair, so full reachability from any one node means connected.
+bool connected(const ScenarioSpec& spec) {
+  const std::size_t n = spec.node_count();
+  if (n == 0) return false;
+  std::vector<std::vector<net::NodeId>> out(n);
+  for (const LinkSpec& l : spec.links) out[l.from].push_back(l.to);
+  std::vector<bool> seen(n, false);
+  std::vector<net::NodeId> stack{0};
+  seen[0] = true;
+  std::size_t reached = 1;
+  while (!stack.empty()) {
+    const net::NodeId v = stack.back();
+    stack.pop_back();
+    for (const net::NodeId w : out[v]) {
+      if (!seen[w]) {
+        seen[w] = true;
+        ++reached;
+        stack.push_back(w);
+      }
+    }
+  }
+  return reached == n;
+}
+
+// Invariants shared by all generated specs. `allowed_parallel` is the
+// number of deliberate duplicate (from, to) pairs — the dumbbells' core
+// trunks; everything else must be unique.
+void check_common(const ScenarioSpec& spec, int allowed_parallel = 0) {
+  ASSERT_FALSE(spec.links.empty());
+  ASSERT_FALSE(spec.flows.empty());
+  EXPECT_EQ(spec.routing, RoutingKind::kEcmp);
+  EXPECT_LT(spec.flows.size(), 256u) << "flow-id encoding caps classes";
+  EXPECT_GT(spec.prewarm_bps, 0.0);
+  EXPECT_TRUE(connected(spec)) << spec.name;
+
+  int duplicates = 0;
+  std::set<std::pair<net::NodeId, net::NodeId>> seen;
+  for (const LinkSpec& l : spec.links) {
+    EXPECT_NE(l.from, l.to) << "self link in " << spec.name;
+    EXPECT_GT(l.rate_bps, 0.0);
+    EXPECT_GE(l.delay, sim::SimTime::microseconds(1));
+    if (!seen.insert({l.from, l.to}).second) ++duplicates;
+  }
+  EXPECT_EQ(duplicates, allowed_parallel) << spec.name;
+
+  for (const FlowClass& f : spec.flows) {
+    EXPECT_NE(f.src, f.dst);
+    EXPECT_FALSE(route_links(spec, f.src, f.dst).empty())
+        << "unroutable flow in " << spec.name;
+  }
+}
+
+TEST(TopogenFatTree, ArithmeticAndInvariantsOverRandomDraws) {
+  sim::RandomStream rng{20260808, 1};
+  for (int trial = 0; trial < kDraws; ++trial) {
+    FatTreeParams p;
+    p.k = 2 * (1 + static_cast<int>(rng.integer(4)));  // 2, 4, 6, 8
+    p.delay_jitter_frac = 0.5 * rng.uniform();
+    p.fabric_rate_bps = 5e6 + 10e6 * rng.uniform();
+    p.traffic = rng.integer(2) == 0 ? FatTreeTraffic::kPodPairs
+                                    : FatTreeTraffic::kIntraPod;
+    const std::uint64_t seed = rng.integer(1u << 20);
+    const ScenarioSpec spec = make_fat_tree(p, seed);
+
+    const int k = p.k;
+    const std::size_t hosts = static_cast<std::size_t>(fat_tree_hosts(k));
+    // k pods of k/2 edge + k/2 aggregation switches, (k/2)^2 cores.
+    EXPECT_EQ(spec.node_count(), hosts + k * k + (k / 2) * (k / 2));
+    // One cable per host, (k/2)^2 edge-agg cables per pod, (k/2)^2
+    // agg-core cables per pod; two directed links per cable.
+    EXPECT_EQ(spec.links.size(), 2 * (hosts + 2 * k * (k / 2) * (k / 2)));
+    // Both patterns emit one class per host (pod-pairs: both directions
+    // of hosts_per_pod pairings per pod pair).
+    EXPECT_EQ(spec.flows.size(), hosts);
+    check_common(spec);
+  }
+}
+
+TEST(TopogenDumbbells, InvariantsOverRandomDraws) {
+  sim::RandomStream rng{20260808, 2};
+  for (int trial = 0; trial < kDraws; ++trial) {
+    DumbbellParams p;
+    p.leaves = 1 + static_cast<int>(rng.integer(6));
+    p.pairs_per_leaf = 1 + static_cast<int>(rng.integer(6));
+    p.core_trunks = 1 + static_cast<int>(rng.integer(4));
+    p.core_ratio = 0.1 + rng.uniform();
+    p.cross_fraction = rng.uniform() < 0.3 ? 0.0 : rng.uniform();
+    p.delay_jitter_frac = 0.5 * rng.uniform();
+    const std::uint64_t seed = rng.integer(1u << 20);
+    const ScenarioSpec spec = make_dumbbells(p, seed);
+
+    // Hosts + (A_i, B_i) per leaf + the two core routers.
+    EXPECT_EQ(spec.node_count(),
+              static_cast<std::size_t>(p.leaves * 2 * p.pairs_per_leaf +
+                                       2 * p.leaves + 2));
+    const std::size_t local = static_cast<std::size_t>(p.leaves) *
+                              static_cast<std::size_t>(p.pairs_per_leaf);
+    EXPECT_EQ(spec.flows.size(),
+              p.cross_fraction > 0 && p.leaves > 1 ? 2 * local : local);
+    // The parallel trunks are the only duplicate (from, to) pairs, in
+    // each direction.
+    check_common(spec, /*allowed_parallel=*/2 * (p.core_trunks - 1));
+  }
+}
+
+TEST(TopogenBackbone, DegreeBoundAndInvariantsOverRandomDraws) {
+  sim::RandomStream rng{20260808, 3};
+  for (int trial = 0; trial < kDraws; ++trial) {
+    BackboneParams p;
+    p.routers = 2 + static_cast<int>(rng.integer(23));
+    p.max_degree = 2 + static_cast<int>(rng.integer(5));
+    p.hosts_per_router = 1 + static_cast<int>(rng.integer(3));
+    p.waxman_alpha = rng.uniform();
+    p.waxman_beta = 0.05 + rng.uniform();
+    p.flow_pairs = 1 + static_cast<int>(rng.integer(12));
+    const std::uint64_t seed = rng.integer(1u << 20);
+    const ScenarioSpec spec = make_backbone(p, seed);
+
+    EXPECT_EQ(spec.node_count(),
+              static_cast<std::size_t>(p.routers) * (1 + p.hosts_per_router));
+    EXPECT_EQ(spec.flows.size(), static_cast<std::size_t>(p.flow_pairs));
+
+    // Router-to-router degree (cables, not directed links) stays within
+    // the bound on every draw, spanning phase included.
+    std::vector<int> degree(p.routers, 0);
+    for (const LinkSpec& l : spec.links) {
+      if (l.from < static_cast<net::NodeId>(p.routers) &&
+          l.to < static_cast<net::NodeId>(p.routers) && l.from < l.to) {
+        ++degree[l.from];
+        ++degree[l.to];
+      }
+    }
+    for (int r = 0; r < p.routers; ++r) {
+      EXPECT_LE(degree[r], p.max_degree) << "router " << r;
+      EXPECT_GE(degree[r], 1) << "router " << r;
+    }
+    check_common(spec);
+  }
+}
+
+TEST(Topogen, IdenticalParamsAndSeedAreBitIdentical) {
+  for (std::uint64_t seed : {1ull, 7ull, 12345ull}) {
+    EXPECT_EQ(to_json(make_fat_tree(FatTreeParams{}, seed)),
+              to_json(make_fat_tree(FatTreeParams{}, seed)));
+    EXPECT_EQ(to_json(make_dumbbells(DumbbellParams{}, seed)),
+              to_json(make_dumbbells(DumbbellParams{}, seed)));
+    EXPECT_EQ(to_json(make_backbone(BackboneParams{}, seed)),
+              to_json(make_backbone(BackboneParams{}, seed)));
+  }
+}
+
+TEST(Topogen, DistinctSeedsGiveDistinctSpecs) {
+  // Not just the echoed seed field: the link tables themselves differ
+  // (delay jitter for the fabrics, placement for the backbone).
+  const auto links_json = [](ScenarioSpec spec) {
+    spec.seed = 0;
+    JsonWriter w;
+    w.array_begin();
+    for (const LinkSpec& l : spec.links) {
+      w.object_begin()
+          .field("from", static_cast<std::uint64_t>(l.from))
+          .field("to", static_cast<std::uint64_t>(l.to))
+          .field("delay_s", l.delay.to_seconds())
+          .object_end();
+    }
+    w.array_end();
+    return w.take();
+  };
+  EXPECT_NE(links_json(make_fat_tree(FatTreeParams{}, 1)),
+            links_json(make_fat_tree(FatTreeParams{}, 2)));
+  EXPECT_NE(links_json(make_dumbbells(DumbbellParams{}, 1)),
+            links_json(make_dumbbells(DumbbellParams{}, 2)));
+  EXPECT_NE(links_json(make_backbone(BackboneParams{}, 1)),
+            links_json(make_backbone(BackboneParams{}, 2)));
+}
+
+TEST(Topogen, FatTreeKForHosts) {
+  EXPECT_EQ(fat_tree_k_for_hosts(1), 2);
+  EXPECT_EQ(fat_tree_k_for_hosts(2), 2);
+  EXPECT_EQ(fat_tree_k_for_hosts(3), 4);
+  EXPECT_EQ(fat_tree_k_for_hosts(16), 4);
+  EXPECT_EQ(fat_tree_k_for_hosts(17), 6);
+  EXPECT_EQ(fat_tree_k_for_hosts(128), 8);
+}
+
+// ---------------------------------------------------------------------
+// ECMP determinism contract.
+
+// Build the runtime topology for a spec and return, for every (node,
+// dst), the equal-cost set as link INDICES into spec.links — the
+// pointer-free form that can be compared across rebuilds.
+std::map<std::pair<net::NodeId, net::NodeId>, std::vector<std::size_t>>
+runtime_multipath_sets(const ScenarioSpec& spec, sim::Simulator& sim) {
+  net::Topology topo{sim};
+  const std::size_t n = spec.node_count();
+  for (std::size_t i = 0; i < n; ++i) topo.add_node();
+  std::map<const net::PacketHandler*, std::size_t> index_of;
+  for (std::size_t i = 0; i < spec.links.size(); ++i) {
+    const LinkSpec& l = spec.links[i];
+    net::Link& link =
+        topo.add_link(l.from, l.to, l.rate_bps, l.delay,
+                      std::make_unique<net::DropTailQueue>(64));
+    index_of[&link] = i;
+  }
+  topo.build_routes_ecmp();
+
+  std::map<std::pair<net::NodeId, net::NodeId>, std::vector<std::size_t>> out;
+  for (net::NodeId v = 0; v < n; ++v) {
+    for (net::NodeId dst = 0; dst < n; ++dst) {
+      const auto& hops = topo.node(v).multipath(dst);
+      if (hops.empty()) continue;
+      std::vector<std::size_t>& set = out[{v, dst}];
+      for (const net::PacketHandler* h : hops) set.push_back(index_of.at(h));
+    }
+  }
+  return out;
+}
+
+TEST(EcmpDeterminism, EqualCostSetsAreCanonicalAndStableAcrossRebuilds) {
+  const ScenarioSpec spec = make_fat_tree(FatTreeParams{}, 11);
+  sim::Simulator sim_a, sim_b;
+  const auto a = runtime_multipath_sets(spec, sim_a);
+  const auto b = runtime_multipath_sets(spec, sim_b);
+  ASSERT_FALSE(a.empty()) << "fat-tree must expose equal-cost sets";
+  EXPECT_EQ(a, b);
+  for (const auto& [key, set] : a) {
+    // Order-canonical: link-insertion (spec) order, no duplicates.
+    EXPECT_TRUE(std::is_sorted(set.begin(), set.end()));
+    EXPECT_EQ(std::set<std::size_t>(set.begin(), set.end()).size(),
+              set.size());
+    EXPECT_GE(set.size(), 2u);  // singletons collapse to the plain route
+    for (const std::size_t li : set) {
+      EXPECT_EQ(spec.links[li].from, key.first);
+    }
+  }
+}
+
+// The spec-level mirror must pick, at every node of every flow's walk,
+// exactly the link the runtime hash picks from the installed set.
+TEST(EcmpDeterminism, RouteLinksMirrorsRuntimeHash) {
+  const ScenarioSpec spec = make_fat_tree(FatTreeParams{}, 11);
+  sim::Simulator sim;
+  const auto sets = runtime_multipath_sets(spec, sim);
+
+  std::set<std::vector<std::size_t>> distinct_paths;
+  for (std::uint32_t cls = 0; cls < spec.flows.size(); ++cls) {
+    const FlowClass& f = spec.flows[cls];
+    for (std::uint32_t n = 0; n < 8; ++n) {
+      const net::FlowId flow = (cls << 24) + n;
+      const std::vector<std::size_t> path =
+          route_links(spec, f.src, f.dst, flow);
+      ASSERT_FALSE(path.empty());
+      // Shortest: same hop count as the single-path route.
+      EXPECT_EQ(path.size(), route_links(spec, f.src, f.dst).size());
+      net::NodeId at = f.src;
+      for (const std::size_t li : path) {
+        ASSERT_EQ(spec.links[li].from, at);
+        const auto it = sets.find({at, f.dst});
+        if (it != sets.end()) {
+          // Multipath node: the mirror's choice must be the runtime's.
+          const std::vector<std::size_t>& set = it->second;
+          const std::uint32_t pick = net::ecmp_pick(flow, at, set.size());
+          EXPECT_EQ(li, set[pick]);
+        }
+        at = spec.links[li].to;
+      }
+      EXPECT_EQ(at, f.dst);
+      distinct_paths.insert(path);
+    }
+  }
+  // The hash genuinely spreads flows across the fabric.
+  EXPECT_GT(distinct_paths.size(), spec.flows.size());
+}
+
+TEST(EcmpDeterminism, SinglePathSpecsIgnoreFlowId) {
+  ScenarioSpec spec = make_fat_tree(FatTreeParams{}, 11);
+  spec.routing = RoutingKind::kSinglePath;
+  const FlowClass& f = spec.flows.front();
+  const auto base = route_links(spec, f.src, f.dst);
+  for (std::uint32_t n = 0; n < 4; ++n) {
+    EXPECT_EQ(route_links(spec, f.src, f.dst, (7u << 24) + n), base);
+  }
+}
+
+}  // namespace
+}  // namespace eac::scenario
