@@ -40,7 +40,8 @@ using namespace eac;
 
 void report_row(const char* name, std::uint64_t target_flows,
                 std::uint64_t flows_created, std::uint64_t peak_active,
-                std::uint64_t events, double wall_s) {
+                std::uint64_t events, double wall_s,
+                const scenario::ScenarioResult* res = nullptr) {
   const double eps =
       wall_s > 0 ? static_cast<double>(events) / wall_s : 0.0;
   const std::uint64_t rss = scenario::current_peak_rss_bytes();
@@ -62,8 +63,14 @@ void report_row(const char* name, std::uint64_t target_flows,
         .field("events", events)
         .field("wall_s", wall_s)
         .field("events_per_second", eps)
-        .field("peak_rss_bytes", rss)
-        .object_end();
+        .field("peak_rss_bytes", rss);
+    // Multi-domain rows profiled under a domprof::Scope carry the
+    // coordinator's execution summary (tools/check_perf.py reads the
+    // imbalance; tools/domain_report.py prints the diagnosis).
+    if (res != nullptr && res->domains.enabled) {
+      w.field_raw("domains", scenario::to_json(res->domains));
+    }
+    w.object_end();
     bench::json_row(w.take());
   }
 }
@@ -91,13 +98,15 @@ void run_calibration() {
 
 void run_spec(const char* name, const scenario::ScenarioSpec& spec,
               std::uint64_t target_flows) {
+  EAC_DPROF_ONLY(sim::DomainProfiler dprof;)
+  EAC_DPROF_ONLY(sim::domprof::Scope dprof_scope{dprof};)
   const auto t0 = std::chrono::steady_clock::now();
   const scenario::ScenarioResult res = scenario::run_scenario(spec);
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   report_row(name, target_flows, res.flows_created, res.peak_active_flows,
-             res.events, wall);
+             res.events, wall, &res);
 }
 
 /// Fixed-window (320 s, 120 s warm-up, seed 17) variant of a figure

@@ -67,8 +67,13 @@ void report_row(const char* name, const scenario::ScenarioSpec* spec,
         .field("events", events)
         .field("wall_s", wall_s)
         .field("events_per_second", eps_s)
-        .field("peak_rss_bytes", rss)
-        .object_end();
+        .field("peak_rss_bytes", rss);
+    // Multi-domain rows profiled under a domprof::Scope carry the
+    // coordinator's execution summary.
+    if (res != nullptr && res->domains.enabled) {
+      w.field_raw("domains", scenario::to_json(res->domains));
+    }
+    w.object_end();
     bench::json_row(w.take());
   }
 }
@@ -103,13 +108,18 @@ scenario::ScenarioSpec tree_spec(int k, double duration_s, double warmup_s) {
 
 void run_design(const scenario::ScenarioSpec& base, const char* name,
                 scenario::PolicyKind policy, const EacConfig& eac,
-                double eps, double mbac_target) {
+                double eps, double mbac_target, int domains = 1) {
   scenario::ScenarioSpec spec = base;
   spec.policy = policy;
   spec.eac = eac;
   spec.mbac_target_utilization = mbac_target;
+  // Leave partitions at the spec default (EAC_DOMAINS) unless the row
+  // explicitly asks for a cut.
+  if (domains > 1) spec.partitions = domains;
   for (auto& c : spec.flows) c.epsilon = eps;
   const std::string row = std::string{"fattree_"} + name;
+  EAC_DPROF_ONLY(sim::DomainProfiler dprof;)
+  EAC_DPROF_ONLY(sim::domprof::Scope dprof_scope{dprof};)
   const auto t0 = std::chrono::steady_clock::now();
   const scenario::ScenarioResult res = scenario::run_scenario(spec);
   const double wall =
@@ -148,6 +158,11 @@ int main(int argc, char** argv) {
              mark_out_of_band(), 0.05, 0.9);
   run_design(base, "mbac", scenario::PolicyKind::kMbac, drop_in_band(), 0.01,
              0.9);
+  // The drop-inband design again, cut into four event domains: results are
+  // byte-identical to the serial row (domain_determinism_test); the row's
+  // "domains" summary is what changes — it profiles the fabric partition.
+  run_design(base, "dom4", scenario::PolicyKind::kEndpoint, drop_in_band(),
+             0.01, 0.9, 4);
 
   bench::maybe_telemetry_run(base);
   bench::maybe_trace_run(base);

@@ -21,6 +21,7 @@
 #include "scenario/report.hpp"
 #include "scenario/runner.hpp"
 #include "scenario/scale.hpp"
+#include "sim/domain_profile.hpp"
 #include "telemetry/telemetry.hpp"
 #include "trace/trace.hpp"
 #include "traffic/catalog.hpp"
@@ -262,8 +263,13 @@ inline void maybe_trace_run(const scenario::ScenarioSpec& spec) {
 #if EAC_TRACE_ENABLED
   trace::Sink sink{trace_config()};
   trace::Scope scope{sink};
+  // Profile alongside the trace so multi-domain specs get their counter
+  // tracks spliced under the event timeline.
+  EAC_DPROF_ONLY(sim::DomainProfiler dprof;)
+  EAC_DPROF_ONLY(sim::domprof::Scope dprof_scope{dprof};)
   const scenario::ScenarioResult res = scenario::run_scenario(spec);
-  if (!scenario::write_json_file(trace_path(), sink.export_chrome_json())) {
+  if (!scenario::write_json_file(trace_path(),
+                                 sink.export_chrome_json(&res.domains))) {
     std::fprintf(stderr, "bench: cannot write %s\n", trace_path().c_str());
   }
   if (res.trace.dropped > 0) {

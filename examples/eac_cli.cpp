@@ -19,6 +19,7 @@
 #include "scenario/report.hpp"
 #include "scenario/runner.hpp"
 #include "scenario/topogen.hpp"
+#include "sim/domain_profile.hpp"
 #include "telemetry/telemetry.hpp"
 #include "trace/trace.hpp"
 #include "traffic/catalog.hpp"
@@ -254,7 +255,11 @@ int main(int argc, char** argv) {
   const std::string json_path = get("json", "");
   if (!json_path.empty()) {
     // A dedicated run so the artifact is a single ScenarioResult (the
-    // summary above may be a multi-seed average).
+    // summary above may be a multi-seed average). Profiler builds attach
+    // the per-domain execution profile ("domains" block) on multi-domain
+    // runs; recording never perturbs the result.
+    EAC_DPROF_ONLY(sim::DomainProfiler dprof;)
+    EAC_DPROF_ONLY(sim::domprof::Scope dprof_scope{dprof};)
     const scenario::ScenarioSpec spec = make_spec();
     const scenario::ScenarioResult sres = scenario::run_scenario(spec);
     scenario::JsonWriter w;
@@ -313,9 +318,14 @@ int main(int argc, char** argv) {
     }
     trace::Sink sink{tcfg};
     trace::Scope scope{sink};
+    // Profile alongside the trace so the export can splice domain counter
+    // tracks under the per-event timeline on multi-domain runs.
+    EAC_DPROF_ONLY(sim::DomainProfiler dprof;)
+    EAC_DPROF_ONLY(sim::domprof::Scope dprof_scope{dprof};)
     const scenario::ScenarioSpec spec = make_spec();
     const scenario::ScenarioResult sres = scenario::run_scenario(spec);
-    if (!scenario::write_json_file(trace_path, sink.export_chrome_json())) {
+    if (!scenario::write_json_file(trace_path,
+                                   sink.export_chrome_json(&sres.domains))) {
       std::fprintf(stderr, "eac_cli: cannot write %s\n", trace_path.c_str());
       return 1;
     }

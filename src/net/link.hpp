@@ -12,6 +12,7 @@
 #include "net/packet.hpp"
 #include "net/queue_disc.hpp"
 #include "sim/audit.hpp"
+#include "sim/domain_profile.hpp"
 #include "sim/simulator.hpp"
 #include "sim/thread_annotations.hpp"
 
@@ -50,6 +51,8 @@ class CrossInbox {
   void push(sim::SimTime t, Link* link, const Packet& p) EAC_EXCLUDES(mu_) {
     sim::MutexLock lk(mu_);
     msgs_.push_back(CrossMsg{t, link, p});
+    EAC_DPROF(++dprof_pushed_;
+              if (msgs_.size() > dprof_peak_) dprof_peak_ = msgs_.size());
   }
 
   /// Append every pending message to `out` in push order and empty the
@@ -69,9 +72,25 @@ class CrossInbox {
     return msgs_.size();
   }
 
+#if EAC_DOMPROF_ENABLED
+  /// Messages ever pushed / deepest backlog observed, for the domain
+  /// profiler's cross-traffic summary. Deterministic: one producer per
+  /// inbox, drained once per round.
+  std::uint64_t profiled_pushes() const EAC_EXCLUDES(mu_) {
+    sim::MutexLock lk(mu_);
+    return dprof_pushed_;
+  }
+  std::uint64_t profiled_peak_depth() const EAC_EXCLUDES(mu_) {
+    sim::MutexLock lk(mu_);
+    return dprof_peak_;
+  }
+#endif
+
  private:
   mutable sim::Mutex mu_;
   std::vector<CrossMsg> msgs_ EAC_GUARDED_BY(mu_);
+  EAC_DPROF_ONLY(std::uint64_t dprof_pushed_ EAC_GUARDED_BY(mu_) = 0;)
+  EAC_DPROF_ONLY(std::uint64_t dprof_peak_ EAC_GUARDED_BY(mu_) = 0;)
 };
 
 /// Byte/packet counters kept per logical packet type.

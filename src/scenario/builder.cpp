@@ -527,7 +527,35 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
   ccfg.lookahead = part.lookahead;
   ccfg.horizon = end;
   ccfg.warmup = P > 1 ? warmup_t : sim::SimTime::max();
+#if EAC_DOMPROF_ENABLED
+  // The caller opts into execution profiling by installing a profiler on
+  // the running thread. Serial runs have no round structure: the profiler
+  // stays out and the result carries no "domains" block.
+  sim::DomainProfiler* const dprof =
+      P > 1 ? sim::domprof::current() : nullptr;
+  ccfg.profiler = dprof;
+#endif
   res.events = sim::DomainCoordinator::run(dom_ptrs, ccfg);
+#if EAC_DOMPROF_ENABLED
+  if (dprof != nullptr) {
+    // Fold the cross-inbox tallies in before deriving the report: a
+    // boundary link owned by domain s pushes into inboxes[s * P + d] and
+    // the receiving domain d drains it, so that inbox counts s->d traffic.
+    for (std::size_t d = 0; d < P; ++d) {
+      std::uint64_t in = 0;
+      std::uint64_t out = 0;
+      std::uint64_t peak = 0;
+      for (std::size_t s = 0; s < P; ++s) {
+        if (s == d) continue;
+        in += inboxes[s * P + d].profiled_pushes();
+        out += inboxes[d * P + s].profiled_pushes();
+        peak = std::max(peak, inboxes[s * P + d].profiled_peak_depth());
+      }
+      dprof->record_cross(d, in, out, peak);
+    }
+    res.domains = dprof->report();
+  }
+#endif
 
   res.flows_created = 0;
   res.peak_active_flows = 0;

@@ -8,6 +8,18 @@
 #include <sys/resource.h>
 #endif
 
+// Build provenance normally arrives from CMake (add_compile_definitions);
+// the fallbacks keep non-CMake builds (clang-tidy, IDE probes) compiling.
+#ifndef EAC_BUILD_COMPILER
+#define EAC_BUILD_COMPILER "unknown"
+#endif
+#ifndef EAC_BUILD_TYPE
+#define EAC_BUILD_TYPE ""
+#endif
+#ifndef EAC_BUILD_LTO
+#define EAC_BUILD_LTO 0
+#endif
+
 namespace eac::scenario {
 
 namespace {
@@ -313,6 +325,56 @@ std::string to_json(const PerfSample& p) {
       .field("peak_rss_bytes", p.peak_rss_bytes)
       .field("events", p.events)
       .field("events_per_second", p.events_per_second)
+      .key("build")
+      .object_begin()
+      .field("compiler", EAC_BUILD_COMPILER)
+      .field("type", EAC_BUILD_TYPE)
+      .field("lto", EAC_BUILD_LTO != 0)
+      .object_end()
+      .object_end();
+  return w.take();
+}
+
+std::string to_json(const sim::DomainProfileReport& d) {
+  JsonWriter w;
+  w.object_begin()
+      .field("count", d.count)
+      .field("rounds", d.rounds)
+      .field("log_dropped_rounds", d.log_dropped_rounds)
+      .field("lookahead_s", d.lookahead_s)
+      .field("horizon_s", d.horizon_s)
+      .key("window_s")
+      .object_begin()
+      .field("min", d.window_min_s)
+      .field("mean", d.window_mean_s)
+      .field("max", d.window_max_s)
+      .object_end()
+      .field("rounds_per_sim_second", d.rounds_per_sim_second)
+      .field("imbalance", d.imbalance)
+      .key("per_domain")
+      .array_begin();
+  for (const sim::DomainProfileEntry& e : d.per_domain) {
+    w.object_begin()
+        .field("events", e.events)
+        .field("share", e.share)
+        .field("stall_rounds", e.stall_rounds)
+        .field("cross_in", e.cross_in)
+        .field("cross_out", e.cross_out)
+        .field("peak_inbox_depth", e.peak_inbox_depth)
+        // Wall-clock timing lives under a "wall" key at every level so
+        // tooling can strip the non-deterministic subset with one rule.
+        .key("wall")
+        .object_begin()
+        .field("barrier_wait_s", e.barrier_wait_s)
+        .field("execute_s", e.execute_s)
+        .object_end()
+        .object_end();
+  }
+  w.array_end()
+      .key("wall")
+      .object_begin()
+      .field("barrier_wait_fraction", d.barrier_wait_fraction)
+      .object_end()
       .object_end();
   return w.take();
 }
@@ -368,6 +430,8 @@ std::string to_json(const ScenarioResult& r) {
   if (r.telemetry.enabled) w.field_raw("telemetry", to_json(r.telemetry));
   // And only traced runs carry the trace accounting.
   if (r.trace.enabled) w.field_raw("trace", to_json(r.trace));
+  // And only profiled multi-domain runs carry the execution profile.
+  if (r.domains.enabled) w.field_raw("domains", to_json(r.domains));
   w.object_end();
   return w.take();
 }

@@ -89,7 +89,19 @@ struct PerfSample {
 /// The process's peak resident set size in bytes (0 where unsupported).
 std::uint64_t current_peak_rss_bytes();
 
+/// Serializes with a trailing "build" provenance object (compiler id and
+/// version, build type, LTO) baked in at compile time, so bench snapshots
+/// stay attributable across hosts.
 std::string to_json(const PerfSample& p);
+
+/// Per-domain PDES execution profile of a profiled multi-domain run
+/// (-DEAC_DOMAIN_PROFILE=ON plus an installed domprof::Scope). Every
+/// wall-clock quantity lives under a "wall" key ("wall" objects at the
+/// top level and inside each per_domain entry); everything else is a pure
+/// function of the partitioned simulation and byte-compares across
+/// re-runs. Byte-comparing tooling strips the "wall" keys
+/// (tests/run_determinism_check.sh does).
+std::string to_json(const sim::DomainProfileReport& d);
 
 /// Per-run results. Shapes are stable (golden-tested in report_test).
 std::string to_json(const RunResult& r);

@@ -18,6 +18,7 @@
 #include "eac/config.hpp"
 #include "eac/flow_manager.hpp"
 #include "sim/audit.hpp"
+#include "sim/domain_profile.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
 #include "stats/flow_stats.hpp"
@@ -176,6 +177,11 @@ struct ScenarioResult {
   /// only when a trace::Sink was installed on the running thread (trace
   /// builds). Same contract as telemetry: purely observational.
   trace::Summary trace;
+  /// Per-domain PDES execution profile; populated only on multi-domain
+  /// runs with a sim::domprof::Scope installed (profiler builds). Purely
+  /// observational: with `domains` cleared, a profiled run's result is
+  /// bit-identical to an unprofiled one.
+  sim::DomainProfileReport domains;
 
   double loss() const { return total.loss_probability(); }
   double blocking() const { return total.blocking_probability(); }

@@ -24,8 +24,9 @@ namespace {
 class RoundState {
  public:
   struct Window {
-    SimTime end;  ///< events strictly below this bound may run
-    bool done;    ///< no window: every domain is past the horizon
+    SimTime start;  ///< global lower bound T the window opened at
+    SimTime end;    ///< events strictly below this bound may run
+    bool done;      ///< no window: every domain is past the horizon
   };
 
   RoundState(std::size_t n, bool needs_flip)
@@ -58,6 +59,7 @@ class RoundState {
     // Windows never straddle the warmup instant: events before it must
     // all execute un-measured before the measurement flip can happen.
     if (!flipped_ && !flip && w > warmup) w = warmup;
+    window_start_ = t;
     window_end_ = w;
     return flip;
   }
@@ -70,7 +72,7 @@ class RoundState {
   /// The decided window, read by every domain after the barrier releases.
   Window window() const EAC_EXCLUDES(mu_) {
     MutexLock lk(mu_);
-    return Window{window_end_, done_};
+    return Window{window_start_, window_end_, done_};
   }
 
   static constexpr SimTime kTick = SimTime::nanoseconds(1);
@@ -78,6 +80,7 @@ class RoundState {
  private:
   mutable Mutex mu_;
   std::vector<SimTime> next_ EAC_GUARDED_BY(mu_);
+  SimTime window_start_ EAC_GUARDED_BY(mu_) = SimTime::zero();
   SimTime window_end_ EAC_GUARDED_BY(mu_) = SimTime::zero();
   bool done_ EAC_GUARDED_BY(mu_) = false;
   /// Measurement flip already performed (or never needed).
@@ -103,6 +106,9 @@ std::uint64_t DomainCoordinator::run(const std::vector<SimDomain*>& domains,
 
   RoundState round{n, cfg.warmup != SimTime::max()};
 
+  EAC_DPROF_ONLY(DomainProfiler* const prof = cfg.profiler;)
+  EAC_DPROF(if (prof != nullptr) prof->begin_run(n, cfg.lookahead, cfg.horizon));
+
   auto compute_round = [&]() noexcept {
     if (round.decide(cfg.lookahead, cfg.horizon, cfg.warmup)) {
       // The global lower bound reached the warmup instant: no event
@@ -113,6 +119,12 @@ std::uint64_t DomainCoordinator::run(const std::vector<SimDomain*>& domains,
       }
       round.mark_flipped();
     }
+    // One thread runs this completion step while all the others are
+    // parked on the barrier — safe to open the profiler's round row.
+    EAC_DPROF(if (prof != nullptr) {
+      const RoundState::Window w = round.window();
+      if (!w.done) prof->begin_round(w.start, w.end);
+    });
   };
 
   std::barrier round_barrier{static_cast<std::ptrdiff_t>(n), compute_round};
@@ -125,15 +137,26 @@ std::uint64_t DomainCoordinator::run(const std::vector<SimDomain*>& domains,
     SimDomain& dom = *domains[d];
     if (dom.install_scopes) dom.install_scopes();
     SimTime window_start = SimTime::zero();
+    EAC_DPROF_ONLY([[maybe_unused]] std::uint64_t prof_t0 = 0;)
     for (;;) {
       if (dom.drain) dom.drain(window_start);
       round.set_next(d, dom.sim.next_event_time());
+      EAC_DPROF(if (prof != nullptr) prof_t0 = domprof::wall_now_ns());
       round_barrier.arrive_and_wait();
+      EAC_DPROF(if (prof != nullptr)
+                    prof->record_barrier_wait(d, domprof::wall_now_ns() - prof_t0));
       const RoundState::Window w = round.window();
       if (w.done) break;
-      dom.events += dom.sim.run(w.end - RoundState::kTick);
+      EAC_DPROF(if (prof != nullptr) prof_t0 = domprof::wall_now_ns());
+      const std::uint64_t ran = dom.sim.run(w.end - RoundState::kTick);
+      dom.events += ran;
+      EAC_DPROF(if (prof != nullptr)
+                    prof->record_exec(d, ran, domprof::wall_now_ns() - prof_t0));
       window_start = w.end;
+      EAC_DPROF(if (prof != nullptr) prof_t0 = domprof::wall_now_ns());
       window_barrier.arrive_and_wait();
+      EAC_DPROF(if (prof != nullptr)
+                    prof->record_barrier_wait(d, domprof::wall_now_ns() - prof_t0));
     }
     // Settle the clock exactly like the serial run: executes nothing (the
     // lower bound is past the horizon), advances now() to the horizon only

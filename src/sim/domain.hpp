@@ -21,6 +21,7 @@
 #include <functional>
 #include <vector>
 
+#include "sim/domain_profile.hpp"
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
 
@@ -75,6 +76,11 @@ class DomainCoordinator {
     /// Warmup instant for the begin_measurement hooks; SimTime::max()
     /// when no measurement flip is needed.
     SimTime warmup = SimTime::max();
+    /// Optional execution profiler (profiler builds only). The coordinator
+    /// records round windows, per-domain event counts and barrier/execute
+    /// wall time into it; observation only — the simulation is
+    /// byte-identical with or without it.
+    EAC_DPROF_ONLY(DomainProfiler* profiler = nullptr;)
   };
 
   /// Run every domain to the horizon. Domain 0 executes on the calling

@@ -1,0 +1,154 @@
+#include "sim/domain_profile.hpp"
+
+#if EAC_DOMPROF_ENABLED
+
+#include <algorithm>
+#include <chrono>
+
+namespace eac::sim {
+
+DomainProfiler::DomainProfiler(std::size_t round_log_cap)
+    : round_log_cap_{round_log_cap} {}
+
+void DomainProfiler::begin_run(std::size_t domains, SimTime lookahead,
+                               SimTime horizon) {
+  count_ = domains;
+  lookahead_ = lookahead;
+  horizon_ = horizon;
+  rounds_ = 0;
+  log_dropped_ = 0;
+  window_min_ns_ = 0;
+  window_max_ns_ = 0;
+  window_sum_ns_ = 0;
+  round_live_ = false;
+  slots_.assign(domains, Slot{});
+  round_log_.start_ns.clear();
+  round_log_.end_ns.clear();
+  round_log_.events.clear();
+}
+
+void DomainProfiler::begin_round(SimTime start, SimTime end) {
+  const std::int64_t width = (end - start).ns();
+  if (rounds_ == 0 || width < window_min_ns_) window_min_ns_ = width;
+  if (rounds_ == 0 || width > window_max_ns_) window_max_ns_ = width;
+  window_sum_ns_ += static_cast<std::uint64_t>(width);
+  ++rounds_;
+  if (round_log_.size() < round_log_cap_) {
+    round_log_.start_ns.push_back(start.ns());
+    round_log_.end_ns.push_back(end.ns());
+    round_log_.events.resize(round_log_.events.size() + count_, 0);
+    round_live_ = true;
+  } else {
+    ++log_dropped_;
+    round_live_ = false;
+  }
+}
+
+void DomainProfiler::record_exec(std::size_t domain, std::uint64_t events,
+                                 std::uint64_t wall_ns) {
+  Slot& slot = slots_[domain];
+  slot.events += events;
+  if (events == 0) ++slot.stall_rounds;
+  slot.execute_ns += wall_ns;
+  if (round_live_) {
+    round_log_.events[(round_log_.size() - 1) * count_ + domain] = events;
+  }
+}
+
+void DomainProfiler::record_barrier_wait(std::size_t domain,
+                                         std::uint64_t wall_ns) {
+  slots_[domain].barrier_wait_ns += wall_ns;
+}
+
+void DomainProfiler::record_cross(std::size_t domain, std::uint64_t in,
+                                  std::uint64_t out,
+                                  std::uint64_t peak_depth) {
+  Slot& slot = slots_[domain];
+  slot.cross_in = in;
+  slot.cross_out = out;
+  slot.peak_inbox_depth = peak_depth;
+}
+
+DomainProfileReport DomainProfiler::report() const {
+  DomainProfileReport rep;
+  rep.enabled = true;
+  rep.count = static_cast<std::uint32_t>(count_);
+  rep.rounds = rounds_;
+  rep.log_dropped_rounds = log_dropped_;
+  rep.lookahead_s = lookahead_.to_seconds();
+  rep.horizon_s = horizon_.to_seconds();
+  if (rounds_ > 0) {
+    rep.window_min_s = static_cast<double>(window_min_ns_) * 1e-9;
+    rep.window_max_s = static_cast<double>(window_max_ns_) * 1e-9;
+    rep.window_mean_s = static_cast<double>(window_sum_ns_) * 1e-9 /
+                        static_cast<double>(rounds_);
+  }
+  if (rep.horizon_s > 0.0) {
+    rep.rounds_per_sim_second = static_cast<double>(rounds_) / rep.horizon_s;
+  }
+
+  std::uint64_t total_events = 0;
+  std::uint64_t max_events = 0;
+  std::uint64_t barrier_ns = 0;
+  std::uint64_t execute_ns = 0;
+  rep.per_domain.reserve(slots_.size());
+  for (const Slot& slot : slots_) {
+    DomainProfileEntry entry;
+    entry.events = slot.events;
+    entry.stall_rounds = slot.stall_rounds;
+    entry.cross_in = slot.cross_in;
+    entry.cross_out = slot.cross_out;
+    entry.peak_inbox_depth = slot.peak_inbox_depth;
+    entry.barrier_wait_s = static_cast<double>(slot.barrier_wait_ns) * 1e-9;
+    entry.execute_s = static_cast<double>(slot.execute_ns) * 1e-9;
+    rep.per_domain.push_back(entry);
+    total_events += slot.events;
+    max_events = std::max(max_events, slot.events);
+    barrier_ns += slot.barrier_wait_ns;
+    execute_ns += slot.execute_ns;
+  }
+  if (total_events > 0) {
+    for (DomainProfileEntry& entry : rep.per_domain) {
+      entry.share = static_cast<double>(entry.events) /
+                    static_cast<double>(total_events);
+    }
+    const double mean = static_cast<double>(total_events) /
+                        static_cast<double>(slots_.size());
+    rep.imbalance = static_cast<double>(max_events) / mean;
+  }
+  if (barrier_ns + execute_ns > 0) {
+    rep.barrier_wait_fraction = static_cast<double>(barrier_ns) /
+                                static_cast<double>(barrier_ns + execute_ns);
+  }
+  rep.round_log = round_log_;
+  return rep;
+}
+
+namespace domprof {
+
+namespace {
+thread_local DomainProfiler* tl_profiler = nullptr;
+}  // namespace
+
+std::uint64_t wall_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          // lint:allow(clock-purity: the domain profiler buckets wall time
+          // into barrier-wait vs execute per domain; the reading feeds
+          // DomainProfileReport wall fields only, never a sim quantity)
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+DomainProfiler* current() { return tl_profiler; }
+
+DomainProfiler* exchange_current(DomainProfiler* next) {
+  DomainProfiler* prev = tl_profiler;
+  tl_profiler = next;
+  return prev;
+}
+
+}  // namespace domprof
+}  // namespace eac::sim
+
+#endif  // EAC_DOMPROF_ENABLED

@@ -1,0 +1,186 @@
+// Per-domain execution profiler for the conservative PDES coordinator.
+//
+// The coordinator advances domains in lower-bound-timestamp rounds; this
+// layer records the round structure (window bounds, events executed per
+// domain per round, stall rounds where lookahead starved a domain) and the
+// wall time each domain spends parked on barriers vs executing, then
+// derives whole-run summaries: per-domain event share, max/mean imbalance,
+// barrier-wait fraction, rounds per simulated second.
+//
+// House discipline, same as telemetry/trace/audit:
+//   * recording is opt-in — a DomainProfiler is installed for the current
+//     thread via domprof::Scope and picked up by the scenario builder;
+//   * a profiled run is bit-identical to an unprofiled one — the profiler
+//     only observes counters the coordinator already produces;
+//   * compiled out (-DEAC_DOMAIN_PROFILE=OFF) the hooks vanish: the value
+//     types below survive in every build so reports stay serializable,
+//     but the profiler class and its symbols do not exist.
+//
+// Determinism split: everything except the `wall`-keyed fields (barrier
+// wait, execute time, barrier-wait fraction) is a pure function of the
+// partitioned simulation and byte-compares across re-runs; the wall fields
+// are stripped by tooling exactly like the telemetry engine profile.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+#if defined(EAC_DOMAIN_PROFILE) && EAC_DOMAIN_PROFILE
+#define EAC_DOMPROF_ENABLED 1
+#else
+#define EAC_DOMPROF_ENABLED 0
+#endif
+
+namespace eac::sim {
+
+inline constexpr bool kDomainProfileEnabled = EAC_DOMPROF_ENABLED != 0;
+
+/// Whole-run totals for one domain. Deterministic except the wall fields.
+struct DomainProfileEntry {
+  std::uint64_t events = 0;        ///< Events executed across all rounds.
+  std::uint64_t stall_rounds = 0;  ///< Rounds where this domain ran nothing.
+  std::uint64_t cross_in = 0;      ///< Cross-domain messages received.
+  std::uint64_t cross_out = 0;     ///< Cross-domain messages sent.
+  std::uint64_t peak_inbox_depth = 0;  ///< Deepest inbox ever observed.
+  double share = 0.0;              ///< events / total events, in [0, 1].
+  double barrier_wait_s = 0.0;     ///< Wall time parked on round barriers.
+  double execute_s = 0.0;          ///< Wall time inside Simulator::run.
+};
+
+/// Bounded per-round log feeding the Perfetto counter tracks: round i's
+/// window is `[start_ns[i], end_ns[i])` and the events domain d executed
+/// inside it sit at `events[i * domains + d]`. Flat parallel arrays — one
+/// allocation each, no per-round header — so the capped log costs tens of
+/// bytes per round, not a heap vector per round (see
+/// DomainProfileReport::log_dropped_rounds for the cap).
+struct DomainProfileRoundLog {
+  std::vector<std::int64_t> start_ns;
+  std::vector<std::int64_t> end_ns;
+  std::vector<std::uint64_t> events;  ///< Domain-major, `domains` per round.
+
+  std::size_t size() const { return start_ns.size(); }
+  bool empty() const { return start_ns.empty(); }
+};
+
+/// Derived whole-run report. `enabled` is false on serial (N=1) runs and
+/// whenever no profiler was installed.
+struct DomainProfileReport {
+  bool enabled = false;
+  std::uint32_t count = 0;           ///< Number of domains.
+  std::uint64_t rounds = 0;          ///< Coordinator rounds executed.
+  std::uint64_t log_dropped_rounds = 0;  ///< Rounds past the round-log cap.
+  double lookahead_s = 0.0;
+  double horizon_s = 0.0;
+  double window_min_s = 0.0;         ///< Narrowest round window.
+  double window_mean_s = 0.0;
+  double window_max_s = 0.0;
+  double rounds_per_sim_second = 0.0;
+  /// max over domains of events / mean over domains of events; 0 when no
+  /// events ran. 1.0 is a perfectly balanced partition.
+  double imbalance = 0.0;
+  /// Wall: sum of barrier waits / (barrier waits + execute time).
+  double barrier_wait_fraction = 0.0;
+  std::vector<DomainProfileEntry> per_domain;
+  DomainProfileRoundLog round_log;
+};
+
+#if EAC_DOMPROF_ENABLED
+
+/// Collects per-round counters from inside DomainCoordinator::run.
+///
+/// Threading contract (no locks needed): begin_run and report() happen
+/// before/after the worker threads exist; begin_round runs only in the
+/// round barrier's completion step while every worker is parked on that
+/// barrier; record_exec / record_barrier_wait touch only the calling
+/// domain's slot plus that domain's cell of the current round-log row.
+/// Barrier arrive/wait edges order every access.
+class DomainProfiler {
+ public:
+  /// `round_log_cap` bounds the per-round log kept for Perfetto export
+  /// (~48 bytes per round at 4 domains, so the default caps the log at
+  /// under a MiB); the deterministic summaries keep accumulating past it.
+  explicit DomainProfiler(std::size_t round_log_cap = 1u << 14);
+
+  void begin_run(std::size_t domains, SimTime lookahead, SimTime horizon);
+  void begin_round(SimTime start, SimTime end);
+  void record_exec(std::size_t domain, std::uint64_t events,
+                   std::uint64_t wall_ns);
+  void record_barrier_wait(std::size_t domain, std::uint64_t wall_ns);
+  /// Cross-inbox totals, filled by the wiring layer after the run.
+  void record_cross(std::size_t domain, std::uint64_t in, std::uint64_t out,
+                    std::uint64_t peak_depth);
+
+  DomainProfileReport report() const;
+
+ private:
+  struct Slot {
+    std::uint64_t events = 0;
+    std::uint64_t stall_rounds = 0;
+    std::uint64_t cross_in = 0;
+    std::uint64_t cross_out = 0;
+    std::uint64_t peak_inbox_depth = 0;
+    std::uint64_t barrier_wait_ns = 0;
+    std::uint64_t execute_ns = 0;
+  };
+
+  std::size_t round_log_cap_;
+  std::size_t count_ = 0;
+  SimTime lookahead_ = SimTime::zero();
+  SimTime horizon_ = SimTime::zero();
+  std::uint64_t rounds_ = 0;
+  std::uint64_t log_dropped_ = 0;
+  std::int64_t window_min_ns_ = 0;
+  std::int64_t window_max_ns_ = 0;
+  std::uint64_t window_sum_ns_ = 0;
+  bool round_live_ = false;  ///< Current round has a round-log row.
+  std::vector<Slot> slots_;
+  DomainProfileRoundLog round_log_;
+};
+
+namespace domprof {
+
+/// Monotonic wall-clock reading for barrier/execute timing. Never feeds a
+/// simulation quantity.
+std::uint64_t wall_now_ns();
+
+/// The profiler installed for the current thread (nullptr when none).
+DomainProfiler* current();
+DomainProfiler* exchange_current(DomainProfiler* next);
+
+/// RAII installer, mirroring telemetry/trace/audit scopes.
+class Scope {
+ public:
+  explicit Scope(DomainProfiler& profiler)
+      : prev_{exchange_current(&profiler)} {}
+  ~Scope() { exchange_current(prev_); }
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+ private:
+  DomainProfiler* prev_;
+};
+
+}  // namespace domprof
+
+/// Statement splice: expands to its arguments in profiler builds, nothing
+/// otherwise.
+#define EAC_DPROF_ONLY(...) __VA_ARGS__
+/// Statement hook: the profiler analogue of EAC_TRC.
+#define EAC_DPROF(...)  \
+  do {                  \
+    __VA_ARGS__;        \
+  } while (0)
+
+#else  // !EAC_DOMPROF_ENABLED
+
+#define EAC_DPROF_ONLY(...)
+#define EAC_DPROF(...) \
+  do {                 \
+  } while (0)
+
+#endif  // EAC_DOMPROF_ENABLED
+
+}  // namespace eac::sim

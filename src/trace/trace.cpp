@@ -4,6 +4,8 @@
 #include <charconv>
 #include <cstring>
 
+#include "sim/domain_profile.hpp"
+
 namespace eac::trace {
 
 const char* category_name(Category c) {
@@ -446,8 +448,11 @@ void append_args(std::string& out, const Event& e) {
 
 }  // namespace
 
-std::string Sink::export_chrome_json() const {
+std::string Sink::export_chrome_json(
+    const sim::DomainProfileReport* domains) const {
   const std::vector<Event> events = snapshot();
+  const bool have_domains =
+      domains != nullptr && domains->enabled && !domains->round_log.empty();
   std::string out;
   out.reserve(events.size() * 96 + 4096);
   out += "{\"traceEvents\":[";
@@ -486,8 +491,53 @@ std::string Sink::export_chrome_json() const {
   for (std::uint32_t f : flows) {
     meta(1, f, "flow " + std::to_string(f));
   }
+  if (have_domains) {
+    // pid 3 hosts the coordinator's counter tracks: one row for the round
+    // window width, one events-per-round row per domain.
+    out += ",{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":3,"
+           "\"args\":{\"name\":\"domains\"}}";
+    meta(3, 1, "round window");
+    for (std::uint32_t d = 0; d < domains->count; ++d) {
+      meta(3, d + 2, "domain " + std::to_string(d) + " events");
+    }
+  }
+
+  // Counter samples for round `ri`, stamped at the round's window start.
+  // Window starts are strictly increasing and start_{k+1} >= end_k, so
+  // flushing every round with start_ns <= e.t_ns before emitting `e`
+  // keeps the whole stream sorted by ts.
+  std::size_t next_round = 0;
+  const auto emit_round_counters = [&](std::size_t ri) {
+    const sim::DomainProfileRoundLog& log = domains->round_log;
+    const double ts = static_cast<double>(log.start_ns[ri]) / 1000.0;
+    out += ",{\"name\":\"window_us\",\"cat\":\"domains\",\"ph\":\"C\",\"ts\":";
+    append_double(out, ts);
+    out += ",\"pid\":3,\"tid\":1,\"args\":{\"width_us\":";
+    append_double(
+        out, static_cast<double>(log.end_ns[ri] - log.start_ns[ri]) / 1000.0);
+    out += "}}";
+    const std::size_t n = domains->count;
+    for (std::size_t d = 0; d < n; ++d) {
+      out += ",{\"name\":";
+      append_escaped(out, "dom" + std::to_string(d) + ".events");
+      out += ",\"cat\":\"domains\",\"ph\":\"C\",\"ts\":";
+      append_double(out, ts);
+      out += ",\"pid\":3,\"tid\":";
+      append_u64(out, d + 2);
+      out += ",\"args\":{\"events\":";
+      append_u64(out, log.events[ri * n + d]);
+      out += "}}";
+    }
+  };
 
   for (const Event& e : events) {
+    if (have_domains) {
+      while (next_round < domains->round_log.size() &&
+             domains->round_log.start_ns[next_round] <= e.t_ns) {
+        emit_round_counters(next_round);
+        ++next_round;
+      }
+    }
     const Category cat = kind_category(e.kind);
     // Lifecycle events render on the flow's own row; packet-path events
     // on their component's row.
@@ -515,6 +565,12 @@ std::string Sink::export_chrome_json() const {
     out += ",\"args\":";
     append_args(out, e);
     out += '}';
+  }
+  if (have_domains) {
+    while (next_round < domains->round_log.size()) {
+      emit_round_counters(next_round);
+      ++next_round;
+    }
   }
   out += "],\"displayTimeUnit\":\"ms\",\"eacSummary\":{";
   out += "\"recorded\":";

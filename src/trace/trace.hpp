@@ -43,6 +43,10 @@
 #define EAC_TRACE_ENABLED 0
 #endif
 
+namespace eac::sim {
+struct DomainProfileReport;  // sim/domain_profile.hpp (value type only)
+}  // namespace eac::sim
+
 namespace eac::trace {
 
 /// True in trace builds; usable in `if constexpr` where a macro is clumsy.
@@ -237,7 +241,15 @@ class Sink {
   /// spans as B/E pairs on per-flow tracks (pid 1), packet-path instants
   /// and counters on per-component tracks (pid 2), plus an "eacSummary"
   /// top-level key mirroring export_summary. Deterministic byte-for-byte.
-  std::string export_chrome_json() const;
+  ///
+  /// When a domain execution profile is supplied (profiler builds), its
+  /// round log is spliced in as Perfetto counter tracks on pid 3
+  /// ("domains"): per-domain events-per-round and the window width, each
+  /// sampled at the round's window start so domain activity lines up
+  /// under the per-event timeline. The synthesized counters carry cat
+  /// "domains" and are NOT counted in eacSummary.recorded.
+  std::string export_chrome_json(
+      const sim::DomainProfileReport* domains = nullptr) const;
 
  private:
   Config cfg_;

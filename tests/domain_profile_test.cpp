@@ -1,0 +1,160 @@
+// The per-domain PDES execution profiler (sim/domain_profile.hpp): a
+// profiled run must describe the coordinator faithfully — round counts,
+// per-domain event totals that sum to the run's own event count, shares
+// that sum to one — and must not perturb it: the simulation artifact of a
+// profiled run is byte-identical to the unprofiled run's, and the
+// profile's non-wall fields are themselves bit-stable across reruns.
+// Serial (1-domain) runs never produce a profile, even under a Scope.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "scenario/builder.hpp"
+#include "scenario/report.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/topogen.hpp"
+#include "sim/domain_profile.hpp"
+#include "traffic/catalog.hpp"
+
+namespace eac::scenario {
+namespace {
+
+RunConfig pdes_config() {
+  RunConfig cfg;
+  FlowClass c;
+  c.arrival_rate_per_s = 1.0;
+  c.onoff = traffic::exp1();
+  c.packet_size = traffic::kOnOffPacketBytes;
+  c.probe_rate_bps = c.onoff.burst_rate_bps;
+  cfg.classes = {c};
+  cfg.mean_lifetime_s = 20;
+  cfg.link_rate_bps = 2e6;
+  cfg.duration_s = 25;
+  cfg.warmup_s = 8;
+  cfg.seed = 11;
+  cfg.prewarm_fraction = 0.3;
+  return cfg;
+}
+
+ScenarioSpec multihop_spec(int partitions) {
+  ScenarioSpec spec = multihop_pdes_spec(pdes_config());
+  spec.partitions = partitions;
+  return spec;
+}
+
+#if EAC_DOMPROF_ENABLED
+
+ScenarioSpec fat_tree_spec(int partitions) {
+  ScenarioSpec spec = make_fat_tree(FatTreeParams{}, 11);
+  spec.duration_s = 25;
+  spec.warmup_s = 8;
+  spec.partitions = partitions;
+  return spec;
+}
+
+ScenarioResult run_profiled(const ScenarioSpec& spec) {
+  sim::DomainProfiler prof;
+  sim::domprof::Scope scope{prof};
+  return run_scenario(spec);
+}
+
+/// Zero every wall-clock field; what remains must be a pure function of
+/// the spec (the same split tests/run_determinism_check.sh strips).
+sim::DomainProfileReport deterministic_part(sim::DomainProfileReport d) {
+  d.barrier_wait_fraction = 0;
+  for (auto& e : d.per_domain) {
+    e.barrier_wait_s = 0;
+    e.execute_s = 0;
+  }
+  return d;
+}
+
+TEST(DomainProfileTest, FourDomainMultihopSchema) {
+  const ScenarioResult res = run_profiled(multihop_spec(4));
+  const sim::DomainProfileReport& d = res.domains;
+  ASSERT_TRUE(d.enabled);
+  EXPECT_EQ(d.count, 4u);
+  ASSERT_EQ(d.per_domain.size(), 4u);
+  EXPECT_GT(d.rounds, 0u);
+  EXPECT_EQ(d.log_dropped_rounds, 0u);
+  EXPECT_DOUBLE_EQ(d.lookahead_s, 0.005);
+  EXPECT_DOUBLE_EQ(d.horizon_s, 25.0);
+
+  // Every event the run reports was executed by exactly one domain.
+  std::uint64_t events = 0;
+  double share = 0;
+  for (const auto& e : d.per_domain) {
+    events += e.events;
+    share += e.share;
+    EXPECT_LE(e.stall_rounds, d.rounds);
+  }
+  EXPECT_EQ(events, res.events);
+  EXPECT_NEAR(share, 1.0, 1e-12);
+  EXPECT_GE(d.imbalance, 1.0);
+
+  // The ring's boundary links all carry traffic, and a message pushed by
+  // one domain is drained by exactly one other.
+  std::uint64_t in = 0, out = 0;
+  for (const auto& e : d.per_domain) {
+    in += e.cross_in;
+    out += e.cross_out;
+    EXPECT_GT(e.peak_inbox_depth, 0u);
+  }
+  EXPECT_GT(in, 0u);
+  EXPECT_EQ(in, out);
+
+  // Window widths: bounded by the lookahead-derived round cadence.
+  EXPECT_GT(d.window_min_s, 0.0);
+  EXPECT_LE(d.window_min_s, d.window_mean_s);
+  EXPECT_LE(d.window_mean_s, d.window_max_s);
+  EXPECT_GT(d.rounds_per_sim_second, 0.0);
+
+  // And the artifact carries it.
+  EXPECT_NE(to_json(res).find("\"domains\""), std::string::npos);
+}
+
+TEST(DomainProfileTest, DeterministicFieldsBitStableAcrossReruns) {
+  const ScenarioResult a = run_profiled(multihop_spec(4));
+  const ScenarioResult b = run_profiled(multihop_spec(4));
+  ASSERT_TRUE(a.domains.enabled);
+  EXPECT_EQ(to_json(deterministic_part(a.domains)),
+            to_json(deterministic_part(b.domains)));
+}
+
+TEST(DomainProfileTest, ProfiledMultihopByteIdenticalToUnprofiled) {
+  ScenarioResult profiled = run_profiled(multihop_spec(4));
+  const ScenarioResult plain = run_scenario(multihop_spec(4));
+  ASSERT_TRUE(profiled.domains.enabled);
+  ASSERT_FALSE(plain.domains.enabled);
+  profiled.domains = sim::DomainProfileReport{};
+  EXPECT_EQ(to_json(profiled), to_json(plain));
+}
+
+TEST(DomainProfileTest, ProfiledFatTreeByteIdenticalToUnprofiled) {
+  ScenarioResult profiled = run_profiled(fat_tree_spec(4));
+  const ScenarioResult plain = run_scenario(fat_tree_spec(4));
+  ASSERT_TRUE(profiled.domains.enabled);
+  EXPECT_GT(profiled.events, 0u);
+  profiled.domains = sim::DomainProfileReport{};
+  EXPECT_EQ(to_json(profiled), to_json(plain));
+}
+
+TEST(DomainProfileTest, SerialRunProducesNoProfile) {
+  const ScenarioResult res = run_profiled(multihop_spec(1));
+  EXPECT_FALSE(res.domains.enabled);
+  EXPECT_EQ(to_json(res).find("\"domains\""), std::string::npos);
+}
+
+#endif  // EAC_DOMPROF_ENABLED
+
+// In every build: an unprofiled run carries no "domains" block, so the
+// artifact of a -DEAC_DOMAIN_PROFILE=OFF build matches a profiler build
+// that simply never installed a Scope.
+TEST(DomainProfileTest, UnprofiledRunOmitsDomainsBlock) {
+  const ScenarioResult res = run_scenario(multihop_spec(2));
+  EXPECT_FALSE(res.domains.enabled);
+  EXPECT_EQ(to_json(res).find("\"domains\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eac::scenario

@@ -66,7 +66,9 @@ void check_partition(const ScenarioSpec& spec, const Partition& p) {
     used[static_cast<std::size_t>(d)] = true;
   }
   for (const bool u : used) EXPECT_TRUE(u);
-  if (!p.node_domain.empty()) EXPECT_EQ(p.node_domain[0], 0);
+  if (!p.node_domain.empty()) {
+    EXPECT_EQ(p.node_domain[0], 0);
+  }
   // Hard constraint: a flow's endpoints share a domain.
   for (const FlowClass& f : spec.flows) {
     EXPECT_EQ(p.domain_of(f.src), p.domain_of(f.dst));

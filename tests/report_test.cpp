@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <string>
 
 #include "scenario/report.hpp"
 
@@ -96,15 +97,32 @@ TEST(ReportGolden, RunResult) {
       R"("blocking":0.19999999999999996,"loss":0.01}}})");
 }
 
+// The build-provenance fallbacks mirror scenario/report.cpp: the macros
+// come from the top-level CMakeLists and are absent in other harnesses.
+#ifndef EAC_BUILD_COMPILER
+#define EAC_BUILD_COMPILER "unknown"
+#endif
+#ifndef EAC_BUILD_TYPE
+#define EAC_BUILD_TYPE ""
+#endif
+#ifndef EAC_BUILD_LTO
+#define EAC_BUILD_LTO 0
+#endif
+
 TEST(ReportGolden, PerfSample) {
   PerfSample p;
   p.wall_s = 1.5;
   p.peak_rss_bytes = 8 << 20;
   p.events = 1000000;
   p.events_per_second = 666666.6666666666;
-  EXPECT_EQ(to_json(p),
-            R"({"wall_s":1.5,"peak_rss_bytes":8388608,"events":1000000,)"
-            R"("events_per_second":666666.6666666666})");
+  const std::string expected =
+      std::string{
+          R"({"wall_s":1.5,"peak_rss_bytes":8388608,"events":1000000,)"
+          R"("events_per_second":666666.6666666666,)"
+          R"("build":{"compiler":")"} +
+      EAC_BUILD_COMPILER + R"(","type":")" + EAC_BUILD_TYPE +
+      R"(","lto":)" + (EAC_BUILD_LTO != 0 ? "true" : "false") + "}}";
+  EXPECT_EQ(to_json(p), expected);
 }
 
 TEST(ReportTest, PeakRssIsMeasurable) {

@@ -132,13 +132,16 @@ with open(sys.argv[1]) as fh:
     doc = json.load(fh)
 result = doc.get("result", {})
 # Engine-shaped artifacts that legitimately depend on the domain count:
-# wall-clock profile, per-engine pending-events gauge, audit check count.
+# wall-clock profile, per-engine pending-events gauge, audit check count,
+# and the domain execution profile (absent on the serial run by design —
+# its determinism is asserted by the repeated-run compare below).
 tel = result.get("telemetry", {})
 tel.pop("profile", None)
 if "series" in tel:
     tel["series"] = [s for s in tel["series"]
                      if s.get("name") != "engine.pending_events"]
 result.get("audit", {}).pop("checks_passed", None)
+result.pop("domains", None)
 doc.pop("perf", None)
 with open(sys.argv[2], "w") as fh:
     json.dump(doc, fh, sort_keys=True, separators=(",", ":"))
@@ -175,8 +178,12 @@ if [[ -s "$SCRATCH/domtrace1.json" && -s "$SCRATCH/domtrace4.json" && -n "$PY" ]
 import json, sys
 with open(sys.argv[1]) as fh:
     doc = json.load(fh)
+# Domain counter tracks (cat "domains" on pid 3) are synthesized from the
+# execution profiler's round log, which only exists on the cut run; drop
+# them and their pid-3 metadata so both sides compare the ring contents.
 doc["traceEvents"] = sorted(
-    doc.get("traceEvents", []),
+    (e for e in doc.get("traceEvents", [])
+     if e.get("cat") != "domains" and e.get("pid") != 3),
     key=lambda e: (e.get("ts", 0), json.dumps(e, sort_keys=True)))
 with open(sys.argv[2], "w") as fh:
     json.dump(doc, fh, sort_keys=True, separators=(",", ":"))
@@ -190,6 +197,55 @@ EOF
 fi
 
 echo "determinism check passed: byte-identical artifacts (1 vs 4 domains)"
+
+# --- domain execution profile ---------------------------------------------
+# The profiler's counters (rounds, windows, per-domain events, stalls,
+# cross-inbox traffic, imbalance) are a pure function of the spec: two
+# identical 4-domain runs must agree byte for byte once every "wall"-keyed
+# object (barrier-wait/execute seconds, barrier-wait fraction — wall-clock
+# measurement, not simulation) is stripped from the "domains" block.
+for r in a b; do
+  EAC_DOMAINS=4 "$CLI" --scenario multihop --source exp1 --tau 3.5 \
+    --link 2e6 --lifetime 20 --duration 25 --warmup 8 --seed 11 \
+    --json "$SCRATCH/prof$r.json" >/dev/null
+done
+
+if [[ -n "$PY" ]]; then
+  for f in profa profb; do
+    "$PY" - "$SCRATCH/$f.json" "$SCRATCH/$f.stripped.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as fh:
+    doc = json.load(fh)
+result = doc.get("result", {})
+result.get("telemetry", {}).pop("profile", None)
+doc.pop("perf", None)
+dom = result.get("domains")
+if isinstance(dom, dict):
+    dom.pop("wall", None)
+    for entry in dom.get("per_domain", []):
+        entry.pop("wall", None)
+with open(sys.argv[2], "w") as fh:
+    json.dump(doc, fh, sort_keys=True, separators=(",", ":"))
+EOF
+  done
+  if ! cmp "$SCRATCH/profa.stripped.json" "$SCRATCH/profb.stripped.json"; then
+    echo "determinism check FAILED: domain profiles differ across reruns" >&2
+    diff "$SCRATCH/profa.stripped.json" "$SCRATCH/profb.stripped.json" \
+      | head -20 >&2 || true
+    exit 1
+  fi
+  if "$PY" -c '
+import json, sys
+doc = json.load(open(sys.argv[1]))
+sys.exit(0 if isinstance(doc.get("result", {}).get("domains"), dict) else 1)
+' "$SCRATCH/profa.json"; then
+    echo "determinism check passed: domain profile deterministic across reruns"
+  else
+    echo "determinism check: no domain profile (profiler off), skipping"
+  fi
+else
+  echo "determinism check: python not found, skipping profile compare" >&2
+fi
 
 # --- generated ECMP fat-tree ----------------------------------------------
 # The same bar on a generated fabric: the k=4 fat-tree (--scenario fattree)
@@ -212,6 +268,7 @@ with open(sys.argv[1]) as fh:
     doc = json.load(fh)
 result = doc.get("result", {})
 result.get("audit", {}).pop("checks_passed", None)
+result.pop("domains", None)
 doc.pop("perf", None)
 with open(sys.argv[2], "w") as fh:
     json.dump(doc, fh, sort_keys=True, separators=(",", ":"))

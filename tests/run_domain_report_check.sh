@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# The domain-profile artifact path, end to end: a 4-domain eac_cli run
+# must attach a "domains" block that tools/domain_report.py --check
+# accepts (key presence, types, shares summing to one, per_domain length
+# matching the count), and a serial run's artifact must carry no block —
+# domain_report.py is required to exit 1 on it, because CI asserting the
+# block's presence is only meaningful if absence actually fails.
+#
+# Usage: tests/run_domain_report_check.sh EAC_CLI_BINARY [python3] [scratch-dir]
+set -euo pipefail
+
+if [[ $# -lt 1 ]]; then
+  echo "usage: $0 EAC_CLI_BINARY [python3] [scratch-dir]" >&2
+  exit 2
+fi
+
+BIN="$1"
+PY="${2:-python3}"
+SCRATCH="${3:-$(mktemp -d)}"
+mkdir -p "$SCRATCH"
+HERE="$(cd "$(dirname "$0")" && pwd)"
+
+EAC_DOMAINS=4 "$BIN" --scenario multihop --source exp1 --tau 3.5 \
+  --link 2e6 --lifetime 20 --duration 25 --warmup 8 --seed 11 \
+  --json "$SCRATCH/dom4.json" >/dev/null
+
+"$PY" "$HERE/../tools/domain_report.py" --check --quiet "$SCRATCH/dom4.json"
+
+EAC_DOMAINS=1 "$BIN" --scenario multihop --source exp1 --tau 3.5 \
+  --link 2e6 --lifetime 20 --duration 25 --warmup 8 --seed 11 \
+  --json "$SCRATCH/dom1.json" >/dev/null
+
+if "$PY" "$HERE/../tools/domain_report.py" --check --quiet \
+    "$SCRATCH/dom1.json" 2>/dev/null; then
+  echo "domain report check FAILED: serial artifact accepted" >&2
+  exit 1
+fi
+
+echo "domain report check passed: 4-domain profile valid, serial rejected"

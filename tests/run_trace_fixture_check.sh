@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Fixture-driven validation of tools/trace_report.py's counter handling.
+#
+# trace_counter_ok.json mixes ring events (B/E spans, an mbac 'C'
+# counter) with the domain counter track (cat "domains", synthesized at
+# export time, excluded from eacSummary.recorded): the validator must
+# accept it, which proves both the numeric-args counter check and the
+# ring-count exclusion — counting the domain counters would break the
+# recorded compare. trace_counter_bad.json carries counters with
+# string, boolean and empty args; the validator must reject every one.
+#
+# Usage: tests/run_trace_fixture_check.sh [python3]
+set -euo pipefail
+
+PY="${1:-python3}"
+HERE="$(cd "$(dirname "$0")" && pwd)"
+
+"$PY" "$HERE/../tools/trace_report.py" --quiet \
+  "$HERE/fixtures/trace_counter_ok.json"
+
+ERRS="$("$PY" "$HERE/../tools/trace_report.py" --quiet \
+  "$HERE/fixtures/trace_counter_bad.json" 2>&1 >/dev/null)" && {
+  echo "trace fixture check FAILED: bad counters accepted" >&2
+  exit 1
+}
+BAD=$(grep -c "counter ('C') without numeric args" <<<"$ERRS" || true)
+if [[ "$BAD" -ne 3 ]]; then
+  echo "trace fixture check FAILED: expected 3 counter rejections, got $BAD" >&2
+  echo "$ERRS" >&2
+  exit 1
+fi
+
+echo "trace fixture check passed: counters validated, domain track excluded"

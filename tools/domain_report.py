@@ -1,0 +1,224 @@
+#!/usr/bin/env python3
+"""Round-structure and load-imbalance diagnosis of a profiled PDES run.
+
+Reads the "domains" block the per-domain execution profiler attaches to
+scenario JSON (eac_cli --json under a profiler build, or a bench row) and
+prints what the coordinator actually did: how many rounds, how wide the
+windows were, which domains carried the events, who stalled, and how much
+worker wall time went to barriers instead of execution.
+
+Usage:
+  domain_report.py ARTIFACT.json            eac_cli spec+result artifact
+  domain_report.py BENCH.json --row NAME    a bench artifact's named row
+  domain_report.py --check ...              validate the schema, exit 1 on
+                                            any problem (used by ctest)
+  domain_report.py --quiet ...              verdict only, no table
+
+Exit 1 when the artifact carries no "domains" block — serial (N=1) runs
+and unprofiled runs legitimately have none, and the caller asserting its
+presence is the point of the CI hook.
+"""
+
+import argparse
+import json
+import sys
+
+INT = (int,)
+NUM = (int, float)
+
+#: key -> required type tuple, for the top level of the block.
+TOP_SCHEMA = {
+    "count": INT,
+    "rounds": INT,
+    "log_dropped_rounds": INT,
+    "lookahead_s": NUM,
+    "horizon_s": NUM,
+    "window_s": (dict,),
+    "rounds_per_sim_second": NUM,
+    "imbalance": NUM,
+    "per_domain": (list,),
+    "wall": (dict,),
+}
+
+ENTRY_SCHEMA = {
+    "events": INT,
+    "share": NUM,
+    "stall_rounds": INT,
+    "cross_in": INT,
+    "cross_out": INT,
+    "peak_inbox_depth": INT,
+    "wall": (dict,),
+}
+
+
+def fail(msg):
+    print(f"domain_report: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_domains(args):
+    try:
+        with open(args.artifact, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {args.artifact}: {e}")
+    if args.row is not None:
+        rows = {r.get("name"): r for r in doc.get("rows", [])}
+        if args.row not in rows:
+            fail(f"{args.artifact}: no row named {args.row!r}")
+        holder, where = rows[args.row], f"row {args.row!r}"
+    elif isinstance(doc.get("result"), dict):
+        holder, where = doc["result"], '"result"'
+    else:
+        holder, where = doc, "document"
+    dom = holder.get("domains")
+    if not isinstance(dom, dict):
+        fail(f"{args.artifact}: {where} carries no \"domains\" block "
+             "(serial run, or built/run without the profiler?)")
+    return dom
+
+
+def check_types(obj, schema, context, problems):
+    for key, types in schema.items():
+        if key not in obj:
+            problems.append(f"{context}: missing key {key!r}")
+        elif not isinstance(obj[key], types) or isinstance(obj[key], bool):
+            problems.append(
+                f"{context}: {key!r} is {type(obj[key]).__name__}, "
+                f"want {'/'.join(t.__name__ for t in types)}")
+
+
+def validate(dom):
+    problems = []
+    check_types(dom, TOP_SCHEMA, "domains", problems)
+    if problems:
+        return problems  # shape is off; element checks would just cascade
+    for key in ("min", "mean", "max"):
+        if not isinstance(dom["window_s"].get(key), NUM):
+            problems.append(f"domains.window_s: missing numeric {key!r}")
+    if not isinstance(dom["wall"].get("barrier_wait_fraction"), NUM):
+        problems.append("domains.wall: missing numeric barrier_wait_fraction")
+    if len(dom["per_domain"]) != dom["count"]:
+        problems.append(
+            f"per_domain has {len(dom['per_domain'])} entries, count says "
+            f"{dom['count']}")
+    total = 0
+    share = 0.0
+    for i, e in enumerate(dom["per_domain"]):
+        if not isinstance(e, dict):
+            problems.append(f"per_domain[{i}]: not an object")
+            continue
+        check_types(e, ENTRY_SCHEMA, f"per_domain[{i}]", problems)
+        if isinstance(e.get("wall"), dict):
+            for key in ("barrier_wait_s", "execute_s"):
+                if not isinstance(e["wall"].get(key), NUM):
+                    problems.append(
+                        f"per_domain[{i}].wall: missing numeric {key!r}")
+        total += e.get("events", 0)
+        share += e.get("share", 0)
+    if total > 0 and abs(share - 1.0) > 1e-9:
+        problems.append(f"per-domain shares sum to {share!r}, want 1.0")
+    if total > 0 and dom["imbalance"] < 1.0 - 1e-12:
+        problems.append(f"imbalance {dom['imbalance']!r} below 1.0")
+    if dom["count"] < 2:
+        problems.append(f"count {dom['count']} on a \"domains\" block "
+                        "(serial runs must omit it)")
+    return problems
+
+
+def diagnose(dom):
+    """Human-readable findings, worst first."""
+    findings = []
+    count = dom["count"]
+    rounds = dom["rounds"]
+    per = dom["per_domain"]
+    imb = dom["imbalance"]
+    if imb > 2.0:
+        busiest = max(range(count), key=lambda d: per[d]["events"])
+        findings.append(
+            f"LOAD IMBALANCE: domain {busiest} carries "
+            f"{per[busiest]['share'] * 100:.0f}% of all events "
+            f"({imb:.2f}x the mean) — the partition wastes "
+            f"{count - 1} of {count} workers; consider a different cut")
+    frac = dom["wall"]["barrier_wait_fraction"]
+    if frac > 0.5:
+        findings.append(
+            f"COORDINATION-BOUND: {frac * 100:.0f}% of worker wall time is "
+            "barrier wait, not execution (expected on fewer hardware "
+            "threads than domains; otherwise the windows are too narrow)")
+    if rounds > 0:
+        for d in range(count):
+            stall = per[d]["stall_rounds"] / rounds
+            if stall > 0.5:
+                findings.append(
+                    f"STARVED: domain {d} executed nothing in "
+                    f"{stall * 100:.0f}% of rounds (lookahead-starved or "
+                    "little load routed through it)")
+    mean_w = dom["window_s"]["mean"]
+    la = dom["lookahead_s"]
+    if la > 0 and rounds > 0 and mean_w <= la * 1.5:
+        findings.append(
+            f"LOOKAHEAD-LIMITED: mean window {mean_w:.3e}s is within 1.5x "
+            f"of the {la:.3e}s lookahead — rounds are as fine-grained as "
+            "the cut allows; a wider-latency cut would amortize barriers")
+    return findings
+
+
+def report(dom, quiet):
+    print(f"domains: {dom['count']}   rounds: {dom['rounds']}"
+          f"   ({dom['rounds_per_sim_second']:.1f} rounds per simulated"
+          f" second over {dom['horizon_s']:.1f}s)")
+    w = dom["window_s"]
+    print(f"lookahead: {dom['lookahead_s']:.3e}s   window min/mean/max: "
+          f"{w['min']:.3e} / {w['mean']:.3e} / {w['max']:.3e}s")
+    print(f"imbalance: {dom['imbalance']:.2f}x (max/mean events per domain)"
+          f"   barrier-wait fraction: "
+          f"{dom['wall']['barrier_wait_fraction']:.2f}")
+    if dom.get("log_dropped_rounds"):
+        print(f"note: round log capped; {dom['log_dropped_rounds']} rounds "
+              "beyond the cap (summaries still cover them)")
+    if not quiet:
+        print(f"{'dom':>4} {'events':>12} {'share':>7} {'stalls':>10} "
+              f"{'cross_in':>10} {'cross_out':>10} {'peak_inbox':>10} "
+              f"{'barrier_s':>10} {'exec_s':>8}")
+        for d, e in enumerate(dom["per_domain"]):
+            print(f"{d:>4} {e['events']:>12} {e['share']:>7.3f} "
+                  f"{e['stall_rounds']:>10} {e['cross_in']:>10} "
+                  f"{e['cross_out']:>10} {e['peak_inbox_depth']:>10} "
+                  f"{e['wall']['barrier_wait_s']:>10.3f} "
+                  f"{e['wall']['execute_s']:>8.3f}")
+    findings = diagnose(dom)
+    for f in findings:
+        print(f"  * {f}")
+    if not findings:
+        print("  * no pathologies: balanced partition, execution-dominated")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("artifact")
+    ap.add_argument("--row", default=None,
+                    help="read the \"domains\" block of this bench row")
+    ap.add_argument("--check", action="store_true",
+                    help="validate the block's schema; exit 1 on problems")
+    ap.add_argument("--quiet", action="store_true",
+                    help="no per-domain table, just summaries and findings")
+    args = ap.parse_args()
+
+    dom = load_domains(args)
+    if args.check:
+        problems = validate(dom)
+        for p in problems:
+            print(f"domain_report: FAIL: {p}", file=sys.stderr)
+        if problems:
+            sys.exit(1)
+    report(dom, args.quiet)
+    if args.check:
+        print("domain_report: OK")
+
+
+if __name__ == "__main__":
+    try:
+        main()
+    except BrokenPipeError:
+        sys.exit(0)

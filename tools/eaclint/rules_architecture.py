@@ -41,6 +41,7 @@ DOMAIN_LAYERS_RE = re.compile(
 EXCHANGE_RE = re.compile(r"\bexchange_current\b")
 EXCHANGE_LAYERS_RE = re.compile(
     r"^src/(?:telemetry/|trace/|sim/audit\.(?:hpp|cpp)"
+    r"|sim/domain_profile\.(?:hpp|cpp)"
     r"|scenario/builder\.(?:hpp|cpp))"
 )
 

@@ -5,8 +5,9 @@ The telemetry/trace/audit layers promise that an instrumented run is
 bit-identical to a bare one (-DEAC_TELEMETRY=OFF etc. compile the hooks
 away entirely). That promise dies the moment an EAC_TEL / EAC_TRC /
 EAC_AUDIT* argument carries a side effect on simulation state: the effect
-exists in one build flavour and not the other. This rule scans macro
-arguments for two shapes of mutation:
+exists in one build flavour and not the other. The domain profiler
+(EAC_DPROF*, -DEAC_DOMAIN_PROFILE=OFF) makes the same promise. This rule
+scans macro arguments for two shapes of mutation:
 
   * assignments / increments whose target does not look instrumentation-
     owned (no tel/trc/trace/track/telemetry/audit/dbg token in the name)
@@ -32,11 +33,11 @@ CATEGORY = "macros"
 #: which are skipped). EAC_TEL_ONLY / EAC_TRC_ONLY / EAC_AUDIT_ONLY splice
 #: members and statements; EAC_TEL / EAC_TRC / EAC_AUDIT_CHECK / _COUNT
 #: wrap expressions.
-MACRO_RE = re.compile(r"\bEAC_(?:TEL|TRC|AUDIT)[A-Z_]*\s*(\()")
+MACRO_RE = re.compile(r"\bEAC_(?:TEL|TRC|AUDIT|DPROF)[A-Z_]*\s*(\()")
 
 #: Name tokens that mark a target as instrumentation-owned.
 OWNED_TOKENS_RE = re.compile(
-    r"(?:tel|trc|trace|track|telemetry|audit|dbg)", re.IGNORECASE
+    r"(?:tel|trc|trace|track|telemetry|audit|dbg|prof)", re.IGNORECASE
 )
 
 #: Post/pre increment-decrement, e.g. `++live_` / `live_++`.

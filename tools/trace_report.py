@@ -9,8 +9,11 @@ Usage:
 
 Validation: the document must be well-formed trace_event JSON (traceEvents
 array, known phases, microsecond timestamps non-decreasing in emission
-order), every 'E' must close a matching 'B' on its track, and the event
-count must equal eacSummary.recorded.
+order), every 'E' must close a matching 'B' on its track, every counter
+('C') must carry numeric args, and the ring-event count must equal
+eacSummary.recorded. Domain counter tracks (cat "domains", synthesized at
+export time from the execution profiler rather than drawn from the ring)
+participate in the phase/ts/counter checks but not the recorded count.
 
 --check adds the cross-layer probe consistency test: for every completed
 probe span, the number of probe packets reconstructed from raw queue
@@ -51,10 +54,14 @@ def validate(doc):
     problems = []
     summary = doc.get("eacSummary", {})
     events = [e for e in doc["traceEvents"] if e.get("ph") != "M"]
+    # cat "domains" events come from the domain profiler's round log, not
+    # the ring buffer, so they are excluded from the recorded count (they
+    # still go through the phase/ts/counter checks below).
+    ring = [e for e in events if e.get("cat") != "domains"]
     recorded = summary.get("recorded")
-    if recorded is not None and recorded != len(events):
+    if recorded is not None and recorded != len(ring):
         problems.append(
-            f"eacSummary.recorded = {recorded} but {len(events)} events exported")
+            f"eacSummary.recorded = {recorded} but {len(ring)} ring events exported")
 
     last_ts = None
     stacks = {}  # (pid, tid) -> [name, ...]
@@ -71,6 +78,14 @@ def validate(doc):
         if last_ts is not None and ts < last_ts:
             problems.append(f"event {i}: ts went backwards ({ts} < {last_ts})")
         last_ts = ts
+        if ph == "C":
+            cargs = e.get("args")
+            if (not isinstance(cargs, dict) or not cargs
+                    or not all(isinstance(v, (int, float))
+                               and not isinstance(v, bool)
+                               for v in cargs.values())):
+                problems.append(f"event {i}: counter ('C') without numeric args")
+            continue
         key = (e.get("pid"), e.get("tid"))
         if ph == "B":
             stacks.setdefault(key, []).append(e.get("name"))
